@@ -1,0 +1,43 @@
+// Ablation A1 — quantify the paper's §II-A mechanism per protection mode:
+// ACK early-drop share, SYN retries, RTO storms and the resulting runtime,
+// at the most aggressive target delay (where the effect peaks).
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+    const Time target = Time::microseconds(100);
+
+    std::printf("A1 — who gets dropped, and what it costs (target delay %s, shallow)\n\n",
+                target.toString().c_str());
+    TextTable table({"series", "ackDrop%", "synDrop%", "dataEarly%", "rtoEvents", "synRetries",
+                     "retransmits", "runtime_s", "tput_Mbps"});
+    auto addRow = [&](const ExperimentResult& r) {
+        const double synShare =
+            r.synOffered ? 100.0 * static_cast<double>(r.synDropped) /
+                               static_cast<double>(r.synOffered)
+                         : 0.0;
+        const double dataEarlyShare =
+            r.dataOffered ? 100.0 * static_cast<double>(r.dataDropped) /
+                                static_cast<double>(r.dataOffered)
+                          : 0.0;
+        table.addRow({r.name, TextTable::num(100.0 * r.ackDropShare(), 2),
+                      TextTable::num(synShare, 2), TextTable::num(dataEarlyShare, 2),
+                      std::to_string(r.rtoEvents), std::to_string(r.synRetries),
+                      std::to_string(r.retransmits), TextTable::num(r.runtimeSec, 3),
+                      TextTable::num(r.throughputPerNodeMbps, 1)});
+    };
+
+    addRow(runExperimentCached(makeDropTailConfig(BufferProfile::Shallow, scale)));
+    for (const PaperSeries s : kAllSeries) {
+        addRow(runExperimentCached(makeSeriesConfig(s, target, BufferProfile::Shallow, scale)));
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nReading: Default modes early-drop a disproportionate share of non-ECT ACKs/SYNs\n"
+        "(data is ECT and only gets marked), causing RTO storms and SYN retries; the\n"
+        "protected modes and the true marking scheme eliminate them.\n");
+    return 0;
+}

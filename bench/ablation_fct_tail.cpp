@@ -1,0 +1,35 @@
+// Ablation A6 — why runtime moves: the shuffle flow-completion-time tail.
+//
+// Job runtime is gated by straggler fetches. This bench shows how each
+// queue mode reshapes the FCT distribution (mean / p50 / p99): default
+// AQMs inflate the tail via RTOs and SYN losses; protection and true
+// marking collapse it.
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+    const Time target = Time::microseconds(200);
+
+    std::printf("A6 — shuffle fetch completion times (shallow buffers, target %s)\n\n",
+                target.toString().c_str());
+    TextTable table({"series", "fct_mean_ms", "fct_p50_ms", "fct_p99_ms", "p99/p50", "runtime_s"});
+    auto addRow = [&](const ExperimentResult& r) {
+        const double ratio = r.fctP50Us > 0 ? r.fctP99Us / r.fctP50Us : 0.0;
+        table.addRow({r.name, TextTable::num(r.fctMeanUs / 1000.0, 2),
+                      TextTable::num(r.fctP50Us / 1000.0, 2), TextTable::num(r.fctP99Us / 1000.0, 2),
+                      TextTable::num(ratio, 1), TextTable::num(r.runtimeSec, 3)});
+    };
+
+    addRow(runExperimentCached(makeDropTailConfig(BufferProfile::Shallow, scale)));
+    for (const PaperSeries s : kAllSeries) {
+        addRow(runExperimentCached(makeSeriesConfig(s, target, BufferProfile::Shallow, scale)));
+    }
+    table.print(std::cout);
+    std::printf("\nReading: the Default modes' p99 fetches run into 10-100ms retransmission\n"
+                "timeouts and SYN retries; the paper's fixes bring p99 back toward p50,\n"
+                "which is what shortens the job.\n");
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Fig. 2 — Hadoop (Terasort) runtime vs RED target delay.
+//
+// As in the paper, both panels are normalized to DropTail with SHALLOW
+// buffers; the deep panel also reports the DropTail-deep reference
+// (the paper's dashed line).
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepResults sweep = loadSweep();
+    const double base = sweep.dropTailShallow.runtimeSec;
+    const auto metric = [](const ExperimentResult& r) { return r.runtimeSec; };
+
+    std::printf("Fig. 2 — Hadoop Runtime (Terasort) vs target delay\n");
+    std::printf("DropTail shallow runtime: %.3f s (= 1.0)\n", base);
+
+    printPanel(sweep, BufferProfile::Shallow, "Fig. 2a — Shallow buffers (runtime)", metric, base,
+               "1.0 = DropTail shallow", /*lowerIsBetter=*/true);
+
+    printPanel(sweep, BufferProfile::Deep, "Fig. 2b — Deep buffers (runtime)", metric, base,
+               "1.0 = DropTail shallow", /*lowerIsBetter=*/true);
+    std::printf("dashed-line reference: DropTail deep = %.3f (runtime %.3f s)\n",
+                sweep.dropTailDeep.runtimeSec / base, sweep.dropTailDeep.runtimeSec);
+    return 0;
+}

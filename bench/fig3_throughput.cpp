@@ -1,0 +1,25 @@
+// Fig. 3 — Cluster throughput (average per node) vs RED target delay,
+// normalized to DropTail with shallow buffers as in the paper.
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepResults sweep = loadSweep();
+    const double base = sweep.dropTailShallow.throughputPerNodeMbps;
+    const auto metric = [](const ExperimentResult& r) { return r.throughputPerNodeMbps; };
+
+    std::printf("Fig. 3 — Cluster Throughput (avg per node) vs target delay\n");
+    std::printf("DropTail shallow throughput: %.1f Mbps/node (= 1.0)\n", base);
+
+    printPanel(sweep, BufferProfile::Shallow, "Fig. 3a — Shallow buffers (throughput)", metric,
+               base, "1.0 = DropTail shallow", /*lowerIsBetter=*/false);
+
+    printPanel(sweep, BufferProfile::Deep, "Fig. 3b — Deep buffers (throughput)", metric, base,
+               "1.0 = DropTail shallow", /*lowerIsBetter=*/false);
+    std::printf("dashed-line reference: DropTail deep = %.3f (%.1f Mbps/node)\n",
+                sweep.dropTailDeep.throughputPerNodeMbps / base,
+                sweep.dropTailDeep.throughputPerNodeMbps);
+    return 0;
+}

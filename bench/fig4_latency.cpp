@@ -1,0 +1,30 @@
+// Fig. 4 — Average end-to-end per-packet network latency vs target delay.
+//
+// Following the paper, each panel is normalized to DropTail with the SAME
+// buffer depth (bufferbloat analysed separately per depth); the deep panel
+// also reports the much lower DropTail-shallow latency (dashed line).
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepResults sweep = loadSweep();
+    const auto metric = [](const ExperimentResult& r) { return r.avgLatencyUs; };
+
+    std::printf("Fig. 4 — Network Latency (avg per packet) vs target delay\n");
+    std::printf("DropTail shallow latency: %.1f us | DropTail deep latency: %.1f us\n",
+                sweep.dropTailShallow.avgLatencyUs, sweep.dropTailDeep.avgLatencyUs);
+
+    printPanel(sweep, BufferProfile::Shallow, "Fig. 4a — Shallow buffers (latency)", metric,
+               sweep.dropTailShallow.avgLatencyUs, "1.0 = DropTail shallow",
+               /*lowerIsBetter=*/true);
+
+    printPanel(sweep, BufferProfile::Deep, "Fig. 4b — Deep buffers (latency)", metric,
+               sweep.dropTailDeep.avgLatencyUs, "1.0 = DropTail deep",
+               /*lowerIsBetter=*/true);
+    std::printf("dashed-line reference: DropTail shallow = %.3f of DropTail deep (%.1f us)\n",
+                sweep.dropTailShallow.avgLatencyUs / sweep.dropTailDeep.avgLatencyUs,
+                sweep.dropTailShallow.avgLatencyUs);
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Shared harness for the figure-reproduction binaries: runs (or loads from
+// the on-disk cache) the paper sweep and prints normalized series tables.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "src/core/report.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+namespace ecnsim::bench {
+
+inline SweepResults loadSweep() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+    std::fprintf(stderr,
+                 "[sweep] nodes=%d input=%lldMiB/node repeats=%d link=%s "
+                 "(override via ECNSIM_NODES/ECNSIM_INPUT_MB/ECNSIM_REPEATS)\n",
+                 scale.numNodes, static_cast<long long>(scale.inputBytesPerNode / (1024 * 1024)),
+                 scale.repeats, scale.linkRate.toString().c_str());
+    int runs = 0;
+    return runPaperSweep(scale, [&runs](const std::string& line) {
+        ++runs;
+        std::fprintf(stderr, "[%3d/114] %s\n", runs, line.c_str());
+    });
+}
+
+/// Print one figure panel: rows = series, columns = target delays, values
+/// normalized by `baseline` via `metric`. Matches the paper's presentation
+/// (normalized to DropTail).
+inline void printPanel(const SweepResults& sweep, BufferProfile buffers,
+                       const std::string& title,
+                       const std::function<double(const ExperimentResult&)>& metric,
+                       double baselineValue, const std::string& baselineNote,
+                       bool lowerIsBetter) {
+    std::vector<std::string> headers{"series"};
+    for (const Time t : paperTargetDelays()) headers.push_back(t.toString());
+    TextTable table(std::move(headers));
+    for (const PaperSeries s : kAllSeries) {
+        std::vector<std::string> row{paperSeriesName(s)};
+        for (const Time t : paperTargetDelays()) {
+            const auto& r = sweep.at(s, buffers, t);
+            row.push_back(TextTable::num(metric(r) / baselineValue, 3) +
+                          (r.timedOut ? "!" : ""));
+        }
+        table.addRow(std::move(row));
+    }
+    std::cout << "\n=== " << title << " ===\n"
+              << "(normalized; " << baselineNote << "; "
+              << (lowerIsBetter ? "lower" : "higher") << " is better)\n"
+              << table.toString();
+}
+
+}  // namespace ecnsim::bench

@@ -1,0 +1,161 @@
+// A3 — google-benchmark microbenchmarks of the simulator substrate:
+// event-loop throughput, queue operations, RED decisions, TCP transfers.
+#include <benchmark/benchmark.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/aqm/red.hpp"
+#include "src/aqm/simple_marking.hpp"
+#include "src/net/topology.hpp"
+#include "src/tcp/apps.hpp"
+
+namespace {
+
+using namespace ecnsim;
+using namespace ecnsim::time_literals;
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+    const auto kind = state.range(1) == 1 ? SchedulerKind::Calendar : SchedulerKind::BinaryHeap;
+    for (auto _ : state) {
+        Simulator sim(1, kind);
+        const int n = static_cast<int>(state.range(0));
+        int fired = 0;
+        for (int i = 0; i < n; ++i) {
+            sim.schedule(Time::nanoseconds(i % 1000), [&fired] { ++fired; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetLabel(kind == SchedulerKind::Calendar ? "calendar" : "binary-heap");
+}
+BENCHMARK(BM_EventLoopThroughput)
+    ->Args({10'000, 0})
+    ->Args({100'000, 0})
+    ->Args({10'000, 1})
+    ->Args({100'000, 1});
+
+// Steady-state pattern closer to a packet simulation: a rolling horizon of
+// pending events, one pop triggering one push.
+void BM_EventLoopRollingHorizon(benchmark::State& state) {
+    const auto kind = state.range(0) == 1 ? SchedulerKind::Calendar : SchedulerKind::BinaryHeap;
+    for (auto _ : state) {
+        Simulator sim(1, kind);
+        int remaining = 200'000;
+        std::function<void()> hop = [&] {
+            if (--remaining > 0) {
+                sim.schedule(Time::nanoseconds(1'000 + remaining % 7'000), hop);
+            }
+        };
+        for (int i = 0; i < 1'000; ++i) {
+            sim.schedule(Time::nanoseconds(i * 13 % 5'000), hop);
+        }
+        sim.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * 200'000);
+    state.SetLabel(kind == SchedulerKind::Calendar ? "calendar" : "binary-heap");
+}
+BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1);
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+    Simulator sim(1);
+    for (auto _ : state) {
+        auto h = sim.schedule(1_s, [] {});
+        h.cancel();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+PacketPtr makeData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = tcp_flags::Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+    DropTailQueue q(1024);
+    Time now;
+    for (auto _ : state) {
+        q.enqueue(makeData(), now);
+        benchmark::DoNotOptimize(q.dequeue(now));
+        now += 1_us;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_RedDecision(benchmark::State& state) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 1024;
+    cfg.minTh = 20;
+    cfg.maxTh = 60;
+    RedQueue q(cfg, rng);
+    Time now;
+    for (int i = 0; i < 40; ++i) q.enqueue(makeData(), now);  // sit near minTh
+    for (auto _ : state) {
+        q.enqueue(makeData(), now);
+        benchmark::DoNotOptimize(q.dequeue(now));
+        now += 1_us;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedDecision);
+
+void BM_SimpleMarkingDecision(benchmark::State& state) {
+    SimpleMarkingQueue q({.capacityPackets = 1024, .markThresholdPackets = 20});
+    Time now;
+    for (int i = 0; i < 30; ++i) q.enqueue(makeData(), now);
+    for (auto _ : state) {
+        q.enqueue(makeData(), now);
+        benchmark::DoNotOptimize(q.dequeue(now));
+        now += 1_us;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimpleMarkingDecision);
+
+void BM_PacketAllocation(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(makePacket());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketAllocation);
+
+// Full-stack: one 1 MiB TCP transfer across a 2-host star, reported as
+// simulated events per second of wall time.
+void BM_TcpTransferFullStack(benchmark::State& state) {
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Simulator sim(1);
+        Network net(sim);
+        QueueConfig q;
+        q.kind = QueueKind::DropTail;
+        q.capacityPackets = 256;
+        TopologyConfig topo;
+        topo.switchQueue = makeQueueFactory(q, sim.rng());
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(1000); };
+        auto hosts = buildStar(net, 2, topo);
+        TcpConfig tcp = TcpConfig::forTransport(TransportKind::EcnTcp);
+        TcpStack a(net, *hosts[0], tcp), b(net, *hosts[1], tcp);
+        SinkServer sink(b, 9000);
+        BulkSender flow(a, hosts[1]->id(), 9000, 1024 * 1024);
+        sim.runUntil(1_s);
+        events += sim.eventsExecuted();
+        benchmark::DoNotOptimize(sink.totalReceived());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["events"] = static_cast<double>(events) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TcpTransferFullStack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

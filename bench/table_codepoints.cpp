@@ -1,0 +1,42 @@
+// Tables I and II of the paper, regenerated from the implementation's
+// actual header encodings (a consistency check, not a measurement).
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/report.hpp"
+#include "src/net/ecn.hpp"
+
+using namespace ecnsim;
+
+int main() {
+    std::printf("TABLE I — ECN codepoints on TCP header\n");
+    TextTable t1({"Codepoint", "Name", "Description"});
+    char buf[8];
+    auto bits2 = [&buf](unsigned v) {
+        std::snprintf(buf, sizeof buf, "%u%u", (v >> 1) & 1, v & 1);
+        return std::string(buf);
+    };
+    // ECE occupies bit 6, CWR bit 7 of the TCP flags byte; the paper's
+    // two-bit "codepoint" column shows them as 01 / 10.
+    t1.addRow({bits2(0b01), "ECE", "ECN-Echo flag"});
+    t1.addRow({bits2(0b10), "CWR", "Congestion Window Reduced"});
+    t1.print(std::cout);
+    std::printf("  implementation: ECE=0x%02X CWR=0x%02X (TCP flag bits)\n\n",
+                tcp_flags::Ece, tcp_flags::Cwr);
+
+    std::printf("TABLE II — ECN codepoints on IP header\n");
+    TextTable t2({"Codepoint", "Name", "Description"});
+    const EcnCodepoint all[] = {EcnCodepoint::NotEct, EcnCodepoint::Ect0, EcnCodepoint::Ect1,
+                                EcnCodepoint::Ce};
+    const char* desc[] = {"Non ECN-Capable Transport", "ECN Capable Transport",
+                          "ECN Capable Transport", "Congestion Encountered"};
+    int i = 0;
+    for (const auto cp : all) {
+        t2.addRow({bits2(static_cast<unsigned>(cp)), std::string(ecnCodepointName(cp)), desc[i++]});
+    }
+    t2.print(std::cout);
+    std::printf("  isEctCapable: Non-ECT=%d ECT(0)=%d ECT(1)=%d CE=%d\n",
+                isEctCapable(EcnCodepoint::NotEct), isEctCapable(EcnCodepoint::Ect0),
+                isEctCapable(EcnCodepoint::Ect1), isEctCapable(EcnCodepoint::Ce));
+    return 0;
+}

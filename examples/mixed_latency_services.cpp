@@ -1,0 +1,112 @@
+// The paper's motivating scenario (§I): latency-sensitive services sharing
+// the cluster fabric with a Hadoop batch job. Probe "RPC" packets ride the
+// same queues as the shuffle; we compare their latency under DropTail,
+// stock RED+ECN, protected RED, and the true simple marking scheme.
+//
+//   ./mixed_latency_services [nodes] [input_mib_per_node]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/core/report.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+#include "src/tcp/apps.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::time_literals;
+
+namespace {
+
+struct Scenario {
+    std::string name;
+    QueueKind queue;
+    ProtectionMode protection;
+};
+
+struct Outcome {
+    double jobRuntimeSec;
+    double probeMeanUs;
+    double probeP99Us;
+    double shuffleTputMbps;
+};
+
+Outcome runScenario(const Scenario& sc, int nodes, std::int64_t inputPerNode) {
+    Simulator sim(99);
+    Network net(sim);
+
+    QueueConfig sq;
+    sq.kind = sc.queue;
+    sq.capacityPackets = 100;
+    sq.targetDelay = 300_us;
+    sq.linkRate = Bandwidth::gigabitsPerSecond(1);
+    sq.protection = sc.protection;
+    sq.redVariant = RedVariant::DctcpMimic;
+
+    TopologyConfig topo;
+    topo.linkRate = sq.linkRate;
+    topo.switchQueue = makeQueueFactory(sq, sim.rng());
+    topo.hostQueue = [] { return std::make_unique<DropTailQueue>(1000); };
+    auto hosts = buildStar(net, nodes, topo);
+
+    ClusterSpec cluster;
+    cluster.numNodes = nodes;
+    JobSpec job = terasortJob(nodes, inputPerNode, cluster.mapSlotsPerNode,
+                              cluster.reduceSlotsPerNode);
+    MapReduceEngine engine(net, hosts, cluster, job, TcpConfig::forTransport(TransportKind::Dctcp));
+    engine.setOnComplete([&] { sim.stop(); });
+
+    // Latency-sensitive "service" traffic: every host pings its neighbour
+    // with small RPC-like probes every 200 us, through the shared fabric.
+    std::vector<std::unique_ptr<ProbeApp>> probes;
+    for (int i = 0; i < nodes; ++i) {
+        probes.push_back(std::make_unique<ProbeApp>(
+            net, *hosts[static_cast<std::size_t>(i)],
+            hosts[static_cast<std::size_t>((i + 1) % nodes)]->id(), 200_us,
+            /*sizeBytes=*/200, /*ectCapable=*/false));
+        probes.back()->start();
+    }
+
+    engine.start();
+    sim.runUntil(600_s);
+
+    const auto& probeLat = net.telemetry().latencyOf(PacketClass::Probe);
+    return Outcome{engine.metrics().runtime().toSeconds(), probeLat.mean(),
+                   net.telemetry().latencyQuantileUs(0.99),
+                   engine.metrics().throughputPerNodeMbps(nodes)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const int nodes = argc > 1 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 8;
+    const std::int64_t input =
+        (argc > 2 ? std::strtoll(argv[2], nullptr, 10) : 12) * 1024 * 1024;
+
+    std::printf("Mixed cluster: Terasort (DCTCP) + latency-sensitive probe services\n");
+    std::printf("%d nodes, %.0f MiB/node shuffle, commodity (100-pkt) switch buffers\n\n",
+                nodes, static_cast<double>(input) / (1024 * 1024));
+
+    const Scenario scenarios[] = {
+        {"DropTail", QueueKind::DropTail, ProtectionMode::Default},
+        {"RED+ECN stock", QueueKind::Red, ProtectionMode::Default},
+        {"RED+ECN ECE-bit", QueueKind::Red, ProtectionMode::ProtectEce},
+        {"RED+ECN ACK+SYN", QueueKind::Red, ProtectionMode::ProtectAckSyn},
+        {"True marking", QueueKind::SimpleMarking, ProtectionMode::Default},
+    };
+
+    TextTable table({"switch queue", "job runtime s", "probe mean us", "p99 us", "tput Mbps/node"});
+    for (const auto& sc : scenarios) {
+        const auto o = runScenario(sc, nodes, input);
+        table.addRow({sc.name, TextTable::num(o.jobRuntimeSec, 3), TextTable::num(o.probeMeanUs, 1),
+                      TextTable::num(o.probeP99Us, 1), TextTable::num(o.shuffleTputMbps, 1)});
+        std::fprintf(stderr, "[done] %s\n", sc.name.c_str());
+    }
+    table.print(std::cout);
+    std::printf("\nThe service probes see DropTail's standing queue; the marking scheme and\n"
+                "the protected AQM give them millisecond-to-microsecond relief without\n"
+                "sacrificing the batch job (the paper's headline trade-off).\n");
+    return 0;
+}

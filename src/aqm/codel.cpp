@@ -1,0 +1,81 @@
+#include "src/aqm/codel.hpp"
+
+#include <cmath>
+
+namespace ecnsim {
+
+Time CoDelQueue::controlLaw(Time t, Time interval, unsigned count) {
+    return t + Time::nanoseconds(
+                   static_cast<std::int64_t>(static_cast<double>(interval.ns()) /
+                                             std::sqrt(static_cast<double>(count))));
+}
+
+bool CoDelQueue::shouldAct(const Packet& head, Time now) {
+    const Time sojourn = now - head.enqueuedAt;
+    if (sojourn < cfg_.target || lengthPackets() <= 1) {
+        firstAboveTime_ = Time::zero();
+        return false;
+    }
+    if (firstAboveTime_.isZero()) {
+        firstAboveTime_ = now + cfg_.interval;
+        return false;
+    }
+    return now >= firstAboveTime_;
+}
+
+PacketPtr CoDelQueue::dequeue(Time now) {
+    PacketPtr p = popHead(now);
+    if (!p) {
+        dropping_ = false;
+        firstAboveTime_ = Time::zero();
+        return nullptr;
+    }
+
+    auto act = [&](PacketPtr victim) -> PacketPtr {
+        // Mark instead of drop when possible; protected packets pass.
+        if (cfg_.ecnEnabled && isEctCapable(victim->ecn)) {
+            victim->ecn = EcnCodepoint::Ce;
+            return victim;
+        }
+        if (isProtectedFromEarlyDrop(*victim, cfg_.protection)) return victim;
+        // Account as an early drop and try the next packet.
+        mutableStats().record(victim->klass(), victim->sizeBytes, EnqueueOutcome::DroppedEarly);
+        return nullptr;
+    };
+
+    if (dropping_) {
+        if (!shouldAct(*p, now)) {
+            dropping_ = false;
+            return p;
+        }
+        while (now >= dropNext_ && dropping_) {
+            PacketPtr kept = act(std::move(p));
+            ++count_;
+            if (kept) {
+                dropNext_ = controlLaw(dropNext_, cfg_.interval, count_);
+                return kept;
+            }
+            p = popHead(now);
+            if (!p || !shouldAct(*p, now)) {
+                dropping_ = false;
+                return p;
+            }
+            dropNext_ = controlLaw(dropNext_, cfg_.interval, count_);
+        }
+        return p;
+    }
+
+    if (shouldAct(*p, now)) {
+        dropping_ = true;
+        // Restart close to the previous rate if we were recently dropping.
+        count_ = (count_ > 2 && (now - dropNext_) < cfg_.interval * 8) ? count_ - 2 : 1;
+        lastCount_ = count_;
+        dropNext_ = controlLaw(now, cfg_.interval, count_);
+        PacketPtr kept = act(std::move(p));
+        if (kept) return kept;
+        return popHead(now);
+    }
+    return p;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,57 @@
+// CoDel (RFC 8289) with ECN marking and early-drop protection — an
+// extension beyond the paper's RED experiments, used by the AQM-family
+// ablation (DESIGN.md A2).
+#pragma once
+
+#include "src/aqm/protection.hpp"
+#include "src/aqm/queue_base.hpp"
+
+namespace ecnsim {
+
+struct CoDelConfig {
+    std::size_t capacityPackets = 100;
+    /// Optional physical byte limit on top of the packet limit (0 = off);
+    /// models switches that carve buffer space in bytes per port.
+    std::int64_t capacityBytes = 0;
+    Time target = Time::microseconds(500);   ///< acceptable standing sojourn
+    Time interval = Time::milliseconds(10);  ///< sliding window for minimum
+    bool ecnEnabled = true;
+    ProtectionMode protection = ProtectionMode::Default;
+};
+
+/// Controlled Delay AQM. Acts at dequeue on the head packet's sojourn
+/// time. With ECN, "drop" becomes "mark" for ECT-capable packets; the
+/// protection policy shields the paper's packet classes from head drops.
+class CoDelQueue final : public QueueBase {
+public:
+    explicit CoDelQueue(const CoDelConfig& cfg) : QueueBase(cfg.capacityPackets, cfg.capacityBytes), cfg_(cfg) {}
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override {
+        if (wouldOverflow(*pkt)) {
+            reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+            return EnqueueOutcome::DroppedOverflow;
+        }
+        accept(std::move(pkt), now, /*marked=*/false);
+        return EnqueueOutcome::Enqueued;
+    }
+
+    PacketPtr dequeue(Time now) override;
+
+    std::string name() const override { return "CoDel"; }
+    const CoDelConfig& config() const { return cfg_; }
+
+private:
+    /// Sojourn check: returns true when the head packet is "above target"
+    /// continuously for an interval (RFC 8289 dodeque logic).
+    bool shouldAct(const Packet& head, Time now);
+    static Time controlLaw(Time t, Time interval, unsigned count);
+
+    CoDelConfig cfg_;
+    Time firstAboveTime_ = Time::zero();
+    Time dropNext_ = Time::zero();
+    unsigned count_ = 0;
+    unsigned lastCount_ = 0;
+    bool dropping_ = false;
+};
+
+}  // namespace ecnsim

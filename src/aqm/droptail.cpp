@@ -1,0 +1,3 @@
+#include "src/aqm/droptail.hpp"
+
+namespace ecnsim {}

@@ -1,0 +1,25 @@
+// DropTail: the paper's baseline queue. Accept until full, then drop.
+#pragma once
+
+#include "src/aqm/queue_base.hpp"
+
+namespace ecnsim {
+
+class DropTailQueue final : public QueueBase {
+public:
+    explicit DropTailQueue(std::size_t capacityPackets, std::int64_t capacityBytes = 0)
+        : QueueBase(capacityPackets, capacityBytes) {}
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override {
+        if (wouldOverflow(*pkt)) {
+            reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+            return EnqueueOutcome::DroppedOverflow;
+        }
+        accept(std::move(pkt), now, /*marked=*/false);
+        return EnqueueOutcome::Enqueued;
+    }
+
+    std::string name() const override { return "DropTail"; }
+};
+
+}  // namespace ecnsim

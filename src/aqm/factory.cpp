@@ -1,0 +1,73 @@
+#include "src/aqm/factory.hpp"
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/priority.hpp"
+
+namespace ecnsim {
+
+std::string QueueConfig::describe() const {
+    std::string s{queueKindName(kind)};
+    if (kind != QueueKind::DropTail) {
+        s += "(target=" + targetDelay.toString();
+        s += ",prot=" + std::string(protectionModeName(protection));
+        if (kind == QueueKind::Red) {
+            s += redVariant == RedVariant::DctcpMimic ? ",mimic" : ",classic";
+        }
+        s += ecnEnabled ? ",ecn" : ",noecn";
+        s += ")";
+    }
+    s += " cap=" + std::to_string(capacityPackets) + "p";
+    if (capacityBytes > 0) s += "/" + std::to_string(capacityBytes) + "B";
+    return s;
+}
+
+std::unique_ptr<Queue> makeQueue(const QueueConfig& cfg, Rng& rng) {
+    switch (cfg.kind) {
+        case QueueKind::DropTail:
+            return std::make_unique<DropTailQueue>(cfg.capacityPackets, cfg.capacityBytes);
+        case QueueKind::Red: {
+            auto red = redForTargetDelay(cfg.targetDelay, cfg.linkRate, cfg.capacityPackets,
+                                         cfg.redVariant, cfg.protection, cfg.ecnEnabled,
+                                         cfg.meanPktBytes);
+            red.capacityBytes = cfg.capacityBytes;
+            return std::make_unique<RedQueue>(red, rng);
+        }
+        case QueueKind::SimpleMarking: {
+            auto sm = simpleMarkingForTargetDelay(cfg.targetDelay, cfg.linkRate,
+                                                  cfg.capacityPackets, cfg.meanPktBytes);
+            sm.capacityBytes = cfg.capacityBytes;
+            return std::make_unique<SimpleMarkingQueue>(sm);
+        }
+        case QueueKind::CoDel: {
+            auto cd = codelForTargetDelay(cfg.targetDelay, cfg.capacityPackets, cfg.protection,
+                                          cfg.ecnEnabled);
+            cd.capacityBytes = cfg.capacityBytes;
+            return std::make_unique<CoDelQueue>(cd);
+        }
+        case QueueKind::Pie: {
+            auto pie = pieForTargetDelay(cfg.targetDelay, cfg.linkRate, cfg.capacityPackets,
+                                         cfg.protection, cfg.ecnEnabled);
+            pie.capacityBytes = cfg.capacityBytes;
+            return std::make_unique<PieQueue>(pie, rng);
+        }
+        case QueueKind::Wred: {
+            auto wred = wredForTargetDelay(cfg.targetDelay, cfg.linkRate, cfg.capacityPackets,
+                                           cfg.ecnEnabled, cfg.meanPktBytes);
+            wred.capacityBytes = cfg.capacityBytes;
+            return std::make_unique<WredQueue>(wred, rng);
+        }
+        case QueueKind::ControlPriority: {
+            QueueConfig inner = cfg;
+            inner.kind = QueueKind::Red;
+            return std::make_unique<ControlPriorityQueue>(
+                ControlPriorityConfig{.controlCapacityPackets = 64}, makeQueue(inner, rng));
+        }
+    }
+    throw std::invalid_argument("unknown queue kind");
+}
+
+QueueFactory makeQueueFactory(const QueueConfig& cfg, Rng& rng) {
+    return [cfg, &rng] { return makeQueue(cfg, rng); };
+}
+
+}  // namespace ecnsim

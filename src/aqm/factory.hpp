@@ -1,0 +1,63 @@
+// Uniform construction of queue disciplines from a declarative config —
+// the knob set the experiment framework sweeps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/aqm/target_delay.hpp"
+#include "src/net/queue.hpp"
+#include "src/sim/random.hpp"
+
+namespace ecnsim {
+
+enum class QueueKind {
+    DropTail,
+    Red,
+    SimpleMarking,
+    CoDel,
+    Pie,
+    /// WRED: per-class drop curves, laxer for non-ECT control traffic.
+    Wred,
+    /// Strict-priority control FIFO in front of a RED data queue.
+    ControlPriority,
+};
+
+constexpr std::string_view queueKindName(QueueKind k) {
+    switch (k) {
+        case QueueKind::DropTail: return "DropTail";
+        case QueueKind::Red: return "RED";
+        case QueueKind::SimpleMarking: return "SimpleMarking";
+        case QueueKind::CoDel: return "CoDel";
+        case QueueKind::Pie: return "PIE";
+        case QueueKind::Wred: return "WRED";
+        case QueueKind::ControlPriority: return "CtrlPrio";
+    }
+    return "?";
+}
+
+struct QueueConfig {
+    QueueKind kind = QueueKind::DropTail;
+    std::size_t capacityPackets = 100;
+    /// Optional byte limit (0 = packet limit only); the paper discusses
+    /// buffer density per port in bytes ("1 MB per port").
+    std::int64_t capacityBytes = 0;
+    /// AQM aggressiveness; ignored by DropTail.
+    Time targetDelay = Time::microseconds(500);
+    /// Egress line rate, used to convert the target delay into thresholds.
+    Bandwidth linkRate = Bandwidth::gigabitsPerSecond(1);
+    double meanPktBytes = 1500.0;
+    bool ecnEnabled = true;
+    ProtectionMode protection = ProtectionMode::Default;
+    RedVariant redVariant = RedVariant::Classic;
+
+    std::string describe() const;
+};
+
+/// Build one queue instance. `rng` must outlive the queue.
+std::unique_ptr<Queue> makeQueue(const QueueConfig& cfg, Rng& rng);
+
+/// Factory handed to topology builders; every created queue shares `rng`.
+QueueFactory makeQueueFactory(const QueueConfig& cfg, Rng& rng);
+
+}  // namespace ecnsim

@@ -1,0 +1,66 @@
+#include "src/aqm/pie.hpp"
+
+#include <algorithm>
+
+namespace ecnsim {
+
+void PieQueue::maybeUpdateProbability(Time now) {
+    if (now - lastUpdate_ < cfg_.updateInterval) return;
+    lastUpdate_ = now;
+
+    const Time delay = queueDelay();
+
+    // RFC 8033 auto-tuning: scale gains down while p is small so the
+    // controller is gentle at low load.
+    double scale = 1.0;
+    if (p_ < 0.000001) scale = 1.0 / 2048.0;
+    else if (p_ < 0.00001) scale = 1.0 / 512.0;
+    else if (p_ < 0.0001) scale = 1.0 / 128.0;
+    else if (p_ < 0.001) scale = 1.0 / 32.0;
+    else if (p_ < 0.01) scale = 1.0 / 8.0;
+    else if (p_ < 0.1) scale = 1.0 / 2.0;
+
+    const double dTarget = (delay - cfg_.target).toSeconds();
+    const double dTrend = (delay - oldDelay_).toSeconds();
+    p_ += scale * (cfg_.alpha * dTarget + cfg_.beta * dTrend);
+    p_ = std::clamp(p_, 0.0, 1.0);
+
+    // Exponential decay when the queue is idle-ish.
+    if (delay.isZero() && oldDelay_.isZero()) p_ *= 0.98;
+
+    oldDelay_ = delay;
+    if (inBurstAllowance_ && now >= cfg_.burstAllowance) inBurstAllowance_ = false;
+}
+
+EnqueueOutcome PieQueue::enqueue(PacketPtr pkt, Time now) {
+    maybeUpdateProbability(now);
+
+    if (wouldOverflow(*pkt)) {
+        reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+        return EnqueueOutcome::DroppedOverflow;
+    }
+
+    const bool act = !inBurstAllowance_ && p_ > 0.0 && rng_.uniform01() < p_;
+    if (act) {
+        if (cfg_.ecnEnabled && isEctCapable(pkt->ecn) && p_ < cfg_.markEcnThreshold) {
+            accept(std::move(pkt), now, /*marked=*/true);
+            return EnqueueOutcome::Marked;
+        }
+        if (cfg_.ecnEnabled && isEctCapable(pkt->ecn)) {
+            // Above the mark threshold PIE drops even ECT traffic.
+            reject(*pkt, now, EnqueueOutcome::DroppedEarly);
+            return EnqueueOutcome::DroppedEarly;
+        }
+        if (isProtectedFromEarlyDrop(*pkt, cfg_.protection)) {
+            accept(std::move(pkt), now, /*marked=*/false);
+            return EnqueueOutcome::Enqueued;
+        }
+        reject(*pkt, now, EnqueueOutcome::DroppedEarly);
+        return EnqueueOutcome::DroppedEarly;
+    }
+
+    accept(std::move(pkt), now, /*marked=*/false);
+    return EnqueueOutcome::Enqueued;
+}
+
+}  // namespace ecnsim

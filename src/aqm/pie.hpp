@@ -1,0 +1,63 @@
+// PIE — Proportional Integral controller Enhanced (RFC 8033), with ECN
+// marking and early-drop protection. Ablation extension (DESIGN.md A2).
+#pragma once
+
+#include "src/aqm/protection.hpp"
+#include "src/aqm/queue_base.hpp"
+#include "src/sim/random.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+struct PieConfig {
+    std::size_t capacityPackets = 100;
+    /// Optional physical byte limit on top of the packet limit (0 = off);
+    /// models switches that carve buffer space in bytes per port.
+    std::int64_t capacityBytes = 0;
+    Time target = Time::microseconds(500);   ///< queue-delay reference
+    Time updateInterval = Time::milliseconds(4);
+    double alpha = 0.125;  ///< integral gain, per RFC 8033 §4.2
+    double beta = 1.25;    ///< proportional gain
+    /// Departure rate used to convert backlog bytes to delay. PIE proper
+    /// estimates this online; with a fixed-rate egress port the line rate
+    /// is exact.
+    Bandwidth drainRate = Bandwidth::gigabitsPerSecond(1);
+    bool ecnEnabled = true;
+    /// RFC 8033 §5.1: only mark (rather than drop) ECT packets while the
+    /// drop probability is below this bound.
+    double markEcnThreshold = 0.1;
+    /// Grace period after startup during which PIE never acts (RFC 8033
+    /// burst allowance). The RFC default of 150 ms suits WAN links; data
+    /// center deployments shrink it along with the update interval.
+    Time burstAllowance = Time::milliseconds(150);
+    ProtectionMode protection = ProtectionMode::Default;
+};
+
+/// Drop probability is updated lazily on the enqueue path whenever at least
+/// one update interval has elapsed — equivalent to the RFC's timer under
+/// sustained load, and free of timer plumbing.
+class PieQueue final : public QueueBase {
+public:
+    PieQueue(const PieConfig& cfg, Rng& rng) : QueueBase(cfg.capacityPackets, cfg.capacityBytes), cfg_(cfg), rng_(rng) {}
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override;
+
+    std::string name() const override { return "PIE"; }
+    double dropProbability() const { return p_; }
+    const PieConfig& config() const { return cfg_; }
+
+private:
+    void maybeUpdateProbability(Time now);
+    Time queueDelay() const {
+        return cfg_.drainRate.transmissionTime(lengthBytes());
+    }
+
+    PieConfig cfg_;
+    Rng& rng_;
+    double p_ = 0.0;
+    Time lastUpdate_ = Time::zero();
+    Time oldDelay_ = Time::zero();
+    bool inBurstAllowance_ = true;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,63 @@
+#include "src/aqm/priority.hpp"
+
+#include <stdexcept>
+
+namespace ecnsim {
+
+ControlPriorityQueue::ControlPriorityQueue(const ControlPriorityConfig& cfg,
+                                           std::unique_ptr<Queue> dataQueue)
+    : cfg_(cfg), data_(std::move(dataQueue)) {
+    if (!data_) throw std::invalid_argument("ControlPriorityQueue needs a data queue");
+    if (cfg_.controlCapacityPackets == 0) {
+        throw std::invalid_argument("control FIFO needs capacity");
+    }
+}
+
+EnqueueOutcome ControlPriorityQueue::enqueue(PacketPtr pkt, Time now) {
+    if (isControl(*pkt)) {
+        if (control_.size() >= cfg_.controlCapacityPackets) {
+            stats_.record(pkt->klass(), pkt->sizeBytes, EnqueueOutcome::DroppedOverflow);
+            if (observer() != nullptr) {
+                observer()->onEnqueue(*this, *pkt, EnqueueOutcome::DroppedOverflow, now);
+            }
+            return EnqueueOutcome::DroppedOverflow;
+        }
+        pkt->enqueuedAt = now;
+        stats_.record(pkt->klass(), pkt->sizeBytes, EnqueueOutcome::Enqueued);
+        if (observer() != nullptr) {
+            observer()->onEnqueue(*this, *pkt, EnqueueOutcome::Enqueued, now);
+        }
+        controlBytes_ += pkt->sizeBytes;
+        control_.push_back(std::move(pkt));
+        return EnqueueOutcome::Enqueued;
+    }
+    // Data path: delegate to the inner discipline, mirror its accounting
+    // into the combined stats so callers see one queue.
+    const Packet& ref = *pkt;
+    const auto klass = ref.klass();
+    const auto size = ref.sizeBytes;
+    const auto outcome = data_->enqueue(std::move(pkt), now);
+    stats_.record(klass, size, outcome);
+    return outcome;
+}
+
+PacketPtr ControlPriorityQueue::dequeue(Time now) {
+    if (!control_.empty()) {
+        PacketPtr p = std::move(control_.front());
+        control_.pop_front();
+        controlBytes_ -= p->sizeBytes;
+        if (observer() != nullptr) observer()->onDequeue(*this, *p, now);
+        return p;
+    }
+    return data_->dequeue(now);
+}
+
+std::vector<const Packet*> ControlPriorityQueue::contents() const {
+    std::vector<const Packet*> out;
+    out.reserve(lengthPackets());
+    for (const auto& p : control_) out.push_back(p.get());
+    for (const Packet* p : data_->contents()) out.push_back(p);
+    return out;
+}
+
+}  // namespace ecnsim

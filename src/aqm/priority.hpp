@@ -1,0 +1,64 @@
+// Strict-priority control-plane queueing: a second operator-side remedy.
+//
+// Small control packets (pure ACK / SYN / SYN-ACK / FIN) go to a dedicated
+// high-priority FIFO that bypasses the data queue entirely, so they can
+// neither be early-dropped by the data AQM nor sit behind a full window of
+// data. The data class still runs any inner discipline (RED, marking, ...).
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "src/net/queue.hpp"
+
+namespace ecnsim {
+
+struct ControlPriorityConfig {
+    /// Slots reserved for the control FIFO (on top of the inner queue's
+    /// own capacity; switches carve QoS buffers the same way).
+    std::size_t controlCapacityPackets = 64;
+};
+
+class ControlPriorityQueue final : public Queue {
+public:
+    ControlPriorityQueue(const ControlPriorityConfig& cfg, std::unique_ptr<Queue> dataQueue);
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override;
+    PacketPtr dequeue(Time now) override;
+
+    std::size_t lengthPackets() const override {
+        return control_.size() + data_->lengthPackets();
+    }
+    std::int64_t lengthBytes() const override { return controlBytes_ + data_->lengthBytes(); }
+    std::size_t capacityPackets() const override {
+        return cfg_.controlCapacityPackets + data_->capacityPackets();
+    }
+
+    std::vector<const Packet*> contents() const override;
+    const QueueStats& stats() const override { return stats_; }
+    std::string name() const override { return "CtrlPrio+" + data_->name(); }
+
+    std::size_t controlBacklog() const { return control_.size(); }
+    const Queue& dataQueue() const { return *data_; }
+
+private:
+    static bool isControl(const Packet& p) {
+        switch (p.klass()) {
+            case PacketClass::PureAck:
+            case PacketClass::Syn:
+            case PacketClass::SynAck:
+            case PacketClass::Fin:
+                return true;
+            default:
+                return false;
+        }
+    }
+
+    ControlPriorityConfig cfg_;
+    std::unique_ptr<Queue> data_;
+    std::deque<PacketPtr> control_;
+    std::int64_t controlBytes_ = 0;
+    QueueStats stats_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,22 @@
+#include "src/aqm/protection.hpp"
+
+namespace ecnsim {
+
+bool isProtectedFromEarlyDrop(const Packet& pkt, ProtectionMode mode) {
+    switch (mode) {
+        case ProtectionMode::Default:
+            return false;
+        case ProtectionMode::ProtectEce:
+            // Table I inspection: any segment carrying the ECN-Echo flag.
+            return pkt.hasEce();
+        case ProtectionMode::ProtectAckSyn: {
+            if (pkt.hasEce()) return true;
+            const auto k = pkt.klass();
+            return k == PacketClass::PureAck || k == PacketClass::Syn ||
+                   k == PacketClass::SynAck;
+        }
+    }
+    return false;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,39 @@
+// The paper's §II-B proposal: which non-ECT packets an ECN-enabled AQM
+// must shield from *early* drop (never from physical overflow).
+#pragma once
+
+#include <string_view>
+
+#include "src/net/packet.hpp"
+
+namespace ecnsim {
+
+/// Early-drop protection modes evaluated in the paper (§III bullet list).
+enum class ProtectionMode {
+    /// Stock AQM behaviour: only ECT-capable packets escape early drop
+    /// (they get marked instead). Everything else — ACK, SYN, SYN-ACK —
+    /// is early-dropped under pressure.
+    Default,
+    /// First proposal: additionally protect any packet whose TCP header
+    /// carries the ECE bit. With ECN negotiation this covers SYN and
+    /// SYN-ACK plus the fraction of ACKs echoing congestion.
+    ProtectEce,
+    /// Second evaluated mode: protect ECT-capable packets, SYN, SYN-ACK
+    /// and *all* ACK packets, with or without ECE.
+    ProtectAckSyn,
+};
+
+constexpr std::string_view protectionModeName(ProtectionMode m) {
+    switch (m) {
+        case ProtectionMode::Default: return "Default";
+        case ProtectionMode::ProtectEce: return "ECE-bit";
+        case ProtectionMode::ProtectAckSyn: return "ACK+SYN";
+    }
+    return "?";
+}
+
+/// True if `pkt` must not be early-dropped under `mode`.
+/// ECT-capable packets are not handled here — the AQM marks those instead.
+bool isProtectedFromEarlyDrop(const Packet& pkt, ProtectionMode mode);
+
+}  // namespace ecnsim

@@ -1,0 +1,5 @@
+// QueueBase is header-only; this TU anchors the vtable-less helpers and
+// keeps the library layout uniform.
+#include "src/aqm/queue_base.hpp"
+
+namespace ecnsim {}

@@ -1,0 +1,95 @@
+// Shared FIFO storage and accounting for all queue disciplines.
+#pragma once
+
+#include <deque>
+
+#include "src/net/queue.hpp"
+
+namespace ecnsim {
+
+/// Common machinery: bounded FIFO, per-class stats, occupancy tracking.
+/// Subclasses implement enqueue() using the protected helpers and may hook
+/// dequeue for AQMs that act at the head (CoDel).
+class QueueBase : public Queue {
+public:
+    QueueBase(std::size_t capacityPackets, std::int64_t capacityBytes = 0)
+        : capacityPackets_(capacityPackets), capacityBytes_(capacityBytes) {}
+
+    PacketPtr dequeue(Time now) override { return popHead(now); }
+
+    std::size_t lengthPackets() const override { return fifo_.size(); }
+    std::int64_t lengthBytes() const override { return bytes_; }
+    std::size_t capacityPackets() const override { return capacityPackets_; }
+
+    std::vector<const Packet*> contents() const override {
+        std::vector<const Packet*> out;
+        out.reserve(fifo_.size());
+        for (const auto& p : fifo_) out.push_back(p.get());
+        return out;
+    }
+
+    const QueueStats& stats() const override { return stats_; }
+
+protected:
+    /// True when admitting `pkt` would exceed the physical buffer.
+    bool wouldOverflow(const Packet& pkt) const {
+        if (fifo_.size() >= capacityPackets_) return true;
+        return capacityBytes_ > 0 && bytes_ + pkt.sizeBytes > capacityBytes_;
+    }
+
+    /// Admit the packet (optionally marking CE first) and record stats.
+    void accept(PacketPtr pkt, Time now, bool marked) {
+        if (marked) pkt->ecn = EcnCodepoint::Ce;
+        pkt->enqueuedAt = now;
+        const auto outcome = marked ? EnqueueOutcome::Marked : EnqueueOutcome::Enqueued;
+        stats_.record(pkt->klass(), pkt->sizeBytes, outcome);
+        if (observer() != nullptr) observer()->onEnqueue(*this, *pkt, outcome, now);
+        bytes_ += pkt->sizeBytes;
+        fifo_.push_back(std::move(pkt));
+        touchOccupancy(now);
+    }
+
+    /// Record and consume a rejected packet.
+    void reject(const Packet& pkt, Time now, EnqueueOutcome outcome) {
+        stats_.record(pkt.klass(), pkt.sizeBytes, outcome);
+        if (observer() != nullptr) observer()->onEnqueue(*this, pkt, outcome, now);
+        touchOccupancy(now);
+    }
+
+    PacketPtr popHead(Time now) {
+        if (fifo_.empty()) return nullptr;
+        PacketPtr p = std::move(fifo_.front());
+        fifo_.pop_front();
+        bytes_ -= p->sizeBytes;
+        if (observer() != nullptr) observer()->onDequeue(*this, *p, now);
+        touchOccupancy(now);
+        return p;
+    }
+
+    /// Drop the head packet in place (CoDel-style) and account it as an
+    /// early drop.
+    void dropHead(Time now) {
+        if (fifo_.empty()) return;
+        PacketPtr p = popHead(now);
+        stats_.record(p->klass(), p->sizeBytes, EnqueueOutcome::DroppedEarly);
+    }
+
+    const std::deque<PacketPtr>& fifo() const { return fifo_; }
+
+    /// For disciplines that drop after popHead (CoDel-style head drops).
+    QueueStats& mutableStats() { return stats_; }
+
+private:
+    void touchOccupancy(Time now) {
+        stats_.occupancyPackets.update(now, static_cast<double>(fifo_.size()));
+        stats_.occupancyBytes.update(now, static_cast<double>(bytes_));
+    }
+
+    std::deque<PacketPtr> fifo_;
+    std::int64_t bytes_ = 0;
+    std::size_t capacityPackets_;
+    std::int64_t capacityBytes_;
+    QueueStats stats_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,94 @@
+#include "src/aqm/red.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecnsim {
+
+RedQueue::RedQueue(const RedConfig& cfg, Rng& rng) : QueueBase(cfg.capacityPackets, cfg.capacityBytes), cfg_(cfg), rng_(rng) {
+    if (cfg.minTh > cfg.maxTh) throw std::invalid_argument("RED: minTh > maxTh");
+    if (cfg.wq <= 0.0 || cfg.wq > 1.0) throw std::invalid_argument("RED: wq out of (0,1]");
+    if (cfg.maxP <= 0.0 || cfg.maxP > 1.0) throw std::invalid_argument("RED: maxP out of (0,1]");
+}
+
+void RedQueue::updateAverage(const Packet&, Time now) {
+    const double q = cfg_.byteMode ? static_cast<double>(lengthBytes())
+                                   : static_cast<double>(lengthPackets());
+    if (idle_ && !cfg_.idlePacketTime.isZero()) {
+        // Decay across the idle period as if m small packets departed.
+        const double m =
+            static_cast<double>((now - idleSince_).ns()) / static_cast<double>(cfg_.idlePacketTime.ns());
+        if (m > 0.0) avg_ *= std::pow(1.0 - cfg_.wq, m);
+    }
+    idle_ = false;
+    avg_ += cfg_.wq * (q - avg_);
+}
+
+bool RedQueue::earlyActionNeeded(const Packet& pkt) {
+    if (avg_ < cfg_.minTh) {
+        count_ = -1;
+        return false;
+    }
+    if (avg_ < cfg_.maxTh) {
+        ++count_;
+        double pb = cfg_.maxP * (avg_ - cfg_.minTh) / (cfg_.maxTh - cfg_.minTh);
+        if (cfg_.byteMode) pb *= static_cast<double>(pkt.sizeBytes) / cfg_.meanPktSizeBytes;
+        const double denom = 1.0 - static_cast<double>(count_) * pb;
+        const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+        if (rng_.uniform01() < pa) {
+            count_ = 0;
+            return true;
+        }
+        return false;
+    }
+    if (cfg_.gentle && avg_ < 2.0 * cfg_.maxTh) {
+        ++count_;
+        const double p = cfg_.maxP + (1.0 - cfg_.maxP) * (avg_ - cfg_.maxTh) / cfg_.maxTh;
+        if (rng_.uniform01() < p) {
+            count_ = 0;
+            return true;
+        }
+        return false;
+    }
+    count_ = 0;
+    return true;
+}
+
+EnqueueOutcome RedQueue::enqueue(PacketPtr pkt, Time now) {
+    updateAverage(*pkt, now);
+
+    if (wouldOverflow(*pkt)) {
+        reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+        return EnqueueOutcome::DroppedOverflow;
+    }
+
+    if (earlyActionNeeded(*pkt)) {
+        if (cfg_.ecnEnabled && isEctCapable(pkt->ecn)) {
+            // Stock behaviour for ECT-capable traffic: mark, don't drop.
+            accept(std::move(pkt), now, /*marked=*/true);
+            return EnqueueOutcome::Marked;
+        }
+        if (isProtectedFromEarlyDrop(*pkt, cfg_.protection)) {
+            // The paper's modification: shield the packet from the early
+            // drop; it still occupies buffer and can overflow-drop.
+            accept(std::move(pkt), now, /*marked=*/false);
+            return EnqueueOutcome::Enqueued;
+        }
+        reject(*pkt, now, EnqueueOutcome::DroppedEarly);
+        return EnqueueOutcome::DroppedEarly;
+    }
+
+    accept(std::move(pkt), now, /*marked=*/false);
+    return EnqueueOutcome::Enqueued;
+}
+
+PacketPtr RedQueue::dequeue(Time now) {
+    PacketPtr p = popHead(now);
+    if (lengthPackets() == 0 && !idle_) {
+        idle_ = true;
+        idleSince_ = now;
+    }
+    return p;
+}
+
+}  // namespace ecnsim

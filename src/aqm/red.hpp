@@ -1,0 +1,73 @@
+// Random Early Detection (Floyd & Jacobson 1993) with ECN marking and the
+// paper's early-drop protection modes.
+//
+// This is the queue the paper dissects: with ECN enabled, ECT-capable
+// packets are marked between the thresholds while non-ECT packets (pure
+// ACKs, SYN, SYN-ACK) are early-dropped — the behaviour the paper blames
+// for the throughput collapse, and which the protection modes fix.
+#pragma once
+
+#include "src/aqm/protection.hpp"
+#include "src/aqm/queue_base.hpp"
+#include "src/sim/random.hpp"
+
+namespace ecnsim {
+
+struct RedConfig {
+    std::size_t capacityPackets = 100;
+    /// Optional physical byte limit on top of the packet limit (0 = off);
+    /// models switches that carve buffer space in bytes per port.
+    std::int64_t capacityBytes = 0;
+
+    /// Thresholds on the average queue length, in packets (packet mode) or
+    /// bytes (byte mode). minTh == maxTh gives the DCTCP-mimic single
+    /// threshold the original DCTCP paper recommended.
+    double minTh = 15;
+    double maxTh = 45;
+
+    double maxP = 0.1;   ///< marking/dropping probability at maxTh
+    double wq = 0.002;   ///< EWMA weight; 1.0 = instantaneous queue
+    bool gentle = true;  ///< ramp maxP -> 1 between maxTh and 2*maxTh
+    bool byteMode = false;
+    double meanPktSizeBytes = 1500.0;
+    /// Mean transmission time of one packet at line rate, used to decay the
+    /// average across idle periods (NS-2 semantics). Zero disables decay.
+    Time idlePacketTime = Time::zero();
+
+    /// When true, ECT-capable packets get CE instead of an early drop.
+    bool ecnEnabled = true;
+
+    /// The paper's contribution: who else escapes early drop.
+    ProtectionMode protection = ProtectionMode::Default;
+};
+
+class RedQueue final : public QueueBase {
+public:
+    RedQueue(const RedConfig& cfg, Rng& rng);
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override;
+    PacketPtr dequeue(Time now) override;
+
+    std::string name() const override { return "RED"; }
+
+    double averageQueue() const { return avg_; }
+    const RedConfig& config() const { return cfg_; }
+
+private:
+    /// Classic RED decision on the already-updated average: returns true if
+    /// the packet should suffer an "early action" (mark or drop).
+    bool earlyActionNeeded(const Packet& pkt);
+
+    void updateAverage(const Packet& pkt, Time now);
+
+    RedConfig cfg_;
+    Rng& rng_;
+    double avg_ = 0.0;
+    /// Packets since the last early action while between thresholds
+    /// (spreads actions uniformly; -1 mirrors NS-2's initial state).
+    long count_ = -1;
+    Time idleSince_ = Time::zero();
+    bool idle_ = true;
+};
+
+}  // namespace ecnsim

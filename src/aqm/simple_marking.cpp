@@ -1,0 +1,3 @@
+#include "src/aqm/simple_marking.hpp"
+
+namespace ecnsim {}

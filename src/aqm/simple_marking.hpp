@@ -1,0 +1,51 @@
+// The paper's second proposal: a *true* simple marking scheme.
+//
+// One threshold on the instantaneous queue length. ECT-capable packets
+// above the threshold are marked CE; nothing is ever dropped unless the
+// physical buffer is full. This is the marking DCTCP assumed, implemented
+// directly instead of mimicked with RED.
+#pragma once
+
+#include "src/aqm/queue_base.hpp"
+
+namespace ecnsim {
+
+struct SimpleMarkingConfig {
+    std::size_t capacityPackets = 100;
+    /// Optional physical byte limit on top of the packet limit (0 = off);
+    /// models switches that carve buffer space in bytes per port.
+    std::int64_t capacityBytes = 0;
+    /// Instantaneous-queue marking threshold K, in packets.
+    std::size_t markThresholdPackets = 20;
+};
+
+class SimpleMarkingQueue final : public QueueBase {
+public:
+    explicit SimpleMarkingQueue(const SimpleMarkingConfig& cfg)
+        : QueueBase(cfg.capacityPackets, cfg.capacityBytes), cfg_(cfg) {}
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override {
+        if (wouldOverflow(*pkt)) {
+            reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+            return EnqueueOutcome::DroppedOverflow;
+        }
+        const bool congested = lengthPackets() >= cfg_.markThresholdPackets;
+        if (congested && isEctCapable(pkt->ecn)) {
+            accept(std::move(pkt), now, /*marked=*/true);
+            return EnqueueOutcome::Marked;
+        }
+        // Non-ECT packets are never early-dropped here — the scheme marks
+        // but "never drops packets unless its buffer is full" (§II-A).
+        accept(std::move(pkt), now, /*marked=*/false);
+        return EnqueueOutcome::Enqueued;
+    }
+
+    std::string name() const override { return "SimpleMarking"; }
+
+    const SimpleMarkingConfig& config() const { return cfg_; }
+
+private:
+    SimpleMarkingConfig cfg_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,92 @@
+#include "src/aqm/snapshot.hpp"
+
+#include <cstdio>
+
+namespace ecnsim {
+
+QueueSnapshot QueueSnapshot::capture(const Queue& q) {
+    QueueSnapshot s;
+    s.queueName = q.name();
+    s.capacityPackets = q.capacityPackets();
+    for (const Packet* p : q.contents()) {
+        s.entries.push_back(Entry{p->klass(), p->ecn, p->sizeBytes, p->hasEce()});
+    }
+    s.ackStats = q.stats().of(PacketClass::PureAck);
+    s.dataStats = q.stats().of(PacketClass::Data);
+    const auto& syn = q.stats().of(PacketClass::Syn);
+    const auto& synAck = q.stats().of(PacketClass::SynAck);
+    s.synStats.enqueued = syn.enqueued + synAck.enqueued;
+    s.synStats.marked = syn.marked + synAck.marked;
+    s.synStats.droppedEarly = syn.droppedEarly + synAck.droppedEarly;
+    s.synStats.droppedOverflow = syn.droppedOverflow + synAck.droppedOverflow;
+    return s;
+}
+
+std::size_t QueueSnapshot::countOf(PacketClass c) const {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += e.klass == c ? 1 : 0;
+    return n;
+}
+
+std::size_t QueueSnapshot::countEct() const {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += isEctCapable(e.ecn) ? 1 : 0;
+    return n;
+}
+
+std::size_t QueueSnapshot::countCe() const {
+    std::size_t n = 0;
+    for (const auto& e : entries) n += e.ecn == EcnCodepoint::Ce ? 1 : 0;
+    return n;
+}
+
+std::string QueueSnapshot::renderAscii(std::size_t maxWidth) const {
+    std::string out;
+    const std::size_t shown = std::min(entries.size(), maxWidth);
+    out.reserve(maxWidth + 2);
+    out.push_back('[');
+    for (std::size_t i = 0; i < shown; ++i) {
+        const Entry& e = entries[i];
+        char c = '?';
+        switch (e.klass) {
+            case PacketClass::Data: c = e.ecn == EcnCodepoint::Ce ? '*' : 'D'; break;
+            case PacketClass::PureAck: c = e.hasEce ? 'e' : 'a'; break;
+            case PacketClass::Syn:
+            case PacketClass::SynAck: c = 's'; break;
+            case PacketClass::Fin: c = 'f'; break;
+            case PacketClass::Probe: c = 'p'; break;
+            default: c = 'o'; break;
+        }
+        out.push_back(c);
+    }
+    for (std::size_t i = entries.size(); i < std::min(capacityPackets, maxWidth); ++i) out.push_back('.');
+    out.push_back(']');
+    return out;
+}
+
+std::string QueueSnapshot::summary() const {
+    char buf[512];
+    auto pct = [](std::uint64_t part, std::uint64_t whole) {
+        return whole ? 100.0 * static_cast<double>(part) / static_cast<double>(whole) : 0.0;
+    };
+    std::snprintf(
+        buf, sizeof buf,
+        "%s: occupancy %zu/%zu pkts (%zu ECT, %zu CE-marked, %zu ACK)\n"
+        "  DATA offered=%llu dropped=%llu (%.2f%%)  marked=%llu\n"
+        "  ACK  offered=%llu dropped=%llu (%.2f%%)  [early=%llu]\n"
+        "  SYN  offered=%llu dropped=%llu (%.2f%%)  [early=%llu]",
+        queueName.c_str(), entries.size(), capacityPackets, countEct(), countCe(),
+        countOf(PacketClass::PureAck),
+        static_cast<unsigned long long>(dataStats.offered()),
+        static_cast<unsigned long long>(dataStats.dropped()), pct(dataStats.dropped(), dataStats.offered()),
+        static_cast<unsigned long long>(dataStats.marked),
+        static_cast<unsigned long long>(ackStats.offered()),
+        static_cast<unsigned long long>(ackStats.dropped()), pct(ackStats.dropped(), ackStats.offered()),
+        static_cast<unsigned long long>(ackStats.droppedEarly),
+        static_cast<unsigned long long>(synStats.offered()),
+        static_cast<unsigned long long>(synStats.dropped()), pct(synStats.dropped(), synStats.offered()),
+        static_cast<unsigned long long>(synStats.droppedEarly));
+    return buf;
+}
+
+}  // namespace ecnsim

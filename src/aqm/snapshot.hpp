@@ -1,0 +1,43 @@
+// Queue snapshots: the evidence of Fig. 1 — who occupies the buffer and
+// who gets dropped at its tail.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/net/queue.hpp"
+
+namespace ecnsim {
+
+struct QueueSnapshot {
+    struct Entry {
+        PacketClass klass;
+        EcnCodepoint ecn;
+        std::int32_t sizeBytes;
+        bool hasEce;
+    };
+
+    std::string queueName;
+    std::size_t capacityPackets = 0;
+    std::vector<Entry> entries;  ///< head first
+    QueueStats::PerClass ackStats;
+    QueueStats::PerClass dataStats;
+    QueueStats::PerClass synStats;  ///< SYN + SYN-ACK combined
+
+    static QueueSnapshot capture(const Queue& q);
+
+    std::size_t countOf(PacketClass c) const;
+    std::size_t countEct() const;
+    std::size_t countCe() const;
+
+    /// Fig. 1-style one-character-per-packet rendering, head at the left:
+    ///   D = ECT data, * = CE-marked data, a = non-ECT pure ACK,
+    ///   e = ACK carrying ECE, s = SYN/SYN-ACK, . = free slot.
+    std::string renderAscii(std::size_t maxWidth = 100) const;
+
+    /// Multi-line human-readable summary with drop shares per class.
+    std::string summary() const;
+};
+
+}  // namespace ecnsim

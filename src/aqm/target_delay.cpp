@@ -1,0 +1,96 @@
+#include "src/aqm/target_delay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecnsim {
+
+double thresholdPackets(Time targetDelay, Bandwidth rate, double meanPktBytes) {
+    if (targetDelay.isNegative() || rate.isZero() || meanPktBytes <= 0.0) {
+        throw std::invalid_argument("thresholdPackets: bad parameters");
+    }
+    const double bytes = targetDelay.toSeconds() * rate.bytesPerSecond();
+    return std::max(1.0, bytes / meanPktBytes);
+}
+
+RedConfig redForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                            RedVariant variant, ProtectionMode protection, bool ecnEnabled,
+                            double meanPktBytes) {
+    const double k = thresholdPackets(targetDelay, rate, meanPktBytes);
+    RedConfig cfg;
+    cfg.capacityPackets = capacityPackets;
+    cfg.protection = protection;
+    cfg.ecnEnabled = ecnEnabled;
+    cfg.meanPktSizeBytes = meanPktBytes;
+    cfg.idlePacketTime = rate.transmissionTime(static_cast<std::int64_t>(meanPktBytes));
+    switch (variant) {
+        case RedVariant::Classic:
+            cfg.minTh = std::max(1.0, k / 2.0);
+            cfg.maxTh = std::max(cfg.minTh + 1.0, 1.5 * k);
+            cfg.wq = 0.002;
+            cfg.maxP = 0.1;
+            cfg.gentle = true;
+            break;
+        case RedVariant::DctcpMimic:
+            cfg.minTh = cfg.maxTh = std::max(1.0, k);
+            cfg.wq = 1.0;  // instantaneous queue
+            cfg.maxP = 1.0;
+            cfg.gentle = false;
+            break;
+    }
+    return cfg;
+}
+
+SimpleMarkingConfig simpleMarkingForTargetDelay(Time targetDelay, Bandwidth rate,
+                                                std::size_t capacityPackets, double meanPktBytes) {
+    SimpleMarkingConfig cfg;
+    cfg.capacityPackets = capacityPackets;
+    cfg.markThresholdPackets = static_cast<std::size_t>(
+        std::max(1.0, thresholdPackets(targetDelay, rate, meanPktBytes)));
+    return cfg;
+}
+
+CoDelConfig codelForTargetDelay(Time targetDelay, std::size_t capacityPackets,
+                                ProtectionMode protection, bool ecnEnabled) {
+    CoDelConfig cfg;
+    cfg.capacityPackets = capacityPackets;
+    cfg.target = targetDelay;
+    cfg.interval = std::max(targetDelay * 20, Time::milliseconds(1));
+    cfg.protection = protection;
+    cfg.ecnEnabled = ecnEnabled;
+    return cfg;
+}
+
+PieConfig pieForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                            ProtectionMode protection, bool ecnEnabled) {
+    PieConfig cfg;
+    cfg.capacityPackets = capacityPackets;
+    cfg.target = targetDelay;
+    cfg.drainRate = rate;
+    cfg.protection = protection;
+    cfg.ecnEnabled = ecnEnabled;
+    // Data-center timescales: the RFC's 4 ms / 150 ms defaults never react
+    // within a sub-second shuffle; track the target instead.
+    cfg.updateInterval = std::clamp(targetDelay / 2, Time::microseconds(100),
+                                    Time::milliseconds(1));
+    cfg.burstAllowance = std::max(targetDelay * 10, Time::milliseconds(2));
+    return cfg;
+}
+
+WredConfig wredForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                              bool ecnEnabled, double meanPktBytes) {
+    const double k = thresholdPackets(targetDelay, rate, meanPktBytes);
+    WredConfig cfg;
+    cfg.capacityPackets = capacityPackets;
+    cfg.ecnEnabled = ecnEnabled;
+    cfg.wq = 1.0;
+    cfg.idlePacketTime = rate.transmissionTime(static_cast<std::int64_t>(meanPktBytes));
+    cfg.dataProfile = WredProfile{std::max(1.0, k), std::max(1.0, k), 1.0};
+    const double cap = static_cast<double>(capacityPackets);
+    cfg.controlProfile =
+        WredProfile{std::min(cap, std::max(2.0, 3.0 * k)), std::min(cap, std::max(3.0, 4.0 * k)),
+                    0.5};
+    return cfg;
+}
+
+}  // namespace ecnsim

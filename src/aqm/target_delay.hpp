@@ -1,0 +1,48 @@
+// Target-delay parameterisation: the paper sweeps AQM aggressiveness as a
+// "target delay"; these helpers convert it into discipline thresholds.
+#pragma once
+
+#include "src/aqm/codel.hpp"
+#include "src/aqm/pie.hpp"
+#include "src/aqm/red.hpp"
+#include "src/aqm/simple_marking.hpp"
+#include "src/aqm/wred.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+/// Number of `meanPktBytes`-sized packets that drain in `targetDelay` at
+/// `rate` — the queue length corresponding to the target delay.
+double thresholdPackets(Time targetDelay, Bandwidth rate, double meanPktBytes);
+
+/// How RED thresholds are derived from the target delay.
+enum class RedVariant {
+    /// Floyd-style band: minTh = K/2, maxTh = 1.5*K, EWMA average.
+    /// (How TCP-ECN deployments typically configure RED.)
+    Classic,
+    /// DCTCP-mimic: minTh = maxTh = K on the instantaneous queue, as the
+    /// DCTCP paper recommended operators configure RED.
+    DctcpMimic,
+};
+
+RedConfig redForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                            RedVariant variant, ProtectionMode protection, bool ecnEnabled,
+                            double meanPktBytes = 1500.0);
+
+SimpleMarkingConfig simpleMarkingForTargetDelay(Time targetDelay, Bandwidth rate,
+                                                std::size_t capacityPackets,
+                                                double meanPktBytes = 1500.0);
+
+CoDelConfig codelForTargetDelay(Time targetDelay, std::size_t capacityPackets,
+                                ProtectionMode protection, bool ecnEnabled);
+
+PieConfig pieForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                            ProtectionMode protection, bool ecnEnabled);
+
+/// WRED: the data profile follows the target delay; the control profile is
+/// three times laxer, keeping ACK/SYN alive without a switch firmware
+/// change beyond standard per-class curves.
+WredConfig wredForTargetDelay(Time targetDelay, Bandwidth rate, std::size_t capacityPackets,
+                              bool ecnEnabled, double meanPktBytes = 1500.0);
+
+}  // namespace ecnsim

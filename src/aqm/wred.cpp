@@ -1,0 +1,77 @@
+#include "src/aqm/wred.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecnsim {
+
+WredQueue::WredQueue(const WredConfig& cfg, Rng& rng)
+    : QueueBase(cfg.capacityPackets, cfg.capacityBytes), cfg_(cfg), rng_(rng) {
+    for (const auto* p : {&cfg.dataProfile, &cfg.controlProfile}) {
+        if (p->minTh > p->maxTh) throw std::invalid_argument("WRED: minTh > maxTh");
+        if (p->maxP <= 0.0 || p->maxP > 1.0) throw std::invalid_argument("WRED: bad maxP");
+    }
+    if (cfg.wq <= 0.0 || cfg.wq > 1.0) throw std::invalid_argument("WRED: bad wq");
+}
+
+bool WredQueue::profileActs(const WredProfile& p, long& count) {
+    if (avg_ < p.minTh) {
+        count = -1;
+        return false;
+    }
+    if (avg_ < p.maxTh) {
+        ++count;
+        const double pb = p.maxP * (avg_ - p.minTh) / (p.maxTh - p.minTh);
+        const double denom = 1.0 - static_cast<double>(count) * pb;
+        const double pa = denom <= 0.0 ? 1.0 : std::min(1.0, pb / denom);
+        if (rng_.uniform01() < pa) {
+            count = 0;
+            return true;
+        }
+        return false;
+    }
+    count = 0;
+    return true;
+}
+
+EnqueueOutcome WredQueue::enqueue(PacketPtr pkt, Time now) {
+    // Shared average over the single physical queue.
+    const double q = static_cast<double>(lengthPackets());
+    if (idle_ && !cfg_.idlePacketTime.isZero()) {
+        const double m = static_cast<double>((now - idleSince_).ns()) /
+                         static_cast<double>(cfg_.idlePacketTime.ns());
+        if (m > 0.0) avg_ *= std::pow(1.0 - cfg_.wq, m);
+    }
+    idle_ = false;
+    avg_ += cfg_.wq * (q - avg_);
+
+    if (wouldOverflow(*pkt)) {
+        reject(*pkt, now, EnqueueOutcome::DroppedOverflow);
+        return EnqueueOutcome::DroppedOverflow;
+    }
+
+    const bool ect = isEctCapable(pkt->ecn);
+    const WredProfile& profile = ect ? cfg_.dataProfile : cfg_.controlProfile;
+    long& count = ect ? dataCount_ : controlCount_;
+    if (profileActs(profile, count)) {
+        if (ect && cfg_.ecnEnabled) {
+            accept(std::move(pkt), now, /*marked=*/true);
+            return EnqueueOutcome::Marked;
+        }
+        reject(*pkt, now, EnqueueOutcome::DroppedEarly);
+        return EnqueueOutcome::DroppedEarly;
+    }
+    accept(std::move(pkt), now, /*marked=*/false);
+    return EnqueueOutcome::Enqueued;
+}
+
+PacketPtr WredQueue::dequeue(Time now) {
+    PacketPtr p = popHead(now);
+    if (lengthPackets() == 0 && !idle_) {
+        idle_ = true;
+        idleSince_ = now;
+    }
+    return p;
+}
+
+}  // namespace ecnsim

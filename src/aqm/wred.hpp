@@ -1,0 +1,57 @@
+// Weighted RED: per-class drop profiles over one shared buffer and one
+// shared average — the remedy commodity switches already expose (per-DSCP
+// WRED curves). Giving the non-ECT control classes a laxer profile is an
+// operator-side alternative to the paper's protection modes.
+#pragma once
+
+#include "src/aqm/queue_base.hpp"
+#include "src/sim/random.hpp"
+
+namespace ecnsim {
+
+/// One WRED drop curve (thresholds on the shared average, in packets).
+struct WredProfile {
+    double minTh = 15;
+    double maxTh = 45;
+    double maxP = 0.1;
+};
+
+struct WredConfig {
+    std::size_t capacityPackets = 100;
+    /// Optional physical byte limit on top of the packet limit (0 = off);
+    /// models switches that carve buffer space in bytes per port.
+    std::int64_t capacityBytes = 0;
+    double wq = 1.0;  ///< EWMA weight over the shared queue length
+    /// Profile for ECT-capable traffic (actions mark when ecnEnabled).
+    WredProfile dataProfile;
+    /// Laxer profile for the non-ECT control classes (ACK/SYN/FIN);
+    /// actions here always drop (the packets cannot carry CE).
+    WredProfile controlProfile;
+    bool ecnEnabled = true;
+    Time idlePacketTime = Time::zero();
+};
+
+class WredQueue final : public QueueBase {
+public:
+    WredQueue(const WredConfig& cfg, Rng& rng);
+
+    EnqueueOutcome enqueue(PacketPtr pkt, Time now) override;
+    PacketPtr dequeue(Time now) override;
+
+    std::string name() const override { return "WRED"; }
+    double averageQueue() const { return avg_; }
+    const WredConfig& config() const { return cfg_; }
+
+private:
+    bool profileActs(const WredProfile& p, long& count);
+
+    WredConfig cfg_;
+    Rng& rng_;
+    double avg_ = 0.0;
+    long dataCount_ = -1;
+    long controlCount_ = -1;
+    Time idleSince_ = Time::zero();
+    bool idle_ = true;
+};
+
+}  // namespace ecnsim

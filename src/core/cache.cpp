@@ -1,0 +1,95 @@
+#include "src/core/cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ecnsim {
+
+ResultsCache ResultsCache::fromEnvironment() {
+    const char* env = std::getenv("ECNSIM_CACHE_DIR");
+    if (env == nullptr) return ResultsCache{"ecnsim-cache"};
+    return ResultsCache{std::string(env)};
+}
+
+std::string ResultsCache::pathFor(const std::string& key) const {
+    std::ostringstream os;
+    os << dir_ << "/r" << std::hex << std::hash<std::string>{}(key) << ".txt";
+    return os.str();
+}
+
+bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
+    if (!enabled()) return false;
+    std::ifstream in(pathFor(key));
+    if (!in) return false;
+    std::string storedKey;
+    if (!std::getline(in, storedKey) || storedKey != key) return false;
+
+    ExperimentResult r;
+    std::string field;
+    while (in >> field) {
+        if (field == "timedOut") in >> r.timedOut;
+        else if (field == "runtimeSec") in >> r.runtimeSec;
+        else if (field == "throughputPerNodeMbps") in >> r.throughputPerNodeMbps;
+        else if (field == "avgLatencyUs") in >> r.avgLatencyUs;
+        else if (field == "p99LatencyUs") in >> r.p99LatencyUs;
+        else if (field == "avgDataLatencyUs") in >> r.avgDataLatencyUs;
+        else if (field == "avgAckLatencyUs") in >> r.avgAckLatencyUs;
+        else if (field == "fctMeanUs") in >> r.fctMeanUs;
+        else if (field == "fctP50Us") in >> r.fctP50Us;
+        else if (field == "fctP99Us") in >> r.fctP99Us;
+        else if (field == "ackDroppedEarly") in >> r.ackDroppedEarly;
+        else if (field == "ackOffered") in >> r.ackOffered;
+        else if (field == "dataDropped") in >> r.dataDropped;
+        else if (field == "dataOffered") in >> r.dataOffered;
+        else if (field == "synDropped") in >> r.synDropped;
+        else if (field == "synOffered") in >> r.synOffered;
+        else if (field == "ceMarks") in >> r.ceMarks;
+        else if (field == "retransmits") in >> r.retransmits;
+        else if (field == "rtoEvents") in >> r.rtoEvents;
+        else if (field == "synRetries") in >> r.synRetries;
+        else if (field == "ecnCwndCuts") in >> r.ecnCwndCuts;
+        else if (field == "eventsExecuted") in >> r.eventsExecuted;
+        else {
+            std::string skip;
+            in >> skip;
+        }
+    }
+    out = r;
+    return true;
+}
+
+void ResultsCache::store(const std::string& key, const ExperimentResult& r) const {
+    if (!enabled()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    std::ofstream outFile(pathFor(key), std::ios::trunc);
+    if (!outFile) return;
+    outFile << key << '\n';
+    outFile.precision(17);
+    outFile << "timedOut " << r.timedOut << '\n'
+            << "runtimeSec " << r.runtimeSec << '\n'
+            << "throughputPerNodeMbps " << r.throughputPerNodeMbps << '\n'
+            << "avgLatencyUs " << r.avgLatencyUs << '\n'
+            << "p99LatencyUs " << r.p99LatencyUs << '\n'
+            << "avgDataLatencyUs " << r.avgDataLatencyUs << '\n'
+            << "avgAckLatencyUs " << r.avgAckLatencyUs << '\n'
+            << "fctMeanUs " << r.fctMeanUs << '\n'
+            << "fctP50Us " << r.fctP50Us << '\n'
+            << "fctP99Us " << r.fctP99Us << '\n'
+            << "ackDroppedEarly " << r.ackDroppedEarly << '\n'
+            << "ackOffered " << r.ackOffered << '\n'
+            << "dataDropped " << r.dataDropped << '\n'
+            << "dataOffered " << r.dataOffered << '\n'
+            << "synDropped " << r.synDropped << '\n'
+            << "synOffered " << r.synOffered << '\n'
+            << "ceMarks " << r.ceMarks << '\n'
+            << "retransmits " << r.retransmits << '\n'
+            << "rtoEvents " << r.rtoEvents << '\n'
+            << "synRetries " << r.synRetries << '\n'
+            << "ecnCwndCuts " << r.ecnCwndCuts << '\n'
+            << "eventsExecuted " << r.eventsExecuted << '\n';
+}
+
+}  // namespace ecnsim

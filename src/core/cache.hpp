@@ -1,0 +1,34 @@
+// On-disk results cache so the figure binaries share the sweep's runs
+// instead of re-simulating the identical grid three times.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/core/experiment.hpp"
+
+namespace ecnsim {
+
+/// One file per result under a cache directory; the full config key is
+/// stored inside the file and verified on read (hash collisions safe).
+class ResultsCache {
+public:
+    /// Disabled cache (all lookups miss, stores are no-ops).
+    ResultsCache() = default;
+    explicit ResultsCache(std::string dir) : dir_(std::move(dir)) {}
+
+    /// Reads ECNSIM_CACHE_DIR; unset -> "./ecnsim-cache"; set-but-empty ->
+    /// caching disabled.
+    static ResultsCache fromEnvironment();
+
+    bool enabled() const { return !dir_.empty(); }
+
+    bool lookup(const std::string& key, ExperimentResult& out) const;
+    void store(const std::string& key, const ExperimentResult& r) const;
+
+private:
+    std::string pathFor(const std::string& key) const;
+    std::string dir_;
+};
+
+}  // namespace ecnsim

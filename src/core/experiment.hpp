@@ -1,0 +1,110 @@
+// Experiment configuration and results: one struct per paper run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/aqm/factory.hpp"
+#include "src/mapred/spec.hpp"
+#include "src/net/topology.hpp"
+#include "src/tcp/config.hpp"
+
+namespace ecnsim {
+
+/// Switch buffer profiles from the paper: commodity (shallow) vs deep.
+enum class BufferProfile { Shallow, Deep };
+
+constexpr std::string_view bufferProfileName(BufferProfile b) {
+    return b == BufferProfile::Shallow ? "shallow" : "deep";
+}
+
+constexpr std::size_t bufferCapacityPackets(BufferProfile b) {
+    return b == BufferProfile::Shallow ? 100 : 1000;
+}
+
+enum class TopologyKind { Star, LeafSpine };
+
+/// Everything needed to reproduce one point of the paper's figures.
+struct ExperimentConfig {
+    std::string name;
+
+    // Transport + switch queue under test.
+    TransportKind transport = TransportKind::EcnTcp;
+    /// Endpoint-side ECN+/ECN++ alternative: control packets sent ECT.
+    bool ecnPlusPlus = false;
+    /// Selective acknowledgements on every connection.
+    bool sack = false;
+    QueueConfig switchQueue;
+    BufferProfile buffers = BufferProfile::Shallow;
+
+    // Fabric.
+    TopologyKind topology = TopologyKind::Star;
+    int numNodes = 12;
+    Bandwidth linkRate = Bandwidth::gigabitsPerSecond(1);
+    Time linkDelay = Time::microseconds(5);
+    LeafSpineShape leafSpine{};  // used when topology == LeafSpine
+    std::size_t hostQueuePackets = 1000;
+
+    // Workload.
+    ClusterSpec cluster;
+    JobSpec job;
+
+    std::uint64_t seed = 1;
+    /// Independent repetitions (seed, seed+1, ...) averaged into one result
+    /// to tame RTO-tail variance, as multi-run papers do.
+    int repeats = 1;
+    Time horizon = Time::seconds(600);  ///< safety stop for runs gone wrong
+
+    /// Stable textual identity used as the results-cache key.
+    std::string cacheKey() const;
+};
+
+/// Measured outputs of one run (the paper's three metrics + diagnostics).
+struct ExperimentResult {
+    std::string name;
+    bool timedOut = false;
+
+    double runtimeSec = 0.0;
+    double throughputPerNodeMbps = 0.0;
+    double avgLatencyUs = 0.0;
+    double p99LatencyUs = 0.0;
+    double avgDataLatencyUs = 0.0;
+    double avgAckLatencyUs = 0.0;
+
+    // Shuffle flow completion times (stragglers drive the job runtime).
+    double fctMeanUs = 0.0;
+    double fctP50Us = 0.0;
+    double fctP99Us = 0.0;
+
+    // Switch-queue accounting (the Fig. 1 evidence).
+    std::uint64_t ackDroppedEarly = 0;
+    std::uint64_t ackOffered = 0;
+    std::uint64_t dataDropped = 0;
+    std::uint64_t dataOffered = 0;
+    std::uint64_t synDropped = 0;
+    std::uint64_t synOffered = 0;
+    std::uint64_t ceMarks = 0;
+
+    // TCP diagnostics.
+    std::uint64_t retransmits = 0;
+    std::uint64_t rtoEvents = 0;
+    std::uint64_t synRetries = 0;
+    std::uint64_t ecnCwndCuts = 0;
+
+    std::uint64_t eventsExecuted = 0;
+
+    /// Arithmetic mean over repetition results (counters averaged too).
+    static ExperimentResult average(const std::vector<ExperimentResult>& runs);
+
+    double ackDropShare() const {
+        return ackOffered ? static_cast<double>(ackDroppedEarly) / static_cast<double>(ackOffered)
+                          : 0.0;
+    }
+    double dataDropShare() const {
+        return dataOffered ? static_cast<double>(dataDropped) / static_cast<double>(dataOffered)
+                           : 0.0;
+    }
+};
+
+}  // namespace ecnsim

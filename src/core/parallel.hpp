@@ -1,0 +1,18 @@
+// Parallel experiment execution: each run owns an independent Simulator,
+// so configs fan out across worker threads with no shared mutable state
+// beyond the results vector.
+#pragma once
+
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace ecnsim {
+
+/// Run every config (possibly cached) and return results in input order.
+/// `threads` <= 0 selects std::thread::hardware_concurrency(). With one
+/// hardware thread this degenerates to the serial path.
+std::vector<ExperimentResult> runExperimentsParallel(const std::vector<ExperimentConfig>& configs,
+                                                     int threads = 0, bool useCache = true);
+
+}  // namespace ecnsim

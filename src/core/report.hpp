@@ -1,0 +1,30 @@
+// Plain-text reporting: aligned tables and normalized figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecnsim {
+
+/// Minimal aligned-column table writer for bench/example output.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /// Format a double with the given precision (helper for cells).
+    static std::string num(double v, int precision = 3);
+
+    void print(std::ostream& os) const;
+    std::string toString() const;
+
+    /// Comma-separated rendering for machine consumption.
+    std::string toCsv() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecnsim

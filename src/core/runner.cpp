@@ -1,0 +1,171 @@
+#include "src/core/runner.hpp"
+
+#include <sstream>
+
+#include "src/aqm/droptail.hpp"
+#include "src/core/cache.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+
+std::string ExperimentConfig::cacheKey() const {
+    // Bump the version token whenever simulator behaviour changes; it
+    // invalidates every stale on-disk cache entry.
+    std::ostringstream os;
+    os << "v6|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+       << (sack ? "sack|" : "") << switchQueue.describe() << '|'
+       << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
+       << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
+       << linkRate.bps() << '|' << linkDelay.ns() << '|' << leafSpine.racks << 'x'
+       << leafSpine.hostsPerRack << 'x' << leafSpine.spines << '|' << hostQueuePackets << '|'
+       << cluster.numNodes << ',' << cluster.mapSlotsPerNode << ',' << cluster.reduceSlotsPerNode
+       << ',' << cluster.diskReadRate.bps() << ',' << cluster.diskWriteRate.bps() << '|'
+       << job.numMapTasks << ',' << job.numReduceTasks << ',' << job.inputBytesPerMap << ','
+       << job.mapOutputRatio << ',' << job.reduceOutputRatio << ',' << job.outputReplication << ','
+       << job.mapCpuPerByte.ns() << ',' << job.reduceCpuPerByte.ns() << ','
+       << job.parallelFetchesPerReducer << ',' << job.fetchRequestBytes << ','
+       << job.reduceSlowstart << '|' << seed << '|' << horizon.ns();
+    return os.str();
+}
+
+ExperimentResult runExperiment(const ExperimentConfig& cfg) {
+    Simulator sim(cfg.seed);
+    Network net(sim);
+
+    QueueConfig switchQ = cfg.switchQueue;
+    switchQ.linkRate = cfg.linkRate;
+    switchQ.capacityPackets = bufferCapacityPackets(cfg.buffers);
+
+    const std::size_t hostCap = cfg.hostQueuePackets;
+    TopologyConfig topo;
+    topo.linkRate = cfg.linkRate;
+    topo.linkDelay = cfg.linkDelay;
+    topo.switchQueue = makeQueueFactory(switchQ, sim.rng());
+    topo.hostQueue = [hostCap] { return std::make_unique<DropTailQueue>(hostCap); };
+
+    std::vector<HostNode*> hosts;
+    if (cfg.topology == TopologyKind::Star) {
+        hosts = buildStar(net, cfg.numNodes, topo);
+    } else {
+        hosts = buildLeafSpine(net, cfg.leafSpine, topo);
+    }
+
+    ClusterSpec cluster = cfg.cluster;
+    cluster.numNodes = static_cast<int>(hosts.size());
+
+    TcpConfig tcpConfig = TcpConfig::forTransport(cfg.transport);
+    tcpConfig.ectOnControlPackets = cfg.ecnPlusPlus;
+    tcpConfig.sackEnabled = cfg.sack;
+    MapReduceEngine engine(net, hosts, cluster, cfg.job, tcpConfig);
+    engine.setOnComplete([&sim] { sim.stop(); });
+    engine.start();
+    sim.runUntil(cfg.horizon);
+
+    ExperimentResult r;
+    r.name = cfg.name;
+    r.timedOut = !engine.finished();
+    const Time runtime = engine.finished() ? engine.metrics().runtime() : cfg.horizon;
+    r.runtimeSec = runtime.toSeconds();
+    r.throughputPerNodeMbps = engine.metrics().throughputPerNodeMbps(cluster.numNodes);
+
+    const auto& tel = net.telemetry();
+    r.avgLatencyUs = tel.latencyAll().mean();
+    r.p99LatencyUs = tel.latencyQuantileUs(0.99);
+    r.avgDataLatencyUs = tel.latencyOf(PacketClass::Data).mean();
+    r.avgAckLatencyUs = tel.latencyOf(PacketClass::PureAck).mean();
+    r.fctMeanUs = engine.metrics().fctMeanUs();
+    r.fctP50Us = engine.metrics().fctQuantileUs(0.50);
+    r.fctP99Us = engine.metrics().fctQuantileUs(0.99);
+
+    const auto ack = net.switchDropSummary(PacketClass::PureAck);
+    r.ackDroppedEarly = ack.droppedEarly;
+    r.ackOffered = ack.offered();
+    const auto data = net.switchDropSummary(PacketClass::Data);
+    r.dataDropped = data.dropped();
+    r.dataOffered = data.offered();
+    const auto syn = net.switchDropSummary(PacketClass::Syn);
+    const auto synAck = net.switchDropSummary(PacketClass::SynAck);
+    r.synDropped = syn.dropped() + synAck.dropped();
+    r.synOffered = syn.offered() + synAck.offered();
+    r.ceMarks = net.switchMarksTotal();
+
+    const auto tcp = engine.aggregateTcpStats();
+    r.retransmits = tcp.retransmits;
+    r.rtoEvents = tcp.rtoEvents;
+    r.synRetries = tcp.synRetries;
+    r.ecnCwndCuts = tcp.ecnCwndCuts;
+    r.eventsExecuted = sim.eventsExecuted();
+    return r;
+}
+
+ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& runs) {
+    ExperimentResult avg;
+    if (runs.empty()) return avg;
+    avg.name = runs.front().name;
+    const double n = static_cast<double>(runs.size());
+    auto meanU64 = [n](std::uint64_t acc) {
+        return static_cast<std::uint64_t>(static_cast<double>(acc) / n + 0.5);
+    };
+    std::uint64_t ackD = 0, ackO = 0, dataD = 0, dataO = 0, synD = 0, synO = 0, marks = 0;
+    std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0;
+    for (const auto& r : runs) {
+        avg.timedOut = avg.timedOut || r.timedOut;
+        avg.runtimeSec += r.runtimeSec / n;
+        avg.throughputPerNodeMbps += r.throughputPerNodeMbps / n;
+        avg.avgLatencyUs += r.avgLatencyUs / n;
+        avg.p99LatencyUs += r.p99LatencyUs / n;
+        avg.avgDataLatencyUs += r.avgDataLatencyUs / n;
+        avg.avgAckLatencyUs += r.avgAckLatencyUs / n;
+        avg.fctMeanUs += r.fctMeanUs / n;
+        avg.fctP50Us += r.fctP50Us / n;
+        avg.fctP99Us += r.fctP99Us / n;
+        ackD += r.ackDroppedEarly;
+        ackO += r.ackOffered;
+        dataD += r.dataDropped;
+        dataO += r.dataOffered;
+        synD += r.synDropped;
+        synO += r.synOffered;
+        marks += r.ceMarks;
+        retx += r.retransmits;
+        rtos += r.rtoEvents;
+        synR += r.synRetries;
+        cuts += r.ecnCwndCuts;
+        events += r.eventsExecuted;
+    }
+    avg.ackDroppedEarly = meanU64(ackD);
+    avg.ackOffered = meanU64(ackO);
+    avg.dataDropped = meanU64(dataD);
+    avg.dataOffered = meanU64(dataO);
+    avg.synDropped = meanU64(synD);
+    avg.synOffered = meanU64(synO);
+    avg.ceMarks = meanU64(marks);
+    avg.retransmits = meanU64(retx);
+    avg.rtoEvents = meanU64(rtos);
+    avg.synRetries = meanU64(synR);
+    avg.ecnCwndCuts = meanU64(cuts);
+    avg.eventsExecuted = meanU64(events);
+    return avg;
+}
+
+ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
+    ResultsCache cache = ResultsCache::fromEnvironment();
+    const int repeats = std::max(1, cfg.repeats);
+    std::vector<ExperimentResult> runs;
+    runs.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) {
+        ExperimentConfig one = cfg;
+        one.seed = cfg.seed + static_cast<std::uint64_t>(i);
+        one.repeats = 1;
+        ExperimentResult r;
+        if (!cache.lookup(one.cacheKey(), r)) {
+            r = runExperiment(one);
+            cache.store(one.cacheKey(), r);
+        }
+        r.name = cfg.name;
+        runs.push_back(std::move(r));
+    }
+    return runs.size() == 1 ? runs.front() : ExperimentResult::average(runs);
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,17 @@
+// Run one experiment end-to-end: build fabric, run Terasort, collect.
+#pragma once
+
+#include "src/core/experiment.hpp"
+
+namespace ecnsim {
+
+/// Execute the configured run and return its measurements. Deterministic:
+/// the same config (incl. seed) yields bit-identical results.
+ExperimentResult runExperiment(const ExperimentConfig& cfg);
+
+/// Cached wrapper: consults the on-disk results cache first (see cache.hpp)
+/// and stores the result after a live run. Cache dir from ECNSIM_CACHE_DIR
+/// (empty string disables caching).
+ExperimentResult runExperimentCached(const ExperimentConfig& cfg);
+
+}  // namespace ecnsim

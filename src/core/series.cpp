@@ -1,0 +1,155 @@
+#include "src/core/series.hpp"
+
+#include <cstdlib>
+
+#include "src/core/runner.hpp"
+
+namespace ecnsim {
+
+std::string paperSeriesName(PaperSeries s) {
+    switch (s) {
+        case PaperSeries::EcnDefault: return "ECN-Default";
+        case PaperSeries::EcnEce: return "ECN-ECE";
+        case PaperSeries::EcnAckSyn: return "ECN-ACK+SYN";
+        case PaperSeries::EcnMarking: return "ECN-Marking";
+        case PaperSeries::DctcpDefault: return "DCTCP-Default";
+        case PaperSeries::DctcpEce: return "DCTCP-ECE";
+        case PaperSeries::DctcpAckSyn: return "DCTCP-ACK+SYN";
+        case PaperSeries::DctcpMarking: return "DCTCP-Marking";
+    }
+    return "?";
+}
+
+TransportKind paperSeriesTransport(PaperSeries s) {
+    switch (s) {
+        case PaperSeries::EcnDefault:
+        case PaperSeries::EcnEce:
+        case PaperSeries::EcnAckSyn:
+        case PaperSeries::EcnMarking:
+            return TransportKind::EcnTcp;
+        default:
+            return TransportKind::Dctcp;
+    }
+}
+
+namespace {
+
+std::int64_t envInt(const char* name, std::int64_t fallback) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return fallback;
+    return std::strtoll(v, nullptr, 10);
+}
+
+/// Per-series switch queue: RED with the protection mode, or SimpleMarking.
+void applySeriesQueue(ExperimentConfig& cfg, PaperSeries s) {
+    const bool dctcp = paperSeriesTransport(s) == TransportKind::Dctcp;
+    cfg.switchQueue.ecnEnabled = true;
+    // DCTCP deployments configure RED as the DCTCP paper recommended
+    // (single instantaneous threshold); TCP-ECN uses classic Floyd RED.
+    cfg.switchQueue.redVariant = dctcp ? RedVariant::DctcpMimic : RedVariant::Classic;
+    switch (s) {
+        case PaperSeries::EcnDefault:
+        case PaperSeries::DctcpDefault:
+            cfg.switchQueue.kind = QueueKind::Red;
+            cfg.switchQueue.protection = ProtectionMode::Default;
+            break;
+        case PaperSeries::EcnEce:
+        case PaperSeries::DctcpEce:
+            cfg.switchQueue.kind = QueueKind::Red;
+            cfg.switchQueue.protection = ProtectionMode::ProtectEce;
+            break;
+        case PaperSeries::EcnAckSyn:
+        case PaperSeries::DctcpAckSyn:
+            cfg.switchQueue.kind = QueueKind::Red;
+            cfg.switchQueue.protection = ProtectionMode::ProtectAckSyn;
+            break;
+        case PaperSeries::EcnMarking:
+        case PaperSeries::DctcpMarking:
+            cfg.switchQueue.kind = QueueKind::SimpleMarking;
+            cfg.switchQueue.protection = ProtectionMode::Default;  // n/a
+            break;
+    }
+}
+
+}  // namespace
+
+SweepScale SweepScale::fromEnvironment() {
+    SweepScale s;
+    s.numNodes = static_cast<int>(envInt("ECNSIM_NODES", s.numNodes));
+    s.inputBytesPerNode = envInt("ECNSIM_INPUT_MB", s.inputBytesPerNode / (1024 * 1024)) * 1024 * 1024;
+    s.linkRate = Bandwidth::gigabitsPerSecond(envInt("ECNSIM_GBPS", 1));
+    s.seed = static_cast<std::uint64_t>(envInt("ECNSIM_SEED", static_cast<std::int64_t>(s.seed)));
+    s.repeats = static_cast<int>(envInt("ECNSIM_REPEATS", s.repeats));
+    return s;
+}
+
+std::vector<Time> paperTargetDelays() {
+    return {Time::microseconds(100),  Time::microseconds(200),  Time::microseconds(500),
+            Time::microseconds(1000), Time::microseconds(1500), Time::microseconds(2000),
+            Time::microseconds(3000)};
+}
+
+ExperimentConfig makeBaseConfig(const SweepScale& scale) {
+    ExperimentConfig cfg;
+    cfg.numNodes = scale.numNodes;
+    cfg.linkRate = scale.linkRate;
+    cfg.seed = scale.seed;
+    cfg.repeats = scale.repeats;
+    cfg.cluster.numNodes = scale.numNodes;
+    cfg.job = terasortJob(scale.numNodes, scale.inputBytesPerNode,
+                          cfg.cluster.mapSlotsPerNode, cfg.cluster.reduceSlotsPerNode);
+    return cfg;
+}
+
+ExperimentConfig makeSeriesConfig(PaperSeries s, Time targetDelay, BufferProfile buffers,
+                                  const SweepScale& scale) {
+    ExperimentConfig cfg = makeBaseConfig(scale);
+    cfg.transport = paperSeriesTransport(s);
+    cfg.buffers = buffers;
+    cfg.switchQueue.targetDelay = targetDelay;
+    applySeriesQueue(cfg, s);
+    cfg.name = paperSeriesName(s) + "/" + std::string(bufferProfileName(buffers)) + "/" +
+               targetDelay.toString();
+    return cfg;
+}
+
+ExperimentConfig makeDropTailConfig(BufferProfile buffers, const SweepScale& scale) {
+    ExperimentConfig cfg = makeBaseConfig(scale);
+    cfg.transport = TransportKind::PlainTcp;
+    cfg.buffers = buffers;
+    cfg.switchQueue.kind = QueueKind::DropTail;
+    cfg.switchQueue.ecnEnabled = false;
+    cfg.name = "DropTail/" + std::string(bufferProfileName(buffers));
+    return cfg;
+}
+
+SweepResults runPaperSweep(const SweepScale& scale,
+                           const std::function<void(const std::string&)>& progress) {
+    SweepResults out;
+    auto report = [&](const ExperimentResult& r) {
+        if (progress) {
+            progress(r.name + ": runtime=" + std::to_string(r.runtimeSec) +
+                     "s tput=" + std::to_string(r.throughputPerNodeMbps) +
+                     "Mbps lat=" + std::to_string(r.avgLatencyUs) + "us" +
+                     (r.timedOut ? " TIMEOUT" : ""));
+        }
+    };
+
+    out.dropTailShallow = runExperimentCached(makeDropTailConfig(BufferProfile::Shallow, scale));
+    report(out.dropTailShallow);
+    out.dropTailDeep = runExperimentCached(makeDropTailConfig(BufferProfile::Deep, scale));
+    report(out.dropTailDeep);
+
+    for (const BufferProfile b : {BufferProfile::Shallow, BufferProfile::Deep}) {
+        for (const PaperSeries s : kAllSeries) {
+            for (const Time target : paperTargetDelays()) {
+                auto res = runExperimentCached(makeSeriesConfig(s, target, b, scale));
+                report(res);
+                out.points.emplace(std::make_tuple(s, b, target.ns()), std::move(res));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace ecnsim

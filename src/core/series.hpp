@@ -1,0 +1,81 @@
+// The paper's experimental grid: series (transport x switch mode), target
+// delay sweep, buffer profiles, and the DropTail baselines.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace ecnsim {
+
+/// The eight evaluated series (Figs. 2-4): each transport combined with the
+/// three AQM protection modes of §III plus the true simple marking scheme.
+enum class PaperSeries {
+    EcnDefault,
+    EcnEce,
+    EcnAckSyn,
+    EcnMarking,
+    DctcpDefault,
+    DctcpEce,
+    DctcpAckSyn,
+    DctcpMarking,
+};
+
+inline constexpr PaperSeries kAllSeries[] = {
+    PaperSeries::EcnDefault,  PaperSeries::EcnEce,  PaperSeries::EcnAckSyn,
+    PaperSeries::EcnMarking,  PaperSeries::DctcpDefault, PaperSeries::DctcpEce,
+    PaperSeries::DctcpAckSyn, PaperSeries::DctcpMarking,
+};
+
+std::string paperSeriesName(PaperSeries s);
+TransportKind paperSeriesTransport(PaperSeries s);
+
+/// Scale knobs shared by all figure binaries; environment variables
+/// ECNSIM_NODES / ECNSIM_INPUT_MB / ECNSIM_SEED / ECNSIM_GBPS override the
+/// defaults so the sweep can be scaled up on bigger machines.
+struct SweepScale {
+    int numNodes = 12;
+    std::int64_t inputBytesPerNode = 24 * 1024 * 1024;
+    Bandwidth linkRate = Bandwidth::gigabitsPerSecond(1);
+    std::uint64_t seed = 7;
+    int repeats = 3;
+
+    static SweepScale fromEnvironment();
+};
+
+/// The target delays on the paper's x-axis.
+std::vector<Time> paperTargetDelays();
+
+/// Common workload/topology shared by every point of the grid.
+ExperimentConfig makeBaseConfig(const SweepScale& scale);
+
+/// One grid point: series at a given target delay and buffer depth.
+ExperimentConfig makeSeriesConfig(PaperSeries s, Time targetDelay, BufferProfile buffers,
+                                  const SweepScale& scale);
+
+/// Baseline: plain TCP through DropTail at the given depth.
+ExperimentConfig makeDropTailConfig(BufferProfile buffers, const SweepScale& scale);
+
+/// The whole grid, with both baselines. Keys: (series, buffers, target ns).
+struct SweepResults {
+    ExperimentResult dropTailShallow;
+    ExperimentResult dropTailDeep;
+    std::map<std::tuple<PaperSeries, BufferProfile, std::int64_t>, ExperimentResult> points;
+
+    const ExperimentResult& at(PaperSeries s, BufferProfile b, Time target) const {
+        return points.at({s, b, target.ns()});
+    }
+    const ExperimentResult& dropTail(BufferProfile b) const {
+        return b == BufferProfile::Shallow ? dropTailShallow : dropTailDeep;
+    }
+};
+
+/// Run (or load from cache) the full paper sweep. `progress`, if given, is
+/// called with a human-readable line after each completed run.
+SweepResults runPaperSweep(const SweepScale& scale,
+                           const std::function<void(const std::string&)>& progress = {});
+
+}  // namespace ecnsim

@@ -1,0 +1,50 @@
+// Per-node disk: a FIFO device with distinct sequential read/write rates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+/// Single-spindle model: requests are serviced in submission order at the
+/// sequential rate (MRPerf's disk abstraction). Concurrent tasks on a node
+/// therefore contend for the device, lengthening their I/O phases.
+class DiskModel {
+public:
+    DiskModel(Simulator& sim, Bandwidth readRate, Bandwidth writeRate)
+        : sim_(sim), readRate_(readRate), writeRate_(writeRate) {}
+
+    void read(std::int64_t bytes, std::function<void()> done) {
+        submit(readRate_.transmissionTime(bytes), std::move(done));
+        bytesRead_ += bytes;
+    }
+
+    void write(std::int64_t bytes, std::function<void()> done) {
+        submit(writeRate_.transmissionTime(bytes), std::move(done));
+        bytesWritten_ += bytes;
+    }
+
+    /// Device busy until this instant.
+    Time busyUntil() const { return nextFree_; }
+    std::int64_t bytesRead() const { return bytesRead_; }
+    std::int64_t bytesWritten() const { return bytesWritten_; }
+
+private:
+    void submit(Time duration, std::function<void()> done) {
+        const Time start = std::max(sim_.now(), nextFree_);
+        nextFree_ = start + duration;
+        sim_.scheduleAt(nextFree_, std::move(done));
+    }
+
+    Simulator& sim_;
+    Bandwidth readRate_;
+    Bandwidth writeRate_;
+    Time nextFree_;
+    std::int64_t bytesRead_ = 0;
+    std::int64_t bytesWritten_ = 0;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,295 @@
+#include "src/mapred/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ecnsim {
+
+MapReduceEngine::MapReduceEngine(ClusterRuntime& runtime, JobSpec job, int jobId)
+    : rt_(runtime), job_(job), jobId_(jobId) {
+    initTasks();
+}
+
+MapReduceEngine::MapReduceEngine(std::unique_ptr<ClusterRuntime> owned, JobSpec job, int jobId)
+    : ownedRuntime_(std::move(owned)), rt_(*ownedRuntime_), job_(job), jobId_(jobId) {
+    initTasks();
+}
+
+MapReduceEngine::MapReduceEngine(Network& net, std::vector<HostNode*> hosts, ClusterSpec cluster,
+                                 JobSpec job, TcpConfig tcp)
+    : MapReduceEngine(std::make_unique<ClusterRuntime>(net, std::move(hosts), cluster, tcp), job,
+                      0) {}
+
+void MapReduceEngine::initTasks() {
+    job_.validate();
+    if (jobId_ < 0 || jobId_ >= kReplicaPortBase - kShufflePortBase) {
+        throw std::invalid_argument("jobId out of range");
+    }
+
+    const int numNodes = rt_.numNodes();
+    pendingMaps_.resize(static_cast<std::size_t>(numNodes));
+    pendingReducers_.resize(static_cast<std::size_t>(numNodes));
+
+    maps_.resize(static_cast<std::size_t>(job_.numMapTasks));
+    for (int m = 0; m < job_.numMapTasks; ++m) {
+        const int node = m % numNodes;  // input block locality
+        maps_[static_cast<std::size_t>(m)].node = node;
+        pendingMaps_[static_cast<std::size_t>(node)].push_back(m);
+    }
+
+    reducers_.resize(static_cast<std::size_t>(job_.numReduceTasks));
+    for (int r = 0; r < job_.numReduceTasks; ++r) {
+        const int node = r % numNodes;
+        reducers_[static_cast<std::size_t>(r)].node = node;
+        pendingReducers_[static_cast<std::size_t>(node)].push_back(r);
+    }
+
+    // Co-scheduling: claim capacity whenever any job frees a slot.
+    rt_.addSlotObserver([this](int nodeIdx) {
+        tryStartMaps(nodeIdx);
+        tryStartReducers(nodeIdx);
+    });
+}
+
+void MapReduceEngine::start() {
+    metrics_.jobStart = sim().now();
+    for (int i = 0; i < rt_.numNodes(); ++i) {
+        installShuffleServer(i);
+        installReplicaSink(i);
+    }
+    for (int i = 0; i < rt_.numNodes(); ++i) tryStartMaps(i);
+    maybeStartReducers();  // slowstart of 0 releases reducers immediately
+}
+
+// ------------------------------------------------------------- map phase
+
+void MapReduceEngine::tryStartMaps(int nodeIdx) {
+    auto& node = rt_.node(nodeIdx);
+    auto& pending = pendingMaps_[static_cast<std::size_t>(nodeIdx)];
+    while (node.freeMapSlots > 0 && !pending.empty()) {
+        const int mapId = pending.front();
+        pending.pop_front();
+        --node.freeMapSlots;
+        startMap(mapId);
+    }
+}
+
+void MapReduceEngine::startMap(int mapId) {
+    MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    auto& node = rt_.node(task.node);
+    // read input -> compute -> write map output -> done
+    node.disk->read(job_.inputBytesPerMap, [this, mapId] {
+        // Real task durations are skewed; +/-5% jitter (seeded) keeps runs
+        // deterministic per seed while letting repeat-seeds sample variance.
+        const double jitter = sim().rng().uniform(0.95, 1.05);
+        const Time cpu = Time::fromSeconds(
+            (job_.mapCpuPerByte * job_.inputBytesPerMap).toSeconds() * jitter);
+        sim().schedule(cpu, [this, mapId] {
+            MapTask& t = maps_[static_cast<std::size_t>(mapId)];
+            rt_.node(t.node).disk->write(job_.mapOutputBytes(),
+                                         [this, mapId] { onMapDone(mapId); });
+        });
+    });
+}
+
+void MapReduceEngine::onMapDone(int mapId) {
+    MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    task.done = true;
+    task.doneAt = sim().now();
+    mapCompletionOrder_.push_back(mapId);
+    ++completedMaps_;
+    if (completedMaps_ == 1) metrics_.firstMapDone = task.doneAt;
+    if (completedMaps_ == job_.numMapTasks) metrics_.allMapsDone = task.doneAt;
+
+    ++rt_.node(task.node).freeMapSlots;
+    rt_.notifySlotFreed(task.node);
+
+    maybeStartReducers();
+    for (int r = 0; r < job_.numReduceTasks; ++r) {
+        if (reducers_[static_cast<std::size_t>(r)].started &&
+            !reducers_[static_cast<std::size_t>(r)].done) {
+            pumpFetches(r);
+        }
+    }
+}
+
+// ----------------------------------------------------------- reduce phase
+
+void MapReduceEngine::maybeStartReducers() {
+    if (reducersReleased_) return;
+    const int needed = std::max(
+        1, static_cast<int>(job_.reduceSlowstart * static_cast<double>(job_.numMapTasks) + 0.999));
+    if (completedMaps_ < needed) return;
+    reducersReleased_ = true;
+    for (int i = 0; i < rt_.numNodes(); ++i) tryStartReducers(i);
+}
+
+void MapReduceEngine::tryStartReducers(int nodeIdx) {
+    if (!reducersReleased_) return;
+    auto& node = rt_.node(nodeIdx);
+    auto& pending = pendingReducers_[static_cast<std::size_t>(nodeIdx)];
+    while (node.freeReduceSlots > 0 && !pending.empty()) {
+        const int redId = pending.front();
+        pending.pop_front();
+        --node.freeReduceSlots;
+        startReducer(redId);
+    }
+}
+
+void MapReduceEngine::startReducer(int redId) {
+    reducers_[static_cast<std::size_t>(redId)].started = true;
+    pumpFetches(redId);
+}
+
+void MapReduceEngine::pumpFetches(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    while (red.activeFetches < job_.parallelFetchesPerReducer &&
+           red.orderIdx < mapCompletionOrder_.size()) {
+        const int mapId = mapCompletionOrder_[red.orderIdx++];
+        startFetch(redId, mapId);
+    }
+}
+
+void MapReduceEngine::startFetch(int redId, int mapId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    ++red.activeFetches;
+    auto& rn = rt_.node(red.node);
+    const MapTask& map = maps_[static_cast<std::size_t>(mapId)];
+    const auto& mn = rt_.node(map.node);
+
+    TcpCallbacks cb;
+    cb.onReceive = [this, redId](std::int64_t n) {
+        reducers_[static_cast<std::size_t>(redId)].bytesFetched += n;
+        metrics_.shuffleBytesMoved += n;
+    };
+    cb.onPeerClosed = [this, redId, mapId] { onFetchComplete(redId, mapId); };
+
+    TcpConnection& conn = rn.stack->connect(mn.host->id(), shufflePort(), std::move(cb));
+    pendingFetchSizes_[fetchKey(rn.host->id(), conn.localPort())] = job_.partitionBytes();
+    fetchStartTimes_[(static_cast<std::uint64_t>(redId) << 32) |
+                     static_cast<std::uint32_t>(mapId)] = sim().now();
+    conn.send(job_.fetchRequestBytes);
+    conn.close();  // half-close after the request, HTTP-style
+}
+
+void MapReduceEngine::installShuffleServer(int nodeIdx) {
+    rt_.node(nodeIdx).stack->listen(shufflePort(), [this, nodeIdx](TcpConnection& conn) {
+        auto got = std::make_shared<std::int64_t>(0);
+        auto served = std::make_shared<bool>(false);
+        TcpConnection* c = &conn;
+        TcpCallbacks cb;
+        cb.onReceive = [this, nodeIdx, c, got, served](std::int64_t n) {
+            *got += n;
+            if (*served || *got < job_.fetchRequestBytes) return;
+            *served = true;
+            const auto key = fetchKey(c->remoteNode(), c->remotePort());
+            const auto it = pendingFetchSizes_.find(key);
+            const std::int64_t bytes =
+                it != pendingFetchSizes_.end() ? it->second : job_.partitionBytes();
+            if (it != pendingFetchSizes_.end()) pendingFetchSizes_.erase(it);
+            // Serve: read the partition from local disk, then stream it.
+            rt_.node(nodeIdx).disk->read(bytes, [c, bytes] {
+                c->send(bytes);
+                c->close();
+            });
+        };
+        conn.setCallbacks(std::move(cb));
+    });
+}
+
+void MapReduceEngine::installReplicaSink(int nodeIdx) {
+    rt_.node(nodeIdx).stack->listen(replicaPort(), [this](TcpConnection& conn) {
+        TcpCallbacks cb;
+        cb.onReceive = [this](std::int64_t n) { metrics_.replicationBytesMoved += n; };
+        conn.setCallbacks(std::move(cb));
+    });
+}
+
+void MapReduceEngine::onFetchComplete(int redId, int mapId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    --red.activeFetches;
+    ++red.fetchesDone;
+    ++metrics_.fetchesCompleted;
+    const auto key =
+        (static_cast<std::uint64_t>(redId) << 32) | static_cast<std::uint32_t>(mapId);
+    if (const auto it = fetchStartTimes_.find(key); it != fetchStartTimes_.end()) {
+        metrics_.fetchFctUs.push_back((sim().now() - it->second).toMicros());
+        fetchStartTimes_.erase(it);
+    }
+    if (red.fetchesDone == job_.numMapTasks) {
+        startSortPhase(redId);
+    } else {
+        pumpFetches(redId);
+    }
+}
+
+void MapReduceEngine::startSortPhase(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    const std::int64_t bytes = red.bytesFetched;
+    // External merge: spill everything, read it back, then reduce-compute.
+    rt_.node(red.node).disk->write(bytes, [this, redId, bytes] {
+        ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+        rt_.node(r.node).disk->read(bytes, [this, redId, bytes] {
+            const double jitter = sim().rng().uniform(0.95, 1.05);
+            const Time cpu =
+                Time::fromSeconds((job_.reduceCpuPerByte * bytes).toSeconds() * jitter);
+            sim().schedule(cpu, [this, redId] { writeOutput(redId); });
+        });
+    });
+}
+
+void MapReduceEngine::writeOutput(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    auto& node = rt_.node(red.node);
+    const auto outBytes = static_cast<std::int64_t>(
+        static_cast<double>(red.bytesFetched) * job_.reduceOutputRatio);
+
+    red.replicasPending = job_.outputReplication - 1;
+    red.localWriteDone = false;
+    node.disk->write(outBytes, [this, redId] {
+        reducers_[static_cast<std::size_t>(redId)].localWriteDone = true;
+        maybeFinishReducer(redId);
+    });
+    // Extra replicas stream over TCP to the next nodes in ring order.
+    for (int k = 1; k < job_.outputReplication; ++k) {
+        const int target = (red.node + k) % rt_.numNodes();
+        TcpCallbacks cb;
+        cb.onBytesAcked = [this, redId, outBytes](std::uint64_t acked) {
+            if (acked >= static_cast<std::uint64_t>(outBytes)) {
+                ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+                if (r.replicasPending > 0) {
+                    --r.replicasPending;
+                    maybeFinishReducer(redId);
+                }
+            }
+        };
+        TcpConnection& conn =
+            node.stack->connect(rt_.node(target).host->id(), replicaPort(), std::move(cb));
+        conn.send(outBytes);
+        conn.close();
+    }
+}
+
+void MapReduceEngine::maybeFinishReducer(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    if (red.done || !red.localWriteDone || red.replicasPending > 0) return;
+    onReducerDone(redId);
+}
+
+void MapReduceEngine::onReducerDone(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    red.done = true;
+    ++completedReducers_;
+    if (completedReducers_ == 1) metrics_.firstReduceDone = sim().now();
+
+    ++rt_.node(red.node).freeReduceSlots;
+    rt_.notifySlotFreed(red.node);
+
+    if (completedReducers_ == job_.numReduceTasks) {
+        metrics_.jobEnd = sim().now();
+        metrics_.finished = true;
+        if (onComplete_) onComplete_();
+    }
+}
+
+}  // namespace ecnsim

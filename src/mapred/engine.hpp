@@ -1,0 +1,130 @@
+// The MapReduce job engine: slot scheduling, map pipeline, shuffle over
+// real simulated TCP connections, sort/reduce and replicated output.
+//
+// This plays the role MRPerf played in the paper: it drives the network
+// simulator with a Terasort-shaped workload whose shuffle is an all-to-all
+// mesh of TCP fetches. Several engines may share one ClusterRuntime (and
+// therefore slots, disks and stacks) to model mixed-use clusters; give
+// each concurrent job a distinct jobId so their service ports differ.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mapred/metrics.hpp"
+#include "src/mapred/runtime.hpp"
+
+namespace ecnsim {
+
+class MapReduceEngine {
+public:
+    static constexpr std::uint16_t kShufflePortBase = 5060;
+    static constexpr std::uint16_t kReplicaPortBase = 5560;
+
+    /// Run `job` on a shared cluster runtime.
+    MapReduceEngine(ClusterRuntime& runtime, JobSpec job, int jobId = 0);
+
+    /// Convenience: build a private runtime for a single-job simulation.
+    /// `hosts` must contain exactly cluster.numNodes hosts of `net`.
+    MapReduceEngine(Network& net, std::vector<HostNode*> hosts, ClusterSpec cluster, JobSpec job,
+                    TcpConfig tcp);
+
+    /// Launch the job at the current simulation time.
+    void start();
+
+    /// Invoked (once) when the last reducer commits its output.
+    void setOnComplete(std::function<void()> cb) { onComplete_ = std::move(cb); }
+
+    bool finished() const { return metrics_.finished; }
+    const JobMetrics& metrics() const { return metrics_; }
+    const ClusterSpec& cluster() const { return rt_.spec(); }
+    const JobSpec& job() const { return job_; }
+    int jobId() const { return jobId_; }
+    std::uint16_t shufflePort() const {
+        return static_cast<std::uint16_t>(kShufflePortBase + jobId_);
+    }
+    std::uint16_t replicaPort() const {
+        return static_cast<std::uint16_t>(kReplicaPortBase + jobId_);
+    }
+
+    int completedMaps() const { return completedMaps_; }
+    int completedReducers() const { return completedReducers_; }
+
+    /// Aggregate TCP statistics across every node's stack. With concurrent
+    /// jobs on one runtime this covers all of them (stacks are shared).
+    TcpConnStats aggregateTcpStats() const { return rt_.aggregateTcpStats(); }
+
+    TcpStack& stackOf(int nodeIdx) { return *rt_.node(nodeIdx).stack; }
+
+private:
+    struct MapTask {
+        int node = -1;
+        bool done = false;
+        Time doneAt;
+    };
+
+    struct ReduceTask {
+        int node = -1;
+        bool started = false;
+        bool done = false;
+        std::size_t orderIdx = 0;  ///< cursor into mapCompletionOrder_
+        int activeFetches = 0;
+        int fetchesDone = 0;
+        std::int64_t bytesFetched = 0;
+        int replicasPending = 0;
+        bool localWriteDone = false;
+    };
+
+    // Map pipeline.
+    void tryStartMaps(int nodeIdx);
+    void startMap(int mapId);
+    void onMapDone(int mapId);
+
+    // Reduce pipeline.
+    void maybeStartReducers();
+    void tryStartReducers(int nodeIdx);
+    void startReducer(int redId);
+    void pumpFetches(int redId);
+    void startFetch(int redId, int mapId);
+    void onFetchComplete(int redId, int mapId);
+    void startSortPhase(int redId);
+    void writeOutput(int redId);
+    void maybeFinishReducer(int redId);
+    void onReducerDone(int redId);
+
+    MapReduceEngine(std::unique_ptr<ClusterRuntime> owned, JobSpec job, int jobId);
+    void initTasks();
+
+    static std::uint64_t fetchKey(NodeId clientNode, std::uint16_t clientPort) {
+        return (static_cast<std::uint64_t>(clientNode) << 16) | clientPort;
+    }
+    void installShuffleServer(int nodeIdx);
+    void installReplicaSink(int nodeIdx);
+
+    Simulator& sim() { return rt_.network().sim(); }
+
+    std::unique_ptr<ClusterRuntime> ownedRuntime_;  // only for the legacy ctor
+    ClusterRuntime& rt_;
+    JobSpec job_;
+    int jobId_;
+    // Per-job pending task queues, indexed by node.
+    std::vector<std::deque<int>> pendingMaps_;
+    std::vector<std::deque<int>> pendingReducers_;
+    std::vector<MapTask> maps_;
+    std::vector<ReduceTask> reducers_;
+    std::vector<int> mapCompletionOrder_;
+    std::unordered_map<std::uint64_t, std::int64_t> pendingFetchSizes_;
+    /// (reducer, map) -> fetch start, for flow-completion-time accounting.
+    std::unordered_map<std::uint64_t, Time> fetchStartTimes_;
+    int completedMaps_ = 0;
+    int completedReducers_ = 0;
+    bool reducersReleased_ = false;
+    JobMetrics metrics_;
+    std::function<void()> onComplete_;
+};
+
+}  // namespace ecnsim

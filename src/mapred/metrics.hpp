@@ -1,0 +1,57 @@
+// Job-level metrics: phase timeline and the paper's throughput measure.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+struct JobMetrics {
+    Time jobStart;
+    Time firstMapDone;
+    Time allMapsDone;
+    Time firstReduceDone;
+    Time jobEnd;
+    bool finished = false;
+
+    std::int64_t shuffleBytesMoved = 0;      ///< app-level fetched bytes
+    std::int64_t replicationBytesMoved = 0;  ///< HDFS replica traffic
+    std::uint32_t fetchesCompleted = 0;
+    /// Flow completion time of every shuffle fetch (connect -> stream
+    /// complete), in microseconds; the tail drives the job runtime.
+    std::vector<double> fetchFctUs;
+
+    double fctMeanUs() const {
+        if (fetchFctUs.empty()) return 0.0;
+        double s = 0.0;
+        for (const double v : fetchFctUs) s += v;
+        return s / static_cast<double>(fetchFctUs.size());
+    }
+
+    /// Exact quantile over the recorded fetch FCTs (q in [0,1]).
+    double fctQuantileUs(double q) const {
+        if (fetchFctUs.empty()) return 0.0;
+        std::vector<double> v = fetchFctUs;
+        std::sort(v.begin(), v.end());
+        const auto idx = static_cast<std::size_t>(
+            std::clamp(q, 0.0, 1.0) * static_cast<double>(v.size() - 1) + 0.5);
+        return v[std::min(idx, v.size() - 1)];
+    }
+
+    Time runtime() const { return jobEnd - jobStart; }
+    Time mapPhase() const { return allMapsDone - jobStart; }
+
+    /// The paper's "average throughput per node" in Mbit/s: application
+    /// bytes moved over the network divided by runtime and node count.
+    double throughputPerNodeMbps(int numNodes) const {
+        const double secs = runtime().toSeconds();
+        if (secs <= 0.0 || numNodes <= 0) return 0.0;
+        const double bits = 8.0 * static_cast<double>(shuffleBytesMoved + replicationBytesMoved);
+        return bits / secs / 1e6 / numNodes;
+    }
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,46 @@
+#include "src/mapred/runtime.hpp"
+
+#include <stdexcept>
+
+namespace ecnsim {
+
+ClusterRuntime::ClusterRuntime(Network& net, std::vector<HostNode*> hosts, ClusterSpec spec,
+                               TcpConfig tcp)
+    : net_(net), spec_(spec) {
+    spec_.validate();
+    if (static_cast<int>(hosts.size()) != spec_.numNodes) {
+        throw std::invalid_argument("host count does not match cluster spec");
+    }
+    nodes_.resize(hosts.size());
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+        NodeRuntime& n = nodes_[i];
+        n.host = hosts[i];
+        n.stack = std::make_unique<TcpStack>(net_, *hosts[i], tcp);
+        n.disk = std::make_unique<DiskModel>(net_.sim(), spec_.diskReadRate, spec_.diskWriteRate);
+        n.freeMapSlots = spec_.mapSlotsPerNode;
+        n.freeReduceSlots = spec_.reduceSlotsPerNode;
+    }
+}
+
+TcpConnStats ClusterRuntime::aggregateTcpStats() const {
+    TcpConnStats agg;
+    for (const auto& n : nodes_) {
+        const auto s = n.stack->aggregateStats();
+        agg.bytesSent += s.bytesSent;
+        agg.bytesRetransmitted += s.bytesRetransmitted;
+        agg.bytesAcked += s.bytesAcked;
+        agg.bytesReceived += s.bytesReceived;
+        agg.segmentsSent += s.segmentsSent;
+        agg.retransmits += s.retransmits;
+        agg.fastRetransmits += s.fastRetransmits;
+        agg.rtoEvents += s.rtoEvents;
+        agg.synRetries += s.synRetries;
+        agg.ecnCwndCuts += s.ecnCwndCuts;
+        agg.acksSent += s.acksSent;
+        agg.acksSentWithEce += s.acksSentWithEce;
+        agg.acksReceivedWithEce += s.acksReceivedWithEce;
+    }
+    return agg;
+}
+
+}  // namespace ecnsim

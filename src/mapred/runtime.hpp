@@ -1,0 +1,55 @@
+// ClusterRuntime: the per-node execution substrate (TCP stack, disk, task
+// slots) shared by every job on the cluster. Multiple MapReduceEngines can
+// run concurrently against one runtime — the paper's "mixed use" setting.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/mapred/disk.hpp"
+#include "src/mapred/spec.hpp"
+#include "src/net/network.hpp"
+#include "src/tcp/stack.hpp"
+
+namespace ecnsim {
+
+class ClusterRuntime {
+public:
+    struct NodeRuntime {
+        HostNode* host = nullptr;
+        std::unique_ptr<TcpStack> stack;
+        std::unique_ptr<DiskModel> disk;
+        int freeMapSlots = 0;
+        int freeReduceSlots = 0;
+    };
+
+    ClusterRuntime(Network& net, std::vector<HostNode*> hosts, ClusterSpec spec, TcpConfig tcp);
+
+    Network& network() { return net_; }
+    const ClusterSpec& spec() const { return spec_; }
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    NodeRuntime& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
+    const NodeRuntime& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+
+    /// Sum per-connection TCP stats across every node's stack.
+    TcpConnStats aggregateTcpStats() const;
+
+    /// Slot-release notifications: every registered engine is offered the
+    /// freed node so co-scheduled jobs can claim capacity. Observers must
+    /// outlive the runtime's use (engines register themselves and live as
+    /// long as the simulation).
+    void addSlotObserver(std::function<void(int nodeIdx)> cb) {
+        slotObservers_.push_back(std::move(cb));
+    }
+    void notifySlotFreed(int nodeIdx) {
+        for (auto& cb : slotObservers_) cb(nodeIdx);
+    }
+
+private:
+    Network& net_;
+    ClusterSpec spec_;
+    std::vector<NodeRuntime> nodes_;
+    std::vector<std::function<void(int)>> slotObservers_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,119 @@
+// Cluster and job descriptions (MRPerf-style inputs).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/sim/time.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+struct ClusterSpec {
+    int numNodes = 16;
+    int mapSlotsPerNode = 2;
+    int reduceSlotsPerNode = 1;
+    /// Fast local storage (RAID / page-cache-warm map outputs) so that the
+    /// network — not the disks — bottlenecks the shuffle, as in the paper.
+    Bandwidth diskReadRate = Bandwidth::megabitsPerSecond(4000);   // 500 MB/s
+    Bandwidth diskWriteRate = Bandwidth::megabitsPerSecond(3200);  // 400 MB/s
+
+    void validate() const {
+        if (numNodes < 2) throw std::invalid_argument("cluster needs >= 2 nodes");
+        if (mapSlotsPerNode < 1 || reduceSlotsPerNode < 1) {
+            throw std::invalid_argument("cluster needs >= 1 slot of each kind");
+        }
+    }
+};
+
+struct JobSpec {
+    int numMapTasks = 32;
+    int numReduceTasks = 16;
+    std::int64_t inputBytesPerMap = 4 * 1024 * 1024;
+    /// Map output bytes = input * mapOutputRatio (Terasort: 1.0).
+    double mapOutputRatio = 1.0;
+    /// Reduce output bytes = reduce input * reduceOutputRatio.
+    double reduceOutputRatio = 1.0;
+    /// HDFS replication for reduce output; each extra replica is shipped
+    /// over TCP to another node.
+    int outputReplication = 1;
+
+    /// CPU cost models (per byte processed).
+    Time mapCpuPerByte = Time::nanoseconds(2);
+    Time reduceCpuPerByte = Time::nanoseconds(2);
+
+    /// Hadoop's mapred.reduce.parallel.copies (raised from the default 5,
+    /// as shuffle-heavy deployments do, to keep the mesh saturated).
+    int parallelFetchesPerReducer = 8;
+    std::int64_t fetchRequestBytes = 120;
+
+    /// Fraction of maps that must complete before reducers start fetching
+    /// (mapreduce.job.reduce.slowstart.completedmaps).
+    double reduceSlowstart = 0.05;
+
+    std::int64_t mapOutputBytes() const {
+        return static_cast<std::int64_t>(static_cast<double>(inputBytesPerMap) * mapOutputRatio);
+    }
+    std::int64_t partitionBytes() const {
+        return std::max<std::int64_t>(1, mapOutputBytes() / numReduceTasks);
+    }
+    std::int64_t totalShuffleBytes() const {
+        return partitionBytes() * static_cast<std::int64_t>(numMapTasks) * numReduceTasks;
+    }
+
+    void validate() const {
+        if (numMapTasks < 1 || numReduceTasks < 1) throw std::invalid_argument("job needs tasks");
+        if (inputBytesPerMap <= 0) throw std::invalid_argument("job needs input bytes");
+        if (outputReplication < 1) throw std::invalid_argument("replication >= 1");
+        if (parallelFetchesPerReducer < 1) throw std::invalid_argument("parallel copies >= 1");
+    }
+};
+
+/// The paper's workload: Terasort — identity map and reduce, output size
+/// equal to input size, shuffle moves the whole dataset.
+inline JobSpec terasortJob(int numNodes, std::int64_t inputBytesPerNode, int mapsPerNode = 2,
+                           int reducersPerNode = 1) {
+    JobSpec job;
+    job.numMapTasks = numNodes * mapsPerNode;
+    job.numReduceTasks = numNodes * reducersPerNode;
+    job.inputBytesPerMap = inputBytesPerNode / mapsPerNode;
+    job.mapOutputRatio = 1.0;
+    job.reduceOutputRatio = 1.0;
+    return job;
+}
+
+/// WordCount with a combiner: the map side compresses heavily, so the
+/// shuffle moves only a fraction of the input and the network pressure is
+/// moderate. CPU-heavier map than Terasort.
+inline JobSpec wordcountJob(int numNodes, std::int64_t inputBytesPerNode, int mapsPerNode = 2,
+                            int reducersPerNode = 1) {
+    JobSpec job = terasortJob(numNodes, inputBytesPerNode, mapsPerNode, reducersPerNode);
+    job.mapOutputRatio = 0.2;
+    job.reduceOutputRatio = 0.3;
+    job.mapCpuPerByte = Time::nanoseconds(8);
+    job.reduceCpuPerByte = Time::nanoseconds(4);
+    return job;
+}
+
+/// Grep-style scan: tiny map output, shuffle is almost free — the control
+/// case where AQM misconfiguration should barely matter.
+inline JobSpec grepJob(int numNodes, std::int64_t inputBytesPerNode, int mapsPerNode = 2,
+                       int reducersPerNode = 1) {
+    JobSpec job = terasortJob(numNodes, inputBytesPerNode, mapsPerNode, reducersPerNode);
+    job.mapOutputRatio = 0.02;
+    job.reduceOutputRatio = 1.0;
+    job.mapCpuPerByte = Time::nanoseconds(4);
+    return job;
+}
+
+/// Reduce-side join: map output exceeds the input (tagging/duplication),
+/// amplifying the shuffle beyond Terasort — the worst case for the switch.
+inline JobSpec joinJob(int numNodes, std::int64_t inputBytesPerNode, int mapsPerNode = 2,
+                       int reducersPerNode = 1) {
+    JobSpec job = terasortJob(numNodes, inputBytesPerNode, mapsPerNode, reducersPerNode);
+    job.mapOutputRatio = 1.5;
+    job.reduceOutputRatio = 0.8;
+    return job;
+}
+
+}  // namespace ecnsim

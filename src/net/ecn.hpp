@@ -1,0 +1,46 @@
+// ECN codepoints exactly as in the paper's Table I (TCP header) and
+// Table II (IP header), plus the standard TCP flag bits.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecnsim {
+
+/// Table II — ECN codepoints in the IP header (two-bit field).
+/// Bit values follow RFC 3168: 00 Non-ECT, 10 ECT(0), 01 ECT(1), 11 CE.
+enum class EcnCodepoint : std::uint8_t {
+    NotEct = 0b00,  ///< Non ECN-Capable Transport
+    Ect1 = 0b01,    ///< ECN Capable Transport, codepoint ECT(1)
+    Ect0 = 0b10,    ///< ECN Capable Transport, codepoint ECT(0)
+    Ce = 0b11,      ///< Congestion Encountered
+};
+
+/// True if the packet advertises ECN capability (or already carries CE):
+/// an AQM may mark such a packet instead of dropping it.
+constexpr bool isEctCapable(EcnCodepoint cp) { return cp != EcnCodepoint::NotEct; }
+
+constexpr std::string_view ecnCodepointName(EcnCodepoint cp) {
+    switch (cp) {
+        case EcnCodepoint::NotEct: return "Non-ECT";
+        case EcnCodepoint::Ect0: return "ECT(0)";
+        case EcnCodepoint::Ect1: return "ECT(1)";
+        case EcnCodepoint::Ce: return "CE";
+    }
+    return "?";
+}
+
+/// TCP header flag bits (RFC 793 + RFC 3168). ECE and CWR are the
+/// Table I codepoints the paper's first proposal inspects in the switch.
+namespace tcp_flags {
+constexpr std::uint8_t Fin = 0x01;
+constexpr std::uint8_t Syn = 0x02;
+constexpr std::uint8_t Rst = 0x04;
+constexpr std::uint8_t Psh = 0x08;
+constexpr std::uint8_t Ack = 0x10;
+constexpr std::uint8_t Urg = 0x20;
+constexpr std::uint8_t Ece = 0x40;  ///< ECN-Echo flag (Table I codepoint 01)
+constexpr std::uint8_t Cwr = 0x80;  ///< Congestion Window Reduced (Table I codepoint 10)
+}  // namespace tcp_flags
+
+}  // namespace ecnsim

@@ -1,0 +1,44 @@
+#include "src/net/link.hpp"
+
+#include <cassert>
+
+#include "src/net/node.hpp"
+
+namespace ecnsim {
+
+Port::Port(Simulator& sim, Bandwidth rate, Time propagationDelay, std::unique_ptr<Queue> queue)
+    : sim_(sim), rate_(rate), propagationDelay_(propagationDelay), queue_(std::move(queue)) {
+    assert(queue_ && "port requires a queue discipline");
+    assert(!rate_.isZero() && "port requires a non-zero rate");
+}
+
+EnqueueOutcome Port::send(PacketPtr pkt) {
+    const auto outcome = queue_->enqueue(std::move(pkt), sim_.now());
+    if (!isDrop(outcome)) tryTransmit();
+    return outcome;
+}
+
+void Port::tryTransmit() {
+    if (busy_ || queue_->empty()) return;
+    PacketPtr pkt = queue_->dequeue(sim_.now());
+    if (!pkt) return;
+    busy_ = true;
+    bytesTx_ += static_cast<std::uint64_t>(pkt->sizeBytes);
+    ++pktsTx_;
+    const Time serialization = rate_.transmissionTime(pkt->sizeBytes);
+    sim_.schedule(serialization, [this, pkt = std::move(pkt)]() mutable {
+        busy_ = false;
+        // Wire flight: after the propagation delay the peer sees the packet.
+        if (peer_ != nullptr) {
+            Node* peer = peer_;
+            const int inPort = peerInPort_;
+            pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
+            sim_.schedule(propagationDelay_, [peer, inPort, pkt = std::move(pkt)]() mutable {
+                peer->handleReceive(std::move(pkt), inPort);
+            });
+        }
+        tryTransmit();
+    });
+}
+
+}  // namespace ecnsim

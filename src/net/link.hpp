@@ -1,0 +1,62 @@
+// Port: an egress interface with its queue and transmitter, attached to a
+// point-to-point link towards a peer node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/net/packet.hpp"
+#include "src/net/queue.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+class Node;
+
+/// One direction of a point-to-point link: queue + serializer + wire.
+///
+/// send() enqueues through the attached AQM; the transmitter drains the
+/// queue at line rate and delivers each packet to the peer after the
+/// propagation delay.
+class Port {
+public:
+    Port(Simulator& sim, Bandwidth rate, Time propagationDelay, std::unique_ptr<Queue> queue);
+
+    Port(const Port&) = delete;
+    Port& operator=(const Port&) = delete;
+
+    void connectTo(Node* peer, int peerInPort) {
+        peer_ = peer;
+        peerInPort_ = peerInPort;
+    }
+
+    /// Offer a packet for transmission; returns the queue's decision.
+    EnqueueOutcome send(PacketPtr pkt);
+
+    Queue& queue() { return *queue_; }
+    const Queue& queue() const { return *queue_; }
+    Bandwidth rate() const { return rate_; }
+    Time propagationDelay() const { return propagationDelay_; }
+    Node* peer() const { return peer_; }
+    bool transmitting() const { return busy_; }
+
+    std::uint64_t bytesTransmitted() const { return bytesTx_; }
+    std::uint64_t packetsTransmitted() const { return pktsTx_; }
+
+private:
+    void tryTransmit();
+
+    Simulator& sim_;
+    Bandwidth rate_;
+    Time propagationDelay_;
+    std::unique_ptr<Queue> queue_;
+    Node* peer_ = nullptr;
+    int peerInPort_ = -1;
+    bool busy_ = false;
+    std::uint64_t bytesTx_ = 0;
+    std::uint64_t pktsTx_ = 0;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,104 @@
+#include "src/net/network.hpp"
+
+#include <deque>
+#include <limits>
+
+namespace ecnsim {
+
+HostNode& Network::addHost(std::string label) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto host = std::make_unique<HostNode>(*this, id, std::move(label));
+    HostNode* raw = host.get();
+    nodes_.push_back(std::move(host));
+    hosts_.push_back(raw);
+    adjacency_.emplace_back();
+    return *raw;
+}
+
+SwitchNode& Network::addSwitch(std::string label) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto sw = std::make_unique<SwitchNode>(*this, id, std::move(label));
+    SwitchNode* raw = sw.get();
+    nodes_.push_back(std::move(sw));
+    switches_.push_back(raw);
+    adjacency_.emplace_back();
+    return *raw;
+}
+
+std::pair<int, int> Network::connect(Node& a, Node& b, Bandwidth rate, Time delay,
+                                     const QueueFactory& queueAtA, const QueueFactory& queueAtB) {
+    const int pa = a.addPort(std::make_unique<Port>(sim_, rate, delay, queueAtA()));
+    const int pb = b.addPort(std::make_unique<Port>(sim_, rate, delay, queueAtB()));
+    a.port(static_cast<std::size_t>(pa)).connectTo(&b, pb);
+    b.port(static_cast<std::size_t>(pb)).connectTo(&a, pa);
+    adjacency_[a.id()].emplace_back(pa, b.id());
+    adjacency_[b.id()].emplace_back(pb, a.id());
+    return {pa, pb};
+}
+
+void Network::installRoutes() {
+    // BFS from each host over the reversed (== same, links are symmetric)
+    // graph gives each node's distance to that host; a switch's candidate
+    // egress ports are all neighbors one step closer.
+    const auto n = nodes_.size();
+    for (const HostNode* host : hosts_) {
+        std::vector<int> dist(n, std::numeric_limits<int>::max());
+        std::deque<NodeId> queue;
+        dist[host->id()] = 0;
+        queue.push_back(host->id());
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (const auto& [port, v] : adjacency_[u]) {
+                (void)port;
+                if (dist[v] == std::numeric_limits<int>::max()) {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (SwitchNode* sw : switches_) {
+            std::vector<int> candidates;
+            for (const auto& [port, v] : adjacency_[sw->id()]) {
+                if (dist[v] != std::numeric_limits<int>::max() && dist[v] + 1 == dist[sw->id()]) {
+                    candidates.push_back(port);
+                }
+            }
+            if (!candidates.empty()) sw->setRoutes(host->id(), std::move(candidates));
+        }
+    }
+}
+
+QueueStats::PerClass Network::switchDropSummary(PacketClass c) const {
+    QueueStats::PerClass sum;
+    for (const Queue* q : switchQueues()) {
+        const auto& pc = q->stats().of(c);
+        sum.enqueued += pc.enqueued;
+        sum.marked += pc.marked;
+        sum.droppedEarly += pc.droppedEarly;
+        sum.droppedOverflow += pc.droppedOverflow;
+    }
+    return sum;
+}
+
+std::uint64_t Network::switchMarksTotal() const {
+    std::uint64_t marks = 0;
+    for (const Queue* q : switchQueues()) marks += q->stats().total().marked;
+    return marks;
+}
+
+void Network::attachSwitchQueueObserver(QueueObserver* obs) {
+    for (SwitchNode* sw : switches_) {
+        for (std::size_t i = 0; i < sw->numPorts(); ++i) sw->port(i).queue().setObserver(obs);
+    }
+}
+
+std::vector<const Queue*> Network::switchQueues() const {
+    std::vector<const Queue*> out;
+    for (const SwitchNode* sw : switches_) {
+        for (std::size_t i = 0; i < sw->numPorts(); ++i) out.push_back(&sw->port(i).queue());
+    }
+    return out;
+}
+
+}  // namespace ecnsim

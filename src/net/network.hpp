@@ -1,0 +1,71 @@
+// Network: container for nodes, links and telemetry of one simulated run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/net/node.hpp"
+#include "src/net/queue.hpp"
+#include "src/net/telemetry.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/sim/units.hpp"
+
+namespace ecnsim {
+
+class Network {
+public:
+    explicit Network(Simulator& sim) : sim_(sim) {}
+
+    Network(const Network&) = delete;
+    Network& operator=(const Network&) = delete;
+
+    Simulator& sim() { return sim_; }
+    NetworkTelemetry& telemetry() { return telemetry_; }
+    const NetworkTelemetry& telemetry() const { return telemetry_; }
+
+    HostNode& addHost(std::string label);
+    SwitchNode& addSwitch(std::string label);
+
+    /// Create a full-duplex link between two nodes. Each direction gets its
+    /// own egress queue from the corresponding factory.
+    /// Returns the (a-side, b-side) port indices.
+    std::pair<int, int> connect(Node& a, Node& b, Bandwidth rate, Time delay,
+                                const QueueFactory& queueAtA, const QueueFactory& queueAtB);
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    Node& node(NodeId id) { return *nodes_.at(id); }
+    const std::vector<HostNode*>& hosts() const { return hosts_; }
+    const std::vector<SwitchNode*>& switches() const { return switches_; }
+
+    /// Compute shortest-path routes from every switch to every host and
+    /// install them (all equal-cost next hops, ECMP by flow hash).
+    void installRoutes();
+
+    /// Sum of the per-class stats of every switch egress queue.
+    QueueStats::PerClass switchDropSummary(PacketClass c) const;
+    /// Aggregate over switch egress queues of total marks.
+    std::uint64_t switchMarksTotal() const;
+
+    /// All switch egress queues (for snapshots and per-queue inspection).
+    std::vector<const Queue*> switchQueues() const;
+
+    /// Attach one observer to every switch egress queue (nullptr detaches).
+    void attachSwitchQueueObserver(QueueObserver* obs);
+
+    /// Per-run connection/flow id source (deterministic, starts at 1).
+    std::uint32_t allocateFlowId() { return nextFlowId_++; }
+
+private:
+    friend class HostNode;
+
+    Simulator& sim_;
+    NetworkTelemetry telemetry_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<HostNode*> hosts_;
+    std::vector<SwitchNode*> switches_;
+    // adjacency: for each node, list of (port index, neighbor id)
+    std::vector<std::vector<std::pair<int, NodeId>>> adjacency_;
+    std::uint32_t nextFlowId_ = 1;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,49 @@
+#include "src/net/node.hpp"
+
+#include <stdexcept>
+
+#include "src/net/network.hpp"
+
+namespace ecnsim {
+
+EnqueueOutcome HostNode::inject(PacketPtr pkt) {
+    pkt->sentAt = net_.sim().now();
+    pkt->src = id();
+    net_.telemetry().recordInjected(*pkt);
+    return port(0).send(std::move(pkt));
+}
+
+void HostNode::handleReceive(PacketPtr pkt, int /*inPort*/) {
+    net_.telemetry().recordDelivered(*pkt, net_.sim().now());
+    if (handler_) handler_(std::move(pkt));
+}
+
+const std::vector<int> SwitchNode::kNoRoute{};
+
+void SwitchNode::setRoutes(NodeId dst, std::vector<int> ports) {
+    if (fib_.size() <= dst) fib_.resize(dst + 1);
+    fib_[dst] = std::move(ports);
+}
+
+const std::vector<int>& SwitchNode::routes(NodeId dst) const {
+    if (dst < fib_.size() && !fib_[dst].empty()) return fib_[dst];
+    return kNoRoute;
+}
+
+void SwitchNode::handleReceive(PacketPtr pkt, int /*inPort*/) {
+    const auto& candidates = routes(pkt->dst);
+    if (candidates.empty()) {
+        throw std::logic_error("switch " + label() + ": no route to node " +
+                               std::to_string(pkt->dst));
+    }
+    // Deterministic per-flow ECMP: hash the flow id, not the packet, so a
+    // connection's packets stay in order.
+    std::size_t idx = 0;
+    if (candidates.size() > 1) {
+        std::uint64_t h = pkt->flowId * 0x9E3779B97F4A7C15ull;
+        idx = static_cast<std::size_t>(h >> 32) % candidates.size();
+    }
+    port(static_cast<std::size_t>(candidates[idx])).send(std::move(pkt));
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,89 @@
+// Nodes: hosts (protocol endpoints) and switches (store-and-forward).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/link.hpp"
+#include "src/net/packet.hpp"
+
+namespace ecnsim {
+
+class Network;
+
+/// Base network element. Owns its egress ports.
+class Node {
+public:
+    Node(Network& net, NodeId id, std::string label) : net_(net), id_(id), label_(std::move(label)) {}
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeId id() const { return id_; }
+    const std::string& label() const { return label_; }
+
+    /// A packet has fully arrived on ingress port `inPort`.
+    virtual void handleReceive(PacketPtr pkt, int inPort) = 0;
+
+    Port& port(std::size_t i) { return *ports_.at(i); }
+    const Port& port(std::size_t i) const { return *ports_.at(i); }
+    std::size_t numPorts() const { return ports_.size(); }
+
+    /// Used by topology builders.
+    int addPort(std::unique_ptr<Port> p) {
+        ports_.push_back(std::move(p));
+        return static_cast<int>(ports_.size() - 1);
+    }
+
+protected:
+    Network& net_;
+
+private:
+    NodeId id_;
+    std::string label_;
+    std::vector<std::unique_ptr<Port>> ports_;
+};
+
+/// End host: injects packets and delivers arrivals to a protocol handler
+/// (the TCP stack, probe apps, ...). Hosts are single-homed.
+class HostNode : public Node {
+public:
+    using Node::Node;
+
+    using DeliveryHandler = std::function<void(PacketPtr)>;
+
+    void setDeliveryHandler(DeliveryHandler h) { handler_ = std::move(h); }
+
+    /// Stamp and transmit a locally generated packet.
+    /// Returns the NIC queue's decision (host queues can drop too).
+    EnqueueOutcome inject(PacketPtr pkt);
+
+    void handleReceive(PacketPtr pkt, int inPort) override;
+
+private:
+    DeliveryHandler handler_;
+};
+
+/// Output-queued switch with a static forwarding table (dst host -> port).
+/// Equal-cost entries are resolved by per-flow hashing (deterministic ECMP).
+class SwitchNode : public Node {
+public:
+    using Node::Node;
+
+    void handleReceive(PacketPtr pkt, int inPort) override;
+
+    /// Replace the candidate egress ports towards `dst`.
+    void setRoutes(NodeId dst, std::vector<int> ports);
+    const std::vector<int>& routes(NodeId dst) const;
+
+private:
+    // Indexed by destination node id (dense: node ids are small and dense).
+    std::vector<std::vector<int>> fib_;
+    static const std::vector<int> kNoRoute;
+};
+
+}  // namespace ecnsim

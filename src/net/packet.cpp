@@ -1,0 +1,33 @@
+#include "src/net/packet.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ecnsim {
+
+namespace {
+std::atomic<std::uint64_t> g_nextUid{1};
+}
+
+PacketPtr makePacket() {
+    auto p = std::make_shared<Packet>();
+    p->uid = g_nextUid.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+PacketPtr clonePacket(const Packet& src) {
+    auto p = std::make_shared<Packet>(src);
+    p->uid = g_nextUid.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+std::string Packet::describe() const {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "pkt#%llu %s %u->%u flow=%u size=%d ecn=%s seq=%llu ack=%llu",
+                  static_cast<unsigned long long>(uid), std::string(packetClassName(klass())).c_str(),
+                  src, dst, flowId, sizeBytes, std::string(ecnCodepointName(ecn)).c_str(),
+                  static_cast<unsigned long long>(seq), static_cast<unsigned long long>(ackSeq));
+    return buf;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,105 @@
+// The simulated packet: IP-level ECN field, TCP header summary, wire size
+// and latency bookkeeping. One struct serves TCP segments and raw probes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/net/ecn.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Coarse classification used for queue accounting and the paper's
+/// protection policies.
+enum class PacketClass : std::uint8_t {
+    Data,     ///< TCP segment carrying payload
+    PureAck,  ///< TCP ACK without payload
+    Syn,      ///< connection request
+    SynAck,   ///< connection accept
+    Fin,      ///< teardown segment (with or without payload)
+    Rst,      ///< reset
+    Probe,    ///< raw (non-TCP) latency probe
+    Other,
+};
+
+constexpr std::string_view packetClassName(PacketClass c) {
+    switch (c) {
+        case PacketClass::Data: return "DATA";
+        case PacketClass::PureAck: return "ACK";
+        case PacketClass::Syn: return "SYN";
+        case PacketClass::SynAck: return "SYN-ACK";
+        case PacketClass::Fin: return "FIN";
+        case PacketClass::Rst: return "RST";
+        case PacketClass::Probe: return "PROBE";
+        case PacketClass::Other: return "OTHER";
+    }
+    return "?";
+}
+constexpr std::size_t kNumPacketClasses = 8;
+
+struct Packet;
+using PacketPtr = std::shared_ptr<Packet>;
+
+struct Packet {
+    std::uint64_t uid = 0;
+
+    // Addressing.
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    /// Stable per-connection id used for ECMP hashing and tracing.
+    std::uint32_t flowId = 0;
+
+    // IP header.
+    std::int32_t sizeBytes = 0;  ///< total wire size including headers
+    EcnCodepoint ecn = EcnCodepoint::NotEct;
+
+    // TCP header summary (valid when isTcp).
+    bool isTcp = false;
+    std::uint8_t tcpFlags = 0;
+    std::uint64_t seq = 0;      ///< first payload byte (64-bit: no wraparound in-sim)
+    std::uint64_t ackSeq = 0;   ///< cumulative ACK
+    std::int32_t payloadBytes = 0;
+
+    /// SACK option (RFC 2018): up to 3 [start, end) blocks on ACKs.
+    std::uint8_t sackCount = 0;
+    std::array<std::pair<std::uint64_t, std::uint64_t>, 3> sackBlocks{};
+
+    // Telemetry.
+    Time sentAt;       ///< stamped when the source host injects the packet
+    Time enqueuedAt;   ///< stamped by the current queue (sojourn-time AQMs)
+    std::uint8_t hops = 0;
+
+    PacketClass klass() const {
+        if (!isTcp) return PacketClass::Probe;
+        using namespace tcp_flags;
+        if (tcpFlags & Rst) return PacketClass::Rst;
+        if ((tcpFlags & Syn) && (tcpFlags & Ack)) return PacketClass::SynAck;
+        if (tcpFlags & Syn) return PacketClass::Syn;
+        if (tcpFlags & Fin) return PacketClass::Fin;
+        if (payloadBytes > 0) return PacketClass::Data;
+        if (tcpFlags & Ack) return PacketClass::PureAck;
+        return PacketClass::Other;
+    }
+
+    bool hasEce() const { return isTcp && (tcpFlags & tcp_flags::Ece); }
+    bool hasCwr() const { return isTcp && (tcpFlags & tcp_flags::Cwr); }
+
+    std::string describe() const;
+};
+
+/// Allocate a packet with a process-unique uid.
+PacketPtr makePacket();
+
+/// Deep copy with a fresh uid (retransmissions are new wire packets).
+PacketPtr clonePacket(const Packet& p);
+
+}  // namespace ecnsim

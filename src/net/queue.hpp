@@ -1,0 +1,134 @@
+// Abstract egress-queue interface implemented by the AQM library.
+//
+// The interface lives in net so that Port can own a queue without the net
+// library depending on concrete AQM implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.hpp"
+#include "src/sim/stats.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// What happened to a packet offered to a queue.
+enum class EnqueueOutcome : std::uint8_t {
+    Enqueued,         ///< accepted unmodified
+    Marked,           ///< accepted with CE set (ECN congestion signal)
+    DroppedEarly,     ///< AQM early drop (buffer NOT full)
+    DroppedOverflow,  ///< physical buffer exhausted
+};
+
+constexpr bool isDrop(EnqueueOutcome o) {
+    return o == EnqueueOutcome::DroppedEarly || o == EnqueueOutcome::DroppedOverflow;
+}
+
+/// Per-queue accounting, broken down by packet class — the evidence behind
+/// the paper's Fig. 1 ("disproportionate number of ACKs dropped").
+struct QueueStats {
+    struct PerClass {
+        std::uint64_t enqueued = 0;
+        std::uint64_t marked = 0;
+        std::uint64_t droppedEarly = 0;
+        std::uint64_t droppedOverflow = 0;
+
+        std::uint64_t offered() const { return enqueued + droppedEarly + droppedOverflow; }
+        std::uint64_t dropped() const { return droppedEarly + droppedOverflow; }
+    };
+
+    std::array<PerClass, kNumPacketClasses> byClass{};
+    std::uint64_t bytesEnqueued = 0;
+    std::uint64_t bytesDropped = 0;
+    TimeWeightedStats occupancyPackets;
+    TimeWeightedStats occupancyBytes;
+
+    PerClass& of(PacketClass c) { return byClass[static_cast<std::size_t>(c)]; }
+    const PerClass& of(PacketClass c) const { return byClass[static_cast<std::size_t>(c)]; }
+
+    PerClass total() const {
+        PerClass t;
+        for (const auto& c : byClass) {
+            t.enqueued += c.enqueued;
+            t.marked += c.marked;
+            t.droppedEarly += c.droppedEarly;
+            t.droppedOverflow += c.droppedOverflow;
+        }
+        return t;
+    }
+
+    void record(PacketClass c, std::int32_t bytes, EnqueueOutcome o) {
+        auto& pc = of(c);
+        switch (o) {
+            case EnqueueOutcome::Enqueued:
+                ++pc.enqueued;
+                bytesEnqueued += static_cast<std::uint64_t>(bytes);
+                break;
+            case EnqueueOutcome::Marked:
+                ++pc.enqueued;
+                ++pc.marked;
+                bytesEnqueued += static_cast<std::uint64_t>(bytes);
+                break;
+            case EnqueueOutcome::DroppedEarly:
+                ++pc.droppedEarly;
+                bytesDropped += static_cast<std::uint64_t>(bytes);
+                break;
+            case EnqueueOutcome::DroppedOverflow:
+                ++pc.droppedOverflow;
+                bytesDropped += static_cast<std::uint64_t>(bytes);
+                break;
+        }
+    }
+};
+
+class Queue;
+
+/// Observer hook for tracing tools: invoked by queue disciplines on every
+/// enqueue decision and every dequeue. Observers must not mutate the queue.
+class QueueObserver {
+public:
+    virtual ~QueueObserver() = default;
+    virtual void onEnqueue(const Queue& q, const Packet& pkt, EnqueueOutcome outcome, Time now) = 0;
+    virtual void onDequeue(const Queue& q, const Packet& pkt, Time now) = 0;
+};
+
+/// Egress queue discipline. Implementations decide accept / mark / drop at
+/// enqueue time; dequeue is always head-of-line FIFO in this codebase.
+class Queue {
+public:
+    virtual ~Queue() = default;
+
+    /// Attach a tracing observer (nullptr detaches). At most one.
+    void setObserver(QueueObserver* obs) { observer_ = obs; }
+    QueueObserver* observer() const { return observer_; }
+
+    /// Offer a packet. On a drop outcome the packet is consumed (freed).
+    virtual EnqueueOutcome enqueue(PacketPtr pkt, Time now) = 0;
+
+    /// Remove the head packet; nullptr when empty.
+    virtual PacketPtr dequeue(Time now) = 0;
+
+    virtual std::size_t lengthPackets() const = 0;
+    virtual std::int64_t lengthBytes() const = 0;
+    virtual std::size_t capacityPackets() const = 0;
+    virtual bool empty() const { return lengthPackets() == 0; }
+
+    /// Live view of queued packets, head first (for Fig. 1 snapshots).
+    virtual std::vector<const Packet*> contents() const = 0;
+
+    virtual const QueueStats& stats() const = 0;
+
+    /// Human-readable discipline name ("DropTail", "RED", ...).
+    virtual std::string name() const = 0;
+
+private:
+    QueueObserver* observer_ = nullptr;
+};
+
+using QueueFactory = std::function<std::unique_ptr<Queue>()>;
+
+}  // namespace ecnsim

@@ -1,0 +1,34 @@
+#include "src/net/telemetry.hpp"
+
+namespace ecnsim {
+
+namespace {
+// 0..200 ms span at 2 µs resolution covers deep-buffer bufferbloat tails.
+constexpr double kHistLimitUs = 200'000.0;
+constexpr std::size_t kHistBins = 100'000;
+}  // namespace
+
+NetworkTelemetry::NetworkTelemetry()
+    : latencyHist_(std::make_unique<Histogram>(kHistLimitUs, kHistBins)) {}
+
+void NetworkTelemetry::recordInjected(const Packet&) { ++injected_; }
+
+void NetworkTelemetry::recordDelivered(const Packet& p, Time now) {
+    ++delivered_;
+    bytesDelivered_ += static_cast<std::uint64_t>(p.sizeBytes);
+    const double us = (now - p.sentAt).toMicros();
+    latencyAll_.add(us);
+    latencyByClass_[static_cast<std::size_t>(p.klass())].add(us);
+    latencyHist_->add(us);
+}
+
+double NetworkTelemetry::latencyQuantileUs(double q) const { return latencyHist_->quantile(q); }
+
+void NetworkTelemetry::reset() {
+    latencyAll_ = RunningStats{};
+    for (auto& s : latencyByClass_) s = RunningStats{};
+    latencyHist_ = std::make_unique<Histogram>(kHistLimitUs, kHistBins);
+    injected_ = delivered_ = bytesDelivered_ = 0;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,45 @@
+// Network-wide measurement: per-packet end-to-end latency by class.
+//
+// This implements the paper's third metric, "average end-to-end latency per
+// packet", with per-class breakdowns and tail quantiles.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "src/net/packet.hpp"
+#include "src/sim/stats.hpp"
+
+namespace ecnsim {
+
+class NetworkTelemetry {
+public:
+    NetworkTelemetry();
+
+    void recordInjected(const Packet& p);
+    void recordDelivered(const Packet& p, Time now);
+
+    /// Latency over every delivered packet (what Fig. 4 plots).
+    const RunningStats& latencyAll() const { return latencyAll_; }
+    const RunningStats& latencyOf(PacketClass c) const {
+        return latencyByClass_[static_cast<std::size_t>(c)];
+    }
+    /// Approximate tail quantile of per-packet latency, in microseconds.
+    double latencyQuantileUs(double q) const;
+
+    std::uint64_t packetsInjected() const { return injected_; }
+    std::uint64_t packetsDelivered() const { return delivered_; }
+    std::uint64_t bytesDelivered() const { return bytesDelivered_; }
+
+    void reset();
+
+private:
+    RunningStats latencyAll_;  // microseconds
+    std::array<RunningStats, kNumPacketClasses> latencyByClass_;
+    std::unique_ptr<Histogram> latencyHist_;  // microseconds
+    std::uint64_t injected_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t bytesDelivered_ = 0;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,62 @@
+#include "src/net/topology.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace ecnsim {
+
+namespace {
+void validate(const TopologyConfig& cfg) {
+    if (!cfg.switchQueue || !cfg.hostQueue) {
+        throw std::invalid_argument("TopologyConfig requires switchQueue and hostQueue factories");
+    }
+}
+}  // namespace
+
+std::vector<HostNode*> buildStar(Network& net, int numHosts, const TopologyConfig& cfg) {
+    validate(cfg);
+    if (numHosts < 2) throw std::invalid_argument("star topology needs >= 2 hosts");
+    SwitchNode& sw = net.addSwitch("tor");
+    std::vector<HostNode*> hosts;
+    hosts.reserve(static_cast<std::size_t>(numHosts));
+    for (int i = 0; i < numHosts; ++i) {
+        HostNode& h = net.addHost("host" + std::to_string(i));
+        net.connect(h, sw, cfg.linkRate, cfg.linkDelay, cfg.hostQueue, cfg.switchQueue);
+        hosts.push_back(&h);
+    }
+    net.installRoutes();
+    return hosts;
+}
+
+std::vector<HostNode*> buildLeafSpine(Network& net, const LeafSpineShape& shape,
+                                      const TopologyConfig& cfg) {
+    validate(cfg);
+    if (shape.racks < 1 || shape.hostsPerRack < 1 || shape.spines < 1) {
+        throw std::invalid_argument("leaf-spine shape must be positive");
+    }
+    std::vector<SwitchNode*> leaves;
+    std::vector<SwitchNode*> spines;
+    for (int r = 0; r < shape.racks; ++r) leaves.push_back(&net.addSwitch("leaf" + std::to_string(r)));
+    for (int s = 0; s < shape.spines; ++s) spines.push_back(&net.addSwitch("spine" + std::to_string(s)));
+
+    std::vector<HostNode*> hosts;
+    for (int r = 0; r < shape.racks; ++r) {
+        for (int h = 0; h < shape.hostsPerRack; ++h) {
+            HostNode& host = net.addHost("host" + std::to_string(r) + "." + std::to_string(h));
+            net.connect(host, *leaves[static_cast<std::size_t>(r)], cfg.linkRate, cfg.linkDelay,
+                        cfg.hostQueue, cfg.switchQueue);
+            hosts.push_back(&host);
+        }
+    }
+    const Bandwidth uplinkRate =
+        Bandwidth::bitsPerSecond(cfg.linkRate.bps() * std::max(1, cfg.uplinkSpeedup));
+    for (SwitchNode* leaf : leaves) {
+        for (SwitchNode* spine : spines) {
+            net.connect(*leaf, *spine, uplinkRate, cfg.linkDelay, cfg.switchQueue, cfg.switchQueue);
+        }
+    }
+    net.installRoutes();
+    return hosts;
+}
+
+}  // namespace ecnsim

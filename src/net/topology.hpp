@@ -1,0 +1,36 @@
+// Topology builders: single-switch star and two-tier leaf-spine fabrics.
+#pragma once
+
+#include <vector>
+
+#include "src/net/network.hpp"
+
+namespace ecnsim {
+
+/// Link and queue parameters shared by a fabric build.
+struct TopologyConfig {
+    Bandwidth linkRate = Bandwidth::gigabitsPerSecond(1);
+    Time linkDelay = Time::microseconds(5);
+    /// Queue installed on every switch egress port (the queue under test).
+    QueueFactory switchQueue;
+    /// Queue installed on host NICs (normally a roomy DropTail).
+    QueueFactory hostQueue;
+    /// Optional uplink oversubscription for leaf-spine: uplink rate =
+    /// linkRate * uplinkSpeedup (e.g. 4 for 4x faster spine links).
+    int uplinkSpeedup = 1;
+};
+
+/// N hosts on one switch. Returns the hosts in creation order.
+std::vector<HostNode*> buildStar(Network& net, int numHosts, const TopologyConfig& cfg);
+
+struct LeafSpineShape {
+    int racks = 2;
+    int hostsPerRack = 8;
+    int spines = 2;
+};
+
+/// Two-tier Clos: every leaf connects to every spine; ECMP across spines.
+std::vector<HostNode*> buildLeafSpine(Network& net, const LeafSpineShape& shape,
+                                      const TopologyConfig& cfg);
+
+}  // namespace ecnsim

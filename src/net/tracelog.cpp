@@ -1,0 +1,101 @@
+#include "src/net/tracelog.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace ecnsim {
+
+void PacketTraceLog::onEnqueue(const Queue& q, const Packet& pkt, EnqueueOutcome outcome,
+                               Time now) {
+    TraceKind kind = TraceKind::Enqueued;
+    switch (outcome) {
+        case EnqueueOutcome::Enqueued: kind = TraceKind::Enqueued; break;
+        case EnqueueOutcome::Marked: kind = TraceKind::Marked; break;
+        case EnqueueOutcome::DroppedEarly: kind = TraceKind::DroppedEarly; break;
+        case EnqueueOutcome::DroppedOverflow: kind = TraceKind::DroppedOverflow; break;
+    }
+    record(PacketTraceEvent{now, &q, kind, pkt.klass(), pkt.ecn, pkt.hasEce(), pkt.uid,
+                            pkt.flowId, pkt.sizeBytes});
+}
+
+void PacketTraceLog::onDequeue(const Queue& q, const Packet& pkt, Time now) {
+    if (!recordDequeues_) return;
+    record(PacketTraceEvent{now, &q, TraceKind::Dequeued, pkt.klass(), pkt.ecn, pkt.hasEce(),
+                            pkt.uid, pkt.flowId, pkt.sizeBytes});
+}
+
+void PacketTraceLog::record(PacketTraceEvent ev) {
+    ++totals_[static_cast<std::size_t>(ev.kind)];
+    if (filter_ && !filter_(ev)) return;
+    if (events_.size() >= capacity_) {
+        ++notStored_;
+        return;
+    }
+    events_.push_back(ev);
+}
+
+void PacketTraceLog::writeCsv(std::ostream& os) const {
+    os << "time_us,queue,kind,class,ecn,ece,uid,flow,size\n";
+    for (const auto& e : events_) {
+        os << e.at.toMicros() << ',' << e.queue->name() << ',' << traceKindName(e.kind) << ','
+           << packetClassName(e.klass) << ',' << ecnCodepointName(e.ecn) << ','
+           << (e.hasEce ? 1 : 0) << ',' << e.uid << ',' << e.flowId << ',' << e.sizeBytes << '\n';
+    }
+}
+
+void PacketTraceLog::clear() {
+    events_.clear();
+    totals_.fill(0);
+    notStored_ = 0;
+}
+
+QueueDepthSampler::QueueDepthSampler(Simulator& sim, std::vector<const Queue*> queues,
+                                     Time interval)
+    : sim_(sim), queues_(std::move(queues)), interval_(interval) {
+    if (queues_.empty()) throw std::invalid_argument("sampler needs at least one queue");
+    if (interval_ <= Time::zero()) throw std::invalid_argument("sampler interval must be positive");
+}
+
+void QueueDepthSampler::start() {
+    if (running_) return;
+    running_ = true;
+    tick();
+}
+
+void QueueDepthSampler::tick() {
+    if (!running_) return;
+    Sample s;
+    s.at = sim_.now();
+    s.depthPackets.reserve(queues_.size());
+    for (const Queue* q : queues_) {
+        s.depthPackets.push_back(static_cast<std::uint32_t>(q->lengthPackets()));
+    }
+    samples_.push_back(std::move(s));
+    sim_.schedule(interval_, [this] { tick(); });
+}
+
+double QueueDepthSampler::meanDepth(std::size_t queueIdx) const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& s : samples_) sum += s.depthPackets.at(queueIdx);
+    return sum / static_cast<double>(samples_.size());
+}
+
+std::uint32_t QueueDepthSampler::maxDepth(std::size_t queueIdx) const {
+    std::uint32_t m = 0;
+    for (const auto& s : samples_) m = std::max(m, s.depthPackets.at(queueIdx));
+    return m;
+}
+
+void QueueDepthSampler::writeCsv(std::ostream& os) const {
+    os << "time_us";
+    for (std::size_t i = 0; i < queues_.size(); ++i) os << ",q" << i;
+    os << '\n';
+    for (const auto& s : samples_) {
+        os << s.at.toMicros();
+        for (const auto d : s.depthPackets) os << ',' << d;
+        os << '\n';
+    }
+}
+
+}  // namespace ecnsim

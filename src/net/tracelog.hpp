@@ -1,0 +1,118 @@
+// Tracing tools: a per-queue packet event log (the evidence behind Fig. 1)
+// and a periodic queue-depth sampler for time-series analysis.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "src/net/queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+
+enum class TraceKind : std::uint8_t {
+    Enqueued,
+    Marked,
+    DroppedEarly,
+    DroppedOverflow,
+    Dequeued,
+};
+constexpr std::size_t kNumTraceKinds = 5;
+
+constexpr std::string_view traceKindName(TraceKind k) {
+    switch (k) {
+        case TraceKind::Enqueued: return "enqueue";
+        case TraceKind::Marked: return "mark";
+        case TraceKind::DroppedEarly: return "drop-early";
+        case TraceKind::DroppedOverflow: return "drop-overflow";
+        case TraceKind::Dequeued: return "dequeue";
+    }
+    return "?";
+}
+
+struct PacketTraceEvent {
+    Time at;
+    const Queue* queue;
+    TraceKind kind;
+    PacketClass klass;
+    EcnCodepoint ecn;
+    bool hasEce;
+    std::uint64_t uid;
+    std::uint32_t flowId;
+    std::int32_t sizeBytes;
+};
+
+/// Bounded in-memory packet event log. Attach to queues via
+/// Queue::setObserver (or Network-wide helpers); events beyond the capacity
+/// are counted but not stored, so memory stays bounded on long runs.
+class PacketTraceLog : public QueueObserver {
+public:
+    /// `capacity`: maximum stored events. `recordDequeues` off by default —
+    /// drops and marks are usually what one wants to study.
+    explicit PacketTraceLog(std::size_t capacity = 1 << 20, bool recordDequeues = false)
+        : capacity_(capacity), recordDequeues_(recordDequeues) {}
+
+    /// Optional filter: only events satisfying the predicate are stored
+    /// (they are still counted in the per-kind totals).
+    void setFilter(std::function<bool(const PacketTraceEvent&)> f) { filter_ = std::move(f); }
+
+    void onEnqueue(const Queue& q, const Packet& pkt, EnqueueOutcome outcome, Time now) override;
+    void onDequeue(const Queue& q, const Packet& pkt, Time now) override;
+
+    const std::vector<PacketTraceEvent>& events() const { return events_; }
+    std::uint64_t totalOf(TraceKind k) const {
+        return totals_[static_cast<std::size_t>(k)];
+    }
+    std::uint64_t overflowed() const { return notStored_; }
+
+    /// events.csv: time_us,queue,kind,class,ecn,ece,uid,flow,size
+    void writeCsv(std::ostream& os) const;
+
+    void clear();
+
+private:
+    void record(PacketTraceEvent ev);
+
+    std::size_t capacity_;
+    bool recordDequeues_;
+    std::function<bool(const PacketTraceEvent&)> filter_;
+    std::vector<PacketTraceEvent> events_;
+    std::array<std::uint64_t, kNumTraceKinds> totals_{};
+    std::uint64_t notStored_ = 0;
+};
+
+/// Samples the instantaneous depth of a set of queues at a fixed interval.
+class QueueDepthSampler {
+public:
+    QueueDepthSampler(Simulator& sim, std::vector<const Queue*> queues, Time interval);
+
+    void start();
+    void stop() { running_ = false; }
+
+    struct Sample {
+        Time at;
+        std::vector<std::uint32_t> depthPackets;
+    };
+
+    const std::vector<Sample>& samples() const { return samples_; }
+    std::size_t numQueues() const { return queues_.size(); }
+
+    double meanDepth(std::size_t queueIdx) const;
+    std::uint32_t maxDepth(std::size_t queueIdx) const;
+
+    /// depth.csv: time_us,q0,q1,...
+    void writeCsv(std::ostream& os) const;
+
+private:
+    void tick();
+
+    Simulator& sim_;
+    std::vector<const Queue*> queues_;
+    Time interval_;
+    bool running_ = false;
+    std::vector<Sample> samples_;
+};
+
+}  // namespace ecnsim

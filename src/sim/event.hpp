@@ -1,0 +1,46 @@
+// Event records and cancellable handles for the discrete-event scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+namespace detail {
+/// Heap node. Ties are broken by insertion sequence number so that events
+/// scheduled earlier at the same timestamp fire first — this keeps runs
+/// deterministic regardless of heap internals.
+struct EventRecord {
+    Time at;
+    std::uint64_t seq = 0;
+    bool cancelled = false;
+    std::function<void()> fn;
+};
+}  // namespace detail
+
+/// Handle to a scheduled event. Copyable; cancelling is idempotent and safe
+/// after the event has fired (the handle observes the record via weak_ptr).
+class EventHandle {
+public:
+    EventHandle() = default;
+    explicit EventHandle(std::weak_ptr<detail::EventRecord> rec) : rec_(std::move(rec)) {}
+
+    /// Prevent the event from firing. No-op if already fired or cancelled.
+    void cancel() {
+        if (auto r = rec_.lock()) r->cancelled = true;
+    }
+
+    /// True if the event is still scheduled and will fire.
+    bool pending() const {
+        auto r = rec_.lock();
+        return r && !r->cancelled;
+    }
+
+private:
+    std::weak_ptr<detail::EventRecord> rec_;
+};
+
+}  // namespace ecnsim

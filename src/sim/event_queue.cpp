@@ -1,0 +1,142 @@
+#include "src/sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace ecnsim {
+
+// ----------------------------------------------------------- binary heap
+
+void BinaryHeapEventQueue::push(std::shared_ptr<detail::EventRecord> rec) {
+    heap_.push(std::move(rec));
+}
+
+void BinaryHeapEventQueue::dropCancelled() {
+    while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+std::shared_ptr<detail::EventRecord> BinaryHeapEventQueue::pop() {
+    dropCancelled();
+    if (heap_.empty()) return nullptr;
+    auto rec = heap_.top();
+    heap_.pop();
+    return rec;
+}
+
+Time BinaryHeapEventQueue::peekTime() {
+    dropCancelled();
+    return heap_.empty() ? Time::max() : heap_.top()->at;
+}
+
+// --------------------------------------------------------- calendar queue
+
+namespace {
+constexpr std::size_t kInitialBuckets = 64;
+constexpr std::uint64_t kInitialWidthNs = 10'000;  // 10 us days
+constexpr std::uint64_t kMinWidthNs = 100;
+constexpr std::uint64_t kMaxWidthNs = 10'000'000;  // 10 ms
+
+bool earlier(const detail::EventRecord& a, const detail::EventRecord& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+}
+}  // namespace
+
+CalendarEventQueue::CalendarEventQueue()
+    : buckets_(kInitialBuckets), widthNs_(kInitialWidthNs) {}
+
+void CalendarEventQueue::insertSorted(Bucket& b, std::shared_ptr<detail::EventRecord> rec) {
+    // Typical arrival is near the tail; scan backwards.
+    auto it = b.end();
+    while (it != b.begin() && earlier(*rec, **std::prev(it))) --it;
+    b.insert(it, std::move(rec));
+}
+
+void CalendarEventQueue::push(std::shared_ptr<detail::EventRecord> rec) {
+    if (size_ > 2 * buckets_.size() && buckets_.size() < (1u << 20)) {
+        resize(buckets_.size() * 2);
+    }
+    // Index must be computed before the move (evaluation order is
+    // unspecified across arguments).
+    const std::size_t idx = bucketIndexFor(rec->at);
+    insertSorted(buckets_[idx], std::move(rec));
+    ++size_;
+}
+
+void CalendarEventQueue::resize(std::size_t newBucketCount) {
+    std::vector<std::shared_ptr<detail::EventRecord>> all;
+    all.reserve(size_);
+    for (auto& b : buckets_) {
+        for (auto& rec : b) all.push_back(std::move(rec));
+        b.clear();
+    }
+    // Re-estimate the day width from the live population's span.
+    if (all.size() > 1) {
+        Time lo = Time::max(), hi = Time::zero();
+        for (const auto& rec : all) {
+            lo = std::min(lo, rec->at);
+            hi = std::max(hi, rec->at);
+        }
+        const auto span = static_cast<std::uint64_t>((hi - lo).ns());
+        widthNs_ = std::clamp(span / static_cast<std::uint64_t>(all.size()) + 1, kMinWidthNs,
+                              kMaxWidthNs);
+    }
+    buckets_.assign(newBucketCount, Bucket{});
+    for (auto& rec : all) {
+        const std::size_t idx = bucketIndexFor(rec->at);
+        insertSorted(buckets_[idx], std::move(rec));
+    }
+}
+
+std::shared_ptr<detail::EventRecord>* CalendarEventQueue::findEarliest() {
+    if (size_ == 0) return nullptr;
+    const std::size_t n = buckets_.size();
+
+    auto cleanFront = [&](Bucket& b) {
+        while (!b.empty() && b.front()->cancelled) {
+            b.erase(b.begin());
+            --size_;
+        }
+    };
+
+    // One-year scan starting from the day of the last pop.
+    const auto d0 = static_cast<std::uint64_t>(lastPopTime_.ns()) / widthNs_;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t day = d0 + i;
+        Bucket& b = buckets_[static_cast<std::size_t>(day % n)];
+        cleanFront(b);
+        if (b.empty()) continue;
+        const auto frontDay = static_cast<std::uint64_t>(b.front()->at.ns()) / widthNs_;
+        if (frontDay == day) return &b.front();
+    }
+
+    // Sparse case: nothing within a year of the cursor; global min scan.
+    std::shared_ptr<detail::EventRecord>* best = nullptr;
+    for (auto& b : buckets_) {
+        cleanFront(b);
+        if (b.empty()) continue;
+        if (best == nullptr || earlier(*b.front(), **best)) best = &b.front();
+    }
+    return best;
+}
+
+std::shared_ptr<detail::EventRecord> CalendarEventQueue::pop() {
+    auto* slot = findEarliest();
+    if (slot == nullptr) return nullptr;
+    auto rec = std::move(*slot);
+    // The slot is the front of its bucket; locate the bucket and erase.
+    Bucket& b = buckets_[bucketIndexFor(rec->at)];
+    b.erase(b.begin());
+    --size_;
+    lastPopTime_ = rec->at;
+    if (size_ > kInitialBuckets && size_ < buckets_.size() / 4) {
+        resize(std::max(kInitialBuckets, buckets_.size() / 2));
+    }
+    return rec;
+}
+
+Time CalendarEventQueue::peekTime() {
+    auto* slot = findEarliest();
+    return slot == nullptr ? Time::max() : (*slot)->at;
+}
+
+}  // namespace ecnsim

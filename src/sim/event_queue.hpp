@@ -1,0 +1,82 @@
+// Pluggable event-queue implementations for the scheduler: the default
+// binary heap and a calendar queue (Brown 1988), the structure NS-2 used.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/event.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// Storage strategy behind Scheduler. Implementations must honour the
+/// (time, seq) total order and tolerate lazily cancelled records.
+class EventQueue {
+public:
+    virtual ~EventQueue() = default;
+    virtual void push(std::shared_ptr<detail::EventRecord> rec) = 0;
+    /// Remove and return the earliest non-cancelled record; nullptr if none.
+    virtual std::shared_ptr<detail::EventRecord> pop() = 0;
+    /// Time of the earliest non-cancelled record, or Time::max().
+    virtual Time peekTime() = 0;
+    virtual std::size_t size() const = 0;
+};
+
+/// std::priority_queue over (time, seq) — the default.
+class BinaryHeapEventQueue final : public EventQueue {
+public:
+    void push(std::shared_ptr<detail::EventRecord> rec) override;
+    std::shared_ptr<detail::EventRecord> pop() override;
+    Time peekTime() override;
+    std::size_t size() const override { return heap_.size(); }
+
+private:
+    struct Later {
+        bool operator()(const std::shared_ptr<detail::EventRecord>& a,
+                        const std::shared_ptr<detail::EventRecord>& b) const {
+            if (a->at != b->at) return a->at > b->at;
+            return a->seq > b->seq;
+        }
+    };
+    void dropCancelled();
+    std::priority_queue<std::shared_ptr<detail::EventRecord>,
+                        std::vector<std::shared_ptr<detail::EventRecord>>, Later>
+        heap_;
+};
+
+/// Calendar queue: O(1) amortized insert/pop under the common "events
+/// spread over a bounded horizon" pattern of packet simulations. Buckets
+/// cover one "day" each; a lap over all buckets is a "year". The bucket
+/// count and day width adapt to the live event population.
+class CalendarEventQueue final : public EventQueue {
+public:
+    CalendarEventQueue();
+
+    void push(std::shared_ptr<detail::EventRecord> rec) override;
+    std::shared_ptr<detail::EventRecord> pop() override;
+    Time peekTime() override;
+    std::size_t size() const override { return size_; }
+
+    std::size_t bucketCount() const { return buckets_.size(); }
+
+private:
+    using Bucket = std::vector<std::shared_ptr<detail::EventRecord>>;
+
+    std::size_t bucketIndexFor(Time t) const {
+        const auto day = static_cast<std::uint64_t>(t.ns()) / widthNs_;
+        return static_cast<std::size_t>(day % buckets_.size());
+    }
+    void insertSorted(Bucket& b, std::shared_ptr<detail::EventRecord> rec);
+    void resize(std::size_t newBucketCount);
+    std::shared_ptr<detail::EventRecord>* findEarliest();
+
+    std::vector<Bucket> buckets_;
+    std::uint64_t widthNs_;       ///< nanoseconds per bucket (a "day")
+    Time lastPopTime_;            ///< clock of the last pop (monotonic)
+    std::size_t size_ = 0;        ///< live (non-popped) records incl. cancelled
+};
+
+}  // namespace ecnsim

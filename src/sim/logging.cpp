@@ -1,0 +1,28 @@
+#include "src/sim/logging.hpp"
+
+namespace ecnsim {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* name(LogLevel l) {
+    switch (l) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO";
+        case LogLevel::Warn: return "WARN";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::setLevel(LogLevel level) { g_level = level; }
+
+void Log::write(LogLevel level, const std::string& msg) {
+    std::fprintf(stderr, "[%s] %s\n", name(level), msg.c_str());
+}
+
+}  // namespace ecnsim

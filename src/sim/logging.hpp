@@ -1,0 +1,25 @@
+// Minimal leveled logging. Disabled (Warn) by default so hot paths stay
+// quiet; tests and examples can raise the level.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ecnsim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Log {
+public:
+    static LogLevel level();
+    static void setLevel(LogLevel level);
+    static bool enabled(LogLevel level) { return level >= Log::level(); }
+    static void write(LogLevel level, const std::string& msg);
+};
+
+}  // namespace ecnsim
+
+#define ECNSIM_LOG(lvl, msg)                                            \
+    do {                                                                \
+        if (::ecnsim::Log::enabled(lvl)) ::ecnsim::Log::write(lvl, msg); \
+    } while (0)

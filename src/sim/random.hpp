@@ -1,0 +1,54 @@
+// Deterministic per-run random number source.
+//
+// Every stochastic decision in a run draws from one seeded engine owned by
+// the Simulator, so a (config, seed) pair fully determines the run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ecnsim {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+    /// Uniform double in [0, 1).
+    double uniform01() {
+        return std::uniform_real_distribution<double>{0.0, 1.0}(engine_);
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>{lo, hi}(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+    }
+
+    /// Exponential with the given mean (not rate).
+    double exponential(double mean) {
+        return std::exponential_distribution<double>{1.0 / mean}(engine_);
+    }
+
+    /// Normal distribution, clamped at zero from below when used for
+    /// durations by callers.
+    double normal(double mean, double stddev) {
+        return std::normal_distribution<double>{mean, stddev}(engine_);
+    }
+
+    bool bernoulli(double p) {
+        return std::bernoulli_distribution{p}(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace ecnsim

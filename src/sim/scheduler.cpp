@@ -1,0 +1,26 @@
+#include "src/sim/scheduler.hpp"
+
+namespace ecnsim {
+
+Scheduler::Scheduler(SchedulerKind kind) : kind_(kind) {
+    switch (kind) {
+        case SchedulerKind::BinaryHeap:
+            queue_ = std::make_unique<BinaryHeapEventQueue>();
+            break;
+        case SchedulerKind::Calendar:
+            queue_ = std::make_unique<CalendarEventQueue>();
+            break;
+    }
+}
+
+EventHandle Scheduler::insert(Time at, std::function<void()> fn) {
+    auto rec = std::make_shared<detail::EventRecord>();
+    rec->at = at;
+    rec->seq = nextSeq_++;
+    rec->fn = std::move(fn);
+    EventHandle handle{rec};
+    queue_->push(std::move(rec));
+    return handle;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,49 @@
+// Event scheduler with deterministic tie-breaking over a pluggable
+// storage strategy (binary heap or calendar queue).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/sim/event.hpp"
+#include "src/sim/event_queue.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+enum class SchedulerKind { BinaryHeap, Calendar };
+
+/// Priority queue of events ordered by (time, insertion sequence).
+///
+/// Cancellation is lazy: cancelled records stay stored and are skipped
+/// when reached, which keeps cancel() O(1).
+class Scheduler {
+public:
+    explicit Scheduler(SchedulerKind kind = SchedulerKind::BinaryHeap);
+
+    /// Insert an event at absolute time `at`. `at` must not be in the past
+    /// relative to the last popped event (checked by Simulator).
+    EventHandle insert(Time at, std::function<void()> fn);
+
+    /// Pop the next non-cancelled event. Returns nullptr when empty.
+    std::shared_ptr<detail::EventRecord> popNext() { return queue_->pop(); }
+
+    /// Put a popped-but-unexecuted record back (keeps its sequence number,
+    /// so ordering is unaffected). Used when a run horizon is reached.
+    void reinsert(std::shared_ptr<detail::EventRecord> rec) { queue_->push(std::move(rec)); }
+
+    /// Time of the next pending (non-cancelled) event, or Time::max().
+    Time nextTime() { return queue_->peekTime(); }
+
+    bool empty() { return nextTime() == Time::max(); }
+    std::size_t size() const { return queue_->size(); }
+    std::uint64_t inserted() const { return nextSeq_; }
+    SchedulerKind kind() const { return kind_; }
+
+private:
+    SchedulerKind kind_;
+    std::unique_ptr<EventQueue> queue_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace ecnsim

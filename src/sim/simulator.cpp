@@ -1,0 +1,5 @@
+// Simulator is header-only today; this TU anchors the library and keeps a
+// home for future out-of-line definitions.
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {}

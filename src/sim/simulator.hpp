@@ -1,0 +1,86 @@
+// The discrete-event simulator: clock, scheduler and per-run RNG.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "src/sim/random.hpp"
+#include "src/sim/scheduler.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// Discrete-event simulation kernel.
+///
+/// One Simulator owns the clock, the event heap and the run's RNG. All
+/// model objects (links, queues, TCP connections, MapReduce tasks) hold a
+/// reference to it and never advance time themselves.
+class Simulator {
+public:
+    explicit Simulator(std::uint64_t seed = 1,
+                       SchedulerKind schedulerKind = SchedulerKind::BinaryHeap)
+        : scheduler_(schedulerKind), rng_(seed) {}
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    Time now() const { return now_; }
+    Rng& rng() { return rng_; }
+
+    /// Schedule `fn` to run `delay` after the current time.
+    EventHandle schedule(Time delay, std::function<void()> fn) {
+        if (delay.isNegative()) throw std::invalid_argument("negative event delay");
+        return scheduler_.insert(now_ + delay, std::move(fn));
+    }
+
+    /// Schedule `fn` at an absolute timestamp (>= now).
+    EventHandle scheduleAt(Time when, std::function<void()> fn) {
+        if (when < now_) throw std::invalid_argument("event scheduled in the past");
+        return scheduler_.insert(when, std::move(fn));
+    }
+
+    /// Run until the event heap drains, `until` is reached, or stop() is
+    /// called. Events exactly at `until` still fire.
+    void runUntil(Time until) {
+        stopped_ = false;
+        while (!stopped_) {
+            auto rec = scheduler_.popNext();
+            if (!rec) {
+                if (until != Time::max() && until > now_) now_ = until;
+                break;
+            }
+            if (rec->at > until) {
+                // Horizon reached: put the event back (its sequence number
+                // is preserved, so ordering is unchanged) and advance the
+                // clock so a later runUntil can resume.
+                scheduler_.reinsert(std::move(rec));
+                if (until != Time::max() && until > now_) now_ = until;
+                break;
+            }
+            now_ = rec->at;
+            ++executed_;
+            rec->fn();
+        }
+    }
+
+    /// Run until the event heap drains or stop() is called.
+    void run() { runUntil(Time::max()); }
+
+    /// Stop after the currently executing event returns.
+    void stop() { stopped_ = true; }
+
+    bool hasPendingEvents() { return !scheduler_.empty(); }
+    Time nextEventTime() { return scheduler_.nextTime(); }
+    std::uint64_t eventsExecuted() const { return executed_; }
+    std::uint64_t eventsScheduled() const { return scheduler_.inserted(); }
+
+private:
+    Scheduler scheduler_;
+    Time now_;
+    Rng rng_;
+    bool stopped_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,106 @@
+#include "src/sim/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ecnsim {
+
+void RunningStats::add(double x) {
+    ++n_;
+    sum_ += x;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+        *this = o;
+        return;
+    }
+    const double total = static_cast<double>(n_ + o.n_);
+    const double delta = o.mean_ - mean_;
+    m2_ = m2_ + o.m2_ + delta * delta * static_cast<double>(n_) * static_cast<double>(o.n_) / total;
+    mean_ = (mean_ * static_cast<double>(n_) + o.mean_ * static_cast<double>(o.n_)) / total;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ += o.n_;
+}
+
+void TimeWeightedStats::update(Time now, double value) {
+    if (!started_) {
+        started_ = true;
+        start_ = now;
+        lastChange_ = now;
+        value_ = value;
+        max_ = value;
+        return;
+    }
+    weighted_ += value_ * static_cast<double>((now - lastChange_).ns());
+    lastChange_ = now;
+    value_ = value;
+    max_ = std::max(max_, value);
+}
+
+double TimeWeightedStats::mean(Time now) const {
+    if (!started_) return 0.0;
+    const double total = static_cast<double>((now - start_).ns());
+    if (total <= 0.0) return value_;
+    const double w = weighted_ + value_ * static_cast<double>((now - lastChange_).ns());
+    return w / total;
+}
+
+Histogram::Histogram(double limit, std::size_t bins) : limit_(limit), bins_(bins + 1, 0) {
+    if (limit <= 0.0 || bins == 0) throw std::invalid_argument("bad histogram shape");
+    width_ = limit / static_cast<double>(bins);
+}
+
+void Histogram::add(double x) {
+    ++total_;
+    maxSeen_ = std::max(maxSeen_, x);
+    if (x >= limit_ || x < 0.0) {
+        ++bins_.back();
+        return;
+    }
+    ++bins_[static_cast<std::size_t>(x / width_)];
+}
+
+double jainFairnessIndex(const std::vector<double>& allocations) {
+    if (allocations.empty()) return 0.0;
+    double sum = 0.0, sumSq = 0.0;
+    for (const double x : allocations) {
+        sum += x;
+        sumSq += x * x;
+    }
+    if (sumSq <= 0.0) return 0.0;
+    return (sum * sum) / (static_cast<double>(allocations.size()) * sumSq);
+}
+
+double Histogram::quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i + 1 < bins_.size(); ++i) {
+        cum += bins_[i];
+        if (cum >= target) {
+            // Interpolate within bin i.
+            const auto before = cum - bins_[i];
+            const double frac = bins_[i] ? static_cast<double>(target - before) / static_cast<double>(bins_[i]) : 0.0;
+            return (static_cast<double>(i) + frac) * width_;
+        }
+    }
+    return maxSeen_;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,96 @@
+// Statistics primitives: running moments, time-weighted means, histograms.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// Streaming mean / variance / extrema over scalar samples (Welford).
+class RunningStats {
+public:
+    void add(double x);
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;  ///< population variance
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void merge(const RunningStats& o);
+    void reset() { *this = RunningStats{}; }
+
+private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue length.
+/// Call update(now, value) whenever the signal changes.
+class TimeWeightedStats {
+public:
+    void update(Time now, double value);
+    /// Close the interval at `now` and return the time-weighted mean.
+    double mean(Time now) const;
+    double currentValue() const { return value_; }
+    double max() const { return max_; }
+    bool started() const { return started_; }
+
+private:
+    bool started_ = false;
+    Time lastChange_;
+    Time start_;
+    double value_ = 0.0;
+    double weighted_ = 0.0;  // integral of value dt, in value*ns
+    double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [0, limit) with overflow bin; supports
+/// approximate quantiles. Bin width = limit / bins.
+class Histogram {
+public:
+    Histogram(double limit, std::size_t bins);
+
+    void add(double x);
+    std::uint64_t count() const { return total_; }
+    /// Approximate q-quantile (q in [0,1]) by linear interpolation within
+    /// the containing bin. Overflow samples report the observed max.
+    double quantile(double q) const;
+    double observedMax() const { return maxSeen_; }
+    const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+private:
+    double limit_;
+    double width_;
+    std::vector<std::uint64_t> bins_;  // last bin = overflow
+    std::uint64_t total_ = 0;
+    double maxSeen_ = 0.0;
+};
+
+/// Jain's fairness index over per-entity allocations: (sum x)^2 / (n * sum
+/// x^2), in (0, 1]; 1.0 = perfectly fair. Empty input yields 0.
+double jainFairnessIndex(const std::vector<double>& allocations);
+
+/// Monotonic counter with a typed name, for drop/mark accounting.
+class Counter {
+public:
+    void inc(std::uint64_t by = 1) { v_ += by; }
+    std::uint64_t value() const { return v_; }
+    void reset() { v_ = 0; }
+
+private:
+    std::uint64_t v_ = 0;
+};
+
+}  // namespace ecnsim

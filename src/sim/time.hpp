@@ -1,0 +1,85 @@
+// Simulated time: a strong integer-nanosecond type.
+//
+// All simulation timestamps and durations use Time. Integer nanoseconds keep
+// event ordering exact and runs bit-reproducible across platforms (no
+// floating-point drift in the event clock).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace ecnsim {
+
+/// A point in simulated time or a duration, in integer nanoseconds.
+///
+/// Time is deliberately a single type for both points and durations (like
+/// ns-3's Time); the arithmetic closure keeps call sites simple.
+class Time {
+public:
+    constexpr Time() = default;
+
+    /// Named constructors.
+    static constexpr Time nanoseconds(std::int64_t ns) { return Time{ns}; }
+    static constexpr Time microseconds(std::int64_t us) { return Time{us * 1'000}; }
+    static constexpr Time milliseconds(std::int64_t ms) { return Time{ms * 1'000'000}; }
+    static constexpr Time seconds(std::int64_t s) { return Time{s * 1'000'000'000}; }
+    /// Fractional seconds (e.g. from analytic models). Rounds to nearest ns.
+    static constexpr Time fromSeconds(double s) {
+        return Time{static_cast<std::int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5))};
+    }
+    static constexpr Time zero() { return Time{0}; }
+    static constexpr Time max() { return Time{std::numeric_limits<std::int64_t>::max()}; }
+
+    constexpr std::int64_t ns() const { return ns_; }
+    constexpr double toSeconds() const { return static_cast<double>(ns_) * 1e-9; }
+    constexpr double toMillis() const { return static_cast<double>(ns_) * 1e-6; }
+    constexpr double toMicros() const { return static_cast<double>(ns_) * 1e-3; }
+
+    constexpr auto operator<=>(const Time&) const = default;
+
+    constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+    constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+    constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+    constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+    constexpr Time operator*(std::int64_t k) const { return Time{ns_ * k}; }
+    constexpr Time operator/(std::int64_t k) const { return Time{ns_ / k}; }
+    /// Ratio of two durations.
+    constexpr double operator/(Time o) const {
+        return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+    }
+    constexpr bool isZero() const { return ns_ == 0; }
+    constexpr bool isNegative() const { return ns_ < 0; }
+
+    /// Human-readable rendering with an auto-selected unit ("12.5us", "3ms").
+    std::string toString() const;
+
+private:
+    explicit constexpr Time(std::int64_t ns) : ns_(ns) {}
+    std::int64_t ns_ = 0;
+};
+
+namespace time_literals {
+constexpr Time operator""_ns(unsigned long long v) { return Time::nanoseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_us(unsigned long long v) { return Time::microseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_ms(unsigned long long v) { return Time::milliseconds(static_cast<std::int64_t>(v)); }
+constexpr Time operator""_s(unsigned long long v) { return Time::seconds(static_cast<std::int64_t>(v)); }
+}  // namespace time_literals
+
+inline std::string Time::toString() const {
+    const auto abs = ns_ < 0 ? -ns_ : ns_;
+    char buf[48];
+    if (abs >= 1'000'000'000) {
+        std::snprintf(buf, sizeof buf, "%.6gs", toSeconds());
+    } else if (abs >= 1'000'000) {
+        std::snprintf(buf, sizeof buf, "%.6gms", toMillis());
+    } else if (abs >= 1'000) {
+        std::snprintf(buf, sizeof buf, "%.6gus", toMicros());
+    } else {
+        std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+    }
+    return buf;
+}
+
+}  // namespace ecnsim

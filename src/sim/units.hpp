@@ -1,0 +1,68 @@
+// Physical units used throughout the simulator: bandwidth and data sizes.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// Link / disk bandwidth as a strong bits-per-second type.
+class Bandwidth {
+public:
+    constexpr Bandwidth() = default;
+
+    static constexpr Bandwidth bitsPerSecond(std::int64_t bps) { return Bandwidth{bps}; }
+    static constexpr Bandwidth kilobitsPerSecond(std::int64_t k) { return Bandwidth{k * 1'000}; }
+    static constexpr Bandwidth megabitsPerSecond(std::int64_t m) { return Bandwidth{m * 1'000'000}; }
+    static constexpr Bandwidth gigabitsPerSecond(std::int64_t g) { return Bandwidth{g * 1'000'000'000}; }
+
+    constexpr std::int64_t bps() const { return bps_; }
+    constexpr double megabitsPerSecondF() const { return static_cast<double>(bps_) * 1e-6; }
+    constexpr double bytesPerSecond() const { return static_cast<double>(bps_) / 8.0; }
+
+    /// Serialization (transmission) delay for `bytes` at this rate.
+    constexpr Time transmissionTime(std::int64_t bytes) const {
+        // bytes*8e9/bps ns; keep the multiply in __int128 to avoid overflow
+        // for multi-gigabyte transfers on terabit links.
+        const auto num = static_cast<__int128>(bytes) * 8 * 1'000'000'000;
+        return Time::nanoseconds(static_cast<std::int64_t>(num / bps_));
+    }
+
+    /// Bytes transferable in duration `t` at this rate.
+    constexpr std::int64_t bytesIn(Time t) const {
+        const auto num = static_cast<__int128>(t.ns()) * bps_;
+        return static_cast<std::int64_t>(num / (8ll * 1'000'000'000ll));
+    }
+
+    constexpr auto operator<=>(const Bandwidth&) const = default;
+    constexpr bool isZero() const { return bps_ == 0; }
+
+    std::string toString() const;
+
+private:
+    explicit constexpr Bandwidth(std::int64_t bps) : bps_(bps) {}
+    std::int64_t bps_ = 0;
+};
+
+inline std::string Bandwidth::toString() const {
+    char buf[48];
+    if (bps_ >= 1'000'000'000) {
+        std::snprintf(buf, sizeof buf, "%.6gGbps", static_cast<double>(bps_) * 1e-9);
+    } else if (bps_ >= 1'000'000) {
+        std::snprintf(buf, sizeof buf, "%.6gMbps", static_cast<double>(bps_) * 1e-6);
+    } else {
+        std::snprintf(buf, sizeof buf, "%lldbps", static_cast<long long>(bps_));
+    }
+    return buf;
+}
+
+namespace data_size {
+constexpr std::int64_t KiB = 1024;
+constexpr std::int64_t MiB = 1024 * KiB;
+constexpr std::int64_t GiB = 1024 * MiB;
+}  // namespace data_size
+
+}  // namespace ecnsim

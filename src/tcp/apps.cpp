@@ -1,0 +1,58 @@
+#include "src/tcp/apps.hpp"
+
+namespace ecnsim {
+
+SinkServer::SinkServer(TcpStack& stack, std::uint16_t port) {
+    stack.listen(port, [this](TcpConnection& conn) {
+        ++accepted_;
+        TcpCallbacks cb;
+        cb.onReceive = [this](std::int64_t n) { received_ += static_cast<std::uint64_t>(n); };
+        cb.onPeerClosed = [this, &conn] {
+            if (onComplete_) onComplete_(conn);
+        };
+        conn.setCallbacks(std::move(cb));
+    });
+}
+
+BulkSender::BulkSender(TcpStack& stack, NodeId dst, std::uint16_t dstPort, std::int64_t bytes,
+                       std::function<void()> onComplete)
+    : bytes_(bytes), onComplete_(std::move(onComplete)) {
+    Simulator& sim = stack.sim();
+    TcpCallbacks cb;
+    cb.onBytesAcked = [this, &sim](std::uint64_t acked) {
+        if (!complete_ && acked >= static_cast<std::uint64_t>(bytes_)) {
+            complete_ = true;
+            completedAt_ = sim.now();
+            if (onComplete_) onComplete_();
+        }
+    };
+    conn_ = &stack.connect(dst, dstPort, std::move(cb));
+    conn_->send(bytes_);
+    conn_->close();
+}
+
+ProbeApp::ProbeApp(Network& net, HostNode& src, NodeId dst, Time interval,
+                   std::int32_t sizeBytes, bool ectCapable)
+    : net_(net), src_(src), dst_(dst), interval_(interval), sizeBytes_(sizeBytes),
+      ectCapable_(ectCapable) {}
+
+void ProbeApp::start() {
+    if (running_) return;
+    running_ = true;
+    tick();
+}
+
+void ProbeApp::tick() {
+    if (!running_) return;
+    auto pkt = makePacket();
+    pkt->isTcp = false;
+    pkt->dst = dst_;
+    pkt->sizeBytes = sizeBytes_;
+    pkt->ecn = ectCapable_ ? EcnCodepoint::Ect0 : EcnCodepoint::NotEct;
+    pkt->flowId = 0xFFFF0000u | static_cast<std::uint32_t>(src_.id());
+    src_.inject(std::move(pkt));
+    ++sent_;
+    net_.sim().schedule(interval_, [this] { tick(); });
+}
+
+}  // namespace ecnsim

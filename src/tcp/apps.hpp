@@ -1,0 +1,71 @@
+// Reusable traffic applications: bulk transfer, byte sink, latency probes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/network.hpp"
+#include "src/tcp/stack.hpp"
+
+namespace ecnsim {
+
+/// Server that accepts connections on a port and counts delivered bytes.
+class SinkServer {
+public:
+    SinkServer(TcpStack& stack, std::uint16_t port);
+
+    std::uint64_t totalReceived() const { return received_; }
+    std::uint32_t connectionsAccepted() const { return accepted_; }
+    /// Invoked when a connection's peer half-closes (stream complete).
+    void setOnStreamComplete(std::function<void(TcpConnection&)> cb) { onComplete_ = std::move(cb); }
+
+private:
+    std::uint64_t received_ = 0;
+    std::uint32_t accepted_ = 0;
+    std::function<void(TcpConnection&)> onComplete_;
+};
+
+/// Client that connects, streams `bytes` and half-closes. `onComplete`
+/// fires when every byte has been cumulatively acknowledged.
+class BulkSender {
+public:
+    BulkSender(TcpStack& stack, NodeId dst, std::uint16_t dstPort, std::int64_t bytes,
+               std::function<void()> onComplete = {});
+
+    TcpConnection& connection() { return *conn_; }
+    bool complete() const { return complete_; }
+    Time completedAt() const { return completedAt_; }
+
+private:
+    TcpConnection* conn_ = nullptr;
+    std::int64_t bytes_;
+    bool complete_ = false;
+    Time completedAt_;
+    std::function<void()> onComplete_;
+};
+
+/// Raw (non-TCP) fixed-interval latency probe between two hosts. Delivered
+/// probes are measured by NetworkTelemetry under PacketClass::Probe.
+class ProbeApp {
+public:
+    ProbeApp(Network& net, HostNode& src, NodeId dst, Time interval,
+             std::int32_t sizeBytes = 200, bool ectCapable = false);
+
+    void start();
+    void stop() { running_ = false; }
+    std::uint64_t probesSent() const { return sent_; }
+
+private:
+    void tick();
+
+    Network& net_;
+    HostNode& src_;
+    NodeId dst_;
+    Time interval_;
+    std::int32_t sizeBytes_;
+    bool ectCapable_;
+    bool running_ = false;
+    std::uint64_t sent_ = 0;
+};
+
+}  // namespace ecnsim

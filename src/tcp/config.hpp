@@ -1,0 +1,84 @@
+// TCP stack configuration and transport-variant selection.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// The three transports the paper evaluates.
+enum class TransportKind {
+    PlainTcp,  ///< NewReno, no ECN negotiation
+    EcnTcp,    ///< NewReno + RFC 3168 ECN ("TCP-ECN")
+    Dctcp,     ///< Data Center TCP
+};
+
+constexpr std::string_view transportKindName(TransportKind t) {
+    switch (t) {
+        case TransportKind::PlainTcp: return "TCP";
+        case TransportKind::EcnTcp: return "TCP-ECN";
+        case TransportKind::Dctcp: return "DCTCP";
+    }
+    return "?";
+}
+
+struct TcpConfig {
+    std::int32_t mss = 1460;          ///< payload bytes per segment
+    std::int32_t headerBytes = 54;    ///< Ethernet+IP+TCP overhead on data segments
+    std::int32_t ackSizeBytes = 66;   ///< wire size of a pure ACK / SYN / FIN
+    std::uint32_t initialCwndSegments = 10;  ///< RFC 6928 IW10
+    /// Peer receive window (Linux-like default buffer bound); caps the
+    /// flight so slow-start cannot dump arbitrarily deep into queues.
+    std::uint64_t receiveWindowBytes = 2ull << 20;
+
+    // RTO (RFC 6298) and handshake retransmission.
+    Time minRto = Time::milliseconds(10);
+    Time initialRto = Time::milliseconds(100);
+    Time maxRto = Time::seconds(4);
+    /// Scaled down from Linux's 1 s to match simulated job durations of a
+    /// couple of seconds (see DESIGN.md §6); the *relative* cost of a lost
+    /// handshake is preserved.
+    Time synRto = Time::milliseconds(100);
+    int maxSynRetries = 10;
+
+    // Delayed ACK.
+    int delAckCount = 2;
+    Time delAckTimeout = Time::microseconds(500);
+
+    // ECN / DCTCP.
+    bool ecnEnabled = true;
+    bool dctcp = false;
+    /// Selective acknowledgements (RFC 2018 blocks + a simplified RFC 6675
+    /// hole-retransmission scoreboard). Both endpoints must enable it (no
+    /// in-band negotiation is modelled).
+    bool sackEnabled = false;
+    /// ECN+ / ECN++ style endpoint-side alternative to the paper's switch
+    /// modification: set ECT on SYN, SYN-ACK, FIN and pure ACKs so the AQM
+    /// marks them instead of early-dropping them. CE on a pure ACK has no
+    /// echo path (the known ECN++ caveat) — the benefit is survival, not
+    /// signalling.
+    bool ectOnControlPackets = false;
+    double dctcpG = 0.0625;  ///< DCTCP alpha gain g = 1/16
+    double dctcpInitialAlpha = 1.0;
+
+    static TcpConfig forTransport(TransportKind t) {
+        TcpConfig c;
+        switch (t) {
+            case TransportKind::PlainTcp:
+                c.ecnEnabled = false;
+                break;
+            case TransportKind::EcnTcp:
+                c.ecnEnabled = true;
+                break;
+            case TransportKind::Dctcp:
+                c.ecnEnabled = true;
+                c.dctcp = true;
+                break;
+        }
+        return c;
+    }
+};
+
+}  // namespace ecnsim

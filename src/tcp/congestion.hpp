@@ -1,0 +1,80 @@
+// Congestion-response policies: how much to back off on an ECN signal.
+//
+// The additive-increase / fast-recovery mechanics live in TcpConnection;
+// the policy only decides the multiplicative decrease, which is exactly
+// where classic ECN (halve) and DCTCP (proportional to the marked
+// fraction alpha) differ.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+
+#include "src/tcp/config.hpp"
+
+namespace ecnsim {
+
+class CongestionPolicy {
+public:
+    virtual ~CongestionPolicy() = default;
+
+    /// Per-ACK accounting hook. `newlyAcked` is cumulative progress in
+    /// bytes; `ece` is the ACK's ECN-Echo flag; `ackSeq`/`sndNxt` delimit
+    /// observation windows.
+    virtual void onAck(std::uint64_t newlyAcked, bool ece, std::uint64_t ackSeq,
+                       std::uint64_t sndNxt) {
+        (void)newlyAcked; (void)ece; (void)ackSeq; (void)sndNxt;
+    }
+
+    /// Fraction of cwnd to shed when the once-per-window ECN reduction
+    /// fires (0.5 for RFC 3168, alpha/2 for DCTCP).
+    virtual double ecnBackoffFraction() const = 0;
+
+    virtual const char* name() const = 0;
+};
+
+/// RFC 3168 response: treat ECE like a loss signal, halve once per RTT.
+class RenoEcnPolicy final : public CongestionPolicy {
+public:
+    double ecnBackoffFraction() const override { return 0.5; }
+    const char* name() const override { return "reno-ecn"; }
+};
+
+/// DCTCP: estimate the marked fraction alpha and cut cwnd by alpha/2.
+class DctcpPolicy final : public CongestionPolicy {
+public:
+    DctcpPolicy(double g, double initialAlpha) : g_(g), alpha_(initialAlpha) {}
+
+    void onAck(std::uint64_t newlyAcked, bool ece, std::uint64_t ackSeq,
+               std::uint64_t sndNxt) override {
+        bytesAcked_ += newlyAcked;
+        if (ece) bytesMarked_ += newlyAcked;
+        if (ackSeq > windowEnd_) {
+            if (bytesAcked_ > 0) {
+                const double f =
+                    static_cast<double>(bytesMarked_) / static_cast<double>(bytesAcked_);
+                alpha_ = (1.0 - g_) * alpha_ + g_ * f;
+            }
+            bytesAcked_ = bytesMarked_ = 0;
+            windowEnd_ = sndNxt;
+        }
+    }
+
+    double ecnBackoffFraction() const override { return std::clamp(alpha_ / 2.0, 0.0, 0.5); }
+    double alpha() const { return alpha_; }
+    const char* name() const override { return "dctcp"; }
+
+private:
+    double g_;
+    double alpha_;
+    std::uint64_t bytesAcked_ = 0;
+    std::uint64_t bytesMarked_ = 0;
+    std::uint64_t windowEnd_ = 0;
+};
+
+inline std::unique_ptr<CongestionPolicy> makeCongestionPolicy(const TcpConfig& cfg) {
+    if (cfg.dctcp) return std::make_unique<DctcpPolicy>(cfg.dctcpG, cfg.dctcpInitialAlpha);
+    return std::make_unique<RenoEcnPolicy>();
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,563 @@
+#include "src/tcp/connection.hpp"
+
+#include <algorithm>
+
+#include "src/tcp/stack.hpp"
+
+namespace ecnsim {
+
+using namespace tcp_flags;
+
+namespace {
+/// Merge [s, e) into a start->end interval map, coalescing overlaps.
+/// Returns the start of the merged interval containing [s, e).
+std::uint64_t mergeInterval(std::map<std::uint64_t, std::uint64_t>& m, std::uint64_t s,
+                            std::uint64_t e) {
+    auto it = m.lower_bound(s);
+    if (it != m.begin()) {
+        auto prev = std::prev(it);
+        if (prev->second >= s) {
+            s = prev->first;
+            it = prev;
+        }
+    }
+    std::uint64_t mergedEnd = e;
+    while (it != m.end() && it->first <= mergedEnd) {
+        mergedEnd = std::max(mergedEnd, it->second);
+        s = std::min(s, it->first);
+        it = m.erase(it);
+    }
+    m[s] = mergedEnd;
+    return s;
+}
+}  // namespace
+
+TcpConnection::TcpConnection(TcpStack& stack, NodeId remote, std::uint16_t localPort,
+                             std::uint16_t remotePort, std::uint32_t flowId, const TcpConfig& cfg)
+    : stack_(stack),
+      cfg_(cfg),
+      policy_(makeCongestionPolicy(cfg)),
+      remote_(remote),
+      localPort_(localPort),
+      remotePort_(remotePort),
+      flowId_(flowId) {
+    cwnd_ = static_cast<double>(cfg_.initialCwndSegments) * cfg_.mss;
+    ssthresh_ = static_cast<double>(cfg_.receiveWindowBytes);
+    rto_ = cfg_.initialRto;
+}
+
+// ---------------------------------------------------------------- handshake
+
+void TcpConnection::startConnect() {
+    state_ = TcpState::SynSent;
+    stats_.connectStarted = stack_.sim().now();
+    // RFC 3168 §6.1.1: the client advertises ECN with ECE+CWR in the SYN.
+    sendControl(Syn | (cfg_.ecnEnabled ? (Ece | Cwr) : 0));
+    armSynTimer();
+}
+
+void TcpConnection::acceptFromSyn(const Packet& syn) {
+    peerOfferedEcn_ = syn.hasEce() && syn.hasCwr();
+    ecnNegotiated_ = cfg_.ecnEnabled && peerOfferedEcn_;
+    state_ = TcpState::SynRcvd;
+    stats_.connectStarted = stack_.sim().now();
+    // The SYN-ACK confirms ECN with ECE only.
+    sendControl(Syn | Ack | (ecnNegotiated_ ? Ece : 0));
+    armSynTimer();
+}
+
+void TcpConnection::becomeEstablished() {
+    if (state_ == TcpState::Established) return;
+    state_ = TcpState::Established;
+    stats_.establishedAt = stack_.sim().now();
+    synTimer_.cancel();
+    if (cb_.onConnected) cb_.onConnected();
+    trySend();
+}
+
+void TcpConnection::armSynTimer() {
+    synTimer_.cancel();
+    Time delay = cfg_.synRto;
+    for (int i = 0; i < synRetries_ && delay < Time::seconds(30); ++i) delay = delay * 2;
+    synTimer_ = stack_.sim().schedule(delay, [this] { onSynTimeout(); });
+}
+
+void TcpConnection::onSynTimeout() {
+    if (state_ != TcpState::SynSent && state_ != TcpState::SynRcvd) return;
+    if (synRetries_ >= cfg_.maxSynRetries) {
+        // Keep retrying at the max backoff: Hadoop fetchers retry forever
+        // and giving up would deadlock the shuffle model.
+        synRetries_ = cfg_.maxSynRetries - 1;
+    }
+    ++synRetries_;
+    ++stats_.synRetries;
+    if (state_ == TcpState::SynSent) {
+        sendControl(Syn | (cfg_.ecnEnabled ? (Ece | Cwr) : 0));
+    } else {
+        sendControl(Syn | Ack | (ecnNegotiated_ ? Ece : 0));
+    }
+    armSynTimer();
+}
+
+// ---------------------------------------------------------------- app calls
+
+void TcpConnection::send(std::int64_t bytes) {
+    appBytes_ += static_cast<std::uint64_t>(bytes);
+    if (state_ == TcpState::Established) trySend();
+}
+
+void TcpConnection::close() {
+    closeRequested_ = true;
+    if (state_ == TcpState::Established) {
+        maybeSendFin();
+    }
+}
+
+// ---------------------------------------------------------------- send path
+
+std::uint64_t TcpConnection::sendLimit() const { return appBytes_ + (finSent_ ? 1 : 0); }
+
+void TcpConnection::trySend() {
+    if (state_ != TcpState::Established) return;
+    const double window = std::min(cwnd_, static_cast<double>(cfg_.receiveWindowBytes));
+    while (sndNxt_ < appBytes_ && static_cast<double>(flightSize()) < window) {
+        const auto len = static_cast<std::int32_t>(
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.mss), appBytes_ - sndNxt_));
+        // Anything below the high-water mark is a go-back-N retransmission.
+        sendSegment(sndNxt_, len, /*isRetransmit=*/sndNxt_ < maxSent_);
+        sndNxt_ += static_cast<std::uint64_t>(len);
+        maxSent_ = std::max(maxSent_, sndNxt_);
+    }
+    maybeSendFin();
+}
+
+void TcpConnection::maybeSendFin() {
+    if (!closeRequested_ || finSent_ || sndNxt_ != appBytes_) return;
+    if (state_ != TcpState::Established) return;
+    finSeq_ = appBytes_;
+    finSent_ = true;
+    sndNxt_ = finSeq_ + 1;  // FIN consumes one sequence unit
+    sendControl(Fin | Ack | (outgoingEce() ? Ece : 0));
+    armRto();
+}
+
+void TcpConnection::sendSegment(std::uint64_t seq, std::int32_t len, bool isRetransmit) {
+    auto pkt = makePacket();
+    pkt->isTcp = true;
+    pkt->tcpFlags = Ack;
+    if (outgoingEce()) pkt->tcpFlags |= Ece;
+    if (cwrPending_ && !isRetransmit) {
+        pkt->tcpFlags |= Cwr;
+        cwrPending_ = false;
+    }
+    pkt->seq = seq;
+    pkt->ackSeq = rcvNxt_;
+    pkt->payloadBytes = len;
+    pkt->sizeBytes = len + cfg_.headerBytes;
+    // Data segments are ECT-capable iff ECN was negotiated (RFC 3168).
+    pkt->ecn = ecnNegotiated_ ? EcnCodepoint::Ect0 : EcnCodepoint::NotEct;
+
+    if (isRetransmit) {
+        ++stats_.retransmits;
+        stats_.bytesRetransmitted += static_cast<std::uint64_t>(len);
+        retransmittedSinceTimed_ = true;
+    } else {
+        ++stats_.segmentsSent;
+        stats_.bytesSent += static_cast<std::uint64_t>(len);
+        if (!timedSegValid_) {
+            timedSegValid_ = true;
+            timedSeqEnd_ = seq + static_cast<std::uint64_t>(len);
+            timedSentAt_ = stack_.sim().now();
+            retransmittedSinceTimed_ = false;
+        }
+    }
+    stack_.transmit(*this, std::move(pkt));
+    if (!rtoTimer_.pending()) armRto();
+}
+
+void TcpConnection::sendControl(std::uint8_t flags) {
+    auto pkt = makePacket();
+    pkt->isTcp = true;
+    pkt->tcpFlags = flags;
+    pkt->seq = (flags & Fin) ? finSeq_ : 0;
+    pkt->ackSeq = (flags & Ack) ? rcvNxt_ : 0;
+    pkt->payloadBytes = 0;
+    pkt->sizeBytes = cfg_.ackSizeBytes;
+    // RFC 3168: control segments are never ECT. The ECN+/ECN++ extension
+    // (ectOnControlPackets) marks them ECT so AQMs mark instead of drop.
+    pkt->ecn = (cfg_.ecnEnabled && cfg_.ectOnControlPackets) ? EcnCodepoint::Ect0
+                                                             : EcnCodepoint::NotEct;
+    stack_.transmit(*this, std::move(pkt));
+}
+
+void TcpConnection::sendAck(bool ece) {
+    delAckTimer_.cancel();
+    delAckSegments_ = 0;
+    auto pkt = makePacket();
+    pkt->isTcp = true;
+    pkt->tcpFlags = Ack | (ece ? Ece : 0);
+    pkt->seq = sndNxt_;
+    pkt->ackSeq = rcvNxt_;
+    pkt->payloadBytes = 0;
+    pkt->sizeBytes = cfg_.ackSizeBytes;
+    // RFC 3168 §6.1.4: pure ACKs MUST NOT be ECT — the root cause the
+    // paper investigates. ECN++ (ectOnControlPackets) relaxes this.
+    pkt->ecn = (ecnNegotiated_ && cfg_.ectOnControlPackets) ? EcnCodepoint::Ect0
+                                                            : EcnCodepoint::NotEct;
+    if (cfg_.sackEnabled && !ooo_.empty()) {
+        // First block: the most recently updated interval (RFC 2018), then
+        // the remaining intervals in sequence order.
+        auto addBlock = [&](std::uint64_t s, std::uint64_t e) {
+            if (pkt->sackCount >= pkt->sackBlocks.size()) return;
+            for (std::uint8_t i = 0; i < pkt->sackCount; ++i) {
+                if (pkt->sackBlocks[i].first == s) return;  // already included
+            }
+            pkt->sackBlocks[pkt->sackCount++] = {s, e};
+        };
+        if (const auto hot = ooo_.find(lastOooStart_); hot != ooo_.end()) {
+            addBlock(hot->first, hot->second);
+        }
+        for (const auto& [s, e] : ooo_) addBlock(s, e);
+    }
+    ++stats_.acksSent;
+    if (ece) ++stats_.acksSentWithEce;
+    stack_.transmit(*this, std::move(pkt));
+}
+
+// ------------------------------------------------------------ receive path
+
+void TcpConnection::onPacket(PacketPtr pkt) {
+    const Packet& p = *pkt;
+
+    if (p.tcpFlags & Syn) {
+        if (p.tcpFlags & Ack) {
+            // SYN-ACK at the client.
+            if (state_ == TcpState::SynSent) {
+                ecnNegotiated_ = cfg_.ecnEnabled && p.hasEce();
+                becomeEstablished();
+                sendAck(false);
+            } else if (state_ == TcpState::Established) {
+                sendAck(outgoingEce());  // our handshake ACK was lost
+            }
+        } else if (state_ == TcpState::SynRcvd) {
+            sendControl(Syn | Ack | (ecnNegotiated_ ? Ece : 0));  // dup SYN
+        }
+        return;
+    }
+
+    if (state_ == TcpState::SynSent) return;  // stray segment
+    if (state_ == TcpState::SynRcvd && (p.tcpFlags & Ack)) becomeEstablished();
+
+    if (p.tcpFlags & Ack) processAck(p);
+    if (p.payloadBytes > 0 || (p.tcpFlags & Fin)) processData(std::move(pkt));
+}
+
+void TcpConnection::processAck(const Packet& p) {
+    const bool ece = ecnNegotiated_ && p.hasEce();
+    if (ece) ++stats_.acksReceivedWithEce;
+    if (cfg_.sackEnabled) absorbSackBlocks(p);
+
+    std::uint64_t ack = std::min(p.ackSeq, sndNxt_);
+    if (ack > sndUna_) {
+        onNewAck(ack, ece);
+        return;
+    }
+    const bool dupCandidate = ack == sndUna_ && flightSize() > 0 && p.payloadBytes == 0 &&
+                              !(p.tcpFlags & (Syn | Fin));
+    if (ece) applyEcnCut(ack);
+    if (dupCandidate) onDupAck();
+}
+
+void TcpConnection::onNewAck(std::uint64_t ackSeq, bool ece) {
+    const std::uint64_t newly = ackSeq - sndUna_;
+    const std::uint64_t dataAcked =
+        std::min(ackSeq, appBytes_) - std::min(sndUna_, appBytes_);
+    sndUna_ = ackSeq;
+    if (cfg_.sackEnabled) pruneSackedBelow(sndUna_);
+    stats_.bytesAcked += dataAcked;
+    policy_->onAck(newly, ece, ackSeq, sndNxt_);
+
+    // RTT sample (Karn's algorithm: skip if a retransmission intervened).
+    if (timedSegValid_ && ackSeq >= timedSeqEnd_) {
+        if (!retransmittedSinceTimed_) {
+            const Time sample = stack_.sim().now() - timedSentAt_;
+            if (!rttValid_) {
+                srtt_ = sample;
+                rttvar_ = sample / 2;
+                rttValid_ = true;
+            } else {
+                const Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+                rttvar_ = (rttvar_ * 3 + err) / 4;
+                srtt_ = (srtt_ * 7 + sample) / 8;
+            }
+            rto_ = std::clamp(srtt_ + rttvar_ * 4, cfg_.minRto, cfg_.maxRto);
+            rtoBackoffs_ = 0;
+        }
+        timedSegValid_ = false;
+    }
+
+    if (inRecovery_) {
+        if (ackSeq >= recover_) {
+            // Full acknowledgement: deflate and leave recovery.
+            inRecovery_ = false;
+            cwnd_ = ssthresh_;
+            dupAcks_ = 0;
+            holeRtxPoint_ = 0;
+        } else {
+            // Partial ACK: retransmit the next hole, deflate.
+            if (cfg_.sackEnabled) {
+                holeRtxPoint_ = sndUna_;
+                if (!retransmitNextHole()) retransmitFirstUnacked();
+            } else {
+                retransmitFirstUnacked();
+            }
+            cwnd_ = std::max(cwnd_ - static_cast<double>(newly) + cfg_.mss,
+                             static_cast<double>(cfg_.mss));
+            armRto();
+        }
+    } else {
+        dupAcks_ = 0;
+        if (ece) {
+            applyEcnCut(ackSeq);
+        } else {
+            // Additive increase.
+            if (cwnd_ < ssthresh_) {
+                cwnd_ += std::min<double>(static_cast<double>(newly), 2.0 * cfg_.mss);
+            } else {
+                caAccum_ += static_cast<double>(newly);
+                if (caAccum_ >= cwnd_) {
+                    caAccum_ -= cwnd_;
+                    cwnd_ += cfg_.mss;
+                }
+            }
+        }
+    }
+
+    if (finSent_ && !finAcked_ && sndUna_ > finSeq_) finAcked_ = true;
+    if (dataAcked > 0 && cb_.onBytesAcked) cb_.onBytesAcked(stats_.bytesAcked);
+
+    if (sndUna_ >= sndNxt_) {
+        cancelRto();
+    } else {
+        armRto();
+    }
+    trySend();
+}
+
+void TcpConnection::onDupAck() {
+    if (inRecovery_) {
+        cwnd_ += cfg_.mss;  // window inflation per extra dup ACK
+        // With SACK, each dup ACK clocks out the next hole before new data.
+        if (cfg_.sackEnabled && retransmitNextHole()) return;
+        trySend();
+        return;
+    }
+    if (++dupAcks_ == 3) enterFastRecovery();
+}
+
+void TcpConnection::enterFastRecovery() {
+    inRecovery_ = true;
+    recover_ = sndNxt_;
+    ssthresh_ = std::max(static_cast<double>(flightSize()) / 2.0, 2.0 * cfg_.mss);
+    cwnd_ = ssthresh_ + 3.0 * cfg_.mss;
+    ++stats_.fastRetransmits;
+    holeRtxPoint_ = sndUna_;
+    if (!cfg_.sackEnabled || !retransmitNextHole()) retransmitFirstUnacked();
+    armRto();
+}
+
+// ------------------------------------------------------------------ SACK
+
+void TcpConnection::absorbSackBlocks(const Packet& p) {
+    for (std::uint8_t i = 0; i < p.sackCount; ++i) {
+        const auto [s, e] = p.sackBlocks[i];
+        if (e <= sndUna_ || s >= e) continue;
+        mergeInterval(sacked_, std::max(s, sndUna_), e);
+    }
+}
+
+void TcpConnection::pruneSackedBelow(std::uint64_t seq) {
+    auto it = sacked_.begin();
+    while (it != sacked_.end() && it->second <= seq) it = sacked_.erase(it);
+    if (it != sacked_.end() && it->first < seq) {
+        const auto end = it->second;
+        sacked_.erase(it);
+        sacked_[seq] = end;
+    }
+}
+
+bool TcpConnection::retransmitNextHole() {
+    const std::uint64_t limit = std::min(highestSacked(), appBytes_);
+    std::uint64_t point = std::max(sndUna_, holeRtxPoint_);
+    // Skip over SACKed ranges covering `point`.
+    while (true) {
+        auto it = sacked_.upper_bound(point);
+        if (it == sacked_.begin()) break;
+        auto prev = std::prev(it);
+        if (prev->first <= point && point < prev->second) {
+            point = prev->second;
+            continue;
+        }
+        break;
+    }
+    if (point >= limit) return false;  // no hole left below the high SACK
+    const auto len = static_cast<std::int32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.mss), appBytes_ - point));
+    if (len <= 0) return false;
+    sendSegment(point, len, /*isRetransmit=*/true);
+    holeRtxPoint_ = point + static_cast<std::uint64_t>(len);
+    return true;
+}
+
+void TcpConnection::applyEcnCut(std::uint64_t ackSeq) {
+    if (!ecnNegotiated_ || inRecovery_) return;
+    if (ackSeq < ecnCutWindowEnd_) return;  // already reduced this window
+    // RFC 3168 §6.1.2: react at most once per RTT. The sequence guard alone
+    // degenerates when the flight is short (every ACK reaches sndNxt), so
+    // back it with a time guard of one smoothed RTT.
+    const Time now = stack_.sim().now();
+    const Time guard = rttValid_ ? srtt_ : Time::milliseconds(1);
+    if (!lastEcnCutAt_.isZero() && now < lastEcnCutAt_ + guard) return;
+    lastEcnCutAt_ = now;
+    const double frac = policy_->ecnBackoffFraction();
+    ++stats_.ecnCwndCuts;
+    cwnd_ = std::max(cwnd_ * (1.0 - frac), static_cast<double>(cfg_.mss));
+    ssthresh_ = cwnd_;
+    caAccum_ = 0.0;
+    ecnCutWindowEnd_ = sndNxt_;
+    cwrPending_ = true;  // echo CWR so the receiver stops setting ECE
+}
+
+void TcpConnection::retransmitFirstUnacked() {
+    if (sndUna_ >= sendLimit()) return;
+    if (finSent_ && sndUna_ >= finSeq_) {
+        ++stats_.retransmits;
+        sendControl(Fin | Ack | (outgoingEce() ? Ece : 0));
+        return;
+    }
+    const auto len = static_cast<std::int32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(cfg_.mss), appBytes_ - sndUna_));
+    sendSegment(sndUna_, len, /*isRetransmit=*/true);
+}
+
+// ----------------------------------------------------------------- timers
+
+void TcpConnection::armRto() {
+    rtoTimer_.cancel();
+    Time delay = rto_;
+    for (int i = 0; i < rtoBackoffs_ && delay < cfg_.maxRto; ++i) delay = delay * 2;
+    delay = std::min(delay, cfg_.maxRto);
+    rtoTimer_ = stack_.sim().schedule(delay, [this] { onRtoTimeout(); });
+}
+
+void TcpConnection::cancelRto() { rtoTimer_.cancel(); }
+
+void TcpConnection::onRtoTimeout() {
+    if (sndUna_ >= sndNxt_) return;  // nothing outstanding
+    ++stats_.rtoEvents;
+    // Loss-based collapse: RFC 5681 on timeout.
+    ssthresh_ = std::max(static_cast<double>(flightSize()) / 2.0, 2.0 * cfg_.mss);
+    cwnd_ = static_cast<double>(cfg_.mss);
+    caAccum_ = 0.0;
+    inRecovery_ = false;
+    dupAcks_ = 0;
+    timedSegValid_ = false;
+    retransmittedSinceTimed_ = true;
+    // Discard the scoreboard on timeout (conservative against reneging).
+    sacked_.clear();
+    holeRtxPoint_ = 0;
+    // Go-back-N: rewind to the first unacknowledged byte and slow-start
+    // from there. The receiver's reassembly buffer collapses the rewound
+    // range quickly via cumulative ACK jumps.
+    sndNxt_ = std::min(sndUna_, appBytes_);
+    if (finSent_ && !finAcked_) finSent_ = false;  // FIN will be re-emitted
+    ++rtoBackoffs_;
+    armRto();
+    trySend();
+}
+
+// ------------------------------------------------------------ reassembly
+
+void TcpConnection::processData(PacketPtr pkt) {
+    const Packet& p = *pkt;
+    bool forceImmediate = false;
+
+    // ECN receiver processing (CE can only appear on ECT segments).
+    const bool ce = p.ecn == EcnCodepoint::Ce;
+    if (cfg_.dctcp) {
+        // DCTCP state machine: on a CE-state change, flush the pending
+        // delayed ACK with the *old* state, then track the new one.
+        if (ce != dctcpCeState_) {
+            if (delAckSegments_ > 0) sendAck(dctcpCeState_);
+            dctcpCeState_ = ce;
+            forceImmediate = true;
+        }
+    } else {
+        if (ce) ceSeen_ = true;
+        if (p.hasCwr()) ceSeen_ = false;  // sender reacted; stop echoing
+    }
+
+    if (p.tcpFlags & Fin) {
+        peerFinKnown_ = true;
+        peerFinSeq_ = p.seq + static_cast<std::uint64_t>(p.payloadBytes);
+        forceImmediate = true;
+    }
+
+    if (p.payloadBytes > 0) {
+        const std::uint64_t end = p.seq + static_cast<std::uint64_t>(p.payloadBytes);
+        if (end > rcvNxt_) {
+            // Absorb [max(seq, rcvNxt), end) into the out-of-order map.
+            lastOooStart_ = mergeInterval(ooo_, std::max(p.seq, rcvNxt_), end);
+        }
+        const std::uint64_t before = rcvNxt_;
+        deliverInOrder();
+        const bool advanced = rcvNxt_ > before;
+        if (!advanced || !ooo_.empty()) forceImmediate = true;  // dup or gap
+    }
+
+    // Consume the peer's FIN once the stream is complete.
+    if (peerFinKnown_ && !finReceived_ && rcvNxt_ >= peerFinSeq_) {
+        finReceived_ = true;
+        rcvNxt_ = peerFinSeq_ + 1;
+        forceImmediate = true;
+        if (cb_.onPeerClosed) cb_.onPeerClosed();
+    }
+
+    if (forceImmediate) {
+        sendAck(outgoingEce());
+    } else {
+        ++delAckSegments_;
+        if (delAckSegments_ >= cfg_.delAckCount) {
+            sendAck(outgoingEce());
+        } else {
+            scheduleDelayedAck();
+        }
+    }
+}
+
+void TcpConnection::deliverInOrder() {
+    const std::uint64_t before = rcvNxt_;
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcvNxt_) {
+        rcvNxt_ = std::max(rcvNxt_, it->second);
+        it = ooo_.erase(it);
+    }
+    const std::uint64_t delta = rcvNxt_ - before;
+    if (delta > 0) {
+        stats_.bytesReceived += delta;
+        if (cb_.onReceive) cb_.onReceive(static_cast<std::int64_t>(delta));
+    }
+}
+
+void TcpConnection::scheduleDelayedAck() {
+    if (delAckTimer_.pending()) return;
+    delAckTimer_ = stack_.sim().schedule(cfg_.delAckTimeout, [this] {
+        if (delAckSegments_ > 0) sendAck(outgoingEce());
+    });
+}
+
+void TcpConnection::flushDelayedAck() {
+    if (delAckSegments_ > 0) sendAck(outgoingEce());
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,224 @@
+// One TCP connection endpoint: NewReno congestion control, RFC 3168 ECN,
+// DCTCP, delayed ACKs, fast retransmit/recovery and RFC 6298 RTO.
+//
+// Byte streams are modelled by counts (no payload contents); segments are
+// real simulated packets with real header flags — which is all the paper's
+// switch-side mechanisms can see anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "src/net/packet.hpp"
+#include "src/sim/event.hpp"
+#include "src/sim/time.hpp"
+#include "src/tcp/config.hpp"
+#include "src/tcp/congestion.hpp"
+
+namespace ecnsim {
+
+class TcpStack;
+
+enum class TcpState {
+    Closed,
+    SynSent,
+    SynRcvd,
+    Established,
+};
+
+constexpr std::string_view tcpStateName(TcpState s) {
+    switch (s) {
+        case TcpState::Closed: return "Closed";
+        case TcpState::SynSent: return "SynSent";
+        case TcpState::SynRcvd: return "SynRcvd";
+        case TcpState::Established: return "Established";
+    }
+    return "?";
+}
+
+struct TcpCallbacks {
+    std::function<void()> onConnected;
+    /// Newly delivered in-order payload bytes.
+    std::function<void(std::int64_t)> onReceive;
+    /// Peer's FIN consumed: the byte stream from the peer is complete.
+    std::function<void()> onPeerClosed;
+    /// Cumulative application bytes acknowledged by the peer (sender side).
+    std::function<void(std::uint64_t)> onBytesAcked;
+};
+
+struct TcpConnStats {
+    std::uint64_t bytesSent = 0;         ///< first transmissions only
+    std::uint64_t bytesRetransmitted = 0;
+    std::uint64_t bytesAcked = 0;
+    std::uint64_t bytesReceived = 0;     ///< in-order delivered payload
+    std::uint32_t segmentsSent = 0;
+    std::uint32_t retransmits = 0;
+    std::uint32_t fastRetransmits = 0;
+    std::uint32_t rtoEvents = 0;
+    std::uint32_t synRetries = 0;
+    std::uint32_t ecnCwndCuts = 0;
+    std::uint32_t acksSent = 0;
+    std::uint32_t acksSentWithEce = 0;
+    std::uint32_t acksReceivedWithEce = 0;
+    Time connectStarted;
+    Time establishedAt;
+};
+
+/// A full-duplex TCP endpoint. Created via TcpStack::connect() or by a
+/// listener on SYN arrival.
+class TcpConnection {
+public:
+    TcpConnection(TcpStack& stack, NodeId remote, std::uint16_t localPort,
+                  std::uint16_t remotePort, std::uint32_t flowId, const TcpConfig& cfg);
+
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    void setCallbacks(TcpCallbacks cb) { cb_ = std::move(cb); }
+
+    /// Client side: begin the three-way handshake.
+    void startConnect();
+    /// Server side: a SYN arrived for us; send SYN-ACK.
+    void acceptFromSyn(const Packet& syn);
+
+    /// Queue `bytes` more application bytes for transmission.
+    void send(std::int64_t bytes);
+    /// Half-close: emit FIN once everything queued so far is sent.
+    void close();
+
+    /// Demuxed inbound segment from the stack.
+    void onPacket(PacketPtr pkt);
+
+    // Introspection.
+    TcpState state() const { return state_; }
+    bool ecnNegotiated() const { return ecnNegotiated_; }
+    double cwndBytes() const { return cwnd_; }
+    double ssthreshBytes() const { return ssthresh_; }
+    Time smoothedRtt() const { return srtt_; }
+    Time currentRto() const { return rto_; }
+    const TcpConnStats& stats() const { return stats_; }
+    const CongestionPolicy& policy() const { return *policy_; }
+    NodeId remoteNode() const { return remote_; }
+    std::uint16_t localPort() const { return localPort_; }
+    std::uint16_t remotePort() const { return remotePort_; }
+    std::uint32_t flowId() const { return flowId_; }
+    std::uint64_t sndUna() const { return sndUna_; }
+    std::uint64_t sndNxt() const { return sndNxt_; }
+    std::uint64_t rcvNxt() const { return rcvNxt_; }
+    bool fullyClosed() const { return finSent_ && finAcked_ && finReceived_; }
+
+private:
+    // --- send path ---
+    void trySend();
+    void sendSegment(std::uint64_t seq, std::int32_t len, bool isRetransmit);
+    void sendControl(std::uint8_t flags);
+    void sendAck(bool ece);
+    std::uint64_t sendLimit() const;  ///< appBytes_ (+1 once FIN is pending)
+    std::uint64_t flightSize() const { return sndNxt_ - sndUna_; }
+    void maybeSendFin();
+    void retransmitFirstUnacked();
+
+    // --- receive path ---
+    void processData(PacketPtr pkt);
+    void processAck(const Packet& pkt);
+    void deliverInOrder();
+    void scheduleDelayedAck();
+    void flushDelayedAck();
+    bool outgoingEce() const { return cfg_.dctcp ? dctcpCeState_ : ceSeen_; }
+
+    // --- congestion control ---
+    void onNewAck(std::uint64_t ackSeq, bool ece);
+    void onDupAck();
+    void applyEcnCut(std::uint64_t ackSeq);
+    void enterFastRecovery();
+
+    // --- SACK (RFC 2018 blocks, simplified RFC 6675 scoreboard) ---
+    void absorbSackBlocks(const Packet& p);
+    void pruneSackedBelow(std::uint64_t seq);
+    /// Retransmit the lowest unSACKed hole at/above holeRtxPoint_.
+    /// Returns false when no hole remains below the highest SACKed byte.
+    bool retransmitNextHole();
+    std::uint64_t highestSacked() const {
+        return sacked_.empty() ? 0 : sacked_.rbegin()->second;
+    }
+
+    // --- timers ---
+    void armRto();
+    void cancelRto();
+    void onRtoTimeout();
+    void armSynTimer();
+    void onSynTimeout();
+
+    void becomeEstablished();
+
+    TcpStack& stack_;
+    TcpConfig cfg_;
+    TcpCallbacks cb_;
+    std::unique_ptr<CongestionPolicy> policy_;
+
+    NodeId remote_;
+    std::uint16_t localPort_;
+    std::uint16_t remotePort_;
+    std::uint32_t flowId_;
+
+    TcpState state_ = TcpState::Closed;
+    bool ecnNegotiated_ = false;
+    bool peerOfferedEcn_ = false;
+
+    // Send state (byte sequence space; FIN consumes one unit).
+    std::uint64_t appBytes_ = 0;   ///< total bytes the app has queued
+    std::uint64_t sndUna_ = 0;
+    std::uint64_t sndNxt_ = 0;
+    std::uint64_t maxSent_ = 0;    ///< highest sndNxt ever reached (go-back-N)
+    bool closeRequested_ = false;
+    bool finSent_ = false;
+    bool finAcked_ = false;
+    std::uint64_t finSeq_ = 0;
+
+    double cwnd_ = 0.0;      // bytes
+    double ssthresh_ = 0.0;  // bytes
+    double caAccum_ = 0.0;   // congestion-avoidance byte accumulator
+    int dupAcks_ = 0;
+    bool inRecovery_ = false;
+    std::uint64_t recover_ = 0;
+    bool cwrPending_ = false;
+    std::uint64_t ecnCutWindowEnd_ = 0;
+    Time lastEcnCutAt_;
+
+    // RTT estimation (RFC 6298).
+    bool rttValid_ = false;
+    Time srtt_;
+    Time rttvar_;
+    Time rto_;
+    bool timedSegValid_ = false;
+    std::uint64_t timedSeqEnd_ = 0;
+    Time timedSentAt_;
+    bool retransmittedSinceTimed_ = false;
+
+    EventHandle rtoTimer_;
+    int rtoBackoffs_ = 0;
+    EventHandle synTimer_;
+    int synRetries_ = 0;
+
+    // SACK sender scoreboard: peer-acknowledged [start, end) above sndUna_.
+    std::map<std::uint64_t, std::uint64_t> sacked_;
+    std::uint64_t holeRtxPoint_ = 0;  ///< recovery scan cursor
+
+    // Receive state.
+    std::uint64_t rcvNxt_ = 0;
+    std::map<std::uint64_t, std::uint64_t> ooo_;  ///< start -> end (exclusive)
+    std::uint64_t lastOooStart_ = 0;  ///< most recently updated block (for SACK order)
+    bool finReceived_ = false;
+    bool peerFinKnown_ = false;
+    std::uint64_t peerFinSeq_ = 0;
+    bool ceSeen_ = false;        // classic ECN receiver state
+    bool dctcpCeState_ = false;  // DCTCP receiver CE state
+    int delAckSegments_ = 0;
+    EventHandle delAckTimer_;
+
+    TcpConnStats stats_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,82 @@
+#include "src/tcp/stack.hpp"
+
+namespace ecnsim {
+
+TcpStack::TcpStack(Network& net, HostNode& host, TcpConfig cfg)
+    : net_(net), host_(host), cfg_(cfg) {
+    host_.setDeliveryHandler([this](PacketPtr pkt) { onDeliver(std::move(pkt)); });
+}
+
+void TcpStack::listen(std::uint16_t port, AcceptHandler onAccept) {
+    listeners_[port] = std::move(onAccept);
+}
+
+TcpConnection& TcpStack::connect(NodeId dst, std::uint16_t dstPort, TcpCallbacks cb) {
+    const std::uint16_t localPort = nextEphemeral_++;
+    auto conn = std::make_unique<TcpConnection>(*this, dst, localPort, dstPort,
+                                                net_.allocateFlowId(), cfg_);
+    TcpConnection* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    demux_[key(localPort, dst, dstPort)] = raw;
+    raw->setCallbacks(std::move(cb));
+    raw->startConnect();
+    return *raw;
+}
+
+void TcpStack::transmit(TcpConnection& conn, PacketPtr pkt) {
+    pkt->dst = conn.remoteNode();
+    pkt->srcPort = conn.localPort();
+    pkt->dstPort = conn.remotePort();
+    pkt->flowId = conn.flowId();
+    host_.inject(std::move(pkt));
+}
+
+void TcpStack::onDeliver(PacketPtr pkt) {
+    if (!pkt->isTcp) {
+        if (rawHandler_) rawHandler_(std::move(pkt));
+        return;
+    }
+    const auto k = key(pkt->dstPort, pkt->src, pkt->srcPort);
+    auto it = demux_.find(k);
+    if (it != demux_.end()) {
+        it->second->onPacket(std::move(pkt));
+        return;
+    }
+    // New connection? Only a SYN (not SYN-ACK) may create one.
+    using namespace tcp_flags;
+    if ((pkt->tcpFlags & Syn) && !(pkt->tcpFlags & Ack)) {
+        auto lit = listeners_.find(pkt->dstPort);
+        if (lit == listeners_.end()) return;  // no listener: silently drop
+        auto conn = std::make_unique<TcpConnection>(*this, pkt->src, pkt->dstPort, pkt->srcPort,
+                                                    pkt->flowId, cfg_);
+        TcpConnection* raw = conn.get();
+        conns_.push_back(std::move(conn));
+        demux_[k] = raw;
+        lit->second(*raw);  // app installs callbacks before the SYN-ACK flies
+        raw->acceptFromSyn(*pkt);
+    }
+    // Anything else (stray segment of a finished run) is ignored.
+}
+
+TcpConnStats TcpStack::aggregateStats() const {
+    TcpConnStats agg;
+    for (const auto& c : conns_) {
+        const auto& s = c->stats();
+        agg.bytesSent += s.bytesSent;
+        agg.bytesRetransmitted += s.bytesRetransmitted;
+        agg.bytesAcked += s.bytesAcked;
+        agg.bytesReceived += s.bytesReceived;
+        agg.segmentsSent += s.segmentsSent;
+        agg.retransmits += s.retransmits;
+        agg.fastRetransmits += s.fastRetransmits;
+        agg.rtoEvents += s.rtoEvents;
+        agg.synRetries += s.synRetries;
+        agg.ecnCwndCuts += s.ecnCwndCuts;
+        agg.acksSent += s.acksSent;
+        agg.acksSentWithEce += s.acksSentWithEce;
+        agg.acksReceivedWithEce += s.acksReceivedWithEce;
+    }
+    return agg;
+}
+
+}  // namespace ecnsim

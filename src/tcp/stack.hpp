@@ -1,0 +1,70 @@
+// Per-host TCP stack: port allocation, listener table, segment demux.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/network.hpp"
+#include "src/net/node.hpp"
+#include "src/tcp/connection.hpp"
+
+namespace ecnsim {
+
+/// Called when a listener accepts a new connection (before the SYN-ACK is
+/// sent); the handler installs the server-side callbacks.
+using AcceptHandler = std::function<void(TcpConnection&)>;
+
+class TcpStack {
+public:
+    TcpStack(Network& net, HostNode& host, TcpConfig cfg);
+
+    TcpStack(const TcpStack&) = delete;
+    TcpStack& operator=(const TcpStack&) = delete;
+
+    /// Start accepting connections on `port`.
+    void listen(std::uint16_t port, AcceptHandler onAccept);
+
+    /// Open a client connection; callbacks may be installed on the returned
+    /// connection before any packet flies (the SYN goes out through the
+    /// event loop, never synchronously).
+    TcpConnection& connect(NodeId dst, std::uint16_t dstPort, TcpCallbacks cb);
+
+    const TcpConfig& config() const { return cfg_; }
+    Simulator& sim() { return net_.sim(); }
+    Network& network() { return net_; }
+    HostNode& host() { return host_; }
+
+    /// Receive hook for non-TCP (probe) packets addressed to this host.
+    void setRawHandler(std::function<void(PacketPtr)> h) { rawHandler_ = std::move(h); }
+
+    /// Sum the per-connection stats of every connection this stack owns.
+    TcpConnStats aggregateStats() const;
+    const std::vector<std::unique_ptr<TcpConnection>>& connections() const { return conns_; }
+
+private:
+    friend class TcpConnection;
+
+    /// Transmit a fully formed segment from `conn` (stamps addressing).
+    void transmit(TcpConnection& conn, PacketPtr pkt);
+
+    void onDeliver(PacketPtr pkt);
+
+    static std::uint64_t key(std::uint16_t localPort, NodeId remote, std::uint16_t remotePort) {
+        return (static_cast<std::uint64_t>(localPort) << 48) |
+               (static_cast<std::uint64_t>(remote) << 16) | remotePort;
+    }
+
+    Network& net_;
+    HostNode& host_;
+    TcpConfig cfg_;
+    std::unordered_map<std::uint64_t, TcpConnection*> demux_;
+    std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
+    std::function<void(PacketPtr)> rawHandler_;
+    std::vector<std::unique_ptr<TcpConnection>> conns_;
+    std::uint16_t nextEphemeral_ = 10000;
+};
+
+}  // namespace ecnsim

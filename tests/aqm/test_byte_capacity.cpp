@@ -1,0 +1,87 @@
+// Byte-denominated buffer limits across the queue zoo (the paper's
+// "buffer density per port" framing).
+#include <gtest/gtest.h>
+
+#include "src/aqm/factory.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData(std::int32_t size = 1500) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = size - 54;
+    p->sizeBytes = size;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+class ByteCapacityKinds : public ::testing::TestWithParam<QueueKind> {};
+
+TEST_P(ByteCapacityKinds, ByteLimitEnforced) {
+    Rng rng(1);
+    QueueConfig cfg;
+    cfg.kind = GetParam();
+    cfg.capacityPackets = 10'000;       // packet limit out of the way
+    cfg.capacityBytes = 10 * 1500;      // ten full packets worth of bytes
+    cfg.targetDelay = 100_ms;           // AQM thresholds out of the way
+    auto q = makeQueue(cfg, rng);
+    int accepted = 0;
+    for (int i = 0; i < 20; ++i) {
+        accepted += isDrop(q->enqueue(ectData(), Time::zero())) ? 0 : 1;
+    }
+    EXPECT_EQ(accepted, 10);
+    EXPECT_LE(q->lengthBytes(), cfg.capacityBytes);
+    EXPECT_EQ(q->stats().total().droppedOverflow, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ByteCapacityKinds,
+                         ::testing::Values(QueueKind::DropTail, QueueKind::Red,
+                                           QueueKind::SimpleMarking, QueueKind::CoDel,
+                                           QueueKind::Pie, QueueKind::Wred),
+                         [](const ::testing::TestParamInfo<QueueKind>& info) {
+                             return std::string(queueKindName(info.param));
+                         });
+
+TEST(ByteCapacity, SmallPacketsPackDenser) {
+    Rng rng(1);
+    QueueConfig cfg;
+    cfg.kind = QueueKind::DropTail;
+    cfg.capacityPackets = 10'000;
+    cfg.capacityBytes = 1500 * 4;
+    auto q = makeQueue(cfg, rng);
+    // 66-byte ACK-sized packets: ~90 fit where only 4 data packets would.
+    int accepted = 0;
+    for (int i = 0; i < 200; ++i) {
+        auto p = ectData(66);
+        accepted += isDrop(q->enqueue(std::move(p), Time::zero())) ? 0 : 1;
+    }
+    EXPECT_GT(accepted, 80);
+}
+
+TEST(ByteCapacity, ZeroMeansUnlimitedBytes) {
+    Rng rng(1);
+    QueueConfig cfg;
+    cfg.kind = QueueKind::DropTail;
+    cfg.capacityPackets = 50;
+    cfg.capacityBytes = 0;
+    auto q = makeQueue(cfg, rng);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(isDrop(q->enqueue(ectData(), Time::zero())));
+    }
+    EXPECT_TRUE(isDrop(q->enqueue(ectData(), Time::zero())));  // packet cap
+}
+
+TEST(ByteCapacity, DescribeMentionsBytes) {
+    QueueConfig cfg;
+    cfg.kind = QueueKind::Red;
+    cfg.capacityBytes = 1'000'000;
+    EXPECT_NE(cfg.describe().find("1000000B"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnsim

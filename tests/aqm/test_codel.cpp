@@ -1,0 +1,113 @@
+#include "src/aqm/codel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;
+    return p;
+}
+
+CoDelConfig cfg(Time target = 500_us, Time interval = 10_ms) {
+    return CoDelConfig{.capacityPackets = 1000,
+                       .target = target,
+                       .interval = interval,
+                       .ecnEnabled = true,
+                       .protection = ProtectionMode::Default};
+}
+
+TEST(CoDel, AcceptsAtEnqueueUpToCapacity) {
+    CoDelQueue q(cfg());
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Enqueued);
+    CoDelQueue small(CoDelConfig{.capacityPackets = 2});
+    small.enqueue(ectData(), 0_us);
+    small.enqueue(ectData(), 0_us);
+    EXPECT_EQ(small.enqueue(ectData(), 0_us), EnqueueOutcome::DroppedOverflow);
+}
+
+TEST(CoDel, LowSojournPassesUntouched) {
+    CoDelQueue q(cfg());
+    q.enqueue(ectData(), 0_us);
+    auto p = q.dequeue(100_us);  // sojourn 100us < 500us target
+    ASSERT_TRUE(p);
+    EXPECT_NE(p->ecn, EcnCodepoint::Ce);
+}
+
+TEST(CoDel, PersistentStandingQueueGetsMarked) {
+    CoDelQueue q(cfg(100_us, 1_ms));
+    // Keep a standing queue: enqueue 200, dequeue slowly at high sojourn.
+    for (int i = 0; i < 200; ++i) q.enqueue(ectData(), 0_us);
+    int marked = 0;
+    Time now = 2_ms;  // every head packet has a 2ms+ sojourn
+    for (int i = 0; i < 150; ++i) {
+        auto p = q.dequeue(now);
+        if (p && p->ecn == EcnCodepoint::Ce) ++marked;
+        now += 100_us;
+    }
+    EXPECT_GT(marked, 0);
+}
+
+TEST(CoDel, NonEctDroppedWhenActing) {
+    CoDelConfig c = cfg(100_us, 1_ms);
+    c.ecnEnabled = false;
+    CoDelQueue q(c);
+    for (int i = 0; i < 200; ++i) q.enqueue(ectData(), 0_us);
+    Time now = 5_ms;
+    std::size_t got = 0;
+    for (int i = 0; i < 150 && !q.empty(); ++i) {
+        if (q.dequeue(now)) ++got;
+        now += 100_us;
+    }
+    EXPECT_GT(q.stats().total().droppedEarly, 0u);
+    EXPECT_LT(got, 150u);
+}
+
+TEST(CoDel, ProtectionShieldsAcksFromHeadDrop) {
+    CoDelConfig c = cfg(100_us, 1_ms);
+    c.ecnEnabled = false;  // force drop behaviour
+    c.protection = ProtectionMode::ProtectAckSyn;
+    CoDelQueue q(c);
+    for (int i = 0; i < 200; ++i) q.enqueue(pureAck(), 0_us);
+    Time now = 5_ms;
+    for (int i = 0; i < 150 && !q.empty(); ++i) {
+        q.dequeue(now);
+        now += 100_us;
+    }
+    EXPECT_EQ(q.stats().of(PacketClass::PureAck).droppedEarly, 0u);
+}
+
+TEST(CoDel, EmptyDequeueResets) {
+    CoDelQueue q(cfg());
+    EXPECT_EQ(q.dequeue(1_ms), nullptr);
+    q.enqueue(ectData(), 1_ms);
+    auto p = q.dequeue(Time::milliseconds(1) + Time::microseconds(10));
+    ASSERT_TRUE(p);
+    EXPECT_NE(p->ecn, EcnCodepoint::Ce);
+}
+
+TEST(CoDel, NameIsStable) {
+    CoDelQueue q(cfg());
+    EXPECT_EQ(q.name(), "CoDel");
+}
+
+}  // namespace
+}  // namespace ecnsim

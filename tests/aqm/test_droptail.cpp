@@ -1,0 +1,98 @@
+#include "src/aqm/droptail.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+PacketPtr data(std::int32_t size = 1500) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = tcp_flags::Ack;
+    p->payloadBytes = size - 54;
+    p->sizeBytes = size;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+TEST(DropTail, FifoOrder) {
+    DropTailQueue q(10);
+    auto a = data(), b = data(), c = data();
+    const auto ua = a->uid, ub = b->uid, uc = c->uid;
+    q.enqueue(std::move(a), 0_us);
+    q.enqueue(std::move(b), 0_us);
+    q.enqueue(std::move(c), 0_us);
+    EXPECT_EQ(q.dequeue(1_us)->uid, ua);
+    EXPECT_EQ(q.dequeue(1_us)->uid, ub);
+    EXPECT_EQ(q.dequeue(1_us)->uid, uc);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTail, AcceptsUntilFullThenOverflows) {
+    DropTailQueue q(3);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(q.enqueue(data(), 0_us), EnqueueOutcome::Enqueued);
+    }
+    EXPECT_EQ(q.enqueue(data(), 0_us), EnqueueOutcome::DroppedOverflow);
+    EXPECT_EQ(q.lengthPackets(), 3u);
+    EXPECT_EQ(q.stats().total().droppedOverflow, 1u);
+    EXPECT_EQ(q.stats().total().droppedEarly, 0u);
+}
+
+TEST(DropTail, NeverMarks) {
+    DropTailQueue q(100);
+    for (int i = 0; i < 50; ++i) q.enqueue(data(), 0_us);
+    EXPECT_EQ(q.stats().total().marked, 0u);
+    while (auto p = q.dequeue(1_us)) EXPECT_NE(p->ecn, EcnCodepoint::Ce);
+}
+
+TEST(DropTail, ByteCapacityEnforced) {
+    DropTailQueue q(100, /*capacityBytes=*/3000);
+    EXPECT_EQ(q.enqueue(data(1500), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.enqueue(data(1500), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.enqueue(data(100), 0_us), EnqueueOutcome::DroppedOverflow);
+    EXPECT_EQ(q.lengthBytes(), 3000);
+}
+
+TEST(DropTail, LengthBytesTracked) {
+    DropTailQueue q(10);
+    q.enqueue(data(1000), 0_us);
+    q.enqueue(data(500), 0_us);
+    EXPECT_EQ(q.lengthBytes(), 1500);
+    q.dequeue(1_us);
+    EXPECT_EQ(q.lengthBytes(), 500);
+}
+
+TEST(DropTail, ContentsViewHeadFirst) {
+    DropTailQueue q(10);
+    auto a = data();
+    const auto ua = a->uid;
+    q.enqueue(std::move(a), 0_us);
+    q.enqueue(data(), 0_us);
+    auto view = q.contents();
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view[0]->uid, ua);
+}
+
+TEST(DropTail, DequeueEmptyReturnsNull) {
+    DropTailQueue q(10);
+    EXPECT_EQ(q.dequeue(0_us), nullptr);
+}
+
+TEST(DropTail, OccupancyStatsTrack) {
+    DropTailQueue q(10);
+    q.enqueue(data(), 0_us);
+    q.enqueue(data(), 0_us);
+    q.dequeue(10_us);
+    EXPECT_DOUBLE_EQ(q.stats().occupancyPackets.max(), 2.0);
+}
+
+TEST(DropTail, NameIsStable) {
+    DropTailQueue q(10);
+    EXPECT_EQ(q.name(), "DropTail");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,140 @@
+#include "src/aqm/pie.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;
+    return p;
+}
+
+PieConfig cfg() {
+    PieConfig c;
+    c.capacityPackets = 5000;
+    c.target = 100_us;
+    c.updateInterval = 1_ms;
+    c.drainRate = Bandwidth::gigabitsPerSecond(1);
+    return c;
+}
+
+TEST(Pie, StartsWithZeroProbability) {
+    Rng rng(1);
+    PieQueue q(cfg(), rng);
+    EXPECT_DOUBLE_EQ(q.dropProbability(), 0.0);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Enqueued);
+}
+
+TEST(Pie, StandingQueueRaisesProbability) {
+    Rng rng(1);
+    PieQueue q(cfg(), rng);
+    Time now = 0_us;
+    // Build and hold a large standing queue across many update intervals.
+    for (int step = 0; step < 400; ++step) {
+        for (int i = 0; i < 20; ++i) q.enqueue(ectData(), now);
+        for (int i = 0; i < 10; ++i) q.dequeue(now);
+        now += 1_ms;
+    }
+    EXPECT_GT(q.dropProbability(), 0.01);
+}
+
+TEST(Pie, DrainedQueueDecaysProbability) {
+    Rng rng(1);
+    PieQueue q(cfg(), rng);
+    Time now = 0_us;
+    for (int step = 0; step < 300; ++step) {
+        for (int i = 0; i < 20; ++i) q.enqueue(ectData(), now);
+        for (int i = 0; i < 10; ++i) q.dequeue(now);
+        now += 1_ms;
+    }
+    const double high = q.dropProbability();
+    while (q.dequeue(now)) {
+    }
+    for (int step = 0; step < 600; ++step) {
+        q.enqueue(ectData(), now);
+        q.dequeue(now);
+        now += 1_ms;
+    }
+    EXPECT_LT(q.dropProbability(), high);
+}
+
+TEST(Pie, MarksEctWhenProbabilityModerate) {
+    Rng rng(7);
+    PieQueue q(cfg(), rng);
+    Time now = 0_us;
+    int marked = 0, droppedEct = 0;
+    for (int step = 0; step < 1000; ++step) {
+        for (int i = 0; i < 8; ++i) {
+            const auto o = q.enqueue(ectData(), now);
+            marked += o == EnqueueOutcome::Marked ? 1 : 0;
+            droppedEct += o == EnqueueOutcome::DroppedEarly ? 1 : 0;
+        }
+        for (int i = 0; i < 4; ++i) q.dequeue(now);
+        now += 1_ms;
+    }
+    EXPECT_GT(marked, 0);
+}
+
+TEST(Pie, ProtectionShieldsAcks) {
+    Rng rng(7);
+    PieConfig c = cfg();
+    c.protection = ProtectionMode::ProtectAckSyn;
+    PieQueue q(c, rng);
+    Time now = 0_us;
+    for (int step = 0; step < 1000; ++step) {
+        for (int i = 0; i < 6; ++i) q.enqueue(ectData(), now);
+        for (int i = 0; i < 2; ++i) q.enqueue(pureAck(), now);
+        for (int i = 0; i < 4; ++i) q.dequeue(now);
+        now += 1_ms;
+    }
+    EXPECT_EQ(q.stats().of(PacketClass::PureAck).droppedEarly, 0u);
+}
+
+TEST(Pie, UnprotectedAcksDoGetDropped) {
+    Rng rng(7);
+    PieQueue q(cfg(), rng);
+    Time now = 0_us;
+    for (int step = 0; step < 1500; ++step) {
+        for (int i = 0; i < 6; ++i) q.enqueue(ectData(), now);
+        for (int i = 0; i < 2; ++i) q.enqueue(pureAck(), now);
+        for (int i = 0; i < 4; ++i) q.dequeue(now);
+        now += 1_ms;
+    }
+    EXPECT_GT(q.stats().of(PacketClass::PureAck).droppedEarly, 0u);
+}
+
+TEST(Pie, OverflowAccounted) {
+    Rng rng(1);
+    PieConfig c = cfg();
+    c.capacityPackets = 3;
+    PieQueue q(c, rng);
+    for (int i = 0; i < 3; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::DroppedOverflow);
+}
+
+TEST(Pie, NameIsStable) {
+    Rng rng(1);
+    PieQueue q(cfg(), rng);
+    EXPECT_EQ(q.name(), "PIE");
+}
+
+}  // namespace
+}  // namespace ecnsim

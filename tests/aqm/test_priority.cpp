@@ -1,0 +1,139 @@
+#include "src/aqm/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/aqm/red.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    return p;
+}
+
+PacketPtr synPkt() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = static_cast<std::uint8_t>(Syn | Ece | Cwr);
+    p->sizeBytes = 66;
+    return p;
+}
+
+ControlPriorityQueue makeQueueUnderTest(std::size_t ctrlCap = 8, std::size_t dataCap = 16) {
+    return ControlPriorityQueue(ControlPriorityConfig{.controlCapacityPackets = ctrlCap},
+                                std::make_unique<DropTailQueue>(dataCap));
+}
+
+TEST(CtrlPrio, RequiresInnerQueue) {
+    EXPECT_THROW(ControlPriorityQueue(ControlPriorityConfig{}, nullptr), std::invalid_argument);
+    EXPECT_THROW(ControlPriorityQueue(ControlPriorityConfig{.controlCapacityPackets = 0},
+                                      std::make_unique<DropTailQueue>(4)),
+                 std::invalid_argument);
+}
+
+TEST(CtrlPrio, ControlBypassesDataBacklog) {
+    auto q = makeQueueUnderTest();
+    for (int i = 0; i < 10; ++i) q.enqueue(ectData(), 0_us);
+    auto ack = pureAck();
+    const auto ackUid = ack->uid;
+    q.enqueue(std::move(ack), 0_us);
+    // The ACK arrived last but departs first.
+    EXPECT_EQ(q.dequeue(1_us)->uid, ackUid);
+}
+
+TEST(CtrlPrio, ClassifiesSynAndFin) {
+    auto q = makeQueueUnderTest();
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(synPkt(), 0_us);
+    auto fin = makePacket();
+    fin->isTcp = true;
+    fin->tcpFlags = Fin | Ack;
+    fin->sizeBytes = 66;
+    q.enqueue(std::move(fin), 0_us);
+    EXPECT_EQ(q.controlBacklog(), 2u);
+    EXPECT_EQ(q.dequeue(1_us)->klass(), PacketClass::Syn);
+    EXPECT_EQ(q.dequeue(1_us)->klass(), PacketClass::Fin);
+    EXPECT_EQ(q.dequeue(1_us)->klass(), PacketClass::Data);
+}
+
+TEST(CtrlPrio, ControlFifoHasOwnCapacity) {
+    auto q = makeQueueUnderTest(/*ctrlCap=*/2);
+    q.enqueue(pureAck(), 0_us);
+    q.enqueue(pureAck(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedOverflow);
+    // Data capacity is independent.
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Enqueued);
+}
+
+TEST(CtrlPrio, DataOutcomesMirroredIntoCombinedStats) {
+    ControlPriorityQueue q(ControlPriorityConfig{.controlCapacityPackets = 4},
+                           std::make_unique<DropTailQueue>(1));
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);  // inner overflow
+    EXPECT_EQ(q.stats().of(PacketClass::Data).enqueued, 1u);
+    EXPECT_EQ(q.stats().of(PacketClass::Data).droppedOverflow, 1u);
+}
+
+TEST(CtrlPrio, LengthAndContentsCombineBothClasses) {
+    auto q = makeQueueUnderTest();
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(pureAck(), 0_us);
+    EXPECT_EQ(q.lengthPackets(), 2u);
+    EXPECT_EQ(q.lengthBytes(), 1566);
+    const auto view = q.contents();
+    ASSERT_EQ(view.size(), 2u);
+    EXPECT_EQ(view[0]->klass(), PacketClass::PureAck);  // control first
+}
+
+TEST(CtrlPrio, InnerRedStillMarksData) {
+    Rng rng(1);
+    RedConfig red;
+    red.capacityPackets = 50;
+    red.minTh = red.maxTh = 3;
+    red.wq = 1.0;
+    red.maxP = 1.0;
+    red.gentle = false;
+    ControlPriorityQueue q(ControlPriorityConfig{.controlCapacityPackets = 8},
+                           std::make_unique<RedQueue>(red, rng));
+    for (int i = 0; i < 4; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Marked);
+    // And a simultaneous ACK burst survives in the control FIFO.
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::Enqueued);
+}
+
+TEST(CtrlPrio, FactoryBuildsComposite) {
+    Rng rng(1);
+    QueueConfig cfg;
+    cfg.kind = QueueKind::ControlPriority;
+    cfg.capacityPackets = 64;
+    auto q = makeQueue(cfg, rng);
+    EXPECT_EQ(q->name(), "CtrlPrio+RED");
+    EXPECT_EQ(q->capacityPackets(), 64u + 64u);
+}
+
+TEST(CtrlPrio, EmptyDequeueNull) {
+    auto q = makeQueueUnderTest();
+    EXPECT_EQ(q.dequeue(0_us), nullptr);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,75 @@
+#include "src/aqm/protection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace tcp_flags;
+
+PacketPtr mk(std::uint8_t flags, std::int32_t payload = 0, bool isTcp = true) {
+    auto p = makePacket();
+    p->isTcp = isTcp;
+    p->tcpFlags = flags;
+    p->payloadBytes = payload;
+    p->sizeBytes = payload + 54;
+    return p;
+}
+
+// Full matrix: (mode, packet shape) -> protected?
+struct Case {
+    ProtectionMode mode;
+    std::uint8_t flags;
+    std::int32_t payload;
+    bool isTcp;
+    bool expectProtected;
+    const char* what;
+};
+
+class ProtectionMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProtectionMatrix, Decides) {
+    const auto& c = GetParam();
+    auto p = mk(c.flags, c.payload, c.isTcp);
+    EXPECT_EQ(isProtectedFromEarlyDrop(*p, c.mode), c.expectProtected) << c.what;
+}
+
+constexpr auto D = ProtectionMode::Default;
+constexpr auto E = ProtectionMode::ProtectEce;
+constexpr auto A = ProtectionMode::ProtectAckSyn;
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ProtectionMatrix,
+    ::testing::Values(
+        // Default mode protects nothing.
+        Case{D, Ack, 0, true, false, "default: plain ACK dropped"},
+        Case{D, static_cast<std::uint8_t>(Ack | Ece), 0, true, false, "default: even ECE ACK dropped"},
+        Case{D, static_cast<std::uint8_t>(Syn | Ece | Cwr), 0, true, false, "default: SYN dropped"},
+        Case{D, static_cast<std::uint8_t>(Syn | Ack | Ece), 0, true, false, "default: SYN-ACK dropped"},
+        // ECE-bit mode: exactly the Table I inspection.
+        Case{E, static_cast<std::uint8_t>(Ack | Ece), 0, true, true, "ece: ECE ACK protected"},
+        Case{E, Ack, 0, true, false, "ece: plain ACK NOT protected"},
+        Case{E, static_cast<std::uint8_t>(Syn | Ece | Cwr), 0, true, true, "ece: ECN SYN protected"},
+        Case{E, static_cast<std::uint8_t>(Syn | Ack | Ece), 0, true, true, "ece: ECN SYN-ACK protected"},
+        Case{E, Syn, 0, true, false, "ece: non-ECN SYN not protected"},
+        Case{E, static_cast<std::uint8_t>(Ack | Ece), 1460, true, true, "ece: data with ECE protected"},
+        Case{E, Ack, 1460, true, false, "ece: plain data not protected"},
+        Case{E, static_cast<std::uint8_t>(Fin | Ack | Ece), 0, true, true, "ece: FIN with ECE protected"},
+        // ACK+SYN mode: all ACKs, SYNs and SYN-ACKs.
+        Case{A, Ack, 0, true, true, "acksyn: plain ACK protected"},
+        Case{A, static_cast<std::uint8_t>(Ack | Ece), 0, true, true, "acksyn: ECE ACK protected"},
+        Case{A, Syn, 0, true, true, "acksyn: plain SYN protected"},
+        Case{A, static_cast<std::uint8_t>(Syn | Ack), 0, true, true, "acksyn: SYN-ACK protected"},
+        Case{A, Ack, 1460, true, false, "acksyn: data segment not protected"},
+        Case{A, static_cast<std::uint8_t>(Fin | Ack), 0, true, false, "acksyn: plain FIN not protected"},
+        Case{A, static_cast<std::uint8_t>(Fin | Ack | Ece), 0, true, true, "acksyn: FIN w/ECE via ECE rule"},
+        Case{A, 0, 0, false, false, "acksyn: raw probe not protected"}));
+
+TEST(ProtectionModeNames, Stable) {
+    EXPECT_EQ(protectionModeName(ProtectionMode::Default), "Default");
+    EXPECT_EQ(protectionModeName(ProtectionMode::ProtectEce), "ECE-bit");
+    EXPECT_EQ(protectionModeName(ProtectionMode::ProtectAckSyn), "ACK+SYN");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,282 @@
+#include "src/aqm/red.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck(bool ece = false) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = static_cast<std::uint8_t>(Ack | (ece ? Ece : 0));
+    p->payloadBytes = 0;
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;  // RFC 3168: pure ACKs are not ECT
+    return p;
+}
+
+PacketPtr synPkt(bool ecnSetup = true) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = static_cast<std::uint8_t>(Syn | (ecnSetup ? (Ece | Cwr) : 0));
+    p->payloadBytes = 0;
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;
+    return p;
+}
+
+RedConfig mimicConfig(double k, std::size_t cap = 100) {
+    // The DCTCP-recommended configuration: one instantaneous threshold.
+    RedConfig cfg;
+    cfg.capacityPackets = cap;
+    cfg.minTh = cfg.maxTh = k;
+    cfg.wq = 1.0;
+    cfg.maxP = 1.0;
+    cfg.gentle = false;
+    return cfg;
+}
+
+TEST(RedConfig, Validation) {
+    Rng rng(1);
+    RedConfig bad;
+    bad.minTh = 50;
+    bad.maxTh = 10;
+    EXPECT_THROW(RedQueue(bad, rng), std::invalid_argument);
+    RedConfig badWq = mimicConfig(10);
+    badWq.wq = 0.0;
+    EXPECT_THROW(RedQueue(badWq, rng), std::invalid_argument);
+    RedConfig badP = mimicConfig(10);
+    badP.maxP = 1.5;
+    EXPECT_THROW(RedQueue(badP, rng), std::invalid_argument);
+}
+
+TEST(RedMimic, BelowThresholdAcceptsEverything) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(20), rng);
+    for (int i = 0; i < 19; ++i) {
+        EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Enqueued);
+    }
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.stats().total().marked, 0u);
+    EXPECT_EQ(q.stats().total().droppedEarly, 0u);
+}
+
+TEST(RedMimic, AboveThresholdMarksEct) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(5), rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    // Queue holds 5 >= K: next ECT packet must be CE-marked, not dropped.
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Marked);
+    const auto view = q.contents();
+    EXPECT_EQ(view.back()->ecn, EcnCodepoint::Ce);
+}
+
+// The paper's central observation: the same congestion state that *marks*
+// an ECT packet *drops* a non-ECT ACK.
+TEST(RedMimic, AboveThresholdDropsNonEctAck) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(5), rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedEarly);
+    EXPECT_EQ(q.stats().of(PacketClass::PureAck).droppedEarly, 1u);
+}
+
+TEST(RedMimic, AboveThresholdDropsSyn) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(5), rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(synPkt(), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(RedMimic, EceProtectionShieldsEceAckAndSyn) {
+    Rng rng(1);
+    RedConfig cfg = mimicConfig(5);
+    cfg.protection = ProtectionMode::ProtectEce;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(/*ece=*/true), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.enqueue(synPkt(/*ecnSetup=*/true), 0_us), EnqueueOutcome::Enqueued);
+    // A plain ACK still falls through.
+    EXPECT_EQ(q.enqueue(pureAck(/*ece=*/false), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(RedMimic, AckSynProtectionShieldsAllAcks) {
+    Rng rng(1);
+    RedConfig cfg = mimicConfig(5);
+    cfg.protection = ProtectionMode::ProtectAckSyn;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(false), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.enqueue(pureAck(true), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.enqueue(synPkt(false), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.stats().of(PacketClass::PureAck).droppedEarly, 0u);
+}
+
+TEST(RedMimic, ProtectionNeverOverridesOverflow) {
+    Rng rng(1);
+    RedConfig cfg = mimicConfig(5, /*cap=*/8);
+    cfg.protection = ProtectionMode::ProtectAckSyn;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 8; ++i) q.enqueue(ectData(), 0_us);
+    // Buffer physically full: even a protected ACK must be dropped.
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedOverflow);
+}
+
+TEST(RedMimic, EcnDisabledDropsEctPacketsToo) {
+    Rng rng(1);
+    RedConfig cfg = mimicConfig(5);
+    cfg.ecnEnabled = false;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(RedClassic, AveragedQueueFiltersBursts) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 200;
+    cfg.minTh = 10;
+    cfg.maxTh = 30;
+    cfg.wq = 0.002;  // slow EWMA
+    RedQueue q(cfg, rng);
+    // A sudden burst of 50 packets: instantaneous queue exceeds maxTh but
+    // the EWMA barely moves, so nearly everything is accepted unmarked.
+    int accepted = 0;
+    for (int i = 0; i < 50; ++i) {
+        accepted += q.enqueue(ectData(), 0_us) == EnqueueOutcome::Enqueued ? 1 : 0;
+    }
+    EXPECT_GE(accepted, 48);
+    EXPECT_LT(q.averageQueue(), cfg.minTh);
+}
+
+TEST(RedClassic, SustainedLoadRaisesAverageAndMarks) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 400;
+    cfg.minTh = 5;
+    cfg.maxTh = 15;
+    cfg.wq = 0.2;
+    cfg.maxP = 0.5;
+    RedQueue q(cfg, rng);
+    int marked = 0;
+    for (int i = 0; i < 200; ++i) {
+        marked += q.enqueue(ectData(), 0_us) == EnqueueOutcome::Marked ? 1 : 0;
+    }
+    EXPECT_GT(q.averageQueue(), cfg.minTh);
+    EXPECT_GT(marked, 0);
+}
+
+TEST(RedClassic, GentleRampsAboveMaxTh) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 1000;
+    cfg.minTh = 2;
+    cfg.maxTh = 4;
+    cfg.wq = 1.0;
+    cfg.maxP = 0.1;
+    cfg.gentle = true;
+    cfg.ecnEnabled = false;
+    RedQueue q(cfg, rng);
+    // Fill way past 2*maxTh: beyond it every packet is force-dropped.
+    int outcomes[2] = {0, 0};
+    for (int i = 0; i < 100; ++i) {
+        const auto o = q.enqueue(ectData(), 0_us);
+        outcomes[isDrop(o) ? 1 : 0]++;
+    }
+    EXPECT_GT(outcomes[1], 50);  // mostly drops once saturated
+    EXPECT_GT(outcomes[0], 4);   // but the ramp admitted some
+}
+
+TEST(RedClassic, NonGentleForceDropsAtMaxTh) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 1000;
+    cfg.minTh = 2;
+    cfg.maxTh = 4;
+    cfg.wq = 1.0;
+    cfg.gentle = false;
+    cfg.ecnEnabled = false;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 10; ++i) q.enqueue(ectData(), 0_us);
+    // avg == instantaneous >= maxTh -> forced action, ECN off -> drop.
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(RedClassic, IdleDecayShrinksAverage) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 100;
+    cfg.minTh = 50;
+    cfg.maxTh = 80;
+    cfg.wq = 1.0;
+    cfg.idlePacketTime = 12_us;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 30; ++i) q.enqueue(ectData(), 0_us);
+    const double before = q.averageQueue();
+    while (q.dequeue(360_us)) {
+    }
+    // Idle for a long time, then one arrival: the average must have decayed
+    // well below its pre-idle value.
+    q.enqueue(ectData(), Time::milliseconds(100));
+    EXPECT_LT(q.averageQueue(), before / 2.0);
+}
+
+TEST(RedByteMode, ScalesProbabilityBySize) {
+    Rng rng(42);
+    RedConfig cfg;
+    cfg.capacityPackets = 100000;
+    cfg.byteMode = true;
+    cfg.minTh = 10 * 1500;   // thresholds in bytes
+    cfg.maxTh = 40 * 1500;
+    cfg.wq = 1.0;
+    cfg.maxP = 0.9;
+    cfg.meanPktSizeBytes = 1500;
+    cfg.ecnEnabled = false;
+    RedQueue q(cfg, rng);
+    // Park the average between the byte thresholds, then offer small and
+    // large packets in pairs: small ones must be dropped far less often
+    // (pb is scaled by pktSize/meanPktSize in byte mode).
+    for (int i = 0; i < 20; ++i) q.enqueue(ectData(), 0_us);
+    int smallDrops = 0, largeDrops = 0;
+    for (int i = 0; i < 250; ++i) {
+        auto small = pureAck();  // 66 B
+        auto large = ectData();  // 1500 B
+        if (isDrop(q.enqueue(std::move(small), 0_us))) ++smallDrops;
+        if (isDrop(q.enqueue(std::move(large), 0_us))) ++largeDrops;
+        q.dequeue(0_us);  // net growth ~ +66 B/iter keeps us in the band
+    }
+    EXPECT_GT(largeDrops, 10);
+    EXPECT_LT(smallDrops, largeDrops / 4);
+}
+
+TEST(Red, DequeueRestoresFifo) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(50), rng);
+    auto a = ectData();
+    const auto ua = a->uid;
+    q.enqueue(std::move(a), 0_us);
+    q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.dequeue(1_us)->uid, ua);
+}
+
+TEST(Red, NameIsStable) {
+    Rng rng(1);
+    RedQueue q(mimicConfig(5), rng);
+    EXPECT_EQ(q.name(), "RED");
+}
+
+}  // namespace
+}  // namespace ecnsim

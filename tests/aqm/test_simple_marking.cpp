@@ -1,0 +1,99 @@
+#include "src/aqm/simple_marking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;
+    return p;
+}
+
+TEST(SimpleMarking, BelowThresholdNoMarks) {
+    SimpleMarkingQueue q({.capacityPackets = 100, .markThresholdPackets = 10});
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Enqueued);
+    }
+    EXPECT_EQ(q.stats().total().marked, 0u);
+}
+
+TEST(SimpleMarking, AtThresholdMarksEct) {
+    SimpleMarkingQueue q({.capacityPackets = 100, .markThresholdPackets = 10});
+    for (int i = 0; i < 10; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Marked);
+}
+
+// "A true marking scheme would mark packets but never drop packets unless
+// its buffer was full" (§II-A) — THE defining property.
+TEST(SimpleMarking, NeverEarlyDropsAnything) {
+    SimpleMarkingQueue q({.capacityPackets = 50, .markThresholdPackets = 5});
+    for (int i = 0; i < 49; ++i) q.enqueue(ectData(), 0_us);
+    // Queue far above threshold, buffer not full: a non-ECT ACK sails in.
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.stats().total().droppedEarly, 0u);
+}
+
+TEST(SimpleMarking, OverflowStillDrops) {
+    SimpleMarkingQueue q({.capacityPackets = 5, .markThresholdPackets = 2});
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedOverflow);
+    EXPECT_EQ(q.stats().total().droppedOverflow, 1u);
+    EXPECT_EQ(q.stats().total().droppedEarly, 0u);
+}
+
+TEST(SimpleMarking, NonEctAboveThresholdNotMarked) {
+    SimpleMarkingQueue q({.capacityPackets = 100, .markThresholdPackets = 3});
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    auto ack = pureAck();
+    const auto uid = ack->uid;
+    q.enqueue(std::move(ack), 0_us);
+    // The ACK entered unmarked (it cannot carry CE meaningfully).
+    for (const Packet* p : q.contents()) {
+        if (p->uid == uid) {
+            EXPECT_EQ(p->ecn, EcnCodepoint::NotEct);
+        }
+    }
+}
+
+TEST(SimpleMarking, MarkedPacketCarriesCe) {
+    SimpleMarkingQueue q({.capacityPackets = 100, .markThresholdPackets = 1});
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.contents().back()->ecn, EcnCodepoint::Ce);
+}
+
+TEST(SimpleMarking, ParameterSweepDropFreeUnderCapacity) {
+    for (std::size_t k : {1u, 5u, 20u, 60u}) {
+        SimpleMarkingQueue q({.capacityPackets = 64, .markThresholdPackets = k});
+        for (int i = 0; i < 64; ++i) {
+            const auto outcome = q.enqueue(i % 3 ? ectData() : pureAck(), 0_us);
+            EXPECT_FALSE(isDrop(outcome));
+        }
+    }
+}
+
+TEST(SimpleMarking, NameIsStable) {
+    SimpleMarkingQueue q({});
+    EXPECT_EQ(q.name(), "SimpleMarking");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,94 @@
+#include "src/aqm/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/red.hpp"
+#include "src/aqm/simple_marking.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck(bool ece = false) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = static_cast<std::uint8_t>(Ack | (ece ? Ece : 0));
+    p->sizeBytes = 66;
+    p->ecn = EcnCodepoint::NotEct;
+    return p;
+}
+
+TEST(Snapshot, CountsComposition) {
+    SimpleMarkingQueue q({.capacityPackets = 50, .markThresholdPackets = 3});
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    q.enqueue(pureAck(), 0_us);
+    q.enqueue(pureAck(true), 0_us);
+
+    const auto s = QueueSnapshot::capture(q);
+    EXPECT_EQ(s.entries.size(), 7u);
+    EXPECT_EQ(s.countOf(PacketClass::Data), 5u);
+    EXPECT_EQ(s.countOf(PacketClass::PureAck), 2u);
+    EXPECT_EQ(s.countEct(), 5u);
+    EXPECT_EQ(s.countCe(), 2u);  // packets 4 and 5 were above threshold
+    EXPECT_EQ(s.capacityPackets, 50u);
+    EXPECT_EQ(s.queueName, "SimpleMarking");
+}
+
+TEST(Snapshot, AsciiRenderingShapes) {
+    SimpleMarkingQueue q({.capacityPackets = 10, .markThresholdPackets = 2});
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);  // marked
+    q.enqueue(pureAck(), 0_us);
+    q.enqueue(pureAck(true), 0_us);
+    const auto art = QueueSnapshot::capture(q).renderAscii();
+    // Head first: two ECT data, one CE-marked, plain ack, ECE ack, free.
+    EXPECT_EQ(art, "[DD*ae.....]");
+}
+
+TEST(Snapshot, AsciiTruncatesAtWidth) {
+    SimpleMarkingQueue q({.capacityPackets = 200, .markThresholdPackets = 500});
+    for (int i = 0; i < 150; ++i) q.enqueue(ectData(), 0_us);
+    const auto art = QueueSnapshot::capture(q).renderAscii(20);
+    EXPECT_EQ(art.size(), 22u);  // 20 glyphs + brackets
+}
+
+TEST(Snapshot, SummaryContainsDropShares) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 100;
+    cfg.minTh = cfg.maxTh = 3;
+    cfg.wq = 1.0;
+    cfg.maxP = 1.0;
+    cfg.gentle = false;
+    RedQueue q(cfg, rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    q.enqueue(pureAck(), 0_us);  // early-dropped above threshold
+    const auto s = QueueSnapshot::capture(q);
+    EXPECT_EQ(s.ackStats.droppedEarly, 1u);
+    const auto text = s.summary();
+    EXPECT_NE(text.find("ACK"), std::string::npos);
+    EXPECT_NE(text.find("100.00%"), std::string::npos);  // 1/1 ACKs dropped
+}
+
+TEST(Snapshot, EmptyQueue) {
+    SimpleMarkingQueue q({.capacityPackets = 4, .markThresholdPackets = 2});
+    const auto s = QueueSnapshot::capture(q);
+    EXPECT_TRUE(s.entries.empty());
+    EXPECT_EQ(s.renderAscii(), "[....]");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,108 @@
+#include "src/aqm/target_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/factory.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(TargetDelay, ThresholdPacketsAtGigabit) {
+    // 500us at 1 Gbps = 62500 bytes ~ 41.7 packets of 1500 B.
+    const double k = thresholdPackets(500_us, Bandwidth::gigabitsPerSecond(1), 1500.0);
+    EXPECT_NEAR(k, 41.67, 0.1);
+}
+
+TEST(TargetDelay, ScalesWithRate) {
+    const auto d = 1000_us;
+    const double k1 = thresholdPackets(d, Bandwidth::gigabitsPerSecond(1), 1500.0);
+    const double k10 = thresholdPackets(d, Bandwidth::gigabitsPerSecond(10), 1500.0);
+    EXPECT_NEAR(k10 / k1, 10.0, 1e-9);
+}
+
+TEST(TargetDelay, FloorsAtOnePacket) {
+    EXPECT_DOUBLE_EQ(thresholdPackets(1_ns, Bandwidth::megabitsPerSecond(1), 1500.0), 1.0);
+}
+
+TEST(TargetDelay, RejectsBadInput) {
+    EXPECT_THROW(thresholdPackets(Time::microseconds(-5), Bandwidth::gigabitsPerSecond(1), 1500.0),
+                 std::invalid_argument);
+    EXPECT_THROW(thresholdPackets(1_us, Bandwidth{}, 1500.0), std::invalid_argument);
+    EXPECT_THROW(thresholdPackets(1_us, Bandwidth::gigabitsPerSecond(1), 0.0),
+                 std::invalid_argument);
+}
+
+TEST(TargetDelay, ClassicRedBandAroundK) {
+    const auto cfg = redForTargetDelay(500_us, Bandwidth::gigabitsPerSecond(1), 100,
+                                       RedVariant::Classic, ProtectionMode::Default, true);
+    EXPECT_NEAR(cfg.minTh, 41.67 / 2, 0.2);
+    EXPECT_NEAR(cfg.maxTh, 41.67 * 1.5, 0.3);
+    EXPECT_TRUE(cfg.gentle);
+    EXPECT_LT(cfg.wq, 1.0);
+}
+
+TEST(TargetDelay, DctcpMimicSingleInstantaneousThreshold) {
+    const auto cfg = redForTargetDelay(500_us, Bandwidth::gigabitsPerSecond(1), 100,
+                                       RedVariant::DctcpMimic, ProtectionMode::ProtectEce, true);
+    EXPECT_DOUBLE_EQ(cfg.minTh, cfg.maxTh);
+    EXPECT_DOUBLE_EQ(cfg.wq, 1.0);
+    EXPECT_FALSE(cfg.gentle);
+    EXPECT_EQ(cfg.protection, ProtectionMode::ProtectEce);
+}
+
+TEST(TargetDelay, SimpleMarkingThreshold) {
+    const auto cfg =
+        simpleMarkingForTargetDelay(500_us, Bandwidth::gigabitsPerSecond(1), 100);
+    EXPECT_EQ(cfg.markThresholdPackets, 41u);
+    EXPECT_EQ(cfg.capacityPackets, 100u);
+}
+
+TEST(TargetDelay, CodelAndPieCarryTarget) {
+    const auto cd = codelForTargetDelay(300_us, 100, ProtectionMode::Default, true);
+    EXPECT_EQ(cd.target, 300_us);
+    EXPECT_GE(cd.interval, 1_ms);
+    const auto pie = pieForTargetDelay(300_us, Bandwidth::gigabitsPerSecond(1), 100,
+                                       ProtectionMode::ProtectAckSyn, true);
+    EXPECT_EQ(pie.target, 300_us);
+    EXPECT_EQ(pie.protection, ProtectionMode::ProtectAckSyn);
+}
+
+TEST(Factory, BuildsEveryKind) {
+    Rng rng(1);
+    for (const auto kind : {QueueKind::DropTail, QueueKind::Red, QueueKind::SimpleMarking,
+                            QueueKind::CoDel, QueueKind::Pie}) {
+        QueueConfig cfg;
+        cfg.kind = kind;
+        cfg.capacityPackets = 64;
+        auto q = makeQueue(cfg, rng);
+        ASSERT_TRUE(q);
+        EXPECT_EQ(q->capacityPackets(), 64u);
+        EXPECT_EQ(q->name(), std::string(queueKindName(kind)));
+    }
+}
+
+TEST(Factory, FactoryProducesFreshInstances) {
+    Rng rng(1);
+    QueueConfig cfg;
+    cfg.kind = QueueKind::DropTail;
+    auto factory = makeQueueFactory(cfg, rng);
+    auto a = factory();
+    auto b = factory();
+    EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Factory, DescribeMentionsKeyKnobs) {
+    QueueConfig cfg;
+    cfg.kind = QueueKind::Red;
+    cfg.targetDelay = 500_us;
+    cfg.protection = ProtectionMode::ProtectAckSyn;
+    const auto s = cfg.describe();
+    EXPECT_NE(s.find("RED"), std::string::npos);
+    EXPECT_NE(s.find("ACK+SYN"), std::string::npos);
+    EXPECT_NE(s.find("500us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnsim

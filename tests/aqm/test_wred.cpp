@@ -1,0 +1,107 @@
+#include "src/aqm/wred.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/target_delay.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    return p;
+}
+
+WredConfig mimicLikeConfig(double kData, double kCtrlMin, double kCtrlMax) {
+    WredConfig cfg;
+    cfg.capacityPackets = 100;
+    cfg.wq = 1.0;
+    cfg.dataProfile = WredProfile{kData, kData, 1.0};
+    cfg.controlProfile = WredProfile{kCtrlMin, kCtrlMax, 1.0};
+    return cfg;
+}
+
+TEST(Wred, Validation) {
+    Rng rng(1);
+    WredConfig bad = mimicLikeConfig(5, 10, 20);
+    bad.dataProfile.minTh = 50;
+    bad.dataProfile.maxTh = 10;
+    EXPECT_THROW(WredQueue(bad, rng), std::invalid_argument);
+    WredConfig badWq = mimicLikeConfig(5, 10, 20);
+    badWq.wq = 2.0;
+    EXPECT_THROW(WredQueue(badWq, rng), std::invalid_argument);
+}
+
+TEST(Wred, DataMarkedAtDataThreshold) {
+    Rng rng(1);
+    WredQueue q(mimicLikeConfig(5, 30, 40), rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::Marked);
+}
+
+// The operator remedy: the control curve sits far above the data curve, so
+// the queue state that marks data leaves ACKs untouched.
+TEST(Wred, AcksSurviveWhereDataIsMarked) {
+    Rng rng(1);
+    WredQueue q(mimicLikeConfig(5, 30, 40), rng);
+    for (int i = 0; i < 10; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::Enqueued);
+    EXPECT_EQ(q.stats().of(PacketClass::PureAck).droppedEarly, 0u);
+}
+
+TEST(Wred, AcksStillDropAboveControlCurve) {
+    Rng rng(1);
+    WredQueue q(mimicLikeConfig(5, 15, 15), rng);
+    for (int i = 0; i < 20; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(Wred, EcnDisabledDropsData) {
+    Rng rng(1);
+    auto cfg = mimicLikeConfig(5, 30, 40);
+    cfg.ecnEnabled = false;
+    WredQueue q(cfg, rng);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(ectData(), 0_us), EnqueueOutcome::DroppedEarly);
+}
+
+TEST(Wred, OverflowBeatsEverything) {
+    Rng rng(1);
+    auto cfg = mimicLikeConfig(200, 300, 400);  // curves beyond capacity
+    WredQueue q(cfg, rng);
+    for (int i = 0; i < 100; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(q.enqueue(pureAck(), 0_us), EnqueueOutcome::DroppedOverflow);
+}
+
+TEST(Wred, FactoryHelperShapes) {
+    const auto cfg =
+        wredForTargetDelay(500_us, Bandwidth::gigabitsPerSecond(1), 100, true);
+    EXPECT_DOUBLE_EQ(cfg.dataProfile.minTh, cfg.dataProfile.maxTh);
+    EXPECT_GT(cfg.controlProfile.minTh, cfg.dataProfile.maxTh * 2.0);
+    EXPECT_LE(cfg.controlProfile.maxTh, 100.0);
+}
+
+TEST(Wred, NameIsStable) {
+    Rng rng(1);
+    WredQueue q(mimicLikeConfig(5, 30, 40), rng);
+    EXPECT_EQ(q.name(), "WRED");
+}
+
+}  // namespace
+}  // namespace ecnsim

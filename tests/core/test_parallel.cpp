@@ -1,0 +1,73 @@
+#include "src/core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+std::vector<ExperimentConfig> grid() {
+    std::vector<ExperimentConfig> configs;
+    configs.push_back(makeDropTailConfig(BufferProfile::Shallow, tinyScale()));
+    for (const auto s : {PaperSeries::DctcpDefault, PaperSeries::DctcpAckSyn,
+                         PaperSeries::EcnMarking}) {
+        configs.push_back(makeSeriesConfig(s, 200_us, BufferProfile::Shallow, tinyScale()));
+    }
+    return configs;
+}
+
+TEST(Parallel, MatchesSerialResults) {
+    const auto configs = grid();
+    const auto parallel = runExperimentsParallel(configs, 4, /*useCache=*/false);
+    ASSERT_EQ(parallel.size(), configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const auto serial = runExperiment(configs[i]);
+        EXPECT_DOUBLE_EQ(parallel[i].runtimeSec, serial.runtimeSec) << configs[i].name;
+        EXPECT_EQ(parallel[i].eventsExecuted, serial.eventsExecuted) << configs[i].name;
+    }
+}
+
+TEST(Parallel, PreservesInputOrder) {
+    const auto configs = grid();
+    const auto results = runExperimentsParallel(configs, 2, /*useCache=*/false);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        EXPECT_EQ(results[i].name, configs[i].name);
+    }
+}
+
+TEST(Parallel, EmptyInputOk) {
+    EXPECT_TRUE(runExperimentsParallel({}, 4).empty());
+}
+
+TEST(Parallel, SingleThreadFallback) {
+    const auto configs = grid();
+    const auto results = runExperimentsParallel(configs, 1, /*useCache=*/false);
+    EXPECT_EQ(results.size(), configs.size());
+    for (const auto& r : results) EXPECT_GT(r.runtimeSec, 0.0);
+}
+
+TEST(Fairness, JainIndexProperties) {
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({}), 0.0);
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({5.0}), 1.0);
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({3.0, 3.0, 3.0}), 1.0);
+    // One hog among n starving flows -> index -> 1/n.
+    EXPECT_NEAR(jainFairnessIndex({10.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+    const double mixed = jainFairnessIndex({1.0, 2.0, 3.0});
+    EXPECT_GT(mixed, 0.25);
+    EXPECT_LT(mixed, 1.0);
+}
+
+}  // namespace
+}  // namespace ecnsim

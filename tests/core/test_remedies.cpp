@@ -1,0 +1,79 @@
+// Runner-level coverage for the extended remedy configurations: WRED,
+// control-priority queueing, ECN++ endpoints, and their cache identities.
+#include <gtest/gtest.h>
+
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+ExperimentConfig baseCfg(QueueKind kind) {
+    ExperimentConfig cfg = makeSeriesConfig(PaperSeries::DctcpDefault, 200_us,
+                                            BufferProfile::Shallow, tinyScale());
+    cfg.switchQueue.kind = kind;
+    return cfg;
+}
+
+TEST(Remedies, WredRunsAndProtectsAcks) {
+    const auto stock = runExperiment(baseCfg(QueueKind::Red));
+    const auto wred = runExperiment(baseCfg(QueueKind::Wred));
+    EXPECT_FALSE(wred.timedOut);
+    EXPECT_LT(wred.ackDropShare(), stock.ackDropShare());
+    EXPECT_GT(wred.ceMarks, 0u);
+}
+
+TEST(Remedies, ControlPriorityEliminatesAckDrops) {
+    const auto prio = runExperiment(baseCfg(QueueKind::ControlPriority));
+    EXPECT_FALSE(prio.timedOut);
+    EXPECT_DOUBLE_EQ(prio.ackDropShare(), 0.0);
+    EXPECT_EQ(prio.synRetries, 0u);
+}
+
+TEST(Remedies, EcnPlusPlusEliminatesAckDrops) {
+    auto cfg = baseCfg(QueueKind::Red);
+    cfg.ecnPlusPlus = true;
+    const auto r = runExperiment(cfg);
+    EXPECT_DOUBLE_EQ(r.ackDropShare(), 0.0);
+    EXPECT_EQ(r.synRetries, 0u);
+}
+
+TEST(Remedies, AllRecoverThroughputVsStock) {
+    const auto stock = runExperiment(baseCfg(QueueKind::Red));
+    for (const auto kind : {QueueKind::Wred, QueueKind::ControlPriority}) {
+        const auto r = runExperiment(baseCfg(kind));
+        EXPECT_GE(r.throughputPerNodeMbps, stock.throughputPerNodeMbps * 0.95)
+            << queueKindName(kind);
+    }
+}
+
+TEST(Remedies, CacheKeysDistinguishKindsAndEcnPP) {
+    auto red = baseCfg(QueueKind::Red);
+    auto wred = baseCfg(QueueKind::Wred);
+    auto prio = baseCfg(QueueKind::ControlPriority);
+    auto pp = baseCfg(QueueKind::Red);
+    pp.ecnPlusPlus = true;
+    EXPECT_NE(red.cacheKey(), wred.cacheKey());
+    EXPECT_NE(red.cacheKey(), prio.cacheKey());
+    EXPECT_NE(wred.cacheKey(), prio.cacheKey());
+    EXPECT_NE(red.cacheKey(), pp.cacheKey());
+}
+
+TEST(Remedies, FctFieldsPopulated) {
+    const auto r = runExperiment(baseCfg(QueueKind::Red));
+    EXPECT_GT(r.fctMeanUs, 0.0);
+    EXPECT_GE(r.fctP99Us, r.fctP50Us);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,55 @@
+#include "src/core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ecnsim {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+    TextTable t({"name", "value"});
+    t.addRow({"short", "1"});
+    t.addRow({"a-much-longer-name", "2"});
+    const auto s = t.toString();
+    std::istringstream is(s);
+    std::string header, rule, r1, r2;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, r1);
+    std::getline(is, r2);
+    EXPECT_EQ(header.size(), r1.size());
+    EXPECT_EQ(r1.size(), r2.size());
+    EXPECT_NE(header.find("name"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsPadded) {
+    TextTable t({"a", "b", "c"});
+    t.addRow({"1"});
+    const auto s = t.toString();
+    EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(1.0, 0), "1");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, CsvOutput) {
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.toCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TextTable, PrintWritesToStream) {
+    TextTable t({"h"});
+    t.addRow({"v"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str(), t.toString());
+}
+
+}  // namespace
+}  // namespace ecnsim

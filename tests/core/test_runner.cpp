@@ -1,0 +1,128 @@
+#include "src/core/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/core/series.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+TEST(Runner, TinyExperimentProducesSaneMetrics) {
+    const auto cfg = makeDropTailConfig(BufferProfile::Shallow, tinyScale());
+    const auto r = runExperiment(cfg);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.runtimeSec, 0.0);
+    EXPECT_LT(r.runtimeSec, 60.0);
+    EXPECT_GT(r.throughputPerNodeMbps, 0.0);
+    EXPECT_LE(r.throughputPerNodeMbps, 1000.0);  // can't beat the line rate
+    EXPECT_GT(r.avgLatencyUs, 0.0);
+    EXPECT_LE(r.avgLatencyUs, r.p99LatencyUs * 1.001);
+    EXPECT_GT(r.eventsExecuted, 1000u);
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+    const auto cfg = makeSeriesConfig(PaperSeries::DctcpDefault, 500_us, BufferProfile::Shallow,
+                                      tinyScale());
+    const auto a = runExperiment(cfg);
+    const auto b = runExperiment(cfg);
+    EXPECT_DOUBLE_EQ(a.runtimeSec, b.runtimeSec);
+    EXPECT_DOUBLE_EQ(a.avgLatencyUs, b.avgLatencyUs);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.ceMarks, b.ceMarks);
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+    auto cfg = makeSeriesConfig(PaperSeries::DctcpDefault, 500_us, BufferProfile::Shallow,
+                                tinyScale());
+    const auto a = runExperiment(cfg);
+    cfg.seed += 1;
+    const auto b = runExperiment(cfg);
+    EXPECT_NE(a.eventsExecuted, b.eventsExecuted);
+}
+
+TEST(Runner, EcnSeriesProducesMarks) {
+    const auto cfg = makeSeriesConfig(PaperSeries::DctcpMarking, 200_us, BufferProfile::Shallow,
+                                      tinyScale());
+    const auto r = runExperiment(cfg);
+    EXPECT_GT(r.ceMarks, 0u);
+    EXPECT_GT(r.ecnCwndCuts, 0u);
+}
+
+TEST(Runner, DropTailNeverMarks) {
+    const auto r = runExperiment(makeDropTailConfig(BufferProfile::Shallow, tinyScale()));
+    EXPECT_EQ(r.ceMarks, 0u);
+    EXPECT_EQ(r.ecnCwndCuts, 0u);
+}
+
+TEST(Runner, LeafSpineTopologyRuns) {
+    auto cfg = makeDropTailConfig(BufferProfile::Shallow, tinyScale());
+    cfg.topology = TopologyKind::LeafSpine;
+    cfg.leafSpine = LeafSpineShape{.racks = 2, .hostsPerRack = 2, .spines = 2};
+    cfg.cluster.numNodes = 4;
+    const auto r = runExperiment(cfg);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_GT(r.throughputPerNodeMbps, 0.0);
+}
+
+TEST(Runner, AverageBlendsRuns) {
+    ExperimentResult a, b;
+    a.runtimeSec = 1.0;
+    b.runtimeSec = 3.0;
+    a.rtoEvents = 10;
+    b.rtoEvents = 20;
+    a.name = "x";
+    const auto avg = ExperimentResult::average({a, b});
+    EXPECT_DOUBLE_EQ(avg.runtimeSec, 2.0);
+    EXPECT_EQ(avg.rtoEvents, 15u);
+    EXPECT_EQ(avg.name, "x");
+}
+
+TEST(Runner, AverageOfEmptyIsDefault) {
+    const auto avg = ExperimentResult::average({});
+    EXPECT_DOUBLE_EQ(avg.runtimeSec, 0.0);
+}
+
+TEST(Runner, CachedRunnerHitsCache) {
+    const auto dir = std::filesystem::temp_directory_path() / "ecnsim-runner-cache-test";
+    std::filesystem::remove_all(dir);
+    ::setenv("ECNSIM_CACHE_DIR", dir.c_str(), 1);
+    auto cfg = makeDropTailConfig(BufferProfile::Shallow, tinyScale());
+    const auto fresh = runExperimentCached(cfg);
+    const auto cached = runExperimentCached(cfg);
+    EXPECT_DOUBLE_EQ(fresh.runtimeSec, cached.runtimeSec);
+    EXPECT_EQ(fresh.eventsExecuted, cached.eventsExecuted);
+    ::unsetenv("ECNSIM_CACHE_DIR");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Runner, RepeatsAverageIsBetweenExtremes) {
+    ::setenv("ECNSIM_CACHE_DIR", "", 1);  // disable caching for this test
+    auto cfg = makeDropTailConfig(BufferProfile::Shallow, tinyScale());
+    cfg.repeats = 2;
+    const auto avg = runExperimentCached(cfg);
+    cfg.repeats = 1;
+    const auto r1 = runExperimentCached(cfg);
+    cfg.seed += 1;
+    const auto r2 = runExperimentCached(cfg);
+    const double lo = std::min(r1.runtimeSec, r2.runtimeSec);
+    const double hi = std::max(r1.runtimeSec, r2.runtimeSec);
+    EXPECT_GE(avg.runtimeSec, lo - 1e-9);
+    EXPECT_LE(avg.runtimeSec, hi + 1e-9);
+    ::unsetenv("ECNSIM_CACHE_DIR");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,119 @@
+#include "src/core/series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/runner.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+TEST(Series, NamesAreUnique) {
+    std::set<std::string> names;
+    for (const auto s : kAllSeries) names.insert(paperSeriesName(s));
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(Series, TransportAssignment) {
+    EXPECT_EQ(paperSeriesTransport(PaperSeries::EcnDefault), TransportKind::EcnTcp);
+    EXPECT_EQ(paperSeriesTransport(PaperSeries::EcnMarking), TransportKind::EcnTcp);
+    EXPECT_EQ(paperSeriesTransport(PaperSeries::DctcpAckSyn), TransportKind::Dctcp);
+    EXPECT_EQ(paperSeriesTransport(PaperSeries::DctcpMarking), TransportKind::Dctcp);
+}
+
+TEST(Series, QueueKindAndProtectionPerSeries) {
+    const auto scale = tinyScale();
+    auto cfg = makeSeriesConfig(PaperSeries::EcnDefault, 500_us, BufferProfile::Shallow, scale);
+    EXPECT_EQ(cfg.switchQueue.kind, QueueKind::Red);
+    EXPECT_EQ(cfg.switchQueue.protection, ProtectionMode::Default);
+    EXPECT_EQ(cfg.switchQueue.redVariant, RedVariant::Classic);
+
+    cfg = makeSeriesConfig(PaperSeries::DctcpEce, 500_us, BufferProfile::Shallow, scale);
+    EXPECT_EQ(cfg.switchQueue.kind, QueueKind::Red);
+    EXPECT_EQ(cfg.switchQueue.protection, ProtectionMode::ProtectEce);
+    EXPECT_EQ(cfg.switchQueue.redVariant, RedVariant::DctcpMimic);
+    EXPECT_EQ(cfg.transport, TransportKind::Dctcp);
+
+    cfg = makeSeriesConfig(PaperSeries::EcnMarking, 500_us, BufferProfile::Deep, scale);
+    EXPECT_EQ(cfg.switchQueue.kind, QueueKind::SimpleMarking);
+    EXPECT_EQ(cfg.buffers, BufferProfile::Deep);
+}
+
+TEST(Series, DropTailBaselineShape) {
+    const auto cfg = makeDropTailConfig(BufferProfile::Shallow, tinyScale());
+    EXPECT_EQ(cfg.switchQueue.kind, QueueKind::DropTail);
+    EXPECT_EQ(cfg.transport, TransportKind::PlainTcp);
+    EXPECT_FALSE(cfg.switchQueue.ecnEnabled);
+}
+
+TEST(Series, BufferProfileCapacities) {
+    EXPECT_EQ(bufferCapacityPackets(BufferProfile::Shallow), 100u);
+    EXPECT_EQ(bufferCapacityPackets(BufferProfile::Deep), 1000u);
+}
+
+TEST(Series, TargetDelayAxisMatchesPaperRange) {
+    const auto targets = paperTargetDelays();
+    ASSERT_GE(targets.size(), 5u);
+    EXPECT_EQ(targets.front(), 100_us);
+    EXPECT_EQ(targets.back(), 3000_us);
+    for (std::size_t i = 1; i < targets.size(); ++i) EXPECT_LT(targets[i - 1], targets[i]);
+}
+
+TEST(Series, CacheKeysUniqueAcrossGrid) {
+    const auto scale = tinyScale();
+    std::set<std::string> keys;
+    keys.insert(makeDropTailConfig(BufferProfile::Shallow, scale).cacheKey());
+    keys.insert(makeDropTailConfig(BufferProfile::Deep, scale).cacheKey());
+    std::size_t n = 2;
+    for (const auto s : kAllSeries) {
+        for (const auto b : {BufferProfile::Shallow, BufferProfile::Deep}) {
+            for (const auto t : paperTargetDelays()) {
+                keys.insert(makeSeriesConfig(s, t, b, scale).cacheKey());
+                ++n;
+            }
+        }
+    }
+    EXPECT_EQ(keys.size(), n);
+}
+
+TEST(Series, CacheKeyStableForSameConfig) {
+    const auto scale = tinyScale();
+    const auto a = makeSeriesConfig(PaperSeries::EcnEce, 500_us, BufferProfile::Shallow, scale);
+    const auto b = makeSeriesConfig(PaperSeries::EcnEce, 500_us, BufferProfile::Shallow, scale);
+    EXPECT_EQ(a.cacheKey(), b.cacheKey());
+}
+
+TEST(Series, CacheKeyReflectsSeed) {
+    auto scale = tinyScale();
+    const auto a = makeDropTailConfig(BufferProfile::Shallow, scale).cacheKey();
+    scale.seed += 1;
+    const auto b = makeDropTailConfig(BufferProfile::Shallow, scale).cacheKey();
+    EXPECT_NE(a, b);
+}
+
+TEST(Series, EnvironmentOverrides) {
+    ::setenv("ECNSIM_NODES", "6", 1);
+    ::setenv("ECNSIM_INPUT_MB", "2", 1);
+    ::setenv("ECNSIM_REPEATS", "1", 1);
+    const auto s = SweepScale::fromEnvironment();
+    EXPECT_EQ(s.numNodes, 6);
+    EXPECT_EQ(s.inputBytesPerNode, 2ll * 1024 * 1024);
+    EXPECT_EQ(s.repeats, 1);
+    ::unsetenv("ECNSIM_NODES");
+    ::unsetenv("ECNSIM_INPUT_MB");
+    ::unsetenv("ECNSIM_REPEATS");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,108 @@
+// Multiple MapReduce jobs sharing one ClusterRuntime (slots, disks, TCP
+// stacks, network) — the paper's mixed-use cluster setting.
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct SharedFixture {
+    SharedFixture(int nodes, std::uint64_t seed = 1) : sim(seed), net(sim) {
+        TopologyConfig topo;
+        topo.switchQueue = [] { return std::make_unique<DropTailQueue>(500); };
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hosts = buildStar(net, nodes, topo);
+        ClusterSpec spec;
+        spec.numNodes = nodes;
+        runtime = std::make_unique<ClusterRuntime>(net, hosts, spec,
+                                                   TcpConfig::forTransport(TransportKind::EcnTcp));
+    }
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hosts;
+    std::unique_ptr<ClusterRuntime> runtime;
+};
+
+TEST(ConcurrentJobs, TwoJobsBothComplete) {
+    SharedFixture f(4);
+    MapReduceEngine a(*f.runtime, terasortJob(4, 2 * 1024 * 1024), /*jobId=*/0);
+    MapReduceEngine b(*f.runtime, terasortJob(4, 2 * 1024 * 1024), /*jobId=*/1);
+    a.start();
+    b.start();
+    f.sim.runUntil(120_s);
+    EXPECT_TRUE(a.finished());
+    EXPECT_TRUE(b.finished());
+    EXPECT_EQ(a.metrics().shuffleBytesMoved, a.job().totalShuffleBytes());
+    EXPECT_EQ(b.metrics().shuffleBytesMoved, b.job().totalShuffleBytes());
+}
+
+TEST(ConcurrentJobs, DistinctPortsPerJob) {
+    SharedFixture f(4);
+    MapReduceEngine a(*f.runtime, terasortJob(4, 1024 * 1024), 0);
+    MapReduceEngine b(*f.runtime, terasortJob(4, 1024 * 1024), 1);
+    EXPECT_NE(a.shufflePort(), b.shufflePort());
+    EXPECT_NE(a.replicaPort(), b.replicaPort());
+}
+
+TEST(ConcurrentJobs, RejectsBadJobId) {
+    SharedFixture f(4);
+    EXPECT_THROW(MapReduceEngine(*f.runtime, terasortJob(4, 1024 * 1024), -1),
+                 std::invalid_argument);
+    EXPECT_THROW(MapReduceEngine(*f.runtime, terasortJob(4, 1024 * 1024), 100'000),
+                 std::invalid_argument);
+}
+
+TEST(ConcurrentJobs, SlotsAreSharedAcrossJobs) {
+    // Two jobs on one runtime contend for the same map slots, so the pair
+    // takes longer than one job alone (no free lunch).
+    const auto solo = [] {
+        SharedFixture f(4);
+        MapReduceEngine a(*f.runtime, terasortJob(4, 2 * 1024 * 1024), 0);
+        a.start();
+        f.sim.runUntil(120_s);
+        return a.metrics().runtime();
+    }();
+    SharedFixture f(4);
+    MapReduceEngine a(*f.runtime, terasortJob(4, 2 * 1024 * 1024), 0);
+    MapReduceEngine b(*f.runtime, terasortJob(4, 2 * 1024 * 1024), 1);
+    a.start();
+    b.start();
+    f.sim.runUntil(120_s);
+    ASSERT_TRUE(a.finished() && b.finished());
+    const Time pairEnd = std::max(a.metrics().jobEnd, b.metrics().jobEnd);
+    EXPECT_GT(pairEnd, solo);
+}
+
+TEST(ConcurrentJobs, StaggeredSubmission) {
+    SharedFixture f(4);
+    MapReduceEngine a(*f.runtime, terasortJob(4, 2 * 1024 * 1024), 0);
+    auto b = std::make_unique<MapReduceEngine>(*f.runtime, terasortJob(4, 1024 * 1024), 1);
+    a.start();
+    f.sim.schedule(50_ms, [&] { b->start(); });
+    f.sim.runUntil(120_s);
+    EXPECT_TRUE(a.finished());
+    EXPECT_TRUE(b->finished());
+    EXPECT_GE(b->metrics().jobStart, Time::milliseconds(50));
+}
+
+TEST(ConcurrentJobs, RuntimeValidatesHostCount) {
+    Simulator sim(1);
+    Network net(sim);
+    TopologyConfig topo;
+    topo.switchQueue = [] { return std::make_unique<DropTailQueue>(100); };
+    topo.hostQueue = [] { return std::make_unique<DropTailQueue>(100); };
+    auto hosts = buildStar(net, 4, topo);
+    ClusterSpec spec;
+    spec.numNodes = 8;
+    EXPECT_THROW(
+        ClusterRuntime(net, hosts, spec, TcpConfig::forTransport(TransportKind::EcnTcp)),
+        std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,75 @@
+#include "src/mapred/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Disk, ReadTimeMatchesRate) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(800));
+    Time done;
+    disk.read(100 * 1000 * 1000 / 8, [&] { done = sim.now(); });  // 12.5 MB at 100 MB/s
+    sim.run();
+    EXPECT_EQ(done, Time::milliseconds(125));
+}
+
+TEST(Disk, WriteUsesWriteRate) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(400));
+    Time done;
+    disk.write(50 * 1000 * 1000 / 8, [&] { done = sim.now(); });
+    sim.run();
+    EXPECT_EQ(done, Time::milliseconds(125));
+}
+
+TEST(Disk, FifoRequestsQueue) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(800));
+    std::vector<int> order;
+    std::vector<Time> at;
+    disk.read(1'000'000, [&] { order.push_back(1); at.push_back(sim.now()); });
+    disk.read(1'000'000, [&] { order.push_back(2); at.push_back(sim.now()); });
+    sim.run();
+    ASSERT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(at[1], at[0] * 2);  // second waits for the first
+}
+
+TEST(Disk, LaterSubmissionAfterIdleStartsImmediately) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(800));
+    Time firstDone;
+    disk.read(1'000'000, [&] { firstDone = sim.now(); });
+    Time secondDone;
+    sim.schedule(Time::seconds(1), [&] {
+        disk.read(1'000'000, [&] { secondDone = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(secondDone - Time::seconds(1), firstDone);
+}
+
+TEST(Disk, TracksBytes) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(800));
+    disk.read(1000, [] {});
+    disk.write(500, [] {});
+    sim.run();
+    EXPECT_EQ(disk.bytesRead(), 1000);
+    EXPECT_EQ(disk.bytesWritten(), 500);
+}
+
+TEST(Disk, InterleavedReadWriteShareDevice) {
+    Simulator sim(1);
+    DiskModel disk(sim, Bandwidth::megabitsPerSecond(800), Bandwidth::megabitsPerSecond(400));
+    Time readDone, writeDone;
+    disk.read(1'000'000, [&] { readDone = sim.now(); });   // 10 ms
+    disk.write(1'000'000, [&] { writeDone = sim.now(); });  // 20 ms after read
+    sim.run();
+    EXPECT_EQ(readDone, Time::milliseconds(10));
+    EXPECT_EQ(writeDone, Time::milliseconds(30));
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,167 @@
+#include "src/mapred/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct EngineFixture {
+    EngineFixture(int nodes, JobSpec job, ClusterSpec cluster = ClusterSpec{},
+                  std::uint64_t seed = 1)
+        : sim(seed), net(sim) {
+        TopologyConfig topo;
+        topo.linkRate = Bandwidth::gigabitsPerSecond(1);
+        topo.linkDelay = 5_us;
+        topo.switchQueue = [] { return std::make_unique<DropTailQueue>(500); };
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hosts = buildStar(net, nodes, topo);
+        cluster.numNodes = nodes;
+        engine = std::make_unique<MapReduceEngine>(net, hosts, cluster, job,
+                                                   TcpConfig::forTransport(TransportKind::EcnTcp));
+        engine->setOnComplete([this] { sim.stop(); });
+    }
+
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hosts;
+    std::unique_ptr<MapReduceEngine> engine;
+};
+
+JobSpec smallJob(int nodes) {
+    JobSpec j = terasortJob(nodes, 2 * 1024 * 1024, 2, 1);
+    return j;
+}
+
+TEST(Engine, SmallTerasortCompletes) {
+    EngineFixture f(4, smallJob(4));
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    EXPECT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->completedMaps(), 8);
+    EXPECT_EQ(f.engine->completedReducers(), 4);
+}
+
+TEST(Engine, ShuffleMovesExpectedBytes) {
+    const auto job = smallJob(4);
+    EngineFixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->metrics().shuffleBytesMoved, job.totalShuffleBytes());
+    EXPECT_EQ(f.engine->metrics().fetchesCompleted,
+              static_cast<std::uint32_t>(job.numMapTasks * job.numReduceTasks));
+}
+
+TEST(Engine, PhaseTimelineMonotonic) {
+    EngineFixture f(4, smallJob(4));
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    const auto& m = f.engine->metrics();
+    EXPECT_LE(m.jobStart, m.firstMapDone);
+    EXPECT_LE(m.firstMapDone, m.allMapsDone);
+    EXPECT_LE(m.allMapsDone, m.jobEnd);
+    EXPECT_LE(m.firstReduceDone, m.jobEnd);
+    EXPECT_GT(m.runtime().ns(), 0);
+}
+
+TEST(Engine, NoReplicationTrafficByDefault) {
+    EngineFixture f(4, smallJob(4));
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    EXPECT_EQ(f.engine->metrics().replicationBytesMoved, 0);
+}
+
+TEST(Engine, ReplicationShipsCopies) {
+    JobSpec job = smallJob(4);
+    job.outputReplication = 2;
+    EngineFixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(120_s);
+    ASSERT_TRUE(f.engine->finished());
+    // Each reducer ships one extra replica of its output (= its input).
+    EXPECT_EQ(f.engine->metrics().replicationBytesMoved, job.totalShuffleBytes());
+}
+
+TEST(Engine, ThroughputMetricPositive) {
+    EngineFixture f(4, smallJob(4));
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    EXPECT_GT(f.engine->metrics().throughputPerNodeMbps(4), 0.0);
+}
+
+TEST(Engine, MoreMapsThanSlotsRunInWaves) {
+    JobSpec job = terasortJob(2, 2 * 1024 * 1024, 2, 1);
+    job.numMapTasks = 12;  // 12 maps over 2 nodes x 2 slots = 3 waves
+    job.inputBytesPerMap = 512 * 1024;
+    EngineFixture f(2, job);
+    f.engine->start();
+    f.sim.runUntil(120_s);
+    EXPECT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->completedMaps(), 12);
+}
+
+TEST(Engine, ReducerWavesWhenSlotsScarce) {
+    JobSpec job = terasortJob(2, 1024 * 1024, 1, 2);  // 4 reducers, 1 slot/node
+    ClusterSpec cluster;
+    cluster.reduceSlotsPerNode = 1;
+    cluster.mapSlotsPerNode = 1;
+    EngineFixture f(2, job, cluster);
+    f.engine->start();
+    f.sim.runUntil(120_s);
+    EXPECT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->completedReducers(), 4);
+}
+
+TEST(Engine, RejectsMismatchedHostCount) {
+    Simulator sim(1);
+    Network net(sim);
+    TopologyConfig topo;
+    topo.switchQueue = [] { return std::make_unique<DropTailQueue>(100); };
+    topo.hostQueue = [] { return std::make_unique<DropTailQueue>(100); };
+    auto hosts = buildStar(net, 4, topo);
+    ClusterSpec cluster;
+    cluster.numNodes = 8;  // mismatch
+    EXPECT_THROW(MapReduceEngine(net, hosts, cluster, JobSpec{},
+                                 TcpConfig::forTransport(TransportKind::EcnTcp)),
+                 std::invalid_argument);
+}
+
+TEST(Engine, DeterministicAcrossIdenticalRuns) {
+    auto runOnce = [](std::uint64_t seed) {
+        EngineFixture f(4, smallJob(4), ClusterSpec{}, seed);
+        f.engine->start();
+        f.sim.runUntil(60_s);
+        return std::make_pair(f.engine->metrics().runtime().ns(), f.sim.eventsExecuted());
+    };
+    const auto a = runOnce(42);
+    const auto b = runOnce(42);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Engine, TcpStatsAggregateNonTrivial) {
+    EngineFixture f(4, smallJob(4));
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    const auto s = f.engine->aggregateTcpStats();
+    EXPECT_GT(s.bytesReceived, 0u);
+    EXPECT_GT(s.segmentsSent, 0u);
+    EXPECT_GT(s.acksSent, 0u);
+}
+
+TEST(Engine, SlowstartDelaysReducers) {
+    JobSpec job = smallJob(4);
+    job.reduceSlowstart = 1.0;  // reducers only after ALL maps complete
+    EngineFixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_GE(f.engine->metrics().firstReduceDone, f.engine->metrics().allMapsDone);
+}
+
+}  // namespace
+}  // namespace ecnsim

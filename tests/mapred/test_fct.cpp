@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct Fixture {
+    Fixture(int nodes, JobSpec job, std::uint64_t seed = 1) : sim(seed), net(sim) {
+        TopologyConfig topo;
+        topo.switchQueue = [] { return std::make_unique<DropTailQueue>(500); };
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hosts = buildStar(net, nodes, topo);
+        ClusterSpec cluster;
+        cluster.numNodes = nodes;
+        engine = std::make_unique<MapReduceEngine>(net, hosts, cluster, job,
+                                                   TcpConfig::forTransport(TransportKind::EcnTcp));
+        engine->setOnComplete([this] { sim.stop(); });
+    }
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hosts;
+    std::unique_ptr<MapReduceEngine> engine;
+};
+
+TEST(FetchFct, OnePerFetch) {
+    const auto job = terasortJob(4, 2 * 1024 * 1024, 2, 1);
+    Fixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->metrics().fetchFctUs.size(),
+              static_cast<std::size_t>(job.numMapTasks * job.numReduceTasks));
+}
+
+TEST(FetchFct, AllPositiveAndBounded) {
+    const auto job = terasortJob(4, 2 * 1024 * 1024, 2, 1);
+    Fixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    const auto& m = f.engine->metrics();
+    for (const double us : m.fetchFctUs) {
+        EXPECT_GT(us, 0.0);
+        EXPECT_LT(us, m.runtime().toMicros());
+    }
+}
+
+TEST(FetchFct, QuantilesOrdered) {
+    const auto job = terasortJob(4, 2 * 1024 * 1024, 2, 1);
+    Fixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    const auto& m = f.engine->metrics();
+    EXPECT_LE(m.fctQuantileUs(0.0), m.fctQuantileUs(0.5));
+    EXPECT_LE(m.fctQuantileUs(0.5), m.fctQuantileUs(0.99));
+    EXPECT_LE(m.fctQuantileUs(0.99), m.fctQuantileUs(1.0));
+    EXPECT_GT(m.fctMeanUs(), 0.0);
+}
+
+TEST(FetchFct, EmptyMetricsSafe) {
+    JobMetrics m;
+    EXPECT_DOUBLE_EQ(m.fctMeanUs(), 0.0);
+    EXPECT_DOUBLE_EQ(m.fctQuantileUs(0.99), 0.0);
+}
+
+TEST(FetchFct, MeanAtLeastIdealTransferTime) {
+    const auto job = terasortJob(4, 4 * 1024 * 1024, 2, 1);
+    Fixture f(4, job);
+    f.engine->start();
+    f.sim.runUntil(60_s);
+    // A fetch moves partitionBytes over a 1 Gbps path: FCT >= serialization.
+    const double idealUs =
+        Bandwidth::gigabitsPerSecond(1).transmissionTime(f.engine->job().partitionBytes())
+            .toMicros();
+    EXPECT_GE(f.engine->metrics().fctMeanUs(), idealUs);
+}
+
+}  // namespace
+}  // namespace ecnsim

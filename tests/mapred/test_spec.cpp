@@ -1,0 +1,74 @@
+#include "src/mapred/spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+TEST(ClusterSpec, ValidatesShape) {
+    ClusterSpec c;
+    c.numNodes = 1;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.numNodes = 4;
+    c.mapSlotsPerNode = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c.mapSlotsPerNode = 2;
+    EXPECT_NO_THROW(c.validate());
+}
+
+TEST(JobSpec, ValidatesShape) {
+    JobSpec j;
+    j.numMapTasks = 0;
+    EXPECT_THROW(j.validate(), std::invalid_argument);
+    j = JobSpec{};
+    j.inputBytesPerMap = 0;
+    EXPECT_THROW(j.validate(), std::invalid_argument);
+    j = JobSpec{};
+    j.outputReplication = 0;
+    EXPECT_THROW(j.validate(), std::invalid_argument);
+    j = JobSpec{};
+    EXPECT_NO_THROW(j.validate());
+}
+
+TEST(JobSpec, PartitionMath) {
+    JobSpec j;
+    j.numMapTasks = 4;
+    j.numReduceTasks = 8;
+    j.inputBytesPerMap = 8 * 1024 * 1024;
+    j.mapOutputRatio = 1.0;
+    EXPECT_EQ(j.mapOutputBytes(), 8 * 1024 * 1024);
+    EXPECT_EQ(j.partitionBytes(), 1024 * 1024);
+    EXPECT_EQ(j.totalShuffleBytes(), 4ll * 8 * 1024 * 1024);
+}
+
+TEST(JobSpec, OutputRatioShrinksShuffle) {
+    JobSpec j;
+    j.numMapTasks = 2;
+    j.numReduceTasks = 2;
+    j.inputBytesPerMap = 1000;
+    j.mapOutputRatio = 0.5;  // e.g. wordcount-style combiner
+    EXPECT_EQ(j.mapOutputBytes(), 500);
+    EXPECT_EQ(j.partitionBytes(), 250);
+}
+
+TEST(JobSpec, PartitionNeverZero) {
+    JobSpec j;
+    j.numMapTasks = 1;
+    j.numReduceTasks = 1000;
+    j.inputBytesPerMap = 10;
+    EXPECT_GE(j.partitionBytes(), 1);
+}
+
+TEST(Terasort, ShuffleMovesWholeDataset) {
+    const auto j = terasortJob(/*numNodes=*/8, /*inputBytesPerNode=*/16 * 1024 * 1024,
+                               /*mapsPerNode=*/2, /*reducersPerNode=*/1);
+    EXPECT_EQ(j.numMapTasks, 16);
+    EXPECT_EQ(j.numReduceTasks, 8);
+    EXPECT_EQ(j.inputBytesPerMap, 8 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(j.mapOutputRatio, 1.0);
+    // Terasort: total shuffle ~= total input.
+    EXPECT_EQ(j.totalShuffleBytes(), 8ll * 16 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace ecnsim

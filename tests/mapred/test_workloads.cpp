@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Workloads, ShuffleIntensityOrdering) {
+    const int n = 8;
+    const std::int64_t input = 8 * 1024 * 1024;
+    const auto grep = grepJob(n, input);
+    const auto wc = wordcountJob(n, input);
+    const auto ts = terasortJob(n, input);
+    const auto join = joinJob(n, input);
+    EXPECT_LT(grep.totalShuffleBytes(), wc.totalShuffleBytes());
+    EXPECT_LT(wc.totalShuffleBytes(), ts.totalShuffleBytes());
+    EXPECT_LT(ts.totalShuffleBytes(), join.totalShuffleBytes());
+}
+
+TEST(Workloads, AllValidate) {
+    for (const auto& job : {grepJob(8, 1 << 20), wordcountJob(8, 1 << 20),
+                            terasortJob(8, 1 << 20), joinJob(8, 1 << 20)}) {
+        EXPECT_NO_THROW(job.validate());
+        EXPECT_GE(job.partitionBytes(), 1);
+    }
+}
+
+struct RunResult {
+    Time runtime;
+    std::int64_t shuffleBytes;
+};
+
+RunResult runJob(const JobSpec& job, int nodes) {
+    Simulator sim(5);
+    Network net(sim);
+    TopologyConfig topo;
+    topo.switchQueue = [] { return std::make_unique<DropTailQueue>(500); };
+    topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+    auto hosts = buildStar(net, nodes, topo);
+    ClusterSpec cluster;
+    cluster.numNodes = nodes;
+    MapReduceEngine eng(net, hosts, cluster, job, TcpConfig::forTransport(TransportKind::EcnTcp));
+    eng.setOnComplete([&] { sim.stop(); });
+    eng.start();
+    sim.runUntil(120_s);
+    EXPECT_TRUE(eng.finished());
+    return {eng.metrics().runtime(), eng.metrics().shuffleBytesMoved};
+}
+
+TEST(Workloads, AllCompleteEndToEnd) {
+    const int n = 4;
+    const std::int64_t input = 2 * 1024 * 1024;
+    for (const auto& job : {grepJob(n, input), wordcountJob(n, input), terasortJob(n, input),
+                            joinJob(n, input)}) {
+        const auto r = runJob(job, n);
+        EXPECT_EQ(r.shuffleBytes, job.totalShuffleBytes());
+    }
+}
+
+TEST(Workloads, JoinMovesMoreThanGrep) {
+    const int n = 4;
+    const std::int64_t input = 2 * 1024 * 1024;
+    const auto g = runJob(grepJob(n, input), n);
+    const auto j = runJob(joinJob(n, input), n);
+    EXPECT_GT(j.shuffleBytes, g.shuffleBytes * 10);
+}
+
+}  // namespace
+}  // namespace ecnsim

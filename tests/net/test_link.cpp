@@ -1,0 +1,120 @@
+#include "src/net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/net/network.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct LinkFixture : ::testing::Test {
+    LinkFixture() : sim(1), net(sim) {}
+
+    HostNode& makePair(Bandwidth rate, Time delay, std::size_t cap = 100) {
+        HostNode& a = net.addHost("a");
+        HostNode& b = net.addHost("b");
+        auto q = [cap] { return std::make_unique<DropTailQueue>(cap); };
+        net.connect(a, b, rate, delay, q, q);
+        sender = &a;
+        receiver = &b;
+        return a;
+    }
+
+    PacketPtr probe(std::int32_t size) {
+        auto p = makePacket();
+        p->isTcp = false;
+        p->dst = receiver->id();
+        p->sizeBytes = size;
+        return p;
+    }
+
+    Simulator sim;
+    Network net;
+    HostNode* sender = nullptr;
+    HostNode* receiver = nullptr;
+};
+
+TEST_F(LinkFixture, DeliversAfterSerializationPlusPropagation) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);
+    Time arrival;
+    receiver->setDeliveryHandler([&](PacketPtr) { arrival = sim.now(); });
+    sender->inject(probe(1500));
+    sim.run();
+    // 12 us serialization + 5 us propagation.
+    EXPECT_EQ(arrival, 17_us);
+}
+
+TEST_F(LinkFixture, BackToBackPacketsPipeline) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);
+    std::vector<Time> arrivals;
+    receiver->setDeliveryHandler([&](PacketPtr) { arrivals.push_back(sim.now()); });
+    sender->inject(probe(1500));
+    sender->inject(probe(1500));
+    sender->inject(probe(1500));
+    sim.run();
+    ASSERT_EQ(arrivals.size(), 3u);
+    EXPECT_EQ(arrivals[0], 17_us);
+    EXPECT_EQ(arrivals[1], 29_us);  // +12us serialization each
+    EXPECT_EQ(arrivals[2], 41_us);
+}
+
+TEST_F(LinkFixture, InOrderDelivery) {
+    makePair(Bandwidth::megabitsPerSecond(100), 1_us);
+    std::vector<std::uint64_t> uids;
+    receiver->setDeliveryHandler([&](PacketPtr p) { uids.push_back(p->uid); });
+    std::vector<std::uint64_t> sent;
+    for (int i = 0; i < 20; ++i) {
+        auto p = probe(500 + i);
+        sent.push_back(p->uid);
+        sender->inject(std::move(p));
+    }
+    sim.run();
+    EXPECT_EQ(uids, sent);
+}
+
+TEST_F(LinkFixture, QueueOverflowDrops) {
+    makePair(Bandwidth::megabitsPerSecond(10), 1_us, /*cap=*/5);
+    int delivered = 0;
+    receiver->setDeliveryHandler([&](PacketPtr) { ++delivered; });
+    for (int i = 0; i < 20; ++i) sender->inject(probe(1500));
+    sim.run();
+    // One in flight + 5 queued survive the burst.
+    EXPECT_EQ(delivered, 6);
+    const auto& st = sender->port(0).queue().stats();
+    EXPECT_EQ(st.of(PacketClass::Probe).droppedOverflow, 14u);
+}
+
+TEST_F(LinkFixture, CountsTransmittedBytes) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 1_us);
+    sender->inject(probe(1000));
+    sender->inject(probe(500));
+    sim.run();
+    EXPECT_EQ(sender->port(0).bytesTransmitted(), 1500u);
+    EXPECT_EQ(sender->port(0).packetsTransmitted(), 2u);
+}
+
+TEST_F(LinkFixture, TelemetryTracksLatency) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);
+    receiver->setDeliveryHandler([](PacketPtr) {});
+    sender->inject(probe(1500));
+    sim.run();
+    EXPECT_EQ(net.telemetry().packetsInjected(), 1u);
+    EXPECT_EQ(net.telemetry().packetsDelivered(), 1u);
+    EXPECT_DOUBLE_EQ(net.telemetry().latencyAll().mean(), 17.0);
+    EXPECT_DOUBLE_EQ(net.telemetry().latencyOf(PacketClass::Probe).mean(), 17.0);
+}
+
+TEST_F(LinkFixture, HopCountIncrements) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 1_us);
+    std::uint8_t hops = 0;
+    receiver->setDeliveryHandler([&](PacketPtr p) { hops = p->hops; });
+    sender->inject(probe(100));
+    sim.run();
+    EXPECT_EQ(hops, 1);
+}
+
+}  // namespace
+}  // namespace ecnsim

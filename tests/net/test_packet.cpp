@@ -1,0 +1,124 @@
+#include "src/net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace tcp_flags;
+
+// Table II of the paper: ECN codepoints on the IP header.
+TEST(EcnCodepoints, TableTwoValues) {
+    EXPECT_EQ(static_cast<int>(EcnCodepoint::NotEct), 0b00);
+    EXPECT_EQ(static_cast<int>(EcnCodepoint::Ect1), 0b01);
+    EXPECT_EQ(static_cast<int>(EcnCodepoint::Ect0), 0b10);
+    EXPECT_EQ(static_cast<int>(EcnCodepoint::Ce), 0b11);
+}
+
+TEST(EcnCodepoints, Names) {
+    EXPECT_EQ(ecnCodepointName(EcnCodepoint::NotEct), "Non-ECT");
+    EXPECT_EQ(ecnCodepointName(EcnCodepoint::Ect0), "ECT(0)");
+    EXPECT_EQ(ecnCodepointName(EcnCodepoint::Ect1), "ECT(1)");
+    EXPECT_EQ(ecnCodepointName(EcnCodepoint::Ce), "CE");
+}
+
+TEST(EcnCodepoints, EctCapability) {
+    EXPECT_FALSE(isEctCapable(EcnCodepoint::NotEct));
+    EXPECT_TRUE(isEctCapable(EcnCodepoint::Ect0));
+    EXPECT_TRUE(isEctCapable(EcnCodepoint::Ect1));
+    EXPECT_TRUE(isEctCapable(EcnCodepoint::Ce));
+}
+
+// Table I of the paper: ECE and CWR live in the TCP header.
+TEST(TcpFlags, TableOneBits) {
+    EXPECT_EQ(Ece, 0x40);
+    EXPECT_EQ(Cwr, 0x80);
+    EXPECT_NE(Ece & Cwr, Ece);  // distinct bits
+}
+
+TEST(Packet, UidsAreUnique) {
+    auto a = makePacket();
+    auto b = makePacket();
+    EXPECT_NE(a->uid, b->uid);
+}
+
+TEST(Packet, CloneCopiesFieldsFreshUid) {
+    auto a = makePacket();
+    a->isTcp = true;
+    a->tcpFlags = Ack | Ece;
+    a->seq = 1000;
+    a->payloadBytes = 1460;
+    a->ecn = EcnCodepoint::Ect0;
+    auto b = clonePacket(*a);
+    EXPECT_NE(a->uid, b->uid);
+    EXPECT_EQ(b->seq, 1000u);
+    EXPECT_EQ(b->tcpFlags, Ack | Ece);
+    EXPECT_EQ(b->ecn, EcnCodepoint::Ect0);
+}
+
+struct ClassCase {
+    std::uint8_t flags;
+    std::int32_t payload;
+    bool isTcp;
+    PacketClass expect;
+};
+
+class PacketClassification : public ::testing::TestWithParam<ClassCase> {};
+
+TEST_P(PacketClassification, Classifies) {
+    const auto& c = GetParam();
+    auto p = makePacket();
+    p->isTcp = c.isTcp;
+    p->tcpFlags = c.flags;
+    p->payloadBytes = c.payload;
+    EXPECT_EQ(p->klass(), c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, PacketClassification,
+    ::testing::Values(
+        ClassCase{Syn, 0, true, PacketClass::Syn},
+        ClassCase{static_cast<std::uint8_t>(Syn | Ece | Cwr), 0, true, PacketClass::Syn},
+        ClassCase{static_cast<std::uint8_t>(Syn | Ack), 0, true, PacketClass::SynAck},
+        ClassCase{static_cast<std::uint8_t>(Syn | Ack | Ece), 0, true, PacketClass::SynAck},
+        ClassCase{Ack, 0, true, PacketClass::PureAck},
+        ClassCase{static_cast<std::uint8_t>(Ack | Ece), 0, true, PacketClass::PureAck},
+        ClassCase{Ack, 1460, true, PacketClass::Data},
+        ClassCase{static_cast<std::uint8_t>(Ack | Cwr), 100, true, PacketClass::Data},
+        ClassCase{static_cast<std::uint8_t>(Fin | Ack), 0, true, PacketClass::Fin},
+        ClassCase{Rst, 0, true, PacketClass::Rst},
+        ClassCase{0, 0, false, PacketClass::Probe},
+        ClassCase{0, 0, true, PacketClass::Other}));
+
+TEST(Packet, EceAndCwrHelpers) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack | Ece;
+    EXPECT_TRUE(p->hasEce());
+    EXPECT_FALSE(p->hasCwr());
+    p->tcpFlags = Ack | Cwr;
+    EXPECT_FALSE(p->hasEce());
+    EXPECT_TRUE(p->hasCwr());
+    p->isTcp = false;
+    EXPECT_FALSE(p->hasEce());  // raw packets have no TCP header
+}
+
+TEST(Packet, DescribeMentionsClassAndEcn) {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->ecn = EcnCodepoint::NotEct;
+    const auto s = p->describe();
+    EXPECT_NE(s.find("ACK"), std::string::npos);
+    EXPECT_NE(s.find("Non-ECT"), std::string::npos);
+}
+
+TEST(PacketClassNames, Stable) {
+    EXPECT_EQ(packetClassName(PacketClass::Data), "DATA");
+    EXPECT_EQ(packetClassName(PacketClass::PureAck), "ACK");
+    EXPECT_EQ(packetClassName(PacketClass::Syn), "SYN");
+    EXPECT_EQ(packetClassName(PacketClass::SynAck), "SYN-ACK");
+}
+
+}  // namespace
+}  // namespace ecnsim

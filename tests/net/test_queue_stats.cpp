@@ -1,0 +1,46 @@
+#include "src/net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+TEST(QueueStats, RecordsPerClassOutcomes) {
+    QueueStats s;
+    s.record(PacketClass::Data, 1500, EnqueueOutcome::Enqueued);
+    s.record(PacketClass::Data, 1500, EnqueueOutcome::Marked);
+    s.record(PacketClass::PureAck, 66, EnqueueOutcome::DroppedEarly);
+    s.record(PacketClass::PureAck, 66, EnqueueOutcome::DroppedOverflow);
+    s.record(PacketClass::Syn, 66, EnqueueOutcome::Enqueued);
+
+    EXPECT_EQ(s.of(PacketClass::Data).enqueued, 2u);
+    EXPECT_EQ(s.of(PacketClass::Data).marked, 1u);
+    EXPECT_EQ(s.of(PacketClass::Data).dropped(), 0u);
+    EXPECT_EQ(s.of(PacketClass::PureAck).droppedEarly, 1u);
+    EXPECT_EQ(s.of(PacketClass::PureAck).droppedOverflow, 1u);
+    EXPECT_EQ(s.of(PacketClass::PureAck).offered(), 2u);
+    EXPECT_EQ(s.bytesEnqueued, 3066u);
+    EXPECT_EQ(s.bytesDropped, 132u);
+}
+
+TEST(QueueStats, TotalAggregates) {
+    QueueStats s;
+    s.record(PacketClass::Data, 100, EnqueueOutcome::Marked);
+    s.record(PacketClass::Syn, 66, EnqueueOutcome::DroppedEarly);
+    s.record(PacketClass::Fin, 66, EnqueueOutcome::Enqueued);
+    const auto t = s.total();
+    EXPECT_EQ(t.enqueued, 2u);
+    EXPECT_EQ(t.marked, 1u);
+    EXPECT_EQ(t.droppedEarly, 1u);
+    EXPECT_EQ(t.offered(), 3u);
+}
+
+TEST(EnqueueOutcome, DropPredicate) {
+    EXPECT_FALSE(isDrop(EnqueueOutcome::Enqueued));
+    EXPECT_FALSE(isDrop(EnqueueOutcome::Marked));
+    EXPECT_TRUE(isDrop(EnqueueOutcome::DroppedEarly));
+    EXPECT_TRUE(isDrop(EnqueueOutcome::DroppedOverflow));
+}
+
+}  // namespace
+}  // namespace ecnsim

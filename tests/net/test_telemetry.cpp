@@ -1,0 +1,88 @@
+#include "src/net/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr mk(PacketClass cls, Time sentAt, std::int32_t size = 1500) {
+    auto p = makePacket();
+    switch (cls) {
+        case PacketClass::Data:
+            p->isTcp = true;
+            p->tcpFlags = Ack;
+            p->payloadBytes = size - 54;
+            break;
+        case PacketClass::PureAck:
+            p->isTcp = true;
+            p->tcpFlags = Ack;
+            break;
+        case PacketClass::Probe:
+            p->isTcp = false;
+            break;
+        default:
+            p->isTcp = true;
+            p->tcpFlags = Syn;
+            break;
+    }
+    p->sizeBytes = size;
+    p->sentAt = sentAt;
+    return p;
+}
+
+TEST(Telemetry, CountsInjectedAndDelivered) {
+    NetworkTelemetry t;
+    auto p = mk(PacketClass::Data, 0_us);
+    t.recordInjected(*p);
+    t.recordDelivered(*p, 100_us);
+    EXPECT_EQ(t.packetsInjected(), 1u);
+    EXPECT_EQ(t.packetsDelivered(), 1u);
+    EXPECT_EQ(t.bytesDelivered(), 1500u);
+}
+
+TEST(Telemetry, LatencyByClassSeparated) {
+    NetworkTelemetry t;
+    auto d = mk(PacketClass::Data, 0_us);
+    t.recordDelivered(*d, 100_us);
+    auto a = mk(PacketClass::PureAck, 0_us, 66);
+    t.recordDelivered(*a, 300_us);
+    EXPECT_DOUBLE_EQ(t.latencyOf(PacketClass::Data).mean(), 100.0);
+    EXPECT_DOUBLE_EQ(t.latencyOf(PacketClass::PureAck).mean(), 300.0);
+    EXPECT_DOUBLE_EQ(t.latencyAll().mean(), 200.0);
+}
+
+TEST(Telemetry, QuantileTracksDistribution) {
+    NetworkTelemetry t;
+    for (int i = 1; i <= 100; ++i) {
+        auto p = mk(PacketClass::Probe, 0_us, 100);
+        t.recordDelivered(*p, Time::microseconds(i * 10));
+    }
+    EXPECT_NEAR(t.latencyQuantileUs(0.5), 500.0, 30.0);
+    EXPECT_NEAR(t.latencyQuantileUs(0.99), 990.0, 30.0);
+}
+
+TEST(Telemetry, ResetClearsEverything) {
+    NetworkTelemetry t;
+    auto p = mk(PacketClass::Data, 0_us);
+    t.recordInjected(*p);
+    t.recordDelivered(*p, 50_us);
+    t.reset();
+    EXPECT_EQ(t.packetsInjected(), 0u);
+    EXPECT_EQ(t.packetsDelivered(), 0u);
+    EXPECT_EQ(t.latencyAll().count(), 0u);
+    EXPECT_DOUBLE_EQ(t.latencyQuantileUs(0.99), 0.0);
+}
+
+TEST(Telemetry, HandlesBufferbloatScaleLatencies) {
+    NetworkTelemetry t;
+    auto p = mk(PacketClass::Data, 0_us);
+    t.recordDelivered(*p, 50_ms);  // 50,000 us: deep-buffer territory
+    EXPECT_DOUBLE_EQ(t.latencyAll().mean(), 50'000.0);
+    EXPECT_NEAR(t.latencyQuantileUs(1.0), 50'000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,187 @@
+#include "src/net/tracelog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/red.hpp"
+#include "src/net/network.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using namespace tcp_flags;
+
+PacketPtr ectData() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->payloadBytes = 1446;
+    p->sizeBytes = 1500;
+    p->ecn = EcnCodepoint::Ect0;
+    return p;
+}
+
+PacketPtr pureAck() {
+    auto p = makePacket();
+    p->isTcp = true;
+    p->tcpFlags = Ack;
+    p->sizeBytes = 66;
+    return p;
+}
+
+TEST(TraceLog, RecordsEnqueueOutcomes) {
+    DropTailQueue q(2);
+    PacketTraceLog log;
+    q.setObserver(&log);
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);  // overflow
+    EXPECT_EQ(log.totalOf(TraceKind::Enqueued), 2u);
+    EXPECT_EQ(log.totalOf(TraceKind::DroppedOverflow), 1u);
+    ASSERT_EQ(log.events().size(), 3u);
+    EXPECT_EQ(log.events()[2].kind, TraceKind::DroppedOverflow);
+}
+
+TEST(TraceLog, RecordsMarksAndEarlyDrops) {
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 100;
+    cfg.minTh = cfg.maxTh = 3;
+    cfg.wq = 1.0;
+    cfg.maxP = 1.0;
+    cfg.gentle = false;
+    RedQueue q(cfg, rng);
+    PacketTraceLog log;
+    q.setObserver(&log);
+    for (int i = 0; i < 5; ++i) q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);  // marked (above threshold)
+    q.enqueue(pureAck(), 0_us);  // early-dropped
+    EXPECT_GE(log.totalOf(TraceKind::Marked), 1u);
+    EXPECT_EQ(log.totalOf(TraceKind::DroppedEarly), 1u);
+    bool sawAckDrop = false;
+    for (const auto& e : log.events()) {
+        if (e.kind == TraceKind::DroppedEarly && e.klass == PacketClass::PureAck) sawAckDrop = true;
+    }
+    EXPECT_TRUE(sawAckDrop);
+}
+
+TEST(TraceLog, DequeuesOptional) {
+    DropTailQueue q(10);
+    PacketTraceLog noDeq(100, /*recordDequeues=*/false);
+    q.setObserver(&noDeq);
+    q.enqueue(ectData(), 0_us);
+    q.dequeue(1_us);
+    EXPECT_EQ(noDeq.totalOf(TraceKind::Dequeued), 0u);
+
+    PacketTraceLog withDeq(100, /*recordDequeues=*/true);
+    q.setObserver(&withDeq);
+    q.enqueue(ectData(), 0_us);
+    q.dequeue(1_us);
+    EXPECT_EQ(withDeq.totalOf(TraceKind::Dequeued), 1u);
+}
+
+TEST(TraceLog, CapacityBounded) {
+    DropTailQueue q(1000);
+    PacketTraceLog log(/*capacity=*/5);
+    q.setObserver(&log);
+    for (int i = 0; i < 20; ++i) q.enqueue(ectData(), 0_us);
+    EXPECT_EQ(log.events().size(), 5u);
+    EXPECT_EQ(log.overflowed(), 15u);
+    EXPECT_EQ(log.totalOf(TraceKind::Enqueued), 20u);  // still counted
+}
+
+TEST(TraceLog, FilterSelectsEvents) {
+    DropTailQueue q(2);
+    PacketTraceLog log;
+    log.setFilter([](const PacketTraceEvent& e) { return e.kind != TraceKind::Enqueued; });
+    q.setObserver(&log);
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);
+    q.enqueue(ectData(), 0_us);  // overflow
+    EXPECT_EQ(log.events().size(), 1u);
+    EXPECT_EQ(log.totalOf(TraceKind::Enqueued), 2u);
+}
+
+TEST(TraceLog, CsvHasHeaderAndRows) {
+    DropTailQueue q(10);
+    PacketTraceLog log;
+    q.setObserver(&log);
+    q.enqueue(ectData(), 5_us);
+    std::ostringstream os;
+    log.writeCsv(os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("time_us,queue,kind"), std::string::npos);
+    EXPECT_NE(s.find("DropTail,enqueue,DATA,ECT(0)"), std::string::npos);
+}
+
+TEST(TraceLog, ClearResets) {
+    DropTailQueue q(10);
+    PacketTraceLog log;
+    q.setObserver(&log);
+    q.enqueue(ectData(), 0_us);
+    log.clear();
+    EXPECT_TRUE(log.events().empty());
+    EXPECT_EQ(log.totalOf(TraceKind::Enqueued), 0u);
+}
+
+TEST(DepthSampler, SamplesAtInterval) {
+    Simulator sim(1);
+    DropTailQueue q(10);
+    QueueDepthSampler sampler(sim, {&q}, 10_us);
+    sampler.start();
+    sim.schedule(25_us, [&] { q.enqueue(ectData(), sim.now()); });
+    sim.runUntil(55_us);
+    sampler.stop();
+    // Samples at t = 0, 10, 20, 30, 40, 50.
+    ASSERT_GE(sampler.samples().size(), 6u);
+    EXPECT_EQ(sampler.samples()[0].depthPackets[0], 0u);
+    EXPECT_EQ(sampler.samples()[3].depthPackets[0], 1u);  // t=30 after enqueue
+    EXPECT_EQ(sampler.maxDepth(0), 1u);
+    EXPECT_GT(sampler.meanDepth(0), 0.0);
+}
+
+TEST(DepthSampler, RejectsBadArgs) {
+    Simulator sim(1);
+    EXPECT_THROW(QueueDepthSampler(sim, {}, 1_us), std::invalid_argument);
+    DropTailQueue q(4);
+    EXPECT_THROW(QueueDepthSampler(sim, {&q}, Time::zero()), std::invalid_argument);
+}
+
+TEST(DepthSampler, CsvShape) {
+    Simulator sim(1);
+    DropTailQueue a(4), b(4);
+    QueueDepthSampler sampler(sim, {&a, &b}, 5_us);
+    sampler.start();
+    sim.runUntil(12_us);
+    sampler.stop();
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    EXPECT_NE(os.str().find("time_us,q0,q1"), std::string::npos);
+}
+
+TEST(NetworkObserver, AttachesToAllSwitchQueues) {
+    Simulator sim(1);
+    Network net(sim);
+    SwitchNode& sw = net.addSwitch("s");
+    HostNode& h1 = net.addHost("h1");
+    HostNode& h2 = net.addHost("h2");
+    auto qf = [] { return std::make_unique<DropTailQueue>(16); };
+    net.connect(h1, sw, Bandwidth::gigabitsPerSecond(1), 1_us, qf, qf);
+    net.connect(h2, sw, Bandwidth::gigabitsPerSecond(1), 1_us, qf, qf);
+    net.installRoutes();
+    PacketTraceLog log;
+    net.attachSwitchQueueObserver(&log);
+    h2.setDeliveryHandler([](PacketPtr) {});
+    auto p = makePacket();
+    p->dst = h2.id();
+    p->sizeBytes = 100;
+    h1.inject(std::move(p));
+    sim.run();
+    EXPECT_EQ(log.totalOf(TraceKind::Enqueued), 1u);  // switch egress only
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,153 @@
+// Property tests for the event-queue implementations: both must agree with
+// each other and with a sorted reference on arbitrary schedules.
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+std::unique_ptr<EventQueue> make(SchedulerKind k) {
+    if (k == SchedulerKind::Calendar) return std::make_unique<CalendarEventQueue>();
+    return std::make_unique<BinaryHeapEventQueue>();
+}
+
+std::shared_ptr<detail::EventRecord> rec(std::int64_t ns, std::uint64_t seq) {
+    auto r = std::make_shared<detail::EventRecord>();
+    r->at = Time::nanoseconds(ns);
+    r->seq = seq;
+    r->fn = [] {};
+    return r;
+}
+
+class EventQueueKinds : public ::testing::TestWithParam<SchedulerKind> {};
+
+TEST_P(EventQueueKinds, EmptyBehaviour) {
+    auto q = make(GetParam());
+    EXPECT_EQ(q->pop(), nullptr);
+    EXPECT_EQ(q->peekTime(), Time::max());
+    EXPECT_EQ(q->size(), 0u);
+}
+
+TEST_P(EventQueueKinds, PopsInTimeThenSeqOrder) {
+    auto q = make(GetParam());
+    q->push(rec(500, 1));
+    q->push(rec(100, 2));
+    q->push(rec(500, 0));
+    q->push(rec(100, 3));
+    std::vector<std::pair<std::int64_t, std::uint64_t>> got;
+    while (auto r = q->pop()) got.emplace_back(r->at.ns(), r->seq);
+    const std::vector<std::pair<std::int64_t, std::uint64_t>> want{
+        {100, 2}, {100, 3}, {500, 0}, {500, 1}};
+    EXPECT_EQ(got, want);
+}
+
+TEST_P(EventQueueKinds, CancelledRecordsSkipped) {
+    auto q = make(GetParam());
+    auto a = rec(100, 0);
+    auto b = rec(200, 1);
+    a->cancelled = true;
+    q->push(a);
+    q->push(b);
+    EXPECT_EQ(q->peekTime(), Time::nanoseconds(200));
+    auto r = q->pop();
+    ASSERT_TRUE(r);
+    EXPECT_EQ(r->seq, 1u);
+    EXPECT_EQ(q->pop(), nullptr);
+}
+
+TEST_P(EventQueueKinds, RandomScheduleMatchesSortedReference) {
+    std::mt19937_64 gen(42);
+    auto q = make(GetParam());
+    std::vector<std::pair<std::int64_t, std::uint64_t>> ref;
+    // Mixed phases of inserts and removals with widely varying horizons.
+    std::uint64_t seq = 0;
+    std::int64_t clock = 0;
+    for (int phase = 0; phase < 20; ++phase) {
+        const int inserts = static_cast<int>(gen() % 400);
+        for (int i = 0; i < inserts; ++i) {
+            const std::int64_t at = clock + static_cast<std::int64_t>(gen() % 5'000'000);
+            q->push(rec(at, seq));
+            ref.emplace_back(at, seq);
+            ++seq;
+        }
+        const int pops = static_cast<int>(gen() % 300);
+        std::sort(ref.begin(), ref.end());
+        for (int i = 0; i < pops && !ref.empty(); ++i) {
+            auto r = q->pop();
+            ASSERT_TRUE(r);
+            EXPECT_EQ(std::pair(r->at.ns(), r->seq), ref.front());
+            clock = r->at.ns();
+            ref.erase(ref.begin());
+        }
+    }
+    std::sort(ref.begin(), ref.end());
+    for (const auto& want : ref) {
+        auto r = q->pop();
+        ASSERT_TRUE(r);
+        EXPECT_EQ(std::pair(r->at.ns(), r->seq), want);
+    }
+    EXPECT_EQ(q->pop(), nullptr);
+}
+
+TEST_P(EventQueueKinds, SparseFarFutureEvents) {
+    auto q = make(GetParam());
+    q->push(rec(Time::seconds(100).ns(), 0));
+    q->push(rec(Time::seconds(1).ns(), 1));
+    q->push(rec(Time::seconds(3600).ns(), 2));
+    EXPECT_EQ(q->pop()->seq, 1u);
+    EXPECT_EQ(q->pop()->seq, 0u);
+    EXPECT_EQ(q->pop()->seq, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EventQueueKinds,
+                         ::testing::Values(SchedulerKind::BinaryHeap, SchedulerKind::Calendar),
+                         [](const ::testing::TestParamInfo<SchedulerKind>& info) {
+                             return info.param == SchedulerKind::Calendar ? "Calendar"
+                                                                          : "BinaryHeap";
+                         });
+
+TEST(CalendarQueue, ResizesUnderLoad) {
+    CalendarEventQueue q;
+    const auto initial = q.bucketCount();
+    for (std::uint64_t i = 0; i < 10'000; ++i) q.push(rec(static_cast<std::int64_t>(i) * 1000, i));
+    EXPECT_GT(q.bucketCount(), initial);
+    std::int64_t last = -1;
+    while (auto r = q.pop()) {
+        EXPECT_GE(r->at.ns(), last);
+        last = r->at.ns();
+    }
+}
+
+// Full-stack equivalence: the same simulation must execute the identical
+// event sequence on both scheduler kinds.
+TEST(SchedulerKinds, SimulationsAgree) {
+    auto runOnce = [](SchedulerKind kind) {
+        Simulator sim(3, kind);
+        std::vector<std::int64_t> fired;
+        std::function<void(int)> chain = [&](int depth) {
+            fired.push_back(sim.now().ns());
+            if (depth < 200) {
+                sim.schedule(Time::nanoseconds((depth * 7919) % 50'000 + 1),
+                             [&chain, depth] { chain(depth + 1); });
+                if (depth % 3 == 0) {
+                    auto h = sim.schedule(Time::microseconds(1), [] {});
+                    h.cancel();
+                }
+            }
+        };
+        sim.schedule(Time::microseconds(5), [&chain] { chain(0); });
+        sim.run();
+        return fired;
+    };
+    EXPECT_EQ(runOnce(SchedulerKind::BinaryHeap), runOnce(SchedulerKind::Calendar));
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,45 @@
+#include "src/sim/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+struct LogLevelGuard {
+    LogLevel saved = Log::level();
+    ~LogLevelGuard() { Log::setLevel(saved); }
+};
+
+TEST(Logging, DefaultLevelIsWarn) {
+    LogLevelGuard g;
+    EXPECT_EQ(Log::level(), LogLevel::Warn);
+}
+
+TEST(Logging, GatingRespectsLevel) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Info);
+    EXPECT_FALSE(Log::enabled(LogLevel::Debug));
+    EXPECT_TRUE(Log::enabled(LogLevel::Info));
+    EXPECT_TRUE(Log::enabled(LogLevel::Error));
+}
+
+TEST(Logging, OffSilencesEverything) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Off);
+    EXPECT_FALSE(Log::enabled(LogLevel::Error));
+}
+
+TEST(Logging, MacroCompilesAndGates) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Error);
+    int evaluations = 0;
+    auto expensive = [&] {
+        ++evaluations;
+        return std::string("x");
+    };
+    ECNSIM_LOG(LogLevel::Debug, expensive());
+    EXPECT_EQ(evaluations, 0);  // argument not evaluated when gated
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,68 @@
+#include "src/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += a.uniform01() == b.uniform01() ? 1 : 0;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+    Rng a(9);
+    const double first = a.uniform01();
+    a.uniform01();
+    a.reseed(9);
+    EXPECT_DOUBLE_EQ(a.uniform01(), first);
+}
+
+TEST(Rng, Uniform01Range) {
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform01();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+    Rng r(5);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        sawLo |= v == 3;
+        sawHi |= v == 7;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng r(7);
+    double sum = 0.0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, BernoulliBias) {
+    Rng r(11);
+    int hits = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace ecnsim

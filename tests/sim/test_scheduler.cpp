@@ -1,0 +1,176 @@
+#include "src/sim/scheduler.hpp"
+#include "src/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Scheduler, FiresInTimeOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30_us, [&] { order.push_back(3); });
+    sim.schedule(10_us, [&] { order.push_back(1); });
+    sim.schedule(20_us, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) sim.schedule(5_us, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+    Simulator sim;
+    Time seen;
+    sim.schedule(42_us, [&] { seen = sim.now(); });
+    sim.run();
+    EXPECT_EQ(seen, 42_us);
+    EXPECT_EQ(sim.now(), 42_us);
+}
+
+TEST(Scheduler, NestedSchedulingFromEvents) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1_us, [&] {
+        ++fired;
+        sim.schedule(1_us, [&] {
+            ++fired;
+            sim.schedule(1_us, [&] { ++fired; });
+        });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(sim.now(), 3_us);
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+    Simulator sim;
+    bool fired = false;
+    auto h = sim.schedule(5_us, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireIsSafe) {
+    Simulator sim;
+    auto h = sim.schedule(1_us, [] {});
+    sim.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // no-op, must not crash
+}
+
+TEST(Scheduler, DefaultHandleNotPending) {
+    EventHandle h;
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+}
+
+TEST(Scheduler, RunUntilHonorsHorizon) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10_us, [&] { ++fired; });
+    sim.schedule(20_us, [&] { ++fired; });
+    sim.runUntil(15_us);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 15_us);
+}
+
+// Regression: an event beyond the horizon must survive for the next
+// runUntil call (originally the scheduler popped and discarded it).
+TEST(Scheduler, EventBeyondHorizonSurvives) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100_us, [&] { ++fired; });
+    for (int t = 10; t <= 90; t += 10) {
+        sim.runUntil(Time::microseconds(t));
+        EXPECT_EQ(fired, 0);
+        EXPECT_TRUE(sim.hasPendingEvents());
+    }
+    sim.runUntil(200_us);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, EventExactlyAtHorizonFires) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule(10_us, [&] { fired = true; });
+    sim.runUntil(10_us);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, StopHaltsImmediately) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(1_us, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.schedule(2_us, [&] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.hasPendingEvents());
+    sim.run();  // resumes
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, NegativeDelayThrows) {
+    Simulator sim;
+    EXPECT_THROW(sim.schedule(Time::microseconds(-1), [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ScheduleAtPastThrows) {
+    Simulator sim;
+    sim.schedule(10_us, [] {});
+    sim.run();
+    EXPECT_THROW(sim.scheduleAt(5_us, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, CountsExecutedAndScheduled) {
+    Simulator sim;
+    for (int i = 0; i < 5; ++i) sim.schedule(Time::microseconds(i + 1), [] {});
+    auto h = sim.schedule(99_us, [] {});
+    h.cancel();
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 5u);
+    EXPECT_EQ(sim.eventsScheduled(), 6u);
+}
+
+TEST(Scheduler, NextEventTime) {
+    Simulator sim;
+    EXPECT_EQ(sim.nextEventTime(), Time::max());
+    auto h = sim.schedule(7_us, [] {});
+    EXPECT_EQ(sim.nextEventTime(), 7_us);
+    h.cancel();
+    EXPECT_EQ(sim.nextEventTime(), Time::max());
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+    Simulator sim;
+    Time last = Time::zero();
+    bool monotonic = true;
+    for (int i = 0; i < 10'000; ++i) {
+        const auto delay = Time::nanoseconds((i * 7919) % 100'000);
+        sim.schedule(delay, [&, delay] {
+            if (sim.now() < last) monotonic = false;
+            last = sim.now();
+        });
+    }
+    sim.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(sim.eventsExecuted(), 10'000u);
+}
+
+}  // namespace
+}  // namespace ecnsim

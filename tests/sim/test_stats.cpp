@@ -1,0 +1,122 @@
+#include "src/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(RunningStats, EmptyIsZero) {
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+    RunningStats a, empty;
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+    TimeWeightedStats s;
+    s.update(0_us, 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(100_us), 5.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+    TimeWeightedStats s;
+    s.update(0_us, 0.0);
+    s.update(50_us, 10.0);  // 0 for half the window, 10 for the rest
+    EXPECT_DOUBLE_EQ(s.mean(100_us), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.currentValue(), 10.0);
+}
+
+TEST(TimeWeighted, UnstartedIsZero) {
+    TimeWeightedStats s;
+    EXPECT_FALSE(s.started());
+    EXPECT_DOUBLE_EQ(s.mean(10_us), 0.0);
+}
+
+TEST(TimeWeighted, ZeroWindowReturnsCurrent) {
+    TimeWeightedStats s;
+    s.update(5_us, 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(5_us), 7.0);
+}
+
+TEST(Histogram, RejectsBadShape) {
+    EXPECT_THROW(Histogram(0.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(10.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp) {
+    Histogram h(100.0, 100);
+    for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.5, 1.0);
+}
+
+TEST(Histogram, OverflowGoesToLastBin) {
+    Histogram h(10.0, 10);
+    h.add(5.0);
+    h.add(500.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.observedMax(), 500.0);
+    EXPECT_EQ(h.bins().back(), 1u);
+    // The overflow sample reports the observed max at high quantiles.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 500.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+    Histogram h(10.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Counter, IncrementAndReset) {
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,86 @@
+#include "src/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Time, DefaultIsZero) {
+    Time t;
+    EXPECT_EQ(t.ns(), 0);
+    EXPECT_TRUE(t.isZero());
+    EXPECT_FALSE(t.isNegative());
+}
+
+TEST(Time, NamedConstructorsScale) {
+    EXPECT_EQ(Time::nanoseconds(7).ns(), 7);
+    EXPECT_EQ(Time::microseconds(7).ns(), 7'000);
+    EXPECT_EQ(Time::milliseconds(7).ns(), 7'000'000);
+    EXPECT_EQ(Time::seconds(7).ns(), 7'000'000'000);
+}
+
+TEST(Time, Literals) {
+    EXPECT_EQ((5_us).ns(), 5'000);
+    EXPECT_EQ((3_ms).ns(), 3'000'000);
+    EXPECT_EQ((2_s).ns(), 2'000'000'000);
+    EXPECT_EQ((9_ns).ns(), 9);
+}
+
+TEST(Time, FromSecondsRounds) {
+    EXPECT_EQ(Time::fromSeconds(1.5).ns(), 1'500'000'000);
+    EXPECT_EQ(Time::fromSeconds(0.0000000014).ns(), 1);  // rounds 1.4ns -> 1
+    EXPECT_EQ(Time::fromSeconds(0.0000000016).ns(), 2);
+}
+
+TEST(Time, ArithmeticClosure) {
+    const Time a = 10_us, b = 4_us;
+    EXPECT_EQ((a + b).ns(), 14'000);
+    EXPECT_EQ((a - b).ns(), 6'000);
+    EXPECT_EQ((a * 3).ns(), 30'000);
+    EXPECT_EQ((a / 2).ns(), 5'000);
+    EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Time, CompoundAssignment) {
+    Time t = 1_ms;
+    t += 500_us;
+    EXPECT_EQ(t.ns(), 1'500'000);
+    t -= 1_ms;
+    EXPECT_EQ(t.ns(), 500'000);
+}
+
+TEST(Time, Ordering) {
+    EXPECT_LT(1_us, 1_ms);
+    EXPECT_GT(1_s, 999_ms);
+    EXPECT_EQ(1000_us, 1_ms);
+    EXPECT_LE(Time::zero(), 0_ns);
+}
+
+TEST(Time, Conversions) {
+    EXPECT_DOUBLE_EQ((1500_us).toSeconds(), 0.0015);
+    EXPECT_DOUBLE_EQ((1500_us).toMillis(), 1.5);
+    EXPECT_DOUBLE_EQ((1500_ns).toMicros(), 1.5);
+}
+
+TEST(Time, NegativeDurations) {
+    const Time d = 1_us - 2_us;
+    EXPECT_TRUE(d.isNegative());
+    EXPECT_EQ(d.ns(), -1'000);
+}
+
+TEST(Time, MaxIsHuge) {
+    EXPECT_GT(Time::max(), Time::seconds(100'000'000));
+}
+
+TEST(Time, ToStringPicksUnit) {
+    EXPECT_EQ((12_ns).toString(), "12ns");
+    EXPECT_EQ((12_us).toString(), "12us");
+    EXPECT_EQ((12_ms).toString(), "12ms");
+    EXPECT_EQ((12_s).toString(), "12s");
+    EXPECT_EQ((1500_us).toString(), "1.5ms");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,56 @@
+#include "src/sim/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnsim {
+namespace {
+
+TEST(Bandwidth, NamedConstructors) {
+    EXPECT_EQ(Bandwidth::bitsPerSecond(42).bps(), 42);
+    EXPECT_EQ(Bandwidth::kilobitsPerSecond(3).bps(), 3'000);
+    EXPECT_EQ(Bandwidth::megabitsPerSecond(3).bps(), 3'000'000);
+    EXPECT_EQ(Bandwidth::gigabitsPerSecond(3).bps(), 3'000'000'000);
+}
+
+TEST(Bandwidth, TransmissionTimeAtGigabit) {
+    const auto g = Bandwidth::gigabitsPerSecond(1);
+    // 1500 bytes = 12000 bits at 1 Gbps -> 12 us.
+    EXPECT_EQ(g.transmissionTime(1500).ns(), 12'000);
+    EXPECT_EQ(g.transmissionTime(0).ns(), 0);
+}
+
+TEST(Bandwidth, TransmissionTimeLargeTransferNoOverflow) {
+    const auto g = Bandwidth::gigabitsPerSecond(100);
+    const std::int64_t tenGiB = 10ll * 1024 * 1024 * 1024;
+    // 10 GiB at 100 Gbps ~ 0.859 s
+    const double secs = g.transmissionTime(tenGiB).toSeconds();
+    EXPECT_NEAR(secs, 8.0 * static_cast<double>(tenGiB) / 100e9, 1e-6);
+}
+
+TEST(Bandwidth, BytesInRoundTrip) {
+    const auto g = Bandwidth::gigabitsPerSecond(1);
+    EXPECT_EQ(g.bytesIn(Time::microseconds(12)), 1500);
+    EXPECT_EQ(g.bytesIn(Time::seconds(1)), 125'000'000);
+}
+
+TEST(Bandwidth, BytesPerSecond) {
+    EXPECT_DOUBLE_EQ(Bandwidth::megabitsPerSecond(8).bytesPerSecond(), 1e6);
+}
+
+TEST(Bandwidth, Ordering) {
+    EXPECT_LT(Bandwidth::megabitsPerSecond(100), Bandwidth::gigabitsPerSecond(1));
+    EXPECT_TRUE(Bandwidth{}.isZero());
+}
+
+TEST(Bandwidth, ToString) {
+    EXPECT_EQ(Bandwidth::gigabitsPerSecond(10).toString(), "10Gbps");
+    EXPECT_EQ(Bandwidth::megabitsPerSecond(250).toString(), "250Mbps");
+    EXPECT_EQ(Bandwidth::bitsPerSecond(512).toString(), "512bps");
+}
+
+TEST(Bandwidth, MegabitsFloat) {
+    EXPECT_DOUBLE_EQ(Bandwidth::gigabitsPerSecond(1).megabitsPerSecondF(), 1000.0);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,51 @@
+// Shared harness for TCP tests: N hosts on one switch with a configurable
+// switch queue, plus packet-sniffing via a tap on host delivery.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/net/topology.hpp"
+#include "src/tcp/apps.hpp"
+#include "src/tcp/stack.hpp"
+
+namespace ecnsim::testutil {
+
+struct TcpHarness {
+    explicit TcpHarness(int hosts = 2, TcpConfig tcp = TcpConfig::forTransport(TransportKind::EcnTcp),
+                        QueueConfig switchQueue = defaultSwitchQueue(), std::uint64_t seed = 1,
+                        Bandwidth rate = Bandwidth::gigabitsPerSecond(1))
+        : sim(seed), net(sim) {
+        switchQueue.linkRate = rate;
+        TopologyConfig topo;
+        topo.linkRate = rate;
+        topo.linkDelay = Time::microseconds(5);
+        topo.switchQueue = makeQueueFactory(switchQueue, sim.rng());
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hostNodes = buildStar(net, hosts, topo);
+        for (auto* h : hostNodes) {
+            stacks.push_back(std::make_unique<TcpStack>(net, *h, tcp));
+        }
+    }
+
+    static QueueConfig defaultSwitchQueue() {
+        QueueConfig q;
+        q.kind = QueueKind::DropTail;
+        q.capacityPackets = 1000;
+        return q;
+    }
+
+    TcpStack& stack(std::size_t i) { return *stacks.at(i); }
+    NodeId id(std::size_t i) const { return hostNodes.at(i)->id(); }
+
+    void runFor(Time t) { sim.runUntil(sim.now() + t); }
+
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hostNodes;
+    std::vector<std::unique_ptr<TcpStack>> stacks;
+};
+
+}  // namespace ecnsim::testutil

@@ -1,0 +1,146 @@
+// Fine-grained congestion-window and ACK-clock dynamics.
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_test_util.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using testutil::TcpHarness;
+
+TEST(Dynamics, InitialWindowIsTenSegments) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    TcpCallbacks cb;
+    auto& conn = h.stack(0).connect(h.id(1), 9000, std::move(cb));
+    h.runFor(1_ms);  // handshake done, nothing sent yet
+    EXPECT_DOUBLE_EQ(conn.cwndBytes(), 10.0 * 1460);
+}
+
+TEST(Dynamics, SlowStartGrowsExponentially) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 64 * 1024 * 1024);
+    auto& conn = flow.connection();
+    h.runFor(2_ms);
+    const double early = conn.cwndBytes();
+    h.runFor(3_ms);
+    const double later = conn.cwndBytes();
+    // Several RTTs of uncongested slow start: cwnd should have grown
+    // multiplicatively (bounded by rwnd eventually).
+    EXPECT_GT(later, early * 1.5);
+}
+
+TEST(Dynamics, FlightNeverExceedsReceiveWindow) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 64 * 1024 * 1024);
+    auto& conn = flow.connection();
+    const auto rwnd = h.stack(0).config().receiveWindowBytes;
+    for (int i = 0; i < 40; ++i) {
+        h.runFor(5_ms);
+        EXPECT_LE(conn.sndNxt() - conn.sndUna(), rwnd + 1460);
+    }
+}
+
+TEST(Dynamics, CongestionAvoidanceIsLinear) {
+    // After an ECN cut, ssthresh == cwnd, so growth continues in CA: one
+    // MSS per window, i.e. clearly sub-exponential.
+    QueueConfig q;
+    q.kind = QueueKind::SimpleMarking;
+    q.capacityPackets = 1000;
+    q.targetDelay = Time::microseconds(240);  // 20-pkt threshold
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::EcnTcp), q);
+    SinkServer sink(h.stack(2), 9000);
+    BulkSender a(h.stack(0), h.id(2), 9000, 32 * 1024 * 1024);
+    BulkSender b(h.stack(1), h.id(2), 9000, 32 * 1024 * 1024);
+    h.runFor(100_ms);
+    // Flows should have had at least one ECN cut and be in CA.
+    EXPECT_GT(a.connection().stats().ecnCwndCuts + b.connection().stats().ecnCwndCuts, 0u);
+    // cwnd stays in a sane band (not collapsed, not runaway).
+    EXPECT_GT(a.connection().cwndBytes(), 1460.0);
+    EXPECT_LT(a.connection().cwndBytes(), 2e6);
+}
+
+TEST(Dynamics, DelayedAckRoughlyHalvesAckCount) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 4 * 1024 * 1024);
+    h.runFor(1_s);
+    const auto receiverStats = h.stack(1).aggregateStats();
+    const auto senderStats = h.stack(0).aggregateStats();
+    const double acksPerSegment = static_cast<double>(receiverStats.acksSent) /
+                                  static_cast<double>(senderStats.segmentsSent);
+    EXPECT_LT(acksPerSegment, 0.75);   // mostly coalesced 2:1
+    EXPECT_GT(acksPerSegment, 0.35);   // but not starving the ACK clock
+}
+
+TEST(Dynamics, CwrClearsReceiverEceState) {
+    // After the sender reacts (CWR), the receiver stops setting ECE until
+    // the next CE. Net effect: the share of ECE ACKs is well below 100%
+    // under intermittent marking.
+    QueueConfig q;
+    q.kind = QueueKind::SimpleMarking;
+    q.capacityPackets = 1000;
+    q.targetDelay = Time::microseconds(360);
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::EcnTcp), q);
+    SinkServer sink(h.stack(2), 9000);
+    BulkSender a(h.stack(0), h.id(2), 9000, 8 * 1024 * 1024);
+    BulkSender b(h.stack(1), h.id(2), 9000, 8 * 1024 * 1024);
+    h.runFor(2_s);
+    const auto rs = h.stack(2).aggregateStats();
+    ASSERT_GT(rs.acksSent, 0u);
+    ASSERT_GT(rs.acksSentWithEce, 0u);
+    EXPECT_LT(rs.acksSentWithEce, rs.acksSent);
+}
+
+TEST(Dynamics, RtoCollapsesCwndToOneMss) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    TcpCallbacks cb;
+    auto& conn = h.stack(0).connect(h.id(1), 9000, std::move(cb));
+    h.runFor(5_ms);
+    // Blackhole the return path, then send: the RTO must collapse cwnd.
+    h.hostNodes[0]->setDeliveryHandler([](PacketPtr) {});
+    conn.send(200'000);
+    h.runFor(200_ms);
+    EXPECT_GE(conn.stats().rtoEvents, 1u);
+    EXPECT_DOUBLE_EQ(conn.cwndBytes(), 1460.0);
+}
+
+TEST(Dynamics, SrttTracksQueueingDelay) {
+    // With a deep standing queue the measured srtt must include it.
+    QueueConfig q;
+    q.kind = QueueKind::DropTail;
+    q.capacityPackets = 1000;
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::PlainTcp), q);
+    SinkServer sink(h.stack(2), 9000);
+    BulkSender a(h.stack(0), h.id(2), 9000, 16 * 1024 * 1024);
+    BulkSender b(h.stack(1), h.id(2), 9000, 16 * 1024 * 1024);
+    h.runFor(100_ms);
+    // rwnd 2 MiB per flow across a 1 Gbps bottleneck: multi-ms queues.
+    EXPECT_GT(a.connection().smoothedRtt(), 1_ms);
+}
+
+TEST(Dynamics, TwoFlowsConvergeToFairShare) {
+    QueueConfig q;
+    q.kind = QueueKind::SimpleMarking;
+    q.capacityPackets = 500;
+    q.targetDelay = Time::microseconds(240);
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::Dctcp), q);
+    SinkServer sink(h.stack(2), 9000);
+    Time tA, tB;
+    BulkSender a(h.stack(0), h.id(2), 9000, 8 * 1024 * 1024, [&] { tA = h.sim.now(); });
+    BulkSender b(h.stack(1), h.id(2), 9000, 8 * 1024 * 1024, [&] { tB = h.sim.now(); });
+    h.runFor(2_s);
+    ASSERT_FALSE(tA.isZero());
+    ASSERT_FALSE(tB.isZero());
+    // Equal transfers sharing one bottleneck finish within 25% of each
+    // other when the allocation is fair.
+    const double ratio = tA > tB ? tA / tB : tB / tA;
+    EXPECT_LT(ratio, 1.25);
+}
+
+}  // namespace
+}  // namespace ecnsim

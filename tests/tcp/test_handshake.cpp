@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_test_util.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using testutil::TcpHarness;
+
+TEST(Handshake, EstablishesBothEnds) {
+    TcpHarness h;
+    TcpConnection* serverConn = nullptr;
+    h.stack(1).listen(80, [&](TcpConnection& c) { serverConn = &c; });
+    bool connected = false;
+    TcpCallbacks cb;
+    cb.onConnected = [&] { connected = true; };
+    auto& client = h.stack(0).connect(h.id(1), 80, std::move(cb));
+    h.runFor(10_ms);
+    EXPECT_TRUE(connected);
+    EXPECT_EQ(client.state(), TcpState::Established);
+    ASSERT_NE(serverConn, nullptr);
+    EXPECT_EQ(serverConn->state(), TcpState::Established);
+}
+
+TEST(Handshake, NegotiatesEcnWhenBothSupport) {
+    TcpHarness h;
+    TcpConnection* serverConn = nullptr;
+    h.stack(1).listen(80, [&](TcpConnection& c) { serverConn = &c; });
+    auto& client = h.stack(0).connect(h.id(1), 80, {});
+    h.runFor(10_ms);
+    EXPECT_TRUE(client.ecnNegotiated());
+    ASSERT_NE(serverConn, nullptr);
+    EXPECT_TRUE(serverConn->ecnNegotiated());
+}
+
+TEST(Handshake, NoEcnWhenClientPlain) {
+    TcpHarness h(2, TcpConfig::forTransport(TransportKind::EcnTcp));
+    // Client stack without ECN on host 0.
+    TcpConfig plain = TcpConfig::forTransport(TransportKind::PlainTcp);
+    TcpStack client(h.net, *h.hostNodes[0], plain);
+    TcpConnection* serverConn = nullptr;
+    h.stack(1).listen(80, [&](TcpConnection& c) { serverConn = &c; });
+    auto& conn = client.connect(h.id(1), 80, {});
+    h.runFor(10_ms);
+    EXPECT_FALSE(conn.ecnNegotiated());
+    ASSERT_NE(serverConn, nullptr);
+    EXPECT_FALSE(serverConn->ecnNegotiated());
+}
+
+TEST(Handshake, NoEcnWhenServerPlain) {
+    TcpHarness h;
+    TcpConfig plain = TcpConfig::forTransport(TransportKind::PlainTcp);
+    TcpStack server(h.net, *h.hostNodes[1], plain);
+    server.listen(80, [](TcpConnection&) {});
+    auto& conn = h.stack(0).connect(h.id(1), 80, {});
+    h.runFor(10_ms);
+    EXPECT_FALSE(conn.ecnNegotiated());
+}
+
+TEST(Handshake, SynCarriesEceCwrForEcn) {
+    // Verified at the switch: capture the SYN's flags via a queue snapshot
+    // taken by a tap host... simpler: inspect the accepted server state and
+    // the paper-relevant invariant that SYN is non-ECT at the IP layer.
+    TcpHarness h;
+    bool sawSyn = false;
+    bool synWasNonEct = false;
+    bool synHadEce = false;
+    // Tap: replace server delivery handler to peek, then forward.
+    TcpStack& server = h.stack(1);
+    server.listen(80, [](TcpConnection&) {});
+    auto* host = h.hostNodes[1];
+    // The stack installed its handler in the constructor; wrap it.
+    host->setDeliveryHandler([&, prev = false](PacketPtr p) mutable {
+        (void)prev;
+        if (p->klass() == PacketClass::Syn) {
+            sawSyn = true;
+            synWasNonEct = p->ecn == EcnCodepoint::NotEct;
+            synHadEce = p->hasEce() && p->hasCwr();
+        }
+        // Note: handler replaced; handshake will stall, which is fine here.
+    });
+    h.stack(0).connect(h.id(1), 80, {});
+    h.runFor(5_ms);
+    EXPECT_TRUE(sawSyn);
+    EXPECT_TRUE(synWasNonEct);
+    EXPECT_TRUE(synHadEce);
+}
+
+TEST(Handshake, SynRetransmitsOnLoss) {
+    TcpHarness h;
+    // No listener installed -> the SYN is silently ignored, forcing
+    // retries (the same timer path as a dropped SYN).
+    auto& conn = h.stack(0).connect(h.id(1), 80, {});
+    h.runFor(700_ms);
+    EXPECT_EQ(conn.state(), TcpState::SynSent);
+    EXPECT_GE(conn.stats().synRetries, 2u);
+}
+
+TEST(Handshake, EventualEstablishAfterListenerStallsFirstSyn) {
+    // Drop the first SYN via a 0-capacity window: simulate by listening
+    // only after some time has passed; the retry then succeeds.
+    TcpHarness h;
+    bool connected = false;
+    TcpCallbacks cb;
+    cb.onConnected = [&] { connected = true; };
+    auto& conn = h.stack(0).connect(h.id(1), 80, std::move(cb));
+    h.sim.schedule(150_ms, [&] {
+        h.stack(1).listen(80, [](TcpConnection&) {});
+    });
+    h.runFor(2_s);
+    EXPECT_TRUE(connected);
+    EXPECT_EQ(conn.state(), TcpState::Established);
+    EXPECT_GE(conn.stats().synRetries, 1u);
+}
+
+TEST(Handshake, ManyConcurrentConnectionsDemuxCleanly) {
+    TcpHarness h(4);
+    int accepted = 0;
+    for (int s = 1; s < 4; ++s) {
+        h.stack(static_cast<std::size_t>(s)).listen(80, [&](TcpConnection& c) {
+            ++accepted;
+            c.setCallbacks({});
+        });
+    }
+    std::vector<TcpConnection*> conns;
+    for (int i = 0; i < 10; ++i) {
+        for (int s = 1; s < 4; ++s) {
+            conns.push_back(&h.stack(0).connect(h.id(static_cast<std::size_t>(s)), 80, {}));
+        }
+    }
+    h.runFor(50_ms);
+    EXPECT_EQ(accepted, 30);
+    for (auto* c : conns) EXPECT_EQ(c->state(), TcpState::Established);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_test_util.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using testutil::TcpHarness;
+
+// Tight switch buffers force real loss; recovery must still deliver every
+// byte exactly once.
+QueueConfig tinyDropTail(std::size_t cap) {
+    QueueConfig q;
+    q.kind = QueueKind::DropTail;
+    q.capacityPackets = cap;
+    q.ecnEnabled = false;
+    return q;
+}
+
+TEST(LossRecovery, CompletesThroughTinyBuffer) {
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::PlainTcp), tinyDropTail(8));
+    SinkServer sink(h.stack(2), 9000);
+    int done = 0;
+    BulkSender a(h.stack(0), h.id(2), 9000, 3 * 1024 * 1024, [&] { ++done; });
+    BulkSender b(h.stack(1), h.id(2), 9000, 3 * 1024 * 1024, [&] { ++done; });
+    h.runFor(10_s);
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(sink.totalReceived(), 6u * 1024 * 1024);
+    // Loss definitely happened...
+    EXPECT_GT(a.connection().stats().retransmits + b.connection().stats().retransmits, 0u);
+}
+
+TEST(LossRecovery, FastRetransmitEngagesUnderModerateLoss) {
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::PlainTcp), tinyDropTail(20));
+    SinkServer sink(h.stack(2), 9000);
+    BulkSender a(h.stack(0), h.id(2), 9000, 4 * 1024 * 1024);
+    BulkSender b(h.stack(1), h.id(2), 9000, 4 * 1024 * 1024);
+    h.runFor(10_s);
+    const auto sa = a.connection().stats();
+    const auto sb = b.connection().stats();
+    EXPECT_GT(sa.fastRetransmits + sb.fastRetransmits, 0u);
+}
+
+TEST(LossRecovery, NoSpuriousRetransmitsOnCleanPath) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 2 * 1024 * 1024);
+    h.runFor(2_s);
+    EXPECT_EQ(flow.connection().stats().retransmits, 0u);
+    EXPECT_EQ(flow.connection().stats().rtoEvents, 0u);
+}
+
+// Regression for the go-back-N stall: after an RTO burst the connection
+// must keep making progress without waiting one RTO per segment.
+TEST(LossRecovery, RtoDoesNotStallPipeline) {
+    TcpHarness h(4, TcpConfig::forTransport(TransportKind::PlainTcp), tinyDropTail(5));
+    SinkServer sink(h.stack(3), 9000);
+    int done = 0;
+    std::vector<std::unique_ptr<BulkSender>> flows;
+    for (int i = 0; i < 3; ++i) {
+        flows.push_back(std::make_unique<BulkSender>(h.stack(static_cast<std::size_t>(i)),
+                                                     h.id(3), 9000, 2 * 1024 * 1024,
+                                                     [&] { ++done; }));
+    }
+    h.runFor(30_s);
+    EXPECT_EQ(done, 3);
+    std::uint32_t rtos = 0;
+    for (auto& f : flows) rtos += f->connection().stats().rtoEvents;
+    EXPECT_GT(rtos, 0u);  // the brutal buffer must have caused timeouts
+}
+
+TEST(LossRecovery, SequentialRangesNeverDeliveredTwice) {
+    // SinkServer counts delivered bytes; exact-once delivery means the
+    // final count equals the sent count even under heavy loss.
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::PlainTcp), tinyDropTail(6));
+    SinkServer sink(h.stack(2), 9000);
+    BulkSender a(h.stack(0), h.id(2), 9000, 1'234'567);
+    BulkSender b(h.stack(1), h.id(2), 9000, 1'234'567);
+    h.runFor(30_s);
+    EXPECT_EQ(sink.totalReceived(), 2u * 1'234'567);
+}
+
+TEST(LossRecovery, RtoBacksOffExponentially) {
+    TcpHarness h;
+    // Connect to a listening server, then blackhole the data path by
+    // replacing the server's delivery handler after establishment.
+    SinkServer sink(h.stack(1), 9000);
+    TcpCallbacks cb;
+    auto& conn = h.stack(0).connect(h.id(1), 9000, std::move(cb));
+    h.runFor(5_ms);
+    ASSERT_EQ(conn.state(), TcpState::Established);
+    h.hostNodes[1]->setDeliveryHandler([](PacketPtr) {});  // blackhole
+    conn.send(10'000);
+    h.runFor(3_s);
+    // minRto 10ms, doubling: 10+20+40+80+... -> in 3s at most ~9 events.
+    EXPECT_GE(conn.stats().rtoEvents, 4u);
+    EXPECT_LE(conn.stats().rtoEvents, 10u);
+}
+
+TEST(LossRecovery, DupAcksDoNotFireBelowThreshold) {
+    // Clean path: no dup acks, no fast retransmit.
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 1024 * 1024);
+    h.runFor(1_s);
+    EXPECT_EQ(flow.connection().stats().fastRetransmits, 0u);
+}
+
+class BufferSweep : public ::testing::TestWithParam<std::size_t> {};
+
+// Property: whatever the buffer size, TCP delivers everything exactly once.
+TEST_P(BufferSweep, ExactDeliveryUnderAnyBuffer) {
+    const std::size_t cap = GetParam();
+    TcpHarness h(3, TcpConfig::forTransport(TransportKind::PlainTcp), tinyDropTail(cap));
+    SinkServer sink(h.stack(2), 9000);
+    int done = 0;
+    BulkSender a(h.stack(0), h.id(2), 9000, 500'000, [&] { ++done; });
+    BulkSender b(h.stack(1), h.id(2), 9000, 500'000, [&] { ++done; });
+    h.runFor(60_s);
+    EXPECT_EQ(done, 2) << "cap=" << cap;
+    EXPECT_EQ(sink.totalReceived(), 1'000'000u) << "cap=" << cap;
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, BufferSweep, ::testing::Values(4, 8, 16, 32, 64, 128, 512));
+
+}  // namespace
+}  // namespace ecnsim

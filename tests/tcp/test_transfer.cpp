@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "tests/tcp/tcp_test_util.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+using testutil::TcpHarness;
+
+TEST(Transfer, DeliversExactByteCount) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    bool done = false;
+    BulkSender flow(h.stack(0), h.id(1), 9000, 777'777, [&] { done = true; });
+    h.runFor(1_s);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(sink.totalReceived(), 777'777u);
+}
+
+TEST(Transfer, ThroughputNearLineRate) {
+    // Generous switch buffer so unbounded slow-start doesn't overflow it
+    // mid-transfer; this test measures protocol efficiency, not AQM.
+    QueueConfig q = TcpHarness::defaultSwitchQueue();
+    q.capacityPackets = 8000;
+    TcpHarness h(2, TcpConfig::forTransport(TransportKind::EcnTcp), q);
+    SinkServer sink(h.stack(1), 9000);
+    Time doneAt;
+    BulkSender flow(h.stack(0), h.id(1), 9000, 8 * 1024 * 1024,
+                    [&] { doneAt = h.sim.now(); });
+    h.runFor(2_s);
+    ASSERT_FALSE(doneAt.isZero());
+    // 8 MiB at 1 Gbps ideal ~ 67 ms; allow 25% protocol overhead.
+    EXPECT_LT(doneAt, 90_ms);
+    EXPECT_EQ(flow.connection().stats().retransmits, 0u);
+}
+
+TEST(Transfer, TinyTransfersComplete) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    int done = 0;
+    BulkSender a(h.stack(0), h.id(1), 9000, 1, [&] { ++done; });
+    BulkSender b(h.stack(0), h.id(1), 9000, 100, [&] { ++done; });
+    BulkSender c(h.stack(0), h.id(1), 9000, 1460, [&] { ++done; });
+    BulkSender d(h.stack(0), h.id(1), 9000, 1461, [&] { ++done; });
+    h.runFor(1_s);
+    EXPECT_EQ(done, 4);
+    EXPECT_EQ(sink.totalReceived(), 1u + 100 + 1460 + 1461);
+}
+
+class TransferSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(TransferSizes, ExactDeliveryAcrossSizes) {
+    const std::int64_t bytes = GetParam();
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    bool done = false;
+    BulkSender flow(h.stack(0), h.id(1), 9000, bytes, [&] { done = true; });
+    h.runFor(5_s);
+    EXPECT_TRUE(done) << bytes << " bytes";
+    EXPECT_EQ(sink.totalReceived(), static_cast<std::uint64_t>(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TransferSizes,
+                         ::testing::Values(1, 1459, 1460, 1461, 2920, 10'000, 65'536, 100'000,
+                                           1'000'000, 5'000'000));
+
+TEST(Transfer, StreamCompleteFiresOnFin) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    bool complete = false;
+    sink.setOnStreamComplete([&](TcpConnection&) { complete = true; });
+    BulkSender flow(h.stack(0), h.id(1), 9000, 50'000);
+    h.runFor(1_s);
+    EXPECT_TRUE(complete);
+}
+
+TEST(Transfer, RequestResponsePattern) {
+    // Client sends a 120 B request; server replies with 1 MiB and closes —
+    // the shuffle-fetch shape used by the MapReduce engine.
+    TcpHarness h;
+    std::int64_t serverGot = 0;
+    std::int64_t clientGot = 0;
+    bool clientSawClose = false;
+    h.stack(1).listen(5060, [&](TcpConnection& c) {
+        TcpCallbacks cb;
+        TcpConnection* conn = &c;
+        cb.onReceive = [&, conn](std::int64_t n) {
+            serverGot += n;
+            if (serverGot >= 120) {
+                conn->send(1024 * 1024);
+                conn->close();
+            }
+        };
+        c.setCallbacks(std::move(cb));
+    });
+    TcpCallbacks ccb;
+    ccb.onReceive = [&](std::int64_t n) { clientGot += n; };
+    ccb.onPeerClosed = [&] { clientSawClose = true; };
+    auto& conn = h.stack(0).connect(h.id(1), 5060, std::move(ccb));
+    conn.send(120);
+    h.runFor(1_s);
+    EXPECT_EQ(serverGot, 120);
+    EXPECT_EQ(clientGot, 1024 * 1024);
+    EXPECT_TRUE(clientSawClose);
+}
+
+TEST(Transfer, BidirectionalSimultaneousStreams) {
+    TcpHarness h;
+    std::int64_t aGot = 0, bGot = 0;
+    h.stack(1).listen(80, [&](TcpConnection& c) {
+        TcpCallbacks cb;
+        TcpConnection* conn = &c;
+        cb.onReceive = [&](std::int64_t n) { bGot += n; };
+        cb.onConnected = [conn] { conn->send(300'000); };
+        c.setCallbacks(std::move(cb));
+    });
+    TcpCallbacks cb;
+    cb.onReceive = [&](std::int64_t n) { aGot += n; };
+    auto& conn = h.stack(0).connect(h.id(1), 80, std::move(cb));
+    conn.send(200'000);
+    h.runFor(1_s);
+    EXPECT_EQ(bGot, 200'000);
+    EXPECT_EQ(aGot, 300'000);
+}
+
+TEST(Transfer, ManyParallelFlowsShareFairly) {
+    TcpHarness h(5);
+    SinkServer sink(h.stack(4), 9000);
+    int done = 0;
+    std::vector<std::unique_ptr<BulkSender>> flows;
+    for (int i = 0; i < 4; ++i) {
+        flows.push_back(std::make_unique<BulkSender>(h.stack(static_cast<std::size_t>(i)),
+                                                     h.id(4), 9000, 2 * 1024 * 1024,
+                                                     [&] { ++done; }));
+    }
+    h.runFor(2_s);
+    EXPECT_EQ(done, 4);
+    EXPECT_EQ(sink.totalReceived(), 8u * 1024 * 1024);
+}
+
+TEST(Transfer, SendAfterEstablishAppendsToStream) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    TcpCallbacks cb;
+    auto& conn = h.stack(0).connect(h.id(1), 9000, std::move(cb));
+    conn.send(1000);
+    h.sim.schedule(10_ms, [&] { conn.send(2000); });
+    h.sim.schedule(20_ms, [&] {
+        conn.send(3000);
+        conn.close();
+    });
+    h.runFor(1_s);
+    EXPECT_EQ(sink.totalReceived(), 6000u);
+}
+
+TEST(Transfer, StatsAccounting) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 100'000);
+    h.runFor(1_s);
+    const auto& s = flow.connection().stats();
+    EXPECT_EQ(s.bytesSent, 100'000u);
+    EXPECT_EQ(s.bytesAcked, 100'000u);
+    EXPECT_EQ(s.retransmits, 0u);  // clean network, huge buffers
+    EXPECT_EQ(s.rtoEvents, 0u);
+    EXPECT_GE(s.segmentsSent, 100'000u / 1460);
+}
+
+TEST(Transfer, RttEstimateConverges) {
+    TcpHarness h;
+    SinkServer sink(h.stack(1), 9000);
+    BulkSender flow(h.stack(0), h.id(1), 9000, 500'000);
+    h.runFor(1_s);
+    const Time srtt = flow.connection().smoothedRtt();
+    // Base RTT: 2 hops each way (~10us prop x2) + serialization; the
+    // estimate must be positive and far below the 100ms initial RTO.
+    EXPECT_GT(srtt.ns(), 0);
+    EXPECT_LT(srtt, 5_ms);
+    EXPECT_LT(flow.connection().currentRto(), 100_ms);
+}
+
+}  // namespace
+}  // namespace ecnsim

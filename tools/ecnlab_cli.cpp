@@ -1,0 +1,188 @@
+// ecnlab — command-line front end to the experiment framework.
+//
+//   ecnlab run   [--transport X] [--queue Y] [--protection Z] [--target-us N]
+//                [--buffers shallow|deep] [--nodes N] [--input-mb N]
+//                [--seed N] [--repeats N] [--ecnpp] [--leafspine] [--csv]
+//   ecnlab sweep [--buffers shallow|deep] [--csv]      # the paper grid
+//   ecnlab list                                        # enumerate knobs
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/core/report.hpp"
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+using namespace ecnsim;
+
+namespace {
+
+struct Args {
+    std::map<std::string, std::string> kv;
+    bool has(const std::string& k) const { return kv.count(k) > 0; }
+    std::string get(const std::string& k, const std::string& dflt) const {
+        const auto it = kv.find(k);
+        return it == kv.end() ? dflt : it->second;
+    }
+    long getInt(const std::string& k, long dflt) const {
+        const auto it = kv.find(k);
+        return it == kv.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+    }
+};
+
+Args parse(int argc, char** argv, int from) {
+    Args a;
+    for (int i = from; i < argc; ++i) {
+        std::string key = argv[i];
+        if (key.rfind("--", 0) != 0) continue;
+        key = key.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            a.kv[key] = argv[++i];
+        } else {
+            a.kv[key] = "1";  // boolean flag
+        }
+    }
+    return a;
+}
+
+TransportKind parseTransport(const std::string& s) {
+    if (s == "tcp") return TransportKind::PlainTcp;
+    if (s == "ecn") return TransportKind::EcnTcp;
+    if (s == "dctcp") return TransportKind::Dctcp;
+    throw std::invalid_argument("unknown transport: " + s + " (tcp|ecn|dctcp)");
+}
+
+QueueKind parseQueue(const std::string& s) {
+    if (s == "droptail") return QueueKind::DropTail;
+    if (s == "red") return QueueKind::Red;
+    if (s == "marking") return QueueKind::SimpleMarking;
+    if (s == "codel") return QueueKind::CoDel;
+    if (s == "pie") return QueueKind::Pie;
+    if (s == "wred") return QueueKind::Wred;
+    if (s == "ctrlprio") return QueueKind::ControlPriority;
+    throw std::invalid_argument("unknown queue: " + s);
+}
+
+ProtectionMode parseProtection(const std::string& s) {
+    if (s == "default") return ProtectionMode::Default;
+    if (s == "ece") return ProtectionMode::ProtectEce;
+    if (s == "acksyn") return ProtectionMode::ProtectAckSyn;
+    throw std::invalid_argument("unknown protection: " + s + " (default|ece|acksyn)");
+}
+
+void printResult(const ExperimentResult& r, bool csv) {
+    if (csv) {
+        std::printf(
+            "name,runtime_s,tput_mbps,lat_us,p99_us,fct_p99_us,ack_drop_pct,syn_retries,"
+            "rto_events,marks\n%s,%.6f,%.3f,%.3f,%.3f,%.3f,%.4f,%llu,%llu,%llu\n",
+            r.name.c_str(), r.runtimeSec, r.throughputPerNodeMbps, r.avgLatencyUs, r.p99LatencyUs,
+            r.fctP99Us, 100.0 * r.ackDropShare(), static_cast<unsigned long long>(r.synRetries),
+            static_cast<unsigned long long>(r.rtoEvents),
+            static_cast<unsigned long long>(r.ceMarks));
+        return;
+    }
+    TextTable t({"metric", "value"});
+    t.addRow({"experiment", r.name});
+    t.addRow({"runtime", TextTable::num(r.runtimeSec, 4) + " s" + (r.timedOut ? " (TIMEOUT)" : "")});
+    t.addRow({"throughput/node", TextTable::num(r.throughputPerNodeMbps, 1) + " Mbps"});
+    t.addRow({"avg packet latency", TextTable::num(r.avgLatencyUs, 1) + " us"});
+    t.addRow({"p99 packet latency", TextTable::num(r.p99LatencyUs, 1) + " us"});
+    t.addRow({"fetch FCT p50/p99", TextTable::num(r.fctP50Us / 1000, 2) + " / " +
+                                       TextTable::num(r.fctP99Us / 1000, 2) + " ms"});
+    t.addRow({"ACK early-drop share", TextTable::num(100.0 * r.ackDropShare(), 2) + " %"});
+    t.addRow({"SYN retries", std::to_string(r.synRetries)});
+    t.addRow({"RTO events", std::to_string(r.rtoEvents)});
+    t.addRow({"CE marks", std::to_string(r.ceMarks)});
+    t.print(std::cout);
+}
+
+int cmdRun(const Args& a) {
+    SweepScale scale = SweepScale::fromEnvironment();
+    scale.numNodes = static_cast<int>(a.getInt("nodes", scale.numNodes));
+    scale.inputBytesPerNode = a.getInt("input-mb", scale.inputBytesPerNode / (1024 * 1024)) *
+                              1024 * 1024;
+    scale.seed = static_cast<std::uint64_t>(a.getInt("seed", static_cast<long>(scale.seed)));
+    scale.repeats = static_cast<int>(a.getInt("repeats", scale.repeats));
+
+    ExperimentConfig cfg = makeBaseConfig(scale);
+    cfg.transport = parseTransport(a.get("transport", "dctcp"));
+    cfg.switchQueue.kind = parseQueue(a.get("queue", "red"));
+    cfg.switchQueue.protection = parseProtection(a.get("protection", "default"));
+    cfg.switchQueue.targetDelay = Time::microseconds(a.getInt("target-us", 500));
+    cfg.switchQueue.redVariant = cfg.transport == TransportKind::Dctcp ? RedVariant::DctcpMimic
+                                                                       : RedVariant::Classic;
+    cfg.switchQueue.ecnEnabled = cfg.transport != TransportKind::PlainTcp;
+    cfg.buffers = a.get("buffers", "shallow") == "deep" ? BufferProfile::Deep
+                                                        : BufferProfile::Shallow;
+    cfg.ecnPlusPlus = a.has("ecnpp");
+    if (a.has("leafspine")) {
+        cfg.topology = TopologyKind::LeafSpine;
+        cfg.leafSpine = LeafSpineShape{.racks = 2, .hostsPerRack = scale.numNodes / 2,
+                                       .spines = 2};
+    }
+    cfg.name = std::string(transportKindName(cfg.transport)) + "/" + cfg.switchQueue.describe() +
+               "/" + std::string(bufferProfileName(cfg.buffers));
+    printResult(runExperimentCached(cfg), a.has("csv"));
+    return 0;
+}
+
+int cmdSweep(const Args& a) {
+    const SweepScale scale = SweepScale::fromEnvironment();
+    const auto buffers = a.get("buffers", "shallow") == "deep" ? BufferProfile::Deep
+                                                               : BufferProfile::Shallow;
+    const bool csv = a.has("csv");
+    const auto sweep = runPaperSweep(scale, [](const std::string& line) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    });
+    TextTable t({"series", "target", "runtime_s", "tput_mbps", "lat_us", "ackDrop%"});
+    for (const PaperSeries s : kAllSeries) {
+        for (const Time target : paperTargetDelays()) {
+            const auto& r = sweep.at(s, buffers, target);
+            t.addRow({paperSeriesName(s), target.toString(), TextTable::num(r.runtimeSec, 4),
+                      TextTable::num(r.throughputPerNodeMbps, 1), TextTable::num(r.avgLatencyUs, 1),
+                      TextTable::num(100.0 * r.ackDropShare(), 2)});
+        }
+    }
+    std::cout << (csv ? t.toCsv() : t.toString());
+    return 0;
+}
+
+int cmdList() {
+    std::printf("transports : tcp ecn dctcp\n");
+    std::printf("queues     : droptail red marking codel pie wred ctrlprio\n");
+    std::printf("protections: default ece acksyn\n");
+    std::printf("buffers    : shallow (100 pkt) deep (1000 pkt)\n");
+    std::printf("series     :");
+    for (const auto s : kAllSeries) std::printf(" %s", paperSeriesName(s).c_str());
+    std::printf("\ntargets    :");
+    for (const auto t : paperTargetDelays()) std::printf(" %s", t.toString().c_str());
+    std::printf("\nenv        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
+                "ECNSIM_GBPS ECNSIM_CACHE_DIR\n");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: ecnlab run|sweep|list [--flags]\n"
+                     "       ecnlab run --transport dctcp --queue red --protection acksyn "
+                     "--target-us 100\n");
+        return 2;
+    }
+    try {
+        const std::string cmd = argv[1];
+        const Args args = parse(argc, argv, 2);
+        if (cmd == "run") return cmdRun(args);
+        if (cmd == "sweep") return cmdSweep(args);
+        if (cmd == "list") return cmdList();
+        std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
