@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ack_drops.dir/ablation_ack_drops.cpp.o"
+  "CMakeFiles/ablation_ack_drops.dir/ablation_ack_drops.cpp.o.d"
+  "ablation_ack_drops"
+  "ablation_ack_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ack_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aqm_family.dir/ablation_aqm_family.cpp.o"
+  "CMakeFiles/ablation_aqm_family.dir/ablation_aqm_family.cpp.o.d"
+  "ablation_aqm_family"
+  "ablation_aqm_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aqm_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_density.dir/ablation_buffer_density.cpp.o"
+  "CMakeFiles/ablation_buffer_density.dir/ablation_buffer_density.cpp.o.d"
+  "ablation_buffer_density"
+  "ablation_buffer_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ecn_plus.dir/ablation_ecn_plus.cpp.o"
+  "CMakeFiles/ablation_ecn_plus.dir/ablation_ecn_plus.cpp.o.d"
+  "ablation_ecn_plus"
+  "ablation_ecn_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ecn_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

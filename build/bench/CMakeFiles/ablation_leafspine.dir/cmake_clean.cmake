@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leafspine.dir/ablation_leafspine.cpp.o"
+  "CMakeFiles/ablation_leafspine.dir/ablation_leafspine.cpp.o.d"
+  "ablation_leafspine"
+  "ablation_leafspine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leafspine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

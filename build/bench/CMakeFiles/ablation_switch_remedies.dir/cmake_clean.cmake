@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_remedies.dir/ablation_switch_remedies.cpp.o"
+  "CMakeFiles/ablation_switch_remedies.dir/ablation_switch_remedies.cpp.o.d"
+  "ablation_switch_remedies"
+  "ablation_switch_remedies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_remedies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

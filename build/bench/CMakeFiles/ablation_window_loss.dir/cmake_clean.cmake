@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_loss.dir/ablation_window_loss.cpp.o"
+  "CMakeFiles/ablation_window_loss.dir/ablation_window_loss.cpp.o.d"
+  "ablation_window_loss"
+  "ablation_window_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_queue_snapshot.dir/fig1_queue_snapshot.cpp.o"
+  "CMakeFiles/fig1_queue_snapshot.dir/fig1_queue_snapshot.cpp.o.d"
+  "fig1_queue_snapshot"
+  "fig1_queue_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_queue_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_runtime.dir/fig2_runtime.cpp.o"
+  "CMakeFiles/fig2_runtime.dir/fig2_runtime.cpp.o.d"
+  "fig2_runtime"
+  "fig2_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_codepoints.dir/table_codepoints.cpp.o"
+  "CMakeFiles/table_codepoints.dir/table_codepoints.cpp.o.d"
+  "table_codepoints"
+  "table_codepoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_codepoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

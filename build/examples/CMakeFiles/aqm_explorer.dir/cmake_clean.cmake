@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_explorer.dir/aqm_explorer.cpp.o"
+  "CMakeFiles/aqm_explorer.dir/aqm_explorer.cpp.o.d"
+  "aqm_explorer"
+  "aqm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

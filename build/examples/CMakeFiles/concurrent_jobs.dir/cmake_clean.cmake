@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_jobs.dir/concurrent_jobs.cpp.o"
+  "CMakeFiles/concurrent_jobs.dir/concurrent_jobs.cpp.o.d"
+  "concurrent_jobs"
+  "concurrent_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

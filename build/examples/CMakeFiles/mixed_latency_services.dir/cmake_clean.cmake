@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_latency_services.dir/mixed_latency_services.cpp.o"
+  "CMakeFiles/mixed_latency_services.dir/mixed_latency_services.cpp.o.d"
+  "mixed_latency_services"
+  "mixed_latency_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_latency_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

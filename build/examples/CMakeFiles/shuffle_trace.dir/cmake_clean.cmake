@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffle_trace.dir/shuffle_trace.cpp.o"
+  "CMakeFiles/shuffle_trace.dir/shuffle_trace.cpp.o.d"
+  "shuffle_trace"
+  "shuffle_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffle_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "500")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_terasort "/root/repo/build/examples/terasort_cluster" "dctcp" "red" "acksyn" "500" "4")
+set_tests_properties(example_terasort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mixed_latency "/root/repo/build/examples/mixed_latency_services" "4" "4")
+set_tests_properties(example_mixed_latency PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aqm_explorer "/root/repo/build/examples/aqm_explorer" "mimic" "default" "20")
+set_tests_properties(example_aqm_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shuffle_trace "/root/repo/build/examples/shuffle_trace" "/root/repo/build/examples/trace-out" "acksyn")
+set_tests_properties(example_shuffle_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_concurrent_jobs "/root/repo/build/examples/concurrent_jobs" "4" "2")
+set_tests_properties(example_concurrent_jobs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqm/codel.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/codel.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/codel.cpp.o.d"
+  "/root/repo/src/aqm/droptail.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/droptail.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/droptail.cpp.o.d"
+  "/root/repo/src/aqm/factory.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/factory.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/factory.cpp.o.d"
+  "/root/repo/src/aqm/pie.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/pie.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/pie.cpp.o.d"
+  "/root/repo/src/aqm/priority.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/priority.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/priority.cpp.o.d"
+  "/root/repo/src/aqm/protection.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/protection.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/protection.cpp.o.d"
+  "/root/repo/src/aqm/queue_base.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/queue_base.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/queue_base.cpp.o.d"
+  "/root/repo/src/aqm/red.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/red.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/red.cpp.o.d"
+  "/root/repo/src/aqm/simple_marking.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/simple_marking.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/simple_marking.cpp.o.d"
+  "/root/repo/src/aqm/snapshot.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/snapshot.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/snapshot.cpp.o.d"
+  "/root/repo/src/aqm/target_delay.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/target_delay.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/target_delay.cpp.o.d"
+  "/root/repo/src/aqm/wred.cpp" "src/aqm/CMakeFiles/ecnsim_aqm.dir/wred.cpp.o" "gcc" "src/aqm/CMakeFiles/ecnsim_aqm.dir/wred.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_aqm.dir/codel.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/codel.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/droptail.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/droptail.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/factory.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/factory.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/pie.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/pie.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/priority.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/priority.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/protection.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/protection.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/queue_base.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/queue_base.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/red.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/red.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/simple_marking.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/simple_marking.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/snapshot.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/snapshot.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/target_delay.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/target_delay.cpp.o.d"
+  "CMakeFiles/ecnsim_aqm.dir/wred.cpp.o"
+  "CMakeFiles/ecnsim_aqm.dir/wred.cpp.o.d"
+  "libecnsim_aqm.a"
+  "libecnsim_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

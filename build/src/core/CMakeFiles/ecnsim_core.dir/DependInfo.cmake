@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/ecnsim_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/ecnsim_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/parallel.cpp" "src/core/CMakeFiles/ecnsim_core.dir/parallel.cpp.o" "gcc" "src/core/CMakeFiles/ecnsim_core.dir/parallel.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/ecnsim_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/ecnsim_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/core/CMakeFiles/ecnsim_core.dir/runner.cpp.o" "gcc" "src/core/CMakeFiles/ecnsim_core.dir/runner.cpp.o.d"
+  "/root/repo/src/core/series.cpp" "src/core/CMakeFiles/ecnsim_core.dir/series.cpp.o" "gcc" "src/core/CMakeFiles/ecnsim_core.dir/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapred/CMakeFiles/ecnsim_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/ecnsim_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ecnsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

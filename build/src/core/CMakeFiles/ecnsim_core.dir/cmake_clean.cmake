@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_core.dir/cache.cpp.o"
+  "CMakeFiles/ecnsim_core.dir/cache.cpp.o.d"
+  "CMakeFiles/ecnsim_core.dir/parallel.cpp.o"
+  "CMakeFiles/ecnsim_core.dir/parallel.cpp.o.d"
+  "CMakeFiles/ecnsim_core.dir/report.cpp.o"
+  "CMakeFiles/ecnsim_core.dir/report.cpp.o.d"
+  "CMakeFiles/ecnsim_core.dir/runner.cpp.o"
+  "CMakeFiles/ecnsim_core.dir/runner.cpp.o.d"
+  "CMakeFiles/ecnsim_core.dir/series.cpp.o"
+  "CMakeFiles/ecnsim_core.dir/series.cpp.o.d"
+  "libecnsim_core.a"
+  "libecnsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_mapred.dir/engine.cpp.o"
+  "CMakeFiles/ecnsim_mapred.dir/engine.cpp.o.d"
+  "CMakeFiles/ecnsim_mapred.dir/runtime.cpp.o"
+  "CMakeFiles/ecnsim_mapred.dir/runtime.cpp.o.d"
+  "libecnsim_mapred.a"
+  "libecnsim_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

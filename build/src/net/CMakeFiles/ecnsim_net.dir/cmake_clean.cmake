@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_net.dir/link.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/link.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/network.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/network.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/node.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/node.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/packet.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/packet.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/telemetry.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/telemetry.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/topology.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/topology.cpp.o.d"
+  "CMakeFiles/ecnsim_net.dir/tracelog.cpp.o"
+  "CMakeFiles/ecnsim_net.dir/tracelog.cpp.o.d"
+  "libecnsim_net.a"
+  "libecnsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

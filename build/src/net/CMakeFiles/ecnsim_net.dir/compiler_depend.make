@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecnsim_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ecnsim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ecnsim_sim.dir/logging.cpp.o"
+  "CMakeFiles/ecnsim_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/ecnsim_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/ecnsim_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ecnsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ecnsim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/ecnsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/ecnsim_sim.dir/stats.cpp.o.d"
+  "libecnsim_sim.a"
+  "libecnsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

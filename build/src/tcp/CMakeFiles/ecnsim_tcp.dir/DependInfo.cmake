@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/apps.cpp" "src/tcp/CMakeFiles/ecnsim_tcp.dir/apps.cpp.o" "gcc" "src/tcp/CMakeFiles/ecnsim_tcp.dir/apps.cpp.o.d"
+  "/root/repo/src/tcp/connection.cpp" "src/tcp/CMakeFiles/ecnsim_tcp.dir/connection.cpp.o" "gcc" "src/tcp/CMakeFiles/ecnsim_tcp.dir/connection.cpp.o.d"
+  "/root/repo/src/tcp/stack.cpp" "src/tcp/CMakeFiles/ecnsim_tcp.dir/stack.cpp.o" "gcc" "src/tcp/CMakeFiles/ecnsim_tcp.dir/stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ecnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

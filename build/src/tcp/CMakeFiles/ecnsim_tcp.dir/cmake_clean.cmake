@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnsim_tcp.dir/apps.cpp.o"
+  "CMakeFiles/ecnsim_tcp.dir/apps.cpp.o.d"
+  "CMakeFiles/ecnsim_tcp.dir/connection.cpp.o"
+  "CMakeFiles/ecnsim_tcp.dir/connection.cpp.o.d"
+  "CMakeFiles/ecnsim_tcp.dir/stack.cpp.o"
+  "CMakeFiles/ecnsim_tcp.dir/stack.cpp.o.d"
+  "libecnsim_tcp.a"
+  "libecnsim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnsim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

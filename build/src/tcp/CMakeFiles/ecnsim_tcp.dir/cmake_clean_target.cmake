@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecnsim_tcp.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aqm/test_byte_capacity.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_byte_capacity.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_byte_capacity.cpp.o.d"
+  "/root/repo/tests/aqm/test_codel.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_codel.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_codel.cpp.o.d"
+  "/root/repo/tests/aqm/test_droptail.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_droptail.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_droptail.cpp.o.d"
+  "/root/repo/tests/aqm/test_pie.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_pie.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_pie.cpp.o.d"
+  "/root/repo/tests/aqm/test_priority.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_priority.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_priority.cpp.o.d"
+  "/root/repo/tests/aqm/test_protection.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_protection.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_protection.cpp.o.d"
+  "/root/repo/tests/aqm/test_red.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_red.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_red.cpp.o.d"
+  "/root/repo/tests/aqm/test_simple_marking.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_simple_marking.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_simple_marking.cpp.o.d"
+  "/root/repo/tests/aqm/test_snapshot.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_snapshot.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_snapshot.cpp.o.d"
+  "/root/repo/tests/aqm/test_target_delay.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_target_delay.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_target_delay.cpp.o.d"
+  "/root/repo/tests/aqm/test_wred.cpp" "tests/CMakeFiles/aqm_tests.dir/aqm/test_wred.cpp.o" "gcc" "tests/CMakeFiles/aqm_tests.dir/aqm/test_wred.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecnsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/ecnsim_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ecnsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/ecnsim_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqm_tests.dir/aqm/test_byte_capacity.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_byte_capacity.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_codel.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_codel.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_droptail.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_droptail.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_pie.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_pie.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_priority.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_priority.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_protection.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_protection.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_red.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_red.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_simple_marking.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_simple_marking.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_snapshot.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_snapshot.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_target_delay.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_target_delay.cpp.o.d"
+  "CMakeFiles/aqm_tests.dir/aqm/test_wred.cpp.o"
+  "CMakeFiles/aqm_tests.dir/aqm/test_wred.cpp.o.d"
+  "aqm_tests"
+  "aqm_tests.pdb"
+  "aqm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_cache.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_cache.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_parallel.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_parallel.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_remedies.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_remedies.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_report.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_runner.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_runner.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_series.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_series.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_tests.dir/mapred/test_concurrent_jobs.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_concurrent_jobs.cpp.o.d"
+  "CMakeFiles/mapred_tests.dir/mapred/test_disk.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_disk.cpp.o.d"
+  "CMakeFiles/mapred_tests.dir/mapred/test_engine.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_engine.cpp.o.d"
+  "CMakeFiles/mapred_tests.dir/mapred/test_fct.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_fct.cpp.o.d"
+  "CMakeFiles/mapred_tests.dir/mapred/test_spec.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_spec.cpp.o.d"
+  "CMakeFiles/mapred_tests.dir/mapred/test_workloads.cpp.o"
+  "CMakeFiles/mapred_tests.dir/mapred/test_workloads.cpp.o.d"
+  "mapred_tests"
+  "mapred_tests.pdb"
+  "mapred_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

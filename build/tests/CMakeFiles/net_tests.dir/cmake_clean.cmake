@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_tests.dir/net/test_link.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_link.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_packet.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_packet.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_queue_stats.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_queue_stats.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_telemetry.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_telemetry.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_topology.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_topology.cpp.o.d"
+  "CMakeFiles/net_tests.dir/net/test_tracelog.cpp.o"
+  "CMakeFiles/net_tests.dir/net/test_tracelog.cpp.o.d"
+  "net_tests"
+  "net_tests.pdb"
+  "net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_logging.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_logging.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_random.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_random.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_scheduler.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_scheduler.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_time.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_time.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_units.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/test_units.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcp/test_apps.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_apps.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_apps.cpp.o.d"
+  "/root/repo/tests/tcp/test_dctcp.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_dctcp.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_dctcp.cpp.o.d"
+  "/root/repo/tests/tcp/test_dynamics.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_dynamics.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_dynamics.cpp.o.d"
+  "/root/repo/tests/tcp/test_ecn.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_ecn.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_ecn.cpp.o.d"
+  "/root/repo/tests/tcp/test_handshake.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_handshake.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_handshake.cpp.o.d"
+  "/root/repo/tests/tcp/test_loss_recovery.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_loss_recovery.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_loss_recovery.cpp.o.d"
+  "/root/repo/tests/tcp/test_sack.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o.d"
+  "/root/repo/tests/tcp/test_transfer.cpp" "tests/CMakeFiles/tcp_tests.dir/tcp/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/tcp_tests.dir/tcp/test_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecnsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/ecnsim_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/ecnsim_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqm/CMakeFiles/ecnsim_aqm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ecnsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecnsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

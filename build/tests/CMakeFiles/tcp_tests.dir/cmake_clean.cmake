@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_tests.dir/tcp/test_apps.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_apps.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_dctcp.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_dctcp.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_dynamics.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_dynamics.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_ecn.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_ecn.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_handshake.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_handshake.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_loss_recovery.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_loss_recovery.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_sack.cpp.o.d"
+  "CMakeFiles/tcp_tests.dir/tcp/test_transfer.cpp.o"
+  "CMakeFiles/tcp_tests.dir/tcp/test_transfer.cpp.o.d"
+  "tcp_tests"
+  "tcp_tests.pdb"
+  "tcp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

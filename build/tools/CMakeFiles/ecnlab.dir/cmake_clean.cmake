@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecnlab.dir/ecnlab_cli.cpp.o"
+  "CMakeFiles/ecnlab.dir/ecnlab_cli.cpp.o.d"
+  "ecnlab"
+  "ecnlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecnlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ecnlab.
+# This may be replaced when dependencies are built.
