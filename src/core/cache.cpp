@@ -30,6 +30,16 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
     std::string field;
     while (in >> field) {
         if (field == "timedOut") in >> r.timedOut;
+        else if (field == "jobFailed") in >> r.jobFailed;
+        else if (field == "jobError") in >> r.jobError;  // stored space-free
+        else if (field == "faultDrops") in >> r.faultDrops;
+        else if (field == "linkFlaps") in >> r.linkFlaps;
+        else if (field == "nodeCrashes") in >> r.nodeCrashes;
+        else if (field == "taskRetries") in >> r.taskRetries;
+        else if (field == "heartbeatTimeouts") in >> r.heartbeatTimeouts;
+        else if (field == "speculativeLaunches") in >> r.speculativeLaunches;
+        else if (field == "wastedBytes") in >> r.wastedBytes;
+        else if (field == "recoveredBytes") in >> r.recoveredBytes;
         else if (field == "runtimeSec") in >> r.runtimeSec;
         else if (field == "throughputPerNodeMbps") in >> r.throughputPerNodeMbps;
         else if (field == "avgLatencyUs") in >> r.avgLatencyUs;
@@ -68,7 +78,22 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
     if (!outFile) return;
     outFile << key << '\n';
     outFile.precision(17);
+    // jobError is whitespace-tokenized on load, so spaces become '_'.
+    std::string err = r.jobError;
+    for (char& c : err) {
+        if (c == ' ' || c == '\t' || c == '\n') c = '_';
+    }
     outFile << "timedOut " << r.timedOut << '\n'
+            << "jobFailed " << r.jobFailed << '\n';
+    if (!err.empty()) outFile << "jobError " << err << '\n';
+    outFile << "faultDrops " << r.faultDrops << '\n'
+            << "linkFlaps " << r.linkFlaps << '\n'
+            << "nodeCrashes " << r.nodeCrashes << '\n'
+            << "taskRetries " << r.taskRetries << '\n'
+            << "heartbeatTimeouts " << r.heartbeatTimeouts << '\n'
+            << "speculativeLaunches " << r.speculativeLaunches << '\n'
+            << "wastedBytes " << r.wastedBytes << '\n'
+            << "recoveredBytes " << r.recoveredBytes << '\n'
             << "runtimeSec " << r.runtimeSec << '\n'
             << "throughputPerNodeMbps " << r.throughputPerNodeMbps << '\n'
             << "avgLatencyUs " << r.avgLatencyUs << '\n'

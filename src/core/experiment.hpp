@@ -50,6 +50,10 @@ struct ExperimentConfig {
     ClusterSpec cluster;
     JobSpec job;
 
+    /// Fault-injection plan (FaultPlan::parse grammar), e.g.
+    /// "flap@2s:link=3:for=500ms;crash@1s:node=2:for=10s". Empty = no faults.
+    std::string faultSpec;
+
     std::uint64_t seed = 1;
     /// Independent repetitions (seed, seed+1, ...) averaged into one result
     /// to tame RTO-tail variance, as multi-run papers do.
@@ -63,7 +67,11 @@ struct ExperimentConfig {
 /// Measured outputs of one run (the paper's three metrics + diagnostics).
 struct ExperimentResult {
     std::string name;
+    /// Hit the horizon without finishing (distinct from jobFailed).
     bool timedOut = false;
+    /// The job aborted cleanly: a task exhausted its retry budget.
+    bool jobFailed = false;
+    std::string jobError;
 
     double runtimeSec = 0.0;
     double throughputPerNodeMbps = 0.0;
@@ -93,6 +101,16 @@ struct ExperimentResult {
     std::uint64_t ecnCwndCuts = 0;
 
     std::uint64_t eventsExecuted = 0;
+
+    // Fault-injection accounting (zero on fault-free runs).
+    std::uint64_t faultDrops = 0;  ///< packets lost to injected faults
+    std::uint64_t linkFlaps = 0;   ///< link-down transitions
+    std::uint64_t nodeCrashes = 0;
+    std::uint64_t taskRetries = 0;
+    std::uint64_t heartbeatTimeouts = 0;
+    std::uint64_t speculativeLaunches = 0;
+    std::int64_t wastedBytes = 0;
+    std::int64_t recoveredBytes = 0;
 
     /// Arithmetic mean over repetition results (counters averaged too).
     static ExperimentResult average(const std::vector<ExperimentResult>& runs);

@@ -45,6 +45,105 @@ std::string TextTable::toString() const {
     return os.str();
 }
 
+std::string jsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string resultToJson(const ExperimentResult& r, int indent) {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    std::ostringstream os;
+    os.precision(12);
+    bool first = true;
+    auto sep = [&] {
+        os << (first ? "" : ",\n");
+        first = false;
+    };
+    auto str = [&](const char* k, const std::string& v) {
+        sep();
+        os << pad << "  \"" << k << "\": \"" << jsonEscape(v) << '"';
+    };
+    auto boolean = [&](const char* k, bool v) {
+        sep();
+        os << pad << "  \"" << k << "\": " << (v ? "true" : "false");
+    };
+    auto num = [&](const char* k, double v) {
+        sep();
+        os << pad << "  \"" << k << "\": " << v;
+    };
+    auto integer = [&](const char* k, std::uint64_t v) {
+        sep();
+        os << pad << "  \"" << k << "\": " << v;
+    };
+
+    os << pad << "{\n";
+    str("name", r.name);
+    boolean("timedOut", r.timedOut);
+    boolean("jobFailed", r.jobFailed);
+    if (r.jobFailed) str("jobError", r.jobError);
+    num("runtimeSec", r.runtimeSec);
+    num("throughputPerNodeMbps", r.throughputPerNodeMbps);
+    num("avgLatencyUs", r.avgLatencyUs);
+    num("p99LatencyUs", r.p99LatencyUs);
+    num("avgDataLatencyUs", r.avgDataLatencyUs);
+    num("avgAckLatencyUs", r.avgAckLatencyUs);
+    num("fctMeanUs", r.fctMeanUs);
+    num("fctP50Us", r.fctP50Us);
+    num("fctP99Us", r.fctP99Us);
+    integer("ackDroppedEarly", r.ackDroppedEarly);
+    integer("ackOffered", r.ackOffered);
+    integer("dataDropped", r.dataDropped);
+    integer("dataOffered", r.dataOffered);
+    integer("synDropped", r.synDropped);
+    integer("synOffered", r.synOffered);
+    integer("ceMarks", r.ceMarks);
+    integer("retransmits", r.retransmits);
+    integer("rtoEvents", r.rtoEvents);
+    integer("synRetries", r.synRetries);
+    integer("ecnCwndCuts", r.ecnCwndCuts);
+    integer("eventsExecuted", r.eventsExecuted);
+    integer("faultDrops", r.faultDrops);
+    integer("linkFlaps", r.linkFlaps);
+    integer("nodeCrashes", r.nodeCrashes);
+    integer("taskRetries", r.taskRetries);
+    integer("heartbeatTimeouts", r.heartbeatTimeouts);
+    integer("speculativeLaunches", r.speculativeLaunches);
+    sep();
+    os << pad << "  \"wastedBytes\": " << r.wastedBytes;
+    sep();
+    os << pad << "  \"recoveredBytes\": " << r.recoveredBytes;
+    os << '\n' << pad << '}';
+    return os.str();
+}
+
+std::string resultsToJson(const std::vector<ExperimentResult>& results) {
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << resultToJson(results[i], 2) << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+    return os.str();
+}
+
 std::string TextTable::toCsv() const {
     std::ostringstream os;
     auto emit = [&](const std::vector<std::string>& row) {

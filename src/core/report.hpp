@@ -1,9 +1,11 @@
-// Plain-text reporting: aligned tables and normalized figure series.
+// Reporting: aligned text tables, CSV and a JSON writer for results.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
+
+#include "src/core/experiment.hpp"
 
 namespace ecnsim {
 
@@ -26,5 +28,17 @@ private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
 };
+
+/// Escape a string for embedding in a JSON document (no surrounding quotes).
+std::string jsonEscape(const std::string& s);
+
+/// One experiment result as a JSON object. Every metric is included —
+/// paper metrics, queue/TCP diagnostics and the fault/retry counters —
+/// so downstream tooling never needs to parse the text tables. `indent`
+/// is the left margin applied to each line (for embedding in arrays).
+std::string resultToJson(const ExperimentResult& r, int indent = 0);
+
+/// A full result set as a JSON array (one object per experiment).
+std::string resultsToJson(const std::vector<ExperimentResult>& results);
 
 }  // namespace ecnsim

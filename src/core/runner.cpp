@@ -13,7 +13,7 @@ std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v6|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v7|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -25,7 +25,10 @@ std::string ExperimentConfig::cacheKey() const {
        << job.mapOutputRatio << ',' << job.reduceOutputRatio << ',' << job.outputReplication << ','
        << job.mapCpuPerByte.ns() << ',' << job.reduceCpuPerByte.ns() << ','
        << job.parallelFetchesPerReducer << ',' << job.fetchRequestBytes << ','
-       << job.reduceSlowstart << '|' << seed << '|' << horizon.ns();
+       << job.reduceSlowstart << ',' << job.maxTaskRetries << ',' << job.taskTimeout.ns() << ','
+       << job.retryBackoffBase.ns() << ',' << job.retryBackoffMax.ns() << ','
+       << job.speculativeExecution << ',' << job.speculativeSlowdown << '|' << "faults="
+       << faultSpec << '|' << seed << '|' << horizon.ns();
     return os.str();
 }
 
@@ -58,14 +61,19 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     tcpConfig.ectOnControlPackets = cfg.ecnPlusPlus;
     tcpConfig.sackEnabled = cfg.sack;
     MapReduceEngine engine(net, hosts, cluster, cfg.job, tcpConfig);
+    if (!cfg.faultSpec.empty()) {
+        installFaults(FaultPlan::parse(cfg.faultSpec), engine.runtime());
+    }
     engine.setOnComplete([&sim] { sim.stop(); });
     engine.start();
     sim.runUntil(cfg.horizon);
 
     ExperimentResult r;
     r.name = cfg.name;
-    r.timedOut = !engine.finished();
-    const Time runtime = engine.finished() ? engine.metrics().runtime() : cfg.horizon;
+    r.timedOut = !engine.terminal();
+    r.jobFailed = engine.aborted();
+    r.jobError = engine.metrics().abortReason;
+    const Time runtime = engine.terminal() ? engine.metrics().runtime() : cfg.horizon;
     r.runtimeSec = runtime.toSeconds();
     r.throughputPerNodeMbps = engine.metrics().throughputPerNodeMbps(cluster.numNodes);
 
@@ -96,6 +104,16 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     r.synRetries = tcp.synRetries;
     r.ecnCwndCuts = tcp.ecnCwndCuts;
     r.eventsExecuted = sim.eventsExecuted();
+
+    const FaultCounters& faults = tel.faults();
+    r.faultDrops = faults.totalDrops();
+    r.linkFlaps = faults.linkDownEvents;
+    r.nodeCrashes = faults.nodeCrashes;
+    r.taskRetries = engine.metrics().taskRetries();
+    r.heartbeatTimeouts = engine.metrics().heartbeatTimeouts;
+    r.speculativeLaunches = engine.metrics().speculativeLaunches;
+    r.wastedBytes = engine.metrics().wastedBytes;
+    r.recoveredBytes = engine.metrics().recoveredBytes;
     return r;
 }
 
@@ -109,8 +127,20 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     };
     std::uint64_t ackD = 0, ackO = 0, dataD = 0, dataO = 0, synD = 0, synO = 0, marks = 0;
     std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0;
+    std::uint64_t fDrops = 0, flaps = 0, crashes = 0, retries = 0, hbeats = 0, specs = 0;
+    double wasted = 0.0, recovered = 0.0;
     for (const auto& r : runs) {
         avg.timedOut = avg.timedOut || r.timedOut;
+        avg.jobFailed = avg.jobFailed || r.jobFailed;
+        if (avg.jobError.empty()) avg.jobError = r.jobError;
+        fDrops += r.faultDrops;
+        flaps += r.linkFlaps;
+        crashes += r.nodeCrashes;
+        retries += r.taskRetries;
+        hbeats += r.heartbeatTimeouts;
+        specs += r.speculativeLaunches;
+        wasted += static_cast<double>(r.wastedBytes) / n;
+        recovered += static_cast<double>(r.recoveredBytes) / n;
         avg.runtimeSec += r.runtimeSec / n;
         avg.throughputPerNodeMbps += r.throughputPerNodeMbps / n;
         avg.avgLatencyUs += r.avgLatencyUs / n;
@@ -145,6 +175,14 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.synRetries = meanU64(synR);
     avg.ecnCwndCuts = meanU64(cuts);
     avg.eventsExecuted = meanU64(events);
+    avg.faultDrops = meanU64(fDrops);
+    avg.linkFlaps = meanU64(flaps);
+    avg.nodeCrashes = meanU64(crashes);
+    avg.taskRetries = meanU64(retries);
+    avg.heartbeatTimeouts = meanU64(hbeats);
+    avg.speculativeLaunches = meanU64(specs);
+    avg.wastedBytes = static_cast<std::int64_t>(wasted + 0.5);
+    avg.recoveredBytes = static_cast<std::int64_t>(recovered + 0.5);
     return avg;
 }
 

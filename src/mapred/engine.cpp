@@ -33,14 +33,14 @@ void MapReduceEngine::initTasks() {
     maps_.resize(static_cast<std::size_t>(job_.numMapTasks));
     for (int m = 0; m < job_.numMapTasks; ++m) {
         const int node = m % numNodes;  // input block locality
-        maps_[static_cast<std::size_t>(m)].node = node;
+        maps_[static_cast<std::size_t>(m)].homeNode = node;
         pendingMaps_[static_cast<std::size_t>(node)].push_back(m);
     }
 
     reducers_.resize(static_cast<std::size_t>(job_.numReduceTasks));
     for (int r = 0; r < job_.numReduceTasks; ++r) {
         const int node = r % numNodes;
-        reducers_[static_cast<std::size_t>(r)].node = node;
+        reducers_[static_cast<std::size_t>(r)].homeNode = node;
         pendingReducers_[static_cast<std::size_t>(node)].push_back(r);
     }
 
@@ -48,6 +48,10 @@ void MapReduceEngine::initTasks() {
     rt_.addSlotObserver([this](int nodeIdx) {
         tryStartMaps(nodeIdx);
         tryStartReducers(nodeIdx);
+    });
+    // React to task-host crashes: fail running attempts, migrate queues.
+    rt_.addCrashObserver([this](int nodeIdx, bool crashed) {
+        onNodeCrashChanged(nodeIdx, crashed);
     });
 }
 
@@ -61,48 +65,177 @@ void MapReduceEngine::start() {
     maybeStartReducers();  // slowstart of 0 releases reducers immediately
 }
 
+// --------------------------------------------------------- fault plumbing
+
+Time MapReduceEngine::backoffDelay(int failures) const {
+    Time d = job_.retryBackoffBase;
+    for (int i = 1; i < failures && d < job_.retryBackoffMax; ++i) d = d * 2;
+    return std::min(d, job_.retryBackoffMax);
+}
+
+int MapReduceEngine::pickLiveNode(int preferred) const {
+    const int n = rt_.numNodes();
+    for (int k = 0; k < n; ++k) {
+        const int i = ((preferred % n) + n + k) % n;
+        if (rt_.nodeAlive(i)) return i;
+    }
+    return -1;
+}
+
+void MapReduceEngine::abortJob(const std::string& reason) {
+    if (terminal()) return;
+    metrics_.aborted = true;
+    metrics_.abortReason = reason;
+    metrics_.jobEnd = sim().now();
+    if (onComplete_) onComplete_();
+}
+
+void MapReduceEngine::onNodeCrashChanged(int nodeIdx, bool crashed) {
+    // Recovery needs no engine action: ClusterRuntime::recoverNode restores
+    // the slots and fires notifySlotFreed, which pulls pending work.
+    if (!crashed || terminal()) return;
+
+    // Running map attempts on the dead host are lost (no slot to free —
+    // the crash zeroed them). Sorted for cross-platform determinism.
+    std::vector<std::pair<int, int>> victims;  // (mapId, attemptId)
+    for (const auto& [key, att] : activeMapAttempts_) {
+        if (att.node == nodeIdx) {
+            victims.emplace_back(static_cast<int>(key >> 32),
+                                 static_cast<int>(key & 0xffffffffu));
+        }
+    }
+    std::sort(victims.begin(), victims.end());
+    for (const auto& [mapId, attemptId] : victims) {
+        const auto it = activeMapAttempts_.find(attemptKey(mapId, attemptId));
+        if (it == activeMapAttempts_.end()) continue;
+        it->second.watchdog.cancel();
+        activeMapAttempts_.erase(it);
+        ++metrics_.tasksLostToCrashes;
+        MapTask& t = maps_[static_cast<std::size_t>(mapId)];
+        if (t.done) continue;
+        metrics_.wastedBytes += job_.mapOutputBytes();
+        failMapTask(mapId, "node crash");
+        if (terminal()) return;
+    }
+
+    for (int r = 0; r < job_.numReduceTasks; ++r) {
+        ReduceTask& red = reducers_[static_cast<std::size_t>(r)];
+        if (red.started && !red.done && red.node == nodeIdx) {
+            ++metrics_.tasksLostToCrashes;
+            failReduceAttempt(r, "node crash", /*freeSlot=*/false);
+            if (terminal()) return;
+        }
+    }
+
+    // Queued-but-unstarted work scheduled on the dead host migrates to a
+    // live node immediately (it did not fail, so no backoff or retry tick).
+    auto migrate = [this, nodeIdx](std::vector<std::deque<int>>& queues, bool isMap) {
+        auto& pending = queues[static_cast<std::size_t>(nodeIdx)];
+        std::deque<int> displaced;
+        displaced.swap(pending);
+        for (const int taskId : displaced) {
+            const int target = pickLiveNode(nodeIdx + 1);
+            if (target < 0) {
+                abortJob("no live nodes left to host queued tasks");
+                return;
+            }
+            queues[static_cast<std::size_t>(target)].push_back(taskId);
+            if (isMap) {
+                tryStartMaps(target);
+            } else {
+                tryStartReducers(target);
+            }
+        }
+    };
+    migrate(pendingMaps_, /*isMap=*/true);
+    if (terminal()) return;
+    migrate(pendingReducers_, /*isMap=*/false);
+}
+
 // ------------------------------------------------------------- map phase
 
 void MapReduceEngine::tryStartMaps(int nodeIdx) {
+    if (terminal()) return;
     auto& node = rt_.node(nodeIdx);
     auto& pending = pendingMaps_[static_cast<std::size_t>(nodeIdx)];
     while (node.freeMapSlots > 0 && !pending.empty()) {
         const int mapId = pending.front();
         pending.pop_front();
+        // A queued retry may have been completed by a straggling or
+        // speculative attempt in the meantime.
+        if (maps_[static_cast<std::size_t>(mapId)].done) continue;
         --node.freeMapSlots;
-        startMap(mapId);
+        startMapAttempt(mapId, nodeIdx, /*speculative=*/false);
     }
 }
 
-void MapReduceEngine::startMap(int mapId) {
+void MapReduceEngine::startMapAttempt(int mapId, int nodeIdx, bool speculative) {
     MapTask& task = maps_[static_cast<std::size_t>(mapId)];
-    auto& node = rt_.node(task.node);
-    // read input -> compute -> write map output -> done
-    node.disk->read(job_.inputBytesPerMap, [this, mapId] {
+    const int attemptId = task.attemptsLaunched++;
+
+    MapAttempt att;
+    att.node = nodeIdx;
+    att.crashEpoch = rt_.node(nodeIdx).crashEpoch;
+    att.startedAt = sim().now();
+    att.speculative = speculative;
+    att.watchdog = sim().schedule(job_.taskTimeout, [this, mapId, attemptId] {
+        onMapAttemptTimeout(mapId, attemptId);
+    });
+    activeMapAttempts_[attemptKey(mapId, attemptId)] = std::move(att);
+
+    // read input -> compute -> write map output -> done. Every stage checks
+    // the attempt is still live: a missing registry entry means the attempt
+    // was failed (crash, timeout) and this event is stale.
+    rt_.node(nodeIdx).disk->read(job_.inputBytesPerMap, [this, mapId, attemptId] {
+        if (activeMapAttempts_.find(attemptKey(mapId, attemptId)) == activeMapAttempts_.end()) {
+            return;
+        }
         // Real task durations are skewed; +/-5% jitter (seeded) keeps runs
         // deterministic per seed while letting repeat-seeds sample variance.
         const double jitter = sim().rng().uniform(0.95, 1.05);
         const Time cpu = Time::fromSeconds(
             (job_.mapCpuPerByte * job_.inputBytesPerMap).toSeconds() * jitter);
-        sim().schedule(cpu, [this, mapId] {
-            MapTask& t = maps_[static_cast<std::size_t>(mapId)];
-            rt_.node(t.node).disk->write(job_.mapOutputBytes(),
-                                         [this, mapId] { onMapDone(mapId); });
+        sim().schedule(cpu, [this, mapId, attemptId] {
+            const auto it = activeMapAttempts_.find(attemptKey(mapId, attemptId));
+            if (it == activeMapAttempts_.end()) return;
+            rt_.node(it->second.node)
+                .disk->write(job_.mapOutputBytes(),
+                             [this, mapId, attemptId] { onMapAttemptDone(mapId, attemptId); });
         });
     });
 }
 
-void MapReduceEngine::onMapDone(int mapId) {
+void MapReduceEngine::onMapAttemptDone(int mapId, int attemptId) {
+    const auto it = activeMapAttempts_.find(attemptKey(mapId, attemptId));
+    if (it == activeMapAttempts_.end()) return;  // stale: attempt was failed
+    MapAttempt att = std::move(it->second);
+    activeMapAttempts_.erase(it);
+    att.watchdog.cancel();
+
     MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    if (task.done) {
+        // Speculative loser (or a straggler that finished after a backup
+        // won): its output is discarded, the slot comes back.
+        metrics_.wastedBytes += job_.mapOutputBytes();
+        ++rt_.node(att.node).freeMapSlots;
+        rt_.notifySlotFreed(att.node);
+        return;
+    }
+
     task.done = true;
     task.doneAt = sim().now();
+    task.node = att.node;
     mapCompletionOrder_.push_back(mapId);
     ++completedMaps_;
+    mapDurationSumSec_ += (task.doneAt - att.startedAt).toSeconds();
+    if (task.failures > 0 || att.speculative) {
+        metrics_.recoveredBytes += job_.mapOutputBytes();
+    }
     if (completedMaps_ == 1) metrics_.firstMapDone = task.doneAt;
     if (completedMaps_ == job_.numMapTasks) metrics_.allMapsDone = task.doneAt;
 
-    ++rt_.node(task.node).freeMapSlots;
-    rt_.notifySlotFreed(task.node);
+    ++rt_.node(att.node).freeMapSlots;
+    rt_.notifySlotFreed(att.node);
 
     maybeStartReducers();
     for (int r = 0; r < job_.numReduceTasks; ++r) {
@@ -110,6 +243,101 @@ void MapReduceEngine::onMapDone(int mapId) {
             !reducers_[static_cast<std::size_t>(r)].done) {
             pumpFetches(r);
         }
+    }
+    checkForStragglers();
+}
+
+void MapReduceEngine::onMapAttemptTimeout(int mapId, int attemptId) {
+    const auto it = activeMapAttempts_.find(attemptKey(mapId, attemptId));
+    if (it == activeMapAttempts_.end()) return;
+    MapAttempt att = std::move(it->second);
+    activeMapAttempts_.erase(it);
+    ++metrics_.heartbeatTimeouts;
+
+    // The TaskTracker kills the overdue attempt, reclaiming its slot. Its
+    // still-scheduled disk/cpu events become stale no-ops.
+    if (rt_.nodeAlive(att.node)) {
+        ++rt_.node(att.node).freeMapSlots;
+        rt_.notifySlotFreed(att.node);
+    }
+
+    MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    if (task.done) return;  // a sibling attempt already produced the output
+    metrics_.wastedBytes += job_.mapOutputBytes();
+    failMapTask(mapId, "heartbeat timeout");
+}
+
+void MapReduceEngine::failMapTask(int mapId, const char* reason) {
+    MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    ++task.failures;
+    ++metrics_.mapRetries;
+    if (task.failures > job_.maxTaskRetries) {
+        abortJob("map " + std::to_string(mapId) + " failed " + std::to_string(task.failures) +
+                 " attempts (cap " + std::to_string(job_.maxTaskRetries + 1) +
+                 "); last error: " + reason);
+        return;
+    }
+    sim().schedule(backoffDelay(task.failures), [this, mapId] { requeueMap(mapId); });
+}
+
+void MapReduceEngine::requeueMap(int mapId) {
+    MapTask& task = maps_[static_cast<std::size_t>(mapId)];
+    if (terminal() || task.done) return;
+    const int target = pickLiveNode(task.homeNode + task.failures);
+    if (target < 0) {
+        abortJob("no live nodes left to re-execute map " + std::to_string(mapId));
+        return;
+    }
+    pendingMaps_[static_cast<std::size_t>(target)].push_back(mapId);
+    tryStartMaps(target);
+}
+
+void MapReduceEngine::checkForStragglers() {
+    if (!job_.speculativeExecution || terminal()) return;
+    if (completedMaps_ * 2 < job_.numMapTasks || completedMaps_ >= job_.numMapTasks) return;
+    const double meanSec = mapDurationSumSec_ / static_cast<double>(completedMaps_);
+    if (meanSec <= 0.0) return;
+
+    // Collect first (launching inserts into the registry and may rehash),
+    // sorted by task id so the scan order is platform-independent.
+    std::vector<std::pair<int, int>> candidates;  // (mapId, straggler node)
+    for (const auto& [key, att] : activeMapAttempts_) {
+        const int mapId = static_cast<int>(key >> 32);
+        const MapTask& t = maps_[static_cast<std::size_t>(mapId)];
+        if (t.done || t.speculated || att.speculative) continue;
+        const double ranSec = (sim().now() - att.startedAt).toSeconds();
+        if (ranSec > job_.speculativeSlowdown * meanSec) candidates.emplace_back(mapId, att.node);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    for (const auto& [mapId, stuckNode] : candidates) {
+        const int n = rt_.numNodes();
+        int target = -1;
+        for (int k = 1; k <= n; ++k) {
+            const int i = (stuckNode + k) % n;
+            if (i != stuckNode && rt_.nodeAlive(i) && rt_.node(i).freeMapSlots > 0) {
+                target = i;
+                break;
+            }
+        }
+        if (target < 0) continue;  // no spare capacity; try again later
+        maps_[static_cast<std::size_t>(mapId)].speculated = true;
+        ++metrics_.speculativeLaunches;
+        --rt_.node(target).freeMapSlots;
+        startMapAttempt(mapId, target, /*speculative=*/true);
+    }
+
+    // A straggler may only cross the threshold after the last normal map
+    // completes (when no further completion re-triggers this check), so
+    // keep polling until the map phase ends.
+    if (!stragglerPollArmed_) {
+        stragglerPollArmed_ = true;
+        const Time poll = Time::fromSeconds(
+            std::max(meanSec * (job_.speculativeSlowdown - 1.0) * 0.5, 1e-3));
+        sim().schedule(poll, [this] {
+            stragglerPollArmed_ = false;
+            checkForStragglers();
+        });
     }
 }
 
@@ -125,24 +353,94 @@ void MapReduceEngine::maybeStartReducers() {
 }
 
 void MapReduceEngine::tryStartReducers(int nodeIdx) {
-    if (!reducersReleased_) return;
+    if (!reducersReleased_ || terminal()) return;
     auto& node = rt_.node(nodeIdx);
     auto& pending = pendingReducers_[static_cast<std::size_t>(nodeIdx)];
     while (node.freeReduceSlots > 0 && !pending.empty()) {
         const int redId = pending.front();
         pending.pop_front();
+        const ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+        if (red.done || red.started) continue;  // duplicate queue entry
         --node.freeReduceSlots;
-        startReducer(redId);
+        startReduceAttempt(redId, nodeIdx);
     }
 }
 
-void MapReduceEngine::startReducer(int redId) {
-    reducers_[static_cast<std::size_t>(redId)].started = true;
+void MapReduceEngine::startReduceAttempt(int redId, int nodeIdx) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    red.node = nodeIdx;
+    red.started = true;
+    red.startedAt = red.lastProgressAt = sim().now();
+    armReduceWatchdog(redId, red.attempt);
     pumpFetches(redId);
+}
+
+void MapReduceEngine::armReduceWatchdog(int redId, int attemptId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    if (red.done || red.attempt != attemptId) return;
+    const Time deadline = red.lastProgressAt + job_.taskTimeout;
+    const Time now = sim().now();
+    red.watchdog =
+        sim().schedule(deadline > now ? deadline - now : Time::zero(), [this, redId, attemptId] {
+            ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+            if (r.done || r.attempt != attemptId) return;
+            if (sim().now() - r.lastProgressAt >= job_.taskTimeout) {
+                ++metrics_.heartbeatTimeouts;
+                failReduceAttempt(redId, "heartbeat timeout", /*freeSlot=*/true);
+            } else {
+                armReduceWatchdog(redId, attemptId);  // progress since; re-arm
+            }
+        });
+}
+
+void MapReduceEngine::failReduceAttempt(int redId, const char* reason, bool freeSlot) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    if (red.done) return;
+    red.watchdog.cancel();
+    ++red.failures;
+    ++metrics_.reduceRetries;
+    metrics_.wastedBytes += red.bytesFetched;
+
+    // Bumping the attempt id invalidates every outstanding fetch, disk and
+    // replica callback of this attempt; the re-execution starts clean.
+    ++red.attempt;
+    red.started = false;
+    red.orderIdx = 0;
+    red.activeFetches = 0;
+    red.fetchesDone = 0;
+    red.bytesFetched = 0;
+    red.replicasPending = 0;
+    red.localWriteDone = false;
+
+    const int oldNode = red.node;
+    if (red.failures > job_.maxTaskRetries) {
+        abortJob("reducer " + std::to_string(redId) + " failed " + std::to_string(red.failures) +
+                 " attempts (cap " + std::to_string(job_.maxTaskRetries + 1) +
+                 "); last error: " + std::string(reason));
+        return;
+    }
+    sim().schedule(backoffDelay(red.failures), [this, redId] { requeueReducer(redId); });
+    if (freeSlot && rt_.nodeAlive(oldNode)) {
+        ++rt_.node(oldNode).freeReduceSlots;
+        rt_.notifySlotFreed(oldNode);
+    }
+}
+
+void MapReduceEngine::requeueReducer(int redId) {
+    ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    if (terminal() || red.done || red.started) return;
+    const int target = pickLiveNode(red.homeNode + red.failures);
+    if (target < 0) {
+        abortJob("no live nodes left to re-execute reducer " + std::to_string(redId));
+        return;
+    }
+    pendingReducers_[static_cast<std::size_t>(target)].push_back(redId);
+    tryStartReducers(target);
 }
 
 void MapReduceEngine::pumpFetches(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    if (!red.started || red.done) return;
     while (red.activeFetches < job_.parallelFetchesPerReducer &&
            red.orderIdx < mapCompletionOrder_.size()) {
         const int mapId = mapCompletionOrder_[red.orderIdx++];
@@ -152,17 +450,25 @@ void MapReduceEngine::pumpFetches(int redId) {
 
 void MapReduceEngine::startFetch(int redId, int mapId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    const int attemptId = red.attempt;
     ++red.activeFetches;
     auto& rn = rt_.node(red.node);
     const MapTask& map = maps_[static_cast<std::size_t>(mapId)];
     const auto& mn = rt_.node(map.node);
 
     TcpCallbacks cb;
-    cb.onReceive = [this, redId](std::int64_t n) {
-        reducers_[static_cast<std::size_t>(redId)].bytesFetched += n;
+    cb.onReceive = [this, redId, attemptId](std::int64_t n) {
+        ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+        if (r.attempt != attemptId || r.done) return;
+        r.bytesFetched += n;
+        r.lastProgressAt = sim().now();
         metrics_.shuffleBytesMoved += n;
     };
-    cb.onPeerClosed = [this, redId, mapId] { onFetchComplete(redId, mapId); };
+    cb.onPeerClosed = [this, redId, attemptId, mapId] {
+        const ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+        if (r.attempt != attemptId || r.done) return;
+        onFetchComplete(redId, mapId);
+    };
 
     TcpConnection& conn = rn.stack->connect(mn.host->id(), shufflePort(), std::move(cb));
     pendingFetchSizes_[fetchKey(rn.host->id(), conn.localPort())] = job_.partitionBytes();
@@ -209,6 +515,7 @@ void MapReduceEngine::onFetchComplete(int redId, int mapId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     --red.activeFetches;
     ++red.fetchesDone;
+    red.lastProgressAt = sim().now();
     ++metrics_.fetchesCompleted;
     const auto key =
         (static_cast<std::uint64_t>(redId) << 32) | static_cast<std::uint32_t>(mapId);
@@ -225,40 +532,57 @@ void MapReduceEngine::onFetchComplete(int redId, int mapId) {
 
 void MapReduceEngine::startSortPhase(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    const int attemptId = red.attempt;
     const std::int64_t bytes = red.bytesFetched;
     // External merge: spill everything, read it back, then reduce-compute.
-    rt_.node(red.node).disk->write(bytes, [this, redId, bytes] {
+    rt_.node(red.node).disk->write(bytes, [this, redId, attemptId, bytes] {
         ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
-        rt_.node(r.node).disk->read(bytes, [this, redId, bytes] {
+        if (r.attempt != attemptId || r.done) return;
+        r.lastProgressAt = sim().now();
+        rt_.node(r.node).disk->read(bytes, [this, redId, attemptId, bytes] {
+            ReduceTask& r2 = reducers_[static_cast<std::size_t>(redId)];
+            if (r2.attempt != attemptId || r2.done) return;
+            r2.lastProgressAt = sim().now();
             const double jitter = sim().rng().uniform(0.95, 1.05);
             const Time cpu =
                 Time::fromSeconds((job_.reduceCpuPerByte * bytes).toSeconds() * jitter);
-            sim().schedule(cpu, [this, redId] { writeOutput(redId); });
+            sim().schedule(cpu, [this, redId, attemptId] {
+                ReduceTask& r3 = reducers_[static_cast<std::size_t>(redId)];
+                if (r3.attempt != attemptId || r3.done) return;
+                writeOutput(redId);
+            });
         });
     });
 }
 
 void MapReduceEngine::writeOutput(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
+    const int attemptId = red.attempt;
     auto& node = rt_.node(red.node);
     const auto outBytes = static_cast<std::int64_t>(
         static_cast<double>(red.bytesFetched) * job_.reduceOutputRatio);
 
     red.replicasPending = job_.outputReplication - 1;
     red.localWriteDone = false;
-    node.disk->write(outBytes, [this, redId] {
-        reducers_[static_cast<std::size_t>(redId)].localWriteDone = true;
+    red.lastProgressAt = sim().now();
+    node.disk->write(outBytes, [this, redId, attemptId] {
+        ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+        if (r.attempt != attemptId || r.done) return;
+        r.localWriteDone = true;
+        r.lastProgressAt = sim().now();
         maybeFinishReducer(redId);
     });
     // Extra replicas stream over TCP to the next nodes in ring order.
     for (int k = 1; k < job_.outputReplication; ++k) {
         const int target = (red.node + k) % rt_.numNodes();
         TcpCallbacks cb;
-        cb.onBytesAcked = [this, redId, outBytes](std::uint64_t acked) {
+        cb.onBytesAcked = [this, redId, attemptId, outBytes](std::uint64_t acked) {
             if (acked >= static_cast<std::uint64_t>(outBytes)) {
                 ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
+                if (r.attempt != attemptId || r.done) return;
                 if (r.replicasPending > 0) {
                     --r.replicasPending;
+                    r.lastProgressAt = sim().now();
                     maybeFinishReducer(redId);
                 }
             }
@@ -279,11 +603,15 @@ void MapReduceEngine::maybeFinishReducer(int redId) {
 void MapReduceEngine::onReducerDone(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     red.done = true;
+    red.watchdog.cancel();
     ++completedReducers_;
+    if (red.attempt > 0) metrics_.recoveredBytes += red.bytesFetched;
     if (completedReducers_ == 1) metrics_.firstReduceDone = sim().now();
 
-    ++rt_.node(red.node).freeReduceSlots;
-    rt_.notifySlotFreed(red.node);
+    if (rt_.nodeAlive(red.node)) {
+        ++rt_.node(red.node).freeReduceSlots;
+        rt_.notifySlotFreed(red.node);
+    }
 
     if (completedReducers_ == job_.numReduceTasks) {
         metrics_.jobEnd = sim().now();

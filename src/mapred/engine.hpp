@@ -6,6 +6,12 @@
 // mesh of TCP fetches. Several engines may share one ClusterRuntime (and
 // therefore slots, disks and stacks) to model mixed-use clusters; give
 // each concurrent job a distinct jobId so their service ports differ.
+//
+// Fault tolerance (Hadoop TaskTracker-style): every task attempt carries an
+// attempt id and a watchdog. Attempts lost to node crashes or heartbeat
+// timeouts are re-executed on another live node with exponential backoff;
+// exceeding the retry cap aborts the job with a clean error. Optional
+// speculative execution duplicates straggling maps (first finish wins).
 #pragma once
 
 #include <cstdint>
@@ -36,14 +42,20 @@ public:
     /// Launch the job at the current simulation time.
     void start();
 
-    /// Invoked (once) when the last reducer commits its output.
+    /// Invoked (once) when the job reaches a terminal state: the last
+    /// reducer commits its output, or the job aborts on the retry cap.
     void setOnComplete(std::function<void()> cb) { onComplete_ = std::move(cb); }
 
     bool finished() const { return metrics_.finished; }
+    /// Gave up: some task exhausted its retries (or no live node remained).
+    bool aborted() const { return metrics_.aborted; }
+    /// Finished or aborted — no more work will be scheduled.
+    bool terminal() const { return metrics_.finished || metrics_.aborted; }
     const JobMetrics& metrics() const { return metrics_; }
     const ClusterSpec& cluster() const { return rt_.spec(); }
     const JobSpec& job() const { return job_; }
     int jobId() const { return jobId_; }
+    ClusterRuntime& runtime() { return rt_; }
     std::uint16_t shufflePort() const {
         return static_cast<std::uint16_t>(kShufflePortBase + jobId_);
     }
@@ -62,15 +74,36 @@ public:
 
 private:
     struct MapTask {
-        int node = -1;
+        int homeNode = -1;  ///< input-block locality preference
+        int node = -1;      ///< node of the winning attempt once done
         bool done = false;
         Time doneAt;
+        int failures = 0;
+        int attemptsLaunched = 0;
+        bool speculated = false;  ///< a backup attempt has been launched
+    };
+
+    /// One in-flight execution of a map task. Completion/timeout events
+    /// look their attempt up here; a missing record means the attempt was
+    /// failed or superseded and the event is stale.
+    struct MapAttempt {
+        int node = -1;
+        std::uint32_t crashEpoch = 0;
+        Time startedAt;
+        bool speculative = false;
+        EventHandle watchdog;
     };
 
     struct ReduceTask {
+        int homeNode = -1;
         int node = -1;
         bool started = false;
         bool done = false;
+        int attempt = 0;  ///< bumped on failure; stale callbacks no-op
+        int failures = 0;
+        Time startedAt;
+        Time lastProgressAt;
+        EventHandle watchdog;
         std::size_t orderIdx = 0;  ///< cursor into mapCompletionOrder_
         int activeFetches = 0;
         int fetchesDone = 0;
@@ -81,13 +114,23 @@ private:
 
     // Map pipeline.
     void tryStartMaps(int nodeIdx);
-    void startMap(int mapId);
-    void onMapDone(int mapId);
+    void startMapAttempt(int mapId, int nodeIdx, bool speculative);
+    void onMapAttemptDone(int mapId, int attemptId);
+    void onMapAttemptTimeout(int mapId, int attemptId);
+    void failMapTask(int mapId, const char* reason);
+    void requeueMap(int mapId);
+    void checkForStragglers();
 
     // Reduce pipeline.
     void maybeStartReducers();
     void tryStartReducers(int nodeIdx);
-    void startReducer(int redId);
+    void startReduceAttempt(int redId, int nodeIdx);
+    void armReduceWatchdog(int redId, int attemptId);
+    void failReduceAttempt(int redId, const char* reason, bool freeSlot);
+    void requeueReducer(int redId);
+    void touchReducer(int redId) {
+        reducers_[static_cast<std::size_t>(redId)].lastProgressAt = sim().now();
+    }
     void pumpFetches(int redId);
     void startFetch(int redId, int mapId);
     void onFetchComplete(int redId, int mapId);
@@ -96,11 +139,22 @@ private:
     void maybeFinishReducer(int redId);
     void onReducerDone(int redId);
 
+    // Fault plumbing.
+    void onNodeCrashChanged(int nodeIdx, bool crashed);
+    void abortJob(const std::string& reason);
+    /// First live node at or after `preferred` (wrapping); -1 if none.
+    int pickLiveNode(int preferred) const;
+    Time backoffDelay(int failures) const;
+
     MapReduceEngine(std::unique_ptr<ClusterRuntime> owned, JobSpec job, int jobId);
     void initTasks();
 
     static std::uint64_t fetchKey(NodeId clientNode, std::uint16_t clientPort) {
         return (static_cast<std::uint64_t>(clientNode) << 16) | clientPort;
+    }
+    static std::uint64_t attemptKey(int mapId, int attemptId) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(mapId)) << 32) |
+               static_cast<std::uint32_t>(attemptId);
     }
     void installShuffleServer(int nodeIdx);
     void installReplicaSink(int nodeIdx);
@@ -116,6 +170,7 @@ private:
     std::vector<std::deque<int>> pendingReducers_;
     std::vector<MapTask> maps_;
     std::vector<ReduceTask> reducers_;
+    std::unordered_map<std::uint64_t, MapAttempt> activeMapAttempts_;
     std::vector<int> mapCompletionOrder_;
     std::unordered_map<std::uint64_t, std::int64_t> pendingFetchSizes_;
     /// (reducer, map) -> fetch start, for flow-completion-time accounting.
@@ -123,6 +178,8 @@ private:
     int completedMaps_ = 0;
     int completedReducers_ = 0;
     bool reducersReleased_ = false;
+    double mapDurationSumSec_ = 0.0;  ///< over completed maps (speculation)
+    bool stragglerPollArmed_ = false;
     JobMetrics metrics_;
     std::function<void()> onComplete_;
 };

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/sim/time.hpp"
@@ -16,6 +17,23 @@ struct JobMetrics {
     Time firstReduceDone;
     Time jobEnd;
     bool finished = false;
+    /// Retry cap exceeded (or no live node left): the job gave up.
+    bool aborted = false;
+    std::string abortReason;
+
+    // --- fault-tolerance accounting ---
+    std::uint32_t mapRetries = 0;         ///< failed map attempts re-queued
+    std::uint32_t reduceRetries = 0;      ///< failed reduce attempts re-queued
+    std::uint32_t heartbeatTimeouts = 0;  ///< attempts declared lost by watchdog
+    std::uint32_t tasksLostToCrashes = 0; ///< attempts killed by a node crash
+    std::uint32_t speculativeLaunches = 0;
+    /// Bytes produced/moved by attempts whose work was discarded (failed,
+    /// superseded or duplicate-finish) — the cost of recovery.
+    std::int64_t wastedBytes = 0;
+    /// Bytes successfully re-produced by retry attempts after a failure.
+    std::int64_t recoveredBytes = 0;
+
+    std::uint32_t taskRetries() const { return mapRetries + reduceRetries; }
 
     std::int64_t shuffleBytesMoved = 0;      ///< app-level fetched bytes
     std::int64_t replicationBytesMoved = 0;  ///< HDFS replica traffic

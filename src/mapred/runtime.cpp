@@ -22,6 +22,57 @@ ClusterRuntime::ClusterRuntime(Network& net, std::vector<HostNode*> hosts, Clust
     }
 }
 
+void ClusterRuntime::crashNode(int nodeIdx) {
+    NodeRuntime& n = node(nodeIdx);
+    if (!n.alive) return;
+    n.alive = false;
+    ++n.crashEpoch;
+    n.freeMapSlots = 0;
+    n.freeReduceSlots = 0;
+    ++net_.telemetry().faults().nodeCrashes;
+    for (auto& cb : crashObservers_) cb(nodeIdx, true);
+}
+
+void ClusterRuntime::recoverNode(int nodeIdx) {
+    NodeRuntime& n = node(nodeIdx);
+    if (n.alive) return;
+    n.alive = true;
+    n.freeMapSlots = spec_.mapSlotsPerNode;
+    n.freeReduceSlots = spec_.reduceSlotsPerNode;
+    ++net_.telemetry().faults().nodeRecoveries;
+    for (auto& cb : crashObservers_) cb(nodeIdx, false);
+    notifySlotFreed(nodeIdx);
+}
+
+int ClusterRuntime::liveNodes() const {
+    int live = 0;
+    for (const auto& n : nodes_) live += n.alive ? 1 : 0;
+    return live;
+}
+
+void installFaults(const FaultPlan& plan, ClusterRuntime& rt) {
+    Network& net = rt.network();
+    plan.install(net.sim(), [&net, &rt](const FaultEvent& e) {
+        switch (e.kind) {
+            case FaultKind::LinkDown:
+                net.setLinkUp(static_cast<std::size_t>(e.target), false);
+                break;
+            case FaultKind::LinkUp:
+                net.setLinkUp(static_cast<std::size_t>(e.target), true);
+                break;
+            case FaultKind::LinkDegrade:
+                net.setLinkLossRate(static_cast<std::size_t>(e.target), e.lossRate);
+                break;
+            case FaultKind::NodeCrash:
+                rt.crashNode(e.target);
+                break;
+            case FaultKind::NodeRecover:
+                rt.recoverNode(e.target);
+                break;
+        }
+    });
+}
+
 TcpConnStats ClusterRuntime::aggregateTcpStats() const {
     TcpConnStats agg;
     for (const auto& n : nodes_) {

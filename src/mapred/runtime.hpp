@@ -9,6 +9,7 @@
 #include "src/mapred/disk.hpp"
 #include "src/mapred/spec.hpp"
 #include "src/net/network.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/tcp/stack.hpp"
 
 namespace ecnsim {
@@ -21,6 +22,13 @@ public:
         std::unique_ptr<DiskModel> disk;
         int freeMapSlots = 0;
         int freeReduceSlots = 0;
+        /// False while the task host (TaskTracker) is crashed. The node's
+        /// NIC and served map outputs stay available — this models a
+        /// worker-process failure, not a machine power-off.
+        bool alive = true;
+        /// Bumped on every crash; task attempts record the epoch at launch
+        /// so completion events from a pre-crash attempt are discarded.
+        std::uint32_t crashEpoch = 0;
     };
 
     ClusterRuntime(Network& net, std::vector<HostNode*> hosts, ClusterSpec spec, TcpConfig tcp);
@@ -45,11 +53,31 @@ public:
         for (auto& cb : slotObservers_) cb(nodeIdx);
     }
 
+    // ------------------------------------------------------------- faults
+    /// Crash a task host: running attempts die (engines are notified),
+    /// slots vanish until recovery. Idempotent while already crashed.
+    void crashNode(int nodeIdx);
+    /// Restore a crashed host with its full slot complement.
+    void recoverNode(int nodeIdx);
+    bool nodeAlive(int nodeIdx) const { return node(nodeIdx).alive; }
+    int liveNodes() const;
+
+    /// Crash/recovery notifications (`crashed` tells which transition).
+    void addCrashObserver(std::function<void(int nodeIdx, bool crashed)> cb) {
+        crashObservers_.push_back(std::move(cb));
+    }
+
 private:
     Network& net_;
     ClusterSpec spec_;
     std::vector<NodeRuntime> nodes_;
     std::vector<std::function<void(int)>> slotObservers_;
+    std::vector<std::function<void(int, bool)>> crashObservers_;
 };
+
+/// Bind a FaultPlan to a concrete cluster: link events resolve against
+/// `rt.network()` link indices, node events against runtime node indices.
+/// Schedules everything on the network's simulator; call before running.
+void installFaults(const FaultPlan& plan, ClusterRuntime& rt);
 
 }  // namespace ecnsim

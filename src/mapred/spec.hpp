@@ -51,6 +51,26 @@ struct JobSpec {
     /// (mapreduce.job.reduce.slowstart.completedmaps).
     double reduceSlowstart = 0.05;
 
+    // --- fault tolerance (mapred.map.max.attempts-style knobs) ---
+    /// Re-executions allowed per task beyond the first attempt; one more
+    /// failure aborts the whole job with a clean error.
+    int maxTaskRetries = 3;
+    /// Heartbeat deadline: a map attempt that has not completed — or a
+    /// reduce attempt that has made no progress — for this long is declared
+    /// lost and re-executed. Generous by default so healthy runs never trip.
+    Time taskTimeout = Time::seconds(60);
+    /// Exponential re-execution backoff: attempt k of a task waits
+    /// retryBackoffBase * 2^(k-1), capped at retryBackoffMax.
+    Time retryBackoffBase = Time::milliseconds(100);
+    Time retryBackoffMax = Time::seconds(5);
+    /// Straggler mitigation: duplicate a lagging map attempt on another
+    /// node, first completion wins (Hadoop speculative execution). Off by
+    /// default so healthy-fabric experiments are unperturbed.
+    bool speculativeExecution = false;
+    /// A running map is a straggler once it exceeds this multiple of the
+    /// mean completed-map duration (and at least half the maps are done).
+    double speculativeSlowdown = 1.5;
+
     std::int64_t mapOutputBytes() const {
         return static_cast<std::int64_t>(static_cast<double>(inputBytesPerMap) * mapOutputRatio);
     }
@@ -66,6 +86,14 @@ struct JobSpec {
         if (inputBytesPerMap <= 0) throw std::invalid_argument("job needs input bytes");
         if (outputReplication < 1) throw std::invalid_argument("replication >= 1");
         if (parallelFetchesPerReducer < 1) throw std::invalid_argument("parallel copies >= 1");
+        if (maxTaskRetries < 0) throw std::invalid_argument("maxTaskRetries >= 0");
+        if (taskTimeout <= Time::zero()) throw std::invalid_argument("taskTimeout must be > 0");
+        if (retryBackoffBase <= Time::zero() || retryBackoffMax < retryBackoffBase) {
+            throw std::invalid_argument("retry backoff must satisfy 0 < base <= max");
+        }
+        if (speculativeSlowdown <= 1.0) {
+            throw std::invalid_argument("speculativeSlowdown must be > 1");
+        }
     }
 };
 

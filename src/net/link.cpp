@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/net/node.hpp"
+#include "src/net/telemetry.hpp"
 
 namespace ecnsim {
 
@@ -12,28 +13,73 @@ Port::Port(Simulator& sim, Bandwidth rate, Time propagationDelay, std::unique_pt
     assert(!rate_.isZero() && "port requires a non-zero rate");
 }
 
+void Port::recordFault(const Packet& pkt, std::uint64_t& localCounter,
+                       std::uint64_t FaultCounters::* bucket) {
+    ++localCounter;
+    if (telemetry_ != nullptr) telemetry_->recordFaultDrop(pkt, bucket);
+}
+
 EnqueueOutcome Port::send(PacketPtr pkt) {
+    if (!up_) {
+        // The NIC/ASIC knows the carrier is gone: refuse without charging
+        // the queue discipline's statistics.
+        recordFault(*pkt, faultRejectedSends_, &FaultCounters::rejectedSends);
+        return EnqueueOutcome::DroppedOverflow;
+    }
     const auto outcome = queue_->enqueue(std::move(pkt), sim_.now());
     if (!isDrop(outcome)) tryTransmit();
     return outcome;
 }
 
+void Port::setUp(bool up) {
+    if (up == up_) return;
+    up_ = up;
+    if (!up_) {
+        ++flapEpoch_;
+        // Purge the queue: anything buffered behind a dead carrier is lost.
+        while (PacketPtr pkt = queue_->dequeue(sim_.now())) {
+            recordFault(*pkt, faultQueuePurgeDrops_, &FaultCounters::queuePurgeDrops);
+        }
+    } else {
+        tryTransmit();
+    }
+}
+
 void Port::tryTransmit() {
-    if (busy_ || queue_->empty()) return;
+    if (busy_ || !up_ || queue_->empty()) return;
     PacketPtr pkt = queue_->dequeue(sim_.now());
     if (!pkt) return;
     busy_ = true;
     bytesTx_ += static_cast<std::uint64_t>(pkt->sizeBytes);
     ++pktsTx_;
     const Time serialization = rate_.transmissionTime(pkt->sizeBytes);
-    sim_.schedule(serialization, [this, pkt = std::move(pkt)]() mutable {
+    const std::uint64_t epoch = flapEpoch_;
+    sim_.schedule(serialization, [this, epoch, pkt = std::move(pkt)]() mutable {
         busy_ = false;
+        if (flapEpoch_ != epoch) {
+            // The link dropped while the packet was being serialized.
+            recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
+            tryTransmit();
+            return;
+        }
+        if (lossRate_ > 0.0 && sim_.rng().uniform01() < lossRate_) {
+            // Degraded link: frame corrupted on the wire, receiver CRC fails.
+            recordFault(*pkt, faultRandomLossDrops_, &FaultCounters::randomLossDrops);
+            tryTransmit();
+            return;
+        }
         // Wire flight: after the propagation delay the peer sees the packet.
         if (peer_ != nullptr) {
             Node* peer = peer_;
             const int inPort = peerInPort_;
             pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
-            sim_.schedule(propagationDelay_, [peer, inPort, pkt = std::move(pkt)]() mutable {
+            sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
+                                              pkt = std::move(pkt)]() mutable {
+                if (flapEpoch_ != epoch) {
+                    // Lost mid-flight: the link went down under the packet.
+                    recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
+                    return;
+                }
                 peer->handleReceive(std::move(pkt), inPort);
             });
         }

@@ -14,12 +14,20 @@
 namespace ecnsim {
 
 class Node;
+class NetworkTelemetry;
+struct FaultCounters;
 
 /// One direction of a point-to-point link: queue + serializer + wire.
 ///
 /// send() enqueues through the attached AQM; the transmitter drains the
 /// queue at line rate and delivers each packet to the peer after the
 /// propagation delay.
+///
+/// Fault model: a port can be administratively down (link flap) or
+/// degraded (random per-packet loss). Taking a port down purges its queue,
+/// rejects further sends, and loses packets already on the wire — each
+/// lost packet is counted exactly once in the attached telemetry's
+/// FaultCounters and in the port-local fault counters.
 class Port {
 public:
     Port(Simulator& sim, Bandwidth rate, Time propagationDelay, std::unique_ptr<Queue> queue);
@@ -32,8 +40,24 @@ public:
         peerInPort_ = peerInPort;
     }
 
-    /// Offer a packet for transmission; returns the queue's decision.
+    /// Where fault drops are recorded (set by Network::connect; may be
+    /// null for standalone ports in unit tests).
+    void attachTelemetry(NetworkTelemetry* t) { telemetry_ = t; }
+
+    /// Offer a packet for transmission; returns the queue's decision. A
+    /// downed port refuses the packet (DroppedOverflow) without touching
+    /// the queue's own statistics.
     EnqueueOutcome send(PacketPtr pkt);
+
+    /// Operational state. Taking the port down drops everything queued and
+    /// in flight; bringing it up resumes transmission immediately.
+    bool up() const { return up_; }
+    void setUp(bool up);
+
+    /// Degraded-link loss: each packet completing serialization is dropped
+    /// with this probability (drawn from the simulator's seeded Rng).
+    void setLossRate(double p) { lossRate_ = p; }
+    double lossRate() const { return lossRate_; }
 
     Queue& queue() { return *queue_; }
     const Queue& queue() const { return *queue_; }
@@ -45,8 +69,21 @@ public:
     std::uint64_t bytesTransmitted() const { return bytesTx_; }
     std::uint64_t packetsTransmitted() const { return pktsTx_; }
 
+    // Port-local fault accounting (ground truth the telemetry aggregates
+    // must reconcile with).
+    std::uint64_t faultRejectedSends() const { return faultRejectedSends_; }
+    std::uint64_t faultQueuePurgeDrops() const { return faultQueuePurgeDrops_; }
+    std::uint64_t faultInFlightDrops() const { return faultInFlightDrops_; }
+    std::uint64_t faultRandomLossDrops() const { return faultRandomLossDrops_; }
+    std::uint64_t faultDropsTotal() const {
+        return faultRejectedSends_ + faultQueuePurgeDrops_ + faultInFlightDrops_ +
+               faultRandomLossDrops_;
+    }
+
 private:
     void tryTransmit();
+    void recordFault(const Packet& pkt, std::uint64_t& localCounter,
+                     std::uint64_t FaultCounters::* bucket);
 
     Simulator& sim_;
     Bandwidth rate_;
@@ -54,9 +91,19 @@ private:
     std::unique_ptr<Queue> queue_;
     Node* peer_ = nullptr;
     int peerInPort_ = -1;
+    NetworkTelemetry* telemetry_ = nullptr;
     bool busy_ = false;
+    bool up_ = true;
+    double lossRate_ = 0.0;
+    /// Incremented on every down transition; packets record the epoch when
+    /// they start serialization and are lost if it changed mid-flight.
+    std::uint64_t flapEpoch_ = 0;
     std::uint64_t bytesTx_ = 0;
     std::uint64_t pktsTx_ = 0;
+    std::uint64_t faultRejectedSends_ = 0;
+    std::uint64_t faultQueuePurgeDrops_ = 0;
+    std::uint64_t faultInFlightDrops_ = 0;
+    std::uint64_t faultRandomLossDrops_ = 0;
 };
 
 }  // namespace ecnsim

@@ -31,9 +31,51 @@ std::pair<int, int> Network::connect(Node& a, Node& b, Bandwidth rate, Time dela
     const int pb = b.addPort(std::make_unique<Port>(sim_, rate, delay, queueAtB()));
     a.port(static_cast<std::size_t>(pa)).connectTo(&b, pb);
     b.port(static_cast<std::size_t>(pb)).connectTo(&a, pa);
+    a.port(static_cast<std::size_t>(pa)).attachTelemetry(&telemetry_);
+    b.port(static_cast<std::size_t>(pb)).attachTelemetry(&telemetry_);
     adjacency_[a.id()].emplace_back(pa, b.id());
     adjacency_[b.id()].emplace_back(pb, a.id());
+    links_.push_back(LinkEnds{a.id(), pa, b.id(), pb});
     return {pa, pb};
+}
+
+std::pair<Port*, Port*> Network::linkPorts(std::size_t i) {
+    const LinkEnds& l = links_.at(i);
+    return {&nodes_.at(l.a)->port(static_cast<std::size_t>(l.aPort)),
+            &nodes_.at(l.b)->port(static_cast<std::size_t>(l.bPort))};
+}
+
+void Network::setLinkUp(std::size_t i, bool up) {
+    const auto [pa, pb] = linkPorts(i);
+    if (pa->up() == up && pb->up() == up) return;
+    pa->setUp(up);
+    pb->setUp(up);
+    if (up) {
+        ++telemetry_.faults().linkUpEvents;
+    } else {
+        ++telemetry_.faults().linkDownEvents;
+    }
+}
+
+bool Network::linkUp(std::size_t i) {
+    const auto [pa, pb] = linkPorts(i);
+    return pa->up() && pb->up();
+}
+
+void Network::setLinkLossRate(std::size_t i, double p) {
+    const auto [pa, pb] = linkPorts(i);
+    pa->setLossRate(p);
+    pb->setLossRate(p);
+}
+
+std::uint64_t Network::portFaultDropsTotal() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+        for (std::size_t p = 0; p < node->numPorts(); ++p) {
+            total += node->port(p).faultDropsTotal();
+        }
+    }
+    return total;
 }
 
 void Network::installRoutes() {

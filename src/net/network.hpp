@@ -14,6 +14,16 @@ namespace ecnsim {
 
 class Network {
 public:
+    /// One full-duplex link, indexed in creation order. For buildStar,
+    /// link i is host i's access link; buildLeafSpine creates all host
+    /// access links first (in host order), then leaf-spine uplinks.
+    struct LinkEnds {
+        NodeId a = 0;
+        int aPort = -1;
+        NodeId b = 0;
+        int bPort = -1;
+    };
+
     explicit Network(Simulator& sim) : sim_(sim) {}
 
     Network(const Network&) = delete;
@@ -55,6 +65,23 @@ public:
     /// Per-run connection/flow id source (deterministic, starts at 1).
     std::uint32_t allocateFlowId() { return nextFlowId_++; }
 
+    // ------------------------------------------------------ fault surface
+    std::size_t numLinks() const { return links_.size(); }
+    const LinkEnds& link(std::size_t i) const { return links_.at(i); }
+    /// Both directions of link i. Throws std::out_of_range on a bad index.
+    std::pair<Port*, Port*> linkPorts(std::size_t i);
+
+    /// Take both directions of a link down (purging queues and losing
+    /// in-flight packets) or bring them back up. Counted in telemetry.
+    void setLinkUp(std::size_t i, bool up);
+    bool linkUp(std::size_t i);
+    /// Per-packet random loss on both directions (0 restores the link).
+    void setLinkLossRate(std::size_t i, double p);
+
+    /// Sum of the per-port fault-drop counters over every port in the
+    /// network — the ground truth telemetry's FaultCounters must match.
+    std::uint64_t portFaultDropsTotal() const;
+
 private:
     friend class HostNode;
 
@@ -65,6 +92,7 @@ private:
     std::vector<SwitchNode*> switches_;
     // adjacency: for each node, list of (port index, neighbor id)
     std::vector<std::vector<std::pair<int, NodeId>>> adjacency_;
+    std::vector<LinkEnds> links_;
     std::uint32_t nextFlowId_ = 1;
 };
 

@@ -36,14 +36,37 @@ void SwitchNode::handleReceive(PacketPtr pkt, int /*inPort*/) {
         throw std::logic_error("switch " + label() + ": no route to node " +
                                std::to_string(pkt->dst));
     }
+    // Fault awareness: only consider operational egress ports (no extra
+    // work on the hot path while every candidate is up). With every
+    // candidate down the packet blackholes (counted, never silent).
+    bool anyDown = false;
+    for (const int c : candidates) {
+        if (!port(static_cast<std::size_t>(c)).up()) {
+            anyDown = true;
+            break;
+        }
+    }
+    const std::vector<int>* pool = &candidates;
+    std::vector<int> live;
+    if (anyDown) {
+        live.reserve(candidates.size());
+        for (const int c : candidates) {
+            if (port(static_cast<std::size_t>(c)).up()) live.push_back(c);
+        }
+        if (live.empty()) {
+            net_.telemetry().recordFaultDrop(*pkt, &FaultCounters::noRouteDrops);
+            return;
+        }
+        pool = &live;
+    }
     // Deterministic per-flow ECMP: hash the flow id, not the packet, so a
     // connection's packets stay in order.
     std::size_t idx = 0;
-    if (candidates.size() > 1) {
+    if (pool->size() > 1) {
         std::uint64_t h = pkt->flowId * 0x9E3779B97F4A7C15ull;
-        idx = static_cast<std::size_t>(h >> 32) % candidates.size();
+        idx = static_cast<std::size_t>(h >> 32) % pool->size();
     }
-    port(static_cast<std::size_t>(candidates[idx])).send(std::move(pkt));
+    port(static_cast<std::size_t>((*pool)[idx])).send(std::move(pkt));
 }
 
 }  // namespace ecnsim

@@ -22,6 +22,11 @@ void NetworkTelemetry::recordDelivered(const Packet& p, Time now) {
     latencyHist_->add(us);
 }
 
+void NetworkTelemetry::recordFaultDrop(const Packet& p, std::uint64_t FaultCounters::* bucket) {
+    ++(faults_.*bucket);
+    faults_.bytesLost += static_cast<std::uint64_t>(p.sizeBytes);
+}
+
 double NetworkTelemetry::latencyQuantileUs(double q) const { return latencyHist_->quantile(q); }
 
 void NetworkTelemetry::reset() {
@@ -29,6 +34,7 @@ void NetworkTelemetry::reset() {
     for (auto& s : latencyByClass_) s = RunningStats{};
     latencyHist_ = std::make_unique<Histogram>(kHistLimitUs, kHistBins);
     injected_ = delivered_ = bytesDelivered_ = 0;
+    faults_ = FaultCounters{};
 }
 
 }  // namespace ecnsim

@@ -12,12 +12,38 @@
 
 namespace ecnsim {
 
+/// Network-wide fault accounting: every packet lost to an injected fault
+/// (as opposed to an AQM/buffer decision) is counted in exactly one of the
+/// drop buckets, so the totals reconcile against injected/delivered counts.
+struct FaultCounters {
+    std::uint64_t rejectedSends = 0;    ///< enqueue refused: port was down
+    std::uint64_t queuePurgeDrops = 0;  ///< queued packets flushed on link-down
+    std::uint64_t inFlightDrops = 0;    ///< packets on the wire when it went down
+    std::uint64_t randomLossDrops = 0;  ///< degraded-link per-packet loss
+    std::uint64_t noRouteDrops = 0;     ///< switch had only downed egress ports
+    std::uint64_t bytesLost = 0;        ///< wire bytes across all buckets above
+    std::uint64_t linkDownEvents = 0;
+    std::uint64_t linkUpEvents = 0;
+    std::uint64_t nodeCrashes = 0;
+    std::uint64_t nodeRecoveries = 0;
+
+    std::uint64_t totalDrops() const {
+        return rejectedSends + queuePurgeDrops + inFlightDrops + randomLossDrops + noRouteDrops;
+    }
+};
+
 class NetworkTelemetry {
 public:
     NetworkTelemetry();
 
     void recordInjected(const Packet& p);
     void recordDelivered(const Packet& p, Time now);
+
+    /// A packet consumed by an injected fault. The bucket is chosen by the
+    /// caller (Port / SwitchNode); `bytesLost` accumulates automatically.
+    void recordFaultDrop(const Packet& p, std::uint64_t FaultCounters::* bucket);
+    FaultCounters& faults() { return faults_; }
+    const FaultCounters& faults() const { return faults_; }
 
     /// Latency over every delivered packet (what Fig. 4 plots).
     const RunningStats& latencyAll() const { return latencyAll_; }
@@ -40,6 +66,7 @@ private:
     std::uint64_t injected_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t bytesDelivered_ = 0;
+    FaultCounters faults_;
 };
 
 }  // namespace ecnsim

@@ -1,0 +1,166 @@
+#include "src/sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace ecnsim {
+
+namespace {
+
+std::string stripSpace(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream is(s);
+    while (std::getline(is, cur, sep)) {
+        if (!cur.empty()) out.push_back(cur);
+    }
+    return out;
+}
+
+[[noreturn]] void fail(const std::string& clause, const std::string& why) {
+    throw std::invalid_argument("bad fault clause '" + clause + "': " + why);
+}
+
+int parseIndex(const std::string& clause, const std::string& val) {
+    char* end = nullptr;
+    const long v = std::strtol(val.c_str(), &end, 10);
+    if (val.empty() || end == nullptr || *end != '\0' || v < 0) {
+        fail(clause, "expected a non-negative integer, got: " + val);
+    }
+    return static_cast<int>(v);
+}
+
+}  // namespace
+
+Time FaultPlan::parseDuration(const std::string& s) {
+    if (s.empty()) throw std::invalid_argument("empty duration");
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(s, &pos);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("bad duration: " + s);
+    }
+    const std::string unit = s.substr(pos);
+    if (unit == "ns") return Time::nanoseconds(static_cast<std::int64_t>(value));
+    if (unit == "us") return Time::fromSeconds(value * 1e-6);
+    if (unit == "ms") return Time::fromSeconds(value * 1e-3);
+    if (unit == "s") return Time::fromSeconds(value);
+    throw std::invalid_argument("duration needs a unit suffix (ns|us|ms|s): " + s);
+}
+
+void FaultPlan::add(FaultEvent e) {
+    if (e.at.isNegative()) throw std::invalid_argument("fault scheduled at negative time");
+    if (e.target < 0) throw std::invalid_argument("fault target must be >= 0");
+    // Insert keeping (time, insertion order): later adds at an equal
+    // timestamp land after existing ones, so install() order == add order.
+    const auto it = std::upper_bound(
+        events_.begin(), events_.end(), e,
+        [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    events_.insert(it, e);
+}
+
+void FaultPlan::addLinkDown(Time at, int link) {
+    add(FaultEvent{at, FaultKind::LinkDown, link, 0.0});
+}
+
+void FaultPlan::addLinkFlap(Time at, int link, Time downFor) {
+    if (downFor <= Time::zero()) throw std::invalid_argument("flap duration must be positive");
+    add(FaultEvent{at, FaultKind::LinkDown, link, 0.0});
+    add(FaultEvent{at + downFor, FaultKind::LinkUp, link, 0.0});
+}
+
+void FaultPlan::addLinkLoss(Time at, int link, double lossRate, Time duration) {
+    if (lossRate < 0.0 || lossRate > 1.0) {
+        throw std::invalid_argument("loss rate must be in [0, 1]");
+    }
+    add(FaultEvent{at, FaultKind::LinkDegrade, link, lossRate});
+    if (duration > Time::zero()) {
+        add(FaultEvent{at + duration, FaultKind::LinkDegrade, link, 0.0});
+    }
+}
+
+void FaultPlan::addNodeCrash(Time at, int node, Time downFor) {
+    add(FaultEvent{at, FaultKind::NodeCrash, node, 0.0});
+    if (downFor > Time::zero()) {
+        add(FaultEvent{at + downFor, FaultKind::NodeRecover, node, 0.0});
+    }
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+    FaultPlan plan;
+    for (const std::string& clause : split(stripSpace(spec), ';')) {
+        const auto at = clause.find('@');
+        if (at == std::string::npos) fail(clause, "expected <verb>@<time>");
+        const std::string verb = clause.substr(0, at);
+
+        const auto fields = split(clause.substr(at + 1), ':');
+        if (fields.empty()) fail(clause, "missing timestamp");
+        const Time when = parseDuration(fields[0]);
+
+        int link = -1, node = -1;
+        double p = -1.0;
+        Time forDur = Time::zero();
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+            const auto eq = fields[i].find('=');
+            if (eq == std::string::npos) fail(clause, "expected key=value: " + fields[i]);
+            const std::string key = fields[i].substr(0, eq);
+            const std::string val = fields[i].substr(eq + 1);
+            if (key == "link") link = parseIndex(clause, val);
+            else if (key == "node") node = parseIndex(clause, val);
+            else if (key == "p") p = std::atof(val.c_str());
+            else if (key == "for") forDur = parseDuration(val);
+            else fail(clause, "unknown key: " + key);
+        }
+
+        if (verb == "flap") {
+            if (link < 0) fail(clause, "flap needs link=<i>");
+            if (forDur <= Time::zero()) fail(clause, "flap needs for=<dur>");
+            plan.addLinkFlap(when, link, forDur);
+        } else if (verb == "down") {
+            if (link < 0) fail(clause, "down needs link=<i>");
+            plan.addLinkDown(when, link);
+        } else if (verb == "loss") {
+            if (link < 0) fail(clause, "loss needs link=<i>");
+            if (p < 0.0) fail(clause, "loss needs p=<prob>");
+            plan.addLinkLoss(when, link, p, forDur);
+        } else if (verb == "crash") {
+            if (node < 0) fail(clause, "crash needs node=<i>");
+            plan.addNodeCrash(when, node, forDur);
+        } else {
+            fail(clause, "unknown verb (flap|down|loss|crash)");
+        }
+    }
+    return plan;
+}
+
+std::string FaultPlan::describe() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const FaultEvent& e = events_[i];
+        if (i) os << "; ";
+        os << faultKindName(e.kind) << '@' << e.at.toString() << " #" << e.target;
+        if (e.kind == FaultKind::LinkDegrade) os << " p=" << e.lossRate;
+    }
+    return os.str();
+}
+
+void FaultPlan::install(Simulator& sim, Applier apply) const {
+    for (const FaultEvent& e : events_) {
+        sim.scheduleAt(e.at, [e, apply] { apply(e); });
+    }
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,92 @@
+// FaultPlan: a deterministic schedule of infrastructure faults.
+//
+// The plan itself is model-agnostic — it is a time-ordered list of fault
+// events naming abstract targets (link indices, node indices). A binding
+// layer (see installFaults in src/mapred/runtime.hpp) interprets the
+// targets against a concrete Network/ClusterRuntime. Keeping the plan in
+// src/sim lets unit tests and future backends reuse the grammar and the
+// scheduling without pulling in the packet model.
+//
+// All randomness implied by a fault (e.g. per-packet loss on a degraded
+// link) is drawn from the Simulator's seeded Rng at packet time, so a
+// (config, fault spec, seed) triple fully determines a run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+enum class FaultKind : std::uint8_t {
+    LinkDown,     ///< both directions of a link stop carrying packets
+    LinkUp,       ///< link restored
+    LinkDegrade,  ///< per-packet random loss at `lossRate` (0 clears it)
+    NodeCrash,    ///< task host crashes: running tasks die, slots vanish
+    NodeRecover,  ///< crashed host rejoins with full slots
+};
+
+constexpr std::string_view faultKindName(FaultKind k) {
+    switch (k) {
+        case FaultKind::LinkDown: return "link-down";
+        case FaultKind::LinkUp: return "link-up";
+        case FaultKind::LinkDegrade: return "link-degrade";
+        case FaultKind::NodeCrash: return "node-crash";
+        case FaultKind::NodeRecover: return "node-recover";
+    }
+    return "?";
+}
+
+/// One scheduled fault. `target` is a link index (creation order — for a
+/// star fabric link i is host i's access link) or a node index.
+struct FaultEvent {
+    Time at;
+    FaultKind kind = FaultKind::LinkDown;
+    int target = 0;
+    double lossRate = 0.0;  ///< only meaningful for LinkDegrade
+};
+
+/// A deterministic, time-sorted schedule of faults.
+///
+/// Spec grammar (semicolon-separated clauses, whitespace ignored):
+///   flap@<time>:link=<i>:for=<dur>        down then up after <dur>
+///   down@<time>:link=<i>                  permanent link failure
+///   loss@<time>:link=<i>:p=<prob>[:for=<dur>]   random per-packet drop
+///   crash@<time>:node=<i>[:for=<dur>]     task-host crash (recover after)
+/// Durations take a unit suffix: ns, us, ms, s (e.g. "500ms", "2s").
+class FaultPlan {
+public:
+    void addLinkFlap(Time at, int link, Time downFor);
+    void addLinkDown(Time at, int link);
+    void addLinkLoss(Time at, int link, double lossRate, Time duration = Time::zero());
+    void addNodeCrash(Time at, int node, Time downFor = Time::zero());
+    void add(FaultEvent e);
+
+    /// Parse the spec grammar above; throws std::invalid_argument on error.
+    static FaultPlan parse(const std::string& spec);
+
+    /// Duration-aware helper: "2s" -> Time::seconds(2). Throws on junk.
+    static Time parseDuration(const std::string& s);
+
+    std::string describe() const;
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+    /// Events sorted by (time, insertion order).
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    using Applier = std::function<void(const FaultEvent&)>;
+
+    /// Schedule every event on `sim`. Events at equal timestamps fire in
+    /// plan order (the scheduler's sequence-number tie-break).
+    void install(Simulator& sim, Applier apply) const;
+
+private:
+    std::vector<FaultEvent> events_;  // kept sorted by add()
+};
+
+}  // namespace ecnsim

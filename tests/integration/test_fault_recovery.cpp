@@ -1,0 +1,137 @@
+// End-to-end fault recovery: a Terasort shuffle rides through a link flap
+// on TCP's own retransmission machinery (no task retries needed), the job
+// finishes within a fixed factor of the fault-free runtime, and every
+// fault counter reconciles against the packets actually lost — no packet
+// disappears without being counted exactly once.
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/aqm/factory.hpp"
+#include "src/mapred/engine.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct RecoveryRun {
+    RecoveryRun(const std::string& faults, std::uint64_t seed = 5) : sim(seed), net(sim) {
+        // The paper's recommended remedy: RED with ACK+SYN protection.
+        QueueConfig q;
+        q.kind = QueueKind::Red;
+        q.capacityPackets = 100;
+        q.targetDelay = 500_us;
+        q.linkRate = Bandwidth::gigabitsPerSecond(1);
+        q.protection = ProtectionMode::ProtectAckSyn;
+        q.ecnEnabled = true;
+        TopologyConfig topo;
+        topo.linkRate = q.linkRate;
+        topo.linkDelay = 5_us;
+        topo.switchQueue = makeQueueFactory(q, sim.rng());
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hosts = buildStar(net, kNodes, topo);
+
+        ClusterSpec cluster;
+        cluster.numNodes = kNodes;
+        job = terasortJob(kNodes, 4 * 1024 * 1024, cluster.mapSlotsPerNode,
+                          cluster.reduceSlotsPerNode);
+        engine = std::make_unique<MapReduceEngine>(net, hosts, cluster, job,
+                                                   TcpConfig::forTransport(TransportKind::EcnTcp));
+        engine->setOnComplete([this] { sim.stop(); });
+        if (!faults.empty()) installFaults(FaultPlan::parse(faults), engine->runtime());
+        engine->start();
+        sim.runUntil(120_s);
+    }
+
+    static constexpr int kNodes = 6;
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hosts;
+    JobSpec job;
+    std::unique_ptr<MapReduceEngine> engine;
+};
+
+// One mid-shuffle flap of host 2's access link (buildStar: link i = host
+// i's access link): down long enough to kill in-flight segments and force
+// RTO recovery on every connection crossing it.
+constexpr const char* kFlap = "flap@60ms:link=2:for=50ms";
+
+TEST(FaultRecovery, FlappedShuffleFinishesWithinFactorOfCleanRun) {
+    RecoveryRun clean("");
+    RecoveryRun flapped(kFlap);
+
+    ASSERT_TRUE(clean.engine->finished());
+    ASSERT_TRUE(flapped.engine->finished());
+    EXPECT_FALSE(flapped.engine->aborted());
+
+    const double cleanSec = clean.engine->metrics().runtime().toSeconds();
+    const double flappedSec = flapped.engine->metrics().runtime().toSeconds();
+    // TCP retransmission absorbs the flap: well within a fixed factor.
+    // (The flap can even come out slightly faster — lossier dynamics shift
+    // the AQM's marking pattern — so no lower bound is asserted.)
+    EXPECT_LT(flappedSec, 4.0 * cleanSec);
+
+    // The flap really bit (in-flight segments died), and recovery came
+    // from the transport, not from task re-execution.
+    EXPECT_GT(flapped.net.telemetry().faults().totalDrops(), 0u);
+    EXPECT_EQ(flapped.engine->metrics().taskRetries(), 0u);
+    EXPECT_GT(flapped.engine->aggregateTcpStats().retransmits, 0u);
+
+    // The full dataset still crossed the wire, exactly once at app level.
+    EXPECT_EQ(flapped.engine->metrics().shuffleBytesMoved, flapped.job.totalShuffleBytes());
+}
+
+TEST(FaultRecovery, EveryFaultCounterReconciles) {
+    RecoveryRun flapped(kFlap);
+    ASSERT_TRUE(flapped.engine->finished());
+
+    const auto& faults = flapped.net.telemetry().faults();
+    EXPECT_GT(faults.totalDrops(), 0u);
+    EXPECT_EQ(faults.linkDownEvents, 1u);
+    EXPECT_EQ(faults.linkUpEvents, 1u);
+    EXPECT_EQ(faults.nodeCrashes, 0u);
+
+    // Bucket sum is the definition of totalDrops(); cross-check the
+    // per-port counters against the shared telemetry bucket totals.
+    EXPECT_EQ(flapped.net.portFaultDropsTotal() + faults.noRouteDrops, faults.totalDrops());
+
+    // Packet conservation with faults in the ledger: every injected packet
+    // was delivered, dropped by a queue decision, or consumed by the fault
+    // — and all queues drained at quiescence.
+    std::uint64_t queueDrops = 0;
+    for (const Queue* sq : flapped.net.switchQueues()) {
+        queueDrops += sq->stats().total().dropped();
+        EXPECT_EQ(sq->lengthPackets(), 0u);
+    }
+    for (auto* h : flapped.hosts) {
+        queueDrops += h->port(0).queue().stats().total().dropped();
+        EXPECT_EQ(h->port(0).queue().lengthPackets(), 0u);
+    }
+    const auto& tel = flapped.net.telemetry();
+    EXPECT_EQ(tel.packetsInjected(),
+              tel.packetsDelivered() + queueDrops + faults.totalDrops());
+}
+
+TEST(FaultRecovery, CleanRunHasEmptyFaultLedger) {
+    RecoveryRun clean("");
+    ASSERT_TRUE(clean.engine->finished());
+    const auto& faults = clean.net.telemetry().faults();
+    EXPECT_EQ(faults.totalDrops(), 0u);
+    EXPECT_EQ(faults.linkDownEvents, 0u);
+    EXPECT_EQ(clean.net.portFaultDropsTotal(), 0u);
+}
+
+TEST(FaultRecovery, FlappedRunIsDeterministic) {
+    auto fingerprint = [] {
+        RecoveryRun run(kFlap, /*seed=*/21);
+        const auto& faults = run.net.telemetry().faults();
+        return std::make_tuple(run.engine->metrics().runtime().ns(), run.sim.eventsExecuted(),
+                               faults.totalDrops(), faults.inFlightDrops,
+                               run.engine->aggregateTcpStats().retransmits);
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,190 @@
+// Fault-tolerance behaviour of the MapReduce engine: crashed tasks are
+// re-executed with backoff, the retry cap aborts the job cleanly, reducers
+// survive crashes mid-shuffle, and stragglers get speculative backups.
+// Every scenario is seeded and deterministic.
+#include "src/mapred/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/aqm/droptail.hpp"
+#include "src/net/topology.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+struct FaultyFixture {
+    FaultyFixture(int nodes, JobSpec job, std::uint64_t seed = 1) : sim(seed), net(sim) {
+        TopologyConfig topo;
+        topo.linkRate = Bandwidth::gigabitsPerSecond(1);
+        topo.linkDelay = 5_us;
+        topo.switchQueue = [] { return std::make_unique<DropTailQueue>(500); };
+        topo.hostQueue = [] { return std::make_unique<DropTailQueue>(2000); };
+        hosts = buildStar(net, nodes, topo);
+        ClusterSpec cluster;
+        cluster.numNodes = nodes;
+        engine = std::make_unique<MapReduceEngine>(net, hosts, cluster, job,
+                                                   TcpConfig::forTransport(TransportKind::EcnTcp));
+        engine->setOnComplete([this] { sim.stop(); });
+    }
+
+    void run(Time horizon = Time::seconds(120)) {
+        engine->start();
+        sim.runUntil(horizon);
+    }
+
+    Simulator sim;
+    Network net;
+    std::vector<HostNode*> hosts;
+    std::unique_ptr<MapReduceEngine> engine;
+};
+
+JobSpec smallJob(int nodes) { return terasortJob(nodes, 2 * 1024 * 1024, 2, 1); }
+
+TEST(TaskRetry, CrashedMapsReExecutedElsewhere) {
+    FaultyFixture f(4, smallJob(4));
+    FaultPlan plan;
+    plan.addNodeCrash(3_ms, 1);  // mid-map-phase, never recovers
+    installFaults(plan, f.engine->runtime());
+    f.run();
+
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_FALSE(f.engine->aborted());
+    EXPECT_EQ(f.engine->completedMaps(), 8);
+    EXPECT_EQ(f.engine->completedReducers(), 4);
+    const auto& m = f.engine->metrics();
+    EXPECT_GE(m.tasksLostToCrashes, 1u);
+    EXPECT_GE(m.mapRetries, 1u);
+    EXPECT_GE(m.recoveredBytes, smallJob(4).mapOutputBytes());
+    EXPECT_GE(m.wastedBytes, smallJob(4).mapOutputBytes());
+    // Every surviving task ran on a live node.
+    EXPECT_EQ(f.engine->runtime().liveNodes(), 3);
+    EXPECT_EQ(f.net.telemetry().faults().nodeCrashes, 1u);
+}
+
+TEST(TaskRetry, RetryWaitsForExponentialBackoff) {
+    // With a 2 s backoff base the re-executed maps cannot finish before
+    // ~2 s; with a 1 ms base the same job finishes in well under a second.
+    auto runWithBackoff = [](Time base) {
+        JobSpec job = smallJob(4);
+        job.retryBackoffBase = base;
+        job.retryBackoffMax = Time::seconds(4);
+        FaultyFixture f(4, job);
+        FaultPlan plan;
+        plan.addNodeCrash(3_ms, 1);
+        installFaults(plan, f.engine->runtime());
+        f.run();
+        EXPECT_TRUE(f.engine->finished());
+        EXPECT_GE(f.engine->metrics().mapRetries, 1u);
+        return f.engine->metrics().allMapsDone;
+    };
+    const Time slow = runWithBackoff(Time::seconds(2));
+    const Time fast = runWithBackoff(Time::milliseconds(1));
+    EXPECT_GE(slow, Time::seconds(2));
+    EXPECT_LT(fast, Time::seconds(1));
+}
+
+TEST(TaskRetry, RetryCapAbortsJobWithCleanError) {
+    JobSpec job = smallJob(4);
+    job.taskTimeout = Time::milliseconds(1);  // every attempt times out
+    job.maxTaskRetries = 2;
+    FaultyFixture f(4, job);
+    f.run(Time::seconds(60));
+
+    EXPECT_TRUE(f.engine->aborted());
+    EXPECT_FALSE(f.engine->finished());
+    EXPECT_TRUE(f.engine->terminal());
+    const auto& m = f.engine->metrics();
+    EXPECT_NE(m.abortReason.find("map"), std::string::npos);
+    EXPECT_GE(m.mapRetries, 3u);  // cap + 1 failures on the aborting task
+    EXPECT_GE(m.heartbeatTimeouts, 3u);
+    // The abort happened long before the horizon: watchdogs + backoff only.
+    EXPECT_LT(f.sim.now(), Time::seconds(10));
+}
+
+TEST(TaskRetry, ReducerCrashMidShuffleRecovers) {
+    FaultyFixture f(4, smallJob(4));
+    FaultPlan plan;
+    plan.addNodeCrash(25_ms, 2);  // maps are done, shuffle is in flight
+    installFaults(plan, f.engine->runtime());
+    f.run();
+
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->completedReducers(), 4);
+    const auto& m = f.engine->metrics();
+    EXPECT_GE(m.reduceRetries, 1u);
+    EXPECT_GE(m.tasksLostToCrashes, 1u);
+    // The whole dataset still reached the reducers, fetch-by-fetch, with
+    // the lost reducer's partial shuffle counted as waste.
+    EXPECT_GE(m.shuffleBytesMoved, smallJob(4).totalShuffleBytes());
+}
+
+TEST(TaskRetry, CrashAndRecoveryRestoresCapacity) {
+    JobSpec job = smallJob(2);
+    FaultyFixture f(2, job);
+    FaultPlan plan;
+    plan.addNodeCrash(2_ms, 1, /*downFor=*/50_ms);
+    installFaults(plan, f.engine->runtime());
+    f.run();
+
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->runtime().liveNodes(), 2);
+    EXPECT_EQ(f.net.telemetry().faults().nodeCrashes, 1u);
+    EXPECT_EQ(f.net.telemetry().faults().nodeRecoveries, 1u);
+}
+
+TEST(TaskRetry, SpeculativeBackupBeatsStraggler) {
+    JobSpec job = smallJob(4);
+    job.speculativeExecution = true;
+    FaultyFixture f(4, job);
+    // Clog node 0's disk so its two maps straggle deterministically.
+    f.engine->runtime().node(0).disk->write(400 * 1024 * 1024, [] {});
+    f.run();
+
+    ASSERT_TRUE(f.engine->finished());
+    const auto& m = f.engine->metrics();
+    EXPECT_GE(m.speculativeLaunches, 1u);
+    EXPECT_GE(m.recoveredBytes, job.mapOutputBytes());
+    EXPECT_EQ(f.engine->completedMaps(), 8);
+}
+
+TEST(TaskRetry, NoSpeculationByDefault) {
+    FaultyFixture f(4, smallJob(4));
+    f.engine->runtime().node(0).disk->write(400 * 1024 * 1024, [] {});
+    f.run();
+    ASSERT_TRUE(f.engine->finished());
+    EXPECT_EQ(f.engine->metrics().speculativeLaunches, 0u);
+}
+
+TEST(TaskRetry, FaultRunsAreDeterministic) {
+    auto runOnce = [] {
+        JobSpec job = smallJob(4);
+        FaultyFixture f(4, job, /*seed=*/42);
+        FaultPlan plan;
+        plan.addNodeCrash(3_ms, 1, 40_ms);
+        plan.addLinkFlap(10_ms, 2, 5_ms);
+        installFaults(plan, f.engine->runtime());
+        f.run();
+        const auto& m = f.engine->metrics();
+        return std::make_tuple(m.runtime().ns(), f.sim.eventsExecuted(), m.mapRetries,
+                               m.reduceRetries, m.wastedBytes, m.recoveredBytes,
+                               f.net.telemetry().faults().totalDrops());
+    };
+    EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST(TaskRetry, FaultFreeRunsHaveZeroFaultMetrics) {
+    FaultyFixture f(4, smallJob(4));
+    f.run();
+    ASSERT_TRUE(f.engine->finished());
+    const auto& m = f.engine->metrics();
+    EXPECT_EQ(m.taskRetries(), 0u);
+    EXPECT_EQ(m.heartbeatTimeouts, 0u);
+    EXPECT_EQ(m.wastedBytes, 0);
+    EXPECT_EQ(m.recoveredBytes, 0);
+    EXPECT_EQ(f.net.telemetry().faults().totalDrops(), 0u);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -107,6 +107,103 @@ TEST_F(LinkFixture, TelemetryTracksLatency) {
     EXPECT_DOUBLE_EQ(net.telemetry().latencyOf(PacketClass::Probe).mean(), 17.0);
 }
 
+TEST_F(LinkFixture, DownedLinkRejectsNewSends) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);
+    int delivered = 0;
+    receiver->setDeliveryHandler([&](PacketPtr) { ++delivered; });
+    net.setLinkUp(0, false);
+    sender->inject(probe(1500));
+    sender->inject(probe(1500));
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(sender->port(0).faultRejectedSends(), 2u);
+    EXPECT_EQ(net.telemetry().faults().rejectedSends, 2u);
+    // Rejections are fault drops, not queue-overflow drops.
+    EXPECT_EQ(sender->port(0).queue().stats().of(PacketClass::Probe).droppedOverflow, 0u);
+}
+
+TEST_F(LinkFixture, DownPurgesQueuedPacketsOnce) {
+    makePair(Bandwidth::megabitsPerSecond(10), 1_us);  // slow: packets queue up
+    int delivered = 0;
+    receiver->setDeliveryHandler([&](PacketPtr) { ++delivered; });
+    for (int i = 0; i < 5; ++i) sender->inject(probe(1500));
+    // One packet serializing, four queued behind it.
+    sim.schedule(10_us, [&] { net.setLinkUp(0, false); });
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+    const auto& faults = net.telemetry().faults();
+    EXPECT_EQ(sender->port(0).faultQueuePurgeDrops(), 4u);
+    EXPECT_EQ(sender->port(0).faultInFlightDrops(), 1u);
+    EXPECT_EQ(faults.queuePurgeDrops, 4u);
+    EXPECT_EQ(faults.inFlightDrops, 1u);
+    EXPECT_EQ(faults.totalDrops(), 5u);  // every packet accounted exactly once
+}
+
+TEST_F(LinkFixture, FlapDropsInFlightExactlyOnceThenRecovers) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);  // 12us serialization
+    std::vector<Time> arrivals;
+    receiver->setDeliveryHandler([&](PacketPtr) { arrivals.push_back(sim.now()); });
+    sender->inject(probe(1500));
+    sim.schedule(2_us, [&] { net.setLinkUp(0, false); });  // mid-serialization
+    sim.schedule(50_us, [&] { net.setLinkUp(0, true); });
+    sim.schedule(60_us, [&] { sender->inject(probe(1500)); });
+    sim.run();
+    // The first packet died once (in flight); the second sailed through.
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0], 77_us);  // 60 + 12 serialization + 5 propagation
+    EXPECT_EQ(sender->port(0).faultInFlightDrops(), 1u);
+    EXPECT_EQ(net.telemetry().faults().inFlightDrops, 1u);
+    EXPECT_EQ(net.telemetry().faults().totalDrops(), 1u);
+    EXPECT_EQ(net.linkUp(0), true);
+}
+
+TEST_F(LinkFixture, PropagatingPacketDroppedWhenLinkDies) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us);
+    int delivered = 0;
+    receiver->setDeliveryHandler([&](PacketPtr) { ++delivered; });
+    sender->inject(probe(1500));
+    // Serialization ends at 12us; kill the link while the bits are in the
+    // air (before the 17us delivery).
+    sim.schedule(14_us, [&] { net.setLinkUp(0, false); });
+    sim.run();
+    EXPECT_EQ(delivered, 0);
+    EXPECT_EQ(sender->port(0).faultInFlightDrops(), 1u);
+    EXPECT_EQ(net.telemetry().faults().totalDrops(), 1u);
+}
+
+TEST_F(LinkFixture, RandomLossIsSeededAndCounted) {
+    makePair(Bandwidth::gigabitsPerSecond(1), 5_us, /*cap=*/500);
+    int delivered = 0;
+    receiver->setDeliveryHandler([&](PacketPtr) { ++delivered; });
+    net.setLinkLossRate(0, 0.5);
+    for (int i = 0; i < 200; ++i) sender->inject(probe(1500));
+    sim.run();
+    const auto dropped = net.telemetry().faults().randomLossDrops;
+    EXPECT_EQ(delivered + static_cast<int>(dropped), 200);
+    EXPECT_GT(dropped, 50u);  // ~100 expected at p=0.5
+    EXPECT_LT(dropped, 150u);
+    // Clearing the rate stops the losses.
+    net.setLinkLossRate(0, 0.0);
+    delivered = 0;
+    const auto before = net.telemetry().faults().randomLossDrops;
+    for (int i = 0; i < 50; ++i) sender->inject(probe(1500));
+    sim.run();
+    EXPECT_EQ(delivered, 50);
+    EXPECT_EQ(net.telemetry().faults().randomLossDrops, before);
+}
+
+TEST_F(LinkFixture, PortCountersReconcileWithTelemetry) {
+    makePair(Bandwidth::megabitsPerSecond(10), 1_us);
+    receiver->setDeliveryHandler([](PacketPtr) {});
+    for (int i = 0; i < 8; ++i) sender->inject(probe(1500));
+    sim.schedule(10_us, [&] { net.setLinkUp(0, false); });
+    sim.schedule(20_us, [&] { sender->inject(probe(1500)); });  // rejected
+    sim.run();
+    EXPECT_EQ(net.portFaultDropsTotal(), net.telemetry().faults().totalDrops());
+    EXPECT_GT(net.telemetry().faults().totalDrops(), 0u);
+    EXPECT_EQ(net.telemetry().faults().linkDownEvents, 1u);
+}
+
 TEST_F(LinkFixture, HopCountIncrements) {
     makePair(Bandwidth::gigabitsPerSecond(1), 1_us);
     std::uint8_t hops = 0;

@@ -1,0 +1,109 @@
+#include "src/sim/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(FaultPlan, ParseDuration) {
+    EXPECT_EQ(FaultPlan::parseDuration("500ns"), Time::nanoseconds(500));
+    EXPECT_EQ(FaultPlan::parseDuration("250us"), Time::microseconds(250));
+    EXPECT_EQ(FaultPlan::parseDuration("40ms"), Time::milliseconds(40));
+    EXPECT_EQ(FaultPlan::parseDuration("2s"), Time::seconds(2));
+    EXPECT_THROW(FaultPlan::parseDuration(""), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parseDuration("12"), std::invalid_argument);    // no unit
+    EXPECT_THROW(FaultPlan::parseDuration("ms"), std::invalid_argument);    // no number
+    EXPECT_THROW(FaultPlan::parseDuration("5 parsecs"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FlapExpandsToDownAndUp) {
+    FaultPlan p;
+    p.addLinkFlap(1_s, 3, 500_ms);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.events()[0].kind, FaultKind::LinkDown);
+    EXPECT_EQ(p.events()[0].at, Time::seconds(1));
+    EXPECT_EQ(p.events()[0].target, 3);
+    EXPECT_EQ(p.events()[1].kind, FaultKind::LinkUp);
+    EXPECT_EQ(p.events()[1].at, Time::seconds(1) + Time::milliseconds(500));
+}
+
+TEST(FaultPlan, EventsKeptTimeSorted) {
+    FaultPlan p;
+    p.addLinkDown(3_s, 0);
+    p.addNodeCrash(1_s, 2);
+    p.addLinkFlap(2_s, 1, 100_ms);
+    Time prev = Time::zero();
+    for (const FaultEvent& e : p.events()) {
+        EXPECT_LE(prev, e.at);
+        prev = e.at;
+    }
+    EXPECT_EQ(p.events().front().kind, FaultKind::NodeCrash);
+}
+
+TEST(FaultPlan, ParseFullGrammar) {
+    const FaultPlan p = FaultPlan::parse(
+        "flap@2s:link=3:for=500ms; down@10s:link=1;"
+        "loss@1s:link=0:p=0.05:for=3s; crash@4s:node=2:for=6s");
+    // flap -> 2 events, down -> 1, loss-with-duration -> 2, crash-with -> 2.
+    EXPECT_EQ(p.size(), 7u);
+    int crashes = 0, recovers = 0, degrades = 0;
+    for (const FaultEvent& e : p.events()) {
+        if (e.kind == FaultKind::NodeCrash) ++crashes;
+        if (e.kind == FaultKind::NodeRecover) ++recovers;
+        if (e.kind == FaultKind::LinkDegrade) ++degrades;
+        if (e.kind == FaultKind::LinkDegrade && e.at == Time::seconds(1)) {
+            EXPECT_DOUBLE_EQ(e.lossRate, 0.05);
+        }
+    }
+    EXPECT_EQ(crashes, 1);
+    EXPECT_EQ(recovers, 1);
+    EXPECT_EQ(degrades, 2);  // set at 1s, cleared (p=0) at 4s
+}
+
+TEST(FaultPlan, ParseRejectsJunk) {
+    EXPECT_THROW(FaultPlan::parse("flap@2s"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("explode@2s:link=1"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("down@2s:link=x"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("loss@1s:link=0:p=1.5"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("flap@2s:link=1:for=100"), std::invalid_argument);
+}
+
+TEST(FaultPlan, ParseEmptySpecYieldsEmptyPlan) {
+    EXPECT_TRUE(FaultPlan::parse("").empty());
+    EXPECT_TRUE(FaultPlan::parse(" ; ; ").empty());
+}
+
+TEST(FaultPlan, InstallFiresInOrderWithTies) {
+    // Two events at the same timestamp must fire in plan order.
+    FaultPlan p;
+    p.addLinkDown(1_s, 7);
+    p.addNodeCrash(1_s, 4);
+    p.addLinkFlap(500_ms, 0, 500_ms);  // up-event also lands at 1s
+
+    Simulator sim(1);
+    std::vector<FaultKind> fired;
+    p.install(sim, [&](const FaultEvent& e) { fired.push_back(e.kind); });
+    sim.run();
+
+    ASSERT_EQ(fired.size(), 4u);
+    EXPECT_EQ(fired[0], FaultKind::LinkDown);  // 500ms flap-down
+    // The three 1s events in plan (= sorted insertion) order:
+    EXPECT_EQ(fired[1], FaultKind::LinkDown);
+    EXPECT_EQ(fired[2], FaultKind::NodeCrash);
+    EXPECT_EQ(fired[3], FaultKind::LinkUp);
+}
+
+TEST(FaultPlan, DescribeMentionsEveryEvent) {
+    const FaultPlan p = FaultPlan::parse("crash@4s:node=2;down@1s:link=0");
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("node-crash"), std::string::npos);
+    EXPECT_NE(d.find("link-down"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnsim

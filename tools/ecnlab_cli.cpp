@@ -2,9 +2,14 @@
 //
 //   ecnlab run   [--transport X] [--queue Y] [--protection Z] [--target-us N]
 //                [--buffers shallow|deep] [--nodes N] [--input-mb N]
-//                [--seed N] [--repeats N] [--ecnpp] [--leafspine] [--csv]
+//                [--seed N] [--repeats N] [--ecnpp] [--leafspine]
+//                [--faults SPEC] [--max-retries N] [--task-timeout-ms N]
+//                [--speculative] [--csv] [--json]
 //   ecnlab sweep [--buffers shallow|deep] [--csv]      # the paper grid
 //   ecnlab list                                        # enumerate knobs
+//
+// --faults takes a ';'-separated FaultPlan spec, e.g.
+//   --faults 'flap@2s:link=3:for=500ms;crash@1s:node=2:for=10s'
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -14,6 +19,7 @@
 #include "src/core/report.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/series.hpp"
+#include "src/sim/fault_plan.hpp"
 
 using namespace ecnsim;
 
@@ -72,7 +78,11 @@ ProtectionMode parseProtection(const std::string& s) {
     throw std::invalid_argument("unknown protection: " + s + " (default|ece|acksyn)");
 }
 
-void printResult(const ExperimentResult& r, bool csv) {
+void printResult(const ExperimentResult& r, bool csv, bool json) {
+    if (json) {
+        std::printf("%s\n", resultToJson(r).c_str());
+        return;
+    }
     if (csv) {
         std::printf(
             "name,runtime_s,tput_mbps,lat_us,p99_us,fct_p99_us,ack_drop_pct,syn_retries,"
@@ -95,6 +105,18 @@ void printResult(const ExperimentResult& r, bool csv) {
     t.addRow({"SYN retries", std::to_string(r.synRetries)});
     t.addRow({"RTO events", std::to_string(r.rtoEvents)});
     t.addRow({"CE marks", std::to_string(r.ceMarks)});
+    if (r.jobFailed) t.addRow({"job FAILED", r.jobError});
+    if (r.faultDrops || r.linkFlaps || r.nodeCrashes || r.taskRetries) {
+        t.addRow({"fault drops", std::to_string(r.faultDrops)});
+        t.addRow({"link flaps / crashes",
+                  std::to_string(r.linkFlaps) + " / " + std::to_string(r.nodeCrashes)});
+        t.addRow({"task retries", std::to_string(r.taskRetries)});
+        t.addRow({"wasted / recovered MB",
+                  TextTable::num(static_cast<double>(r.wastedBytes) / (1024.0 * 1024.0), 1) +
+                      " / " +
+                      TextTable::num(static_cast<double>(r.recoveredBytes) / (1024.0 * 1024.0),
+                                     1)});
+    }
     t.print(std::cout);
 }
 
@@ -122,9 +144,19 @@ int cmdRun(const Args& a) {
         cfg.leafSpine = LeafSpineShape{.racks = 2, .hostsPerRack = scale.numNodes / 2,
                                        .spines = 2};
     }
+    cfg.faultSpec = a.get("faults", "");
+    if (a.has("faults")) {
+        FaultPlan::parse(cfg.faultSpec);  // validate the grammar up front
+    }
+    cfg.job.maxTaskRetries = static_cast<int>(a.getInt("max-retries", cfg.job.maxTaskRetries));
+    if (a.has("task-timeout-ms")) {
+        cfg.job.taskTimeout = Time::milliseconds(a.getInt("task-timeout-ms", 60000));
+    }
+    cfg.job.speculativeExecution = a.has("speculative");
     cfg.name = std::string(transportKindName(cfg.transport)) + "/" + cfg.switchQueue.describe() +
                "/" + std::string(bufferProfileName(cfg.buffers));
-    printResult(runExperimentCached(cfg), a.has("csv"));
+    if (!cfg.faultSpec.empty()) cfg.name += "/faults";
+    printResult(runExperimentCached(cfg), a.has("csv"), a.has("json"));
     return 0;
 }
 
@@ -158,7 +190,9 @@ int cmdList() {
     for (const auto s : kAllSeries) std::printf(" %s", paperSeriesName(s).c_str());
     std::printf("\ntargets    :");
     for (const auto t : paperTargetDelays()) std::printf(" %s", t.toString().c_str());
-    std::printf("\nenv        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
+    std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
+                "| crash@T:node=I[:for=D]  (';'-separated)\n");
+    std::printf("env        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
                 "ECNSIM_GBPS ECNSIM_CACHE_DIR\n");
     return 0;
 }

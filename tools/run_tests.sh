@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 test runner: builds and runs the full suite twice — once plain,
+# once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DECNSIM_SANITIZE=address,undefined). Pass --plain or --sanitize to
+# run just one leg. Extra args after -- go to ctest (e.g. -R FaultPlan).
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+legs=(plain sanitize)
+ctest_args=()
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --plain)    legs=(plain); shift ;;
+        --sanitize) legs=(sanitize); shift ;;
+        --)         shift; ctest_args=("$@"); break ;;
+        *)          echo "usage: $0 [--plain|--sanitize] [-- <ctest args>]" >&2; exit 2 ;;
+    esac
+done
+
+run_leg() {
+    local leg="$1" dir flags=()
+    if [[ "$leg" == sanitize ]]; then
+        dir="$repo/build-asan"
+        flags=(-DECNSIM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    else
+        dir="$repo/build"
+    fi
+    echo "==> [$leg] configure + build ($dir)"
+    cmake -B "$dir" -S "$repo" "${flags[@]}" >/dev/null
+    cmake --build "$dir" -j "$jobs"
+    echo "==> [$leg] ctest"
+    ( cd "$dir" && ctest --output-on-failure -j "$jobs" "${ctest_args[@]}" )
+}
+
+for leg in "${legs[@]}"; do
+    run_leg "$leg"
+done
+echo "==> all legs passed: ${legs[*]}"
