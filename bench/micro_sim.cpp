@@ -14,8 +14,20 @@ namespace {
 using namespace ecnsim;
 using namespace ecnsim::time_literals;
 
+SchedulerKind kindArg(std::int64_t v) {
+    if (v == 1) return SchedulerKind::Calendar;
+    if (v == 2) return SchedulerKind::FlatHeap;
+    return SchedulerKind::BinaryHeap;
+}
+
+const char* kindLabel(SchedulerKind k) {
+    if (k == SchedulerKind::Calendar) return "calendar";
+    if (k == SchedulerKind::FlatHeap) return "flat-heap";
+    return "binary-heap";
+}
+
 void BM_EventLoopThroughput(benchmark::State& state) {
-    const auto kind = state.range(1) == 1 ? SchedulerKind::Calendar : SchedulerKind::BinaryHeap;
+    const auto kind = kindArg(state.range(1));
     for (auto _ : state) {
         Simulator sim(1, kind);
         const int n = static_cast<int>(state.range(0));
@@ -27,18 +39,20 @@ void BM_EventLoopThroughput(benchmark::State& state) {
         benchmark::DoNotOptimize(fired);
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
-    state.SetLabel(kind == SchedulerKind::Calendar ? "calendar" : "binary-heap");
+    state.SetLabel(kindLabel(kind));
 }
 BENCHMARK(BM_EventLoopThroughput)
     ->Args({10'000, 0})
     ->Args({100'000, 0})
     ->Args({10'000, 1})
-    ->Args({100'000, 1});
+    ->Args({100'000, 1})
+    ->Args({10'000, 2})
+    ->Args({100'000, 2});
 
 // Steady-state pattern closer to a packet simulation: a rolling horizon of
 // pending events, one pop triggering one push.
 void BM_EventLoopRollingHorizon(benchmark::State& state) {
-    const auto kind = state.range(0) == 1 ? SchedulerKind::Calendar : SchedulerKind::BinaryHeap;
+    const auto kind = kindArg(state.range(0));
     for (auto _ : state) {
         Simulator sim(1, kind);
         int remaining = 200'000;
@@ -54,9 +68,9 @@ void BM_EventLoopRollingHorizon(benchmark::State& state) {
         benchmark::DoNotOptimize(remaining);
     }
     state.SetItemsProcessed(state.iterations() * 200'000);
-    state.SetLabel(kind == SchedulerKind::Calendar ? "calendar" : "binary-heap");
+    state.SetLabel(kindLabel(kind));
 }
-BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1);
+BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_EventScheduleCancel(benchmark::State& state) {
     Simulator sim(1);

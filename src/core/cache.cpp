@@ -61,6 +61,8 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "synRetries") in >> r.synRetries;
         else if (field == "ecnCwndCuts") in >> r.ecnCwndCuts;
         else if (field == "eventsExecuted") in >> r.eventsExecuted;
+        else if (field == "packetsDelivered") in >> r.packetsDelivered;
+        else if (field == "telemetryDigest") in >> r.telemetryDigest;
         else {
             std::string skip;
             in >> skip;
@@ -114,7 +116,9 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "rtoEvents " << r.rtoEvents << '\n'
             << "synRetries " << r.synRetries << '\n'
             << "ecnCwndCuts " << r.ecnCwndCuts << '\n'
-            << "eventsExecuted " << r.eventsExecuted << '\n';
+            << "eventsExecuted " << r.eventsExecuted << '\n'
+            << "packetsDelivered " << r.packetsDelivered << '\n'
+            << "telemetryDigest " << r.telemetryDigest << '\n';
 }
 
 }  // namespace ecnsim

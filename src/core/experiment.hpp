@@ -101,6 +101,11 @@ struct ExperimentResult {
     std::uint64_t ecnCwndCuts = 0;
 
     std::uint64_t eventsExecuted = 0;
+    std::uint64_t packetsDelivered = 0;
+    /// 64-bit hash folded over the run's telemetry stream (see
+    /// NetworkTelemetry::digest); identical config + seed => identical
+    /// digest, regardless of worker-thread count or host.
+    std::uint64_t telemetryDigest = 0;
 
     // Fault-injection accounting (zero on fault-free runs).
     std::uint64_t faultDrops = 0;  ///< packets lost to injected faults

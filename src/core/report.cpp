@@ -120,6 +120,8 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     integer("synRetries", r.synRetries);
     integer("ecnCwndCuts", r.ecnCwndCuts);
     integer("eventsExecuted", r.eventsExecuted);
+    integer("packetsDelivered", r.packetsDelivered);
+    integer("telemetryDigest", r.telemetryDigest);
     integer("faultDrops", r.faultDrops);
     integer("linkFlaps", r.linkFlaps);
     integer("nodeCrashes", r.nodeCrashes);

@@ -4,6 +4,7 @@
 
 #include "src/aqm/droptail.hpp"
 #include "src/core/cache.hpp"
+#include "src/net/telemetry.hpp"
 #include "src/mapred/engine.hpp"
 #include "src/net/topology.hpp"
 
@@ -13,7 +14,7 @@ std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v7|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v8|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -104,6 +105,8 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     r.synRetries = tcp.synRetries;
     r.ecnCwndCuts = tcp.ecnCwndCuts;
     r.eventsExecuted = sim.eventsExecuted();
+    r.packetsDelivered = tel.packetsDelivered();
+    r.telemetryDigest = tel.digest();
 
     const FaultCounters& faults = tel.faults();
     r.faultDrops = faults.totalDrops();
@@ -126,7 +129,10 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         return static_cast<std::uint64_t>(static_cast<double>(acc) / n + 0.5);
     };
     std::uint64_t ackD = 0, ackO = 0, dataD = 0, dataO = 0, synD = 0, synO = 0, marks = 0;
-    std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0;
+    std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0, pkts = 0;
+    // Digests cannot be averaged: fold them in run order (deterministic —
+    // repeats run in seed order) so the aggregate is itself a digest.
+    std::uint64_t digest = NetworkTelemetry::kDigestSeed;
     std::uint64_t fDrops = 0, flaps = 0, crashes = 0, retries = 0, hbeats = 0, specs = 0;
     double wasted = 0.0, recovered = 0.0;
     for (const auto& r : runs) {
@@ -162,6 +168,8 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         synR += r.synRetries;
         cuts += r.ecnCwndCuts;
         events += r.eventsExecuted;
+        pkts += r.packetsDelivered;
+        digest = NetworkTelemetry::foldDigest(digest, r.telemetryDigest);
     }
     avg.ackDroppedEarly = meanU64(ackD);
     avg.ackOffered = meanU64(ackO);
@@ -175,6 +183,8 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.synRetries = meanU64(synR);
     avg.ecnCwndCuts = meanU64(cuts);
     avg.eventsExecuted = meanU64(events);
+    avg.packetsDelivered = meanU64(pkts);
+    avg.telemetryDigest = digest;
     avg.faultDrops = meanU64(fDrops);
     avg.linkFlaps = meanU64(flaps);
     avg.nodeCrashes = meanU64(crashes);

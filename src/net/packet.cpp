@@ -2,23 +2,79 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <type_traits>
 
 namespace ecnsim {
+
+// The slot-from-packet cast in detail::slotOf relies on this layout.
+static_assert(std::is_standard_layout_v<Packet>);
+static_assert(std::is_standard_layout_v<detail::PacketSlot>);
+static_assert(offsetof(detail::PacketSlot, pkt) == 0);
 
 namespace {
 std::atomic<std::uint64_t> g_nextUid{1};
 }
 
-PacketPtr makePacket() {
-    auto p = std::make_shared<Packet>();
-    p->uid = g_nextUid.fetch_add(1, std::memory_order_relaxed);
-    return p;
+PacketPool& PacketPool::local() {
+    thread_local PacketPool pool;
+    return pool;
 }
 
+void PacketPool::grow() {
+    auto slab = std::make_unique<detail::PacketSlot[]>(kSlabPackets);
+    // Thread fresh slots onto the freelist back-to-front so allocation
+    // walks the slab in address order (friendlier to the prefetcher).
+    for (std::size_t i = kSlabPackets; i-- > 0;) {
+        slab[i].state = detail::kSlotFree;
+        slab[i].nextFree = freeHead_;
+        freeHead_ = &slab[i];
+    }
+    slabs_.push_back(std::move(slab));
+}
+
+Packet* PacketPool::allocate() {
+    if (freeHead_ == nullptr) grow();
+    detail::PacketSlot* s = freeHead_;
+    freeHead_ = s->nextFree;
+    // A never-used slot still has uid 0 (uids start at 1), so a non-zero
+    // uid means this slot already served a packet and is being recycled.
+    if (s->pkt.uid != 0) ++recycled_;
+    s->pkt = Packet{};  // recycled slots must not leak stale ECN/flag state
+    s->pkt.uid = g_nextUid.fetch_add(1, std::memory_order_relaxed);
+    s->refs = 1;
+    s->state = detail::kSlotLive;
+    s->owner = this;
+    s->nextFree = nullptr;
+    ++allocated_;
+    return &s->pkt;
+}
+
+void PacketPool::release(Packet* p) noexcept {
+    detail::PacketSlot* s = detail::slotOf(p);
+    if (s->state != detail::kSlotLive) {
+        // A released slot is on the freelist; releasing it again would
+        // corrupt the list (and alias a future allocation). Fail loudly.
+        std::fprintf(stderr, "PacketPool: double release of packet uid=%llu\n",
+                     static_cast<unsigned long long>(p->uid));
+        std::abort();
+    }
+    assert(s->owner == this && "packet released on a different pool/thread");
+    s->state = detail::kSlotFree;
+    s->refs = 0;
+    s->nextFree = freeHead_;
+    freeHead_ = s;
+    ++released_;
+}
+
+PacketPtr makePacket() { return PacketHandle::adopt(PacketPool::local().allocate()); }
+
 PacketPtr clonePacket(const Packet& src) {
-    auto p = std::make_shared<Packet>(src);
-    p->uid = g_nextUid.fetch_add(1, std::memory_order_relaxed);
-    return p;
+    Packet* p = PacketPool::local().allocate();
+    const std::uint64_t uid = p->uid;
+    *p = src;
+    p->uid = uid;
+    return PacketHandle::adopt(p);
 }
 
 std::string Packet::describe() const {

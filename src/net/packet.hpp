@@ -1,12 +1,22 @@
 // The simulated packet: IP-level ECN field, TCP header summary, wire size
 // and latency bookkeeping. One struct serves TCP segments and raw probes.
+//
+// Packets are pool-allocated: each worker thread (one concurrently running
+// simulator) owns a slab PacketPool with freelist recycling, and ownership
+// is tracked by the intrusive refcounted Packet::Handle (PacketPtr). The
+// handle is source-compatible with the std::shared_ptr<Packet> it replaced
+// — copy/move, operator*/->, bool tests and nullptr comparisons all work —
+// but costs no control-block allocation and no atomic refcount traffic.
 #pragma once
 
 #include <array>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/net/ecn.hpp"
 #include "src/sim/time.hpp"
@@ -44,10 +54,12 @@ constexpr std::string_view packetClassName(PacketClass c) {
 }
 constexpr std::size_t kNumPacketClasses = 8;
 
-struct Packet;
-using PacketPtr = std::shared_ptr<Packet>;
+class PacketHandle;
 
 struct Packet {
+    /// Intrusive refcounted owner of a pooled packet (see PacketHandle).
+    using Handle = PacketHandle;
+
     std::uint64_t uid = 0;
 
     // Addressing.
@@ -95,6 +107,146 @@ struct Packet {
 
     std::string describe() const;
 };
+
+class PacketPool;
+
+namespace detail {
+
+/// One pool slot: the packet plus intrusive bookkeeping. The handle
+/// recovers the slot from the packet pointer — Packet is the first member
+/// of a standard-layout struct, so the casts below are well-defined.
+struct PacketSlot {
+    Packet pkt;
+    std::uint32_t refs = 0;
+    std::uint32_t state = 0;
+    PacketPool* owner = nullptr;
+    PacketSlot* nextFree = nullptr;
+};
+
+constexpr std::uint32_t kSlotLive = 0x4C495645u;  // 'LIVE'
+constexpr std::uint32_t kSlotFree = 0x46524545u;  // 'FREE'
+
+inline PacketSlot* slotOf(Packet* p) { return reinterpret_cast<PacketSlot*>(p); }
+
+}  // namespace detail
+
+/// Slab allocator for packets with freelist recycling. One pool per worker
+/// thread (PacketPool::local()), so each concurrently running simulator
+/// allocates without locks or atomics; handles must therefore be released
+/// on the thread that allocated them — true by construction here, since a
+/// simulation's packets never leave its simulator's thread.
+///
+/// A double release aborts with a diagnostic (always on — it is one branch
+/// on the release path and turns slab corruption into a clean failure).
+class PacketPool {
+public:
+    static constexpr std::size_t kSlabPackets = 256;
+
+    PacketPool() = default;
+    PacketPool(const PacketPool&) = delete;
+    PacketPool& operator=(const PacketPool&) = delete;
+
+    /// The calling thread's pool (created on first use).
+    static PacketPool& local();
+
+    /// Take a slot off the freelist (growing by one slab when empty); the
+    /// packet comes back value-initialized with a fresh uid and refcount 1.
+    Packet* allocate();
+
+    /// Return a slot to the freelist. Called by PacketHandle when the last
+    /// reference drops; exposed for the pool tests. Aborts on double release.
+    void release(Packet* p) noexcept;
+
+    struct Stats {
+        std::uint64_t allocated = 0;  ///< total allocate() calls
+        std::uint64_t recycled = 0;   ///< allocations served by a reused slot
+        std::uint64_t released = 0;   ///< total release() calls
+        std::size_t slabs = 0;
+        std::size_t capacity = 0;     ///< slots across all slabs
+        std::size_t live = 0;         ///< currently allocated slots
+    };
+    Stats stats() const {
+        return Stats{allocated_, recycled_, released_, slabs_.size(),
+                     slabs_.size() * kSlabPackets, static_cast<std::size_t>(allocated_ - released_)};
+    }
+
+private:
+    void grow();
+
+    std::vector<std::unique_ptr<detail::PacketSlot[]>> slabs_;
+    detail::PacketSlot* freeHead_ = nullptr;
+    std::uint64_t allocated_ = 0;
+    std::uint64_t recycled_ = 0;
+    std::uint64_t released_ = 0;
+};
+
+/// Intrusive refcounted smart pointer to a pooled Packet. Drop-in for the
+/// previous std::shared_ptr<Packet>: copyable, movable, nullptr-comparable.
+/// Not thread-safe across pools by design (see PacketPool).
+class PacketHandle {
+public:
+    PacketHandle() = default;
+    PacketHandle(std::nullptr_t) {}
+
+    PacketHandle(const PacketHandle& o) : p_(o.p_) { retain(); }
+    PacketHandle(PacketHandle&& o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+    PacketHandle& operator=(const PacketHandle& o) {
+        PacketHandle tmp(o);
+        swap(tmp);
+        return *this;
+    }
+    PacketHandle& operator=(PacketHandle&& o) noexcept {
+        if (this != &o) {
+            releaseRef();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+    PacketHandle& operator=(std::nullptr_t) {
+        reset();
+        return *this;
+    }
+    ~PacketHandle() { releaseRef(); }
+
+    /// Wrap a freshly allocated packet, taking over its initial reference.
+    static PacketHandle adopt(Packet* p) {
+        PacketHandle h;
+        h.p_ = p;
+        return h;
+    }
+
+    Packet* get() const { return p_; }
+    Packet& operator*() const { return *p_; }
+    Packet* operator->() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    void reset() {
+        releaseRef();
+        p_ = nullptr;
+    }
+    void swap(PacketHandle& o) noexcept { std::swap(p_, o.p_); }
+
+    /// Current reference count (0 for a null handle); mainly for tests.
+    std::uint32_t useCount() const { return p_ == nullptr ? 0 : detail::slotOf(p_)->refs; }
+
+    friend bool operator==(const PacketHandle& a, const PacketHandle& b) { return a.p_ == b.p_; }
+    friend bool operator==(const PacketHandle& a, std::nullptr_t) { return a.p_ == nullptr; }
+
+private:
+    void retain() {
+        if (p_ != nullptr) ++detail::slotOf(p_)->refs;
+    }
+    void releaseRef() {
+        if (p_ != nullptr && --detail::slotOf(p_)->refs == 0) {
+            detail::slotOf(p_)->owner->release(p_);
+        }
+    }
+
+    Packet* p_ = nullptr;
+};
+
+using PacketPtr = Packet::Handle;
 
 /// Allocate a packet with a process-unique uid.
 PacketPtr makePacket();

@@ -20,11 +20,20 @@ void NetworkTelemetry::recordDelivered(const Packet& p, Time now) {
     latencyAll_.add(us);
     latencyByClass_[static_cast<std::size_t>(p.klass())].add(us);
     latencyHist_->add(us);
+    // Digest the delivery: when, what, and how it was marked. Integer
+    // nanoseconds keep the fold exact and platform-independent.
+    digest_ = foldDigest(digest_, static_cast<std::uint64_t>(now.ns()));
+    digest_ = foldDigest(digest_, static_cast<std::uint64_t>((now - p.sentAt).ns()));
+    digest_ = foldDigest(digest_, (static_cast<std::uint64_t>(p.flowId) << 32) |
+                                      (static_cast<std::uint64_t>(p.klass()) << 16) |
+                                      (static_cast<std::uint64_t>(p.ecn) << 8) | p.hops);
+    digest_ = foldDigest(digest_, static_cast<std::uint64_t>(p.sizeBytes));
 }
 
 void NetworkTelemetry::recordFaultDrop(const Packet& p, std::uint64_t FaultCounters::* bucket) {
     ++(faults_.*bucket);
     faults_.bytesLost += static_cast<std::uint64_t>(p.sizeBytes);
+    digest_ = foldDigest(digest_, 0xFA017D50ull ^ static_cast<std::uint64_t>(p.sizeBytes));
 }
 
 double NetworkTelemetry::latencyQuantileUs(double q) const { return latencyHist_->quantile(q); }
@@ -34,6 +43,7 @@ void NetworkTelemetry::reset() {
     for (auto& s : latencyByClass_) s = RunningStats{};
     latencyHist_ = std::make_unique<Histogram>(kHistLimitUs, kHistBins);
     injected_ = delivered_ = bytesDelivered_ = 0;
+    digest_ = kDigestSeed;
     faults_ = FaultCounters{};
 }
 

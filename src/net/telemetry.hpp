@@ -57,9 +57,26 @@ public:
     std::uint64_t packetsDelivered() const { return delivered_; }
     std::uint64_t bytesDelivered() const { return bytesDelivered_; }
 
+    /// Determinism digest: a 64-bit FNV-style hash folded over the ordered
+    /// stream of delivered packets and fault drops. Two runs of the same
+    /// config produce the same digest if and only if they saw the same
+    /// telemetry stream, which turns "did my optimization change simulated
+    /// behaviour?" into one integer comparison. Deliberately excludes
+    /// packet uids (the uid counter is process-global, so uid values vary
+    /// with experiment interleaving across worker threads).
+    std::uint64_t digest() const { return digest_; }
+
     void reset();
 
+    /// Fold one 64-bit word into a digest (FNV-1a step); exposed so result
+    /// aggregation can combine per-run digests the same way.
+    static std::uint64_t foldDigest(std::uint64_t digest, std::uint64_t word) {
+        return (digest ^ word) * 1099511628211ull;
+    }
+    static constexpr std::uint64_t kDigestSeed = 14695981039346656037ull;
+
 private:
+    std::uint64_t digest_ = kDigestSeed;
     RunningStats latencyAll_;  // microseconds
     std::array<RunningStats, kNumPacketClasses> latencyByClass_;
     std::unique_ptr<Histogram> latencyHist_;  // microseconds

@@ -2,45 +2,116 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <vector>
 
+#include "src/sim/event_fn.hpp"
 #include "src/sim/time.hpp"
 
 namespace ecnsim {
 
 namespace detail {
-/// Heap node. Ties are broken by insertion sequence number so that events
-/// scheduled earlier at the same timestamp fire first — this keeps runs
-/// deterministic regardless of heap internals.
+/// Heap node of the legacy (shared_ptr-based) event queues. Ties are broken
+/// by insertion sequence number so that events scheduled earlier at the same
+/// timestamp fire first — this keeps runs deterministic regardless of heap
+/// internals.
 struct EventRecord {
     Time at;
     std::uint64_t seq = 0;
     bool cancelled = false;
-    std::function<void()> fn;
+    EventFn fn;
+};
+
+/// Recycled callable storage for the flat-heap fast path. The heap itself
+/// holds POD (time, seq, slot) records; the callables live here, and slots
+/// are reused freelist-style so a steady-state simulation performs no
+/// per-event allocation at all. Handles observe slots through a generation
+/// counter: once a slot is released (fired or skipped), the generation
+/// bumps and stale handles become inert.
+struct FlatSlotArena {
+    struct Slot {
+        EventFn fn;
+        std::uint32_t gen = 0;
+        bool live = false;
+        bool cancelled = false;
+    };
+
+    std::vector<Slot> slots;
+    std::vector<std::uint32_t> freeList;
+
+    std::uint32_t acquire(EventFn&& fn) {
+        if (freeList.empty()) {
+            slots.emplace_back();
+            freeList.push_back(static_cast<std::uint32_t>(slots.size() - 1));
+        }
+        const std::uint32_t idx = freeList.back();
+        freeList.pop_back();
+        Slot& s = slots[idx];
+        s.fn = std::move(fn);
+        s.live = true;
+        s.cancelled = false;
+        return idx;
+    }
+
+    /// Move the callable out and retire the slot (generation bump).
+    EventFn release(std::uint32_t idx) {
+        Slot& s = slots[idx];
+        EventFn fn = std::move(s.fn);
+        s.fn = nullptr;
+        s.live = false;
+        s.cancelled = false;
+        ++s.gen;
+        freeList.push_back(idx);
+        return fn;
+    }
+
+    void cancel(std::uint32_t idx, std::uint32_t gen) {
+        if (idx < slots.size() && slots[idx].gen == gen && slots[idx].live) {
+            slots[idx].cancelled = true;
+        }
+    }
+
+    bool cancelled(std::uint32_t idx) const { return slots[idx].cancelled; }
+
+    bool pending(std::uint32_t idx, std::uint32_t gen) const {
+        return idx < slots.size() && slots[idx].gen == gen && slots[idx].live &&
+               !slots[idx].cancelled;
+    }
 };
 }  // namespace detail
 
 /// Handle to a scheduled event. Copyable; cancelling is idempotent and safe
-/// after the event has fired (the handle observes the record via weak_ptr).
+/// after the event has fired or the scheduler has been destroyed (the
+/// handle observes its record via weak_ptr — for the flat fast path, one
+/// shared arena per scheduler rather than one control block per event).
 class EventHandle {
 public:
     EventHandle() = default;
     explicit EventHandle(std::weak_ptr<detail::EventRecord> rec) : rec_(std::move(rec)) {}
+    EventHandle(std::weak_ptr<detail::FlatSlotArena> arena, std::uint32_t slot, std::uint32_t gen)
+        : arena_(std::move(arena)), slot_(slot), gen_(gen) {}
 
     /// Prevent the event from firing. No-op if already fired or cancelled.
     void cancel() {
-        if (auto r = rec_.lock()) r->cancelled = true;
+        if (auto r = rec_.lock()) {
+            r->cancelled = true;
+        } else if (auto a = arena_.lock()) {
+            a->cancel(slot_, gen_);
+        }
     }
 
     /// True if the event is still scheduled and will fire.
     bool pending() const {
-        auto r = rec_.lock();
-        return r && !r->cancelled;
+        if (auto r = rec_.lock()) return !r->cancelled;
+        if (auto a = arena_.lock()) return a->pending(slot_, gen_);
+        return false;
     }
 
 private:
     std::weak_ptr<detail::EventRecord> rec_;
+    std::weak_ptr<detail::FlatSlotArena> arena_;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 }  // namespace ecnsim

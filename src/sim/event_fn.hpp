@@ -1,0 +1,131 @@
+// Small-buffer type-erased callable for scheduler events.
+//
+// std::function heap-allocates every callable that is not trivially
+// copyable — which includes any lambda capturing a Packet::Handle — so on
+// the event hot path it costs one malloc/free per scheduled packet hop.
+// EventFn stores callables up to the inline budget inside the event record
+// itself and only falls back to the heap beyond that. It is move-only:
+// event records are never copied, only sifted through the flat heap.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ecnsim {
+
+template <std::size_t InlineBytes>
+class BasicEventFn {
+public:
+    BasicEventFn() noexcept = default;
+    BasicEventFn(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BasicEventFn> &&
+                                          std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    BasicEventFn(F&& f) {
+        using D = std::decay_t<F>;
+        if constexpr (fitsInline<D>()) {
+            ::new (storage()) D(std::forward<F>(f));
+            ops_ = inlineOps<D>();
+        } else {
+            ::new (storage()) D*(new D(std::forward<F>(f)));
+            ops_ = heapOps<D>();
+        }
+    }
+
+    BasicEventFn(BasicEventFn&& other) noexcept { moveFrom(other); }
+    BasicEventFn& operator=(BasicEventFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+    BasicEventFn& operator=(std::nullptr_t) noexcept {
+        reset();
+        return *this;
+    }
+
+    BasicEventFn(const BasicEventFn&) = delete;
+    BasicEventFn& operator=(const BasicEventFn&) = delete;
+
+    ~BasicEventFn() { reset(); }
+
+    void operator()() { ops_->invoke(storage()); }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /// True when the callable lives in the inline buffer (for tests).
+    bool isInline() const noexcept { return ops_ != nullptr && ops_->inlined; }
+
+private:
+    struct Ops {
+        void (*invoke)(void*);
+        /// Move-construct into `dst` raw storage, then destroy `src`.
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+        bool inlined;
+    };
+
+    template <typename D>
+    static constexpr bool fitsInline() {
+        return sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static const Ops* inlineOps() noexcept {
+        static constexpr Ops ops{
+            [](void* s) { (*static_cast<D*>(s))(); },
+            [](void* src, void* dst) noexcept {
+                ::new (dst) D(std::move(*static_cast<D*>(src)));
+                static_cast<D*>(src)->~D();
+            },
+            [](void* s) noexcept { static_cast<D*>(s)->~D(); },
+            true,
+        };
+        return &ops;
+    }
+
+    template <typename D>
+    static const Ops* heapOps() noexcept {
+        static constexpr Ops ops{
+            [](void* s) { (**static_cast<D**>(s))(); },
+            [](void* src, void* dst) noexcept {
+                ::new (dst) D*(*static_cast<D**>(src));
+            },
+            [](void* s) noexcept { delete *static_cast<D**>(s); },
+            false,
+        };
+        return &ops;
+    }
+
+    void moveFrom(BasicEventFn& other) noexcept {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(other.storage(), storage());
+            other.ops_ = nullptr;
+        }
+    }
+
+    void reset() noexcept {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage());
+            ops_ = nullptr;
+        }
+    }
+
+    void* storage() noexcept { return buf_; }
+
+    const Ops* ops_ = nullptr;
+    alignas(std::max_align_t) std::byte buf_[InlineBytes];
+};
+
+/// 56 inline bytes cover every event lambda in the codebase (the largest,
+/// Port::tryTransmit's delivery hop, captures this + epoch + peer + port +
+/// a Packet::Handle) while keeping a flat-heap slot at one cache line.
+using EventFn = BasicEventFn<56>;
+
+}  // namespace ecnsim

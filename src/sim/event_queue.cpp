@@ -4,6 +4,68 @@
 
 namespace ecnsim {
 
+// ------------------------------------------------------------- flat heap
+
+EventHandle FlatHeapEventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
+    const std::uint32_t slot = arena_->acquire(std::move(fn));
+    heap_.push_back(Rec{at.ns(), seq, slot});
+    siftUp(heap_.size() - 1);
+    return EventHandle{arena_, slot, arena_->slots[slot].gen};
+}
+
+void FlatHeapEventQueue::siftUp(std::size_t i) {
+    const Rec rec = heap_[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(rec, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = rec;
+}
+
+void FlatHeapEventQueue::siftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    const Rec rec = heap_[i];
+    while (true) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n) break;
+        if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+        if (!earlier(heap_[child], rec)) break;
+        heap_[i] = heap_[child];
+        i = child;
+    }
+    heap_[i] = rec;
+}
+
+void FlatHeapEventQueue::popTop() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) siftDown(0);
+}
+
+void FlatHeapEventQueue::settleTop() {
+    while (!heap_.empty() && arena_->cancelled(heap_.front().slot)) {
+        arena_->release(heap_.front().slot);
+        popTop();
+    }
+}
+
+bool FlatHeapEventQueue::popInto(Time& at, EventFn& fn) {
+    settleTop();
+    if (heap_.empty()) return false;
+    const Rec top = heap_.front();
+    at = Time::nanoseconds(top.atNs);
+    fn = arena_->release(top.slot);
+    popTop();
+    return true;
+}
+
+Time FlatHeapEventQueue::peekTime() {
+    settleTop();
+    return heap_.empty() ? Time::max() : Time::nanoseconds(heap_.front().atNs);
+}
+
 // ----------------------------------------------------------- binary heap
 
 void BinaryHeapEventQueue::push(std::shared_ptr<detail::EventRecord> rec) {

@@ -1,5 +1,6 @@
-// Pluggable event-queue implementations for the scheduler: the default
-// binary heap and a calendar queue (Brown 1988), the structure NS-2 used.
+// Pluggable event-queue implementations for the scheduler: the flat binary
+// heap fast path (the default), plus the legacy shared_ptr binary heap and
+// a calendar queue (Brown 1988), the structure NS-2 used.
 #pragma once
 
 #include <cstdint>
@@ -12,8 +13,52 @@
 
 namespace ecnsim {
 
-/// Storage strategy behind Scheduler. Implementations must honour the
-/// (time, seq) total order and tolerate lazily cancelled records.
+/// Flat binary heap over POD (time, seq, slot) records — the scheduler's
+/// default fast path. The heap is one contiguous vector; callables live in
+/// a freelist-recycled slot arena, so a steady-state simulation schedules
+/// and fires events with no per-event heap allocation (the arena and heap
+/// grow amortized, like any vector). The (time, seq) total order and lazy
+/// cancellation semantics match the legacy queues exactly.
+class FlatHeapEventQueue {
+public:
+    FlatHeapEventQueue() : arena_(std::make_shared<detail::FlatSlotArena>()) {}
+
+    EventHandle push(Time at, std::uint64_t seq, EventFn fn);
+
+    /// Pop the earliest non-cancelled event into (at, fn); false when empty.
+    bool popInto(Time& at, EventFn& fn);
+
+    /// Time of the earliest non-cancelled record, or Time::max().
+    Time peekTime();
+
+    /// Stored records, including lazily cancelled ones (legacy semantics).
+    std::size_t size() const { return heap_.size(); }
+
+private:
+    /// 24-byte POD heap record: sift operations move these, never callables.
+    struct Rec {
+        std::int64_t atNs;
+        std::uint64_t seq;
+        std::uint32_t slot;
+    };
+
+    static bool earlier(const Rec& a, const Rec& b) {
+        if (a.atNs != b.atNs) return a.atNs < b.atNs;
+        return a.seq < b.seq;
+    }
+
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+    void popTop();
+    /// Drop cancelled records off the top so heap_[0] is live (if any).
+    void settleTop();
+
+    std::vector<Rec> heap_;
+    std::shared_ptr<detail::FlatSlotArena> arena_;
+};
+
+/// Storage strategy behind Scheduler's legacy kinds. Implementations must
+/// honour the (time, seq) total order and tolerate lazily cancelled records.
 class EventQueue {
 public:
     virtual ~EventQueue() = default;
@@ -25,7 +70,7 @@ public:
     virtual std::size_t size() const = 0;
 };
 
-/// std::priority_queue over (time, seq) — the default.
+/// std::priority_queue over (time, seq) — the legacy default.
 class BinaryHeapEventQueue final : public EventQueue {
 public:
     void push(std::shared_ptr<detail::EventRecord> rec) override;

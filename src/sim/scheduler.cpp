@@ -4,23 +4,44 @@ namespace ecnsim {
 
 Scheduler::Scheduler(SchedulerKind kind) : kind_(kind) {
     switch (kind) {
+        case SchedulerKind::FlatHeap:
+            break;  // flat_ is always constructed; no legacy backend needed
         case SchedulerKind::BinaryHeap:
-            queue_ = std::make_unique<BinaryHeapEventQueue>();
+            legacy_ = std::make_unique<BinaryHeapEventQueue>();
             break;
         case SchedulerKind::Calendar:
-            queue_ = std::make_unique<CalendarEventQueue>();
+            legacy_ = std::make_unique<CalendarEventQueue>();
             break;
     }
 }
 
-EventHandle Scheduler::insert(Time at, std::function<void()> fn) {
+EventHandle Scheduler::insert(Time at, EventFn fn) {
+    const std::uint64_t seq = nextSeq_++;
+    if (legacy_ == nullptr) return flat_.push(at, seq, std::move(fn));
     auto rec = std::make_shared<detail::EventRecord>();
     rec->at = at;
-    rec->seq = nextSeq_++;
+    rec->seq = seq;
     rec->fn = std::move(fn);
     EventHandle handle{rec};
-    queue_->push(std::move(rec));
+    legacy_->push(std::move(rec));
     return handle;
+}
+
+bool Scheduler::popInto(Time& at, EventFn& fn) {
+    if (legacy_ == nullptr) return flat_.popInto(at, fn);
+    auto rec = legacy_->pop();
+    if (!rec) return false;
+    at = rec->at;
+    fn = std::move(rec->fn);
+    return true;
+}
+
+Time Scheduler::nextTime() {
+    return legacy_ == nullptr ? flat_.peekTime() : legacy_->peekTime();
+}
+
+std::size_t Scheduler::size() const {
+    return legacy_ == nullptr ? flat_.size() : legacy_->size();
 }
 
 }  // namespace ecnsim

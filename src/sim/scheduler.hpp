@@ -1,5 +1,5 @@
 // Event scheduler with deterministic tie-breaking over a pluggable
-// storage strategy (binary heap or calendar queue).
+// storage strategy (flat heap, legacy binary heap or calendar queue).
 #pragma once
 
 #include <cstdint>
@@ -11,38 +11,38 @@
 
 namespace ecnsim {
 
-enum class SchedulerKind { BinaryHeap, Calendar };
+enum class SchedulerKind { FlatHeap, BinaryHeap, Calendar };
 
 /// Priority queue of events ordered by (time, insertion sequence).
 ///
 /// Cancellation is lazy: cancelled records stay stored and are skipped
-/// when reached, which keeps cancel() O(1).
+/// when reached, which keeps cancel() O(1). The FlatHeap kind (default)
+/// stores POD records in a contiguous heap with freelist-recycled callable
+/// slots — no per-event allocation; the legacy kinds allocate one shared
+/// record per event.
 class Scheduler {
 public:
-    explicit Scheduler(SchedulerKind kind = SchedulerKind::BinaryHeap);
+    explicit Scheduler(SchedulerKind kind = SchedulerKind::FlatHeap);
 
     /// Insert an event at absolute time `at`. `at` must not be in the past
     /// relative to the last popped event (checked by Simulator).
-    EventHandle insert(Time at, std::function<void()> fn);
+    EventHandle insert(Time at, EventFn fn);
 
-    /// Pop the next non-cancelled event. Returns nullptr when empty.
-    std::shared_ptr<detail::EventRecord> popNext() { return queue_->pop(); }
-
-    /// Put a popped-but-unexecuted record back (keeps its sequence number,
-    /// so ordering is unaffected). Used when a run horizon is reached.
-    void reinsert(std::shared_ptr<detail::EventRecord> rec) { queue_->push(std::move(rec)); }
+    /// Pop the next non-cancelled event into (at, fn); false when empty.
+    bool popInto(Time& at, EventFn& fn);
 
     /// Time of the next pending (non-cancelled) event, or Time::max().
-    Time nextTime() { return queue_->peekTime(); }
+    Time nextTime();
 
     bool empty() { return nextTime() == Time::max(); }
-    std::size_t size() const { return queue_->size(); }
+    std::size_t size() const;
     std::uint64_t inserted() const { return nextSeq_; }
     SchedulerKind kind() const { return kind_; }
 
 private:
     SchedulerKind kind_;
-    std::unique_ptr<EventQueue> queue_;
+    FlatHeapEventQueue flat_;            // used when kind_ == FlatHeap
+    std::unique_ptr<EventQueue> legacy_; // used otherwise
     std::uint64_t nextSeq_ = 0;
 };
 

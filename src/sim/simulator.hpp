@@ -19,7 +19,7 @@ namespace ecnsim {
 class Simulator {
 public:
     explicit Simulator(std::uint64_t seed = 1,
-                       SchedulerKind schedulerKind = SchedulerKind::BinaryHeap)
+                       SchedulerKind schedulerKind = SchedulerKind::FlatHeap)
         : scheduler_(schedulerKind), rng_(seed) {}
 
     Simulator(const Simulator&) = delete;
@@ -29,13 +29,13 @@ public:
     Rng& rng() { return rng_; }
 
     /// Schedule `fn` to run `delay` after the current time.
-    EventHandle schedule(Time delay, std::function<void()> fn) {
+    EventHandle schedule(Time delay, EventFn fn) {
         if (delay.isNegative()) throw std::invalid_argument("negative event delay");
         return scheduler_.insert(now_ + delay, std::move(fn));
     }
 
     /// Schedule `fn` at an absolute timestamp (>= now).
-    EventHandle scheduleAt(Time when, std::function<void()> fn) {
+    EventHandle scheduleAt(Time when, EventFn fn) {
         if (when < now_) throw std::invalid_argument("event scheduled in the past");
         return scheduler_.insert(when, std::move(fn));
     }
@@ -44,23 +44,21 @@ public:
     /// called. Events exactly at `until` still fire.
     void runUntil(Time until) {
         stopped_ = false;
+        Time at;
+        EventFn fn;
         while (!stopped_) {
-            auto rec = scheduler_.popNext();
-            if (!rec) {
+            // Peek before popping: an event beyond the horizon stays stored
+            // (sequence number untouched) so a later runUntil can resume.
+            const Time next = scheduler_.nextTime();
+            if (next > until) {
                 if (until != Time::max() && until > now_) now_ = until;
                 break;
             }
-            if (rec->at > until) {
-                // Horizon reached: put the event back (its sequence number
-                // is preserved, so ordering is unchanged) and advance the
-                // clock so a later runUntil can resume.
-                scheduler_.reinsert(std::move(rec));
-                if (until != Time::max() && until > now_) now_ = until;
-                break;
-            }
-            now_ = rec->at;
+            if (!scheduler_.popInto(at, fn)) break;  // unreachable after peek
+            now_ = at;
             ++executed_;
-            rec->fn();
+            fn();
+            fn = nullptr;  // free captures (e.g. packet handles) promptly
         }
     }
 

@@ -1,0 +1,118 @@
+// PacketPool slab allocator: exhaustion/regrowth, freelist recycling with
+// clean reinitialization (no stale ECN or TCP flag state leaks into a
+// reused slot), handle refcounting, and the double-release diagnostic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/packet.hpp"
+
+namespace ecnsim {
+namespace {
+
+TEST(PacketPool, GrowsOneSlabAtATimeOnExhaustion) {
+    PacketPool pool;
+    EXPECT_EQ(pool.stats().slabs, 0u);
+
+    std::vector<Packet*> live;
+    for (std::size_t i = 0; i < PacketPool::kSlabPackets; ++i) live.push_back(pool.allocate());
+    EXPECT_EQ(pool.stats().slabs, 1u);
+    EXPECT_EQ(pool.stats().capacity, PacketPool::kSlabPackets);
+    EXPECT_EQ(pool.stats().live, PacketPool::kSlabPackets);
+    EXPECT_EQ(pool.stats().recycled, 0u);
+
+    // One past the slab boundary forces regrowth; existing packets survive.
+    live.push_back(pool.allocate());
+    EXPECT_EQ(pool.stats().slabs, 2u);
+    EXPECT_EQ(pool.stats().capacity, 2 * PacketPool::kSlabPackets);
+    EXPECT_EQ(pool.stats().live, PacketPool::kSlabPackets + 1);
+
+    for (Packet* p : live) pool.release(p);
+    EXPECT_EQ(pool.stats().live, 0u);
+    EXPECT_EQ(pool.stats().released, PacketPool::kSlabPackets + 1);
+    EXPECT_EQ(pool.stats().slabs, 2u);  // slabs are kept for reuse
+}
+
+TEST(PacketPool, RecycledSlotComesBackDefaultClean) {
+    PacketPool pool;
+    Packet* first = pool.allocate();
+    const std::uint64_t firstUid = first->uid;
+
+    // Dirty every field a stale slot could leak into the next simulation.
+    first->ecn = EcnCodepoint::Ce;
+    first->tcpFlags = 0xff;
+    first->isTcp = true;
+    first->payloadBytes = 1460;
+    first->hops = 7;
+    first->sackCount = 3;
+    pool.release(first);
+
+    Packet* second = pool.allocate();
+    EXPECT_EQ(second, first) << "freelist should hand back the released slot";
+    EXPECT_EQ(pool.stats().recycled, 1u);
+    EXPECT_NE(second->uid, firstUid) << "recycled packets are new wire packets";
+    EXPECT_EQ(second->ecn, EcnCodepoint::NotEct);
+    EXPECT_EQ(second->tcpFlags, 0);
+    EXPECT_FALSE(second->isTcp);
+    EXPECT_EQ(second->payloadBytes, 0);
+    EXPECT_EQ(second->hops, 0);
+    EXPECT_EQ(second->sackCount, 0);
+    pool.release(second);
+}
+
+TEST(PacketPool, HandleRefcountingReleasesOnLastDrop) {
+    const auto before = PacketPool::local().stats();
+    {
+        PacketPtr a = makePacket();
+        EXPECT_EQ(a.useCount(), 1u);
+        PacketPtr b = a;  // copy retains
+        EXPECT_EQ(a.useCount(), 2u);
+        PacketPtr c = std::move(b);  // move transfers, no count change
+        EXPECT_EQ(a.useCount(), 2u);
+        EXPECT_EQ(b, nullptr);
+        c.reset();
+        EXPECT_EQ(a.useCount(), 1u);
+        EXPECT_EQ(PacketPool::local().stats().live, before.live + 1);
+    }
+    EXPECT_EQ(PacketPool::local().stats().live, before.live);
+}
+
+TEST(PacketPool, CloneCopiesFieldsButMintsFreshUid) {
+    PacketPtr orig = makePacket();
+    orig->src = 3;
+    orig->dst = 9;
+    orig->flowId = 42;
+    orig->sizeBytes = 1500;
+    orig->ecn = EcnCodepoint::Ect0;
+
+    PacketPtr copy = clonePacket(*orig);
+    EXPECT_NE(copy->uid, orig->uid);
+    EXPECT_EQ(copy->src, orig->src);
+    EXPECT_EQ(copy->dst, orig->dst);
+    EXPECT_EQ(copy->flowId, orig->flowId);
+    EXPECT_EQ(copy->sizeBytes, orig->sizeBytes);
+    EXPECT_EQ(copy->ecn, orig->ecn);
+    EXPECT_EQ(copy.useCount(), 1u);
+}
+
+TEST(PacketPool, NullHandleComparesAndResets) {
+    PacketPtr h;
+    EXPECT_EQ(h, nullptr);
+    EXPECT_FALSE(h);
+    EXPECT_EQ(h.useCount(), 0u);
+    h = makePacket();
+    EXPECT_TRUE(h);
+    h = nullptr;
+    EXPECT_EQ(h, nullptr);
+}
+
+TEST(PacketPoolDeathTest, DoubleReleaseAborts) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    PacketPool pool;
+    Packet* p = pool.allocate();
+    pool.release(p);
+    EXPECT_DEATH(pool.release(p), "double release");
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,100 @@
+// EventFn: small-buffer type-erased callable for scheduler events. Checks
+// inline vs heap storage selection, move-only ownership transfer, capture
+// destruction, and that the refcounted captures which forced std::function
+// onto the heap stay inline here.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "src/sim/event_fn.hpp"
+
+namespace ecnsim {
+namespace {
+
+TEST(EventFn, SmallCallableStaysInline) {
+    int hits = 0;
+    EventFn fn = [&hits] { ++hits; };
+    ASSERT_TRUE(fn);
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, OversizedCaptureFallsBackToHeap) {
+    std::array<char, 128> big{};
+    big[0] = 'x';
+    int hits = 0;
+    EventFn fn = [big, &hits] { hits += big[0] == 'x' ? 1 : 100; };
+    ASSERT_TRUE(fn);
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, RefcountedCaptureStaysInline) {
+    // The motivating case: a lambda capturing a smart pointer is not
+    // trivially copyable, so std::function would heap-allocate it.
+    auto token = std::make_shared<int>(5);
+    EventFn fn = [token] { *token += 1; };
+    EXPECT_TRUE(fn.isInline());
+    EXPECT_EQ(token.use_count(), 2);
+    fn();
+    EXPECT_EQ(*token, 6);
+}
+
+TEST(EventFn, MoveTransfersOwnership) {
+    int hits = 0;
+    EventFn a = [&hits] { ++hits; };
+    EventFn b = std::move(a);
+    EXPECT_FALSE(a);
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+
+    EventFn c;
+    c = std::move(b);
+    EXPECT_FALSE(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, CapturesDestroyedOnResetInlineAndHeap) {
+    auto inlineToken = std::make_shared<int>(0);
+    auto heapToken = std::make_shared<int>(0);
+    std::array<char, 128> pad{};
+    {
+        EventFn small = [inlineToken] { ++*inlineToken; };
+        EventFn large = [heapToken, pad] { ++*heapToken; (void)pad; };
+        EXPECT_TRUE(small.isInline());
+        EXPECT_FALSE(large.isInline());
+        EXPECT_EQ(inlineToken.use_count(), 2);
+        EXPECT_EQ(heapToken.use_count(), 2);
+        small = nullptr;  // explicit reset
+        EXPECT_EQ(inlineToken.use_count(), 1);
+    }  // destructor path
+    EXPECT_EQ(heapToken.use_count(), 1);
+}
+
+TEST(EventFn, MovedThroughReleasesCaptureExactlyOnce) {
+    auto token = std::make_shared<int>(0);
+    EventFn a = [token] { ++*token; };
+    EXPECT_EQ(token.use_count(), 2);
+    EventFn b = std::move(a);  // relocate must not duplicate the capture
+    EXPECT_EQ(token.use_count(), 2);
+    b = nullptr;
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventFn, DefaultAndNullptrAreEmpty) {
+    EventFn a;
+    EventFn b = nullptr;
+    EXPECT_FALSE(a);
+    EXPECT_FALSE(b);
+    EXPECT_FALSE(a.isInline());
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,198 @@
+// FlatHeapEventQueue: the scheduler's default no-allocation fast path.
+// Mirrors the legacy event-queue property test (random ops vs a multimap
+// reference model), then checks the parts specific to the flat design:
+// generation-guarded handles across slot reuse, handle safety after the
+// queue dies, and trace agreement with the legacy scheduler kinds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+namespace {
+
+using Key = std::pair<std::int64_t, std::uint64_t>;  // (time ns, seq)
+
+/// Drive random insert/pop/cancel ops against the flat heap and a multimap
+/// reference model; firing each popped callable appends its own (time, seq)
+/// to the returned trace, proving the right callable rode with each record.
+std::vector<Key> runModelCheck(std::uint64_t seed, int ops) {
+    std::mt19937_64 gen(seed);
+    FlatHeapEventQueue q;
+    std::multimap<Key, EventHandle> model;
+    std::vector<std::pair<Key, EventHandle>> cancellable;
+    std::vector<Key> popped;
+
+    std::uint64_t seq = 0;
+    std::int64_t clock = 0;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t dice = gen() % 10;
+        if (dice < 5) {  // insert
+            const std::int64_t at = clock + static_cast<std::int64_t>(gen() % 64) * 1000;
+            const Key key{at, seq};
+            EventHandle h = q.push(Time::nanoseconds(at), seq,
+                                   [&popped, key] { popped.push_back(key); });
+            EXPECT_TRUE(h.pending());
+            model.emplace(key, h);
+            cancellable.emplace_back(key, h);
+            ++seq;
+        } else if (dice < 8) {  // pop
+            Time at;
+            EventFn fn;
+            if (model.empty()) {
+                EXPECT_FALSE(q.popInto(at, fn));
+                EXPECT_EQ(q.peekTime(), Time::max());
+                continue;
+            }
+            EXPECT_EQ(q.peekTime().ns(), model.begin()->first.first);
+            const bool got = q.popInto(at, fn);
+            EXPECT_TRUE(got);
+            if (!got) return popped;
+            fn();  // appends the callable's own key to `popped`
+            EXPECT_FALSE(popped.empty());
+            if (popped.empty()) return popped;
+            EXPECT_EQ(popped.back(), model.begin()->first);
+            EXPECT_EQ(at.ns(), model.begin()->first.first);
+            EXPECT_FALSE(model.begin()->second.pending()) << "fired event still pending";
+            clock = at.ns();
+            model.erase(model.begin());
+        } else {  // cancel a random live record (lazy)
+            if (cancellable.empty()) continue;
+            const std::size_t pick = gen() % cancellable.size();
+            auto [key, h] = cancellable[pick];
+            cancellable.erase(cancellable.begin() + static_cast<std::ptrdiff_t>(pick));
+            if (model.count(key) != 0) {
+                h.cancel();
+                EXPECT_FALSE(h.pending());
+                model.erase(key);
+            }
+        }
+    }
+
+    // Drain: everything left must come out in exact model order.
+    while (!model.empty()) {
+        Time at;
+        EventFn fn;
+        const bool got = q.popInto(at, fn);
+        EXPECT_TRUE(got) << model.size() << " records missing";
+        if (!got) return popped;
+        fn();
+        EXPECT_EQ(popped.back(), model.begin()->first);
+        model.erase(model.begin());
+    }
+    Time at;
+    EventFn fn;
+    EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(q.peekTime(), Time::max());
+    return popped;
+}
+
+TEST(FlatHeap, TenThousandRandomOpsMatchReferenceModel) {
+    const auto trace = runModelCheck(/*seed=*/0xf1a7, /*ops=*/10'000);
+    EXPECT_GT(trace.size(), 1000u);
+
+    bool sawTie = false;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].first == trace[i - 1].first) {
+            EXPECT_LT(trace[i - 1].second, trace[i].second)
+                << "equal-time records popped out of insertion order at " << i;
+            sawTie = true;
+        }
+    }
+    EXPECT_TRUE(sawTie) << "timestamp clustering produced no ties; property untested";
+}
+
+TEST(FlatHeap, SameSeedGivesIdenticalTrace) {
+    EXPECT_EQ(runModelCheck(7, 10'000), runModelCheck(7, 10'000));
+}
+
+TEST(FlatHeap, StaleHandleDoesNotTouchRecycledSlot) {
+    FlatHeapEventQueue q;
+    int aFired = 0, bFired = 0;
+    EventHandle ha = q.push(Time::nanoseconds(10), 0, [&aFired] { ++aFired; });
+
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_EQ(aFired, 1);
+    EXPECT_FALSE(ha.pending());
+
+    // B reuses A's freed slot; A's stale handle must observe the generation
+    // bump and neither report B as pending nor cancel it.
+    EventHandle hb = q.push(Time::nanoseconds(20), 1, [&bFired] { ++bFired; });
+    EXPECT_FALSE(ha.pending());
+    ha.cancel();
+    EXPECT_TRUE(hb.pending());
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_EQ(bFired, 1);
+}
+
+TEST(FlatHeap, CancelledRecordsAreSkippedAndCountedInSize) {
+    FlatHeapEventQueue q;
+    int fired = 0;
+    EventHandle h1 = q.push(Time::nanoseconds(10), 0, [&fired] { fired += 1; });
+    q.push(Time::nanoseconds(20), 1, [&fired] { fired += 10; });
+    h1.cancel();
+    EXPECT_EQ(q.size(), 2u);  // lazy: the cancelled record is still stored
+    EXPECT_EQ(q.peekTime().ns(), 20);
+
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_EQ(fired, 10) << "cancelled event must not fire";
+    EXPECT_FALSE(q.popInto(at, fn));
+}
+
+TEST(FlatHeap, HandleOutlivesQueue) {
+    EventHandle h;
+    {
+        FlatHeapEventQueue q;
+        h = q.push(Time::nanoseconds(5), 0, [] {});
+        EXPECT_TRUE(h.pending());
+    }
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // must not crash
+}
+
+/// All three scheduler kinds must execute an identical seeded workload in
+/// an identical order, including re-entrant scheduling and cancellations.
+std::vector<int> simulatorTrace(SchedulerKind kind, std::uint64_t seed) {
+    Simulator sim(seed, kind);
+    std::vector<int> order;
+    std::mt19937_64 gen(seed);
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 200; ++i) {
+        const auto delay = Time::microseconds(static_cast<std::int64_t>(gen() % 50));
+        handles.push_back(sim.schedule(delay, [&sim, &order, &gen, i] {
+            order.push_back(i);
+            if (gen() % 3 == 0) {
+                sim.schedule(Time::microseconds(static_cast<std::int64_t>(gen() % 20)),
+                             [&order, i] { order.push_back(1000 + i); });
+            }
+        }));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 7) handles[i].cancel();
+    sim.run();
+    return order;
+}
+
+TEST(FlatHeap, AgreesWithLegacyKindsOnFullSimulation) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto flat = simulatorTrace(SchedulerKind::FlatHeap, seed);
+        EXPECT_EQ(flat, simulatorTrace(SchedulerKind::BinaryHeap, seed))
+            << "FlatHeap vs BinaryHeap diverged for seed " << seed;
+        EXPECT_EQ(flat, simulatorTrace(SchedulerKind::Calendar, seed))
+            << "FlatHeap vs Calendar diverged for seed " << seed;
+    }
+}
+
+}  // namespace
+}  // namespace ecnsim

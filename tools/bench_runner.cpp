@@ -1,0 +1,247 @@
+// bench_runner — simulator throughput regression harness.
+//
+// Runs a fixed set of full-stack scenarios (single-bottleneck RED+ECN
+// shuffle, leaf-spine Terasort, fault-flap recovery), each as a small batch
+// of seeded experiments, first with threads=1 and then with threads=N via
+// runExperimentsParallel. For every scenario it writes BENCH_<name>.json
+// containing events/sec, packets/sec, peak RSS and the determinism digest
+// (NetworkTelemetry::digest folded over all runs). The digest must be
+// byte-identical between the serial and parallel passes; any mismatch makes
+// the process exit non-zero, which is what CI's bench-smoke job checks.
+//
+//   bench_runner [--quick] [--threads N] [--out-dir DIR] [--scenario NAME]
+//                [--list]
+//
+// --quick shrinks the workloads for CI smoke runs; results caching is
+// always disabled so wall-clock numbers measure the simulator, not the
+// cache.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "src/core/parallel.hpp"
+#include "src/core/series.hpp"
+#include "src/net/telemetry.hpp"
+
+using namespace ecnsim;
+
+namespace {
+
+struct Scenario {
+    std::string name;
+    std::string description;
+    std::vector<ExperimentConfig> configs;
+};
+
+constexpr int kSeeds = 4;  ///< batch size: gives threads=N real fan-out
+
+SweepScale benchScale(bool quick) {
+    SweepScale scale;
+    scale.numNodes = quick ? 8 : 12;
+    scale.inputBytesPerNode = (quick ? 2 : 16) * 1024 * 1024;
+    scale.repeats = 1;
+    return scale;
+}
+
+std::vector<ExperimentConfig> seeded(ExperimentConfig base) {
+    std::vector<ExperimentConfig> configs;
+    for (int s = 0; s < kSeeds; ++s) {
+        ExperimentConfig cfg = base;
+        cfg.seed = static_cast<std::uint64_t>(s + 1);
+        cfg.name = base.name + "/seed" + std::to_string(s + 1);
+        configs.push_back(std::move(cfg));
+    }
+    return configs;
+}
+
+/// The paper's core setup: all-to-all shuffle through one shared RED+ECN
+/// bottleneck switch. This is the scenario the README's events/sec
+/// regression threshold tracks.
+Scenario shuffleRedEcn(bool quick) {
+    ExperimentConfig cfg = makeBaseConfig(benchScale(quick));
+    cfg.name = "shuffle_red_ecn";
+    cfg.transport = TransportKind::EcnTcp;
+    cfg.switchQueue.kind = QueueKind::Red;
+    cfg.switchQueue.redVariant = RedVariant::Classic;
+    cfg.switchQueue.ecnEnabled = true;
+    cfg.switchQueue.targetDelay = Time::microseconds(500);
+    cfg.buffers = BufferProfile::Shallow;
+    return {"shuffle_red_ecn", "single-bottleneck all-to-all shuffle, RED+ECN, shallow buffers",
+            seeded(cfg)};
+}
+
+/// Terasort across a 2-rack leaf-spine fabric under DCTCP-style marking:
+/// multi-hop paths and ECMP exercise the switch forwarding fast path.
+Scenario terasortLeafSpine(bool quick) {
+    const SweepScale scale = benchScale(quick);
+    ExperimentConfig cfg = makeBaseConfig(scale);
+    cfg.name = "terasort_leafspine";
+    cfg.transport = TransportKind::Dctcp;
+    cfg.switchQueue.kind = QueueKind::Red;
+    cfg.switchQueue.redVariant = RedVariant::DctcpMimic;
+    cfg.switchQueue.ecnEnabled = true;
+    cfg.switchQueue.targetDelay = Time::microseconds(100);
+    cfg.topology = TopologyKind::LeafSpine;
+    cfg.leafSpine = LeafSpineShape{.racks = 2, .hostsPerRack = scale.numNodes / 2, .spines = 2};
+    return {"terasort_leafspine", "leaf-spine Terasort under DCTCP-style marking", seeded(cfg)};
+}
+
+/// The fault-injection subsystem under load: a task host crashes and an
+/// access link flaps mid-shuffle, driving retry/backoff and recovery.
+Scenario faultFlapRecovery(bool quick) {
+    ExperimentConfig cfg = makeBaseConfig(benchScale(quick));
+    cfg.name = "fault_flap_recovery";
+    cfg.transport = TransportKind::EcnTcp;
+    cfg.switchQueue.kind = QueueKind::Red;
+    cfg.switchQueue.redVariant = RedVariant::Classic;
+    cfg.switchQueue.ecnEnabled = true;
+    cfg.switchQueue.targetDelay = Time::microseconds(500);
+    cfg.faultSpec = "crash@20ms:node=5:for=600ms;flap@60ms:link=2:for=80ms";
+    return {"fault_flap_recovery", "shuffle with a node crash and an access-link flap", seeded(cfg)};
+}
+
+std::uint64_t combinedDigest(const std::vector<ExperimentResult>& results) {
+    std::uint64_t d = NetworkTelemetry::kDigestSeed;
+    for (const auto& r : results) d = NetworkTelemetry::foldDigest(d, r.telemetryDigest);
+    return d;
+}
+
+long peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) return ru.ru_maxrss;  // KiB on Linux
+#endif
+    return 0;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct BenchOutcome {
+    bool digestMatch = true;
+    bool anyTimeout = false;
+};
+
+BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std::string& outDir) {
+    std::fprintf(stderr, "[bench] %s: %zu configs, threads=1 then threads=%d\n", sc.name.c_str(),
+                 sc.configs.size(), threads);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto serial = runExperimentsParallel(sc.configs, 1, /*useCache=*/false);
+    const double wallSerial = secondsSince(t1);
+
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto parallel = runExperimentsParallel(sc.configs, threads, /*useCache=*/false);
+    const double wallParallel = secondsSince(t2);
+
+    BenchOutcome out;
+    std::uint64_t events = 0, packets = 0;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        events += serial[i].eventsExecuted;
+        packets += serial[i].packetsDelivered;
+        out.anyTimeout = out.anyTimeout || serial[i].timedOut;
+        if (serial[i].telemetryDigest != parallel[i].telemetryDigest) {
+            out.digestMatch = false;
+            std::fprintf(stderr,
+                         "[bench] DIGEST MISMATCH %s: serial=%016llx parallel=%016llx\n",
+                         serial[i].name.c_str(),
+                         static_cast<unsigned long long>(serial[i].telemetryDigest),
+                         static_cast<unsigned long long>(parallel[i].telemetryDigest));
+        }
+    }
+
+    const std::uint64_t digest = combinedDigest(serial);
+    const std::string path = outDir + "/BENCH_" + sc.name + ".json";
+    std::ofstream os(path, std::ios::trunc);
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(digest));
+    os.precision(9);
+    os << "{\n"
+       << "  \"scenario\": \"" << sc.name << "\",\n"
+       << "  \"description\": \"" << sc.description << "\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"configs\": " << sc.configs.size() << ",\n"
+       << "  \"threadsParallel\": " << threads << ",\n"
+       << "  \"events\": " << events << ",\n"
+       << "  \"packets\": " << packets << ",\n"
+       << "  \"wallSecSerial\": " << wallSerial << ",\n"
+       << "  \"wallSecParallel\": " << wallParallel << ",\n"
+       << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
+       << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n"
+       << "  \"digest\": \"0x" << hex << "\",\n"
+       << "  \"digestMatch\": " << (out.digestMatch ? "true" : "false") << ",\n"
+       << "  \"anyTimeout\": " << (out.anyTimeout ? "true" : "false") << ",\n"
+       << "  \"peakRssKb\": " << peakRssKb() << "\n"
+       << "}\n";
+
+    std::fprintf(stderr,
+                 "[bench] %s: %.3fs serial / %.3fs x%d, %.0f events/s, %.0f pkts/s, "
+                 "digest 0x%s %s -> %s\n",
+                 sc.name.c_str(), wallSerial, wallParallel, threads,
+                 static_cast<double>(events) / wallSerial,
+                 static_cast<double>(packets) / wallSerial, hex,
+                 out.digestMatch ? "(match)" : "(MISMATCH)", path.c_str());
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    bool list = false;
+    int threads = 4;
+    std::string outDir = ".";
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--quick") quick = true;
+        else if (a == "--list") list = true;
+        else if (a == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
+        else if (a == "--out-dir" && i + 1 < argc) outDir = argv[++i];
+        else if (a == "--scenario" && i + 1 < argc) only = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: bench_runner [--quick] [--threads N] [--out-dir DIR] "
+                         "[--scenario NAME] [--list]\n");
+            return 2;
+        }
+    }
+    if (threads < 2) {
+        std::fprintf(stderr, "bench_runner: --threads must be >= 2 for the digest check\n");
+        return 2;
+    }
+
+    const std::vector<Scenario> scenarios{shuffleRedEcn(quick), terasortLeafSpine(quick),
+                                          faultFlapRecovery(quick)};
+    if (list) {
+        for (const auto& sc : scenarios)
+            std::printf("%-22s %s\n", sc.name.c_str(), sc.description.c_str());
+        return 0;
+    }
+
+    bool ok = true;
+    int ran = 0;
+    for (const auto& sc : scenarios) {
+        if (!only.empty() && sc.name.find(only) == std::string::npos) continue;
+        ++ran;
+        const BenchOutcome out = runScenario(sc, threads, quick, outDir);
+        ok = ok && out.digestMatch && !out.anyTimeout;
+    }
+    if (ran == 0) {
+        std::fprintf(stderr, "bench_runner: no scenario matches '%s'\n", only.c_str());
+        return 2;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "bench_runner: FAILED (digest mismatch or timeout)\n");
+        return 1;
+    }
+    return 0;
+}

@@ -3,10 +3,17 @@
 # once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
 # (-DECNSIM_SANITIZE=address,undefined). Pass --plain or --sanitize to
 # run just one leg. Extra args after -- go to ctest (e.g. -R FaultPlan).
+#
+# Environment overrides (all optional):
+#   BUILD_DIR             plain build tree      (default: <repo>/build)
+#   ASAN_BUILD_DIR        sanitizer build tree  (default: <repo>/build-asan)
+#   JOBS                  compile parallelism   (default: nproc)
+#   CTEST_PARALLEL_LEVEL  ctest parallelism     (default: JOBS)
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-jobs="$(nproc 2>/dev/null || echo 4)"
+jobs="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+ctest_jobs="${CTEST_PARALLEL_LEVEL:-$jobs}"
 legs=(plain sanitize)
 ctest_args=()
 
@@ -22,19 +29,29 @@ done
 run_leg() {
     local leg="$1" dir flags=()
     if [[ "$leg" == sanitize ]]; then
-        dir="$repo/build-asan"
+        dir="${ASAN_BUILD_DIR:-$repo/build-asan}"
         flags=(-DECNSIM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo)
     else
-        dir="$repo/build"
+        dir="${BUILD_DIR:-$repo/build}"
     fi
     echo "==> [$leg] configure + build ($dir)"
-    cmake -B "$dir" -S "$repo" "${flags[@]}" >/dev/null
-    cmake --build "$dir" -j "$jobs"
-    echo "==> [$leg] ctest"
-    ( cd "$dir" && ctest --output-on-failure -j "$jobs" "${ctest_args[@]}" )
+    # Explicit && chain: `set -e` is suspended inside an `if !` condition,
+    # so without it a failed configure would fall through to the build.
+    cmake -B "$dir" -S "$repo" "${flags[@]}" >/dev/null &&
+        cmake --build "$dir" -j "$jobs" &&
+        echo "==> [$leg] ctest" &&
+        ( cd "$dir" && ctest --output-on-failure -j "$ctest_jobs" "${ctest_args[@]}" )
 }
 
+# Propagate the first failing leg's exit code explicitly: `set -e` alone is
+# defeated when this script is invoked as `bash run_tests.sh || true` from a
+# wrapper, and CI must never report green on a failed leg.
+status=0
 for leg in "${legs[@]}"; do
-    run_leg "$leg"
+    if ! run_leg "$leg"; then
+        status=$?
+        echo "==> [$leg] FAILED (exit $status)" >&2
+        exit "$status"
+    fi
 done
 echo "==> all legs passed: ${legs[*]}"
