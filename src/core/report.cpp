@@ -121,7 +121,15 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     integer("ecnCwndCuts", r.ecnCwndCuts);
     integer("eventsExecuted", r.eventsExecuted);
     integer("packetsDelivered", r.packetsDelivered);
-    integer("telemetryDigest", r.telemetryDigest);
+    {
+        // Hex string, not a bare integer: the digest is a full 64-bit hash and
+        // values above 2^53 lose precision in double-based JSON consumers.
+        // Matches the "digest" field of BENCH_*.json.
+        char digestBuf[19];
+        std::snprintf(digestBuf, sizeof digestBuf, "0x%016llx",
+                      static_cast<unsigned long long>(r.telemetryDigest));
+        str("telemetryDigest", digestBuf);
+    }
     integer("faultDrops", r.faultDrops);
     integer("linkFlaps", r.linkFlaps);
     integer("nodeCrashes", r.nodeCrashes);

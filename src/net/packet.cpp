@@ -59,7 +59,8 @@ void PacketPool::release(Packet* p) noexcept {
                      static_cast<unsigned long long>(p->uid));
         std::abort();
     }
-    assert(s->owner == this && "packet released on a different pool/thread");
+    assert(s->owner == this && "packet released into a pool that did not allocate it");
+    assert(onOwnerThread() && "packet released on a different thread than its pool");
     s->state = detail::kSlotFree;
     s->refs = 0;
     s->nextFree = freeHead_;
@@ -80,8 +81,9 @@ PacketPtr clonePacket(const Packet& src) {
 std::string Packet::describe() const {
     char buf[160];
     std::snprintf(buf, sizeof buf, "pkt#%llu %s %u->%u flow=%u size=%d ecn=%s seq=%llu ack=%llu",
-                  static_cast<unsigned long long>(uid), std::string(packetClassName(klass())).c_str(),
-                  src, dst, flowId, sizeBytes, std::string(ecnCodepointName(ecn)).c_str(),
+                  static_cast<unsigned long long>(uid),
+                  std::string(packetClassName(klass())).c_str(), src, dst, flowId, sizeBytes,
+                  std::string(ecnCodepointName(ecn)).c_str(),
                   static_cast<unsigned long long>(seq), static_cast<unsigned long long>(ackSeq));
     return buf;
 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -157,6 +158,11 @@ public:
     /// reference drops; exposed for the pool tests. Aborts on double release.
     void release(Packet* p) noexcept;
 
+    /// True when the calling thread is the one that constructed this pool.
+    /// Refcounts and the freelist are non-atomic, so a handle crossing
+    /// threads corrupts memory; debug builds assert on this instead.
+    bool onOwnerThread() const { return std::this_thread::get_id() == ownerThread_; }
+
     struct Stats {
         std::uint64_t allocated = 0;  ///< total allocate() calls
         std::uint64_t recycled = 0;   ///< allocations served by a reused slot
@@ -166,14 +172,19 @@ public:
         std::size_t live = 0;         ///< currently allocated slots
     };
     Stats stats() const {
-        return Stats{allocated_, recycled_, released_, slabs_.size(),
-                     slabs_.size() * kSlabPackets, static_cast<std::size_t>(allocated_ - released_)};
+        return Stats{allocated_,
+                     recycled_,
+                     released_,
+                     slabs_.size(),
+                     slabs_.size() * kSlabPackets,
+                     static_cast<std::size_t>(allocated_ - released_)};
     }
 
 private:
     void grow();
 
     std::vector<std::unique_ptr<detail::PacketSlot[]>> slabs_;
+    std::thread::id ownerThread_ = std::this_thread::get_id();
     detail::PacketSlot* freeHead_ = nullptr;
     std::uint64_t allocated_ = 0;
     std::uint64_t recycled_ = 0;
@@ -235,11 +246,19 @@ public:
 
 private:
     void retain() {
-        if (p_ != nullptr) ++detail::slotOf(p_)->refs;
+        if (p_ != nullptr) {
+            assert(detail::slotOf(p_)->owner->onOwnerThread() &&
+                   "packet handle copied on a different thread than its pool");
+            ++detail::slotOf(p_)->refs;
+        }
     }
     void releaseRef() {
-        if (p_ != nullptr && --detail::slotOf(p_)->refs == 0) {
-            detail::slotOf(p_)->owner->release(p_);
+        if (p_ != nullptr) {
+            assert(detail::slotOf(p_)->owner->onOwnerThread() &&
+                   "packet handle released on a different thread than its pool");
+            if (--detail::slotOf(p_)->refs == 0) {
+                detail::slotOf(p_)->owner->release(p_);
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 // Event records and cancellable handles for the discrete-event scheduler.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -56,6 +57,9 @@ struct FlatSlotArena {
     /// Move the callable out and retire the slot (generation bump).
     EventFn release(std::uint32_t idx) {
         Slot& s = slots[idx];
+        // Releasing a retired slot would push its index onto freeList twice,
+        // aliasing two future events to one slot (cf. PacketPool::release).
+        assert(s.live && "FlatSlotArena: double release of event slot");
         EventFn fn = std::move(s.fn);
         s.fn = nullptr;
         s.live = false;

@@ -45,13 +45,14 @@ run_leg() {
 
 # Propagate the first failing leg's exit code explicitly: `set -e` alone is
 # defeated when this script is invoked as `bash run_tests.sh || true` from a
-# wrapper, and CI must never report green on a failed leg.
-status=0
+# wrapper, and CI must never report green on a failed leg. (`if ! run_leg`
+# would reset $? to the negation's status, i.e. always 0 — capture it in
+# the || branch instead, where $? still holds run_leg's real exit code.)
 for leg in "${legs[@]}"; do
-    if ! run_leg "$leg"; then
+    run_leg "$leg" || {
         status=$?
         echo "==> [$leg] FAILED (exit $status)" >&2
         exit "$status"
-    fi
+    }
 done
 echo "==> all legs passed: ${legs[*]}"
