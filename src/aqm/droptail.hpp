@@ -20,6 +20,18 @@ public:
     }
 
     std::string name() const override { return "DropTail"; }
+
+    bool checkConsistent(std::string& why) const override {
+        if (!QueueBase::checkConsistent(why)) return false;
+        const auto t = stats().total();
+        if (t.marked != 0 || t.droppedEarly != 0) {
+            why = "DropTail: recorded " + std::to_string(t.marked) + " marks and " +
+                  std::to_string(t.droppedEarly) +
+                  " early drops; a tail-drop queue can do neither";
+            return false;
+        }
+        return true;
+    }
 };
 
 }  // namespace ecnsim

@@ -30,6 +30,29 @@ public:
 
     const QueueStats& stats() const override { return stats_; }
 
+    bool checkConsistent(std::string& why) const override {
+        std::int64_t sum = 0;
+        for (const auto& p : fifo_) sum += p->sizeBytes;
+        if (sum != bytes_) {
+            why = name() + ": byte counter " + std::to_string(bytes_) +
+                  " != sum of queued packet sizes " + std::to_string(sum);
+            return false;
+        }
+        if (fifo_.size() > capacityPackets_) {
+            why = name() + ": occupancy " + std::to_string(fifo_.size()) +
+                  " exceeds capacity " + std::to_string(capacityPackets_);
+            return false;
+        }
+        const auto t = stats_.total();
+        if (t.enqueued != dequeuedTotal_ + fifo_.size()) {
+            why = name() + ": enqueued " + std::to_string(t.enqueued) +
+                  " != dequeued " + std::to_string(dequeuedTotal_) + " + occupancy " +
+                  std::to_string(fifo_.size());
+            return false;
+        }
+        return true;
+    }
+
 protected:
     /// True when admitting `pkt` would exceed the physical buffer.
     bool wouldOverflow(const Packet& pkt) const {
@@ -60,6 +83,7 @@ protected:
         if (fifo_.empty()) return nullptr;
         PacketPtr p = std::move(fifo_.front());
         fifo_.pop_front();
+        ++dequeuedTotal_;
         bytes_ -= p->sizeBytes;
         if (observer() != nullptr) observer()->onDequeue(*this, *p, now);
         touchOccupancy(now);
@@ -87,6 +111,7 @@ private:
 
     std::deque<PacketPtr> fifo_;
     std::int64_t bytes_ = 0;
+    std::uint64_t dequeuedTotal_ = 0;
     std::size_t capacityPackets_;
     std::int64_t capacityBytes_;
     QueueStats stats_;

@@ -50,6 +50,20 @@ public:
 
     std::string name() const override { return "RED"; }
 
+    bool checkConsistent(std::string& why) const override {
+        if (!QueueBase::checkConsistent(why)) return false;
+        if (avg_ < 0.0) {
+            why = "RED: average queue estimate went negative (" + std::to_string(avg_) + ")";
+            return false;
+        }
+        if (!cfg_.ecnEnabled && stats().total().marked != 0) {
+            why = "RED: " + std::to_string(stats().total().marked) +
+                  " CE marks recorded with ECN disabled";
+            return false;
+        }
+        return true;
+    }
+
     double averageQueue() const { return avg_; }
     const RedConfig& config() const { return cfg_; }
 

@@ -42,6 +42,16 @@ public:
 
     std::string name() const override { return "SimpleMarking"; }
 
+    bool checkConsistent(std::string& why) const override {
+        if (!QueueBase::checkConsistent(why)) return false;
+        if (stats().total().droppedEarly != 0) {
+            why = "SimpleMarking: " + std::to_string(stats().total().droppedEarly) +
+                  " early drops recorded; the scheme only drops on overflow";
+            return false;
+        }
+        return true;
+    }
+
     const SimpleMarkingConfig& config() const { return cfg_; }
 
 private:

@@ -63,6 +63,7 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "eventsExecuted") in >> r.eventsExecuted;
         else if (field == "packetsDelivered") in >> r.packetsDelivered;
         else if (field == "telemetryDigest") in >> r.telemetryDigest;
+        else if (field == "invariantViolations") in >> r.invariantViolations;
         else {
             std::string skip;
             in >> skip;
@@ -118,7 +119,8 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "ecnCwndCuts " << r.ecnCwndCuts << '\n'
             << "eventsExecuted " << r.eventsExecuted << '\n'
             << "packetsDelivered " << r.packetsDelivered << '\n'
-            << "telemetryDigest " << r.telemetryDigest << '\n';
+            << "telemetryDigest " << r.telemetryDigest << '\n'
+            << "invariantViolations " << r.invariantViolations << '\n';
 }
 
 }  // namespace ecnsim

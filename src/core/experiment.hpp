@@ -8,6 +8,7 @@
 #include "src/aqm/factory.hpp"
 #include "src/mapred/spec.hpp"
 #include "src/net/topology.hpp"
+#include "src/sim/invariants.hpp"
 #include "src/tcp/config.hpp"
 
 namespace ecnsim {
@@ -60,6 +61,17 @@ struct ExperimentConfig {
     int repeats = 1;
     Time horizon = Time::seconds(600);  ///< safety stop for runs gone wrong
 
+    /// Runtime invariant checking for this run (off | record | abort).
+    /// Defaults to the process-wide mode (ECNSIM_INVARIANTS / --invariants).
+    /// Deliberately NOT part of cacheKey(): checking observes the run, it
+    /// never changes simulated behaviour.
+    InvariantMode invariants = globalInvariantMode();
+
+    /// Sanity-check the configuration itself (node counts, rates, spec
+    /// strings); throws SpecError naming the bad field. Called by
+    /// runExperiment before any simulation state exists.
+    void validate() const;
+
     /// Stable textual identity used as the results-cache key.
     std::string cacheKey() const;
 };
@@ -102,6 +114,9 @@ struct ExperimentResult {
 
     std::uint64_t eventsExecuted = 0;
     std::uint64_t packetsDelivered = 0;
+    /// Invariant violations recorded across all repetitions (record mode;
+    /// abort mode never returns a result). Zero when checking was off.
+    std::uint64_t invariantViolations = 0;
     /// 64-bit hash folded over the run's telemetry stream (see
     /// NetworkTelemetry::digest); identical config + seed => identical
     /// digest, regardless of worker-thread count or host.

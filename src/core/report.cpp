@@ -130,6 +130,7 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
                       static_cast<unsigned long long>(r.telemetryDigest));
         str("telemetryDigest", digestBuf);
     }
+    integer("invariantViolations", r.invariantViolations);
     integer("faultDrops", r.faultDrops);
     integer("linkFlaps", r.linkFlaps);
     integer("nodeCrashes", r.nodeCrashes);

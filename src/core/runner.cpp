@@ -7,8 +7,42 @@
 #include "src/net/telemetry.hpp"
 #include "src/mapred/engine.hpp"
 #include "src/net/topology.hpp"
+#include "src/sim/spec_error.hpp"
 
 namespace ecnsim {
+
+void ExperimentConfig::validate() const {
+    if (topology == TopologyKind::Star && (numNodes < 2 || numNodes > 100000)) {
+        throw SpecError("numNodes", std::to_string(numNodes), "an integer in [2, 100000]");
+    }
+    if (topology == TopologyKind::LeafSpine &&
+        (leafSpine.racks < 1 || leafSpine.hostsPerRack < 1 || leafSpine.spines < 1)) {
+        throw SpecError("leafSpine",
+                        std::to_string(leafSpine.racks) + "x" +
+                            std::to_string(leafSpine.hostsPerRack) + "x" +
+                            std::to_string(leafSpine.spines),
+                        "racks, hostsPerRack and spines all >= 1");
+    }
+    if (linkRate.bps() <= 0) {
+        throw SpecError("linkRate", std::to_string(linkRate.bps()) + "bps", "a positive rate");
+    }
+    if (linkDelay.isNegative()) {
+        throw SpecError("linkDelay", linkDelay.toString(), "a non-negative delay");
+    }
+    if (hostQueuePackets < 1) {
+        throw SpecError("hostQueuePackets", std::to_string(hostQueuePackets), "at least 1");
+    }
+    if (repeats < 1 || repeats > 10000) {
+        throw SpecError("repeats", std::to_string(repeats), "an integer in [1, 10000]");
+    }
+    if (horizon <= Time::zero()) {
+        throw SpecError("horizon", horizon.toString(), "a positive duration");
+    }
+    // Parse errors surface here, before any simulation state exists.
+    if (!faultSpec.empty()) FaultPlan::parse(faultSpec);
+    cluster.validate();
+    job.validate();
+}
 
 std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
@@ -34,89 +68,119 @@ std::string ExperimentConfig::cacheKey() const {
 }
 
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
-    Simulator sim(cfg.seed);
-    Network net(sim);
+    cfg.validate();
 
-    QueueConfig switchQ = cfg.switchQueue;
-    switchQ.linkRate = cfg.linkRate;
-    switchQ.capacityPackets = bufferCapacityPackets(cfg.buffers);
-
-    const std::size_t hostCap = cfg.hostQueuePackets;
-    TopologyConfig topo;
-    topo.linkRate = cfg.linkRate;
-    topo.linkDelay = cfg.linkDelay;
-    topo.switchQueue = makeQueueFactory(switchQ, sim.rng());
-    topo.hostQueue = [hostCap] { return std::make_unique<DropTailQueue>(hostCap); };
-
-    std::vector<HostNode*> hosts;
-    if (cfg.topology == TopologyKind::Star) {
-        hosts = buildStar(net, cfg.numNodes, topo);
-    } else {
-        hosts = buildLeafSpine(net, cfg.leafSpine, topo);
-    }
-
-    ClusterSpec cluster = cfg.cluster;
-    cluster.numNodes = static_cast<int>(hosts.size());
-
-    TcpConfig tcpConfig = TcpConfig::forTransport(cfg.transport);
-    tcpConfig.ectOnControlPackets = cfg.ecnPlusPlus;
-    tcpConfig.sackEnabled = cfg.sack;
-    MapReduceEngine engine(net, hosts, cluster, cfg.job, tcpConfig);
-    if (!cfg.faultSpec.empty()) {
-        installFaults(FaultPlan::parse(cfg.faultSpec), engine.runtime());
-    }
-    engine.setOnComplete([&sim] { sim.stop(); });
-    engine.start();
-    sim.runUntil(cfg.horizon);
+    // The checker outlives the simulation objects below so the PacketPool
+    // balance can be judged after every handle has been destroyed.
+    InvariantChecker checker(cfg.invariants);
+    checker.setContext({cfg.seed, cfg.name, cfg.cacheKey(), cfg.faultSpec});
+    const std::size_t poolLiveBefore = PacketPool::local().stats().live;
 
     ExperimentResult r;
-    r.name = cfg.name;
-    r.timedOut = !engine.terminal();
-    r.jobFailed = engine.aborted();
-    r.jobError = engine.metrics().abortReason;
-    const Time runtime = engine.terminal() ? engine.metrics().runtime() : cfg.horizon;
-    r.runtimeSec = runtime.toSeconds();
-    r.throughputPerNodeMbps = engine.metrics().throughputPerNodeMbps(cluster.numNodes);
+    {
+        Simulator sim(cfg.seed);
+        sim.setInvariants(&checker);
+        Network net(sim);
 
-    const auto& tel = net.telemetry();
-    r.avgLatencyUs = tel.latencyAll().mean();
-    r.p99LatencyUs = tel.latencyQuantileUs(0.99);
-    r.avgDataLatencyUs = tel.latencyOf(PacketClass::Data).mean();
-    r.avgAckLatencyUs = tel.latencyOf(PacketClass::PureAck).mean();
-    r.fctMeanUs = engine.metrics().fctMeanUs();
-    r.fctP50Us = engine.metrics().fctQuantileUs(0.50);
-    r.fctP99Us = engine.metrics().fctQuantileUs(0.99);
+        QueueConfig switchQ = cfg.switchQueue;
+        switchQ.linkRate = cfg.linkRate;
+        switchQ.capacityPackets = bufferCapacityPackets(cfg.buffers);
 
-    const auto ack = net.switchDropSummary(PacketClass::PureAck);
-    r.ackDroppedEarly = ack.droppedEarly;
-    r.ackOffered = ack.offered();
-    const auto data = net.switchDropSummary(PacketClass::Data);
-    r.dataDropped = data.dropped();
-    r.dataOffered = data.offered();
-    const auto syn = net.switchDropSummary(PacketClass::Syn);
-    const auto synAck = net.switchDropSummary(PacketClass::SynAck);
-    r.synDropped = syn.dropped() + synAck.dropped();
-    r.synOffered = syn.offered() + synAck.offered();
-    r.ceMarks = net.switchMarksTotal();
+        const std::size_t hostCap = cfg.hostQueuePackets;
+        TopologyConfig topo;
+        topo.linkRate = cfg.linkRate;
+        topo.linkDelay = cfg.linkDelay;
+        topo.switchQueue = makeQueueFactory(switchQ, sim.rng());
+        topo.hostQueue = [hostCap] { return std::make_unique<DropTailQueue>(hostCap); };
 
-    const auto tcp = engine.aggregateTcpStats();
-    r.retransmits = tcp.retransmits;
-    r.rtoEvents = tcp.rtoEvents;
-    r.synRetries = tcp.synRetries;
-    r.ecnCwndCuts = tcp.ecnCwndCuts;
-    r.eventsExecuted = sim.eventsExecuted();
-    r.packetsDelivered = tel.packetsDelivered();
-    r.telemetryDigest = tel.digest();
+        std::vector<HostNode*> hosts;
+        if (cfg.topology == TopologyKind::Star) {
+            hosts = buildStar(net, cfg.numNodes, topo);
+        } else {
+            hosts = buildLeafSpine(net, cfg.leafSpine, topo);
+        }
 
-    const FaultCounters& faults = tel.faults();
-    r.faultDrops = faults.totalDrops();
-    r.linkFlaps = faults.linkDownEvents;
-    r.nodeCrashes = faults.nodeCrashes;
-    r.taskRetries = engine.metrics().taskRetries();
-    r.heartbeatTimeouts = engine.metrics().heartbeatTimeouts;
-    r.speculativeLaunches = engine.metrics().speculativeLaunches;
-    r.wastedBytes = engine.metrics().wastedBytes;
-    r.recoveredBytes = engine.metrics().recoveredBytes;
+        ClusterSpec cluster = cfg.cluster;
+        cluster.numNodes = static_cast<int>(hosts.size());
+
+        TcpConfig tcpConfig = TcpConfig::forTransport(cfg.transport);
+        tcpConfig.ectOnControlPackets = cfg.ecnPlusPlus;
+        tcpConfig.sackEnabled = cfg.sack;
+        MapReduceEngine engine(net, hosts, cluster, cfg.job, tcpConfig);
+        if (!cfg.faultSpec.empty()) {
+            installFaults(FaultPlan::parse(cfg.faultSpec), engine.runtime());
+        }
+        engine.setOnComplete([&sim] { sim.stop(); });
+        engine.start();
+        sim.runUntil(cfg.horizon);
+
+        // End-of-run drain point: every injected packet must have a recorded
+        // fate (or be provably parked behind a downed link / beyond the horizon).
+        net.verifyInvariants();
+
+        r.name = cfg.name;
+        r.timedOut = !engine.terminal();
+        r.jobFailed = engine.aborted();
+        r.jobError = engine.metrics().abortReason;
+        const Time runtime = engine.terminal() ? engine.metrics().runtime() : cfg.horizon;
+        r.runtimeSec = runtime.toSeconds();
+        r.throughputPerNodeMbps = engine.metrics().throughputPerNodeMbps(cluster.numNodes);
+
+        const auto& tel = net.telemetry();
+        r.avgLatencyUs = tel.latencyAll().mean();
+        r.p99LatencyUs = tel.latencyQuantileUs(0.99);
+        r.avgDataLatencyUs = tel.latencyOf(PacketClass::Data).mean();
+        r.avgAckLatencyUs = tel.latencyOf(PacketClass::PureAck).mean();
+        r.fctMeanUs = engine.metrics().fctMeanUs();
+        r.fctP50Us = engine.metrics().fctQuantileUs(0.50);
+        r.fctP99Us = engine.metrics().fctQuantileUs(0.99);
+
+        const auto ack = net.switchDropSummary(PacketClass::PureAck);
+        r.ackDroppedEarly = ack.droppedEarly;
+        r.ackOffered = ack.offered();
+        const auto data = net.switchDropSummary(PacketClass::Data);
+        r.dataDropped = data.dropped();
+        r.dataOffered = data.offered();
+        const auto syn = net.switchDropSummary(PacketClass::Syn);
+        const auto synAck = net.switchDropSummary(PacketClass::SynAck);
+        r.synDropped = syn.dropped() + synAck.dropped();
+        r.synOffered = syn.offered() + synAck.offered();
+        r.ceMarks = net.switchMarksTotal();
+
+        const auto tcp = engine.aggregateTcpStats();
+        r.retransmits = tcp.retransmits;
+        r.rtoEvents = tcp.rtoEvents;
+        r.synRetries = tcp.synRetries;
+        r.ecnCwndCuts = tcp.ecnCwndCuts;
+        r.eventsExecuted = sim.eventsExecuted();
+        r.packetsDelivered = tel.packetsDelivered();
+        r.telemetryDigest = tel.digest();
+
+        const FaultCounters& faults = tel.faults();
+        r.faultDrops = faults.totalDrops();
+        r.linkFlaps = faults.linkDownEvents;
+        r.nodeCrashes = faults.nodeCrashes;
+        r.taskRetries = engine.metrics().taskRetries();
+        r.heartbeatTimeouts = engine.metrics().heartbeatTimeouts;
+        r.speculativeLaunches = engine.metrics().speculativeLaunches;
+        r.wastedBytes = engine.metrics().wastedBytes;
+        r.recoveredBytes = engine.metrics().recoveredBytes;
+    }
+
+    // Teardown drained every queue, wire and TCP buffer: the pool must be
+    // back to its pre-run live count or a handle leaked somewhere.
+    if (checker.enabled()) {
+        const std::size_t poolLiveAfter = PacketPool::local().stats().live;
+        if (poolLiveAfter != poolLiveBefore) {
+            checker.violation(InvariantClass::PoolBalance, Time::zero(), r.eventsExecuted,
+                              "PacketPool live slots: " + std::to_string(poolLiveAfter) +
+                                  " after teardown vs " + std::to_string(poolLiveBefore) +
+                                  " before the run");
+        } else {
+            checker.passed();
+        }
+    }
+    r.invariantViolations = checker.totalViolations();
     return r;
 }
 
@@ -169,6 +233,9 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         cuts += r.ecnCwndCuts;
         events += r.eventsExecuted;
         pkts += r.packetsDelivered;
+        // Violations are summed, never averaged: one violation anywhere in
+        // the repetition set must stay visible in the aggregate.
+        avg.invariantViolations += r.invariantViolations;
         digest = NetworkTelemetry::foldDigest(digest, r.telemetryDigest);
     }
     avg.ackDroppedEarly = meanU64(ackD);

@@ -616,6 +616,9 @@ void MapReduceEngine::onReducerDone(int redId) {
     if (completedReducers_ == job_.numReduceTasks) {
         metrics_.jobEnd = sim().now();
         metrics_.finished = true;
+        // Drain point: with the job done, every packet the shuffle injected
+        // must already have a recorded fate (or be demonstrably in flight).
+        rt_.network().verifyInvariants();
         if (onComplete_) onComplete_();
     }
 }

@@ -52,6 +52,9 @@ int ClusterRuntime::liveNodes() const {
 
 void installFaults(const FaultPlan& plan, ClusterRuntime& rt) {
     Network& net = rt.network();
+    // Fail at bind time, not as an out_of_range mid-run: every target must
+    // exist in this topology.
+    plan.validate(net.numLinks(), static_cast<std::size_t>(rt.numNodes()));
     plan.install(net.sim(), [&net, &rt](const FaultEvent& e) {
         switch (e.kind) {
             case FaultKind::LinkDown:

@@ -45,10 +45,32 @@ void Port::setUp(bool up) {
     }
 }
 
+bool Port::checkBalance(std::string& why) const {
+    if (peer_ == nullptr) return true;  // unattached ports discard by design
+    const std::uint64_t accounted = pktsDeliveredToPeer_ + faultInFlightDrops_ +
+                                    faultRandomLossDrops_ + wireInFlight_ +
+                                    (busy_ ? 1u : 0u);
+    if (pktsTx_ == accounted) return true;
+    why = "port balance: pktsTx=" + std::to_string(pktsTx_) +
+          " != delivered=" + std::to_string(pktsDeliveredToPeer_) +
+          " + inFlightDrops=" + std::to_string(faultInFlightDrops_) +
+          " + lossDrops=" + std::to_string(faultRandomLossDrops_) +
+          " + wire=" + std::to_string(wireInFlight_) + " + serializing=" +
+          std::to_string(busy_ ? 1 : 0);
+    return false;
+}
+
 void Port::tryTransmit() {
     if (busy_ || !up_ || queue_->empty()) return;
     PacketPtr pkt = queue_->dequeue(sim_.now());
     if (!pkt) return;
+    if (leakNext_) {
+        // Deliberate corruption (tests only): the packet evaporates here
+        // with no fate recorded anywhere.
+        leakNext_ = false;
+        tryTransmit();
+        return;
+    }
     busy_ = true;
     bytesTx_ += static_cast<std::uint64_t>(pkt->sizeBytes);
     ++pktsTx_;
@@ -73,13 +95,16 @@ void Port::tryTransmit() {
             Node* peer = peer_;
             const int inPort = peerInPort_;
             pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
+            ++wireInFlight_;
             sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
                                               pkt = std::move(pkt)]() mutable {
+                --wireInFlight_;
                 if (flapEpoch_ != epoch) {
                     // Lost mid-flight: the link went down under the packet.
                     recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
                     return;
                 }
+                ++pktsDeliveredToPeer_;
                 peer->handleReceive(std::move(pkt), inPort);
             });
         }

@@ -69,6 +69,24 @@ public:
     std::uint64_t bytesTransmitted() const { return bytesTx_; }
     std::uint64_t packetsTransmitted() const { return pktsTx_; }
 
+    /// Packets handed to the peer node after propagation.
+    std::uint64_t packetsDeliveredToPeer() const { return pktsDeliveredToPeer_; }
+    /// Packets currently propagating on the wire (serialized, not yet at
+    /// the peer and not yet recorded as a fault drop).
+    std::uint64_t wireInFlight() const { return wireInFlight_; }
+
+    /// Port-local conservation: every packet that started transmission is
+    /// delivered, fault-dropped, or still on the wire/serializer. Returns
+    /// false and fills `why` on imbalance. Ports without a peer discard
+    /// serialized packets by design and are skipped (returns true).
+    bool checkBalance(std::string& why) const;
+
+    /// Test-only corruption hook: the next dequeued packet is silently
+    /// discarded with NO fate recorded — no tx count, no drop, no delivery.
+    /// Exists to prove the conservation ledger catches a leaked packet;
+    /// never called by model code.
+    void testOnlyLeakNextPacket() { leakNext_ = true; }
+
     // Port-local fault accounting (ground truth the telemetry aggregates
     // must reconcile with).
     std::uint64_t faultRejectedSends() const { return faultRejectedSends_; }
@@ -100,6 +118,9 @@ private:
     std::uint64_t flapEpoch_ = 0;
     std::uint64_t bytesTx_ = 0;
     std::uint64_t pktsTx_ = 0;
+    std::uint64_t pktsDeliveredToPeer_ = 0;
+    std::uint64_t wireInFlight_ = 0;
+    bool leakNext_ = false;
     std::uint64_t faultRejectedSends_ = 0;
     std::uint64_t faultQueuePurgeDrops_ = 0;
     std::uint64_t faultInFlightDrops_ = 0;

@@ -55,6 +55,9 @@ void Network::setLinkUp(std::size_t i, bool up) {
     } else {
         ++telemetry_.faults().linkDownEvents;
     }
+    // Drain point: a flap just purged queues and doomed in-flight packets;
+    // all of that must be accounted for the instant the transition is done.
+    verifyInvariants();
 }
 
 bool Network::linkUp(std::size_t i) {
@@ -76,6 +79,77 @@ std::uint64_t Network::portFaultDropsTotal() const {
         }
     }
     return total;
+}
+
+std::uint64_t Network::verifyInvariants() {
+    InvariantChecker* inv = sim_.invariants();
+    if (inv == nullptr) return 0;
+    const std::uint64_t before = inv->totalViolations();
+    const Time now = sim_.now();
+    const std::uint64_t evt = sim_.eventsExecuted();
+    std::string why;
+
+    // Structural sweep: every egress queue's redundant state must agree,
+    // and every port's transmit ledger must balance.
+    std::uint64_t queueDrops = 0;
+    std::uint64_t queuedPackets = 0;
+    std::uint64_t inTransit = 0;
+    for (const auto& node : nodes_) {
+        for (std::size_t p = 0; p < node->numPorts(); ++p) {
+            const Port& port = node->port(p);
+            const Queue& q = port.queue();
+            if (!q.checkConsistent(why)) {
+                inv->violation(InvariantClass::QueueAccounting, now, evt,
+                               node->label() + " port " + std::to_string(p) + ": " + why);
+            } else {
+                inv->passed();
+            }
+            if (!port.checkBalance(why)) {
+                inv->violation(InvariantClass::PacketConservation, now, evt,
+                               node->label() + " port " + std::to_string(p) + ": " + why);
+            } else {
+                inv->passed();
+            }
+            const auto t = q.stats().total();
+            queueDrops += t.droppedEarly + t.droppedOverflow;
+            queuedPackets += q.lengthPackets();
+            inTransit += port.wireInFlight() + (port.transmitting() ? 1u : 0u);
+        }
+    }
+
+    // Exactly-once fault accounting: the telemetry aggregates must equal
+    // the sum of the per-port ground-truth counters (noRouteDrops is
+    // switch-level, not port-level).
+    const FaultCounters& f = telemetry_.faults();
+    const std::uint64_t portBuckets =
+        f.rejectedSends + f.queuePurgeDrops + f.inFlightDrops + f.randomLossDrops;
+    if (portBuckets != portFaultDropsTotal()) {
+        inv->violation(InvariantClass::PacketConservation, now, evt,
+                       "fault-counter reconciliation: telemetry port buckets " +
+                           std::to_string(portBuckets) + " != per-port ground truth " +
+                           std::to_string(portFaultDropsTotal()));
+    } else {
+        inv->passed();
+    }
+
+    // The global ledger: every injected packet is delivered, dropped for a
+    // recorded reason, or demonstrably somewhere in the network right now.
+    const std::uint64_t injected = telemetry_.packetsInjected();
+    const std::uint64_t accounted = telemetry_.packetsDelivered() + queueDrops +
+                                    f.totalDrops() + queuedPackets + inTransit;
+    if (injected != accounted) {
+        inv->violation(
+            InvariantClass::PacketConservation, now, evt,
+            "conservation: injected " + std::to_string(injected) + " != delivered " +
+                std::to_string(telemetry_.packetsDelivered()) + " + queueDrops " +
+                std::to_string(queueDrops) + " + faultDrops " +
+                std::to_string(f.totalDrops()) + " + queued " +
+                std::to_string(queuedPackets) + " + inTransit " + std::to_string(inTransit));
+    } else {
+        inv->passed();
+    }
+
+    return inv->totalViolations() - before;
 }
 
 void Network::installRoutes() {

@@ -82,6 +82,16 @@ public:
     /// network — the ground truth telemetry's FaultCounters must match.
     std::uint64_t portFaultDropsTotal() const;
 
+    // -------------------------------------------------------- invariants
+    /// Run the packet-conservation ledger and the structural sweeps,
+    /// reporting violations to the simulator's active invariant checker:
+    /// per-queue self-consistency, per-port transmit balance, telemetry
+    /// fault-counter reconciliation, and the global
+    /// `injected == delivered + dropped(by reason) + in-flight` equation.
+    /// Valid at any event boundary, not just end-of-run. Returns the number
+    /// of violations found in this sweep (0 when checking is off).
+    std::uint64_t verifyInvariants();
+
 private:
     friend class HostNode;
 

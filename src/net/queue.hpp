@@ -125,6 +125,14 @@ public:
     /// Human-readable discipline name ("DropTail", "RED", ...).
     virtual std::string name() const = 0;
 
+    /// Structural self-check: redundant state (byte counter vs. actual
+    /// contents, stats vs. occupancy) must agree. Returns false and fills
+    /// `why` on disagreement. Default: nothing to check.
+    virtual bool checkConsistent(std::string& why) const {
+        (void)why;
+        return true;
+    }
+
 private:
     QueueObserver* observer_ = nullptr;
 };

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/sim/spec_error.hpp"
 
 namespace ecnsim {
 
@@ -30,35 +35,59 @@ std::vector<std::string> split(const std::string& s, char sep) {
 }
 
 [[noreturn]] void fail(const std::string& clause, const std::string& why) {
-    throw std::invalid_argument("bad fault clause '" + clause + "': " + why);
+    throw SpecError("fault clause '" + clause + "'", clause, why);
 }
 
-int parseIndex(const std::string& clause, const std::string& val) {
+int parseIndex(const std::string& clause, const std::string& key, const std::string& val) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(val.c_str(), &end, 10);
-    if (val.empty() || end == nullptr || *end != '\0' || v < 0) {
-        fail(clause, "expected a non-negative integer, got: " + val);
+    if (val.empty() || end == nullptr || *end != '\0' || errno == ERANGE || v < 0 ||
+        v > INT_MAX) {
+        throw SpecError("fault clause '" + clause + "' field '" + key + "'", val,
+                        "an integer in [0, " + std::to_string(INT_MAX) + "]");
     }
     return static_cast<int>(v);
+}
+
+double parseProbability(const std::string& clause, const std::string& val) {
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(val.c_str(), &end);
+    if (val.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v) || v < 0.0 || v > 1.0) {
+        throw SpecError("fault clause '" + clause + "' field 'p'", val,
+                        "a probability in [0, 1]");
+    }
+    return v;
 }
 
 }  // namespace
 
 Time FaultPlan::parseDuration(const std::string& s) {
-    if (s.empty()) throw std::invalid_argument("empty duration");
+    const auto bad = [&s](const std::string& expected) -> SpecError {
+        return SpecError("duration", s, expected);
+    };
+    if (s.empty()) throw bad("a number with a unit suffix (ns|us|ms|s)");
     std::size_t pos = 0;
     double value = 0.0;
     try {
         value = std::stod(s, &pos);
     } catch (const std::exception&) {
-        throw std::invalid_argument("bad duration: " + s);
+        throw bad("a number with a unit suffix (ns|us|ms|s)");
     }
+    if (!std::isfinite(value)) throw bad("a finite duration");
+    double scale = 0.0;  // in nanoseconds
     const std::string unit = s.substr(pos);
-    if (unit == "ns") return Time::nanoseconds(static_cast<std::int64_t>(value));
-    if (unit == "us") return Time::fromSeconds(value * 1e-6);
-    if (unit == "ms") return Time::fromSeconds(value * 1e-3);
-    if (unit == "s") return Time::fromSeconds(value);
-    throw std::invalid_argument("duration needs a unit suffix (ns|us|ms|s): " + s);
+    if (unit == "ns") scale = 1.0;
+    else if (unit == "us") scale = 1e3;
+    else if (unit == "ms") scale = 1e6;
+    else if (unit == "s") scale = 1e9;
+    else throw bad("a unit suffix of ns, us, ms or s");
+    const double ns = value * scale;
+    // Stay strictly inside int64 so the double->int cast below is defined.
+    if (ns > 9.2e18 || ns < -9.2e18) throw bad("a duration that fits the ns clock");
+    return Time::nanoseconds(static_cast<std::int64_t>(ns + (ns >= 0 ? 0.5 : -0.5)));
 }
 
 void FaultPlan::add(FaultEvent e) {
@@ -76,15 +105,32 @@ void FaultPlan::addLinkDown(Time at, int link) {
     add(FaultEvent{at, FaultKind::LinkDown, link, 0.0});
 }
 
+namespace {
+/// `at + dur` would overflow the signed ns clock.
+bool endOverflows(Time at, Time dur) {
+    return dur > Time::zero() && at > Time::max() - dur;
+}
+}  // namespace
+
 void FaultPlan::addLinkFlap(Time at, int link, Time downFor) {
-    if (downFor <= Time::zero()) throw std::invalid_argument("flap duration must be positive");
+    if (downFor <= Time::zero()) {
+        throw SpecError("flap duration", downFor.toString(), "a positive duration");
+    }
+    if (endOverflows(at, downFor)) {
+        throw SpecError("flap end time", (at.toString() + " + " + downFor.toString()),
+                        "a time that fits the ns clock");
+    }
     add(FaultEvent{at, FaultKind::LinkDown, link, 0.0});
     add(FaultEvent{at + downFor, FaultKind::LinkUp, link, 0.0});
 }
 
 void FaultPlan::addLinkLoss(Time at, int link, double lossRate, Time duration) {
     if (lossRate < 0.0 || lossRate > 1.0) {
-        throw std::invalid_argument("loss rate must be in [0, 1]");
+        throw SpecError("loss rate", std::to_string(lossRate), "a probability in [0, 1]");
+    }
+    if (endOverflows(at, duration)) {
+        throw SpecError("loss end time", (at.toString() + " + " + duration.toString()),
+                        "a time that fits the ns clock");
     }
     add(FaultEvent{at, FaultKind::LinkDegrade, link, lossRate});
     if (duration > Time::zero()) {
@@ -93,6 +139,10 @@ void FaultPlan::addLinkLoss(Time at, int link, double lossRate, Time duration) {
 }
 
 void FaultPlan::addNodeCrash(Time at, int node, Time downFor) {
+    if (endOverflows(at, downFor)) {
+        throw SpecError("crash end time", (at.toString() + " + " + downFor.toString()),
+                        "a time that fits the ns clock");
+    }
     add(FaultEvent{at, FaultKind::NodeCrash, node, 0.0});
     if (downFor > Time::zero()) {
         add(FaultEvent{at + downFor, FaultKind::NodeRecover, node, 0.0});
@@ -107,8 +157,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         const std::string verb = clause.substr(0, at);
 
         const auto fields = split(clause.substr(at + 1), ':');
-        if (fields.empty()) fail(clause, "missing timestamp");
+        if (fields.empty()) fail(clause, "a timestamp after '@'");
         const Time when = parseDuration(fields[0]);
+        if (when.isNegative()) fail(clause, "a non-negative timestamp");
 
         int link = -1, node = -1;
         double p = -1.0;
@@ -118,11 +169,11 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             if (eq == std::string::npos) fail(clause, "expected key=value: " + fields[i]);
             const std::string key = fields[i].substr(0, eq);
             const std::string val = fields[i].substr(eq + 1);
-            if (key == "link") link = parseIndex(clause, val);
-            else if (key == "node") node = parseIndex(clause, val);
-            else if (key == "p") p = std::atof(val.c_str());
+            if (key == "link") link = parseIndex(clause, key, val);
+            else if (key == "node") node = parseIndex(clause, key, val);
+            else if (key == "p") p = parseProbability(clause, val);
             else if (key == "for") forDur = parseDuration(val);
-            else fail(clause, "unknown key: " + key);
+            else fail(clause, "one of link=, node=, p=, for= (unknown key: " + key + ")");
         }
 
         if (verb == "flap") {
@@ -144,6 +195,20 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         }
     }
     return plan;
+}
+
+void FaultPlan::validate(std::size_t numLinks, std::size_t numNodes) const {
+    for (const FaultEvent& e : events_) {
+        const bool isNode = e.kind == FaultKind::NodeCrash || e.kind == FaultKind::NodeRecover;
+        const std::size_t limit = isNode ? numNodes : numLinks;
+        if (static_cast<std::size_t>(e.target) >= limit) {
+            throw SpecError(std::string("fault event '") + std::string(faultKindName(e.kind)) +
+                                "' target",
+                            std::to_string(e.target),
+                            std::string(isNode ? "a node index" : "a link index") + " in [0, " +
+                                std::to_string(limit) + ")");
+        }
+    }
 }
 
 std::string FaultPlan::describe() const {

@@ -66,11 +66,19 @@ public:
     void addNodeCrash(Time at, int node, Time downFor = Time::zero());
     void add(FaultEvent e);
 
-    /// Parse the spec grammar above; throws std::invalid_argument on error.
+    /// Parse the spec grammar above; throws SpecError (an
+    /// std::invalid_argument naming field, value and expected range) on any
+    /// malformed clause — junk never reaches the event list.
     static FaultPlan parse(const std::string& spec);
 
-    /// Duration-aware helper: "2s" -> Time::seconds(2). Throws on junk.
+    /// Duration-aware helper: "2s" -> Time::seconds(2). Throws SpecError on
+    /// junk, non-finite values, or magnitudes that overflow the ns clock.
     static Time parseDuration(const std::string& s);
+
+    /// Bind-time range check: every link target must be < numLinks and
+    /// every node target < numNodes. Throws SpecError naming the offending
+    /// event otherwise. Called by installFaults before scheduling anything.
+    void validate(std::size_t numLinks, std::size_t numNodes) const;
 
     std::string describe() const;
 

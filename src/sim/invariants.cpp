@@ -1,0 +1,288 @@
+#include "src/sim/invariants.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ECNSIM_HAVE_SIGNAL_FORENSICS 1
+#endif
+
+namespace ecnsim {
+
+namespace {
+
+// The most recently constructed enabled checker: best-effort target for the
+// fatal-signal dump. Plain atomic pointer; the handler only reads POD state
+// through it (ring storage never reallocates).
+std::atomic<InvariantChecker*> g_activeChecker{nullptr};
+
+std::atomic<int> g_globalMode{-1};  // -1 = not yet initialized from env
+
+std::string jsonEscapeLocal(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string sanitizeForFilename(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty()) out = "run";
+    if (out.size() > 80) out.resize(80);
+    return out;
+}
+
+std::string defaultBundleDir() {
+    const char* env = std::getenv("ECNSIM_BUNDLE_DIR");
+    return env != nullptr && *env != '\0' ? std::string(env) : std::string(".");
+}
+
+#ifdef ECNSIM_HAVE_SIGNAL_FORENSICS
+
+// ----- async-signal-safe helpers for the crash handler -------------------
+
+void sigWrite(int fd, const char* s) {
+    const ssize_t ignored = ::write(fd, s, std::strlen(s));
+    (void)ignored;
+}
+
+void sigWriteNum(int fd, long long v) {
+    char buf[24];
+    char* p = buf + sizeof buf;
+    const bool neg = v < 0;
+    unsigned long long u = neg ? 0ull - static_cast<unsigned long long>(v)
+                               : static_cast<unsigned long long>(v);
+    do {
+        *--p = static_cast<char>('0' + (u % 10));
+        u /= 10;
+    } while (u != 0);
+    if (neg) *--p = '-';
+    const ssize_t ignored = ::write(fd, p, static_cast<std::size_t>(buf + sizeof buf - p));
+    (void)ignored;
+}
+
+void crashHandler(int sig) {
+    // Restore the default disposition first so a fault inside the handler
+    // (or the final re-raise) terminates instead of looping.
+    std::signal(sig, SIG_DFL);
+
+    InvariantChecker* c = g_activeChecker.load(std::memory_order_acquire);
+    const int fd = ::open("ecnsim_crash_forensics.json",
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const int out = fd >= 0 ? fd : 2;
+    sigWrite(out, "{\"kind\":\"ecnsim-crash-forensics\",\"signal\":");
+    sigWriteNum(out, sig);
+    if (c != nullptr) {
+        sigWrite(out, ",\"seed\":");
+        sigWriteNum(out, static_cast<long long>(c->context().seed));
+        sigWrite(out, ",\"violations\":");
+        sigWriteNum(out, static_cast<long long>(c->totalViolations()));
+        sigWrite(out, ",\"ringRecorded\":");
+        sigWriteNum(out, static_cast<long long>(c->ring().recorded()));
+        sigWrite(out, ",\"ring\":[");
+        const ForensicsRing& ring = c->ring();
+        const ForensicsRing::Entry* e = ring.data();
+        const std::size_t cap = ring.capacity();
+        const std::size_t head = ring.head();
+        bool first = true;
+        for (std::size_t i = 0; i < cap; ++i) {
+            const ForensicsRing::Entry& entry = e[(head + i) % cap];
+            if (entry.seq == 0 && entry.atNs == 0 && entry.op == ForensicsRing::Op::Note) {
+                continue;  // never written
+            }
+            if (!first) sigWrite(out, ",");
+            first = false;
+            sigWrite(out, "[");
+            sigWriteNum(out, entry.atNs);
+            sigWrite(out, ",");
+            sigWriteNum(out, static_cast<long long>(entry.seq));
+            sigWrite(out, ",");
+            sigWriteNum(out, static_cast<long long>(entry.op));
+            sigWrite(out, "]");
+        }
+        sigWrite(out, "]");
+    }
+    sigWrite(out, "}\n");
+    if (fd >= 0) ::close(fd);
+    sigWrite(2, "ecnsim: fatal signal; forensics in ecnsim_crash_forensics.json\n");
+    ::raise(sig);
+}
+
+#endif  // ECNSIM_HAVE_SIGNAL_FORENSICS
+
+}  // namespace
+
+InvariantMode parseInvariantMode(const std::string& s) {
+    if (s == "off") return InvariantMode::Off;
+    if (s == "record") return InvariantMode::Record;
+    if (s == "abort") return InvariantMode::Abort;
+    throw std::invalid_argument("invariant mode: got '" + s + "': expected off|record|abort");
+}
+
+std::vector<ForensicsRing::Entry> ForensicsRing::tail() const {
+    std::vector<Entry> out;
+    const std::size_t n = recorded_ < entries_.size()
+                              ? static_cast<std::size_t>(recorded_)
+                              : entries_.size();
+    out.reserve(n);
+    // Oldest retained entry sits at head_ once the ring has wrapped.
+    const std::size_t start = recorded_ < entries_.size() ? 0 : head_;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(entries_[(start + i) % entries_.size()]);
+    }
+    return out;
+}
+
+InvariantMode InvariantChecker::globalDefault() {
+    int m = g_globalMode.load(std::memory_order_relaxed);
+    if (m < 0) {
+        InvariantMode parsed = InvariantMode::Off;
+        if (const char* env = std::getenv("ECNSIM_INVARIANTS")) {
+            try {
+                parsed = parseInvariantMode(env);
+            } catch (const std::invalid_argument&) {
+                std::fprintf(stderr,
+                             "ecnsim: ignoring unparsable ECNSIM_INVARIANTS='%s' "
+                             "(expected off|record|abort)\n",
+                             env);
+            }
+        }
+        m = static_cast<int>(parsed);
+        g_globalMode.store(m, std::memory_order_relaxed);
+    }
+    return static_cast<InvariantMode>(m);
+}
+
+void InvariantChecker::setGlobalDefault(InvariantMode m) {
+    g_globalMode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+InvariantChecker::InvariantChecker(InvariantMode mode)
+    : mode_(mode), bundleDir_(defaultBundleDir()) {
+    if (enabled()) g_activeChecker.store(this, std::memory_order_release);
+}
+
+InvariantChecker::~InvariantChecker() {
+    InvariantChecker* self = this;
+    g_activeChecker.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+void InvariantChecker::violation(InvariantClass c, Time at, std::uint64_t eventIndex,
+                                 std::string detail) {
+    if (!enabled()) return;
+    ++totalViolations_;
+    ++countByClass_[static_cast<std::size_t>(c)];
+    InvariantViolation v{c, at, eventIndex, std::move(detail)};
+    ring_.push(ForensicsRing::Op::Note, at, eventIndex,
+               static_cast<std::uint64_t>(c));
+    if (violations_.size() < kMaxStoredViolations) violations_.push_back(v);
+    if (mode_ == InvariantMode::Abort) {
+        const std::string path = writeBundle(std::string(invariantClassName(c)) + ": " + v.detail);
+        std::fprintf(stderr,
+                     "ecnsim: INVARIANT VIOLATION [%s] at t=%s (event %llu): %s\n"
+                     "ecnsim: repro bundle: %s\n",
+                     std::string(invariantClassName(c)).c_str(), at.toString().c_str(),
+                     static_cast<unsigned long long>(eventIndex), v.detail.c_str(),
+                     path.empty() ? "(write failed)" : path.c_str());
+        if (abortHandler_) {
+            abortHandler_(v);
+            return;  // the handler chose to continue (tests throw instead)
+        }
+        std::abort();
+    }
+}
+
+std::string InvariantChecker::bundleJson(const std::string& reason) const {
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"kind\": \"ecnsim-invariant-bundle\",\n"
+       << "  \"version\": 1,\n"
+       << "  \"reason\": \"" << jsonEscapeLocal(reason) << "\",\n"
+       << "  \"mode\": \"" << invariantModeName(mode_) << "\",\n"
+       << "  \"seed\": " << ctx_.seed << ",\n"
+       << "  \"label\": \"" << jsonEscapeLocal(ctx_.label) << "\",\n"
+       << "  \"configKey\": \"" << jsonEscapeLocal(ctx_.configKey) << "\",\n"
+       << "  \"faultSpec\": \"" << jsonEscapeLocal(ctx_.faultSpec) << "\",\n"
+       << "  \"replay\": \"ecnlab run --seed " << ctx_.seed
+       << (ctx_.faultSpec.empty() ? "" : " --faults '" + ctx_.faultSpec + "'")
+       << " --invariants=abort\",\n"
+       << "  \"totalViolations\": " << totalViolations_ << ",\n"
+       << "  \"checksPassed\": " << checksPassed_ << ",\n"
+       << "  \"byClass\": {";
+    for (std::size_t i = 0; i < kNumInvariantClasses; ++i) {
+        os << (i ? ", " : "") << '"' << invariantClassName(static_cast<InvariantClass>(i))
+           << "\": " << countByClass_[i];
+    }
+    os << "},\n  \"violations\": [\n";
+    for (std::size_t i = 0; i < violations_.size(); ++i) {
+        const InvariantViolation& v = violations_[i];
+        os << "    {\"class\": \"" << invariantClassName(v.klass) << "\", \"atNs\": "
+           << v.at.ns() << ", \"eventIndex\": " << v.eventIndex << ", \"detail\": \""
+           << jsonEscapeLocal(v.detail) << "\"}" << (i + 1 < violations_.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ],\n  \"ringRecorded\": " << ring_.recorded() << ",\n  \"ring\": [\n";
+    const auto tail = ring_.tail();
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        const auto& e = tail[i];
+        os << "    {\"op\": \"" << forensicsOpName(e.op) << "\", \"atNs\": " << e.atNs
+           << ", \"seq\": " << e.seq << ", \"tag\": " << e.tag << "}"
+           << (i + 1 < tail.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string InvariantChecker::writeBundle(const std::string& reason) {
+    const std::string path = bundleDir_ + "/invariant_bundle_" +
+                             sanitizeForFilename(ctx_.label) + "_seed" +
+                             std::to_string(ctx_.seed) + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) return std::string{};
+    out << bundleJson(reason);
+    if (!out) return std::string{};
+    lastBundlePath_ = path;
+    return path;
+}
+
+void installCrashForensicsHandler() {
+#ifdef ECNSIM_HAVE_SIGNAL_FORENSICS
+    static std::atomic<bool> installed{false};
+    bool expected = false;
+    if (!installed.compare_exchange_strong(expected, true)) return;
+    std::signal(SIGSEGV, crashHandler);
+    std::signal(SIGBUS, crashHandler);
+    std::signal(SIGFPE, crashHandler);
+    std::signal(SIGABRT, crashHandler);
+#endif
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,234 @@
+// Runtime invariant checking: packet-conservation ledger, structural
+// self-checks and crash forensics for the simulator.
+//
+// The checker is the tripwire behind the paper's accounting claims: the
+// headline numbers rest on every packet's fate (delivered, AQM-dropped,
+// fault-dropped, still in flight) being counted exactly once, and the
+// allocation-free hot path introduced in PR 2 is exactly the kind of code
+// whose bugs would corrupt those counts silently. Model layers report
+// violations here; the checker decides what happens based on its mode:
+//
+//   off    - every check site is a single predictable branch; nothing runs.
+//   record - violations are recorded (bounded) and surfaced in results;
+//            cheap enough to leave on in normal runs.
+//   abort  - first violation writes a JSON repro bundle (seed, config,
+//            fault spec, forensics ring tail) and aborts the process, so
+//            CI fails loudly with a one-command rerun recipe attached.
+//
+// The checker itself is model-agnostic (it lives in src/sim and knows
+// nothing about packets or queues); the conservation ledger proper is
+// computed by Network::verifyInvariants and reported through violation().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+enum class InvariantMode : std::uint8_t { Off, Record, Abort };
+
+constexpr std::string_view invariantModeName(InvariantMode m) {
+    switch (m) {
+        case InvariantMode::Off: return "off";
+        case InvariantMode::Record: return "record";
+        case InvariantMode::Abort: return "abort";
+    }
+    return "?";
+}
+
+/// Parse "off" | "record" | "abort"; throws std::invalid_argument on junk.
+InvariantMode parseInvariantMode(const std::string& s);
+
+/// Broad classes of invariant, used for per-class counters and reporting.
+enum class InvariantClass : std::uint8_t {
+    PacketConservation,  ///< injected != delivered + dropped(by reason) + in-flight
+    EventOrdering,       ///< the event clock ran backwards
+    QueueAccounting,     ///< a queue's redundant state disagrees with itself
+    TcpStateMachine,     ///< illegal TCP connection state transition
+    PoolBalance,         ///< PacketPool live slots leaked across a run
+};
+constexpr std::size_t kNumInvariantClasses = 5;
+
+constexpr std::string_view invariantClassName(InvariantClass c) {
+    switch (c) {
+        case InvariantClass::PacketConservation: return "packet-conservation";
+        case InvariantClass::EventOrdering: return "event-ordering";
+        case InvariantClass::QueueAccounting: return "queue-accounting";
+        case InvariantClass::TcpStateMachine: return "tcp-state-machine";
+        case InvariantClass::PoolBalance: return "pool-balance";
+    }
+    return "?";
+}
+
+struct InvariantViolation {
+    InvariantClass klass = InvariantClass::PacketConservation;
+    Time at;                       ///< simulated time of detection
+    std::uint64_t eventIndex = 0;  ///< events executed when detected
+    std::string detail;
+};
+
+/// Fixed-capacity ring of the most recent scheduler activity. Entries are
+/// POD and the storage never reallocates after construction, so pushes are
+/// a handful of stores and the crash signal handler can walk the buffer
+/// without touching the allocator.
+class ForensicsRing {
+public:
+    enum class Op : std::uint8_t { Schedule, Execute, Note };
+
+    struct Entry {
+        std::int64_t atNs = 0;
+        std::uint64_t seq = 0;
+        std::uint64_t tag = 0;
+        Op op = Op::Note;
+    };
+
+    static constexpr std::size_t kDefaultCapacity = 64;
+
+    explicit ForensicsRing(std::size_t capacity = kDefaultCapacity)
+        : entries_(capacity == 0 ? 1 : capacity) {}
+
+    void push(Op op, Time at, std::uint64_t seq, std::uint64_t tag = 0) {
+        Entry& e = entries_[head_];
+        e.atNs = at.ns();
+        e.seq = seq;
+        e.tag = tag;
+        e.op = op;
+        head_ = (head_ + 1) % entries_.size();
+        ++recorded_;
+    }
+
+    /// Oldest-to-newest view of what is retained.
+    std::vector<Entry> tail() const;
+
+    std::size_t capacity() const { return entries_.size(); }
+    std::uint64_t recorded() const { return recorded_; }
+
+    // Raw access for the async-signal crash dump (storage is stable).
+    const Entry* data() const { return entries_.data(); }
+    std::size_t head() const { return head_; }
+
+private:
+    std::vector<Entry> entries_;
+    std::size_t head_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+constexpr std::string_view forensicsOpName(ForensicsRing::Op op) {
+    switch (op) {
+        case ForensicsRing::Op::Schedule: return "sched";
+        case ForensicsRing::Op::Execute: return "exec";
+        case ForensicsRing::Op::Note: return "note";
+    }
+    return "?";
+}
+
+/// One simulation run's invariant state: mode, violation ledger, forensics
+/// ring and the repro-bundle metadata. Owned either by the run driver
+/// (runExperiment) or internally by a Simulator when the global mode is on.
+class InvariantChecker {
+public:
+    /// Everything a repro bundle needs for a one-command rerun.
+    struct RunContext {
+        std::uint64_t seed = 0;
+        std::string label;      ///< experiment name ("" for ad-hoc sims)
+        std::string configKey;  ///< ExperimentConfig::cacheKey() when known
+        std::string faultSpec;
+    };
+
+    /// At most this many violations keep their full detail string; the
+    /// per-class counters keep counting past the cap.
+    static constexpr std::size_t kMaxStoredViolations = 64;
+
+    explicit InvariantChecker(InvariantMode mode = globalDefault());
+    ~InvariantChecker();
+
+    InvariantChecker(const InvariantChecker&) = delete;
+    InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+    InvariantMode mode() const { return mode_; }
+    bool enabled() const { return mode_ != InvariantMode::Off; }
+
+    void setContext(RunContext ctx) { ctx_ = std::move(ctx); }
+    const RunContext& context() const { return ctx_; }
+
+    /// Directory bundles are written to (default: ECNSIM_BUNDLE_DIR or ".").
+    void setBundleDir(std::string dir) { bundleDir_ = std::move(dir); }
+    const std::string& bundleDir() const { return bundleDir_; }
+
+    // ----------------------------------------------------- hot-path hooks
+    // Callers must gate on enabled(); these record unconditionally.
+    void recordSchedule(Time at, std::uint64_t seq) {
+        ring_.push(ForensicsRing::Op::Schedule, at, seq);
+    }
+    void recordExecute(Time at, std::uint64_t seq) {
+        ring_.push(ForensicsRing::Op::Execute, at, seq);
+    }
+
+    // ------------------------------------------------------- slow path
+    /// Report a violated invariant. In record mode it is stored (bounded)
+    /// and counted; in abort mode a repro bundle is written first, then the
+    /// abort handler runs (default: print to stderr and std::abort()).
+    void violation(InvariantClass c, Time at, std::uint64_t eventIndex, std::string detail);
+
+    /// Count one passed check (keeps "checksRun" honest in the bundle).
+    void passed() { ++checksPassed_; }
+
+    std::uint64_t totalViolations() const { return totalViolations_; }
+    std::uint64_t countOf(InvariantClass c) const {
+        return countByClass_[static_cast<std::size_t>(c)];
+    }
+    std::uint64_t checksPassedCount() const { return checksPassed_; }
+    const std::vector<InvariantViolation>& violations() const { return violations_; }
+
+    ForensicsRing& ring() { return ring_; }
+    const ForensicsRing& ring() const { return ring_; }
+
+    // --------------------------------------------------------- forensics
+    /// Render the repro bundle as JSON. `reason` names what triggered it.
+    std::string bundleJson(const std::string& reason) const;
+
+    /// Write the bundle next to the run (see setBundleDir); returns the
+    /// path, or "" when the write failed. Never throws.
+    std::string writeBundle(const std::string& reason);
+    const std::string& lastBundlePath() const { return lastBundlePath_; }
+
+    /// Test hook: invoked instead of std::abort() in abort mode (the bundle
+    /// is still written first). Tests install a handler that throws.
+    using AbortHandler = std::function<void(const InvariantViolation&)>;
+    void setAbortHandler(AbortHandler h) { abortHandler_ = std::move(h); }
+
+    /// Process-wide default mode: ECNSIM_INVARIANTS env var at first use
+    /// (off | record | abort; unset or unparsable means off), overridable
+    /// programmatically by the tools' --invariants flag.
+    static InvariantMode globalDefault();
+    static void setGlobalDefault(InvariantMode m);
+
+private:
+    InvariantMode mode_;
+    RunContext ctx_;
+    std::string bundleDir_;
+    ForensicsRing ring_;
+    std::vector<InvariantViolation> violations_;
+    std::array<std::uint64_t, kNumInvariantClasses> countByClass_{};
+    std::uint64_t totalViolations_ = 0;
+    std::uint64_t checksPassed_ = 0;
+    std::string lastBundlePath_;
+    AbortHandler abortHandler_;
+};
+
+/// Convenience alias so call sites read naturally.
+inline InvariantMode globalInvariantMode() { return InvariantChecker::globalDefault(); }
+inline void setGlobalInvariantMode(InvariantMode m) { InvariantChecker::setGlobalDefault(m); }
+
+/// Install a best-effort fatal-signal handler (SIGSEGV, SIGBUS, SIGABRT,
+/// SIGFPE) that dumps the most recently constructed enabled checker's ring
+/// and counters to ECNSIM_BUNDLE_DIR/ecnsim_crash_forensics.json using only
+/// async-signal-safe calls, then re-raises. Idempotent.
+void installCrashForensicsHandler();
+
+}  // namespace ecnsim

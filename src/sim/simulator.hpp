@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 
+#include "src/sim/invariants.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/time.hpp"
@@ -20,7 +22,17 @@ class Simulator {
 public:
     explicit Simulator(std::uint64_t seed = 1,
                        SchedulerKind schedulerKind = SchedulerKind::FlatHeap)
-        : scheduler_(schedulerKind), rng_(seed) {}
+        : scheduler_(schedulerKind), rng_(seed) {
+        // Honor the process-wide default (ECNSIM_INVARIANTS or the tools'
+        // --invariants flag) without requiring every call site to plumb a
+        // checker: paranoid CI turns checks on for all simulators at once.
+        // setInvariants() still overrides with an externally owned checker.
+        if (globalInvariantMode() != InvariantMode::Off) {
+            ownedInvariants_ = std::make_unique<InvariantChecker>(globalInvariantMode());
+            ownedInvariants_->setContext({seed, "", "", ""});
+            invariants_ = ownedInvariants_.get();
+        }
+    }
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -28,15 +40,29 @@ public:
     Time now() const { return now_; }
     Rng& rng() { return rng_; }
 
+    /// Attach an externally owned invariant checker (nullptr detaches and
+    /// disables checking; the caller keeps ownership and outlives the sim).
+    void setInvariants(InvariantChecker* checker) { invariants_ = checker; }
+    /// The active checker, or nullptr when checking is off.
+    InvariantChecker* invariants() const {
+        return invariants_ != nullptr && invariants_->enabled() ? invariants_ : nullptr;
+    }
+
     /// Schedule `fn` to run `delay` after the current time.
     EventHandle schedule(Time delay, EventFn fn) {
         if (delay.isNegative()) throw std::invalid_argument("negative event delay");
+        if (invariants_ != nullptr && invariants_->enabled()) {
+            invariants_->recordSchedule(now_ + delay, scheduler_.inserted());
+        }
         return scheduler_.insert(now_ + delay, std::move(fn));
     }
 
     /// Schedule `fn` at an absolute timestamp (>= now).
     EventHandle scheduleAt(Time when, EventFn fn) {
         if (when < now_) throw std::invalid_argument("event scheduled in the past");
+        if (invariants_ != nullptr && invariants_->enabled()) {
+            invariants_->recordSchedule(when, scheduler_.inserted());
+        }
         return scheduler_.insert(when, std::move(fn));
     }
 
@@ -55,6 +81,15 @@ public:
                 break;
             }
             if (!scheduler_.popInto(at, fn)) break;  // unreachable after peek
+            if (invariants_ != nullptr && invariants_->enabled()) {
+                if (at < now_) {
+                    invariants_->violation(
+                        InvariantClass::EventOrdering, at, executed_,
+                        "event clock ran backwards: popped t=" + at.toString() +
+                            " while now=" + now_.toString());
+                }
+                invariants_->recordExecute(at, executed_);
+            }
             now_ = at;
             ++executed_;
             fn();
@@ -73,12 +108,20 @@ public:
     std::uint64_t eventsExecuted() const { return executed_; }
     std::uint64_t eventsScheduled() const { return scheduler_.inserted(); }
 
+    /// Test-only corruption hook: warp the clock forward without touching
+    /// the heap, so already-scheduled events pop "in the past". Exists to
+    /// prove the EventOrdering invariant actually fires; never called by
+    /// model code.
+    void testOnlyWarpClock(Time to) { now_ = to; }
+
 private:
     Scheduler scheduler_;
     Time now_;
     Rng rng_;
     bool stopped_ = false;
     std::uint64_t executed_ = 0;
+    std::unique_ptr<InvariantChecker> ownedInvariants_;
+    InvariantChecker* invariants_ = nullptr;
 };
 
 }  // namespace ecnsim

@@ -1,0 +1,38 @@
+// Structured parse/validation diagnostics for user-supplied specs
+// (fault plans, experiment configs, CLI values).
+//
+// A SpecError names the offending field, the value as the user wrote it,
+// and what would have been accepted — so tools can print actionable errors
+// and tests can assert on the parts instead of matching message prose.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace ecnsim {
+
+class SpecError : public std::invalid_argument {
+public:
+    SpecError(std::string field, std::string value, std::string expected)
+        : std::invalid_argument(format(field, value, expected)),
+          field_(std::move(field)),
+          value_(std::move(value)),
+          expected_(std::move(expected)) {}
+
+    const std::string& field() const { return field_; }
+    const std::string& value() const { return value_; }
+    const std::string& expected() const { return expected_; }
+
+private:
+    static std::string format(const std::string& field, const std::string& value,
+                              const std::string& expected) {
+        return field + ": got '" + value + "': expected " + expected;
+    }
+
+    std::string field_;
+    std::string value_;
+    std::string expected_;
+};
+
+}  // namespace ecnsim

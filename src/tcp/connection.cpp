@@ -48,8 +48,27 @@ TcpConnection::TcpConnection(TcpStack& stack, NodeId remote, std::uint16_t local
 
 // ---------------------------------------------------------------- handshake
 
+void TcpConnection::transitionTo(TcpState next) {
+    const bool legal = (state_ == TcpState::Closed &&
+                        (next == TcpState::SynSent || next == TcpState::SynRcvd)) ||
+                       ((state_ == TcpState::SynSent || state_ == TcpState::SynRcvd) &&
+                        next == TcpState::Established);
+    if (InvariantChecker* inv = stack_.sim().invariants()) {
+        if (!legal) {
+            inv->violation(InvariantClass::TcpStateMachine, stack_.sim().now(),
+                           stack_.sim().eventsExecuted(),
+                           "flow " + std::to_string(flowId_) + ": illegal transition " +
+                               std::string(tcpStateName(state_)) + " -> " +
+                               std::string(tcpStateName(next)));
+        } else {
+            inv->passed();
+        }
+    }
+    state_ = next;
+}
+
 void TcpConnection::startConnect() {
-    state_ = TcpState::SynSent;
+    transitionTo(TcpState::SynSent);
     stats_.connectStarted = stack_.sim().now();
     // RFC 3168 §6.1.1: the client advertises ECN with ECE+CWR in the SYN.
     sendControl(Syn | (cfg_.ecnEnabled ? (Ece | Cwr) : 0));
@@ -59,7 +78,7 @@ void TcpConnection::startConnect() {
 void TcpConnection::acceptFromSyn(const Packet& syn) {
     peerOfferedEcn_ = syn.hasEce() && syn.hasCwr();
     ecnNegotiated_ = cfg_.ecnEnabled && peerOfferedEcn_;
-    state_ = TcpState::SynRcvd;
+    transitionTo(TcpState::SynRcvd);
     stats_.connectStarted = stack_.sim().now();
     // The SYN-ACK confirms ECN with ECE only.
     sendControl(Syn | Ack | (ecnNegotiated_ ? Ece : 0));
@@ -68,7 +87,7 @@ void TcpConnection::acceptFromSyn(const Packet& syn) {
 
 void TcpConnection::becomeEstablished() {
     if (state_ == TcpState::Established) return;
-    state_ = TcpState::Established;
+    transitionTo(TcpState::Established);
     stats_.establishedAt = stack_.sim().now();
     synTimer_.cancel();
     if (cb_.onConnected) cb_.onConnected();
@@ -273,6 +292,17 @@ void TcpConnection::onNewAck(std::uint64_t ackSeq, bool ece) {
     const std::uint64_t dataAcked =
         std::min(ackSeq, appBytes_) - std::min(sndUna_, appBytes_);
     sndUna_ = ackSeq;
+    if (InvariantChecker* inv = stack_.sim().invariants()) {
+        if (sndUna_ > sndNxt_) {
+            inv->violation(InvariantClass::TcpStateMachine, stack_.sim().now(),
+                           stack_.sim().eventsExecuted(),
+                           "flow " + std::to_string(flowId_) + ": sndUna " +
+                               std::to_string(sndUna_) + " ran past sndNxt " +
+                               std::to_string(sndNxt_));
+        } else {
+            inv->passed();
+        }
+    }
     if (cfg_.sackEnabled) pruneSackedBelow(sndUna_);
     stats_.bytesAcked += dataAcked;
     policy_->onAck(newly, ece, ackSeq, sndNxt_);

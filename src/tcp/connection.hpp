@@ -153,6 +153,12 @@ private:
 
     void becomeEstablished();
 
+    /// All state changes funnel through here: an illegal edge (anything
+    /// other than Closed->SynSent, Closed->SynRcvd, SynSent->Established,
+    /// SynRcvd->Established) is reported to the simulator's invariant
+    /// checker before the state is updated.
+    void transitionTo(TcpState next);
+
     TcpStack& stack_;
     TcpConfig cfg_;
     TcpCallbacks cb_;

@@ -1,0 +1,124 @@
+// ExperimentConfig::validate and the runner's invariant integration: bad
+// configurations fail up front with a structured SpecError, good ones run
+// with the checker on and report zero violations.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+#include "src/sim/spec_error.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+ExperimentConfig tinyConfig() { return makeBaseConfig(tinyScale()); }
+
+TEST(ConfigValidate, BaseConfigIsValid) { EXPECT_NO_THROW(tinyConfig().validate()); }
+
+TEST(ConfigValidate, RejectsBadFieldsWithStructuredErrors) {
+    struct BadCase {
+        const char* name;
+        std::function<void(ExperimentConfig&)> mutate;
+        const char* field;
+    };
+    const std::vector<BadCase> cases = {
+        {"one node", [](ExperimentConfig& c) { c.numNodes = 1; }, "numNodes"},
+        {"negative nodes", [](ExperimentConfig& c) { c.numNodes = -3; }, "numNodes"},
+        {"absurd nodes", [](ExperimentConfig& c) { c.numNodes = 200000; }, "numNodes"},
+        {"zero-rack leafspine",
+         [](ExperimentConfig& c) {
+             c.topology = TopologyKind::LeafSpine;
+             c.leafSpine = LeafSpineShape{.racks = 0, .hostsPerRack = 4, .spines = 1};
+         },
+         "leafSpine"},
+        {"zero link rate",
+         [](ExperimentConfig& c) { c.linkRate = Bandwidth::bitsPerSecond(0); }, "linkRate"},
+        {"negative link delay",
+         [](ExperimentConfig& c) { c.linkDelay = Time::microseconds(-1); }, "linkDelay"},
+        {"zero host queue", [](ExperimentConfig& c) { c.hostQueuePackets = 0; },
+         "hostQueuePackets"},
+        {"zero repeats", [](ExperimentConfig& c) { c.repeats = 0; }, "repeats"},
+        {"absurd repeats", [](ExperimentConfig& c) { c.repeats = 20000; }, "repeats"},
+        {"zero horizon", [](ExperimentConfig& c) { c.horizon = Time::zero(); }, "horizon"},
+        {"malformed faults",
+         [](ExperimentConfig& c) { c.faultSpec = "zap@1s:link=0"; }, "fault clause"},
+    };
+    for (const auto& bad : cases) {
+        ExperimentConfig cfg = tinyConfig();
+        bad.mutate(cfg);
+        try {
+            cfg.validate();
+            FAIL() << "accepted invalid config: " << bad.name;
+        } catch (const SpecError& e) {
+            EXPECT_NE(std::string(e.field()).find(bad.field), std::string::npos)
+                << bad.name << " reported field " << e.field();
+            EXPECT_FALSE(e.expected().empty()) << bad.name;
+        }
+    }
+}
+
+TEST(ConfigValidate, RunExperimentRejectsInvalidConfigBeforeSimulating) {
+    ExperimentConfig cfg = tinyConfig();
+    cfg.repeats = 0;
+    EXPECT_THROW(runExperiment(cfg), SpecError);
+}
+
+// Record mode on a healthy run: the full check sweep (per-queue, per-port,
+// global ledger, fault reconciliation, pool balance) finds nothing.
+TEST(RunnerInvariants, RecordModeReportsZeroViolationsOnCleanRuns) {
+    ExperimentConfig cfg = tinyConfig();
+    cfg.invariants = InvariantMode::Record;
+    cfg.name = "runner-invariants-clean";
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_FALSE(r.timedOut);
+}
+
+TEST(RunnerInvariants, RecordModeCleanUnderFaults) {
+    ExperimentConfig cfg = tinyConfig();
+    cfg.invariants = InvariantMode::Record;
+    cfg.faultSpec = "flap@40ms:link=1:for=30ms;crash@20ms:node=2:for=400ms";
+    cfg.name = "runner-invariants-faults";
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_GT(r.linkFlaps, 0u);
+    EXPECT_GT(r.nodeCrashes, 0u);
+}
+
+// Checking observes the run; it must not change its identity or outcome.
+TEST(RunnerInvariants, ModeIsNotPartOfTheCacheKeyAndDoesNotPerturbResults) {
+    ExperimentConfig off = tinyConfig();
+    off.invariants = InvariantMode::Off;
+    ExperimentConfig rec = off;
+    rec.invariants = InvariantMode::Record;
+    EXPECT_EQ(off.cacheKey(), rec.cacheKey());
+    const ExperimentResult a = runExperiment(off);
+    const ExperimentResult b = runExperiment(rec);
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+    EXPECT_EQ(a.telemetryDigest, b.telemetryDigest);
+    EXPECT_DOUBLE_EQ(a.runtimeSec, b.runtimeSec);
+}
+
+TEST(RunnerInvariants, ViolationsSumAcrossRepeatAverages) {
+    ExperimentResult a, b;
+    a.invariantViolations = 2;
+    b.invariantViolations = 3;
+    const ExperimentResult avg = ExperimentResult::average({a, b});
+    EXPECT_EQ(avg.invariantViolations, 5u);  // summed, never averaged away
+}
+
+}  // namespace
+}  // namespace ecnsim

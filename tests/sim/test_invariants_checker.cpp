@@ -1,0 +1,224 @@
+// Unit tests for the invariant checker itself: modes, the forensics ring,
+// violation bookkeeping, repro bundles and the simulator's ordering check.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/sim/invariants.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(InvariantMode, ParseAcceptsTheThreeModes) {
+    EXPECT_EQ(parseInvariantMode("off"), InvariantMode::Off);
+    EXPECT_EQ(parseInvariantMode("record"), InvariantMode::Record);
+    EXPECT_EQ(parseInvariantMode("abort"), InvariantMode::Abort);
+}
+
+TEST(InvariantMode, ParseRejectsJunk) {
+    EXPECT_THROW(parseInvariantMode(""), std::invalid_argument);
+    EXPECT_THROW(parseInvariantMode("on"), std::invalid_argument);
+    EXPECT_THROW(parseInvariantMode("Record"), std::invalid_argument);
+    EXPECT_THROW(parseInvariantMode("abort "), std::invalid_argument);
+}
+
+TEST(InvariantMode, NamesRoundTrip) {
+    for (const auto m : {InvariantMode::Off, InvariantMode::Record, InvariantMode::Abort}) {
+        EXPECT_EQ(parseInvariantMode(std::string(invariantModeName(m))), m);
+    }
+}
+
+TEST(ForensicsRing, TailIsOldestToNewestBeforeWrap) {
+    ForensicsRing ring(8);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        ring.push(ForensicsRing::Op::Schedule, Time::nanoseconds(static_cast<std::int64_t>(i)), i);
+    }
+    const auto tail = ring.tail();
+    ASSERT_EQ(tail.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(tail[i].seq, i);
+    EXPECT_EQ(ring.recorded(), 5u);
+}
+
+TEST(ForensicsRing, WrapKeepsOnlyTheNewestCapacityEntries) {
+    ForensicsRing ring(4);
+    for (std::uint64_t i = 0; i < 11; ++i) {
+        ring.push(ForensicsRing::Op::Execute, Time::nanoseconds(static_cast<std::int64_t>(i)), i);
+    }
+    const auto tail = ring.tail();
+    ASSERT_EQ(tail.size(), 4u);
+    // Entries 7, 8, 9, 10 survive, oldest first.
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(tail[i].seq, 7 + i);
+    EXPECT_EQ(ring.recorded(), 11u);
+}
+
+TEST(ForensicsRing, ZeroCapacityIsClampedToOne) {
+    ForensicsRing ring(0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push(ForensicsRing::Op::Note, 1_ns, 42);
+    ASSERT_EQ(ring.tail().size(), 1u);
+    EXPECT_EQ(ring.tail()[0].seq, 42u);
+}
+
+TEST(InvariantChecker, OffModeIsDisabled) {
+    InvariantChecker c(InvariantMode::Off);
+    EXPECT_FALSE(c.enabled());
+    EXPECT_EQ(c.totalViolations(), 0u);
+}
+
+TEST(InvariantChecker, RecordModeCountsPerClass) {
+    InvariantChecker c(InvariantMode::Record);
+    c.violation(InvariantClass::PacketConservation, 1_us, 10, "one missing");
+    c.violation(InvariantClass::PacketConservation, 2_us, 20, "still missing");
+    c.violation(InvariantClass::QueueAccounting, 3_us, 30, "bytes drifted");
+    EXPECT_EQ(c.totalViolations(), 3u);
+    EXPECT_EQ(c.countOf(InvariantClass::PacketConservation), 2u);
+    EXPECT_EQ(c.countOf(InvariantClass::QueueAccounting), 1u);
+    EXPECT_EQ(c.countOf(InvariantClass::TcpStateMachine), 0u);
+    ASSERT_EQ(c.violations().size(), 3u);
+    EXPECT_EQ(c.violations()[2].detail, "bytes drifted");
+    EXPECT_EQ(c.violations()[1].eventIndex, 20u);
+}
+
+TEST(InvariantChecker, StoredViolationsAreBoundedButCountersAreNot) {
+    InvariantChecker c(InvariantMode::Record);
+    for (int i = 0; i < 500; ++i) {
+        c.violation(InvariantClass::EventOrdering, 1_ms, static_cast<std::uint64_t>(i), "tick");
+    }
+    EXPECT_EQ(c.violations().size(), InvariantChecker::kMaxStoredViolations);
+    EXPECT_EQ(c.totalViolations(), 500u);
+    EXPECT_EQ(c.countOf(InvariantClass::EventOrdering), 500u);
+}
+
+TEST(InvariantChecker, PassedChecksAreCounted) {
+    InvariantChecker c(InvariantMode::Record);
+    c.passed();
+    c.passed();
+    EXPECT_EQ(c.checksPassedCount(), 2u);
+    EXPECT_EQ(c.totalViolations(), 0u);
+}
+
+TEST(InvariantChecker, BundleJsonCarriesTheReproRecipe) {
+    InvariantChecker c(InvariantMode::Record);
+    c.setContext({1234, "red/shallow", "cfgkey-v8", "flap@2s:link=3:for=500ms"});
+    c.recordSchedule(5_us, 1);
+    c.recordExecute(5_us, 1);
+    c.violation(InvariantClass::PacketConservation, 7_us, 99, "ledger off by 1");
+    const std::string json = c.bundleJson("unit test");
+    EXPECT_NE(json.find("ecnsim-invariant-bundle"), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 1234"), std::string::npos);
+    EXPECT_NE(json.find("red/shallow"), std::string::npos);
+    EXPECT_NE(json.find("flap@2s:link=3:for=500ms"), std::string::npos);
+    EXPECT_NE(json.find("packet-conservation"), std::string::npos);
+    EXPECT_NE(json.find("ledger off by 1"), std::string::npos);
+    EXPECT_NE(json.find("--invariants=abort"), std::string::npos);  // replay command
+    EXPECT_NE(json.find("\"sched\""), std::string::npos);
+    EXPECT_NE(json.find("\"exec\""), std::string::npos);
+}
+
+TEST(InvariantChecker, WriteBundleCreatesAReadableFile) {
+    InvariantChecker c(InvariantMode::Record);
+    c.setContext({7, "unit test label", "", ""});
+    c.setBundleDir(::testing::TempDir());
+    c.violation(InvariantClass::QueueAccounting, 1_ms, 3, "x");
+    const std::string path = c.writeBundle("test");
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path, c.lastBundlePath());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"seed\": 7"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(InvariantChecker, AbortModeWritesBundleThenCallsHandler) {
+    InvariantChecker c(InvariantMode::Abort);
+    c.setContext({3, "abort test", "", ""});
+    c.setBundleDir(::testing::TempDir());
+    c.setAbortHandler([](const InvariantViolation& v) {
+        throw std::runtime_error("aborted: " + v.detail);
+    });
+    try {
+        c.violation(InvariantClass::TcpStateMachine, 2_ms, 5, "Closed -> Established");
+        FAIL() << "abort handler did not run";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("Closed -> Established"), std::string::npos);
+    }
+    EXPECT_FALSE(c.lastBundlePath().empty());
+    std::remove(c.lastBundlePath().c_str());
+}
+
+TEST(InvariantChecker, GlobalDefaultIsProgrammable) {
+    const InvariantMode before = globalInvariantMode();
+    setGlobalInvariantMode(InvariantMode::Record);
+    EXPECT_EQ(globalInvariantMode(), InvariantMode::Record);
+    setGlobalInvariantMode(before);
+}
+
+// ------------------------------------------------------- simulator hooks
+
+TEST(SimulatorInvariants, DisabledByDefaultAndAttachable) {
+    Simulator sim(1);
+    if (globalInvariantMode() == InvariantMode::Off) {
+        EXPECT_EQ(sim.invariants(), nullptr);
+    }
+    InvariantChecker c(InvariantMode::Record);
+    sim.setInvariants(&c);
+    EXPECT_EQ(sim.invariants(), &c);
+    InvariantChecker off(InvariantMode::Off);
+    sim.setInvariants(&off);
+    EXPECT_EQ(sim.invariants(), nullptr);  // off-mode checker counts as disabled
+}
+
+TEST(SimulatorInvariants, RingSeesScheduleAndExecute) {
+    Simulator sim(1);
+    InvariantChecker c(InvariantMode::Record);
+    sim.setInvariants(&c);
+    int fired = 0;
+    sim.schedule(1_ms, [&] { ++fired; });
+    sim.schedule(2_ms, [&] { ++fired; });
+    sim.runUntil(1_s);
+    EXPECT_EQ(fired, 2);
+    std::size_t schedules = 0, executes = 0;
+    for (const auto& e : c.ring().tail()) {
+        if (e.op == ForensicsRing::Op::Schedule) ++schedules;
+        if (e.op == ForensicsRing::Op::Execute) ++executes;
+    }
+    EXPECT_EQ(schedules, 2u);
+    EXPECT_EQ(executes, 2u);
+    EXPECT_EQ(c.totalViolations(), 0u);
+}
+
+// Desequencing the clock (test-only hook) must trip EventOrdering: events
+// already in the heap now pop "in the past".
+TEST(SimulatorInvariants, WarpedClockTripsEventOrdering) {
+    Simulator sim(1);
+    InvariantChecker c(InvariantMode::Record);
+    sim.setInvariants(&c);
+    sim.schedule(1_ms, [&] { sim.testOnlyWarpClock(5_ms); });
+    sim.schedule(2_ms, [] {});  // pops at t=2ms while now=5ms
+    sim.runUntil(1_s);
+    EXPECT_GE(c.countOf(InvariantClass::EventOrdering), 1u);
+    ASSERT_FALSE(c.violations().empty());
+    EXPECT_NE(c.violations()[0].detail.find("backwards"), std::string::npos);
+}
+
+TEST(SimulatorInvariants, CleanRunHasNoViolations) {
+    Simulator sim(42);
+    InvariantChecker c(InvariantMode::Record);
+    sim.setInvariants(&c);
+    for (int i = 1; i <= 50; ++i) {
+        sim.schedule(Time::microseconds(i * 10), [] {});
+    }
+    sim.runUntil(1_s);
+    EXPECT_EQ(c.totalViolations(), 0u);
+}
+
+}  // namespace
+}  // namespace ecnsim

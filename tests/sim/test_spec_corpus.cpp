@@ -1,0 +1,139 @@
+// Malformed-spec corpus: every entry must produce a structured SpecError
+// (field, offending value, expected range) — never UB, a crash, or a bare
+// number-parsing escape. Runs under ASan/UBSan in CI's sanitizer leg.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/fault_plan.hpp"
+#include "src/sim/spec_error.hpp"
+
+namespace ecnsim {
+namespace {
+
+struct Case {
+    const char* spec;
+    const char* expectSubstring;  ///< must appear somewhere in what()
+};
+
+// ~50 ways to get a fault spec wrong, grouped by failure family.
+const std::vector<Case> kMalformedSpecs = {
+    // --- clause structure -------------------------------------------------
+    {"flap", "expected <verb>@<time>"},
+    {"nonsense", "expected <verb>@<time>"},
+    {"link=3", "expected <verb>@<time>"},
+    {"@2s:link=3", "unknown verb"},
+    {"zap@2s:link=3", "unknown verb"},
+    {"FLAP@2s:link=3:for=1ms", "unknown verb"},
+    {"flap down@2s:link=3:for=1ms", "unknown verb"},  // spaces stripped -> "flapdown"
+    {"flap@2s:link3:for=1ms", "key=value"},
+    {"flap@2s:=3:for=1ms", "unknown key"},
+    {"flap@2s:link=3:for=1ms:wat=7", "unknown key"},
+    {"flap@2s:link=3:For=1ms", "unknown key"},
+    // --- timestamps -------------------------------------------------------
+    {"flap@:link=3:for=1ms", "unit suffix"},
+    {"flap@abc:link=3:for=1ms", "unit suffix"},
+    {"flap@2:link=3:for=1ms", "unit suffix"},
+    {"flap@2h:link=3:for=1ms", "unit suffix"},
+    {"flap@2ss:link=3:for=1ms", "unit suffix"},
+    {"flap@2 s x:link=3:for=1ms", "unit suffix"},  // "2sx" after space strip
+    {"flap@-1s:link=3:for=1ms", "non-negative timestamp"},
+    {"flap@nans:link=3:for=1ms", "finite"},
+    {"flap@infs:link=3:for=1ms", "finite"},
+    {"flap@1e30s:link=3:for=1ms", "fits the ns clock"},
+    {"down@-5ms:link=0", "non-negative timestamp"},
+    // --- durations --------------------------------------------------------
+    {"flap@2s:link=3:for=", "unit suffix"},
+    {"flap@2s:link=3:for=1", "unit suffix"},
+    {"flap@2s:link=3:for=1m", "unit suffix"},
+    {"flap@2s:link=3:for=xyzms", "unit suffix"},
+    {"flap@2s:link=3:for=1e400ms", "unit suffix"},  // stod overflow
+    {"flap@2s:link=3:for=infms", "finite"},
+    {"flap@2s:link=3:for=nanms", "finite"},
+    {"flap@2s:link=3:for=0ms", "flap needs for="},
+    {"flap@2s:link=3:for=-5ms", "flap needs for="},
+    {"flap@9000000000s:link=3:for=9000000000s", "fits the ns clock"},  // end overflow
+    {"crash@9000000000s:node=1:for=9000000000s", "fits the ns clock"},
+    {"loss@9000000000s:link=1:p=0.5:for=9000000000s", "fits the ns clock"},
+    // --- indices ----------------------------------------------------------
+    {"flap@2s:link=:for=1ms", "an integer in [0,"},
+    {"flap@2s:link=abc:for=1ms", "an integer in [0,"},
+    {"flap@2s:link=-1:for=1ms", "an integer in [0,"},
+    {"flap@2s:link=3.5:for=1ms", "an integer in [0,"},
+    {"flap@2s:link=99999999999999999999:for=1ms", "an integer in [0,"},
+    {"crash@1s:node=-2", "an integer in [0,"},
+    {"crash@1s:node=1x", "an integer in [0,"},
+    {"down@1s:link=0x3", "an integer in [0,"},
+    // --- probabilities ----------------------------------------------------
+    {"loss@1s:link=0:p=", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=abc", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=-0.1", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=1.5", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=nan", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=inf", "probability in [0, 1]"},
+    {"loss@1s:link=0:p=1e400", "probability in [0, 1]"},
+    // --- missing required fields ------------------------------------------
+    {"flap@2s:for=1ms", "flap needs link="},
+    {"flap@2s:link=3", "flap needs for="},
+    {"down@2s", "down needs link="},
+    {"down@2s:node=1", "down needs link="},
+    {"loss@2s:p=0.5", "loss needs link="},
+    {"loss@2s:link=1", "loss needs p="},
+    {"crash@2s", "crash needs node="},
+    {"crash@2s:link=1", "crash needs node="},
+    // --- bad clause inside an otherwise-valid plan ------------------------
+    {"flap@2s:link=3:for=1ms;zap@3s:link=0", "unknown verb"},
+    {"down@1s:link=0;flap@2s:link=1", "flap needs for="},
+};
+
+class MalformedSpecCorpus : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MalformedSpecCorpus, ThrowsStructuredSpecError) {
+    const Case& c = GetParam();
+    try {
+        FaultPlan::parse(c.spec);
+        FAIL() << "accepted malformed spec: " << c.spec;
+    } catch (const SpecError& e) {
+        // The structured diagnostic is fully populated...
+        EXPECT_FALSE(e.field().empty()) << c.spec;
+        EXPECT_FALSE(e.expected().empty()) << c.spec;
+        // ...and the rendered message names what was expected.
+        EXPECT_NE(std::string(e.what()).find("expected"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find(c.expectSubstring), std::string::npos)
+            << "spec: " << c.spec << "\nwhat: " << e.what();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MalformedSpecCorpus, ::testing::ValuesIn(kMalformedSpecs),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                             return "case" + std::to_string(info.index);
+                         });
+
+// The happy path still parses, so the corpus rejections are not over-broad.
+TEST(MalformedSpecCorpus, ValidSpecsStillParse) {
+    EXPECT_EQ(FaultPlan::parse("flap@2s:link=3:for=500ms").events().size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("down@1s:link=0").events().size(), 1u);
+    EXPECT_EQ(FaultPlan::parse("loss@1s:link=0:p=0.25:for=2s").events().size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("crash@1s:node=2:for=10s").events().size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("").events().size(), 0u);
+    EXPECT_EQ(FaultPlan::parse(" flap@2s : link=3 : for=500ms ").events().size(), 2u);
+}
+
+// Range validation against a concrete topology (bind-time, not mid-run).
+TEST(SpecValidate, TargetsOutsideTheTopologyAreRejected) {
+    const FaultPlan plan = FaultPlan::parse("flap@2s:link=7:for=1ms");
+    EXPECT_NO_THROW(plan.validate(/*numLinks=*/8, /*numNodes=*/4));
+    try {
+        plan.validate(/*numLinks=*/4, /*numNodes=*/4);
+        FAIL() << "out-of-range link accepted";
+    } catch (const SpecError& e) {
+        EXPECT_EQ(e.value(), "7");
+        EXPECT_NE(std::string(e.what()).find("link index"), std::string::npos);
+    }
+    const FaultPlan crash = FaultPlan::parse("crash@1s:node=9");
+    EXPECT_THROW(crash.validate(/*numLinks=*/100, /*numNodes=*/9), SpecError);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -10,14 +10,17 @@
 // the process exit non-zero, which is what CI's bench-smoke job checks.
 //
 //   bench_runner [--quick] [--threads N] [--out-dir DIR] [--scenario NAME]
-//                [--list]
+//                [--invariants off|record|abort] [--list]
 //
 // --quick shrinks the workloads for CI smoke runs; results caching is
 // always disabled so wall-clock numbers measure the simulator, not the
-// cache.
+// cache. --invariants record is how the invariant-checking overhead is
+// measured against the plain (off) events/sec baseline; any violation
+// recorded during a bench run makes the process exit non-zero.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -29,6 +32,7 @@
 #include "src/core/parallel.hpp"
 #include "src/core/series.hpp"
 #include "src/net/telemetry.hpp"
+#include "src/sim/invariants.hpp"
 
 using namespace ecnsim;
 
@@ -104,7 +108,8 @@ Scenario faultFlapRecovery(bool quick) {
     cfg.switchQueue.ecnEnabled = true;
     cfg.switchQueue.targetDelay = Time::microseconds(500);
     cfg.faultSpec = "crash@20ms:node=5:for=600ms;flap@60ms:link=2:for=80ms";
-    return {"fault_flap_recovery", "shuffle with a node crash and an access-link flap", seeded(cfg)};
+    return {"fault_flap_recovery", "shuffle with a node crash and an access-link flap",
+            seeded(cfg)};
 }
 
 std::uint64_t combinedDigest(const std::vector<ExperimentResult>& results) {
@@ -128,6 +133,7 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 struct BenchOutcome {
     bool digestMatch = true;
     bool anyTimeout = false;
+    std::uint64_t invariantViolations = 0;
 };
 
 BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std::string& outDir) {
@@ -148,6 +154,7 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
         events += serial[i].eventsExecuted;
         packets += serial[i].packetsDelivered;
         out.anyTimeout = out.anyTimeout || serial[i].timedOut;
+        out.invariantViolations += serial[i].invariantViolations + parallel[i].invariantViolations;
         if (serial[i].telemetryDigest != parallel[i].telemetryDigest) {
             out.digestMatch = false;
             std::fprintf(stderr,
@@ -179,6 +186,8 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"digest\": \"0x" << hex << "\",\n"
        << "  \"digestMatch\": " << (out.digestMatch ? "true" : "false") << ",\n"
        << "  \"anyTimeout\": " << (out.anyTimeout ? "true" : "false") << ",\n"
+       << "  \"invariants\": \"" << invariantModeName(globalInvariantMode()) << "\",\n"
+       << "  \"invariantViolations\": " << out.invariantViolations << ",\n"
        << "  \"peakRssKb\": " << peakRssKb() << "\n"
        << "}\n";
 
@@ -207,10 +216,17 @@ int main(int argc, char** argv) {
         else if (a == "--threads" && i + 1 < argc) threads = std::atoi(argv[++i]);
         else if (a == "--out-dir" && i + 1 < argc) outDir = argv[++i];
         else if (a == "--scenario" && i + 1 < argc) only = argv[++i];
-        else {
+        else if (a == "--invariants" && i + 1 < argc) {
+            try {
+                setGlobalInvariantMode(parseInvariantMode(argv[++i]));
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "bench_runner: %s\n", e.what());
+                return 2;
+            }
+        } else {
             std::fprintf(stderr,
                          "usage: bench_runner [--quick] [--threads N] [--out-dir DIR] "
-                         "[--scenario NAME] [--list]\n");
+                         "[--scenario NAME] [--invariants off|record|abort] [--list]\n");
             return 2;
         }
     }
@@ -229,15 +245,22 @@ int main(int argc, char** argv) {
 
     bool ok = true;
     int ran = 0;
+    std::uint64_t violations = 0;
     for (const auto& sc : scenarios) {
         if (!only.empty() && sc.name.find(only) == std::string::npos) continue;
         ++ran;
         const BenchOutcome out = runScenario(sc, threads, quick, outDir);
+        violations += out.invariantViolations;
         ok = ok && out.digestMatch && !out.anyTimeout;
     }
     if (ran == 0) {
         std::fprintf(stderr, "bench_runner: no scenario matches '%s'\n", only.c_str());
         return 2;
+    }
+    if (violations > 0) {
+        std::fprintf(stderr, "bench_runner: FAILED (%llu invariant violation(s) recorded)\n",
+                     static_cast<unsigned long long>(violations));
+        return 1;
     }
     if (!ok) {
         std::fprintf(stderr, "bench_runner: FAILED (digest mismatch or timeout)\n");

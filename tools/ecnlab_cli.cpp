@@ -4,26 +4,80 @@
 //                [--buffers shallow|deep] [--nodes N] [--input-mb N]
 //                [--seed N] [--repeats N] [--ecnpp] [--leafspine]
 //                [--faults SPEC] [--max-retries N] [--task-timeout-ms N]
-//                [--speculative] [--csv] [--json]
-//   ecnlab sweep [--buffers shallow|deep] [--csv]      # the paper grid
+//                [--speculative] [--invariants MODE] [--csv] [--json]
+//   ecnlab sweep [--buffers shallow|deep] [--invariants MODE] [--csv]
 //   ecnlab list                                        # enumerate knobs
+//   ecnlab help                                        # flags + exit codes
 //
-// --faults takes a ';'-separated FaultPlan spec, e.g.
-//   --faults 'flap@2s:link=3:for=500ms;crash@1s:node=2:for=10s'
+// Flags take "--key value" or "--key=value"; unknown flags are an error
+// (exit 2), malformed values are an error (exit 3) — nothing is silently
+// ignored. See `ecnlab help` for the exit-code contract.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/core/report.hpp"
 #include "src/core/runner.hpp"
 #include "src/core/series.hpp"
 #include "src/sim/fault_plan.hpp"
+#include "src/sim/invariants.hpp"
+#include "src/sim/spec_error.hpp"
 
 using namespace ecnsim;
 
 namespace {
+
+// Exit-code contract (documented in `ecnlab help`, asserted by tests).
+constexpr int kExitOk = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadValue = 3;
+constexpr int kExitInvariantViolation = 4;
+
+/// A usage mistake: unknown command/flag, missing value. Exits 2.
+struct UsageError {
+    std::string message;
+};
+
+/// One accepted flag: name, whether it consumes a value, and help text.
+struct FlagSpec {
+    const char* name;
+    bool takesValue;
+    const char* help;
+};
+
+const std::vector<FlagSpec> kRunFlags = {
+    {"transport", true, "tcp | ecn | dctcp (default dctcp)"},
+    {"queue", true, "droptail | red | marking | codel | pie | wred | ctrlprio (default red)"},
+    {"protection", true, "default | ece | acksyn"},
+    {"target-us", true, "AQM target delay in microseconds (default 500)"},
+    {"buffers", true, "shallow | deep (default shallow)"},
+    {"nodes", true, "cluster size (default from ECNSIM_NODES)"},
+    {"input-mb", true, "terasort input per node, MiB"},
+    {"seed", true, "base RNG seed"},
+    {"repeats", true, "averaged repetitions (seed, seed+1, ...)"},
+    {"ecnpp", false, "ECN++: control packets sent ECT"},
+    {"leafspine", false, "2-rack leaf-spine fabric instead of a star"},
+    {"faults", true, "fault plan, e.g. 'flap@2s:link=3:for=500ms;crash@1s:node=2:for=10s'"},
+    {"max-retries", true, "task re-execution budget"},
+    {"task-timeout-ms", true, "task heartbeat deadline, milliseconds"},
+    {"speculative", false, "enable speculative task execution"},
+    {"invariants", true, "off | record | abort — runtime invariant checking"},
+    {"csv", false, "CSV output"},
+    {"json", false, "JSON output"},
+};
+
+const std::vector<FlagSpec> kSweepFlags = {
+    {"buffers", true, "shallow | deep (default shallow)"},
+    {"invariants", true, "off | record | abort — runtime invariant checking"},
+    {"csv", false, "CSV output"},
+};
 
 struct Args {
     std::map<std::string, std::string> kv;
@@ -32,22 +86,64 @@ struct Args {
         const auto it = kv.find(k);
         return it == kv.end() ? dflt : it->second;
     }
-    long getInt(const std::string& k, long dflt) const {
+    /// Integer flag with full-string + range validation. Throws SpecError
+    /// (exit 3): a mistyped number must not silently become 0.
+    long getInt(const std::string& k, long dflt, long lo, long hi) const {
         const auto it = kv.find(k);
-        return it == kv.end() ? dflt : std::strtol(it->second.c_str(), nullptr, 10);
+        if (it == kv.end()) return dflt;
+        char* end = nullptr;
+        errno = 0;
+        const long v = std::strtol(it->second.c_str(), &end, 10);
+        if (it->second.empty() || end == nullptr || *end != '\0' || errno == ERANGE || v < lo ||
+            v > hi) {
+            throw SpecError("--" + k, it->second,
+                            "an integer in [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                                "]");
+        }
+        return v;
     }
 };
 
-Args parse(int argc, char** argv, int from) {
+const FlagSpec* findFlag(const std::vector<FlagSpec>& table, const std::string& name) {
+    for (const FlagSpec& f : table) {
+        if (name == f.name) return &f;
+    }
+    return nullptr;
+}
+
+/// Parse argv against a flag table. Accepts --key value and --key=value.
+/// Unknown flags, bare words and missing values throw UsageError (exit 2).
+Args parse(int argc, char** argv, int from, const std::vector<FlagSpec>& table,
+           const std::string& cmd) {
     Args a;
     for (int i = from; i < argc; ++i) {
-        std::string key = argv[i];
-        if (key.rfind("--", 0) != 0) continue;
-        key = key.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-            a.kv[key] = argv[++i];
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            throw UsageError{"unexpected argument '" + arg + "' (flags start with --)"};
+        }
+        std::string key = arg.substr(2);
+        std::string value;
+        bool haveValue = false;
+        const auto eq = key.find('=');
+        if (eq != std::string::npos) {
+            value = key.substr(eq + 1);
+            key = key.substr(0, eq);
+            haveValue = true;
+        }
+        const FlagSpec* spec = findFlag(table, key);
+        if (spec == nullptr) {
+            throw UsageError{"unknown flag --" + key + " for '" + cmd +
+                             "' (see: ecnlab help)"};
+        }
+        if (spec->takesValue) {
+            if (!haveValue) {
+                if (i + 1 >= argc) throw UsageError{"flag --" + key + " needs a value"};
+                value = argv[++i];
+            }
+            a.kv[key] = value;
         } else {
-            a.kv[key] = "1";  // boolean flag
+            if (haveValue) throw UsageError{"flag --" + key + " takes no value"};
+            a.kv[key] = "1";
         }
     }
     return a;
@@ -57,7 +153,7 @@ TransportKind parseTransport(const std::string& s) {
     if (s == "tcp") return TransportKind::PlainTcp;
     if (s == "ecn") return TransportKind::EcnTcp;
     if (s == "dctcp") return TransportKind::Dctcp;
-    throw std::invalid_argument("unknown transport: " + s + " (tcp|ecn|dctcp)");
+    throw SpecError("--transport", s, "one of tcp, ecn, dctcp");
 }
 
 QueueKind parseQueue(const std::string& s) {
@@ -68,14 +164,33 @@ QueueKind parseQueue(const std::string& s) {
     if (s == "pie") return QueueKind::Pie;
     if (s == "wred") return QueueKind::Wred;
     if (s == "ctrlprio") return QueueKind::ControlPriority;
-    throw std::invalid_argument("unknown queue: " + s);
+    throw SpecError("--queue", s, "one of droptail, red, marking, codel, pie, wred, ctrlprio");
 }
 
 ProtectionMode parseProtection(const std::string& s) {
     if (s == "default") return ProtectionMode::Default;
     if (s == "ece") return ProtectionMode::ProtectEce;
     if (s == "acksyn") return ProtectionMode::ProtectAckSyn;
-    throw std::invalid_argument("unknown protection: " + s + " (default|ece|acksyn)");
+    throw SpecError("--protection", s, "one of default, ece, acksyn");
+}
+
+BufferProfile parseBuffers(const std::string& s) {
+    if (s == "shallow") return BufferProfile::Shallow;
+    if (s == "deep") return BufferProfile::Deep;
+    throw SpecError("--buffers", s, "shallow or deep");
+}
+
+/// Apply --invariants (or keep the ECNSIM_INVARIANTS-derived default) and
+/// make it the process-wide mode so every simulator in this run checks.
+InvariantMode applyInvariantsFlag(const Args& a) {
+    if (a.has("invariants")) {
+        try {
+            setGlobalInvariantMode(parseInvariantMode(a.get("invariants", "off")));
+        } catch (const std::invalid_argument&) {
+            throw SpecError("--invariants", a.get("invariants", ""), "off, record or abort");
+        }
+    }
+    return globalInvariantMode();
 }
 
 void printResult(const ExperimentResult& r, bool csv, bool json) {
@@ -95,7 +210,8 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
     }
     TextTable t({"metric", "value"});
     t.addRow({"experiment", r.name});
-    t.addRow({"runtime", TextTable::num(r.runtimeSec, 4) + " s" + (r.timedOut ? " (TIMEOUT)" : "")});
+    t.addRow({"runtime",
+              TextTable::num(r.runtimeSec, 4) + " s" + (r.timedOut ? " (TIMEOUT)" : "")});
     t.addRow({"throughput/node", TextTable::num(r.throughputPerNodeMbps, 1) + " Mbps"});
     t.addRow({"avg packet latency", TextTable::num(r.avgLatencyUs, 1) + " us"});
     t.addRow({"p99 packet latency", TextTable::num(r.p99LatencyUs, 1) + " us"});
@@ -105,6 +221,9 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
     t.addRow({"SYN retries", std::to_string(r.synRetries)});
     t.addRow({"RTO events", std::to_string(r.rtoEvents)});
     t.addRow({"CE marks", std::to_string(r.ceMarks)});
+    if (r.invariantViolations > 0) {
+        t.addRow({"INVARIANT VIOLATIONS", std::to_string(r.invariantViolations)});
+    }
     if (r.jobFailed) t.addRow({"job FAILED", r.jobError});
     if (r.faultDrops || r.linkFlaps || r.nodeCrashes || r.taskRetries) {
         t.addRow({"fault drops", std::to_string(r.faultDrops)});
@@ -121,23 +240,26 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
 }
 
 int cmdRun(const Args& a) {
+    const InvariantMode invMode = applyInvariantsFlag(a);
+
     SweepScale scale = SweepScale::fromEnvironment();
-    scale.numNodes = static_cast<int>(a.getInt("nodes", scale.numNodes));
-    scale.inputBytesPerNode = a.getInt("input-mb", scale.inputBytesPerNode / (1024 * 1024)) *
-                              1024 * 1024;
-    scale.seed = static_cast<std::uint64_t>(a.getInt("seed", static_cast<long>(scale.seed)));
-    scale.repeats = static_cast<int>(a.getInt("repeats", scale.repeats));
+    scale.numNodes = static_cast<int>(a.getInt("nodes", scale.numNodes, 2, 100000));
+    scale.inputBytesPerNode =
+        a.getInt("input-mb", scale.inputBytesPerNode / (1024 * 1024), 1, 1 << 20) * 1024 * 1024;
+    scale.seed = static_cast<std::uint64_t>(
+        a.getInt("seed", static_cast<long>(scale.seed), 0, std::numeric_limits<long>::max()));
+    scale.repeats = static_cast<int>(a.getInt("repeats", scale.repeats, 1, 10000));
 
     ExperimentConfig cfg = makeBaseConfig(scale);
+    cfg.invariants = invMode;
     cfg.transport = parseTransport(a.get("transport", "dctcp"));
     cfg.switchQueue.kind = parseQueue(a.get("queue", "red"));
     cfg.switchQueue.protection = parseProtection(a.get("protection", "default"));
-    cfg.switchQueue.targetDelay = Time::microseconds(a.getInt("target-us", 500));
+    cfg.switchQueue.targetDelay = Time::microseconds(a.getInt("target-us", 500, 1, 10'000'000));
     cfg.switchQueue.redVariant = cfg.transport == TransportKind::Dctcp ? RedVariant::DctcpMimic
                                                                        : RedVariant::Classic;
     cfg.switchQueue.ecnEnabled = cfg.transport != TransportKind::PlainTcp;
-    cfg.buffers = a.get("buffers", "shallow") == "deep" ? BufferProfile::Deep
-                                                        : BufferProfile::Shallow;
+    cfg.buffers = parseBuffers(a.get("buffers", "shallow"));
     cfg.ecnPlusPlus = a.has("ecnpp");
     if (a.has("leafspine")) {
         cfg.topology = TopologyKind::LeafSpine;
@@ -148,37 +270,52 @@ int cmdRun(const Args& a) {
     if (a.has("faults")) {
         FaultPlan::parse(cfg.faultSpec);  // validate the grammar up front
     }
-    cfg.job.maxTaskRetries = static_cast<int>(a.getInt("max-retries", cfg.job.maxTaskRetries));
+    cfg.job.maxTaskRetries =
+        static_cast<int>(a.getInt("max-retries", cfg.job.maxTaskRetries, 0, 1000));
     if (a.has("task-timeout-ms")) {
-        cfg.job.taskTimeout = Time::milliseconds(a.getInt("task-timeout-ms", 60000));
+        cfg.job.taskTimeout =
+            Time::milliseconds(a.getInt("task-timeout-ms", 60000, 1, 86'400'000));
     }
     cfg.job.speculativeExecution = a.has("speculative");
     cfg.name = std::string(transportKindName(cfg.transport)) + "/" + cfg.switchQueue.describe() +
                "/" + std::string(bufferProfileName(cfg.buffers));
     if (!cfg.faultSpec.empty()) cfg.name += "/faults";
-    printResult(runExperimentCached(cfg), a.has("csv"), a.has("json"));
-    return 0;
+    const ExperimentResult r = runExperimentCached(cfg);
+    printResult(r, a.has("csv"), a.has("json"));
+    if (r.invariantViolations > 0) {
+        std::fprintf(stderr, "ecnlab: %llu invariant violation(s) recorded\n",
+                     static_cast<unsigned long long>(r.invariantViolations));
+        return kExitInvariantViolation;
+    }
+    return kExitOk;
 }
 
 int cmdSweep(const Args& a) {
+    applyInvariantsFlag(a);
     const SweepScale scale = SweepScale::fromEnvironment();
-    const auto buffers = a.get("buffers", "shallow") == "deep" ? BufferProfile::Deep
-                                                               : BufferProfile::Shallow;
+    const auto buffers = parseBuffers(a.get("buffers", "shallow"));
     const bool csv = a.has("csv");
     const auto sweep = runPaperSweep(scale, [](const std::string& line) {
         std::fprintf(stderr, "%s\n", line.c_str());
     });
     TextTable t({"series", "target", "runtime_s", "tput_mbps", "lat_us", "ackDrop%"});
+    std::uint64_t violations = 0;
     for (const PaperSeries s : kAllSeries) {
         for (const Time target : paperTargetDelays()) {
             const auto& r = sweep.at(s, buffers, target);
+            violations += r.invariantViolations;
             t.addRow({paperSeriesName(s), target.toString(), TextTable::num(r.runtimeSec, 4),
                       TextTable::num(r.throughputPerNodeMbps, 1), TextTable::num(r.avgLatencyUs, 1),
                       TextTable::num(100.0 * r.ackDropShare(), 2)});
         }
     }
     std::cout << (csv ? t.toCsv() : t.toString());
-    return 0;
+    if (violations > 0) {
+        std::fprintf(stderr, "ecnlab: %llu invariant violation(s) recorded across the sweep\n",
+                     static_cast<unsigned long long>(violations));
+        return kExitInvariantViolation;
+    }
+    return kExitOk;
 }
 
 int cmdList() {
@@ -192,9 +329,33 @@ int cmdList() {
     for (const auto t : paperTargetDelays()) std::printf(" %s", t.toString().c_str());
     std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
                 "| crash@T:node=I[:for=D]  (';'-separated)\n");
+    std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
     std::printf("env        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
-                "ECNSIM_GBPS ECNSIM_CACHE_DIR\n");
-    return 0;
+                "ECNSIM_GBPS ECNSIM_CACHE_DIR ECNSIM_INVARIANTS ECNSIM_BUNDLE_DIR\n");
+    return kExitOk;
+}
+
+void printFlagTable(const char* cmd, const std::vector<FlagSpec>& table) {
+    std::printf("  ecnlab %s\n", cmd);
+    for (const FlagSpec& f : table) {
+        std::printf("    --%-16s %s%s\n", f.name, f.takesValue ? "<value>  " : "", f.help);
+    }
+}
+
+int cmdHelp() {
+    std::printf("ecnlab — ECN/AQM Hadoop-cluster simulator front end\n\ncommands:\n");
+    printFlagTable("run", kRunFlags);
+    printFlagTable("sweep", kSweepFlags);
+    std::printf("  ecnlab list    enumerate accepted knob values\n");
+    std::printf("  ecnlab help    this text\n");
+    std::printf(
+        "\nexit codes:\n"
+        "  0  success\n"
+        "  1  runtime error (simulation failed)\n"
+        "  2  usage error (unknown command or flag, missing value)\n"
+        "  3  invalid value (number out of range, malformed spec)\n"
+        "  4  invariant violations recorded (with --invariants record)\n");
+    return kExitOk;
 }
 
 }  // namespace
@@ -202,21 +363,30 @@ int cmdList() {
 int main(int argc, char** argv) {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: ecnlab run|sweep|list [--flags]\n"
+                     "usage: ecnlab run|sweep|list|help [--flags]\n"
                      "       ecnlab run --transport dctcp --queue red --protection acksyn "
                      "--target-us 100\n");
-        return 2;
+        return kExitUsage;
     }
+    const std::string cmd = argv[1];
     try {
-        const std::string cmd = argv[1];
-        const Args args = parse(argc, argv, 2);
-        if (cmd == "run") return cmdRun(args);
-        if (cmd == "sweep") return cmdSweep(args);
-        if (cmd == "list") return cmdList();
-        std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-        return 2;
+        if (cmd == "help" || cmd == "--help" || cmd == "-h") return cmdHelp();
+        if (cmd == "list") {
+            if (argc > 2) throw UsageError{"'list' takes no flags"};
+            return cmdList();
+        }
+        if (cmd == "run") return cmdRun(parse(argc, argv, 2, kRunFlags, cmd));
+        if (cmd == "sweep") return cmdSweep(parse(argc, argv, 2, kSweepFlags, cmd));
+        throw UsageError{"unknown command: " + cmd + " (run|sweep|list|help)"};
+    } catch (const UsageError& e) {
+        std::fprintf(stderr, "usage error: %s\n", e.message.c_str());
+        return kExitUsage;
+    } catch (const std::invalid_argument& e) {
+        // SpecError and every other malformed-value diagnostic land here.
+        std::fprintf(stderr, "invalid value: %s\n", e.what());
+        return kExitBadValue;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitRuntimeError;
     }
 }

@@ -2,11 +2,14 @@
 # Tier-1 test runner: builds and runs the full suite twice — once plain,
 # once instrumented with AddressSanitizer + UndefinedBehaviorSanitizer
 # (-DECNSIM_SANITIZE=address,undefined). Pass --plain or --sanitize to
-# run just one leg. Extra args after -- go to ctest (e.g. -R FaultPlan).
+# run just one leg, or --paranoid for the invariant-checking leg (Debug +
+# sanitizers + ECNSIM_INVARIANTS=abort across ctest and a bench smoke; see
+# docs/robustness.md). Extra args after -- go to ctest (e.g. -R FaultPlan).
 #
 # Environment overrides (all optional):
 #   BUILD_DIR             plain build tree      (default: <repo>/build)
 #   ASAN_BUILD_DIR        sanitizer build tree  (default: <repo>/build-asan)
+#   PARANOID_BUILD_DIR    paranoid build tree   (default: <repo>/build-paranoid)
 #   JOBS                  compile parallelism   (default: nproc)
 #   CTEST_PARALLEL_LEVEL  ctest parallelism     (default: JOBS)
 set -euo pipefail
@@ -21,16 +24,25 @@ while [[ $# -gt 0 ]]; do
     case "$1" in
         --plain)    legs=(plain); shift ;;
         --sanitize) legs=(sanitize); shift ;;
+        --paranoid) legs=(paranoid); shift ;;
         --)         shift; ctest_args=("$@"); break ;;
-        *)          echo "usage: $0 [--plain|--sanitize] [-- <ctest args>]" >&2; exit 2 ;;
+        *)          echo "usage: $0 [--plain|--sanitize|--paranoid] [-- <ctest args>]" >&2
+                    exit 2 ;;
     esac
 done
 
 run_leg() {
-    local leg="$1" dir flags=()
+    local leg="$1" dir flags=() env=()
     if [[ "$leg" == sanitize ]]; then
         dir="${ASAN_BUILD_DIR:-$repo/build-asan}"
         flags=(-DECNSIM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    elif [[ "$leg" == paranoid ]]; then
+        # Every simulator runs with the invariant checker in abort mode:
+        # any conservation/ordering/accounting violation fails the leg with
+        # a repro bundle (see docs/robustness.md).
+        dir="${PARANOID_BUILD_DIR:-$repo/build-paranoid}"
+        flags=(-DECNSIM_SANITIZE=address,undefined -DCMAKE_BUILD_TYPE=Debug)
+        env=(ECNSIM_INVARIANTS=abort)
     else
         dir="${BUILD_DIR:-$repo/build}"
     fi
@@ -40,7 +52,16 @@ run_leg() {
     cmake -B "$dir" -S "$repo" "${flags[@]}" >/dev/null &&
         cmake --build "$dir" -j "$jobs" &&
         echo "==> [$leg] ctest" &&
-        ( cd "$dir" && ctest --output-on-failure -j "$ctest_jobs" "${ctest_args[@]}" )
+        ( cd "$dir" && env "${env[@]}" ctest --output-on-failure -j "$ctest_jobs" \
+            "${ctest_args[@]}" )
+    local status=$?
+    if [[ $status -eq 0 && "$leg" == paranoid ]]; then
+        echo "==> [paranoid] bench smoke (--invariants abort)"
+        ( cd "$dir" && env "${env[@]}" ./tools/bench_runner --quick --threads 4 \
+            --invariants abort --out-dir . )
+        status=$?
+    fi
+    return "$status"
 }
 
 # Propagate the first failing leg's exit code explicitly: `set -e` alone is
