@@ -75,6 +75,12 @@ int main(int argc, char** argv) {
                 log.events().size(), static_cast<unsigned long long>(log.totalOf(TraceKind::Marked)),
                 static_cast<unsigned long long>(log.totalOf(TraceKind::DroppedEarly)),
                 static_cast<unsigned long long>(log.totalOf(TraceKind::DroppedOverflow)));
+    if (log.droppedEvents() > 0) {
+        std::fprintf(stderr,
+                     "warning: trace log full — %llu matching events were not stored "
+                     "(raise the capacity or tighten the filter)\n",
+                     static_cast<unsigned long long>(log.droppedEvents()));
+    }
     for (std::size_t i = 0; i < sampler.numQueues(); ++i) {
         std::printf("queue %zu: mean depth %.1f pkts, max %u\n", i, sampler.meanDepth(i),
                     sampler.maxDepth(i));

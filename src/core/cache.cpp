@@ -64,6 +64,9 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "packetsDelivered") in >> r.packetsDelivered;
         else if (field == "telemetryDigest") in >> r.telemetryDigest;
         else if (field == "invariantViolations") in >> r.invariantViolations;
+        else if (field == "traceRecords") in >> r.traceRecords;
+        else if (field == "traceDroppedEvents") in >> r.traceDroppedEvents;
+        else if (field == "metricSamples") in >> r.metricSamples;
         else {
             std::string skip;
             in >> skip;
@@ -120,7 +123,13 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "eventsExecuted " << r.eventsExecuted << '\n'
             << "packetsDelivered " << r.packetsDelivered << '\n'
             << "telemetryDigest " << r.telemetryDigest << '\n'
-            << "invariantViolations " << r.invariantViolations << '\n';
+            << "invariantViolations " << r.invariantViolations << '\n'
+            // Obs accounting is stored for completeness, but observed runs
+            // bypass the cache, so these are normally zero here. The profile
+            // summary is wall-clock noise and deliberately not cached.
+            << "traceRecords " << r.traceRecords << '\n'
+            << "traceDroppedEvents " << r.traceDroppedEvents << '\n'
+            << "metricSamples " << r.metricSamples << '\n';
 }
 
 }  // namespace ecnsim

@@ -8,6 +8,7 @@
 #include "src/aqm/factory.hpp"
 #include "src/mapred/spec.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/obs_config.hpp"
 #include "src/sim/invariants.hpp"
 #include "src/tcp/config.hpp"
 
@@ -67,6 +68,13 @@ struct ExperimentConfig {
     /// never changes simulated behaviour.
     InvariantMode invariants = globalInvariantMode();
 
+    /// Observability for this run: metrics registry, flight-recorder trace,
+    /// self-profiler (see src/obs/). Defaults from ECNSIM_OBS. Like
+    /// `invariants`, deliberately NOT part of cacheKey(): observability only
+    /// watches the run — the telemetry digest stays byte-identical with it
+    /// on or off (asserted by tests/integration/test_obs_digest.cpp).
+    ObsConfig obs = ObsConfig::fromEnvironment();
+
     /// Sanity-check the configuration itself (node counts, rates, spec
     /// strings); throws SpecError naming the bad field. Called by
     /// runExperiment before any simulation state exists.
@@ -74,6 +82,23 @@ struct ExperimentConfig {
 
     /// Stable textual identity used as the results-cache key.
     std::string cacheKey() const;
+};
+
+/// Self-profiler summary for one run; empty unless cfg.obs.profile was on.
+/// Averaging repeats sums counts and wall-clock (total work done) and keeps
+/// the scheduler-depth maximum.
+struct ObsProfileSummary {
+    struct Kind {
+        std::string name;  ///< profileKindName: "link-transmit", ...
+        std::uint64_t count = 0;
+        double wallMs = 0.0;
+    };
+    double wallSec = 0.0;  ///< wall-clock of the runUntil phase
+    double eventsPerSec = 0.0;
+    std::uint64_t schedulerDepthPeak = 0;
+    std::vector<Kind> kinds;  ///< only kinds that executed at least once
+
+    bool empty() const { return wallSec == 0.0 && kinds.empty(); }
 };
 
 /// Measured outputs of one run (the paper's three metrics + diagnostics).
@@ -131,6 +156,14 @@ struct ExperimentResult {
     std::uint64_t speculativeLaunches = 0;
     std::int64_t wastedBytes = 0;
     std::int64_t recoveredBytes = 0;
+
+    // Observability accounting (zero on unobserved runs).
+    std::uint64_t traceRecords = 0;  ///< flight-recorder records offered
+    /// Ring overwrites: records lost to the retained window. Non-zero means
+    /// the trace is a suffix of the run — raise obs.traceCapacity.
+    std::uint64_t traceDroppedEvents = 0;
+    std::uint64_t metricSamples = 0;  ///< registry sampling ticks taken
+    ObsProfileSummary obsProfile;
 
     /// Arithmetic mean over repetition results (counters averaged too).
     static ExperimentResult average(const std::vector<ExperimentResult>& runs);

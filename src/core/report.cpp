@@ -141,6 +141,28 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     os << pad << "  \"wastedBytes\": " << r.wastedBytes;
     sep();
     os << pad << "  \"recoveredBytes\": " << r.recoveredBytes;
+    // Observability accounting appears only on observed runs so unobserved
+    // reports stay byte-identical with what older consumers expect.
+    if (r.traceRecords > 0 || r.traceDroppedEvents > 0) {
+        integer("traceRecords", r.traceRecords);
+        integer("traceDroppedEvents", r.traceDroppedEvents);
+    }
+    if (r.metricSamples > 0) integer("metricSamples", r.metricSamples);
+    if (!r.obsProfile.empty()) {
+        sep();
+        os << pad << "  \"profile\": {\n";
+        os << pad << "    \"wallSec\": " << r.obsProfile.wallSec << ",\n";
+        os << pad << "    \"eventsPerSec\": " << r.obsProfile.eventsPerSec << ",\n";
+        os << pad << "    \"schedulerDepthPeak\": " << r.obsProfile.schedulerDepthPeak << ",\n";
+        os << pad << "    \"kinds\": [";
+        for (std::size_t i = 0; i < r.obsProfile.kinds.size(); ++i) {
+            const auto& k = r.obsProfile.kinds[i];
+            os << (i ? "," : "") << "\n" << pad << "      {\"name\": \"" << jsonEscape(k.name)
+               << "\", \"count\": " << k.count << ", \"wallMs\": " << k.wallMs << '}';
+        }
+        if (!r.obsProfile.kinds.empty()) os << '\n' << pad << "    ";
+        os << "]\n" << pad << "  }";
+    }
     os << '\n' << pad << '}';
     return os.str();
 }

@@ -1,12 +1,17 @@
 #include "src/core/runner.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 
 #include "src/aqm/droptail.hpp"
 #include "src/core/cache.hpp"
 #include "src/net/telemetry.hpp"
+#include "src/net/tracelog.hpp"
 #include "src/mapred/engine.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/hub.hpp"
+#include "src/sim/logging.hpp"
 #include "src/sim/spec_error.hpp"
 
 namespace ecnsim {
@@ -40,6 +45,7 @@ void ExperimentConfig::validate() const {
     }
     // Parse errors surface here, before any simulation state exists.
     if (!faultSpec.empty()) FaultPlan::parse(faultSpec);
+    obs.validate();
     cluster.validate();
     job.validate();
 }
@@ -67,6 +73,86 @@ std::string ExperimentConfig::cacheKey() const {
     return os.str();
 }
 
+namespace {
+
+/// Wire the hub's sinks into a fully constructed simulation: a flight-
+/// recorder tap over every labeled switch port, registry time series
+/// (queue depth and link utilisation per port, TCP and mapred aggregates)
+/// and a sampling hook that drops per-flow cwnd samples into the trace.
+/// Returns the tap so the caller can keep it alive for the run.
+std::unique_ptr<FlightRecorderTap> attachObservability(ObsHub& hub, Simulator& sim, Network& net,
+                                                       MapReduceEngine& engine) {
+    const auto ports = net.labeledSwitchPorts();
+
+    std::unique_ptr<FlightRecorderTap> tap;
+    if (FlightRecorder* rec = hub.recorder()) {
+        tap = std::make_unique<FlightRecorderTap>(*rec, hub.metrics(),
+                                                  hub.config().traceDequeues);
+        for (const auto& [label, port] : ports) tap->registerQueue(&port->queue(), label);
+        net.attachSwitchQueueObserver(tap.get());
+    }
+
+    if (MetricsRegistry* reg = hub.metrics()) {
+        const double intervalSec = hub.config().sampleInterval.toSeconds();
+        for (const auto& [label, port] : ports) {
+            const Queue* q = &port->queue();
+            reg->addSeries(label + ".depth",
+                           [q] { return static_cast<double>(q->lengthPackets()); });
+            // Utilisation over the last tick: bits moved / link capacity.
+            const Port* p = port;
+            const double tickBits = static_cast<double>(p->rate().bps()) * intervalSec;
+            reg->addSeries(label + ".util",
+                           [p, tickBits, last = std::uint64_t{0}]() mutable {
+                               const std::uint64_t bytes = p->bytesTransmitted();
+                               const double bits = static_cast<double>(bytes - last) * 8.0;
+                               last = bytes;
+                               return tickBits > 0.0 ? bits / tickBits : 0.0;
+                           });
+        }
+        // One cluster-wide stats walk per tick, shared by the three TCP
+        // series: sample() runs samplers in registration order, so the
+        // first refreshes the cache the other two read.
+        auto tcpCache = std::make_shared<TcpConnStats>();
+        reg->addSeries("tcp.retransmits", [&engine, tcpCache] {
+            *tcpCache = engine.aggregateTcpStats();
+            return static_cast<double>(tcpCache->retransmits);
+        });
+        reg->addSeries("tcp.rtoEvents",
+                       [tcpCache] { return static_cast<double>(tcpCache->rtoEvents); });
+        reg->addSeries("tcp.ecnCwndCuts",
+                       [tcpCache] { return static_cast<double>(tcpCache->ecnCwndCuts); });
+        reg->addSeries("mapred.mapsDone",
+                       [&engine] { return static_cast<double>(engine.completedMaps()); });
+        reg->addSeries("mapred.reducersDone",
+                       [&engine] { return static_cast<double>(engine.completedReducers()); });
+    }
+
+    if (FlightRecorder* rec = hub.recorder()) {
+        ClusterRuntime& rt = engine.runtime();
+        // Every 8th tick only: finished fetches accumulate in the stacks,
+        // so this scan grows linearly with run length — at the default
+        // 1 ms interval, 125 Hz is still dense for a cwnd timeline.
+        hub.addSampleHook([rec, &rt, tick = std::uint64_t{0}](Time now) mutable {
+            if (tick++ % 8 != 0) return;
+            const auto sat = [](double v) {
+                return static_cast<std::uint32_t>(
+                    std::min(std::max(v, 0.0), 4294967295.0));
+            };
+            for (int i = 0; i < rt.numNodes(); ++i) {
+                for (const auto& conn : rt.node(i).stack->connections()) {
+                    // A cwnd track for a closed connection is dead weight.
+                    if (conn->state() == TcpState::Closed) continue;
+                    rec->record(TraceRecordKind::TcpCwndSample, now, conn->flowId(),
+                                sat(conn->cwndBytes()), sat(conn->ssthreshBytes()));
+                }
+            }
+        });
+    }
+    return tap;
+}
+
+}  // namespace
+
 ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     cfg.validate();
 
@@ -80,6 +166,15 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
     {
         Simulator sim(cfg.seed);
         sim.setInvariants(&checker);
+
+        // Observability hub (nullptr on unobserved runs): registered before
+        // any model object so every instrumentation site sees it.
+        std::unique_ptr<ObsHub> obsHub;
+        if (cfg.obs.anyEnabled()) {
+            obsHub = std::make_unique<ObsHub>(cfg.obs);
+            sim.setObs(obsHub.get());
+        }
+
         Network net(sim);
 
         QueueConfig switchQ = cfg.switchQueue;
@@ -110,9 +205,19 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         if (!cfg.faultSpec.empty()) {
             installFaults(FaultPlan::parse(cfg.faultSpec), engine.runtime());
         }
+        // The tap must outlive the run: the network dispatches into it on
+        // every switch-queue decision.
+        std::unique_ptr<FlightRecorderTap> tap;
+        if (obsHub) tap = attachObservability(*obsHub, sim, net, engine);
+
         engine.setOnComplete([&sim] { sim.stop(); });
         engine.start();
+        if (obsHub) obsHub->startSampling(sim);
+
+        SimProfiler* profiler = obsHub ? obsHub->profiler() : nullptr;
+        if (profiler != nullptr) profiler->beginPhase();
         sim.runUntil(cfg.horizon);
+        if (profiler != nullptr) profiler->endPhase(sim.eventsExecuted());
 
         // End-of-run drain point: every injected packet must have a recorded
         // fate (or be provably parked behind a downed link / beyond the horizon).
@@ -165,6 +270,38 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.speculativeLaunches = engine.metrics().speculativeLaunches;
         r.wastedBytes = engine.metrics().wastedBytes;
         r.recoveredBytes = engine.metrics().recoveredBytes;
+
+        if (obsHub) {
+            obsHub->stopSampling();
+            if (const FlightRecorder* rec = obsHub->recorder()) {
+                r.traceRecords = rec->recorded();
+                r.traceDroppedEvents = rec->droppedEvents();
+                if (r.traceDroppedEvents > 0) {
+                    ECNSIM_LOGC(LogLevel::Warn, "obs",
+                                "flight recorder wrapped: " +
+                                    std::to_string(r.traceDroppedEvents) + " of " +
+                                    std::to_string(r.traceRecords) +
+                                    " records lost (raise obs.traceCapacity)");
+                }
+            }
+            if (const MetricsRegistry* reg = obsHub->metrics()) {
+                r.metricSamples = reg->samplesTaken();
+            }
+            if (profiler != nullptr) {
+                r.obsProfile.wallSec = profiler->phaseWallSec();
+                r.obsProfile.eventsPerSec = profiler->eventsPerSec();
+                r.obsProfile.schedulerDepthPeak = profiler->schedulerDepthPeak();
+                for (std::size_t k = 0; k < kNumProfileKinds; ++k) {
+                    const auto kind = static_cast<ProfileKind>(k);
+                    const auto& s = profiler->kinds()[k];
+                    if (s.count == 0) continue;
+                    r.obsProfile.kinds.push_back({std::string(profileKindName(kind)), s.count,
+                                                  profiler->estimatedWallMs(kind)});
+                }
+            }
+            if (!cfg.obs.traceOut.empty()) obsHub->writeTraceFile(cfg.obs.traceOut);
+            if (!cfg.obs.metricsOut.empty()) obsHub->writeMetricsFile(cfg.obs.metricsOut);
+        }
     }
 
     // Teardown drained every queue, wire and TCP buffer: the pool must be
@@ -237,6 +374,27 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         // the repetition set must stay visible in the aggregate.
         avg.invariantViolations += r.invariantViolations;
         digest = NetworkTelemetry::foldDigest(digest, r.telemetryDigest);
+        // Obs accounting: totals across repeats (a sum answers "how much
+        // trace did I lose", a mean would hide a single wrapped run).
+        avg.traceRecords += r.traceRecords;
+        avg.traceDroppedEvents += r.traceDroppedEvents;
+        avg.metricSamples += r.metricSamples;
+        avg.obsProfile.wallSec += r.obsProfile.wallSec;
+        avg.obsProfile.eventsPerSec += r.obsProfile.eventsPerSec / n;
+        avg.obsProfile.schedulerDepthPeak =
+            std::max(avg.obsProfile.schedulerDepthPeak, r.obsProfile.schedulerDepthPeak);
+        for (const auto& k : r.obsProfile.kinds) {
+            auto it = std::find_if(avg.obsProfile.kinds.begin(), avg.obsProfile.kinds.end(),
+                                   [&k](const ObsProfileSummary::Kind& x) {
+                                       return x.name == k.name;
+                                   });
+            if (it == avg.obsProfile.kinds.end()) {
+                avg.obsProfile.kinds.push_back(k);
+            } else {
+                it->count += k.count;
+                it->wallMs += k.wallMs;
+            }
+        }
     }
     avg.ackDroppedEarly = meanU64(ackD);
     avg.ackOffered = meanU64(ackO);
@@ -265,6 +423,10 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
 
 ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
     ResultsCache cache = ResultsCache::fromEnvironment();
+    // Observed runs bypass the on-disk cache entirely: their point is the
+    // trace / metrics / profile side channel, which a cached result cannot
+    // replay (obs options are deliberately absent from cacheKey()).
+    const bool observed = cfg.obs.anyEnabled();
     const int repeats = std::max(1, cfg.repeats);
     std::vector<ExperimentResult> runs;
     runs.reserve(static_cast<std::size_t>(repeats));
@@ -272,10 +434,15 @@ ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
         ExperimentConfig one = cfg;
         one.seed = cfg.seed + static_cast<std::uint64_t>(i);
         one.repeats = 1;
+        if (repeats > 1) {
+            // One export per repetition, not one file fought over by all.
+            if (!one.obs.traceOut.empty()) one.obs.traceOut += "." + std::to_string(i);
+            if (!one.obs.metricsOut.empty()) one.obs.metricsOut += "." + std::to_string(i);
+        }
         ExperimentResult r;
-        if (!cache.lookup(one.cacheKey(), r)) {
+        if (observed || !cache.lookup(one.cacheKey(), r)) {
             r = runExperiment(one);
-            cache.store(one.cacheKey(), r);
+            if (!observed) cache.store(one.cacheKey(), r);
         }
         r.name = cfg.name;
         runs.push_back(std::move(r));

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/obs/hub.hpp"
+
 namespace ecnsim {
+
+void MapReduceEngine::traceSpanBegin(const std::string& track, const char* name) {
+    if (FlightRecorder* rec = obsRecorderOf(sim())) {
+        rec->record(TraceRecordKind::SpanBegin, sim().now(), rec->intern(track),
+                    rec->intern(name));
+    }
+}
+
+void MapReduceEngine::traceSpanEnd(const std::string& track) {
+    if (FlightRecorder* rec = obsRecorderOf(sim())) {
+        rec->record(TraceRecordKind::SpanEnd, sim().now(), rec->intern(track));
+    }
+}
 
 MapReduceEngine::MapReduceEngine(ClusterRuntime& runtime, JobSpec job, int jobId)
     : rt_(runtime), job_(job), jobId_(jobId) {
@@ -111,6 +126,7 @@ void MapReduceEngine::onNodeCrashChanged(int nodeIdx, bool crashed) {
         it->second.watchdog.cancel();
         activeMapAttempts_.erase(it);
         ++metrics_.tasksLostToCrashes;
+        traceSpanEnd(mapTrack(mapId, attemptId));
         MapTask& t = maps_[static_cast<std::size_t>(mapId)];
         if (t.done) continue;
         metrics_.wastedBytes += job_.mapOutputBytes();
@@ -182,6 +198,7 @@ void MapReduceEngine::startMapAttempt(int mapId, int nodeIdx, bool speculative) 
         onMapAttemptTimeout(mapId, attemptId);
     });
     activeMapAttempts_[attemptKey(mapId, attemptId)] = std::move(att);
+    traceSpanBegin(mapTrack(mapId, attemptId), speculative ? "map (speculative)" : "map");
 
     // read input -> compute -> write map output -> done. Every stage checks
     // the attempt is still live: a missing registry entry means the attempt
@@ -211,6 +228,10 @@ void MapReduceEngine::onMapAttemptDone(int mapId, int attemptId) {
     MapAttempt att = std::move(it->second);
     activeMapAttempts_.erase(it);
     att.watchdog.cancel();
+    traceSpanEnd(mapTrack(mapId, attemptId));
+    ObsHub* hub = sim().obs();
+    SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                               ProfileKind::MapredControl);
 
     MapTask& task = maps_[static_cast<std::size_t>(mapId)];
     if (task.done) {
@@ -253,6 +274,7 @@ void MapReduceEngine::onMapAttemptTimeout(int mapId, int attemptId) {
     MapAttempt att = std::move(it->second);
     activeMapAttempts_.erase(it);
     ++metrics_.heartbeatTimeouts;
+    traceSpanEnd(mapTrack(mapId, attemptId));
 
     // The TaskTracker kills the overdue attempt, reclaiming its slot. Its
     // still-scheduled disk/cpu events become stale no-ops.
@@ -371,6 +393,7 @@ void MapReduceEngine::startReduceAttempt(int redId, int nodeIdx) {
     red.node = nodeIdx;
     red.started = true;
     red.startedAt = red.lastProgressAt = sim().now();
+    traceSpanBegin(reduceTrack(redId, red.attempt), "fetch");
     armReduceWatchdog(redId, red.attempt);
     pumpFetches(redId);
 }
@@ -400,6 +423,9 @@ void MapReduceEngine::failReduceAttempt(int redId, const char* reason, bool free
     ++red.failures;
     ++metrics_.reduceRetries;
     metrics_.wastedBytes += red.bytesFetched;
+    // Close whatever phase span the dying attempt had open (track id uses
+    // the attempt number before the bump below).
+    if (red.started) traceSpanEnd(reduceTrack(redId, red.attempt));
 
     // Bumping the attempt id invalidates every outstanding fetch, disk and
     // replica callback of this attempt; the re-execution starts clean.
@@ -512,6 +538,9 @@ void MapReduceEngine::installReplicaSink(int nodeIdx) {
 }
 
 void MapReduceEngine::onFetchComplete(int redId, int mapId) {
+    ObsHub* hub = sim().obs();
+    SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                               ProfileKind::MapredControl);
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     --red.activeFetches;
     ++red.fetchesDone;
@@ -534,6 +563,8 @@ void MapReduceEngine::startSortPhase(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     const int attemptId = red.attempt;
     const std::int64_t bytes = red.bytesFetched;
+    traceSpanEnd(reduceTrack(redId, attemptId));  // fetch phase over
+    traceSpanBegin(reduceTrack(redId, attemptId), "sort");
     // External merge: spill everything, read it back, then reduce-compute.
     rt_.node(red.node).disk->write(bytes, [this, redId, attemptId, bytes] {
         ReduceTask& r = reducers_[static_cast<std::size_t>(redId)];
@@ -558,6 +589,8 @@ void MapReduceEngine::startSortPhase(int redId) {
 void MapReduceEngine::writeOutput(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     const int attemptId = red.attempt;
+    traceSpanEnd(reduceTrack(redId, attemptId));  // sort phase over
+    traceSpanBegin(reduceTrack(redId, attemptId), "write");
     auto& node = rt_.node(red.node);
     const auto outBytes = static_cast<std::int64_t>(
         static_cast<double>(red.bytesFetched) * job_.reduceOutputRatio);
@@ -604,6 +637,7 @@ void MapReduceEngine::onReducerDone(int redId) {
     ReduceTask& red = reducers_[static_cast<std::size_t>(redId)];
     red.done = true;
     red.watchdog.cancel();
+    traceSpanEnd(reduceTrack(redId, red.attempt));  // write phase over
     ++completedReducers_;
     if (red.attempt > 0) metrics_.recoveredBytes += red.bytesFetched;
     if (completedReducers_ == 1) metrics_.firstReduceDone = sim().now();

@@ -161,6 +161,18 @@ private:
 
     Simulator& sim() { return rt_.network().sim(); }
 
+    // Flight-recorder task/phase spans (no-ops when tracing is off). Map
+    // attempts get one track each ("map#<id>.a<n>"); reduce attempts get a
+    // track with sequential fetch/sort/write phase spans.
+    void traceSpanBegin(const std::string& track, const char* name);
+    void traceSpanEnd(const std::string& track);
+    std::string mapTrack(int mapId, int attemptId) const {
+        return "map#" + std::to_string(mapId) + ".a" + std::to_string(attemptId);
+    }
+    std::string reduceTrack(int redId, int attemptId) const {
+        return "reduce#" + std::to_string(redId) + ".a" + std::to_string(attemptId);
+    }
+
     std::unique_ptr<ClusterRuntime> ownedRuntime_;  // only for the legacy ctor
     ClusterRuntime& rt_;
     JobSpec job_;

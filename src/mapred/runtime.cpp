@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/hub.hpp"
+
 namespace ecnsim {
 
 ClusterRuntime::ClusterRuntime(Network& net, std::vector<HostNode*> hosts, ClusterSpec spec,
@@ -30,6 +32,10 @@ void ClusterRuntime::crashNode(int nodeIdx) {
     n.freeMapSlots = 0;
     n.freeReduceSlots = 0;
     ++net_.telemetry().faults().nodeCrashes;
+    if (FlightRecorder* rec = obsRecorderOf(net_.sim())) {
+        rec->record(TraceRecordKind::FaultNodeCrash, net_.sim().now(),
+                    static_cast<std::uint32_t>(nodeIdx));
+    }
     for (auto& cb : crashObservers_) cb(nodeIdx, true);
 }
 
@@ -40,6 +46,10 @@ void ClusterRuntime::recoverNode(int nodeIdx) {
     n.freeMapSlots = spec_.mapSlotsPerNode;
     n.freeReduceSlots = spec_.reduceSlotsPerNode;
     ++net_.telemetry().faults().nodeRecoveries;
+    if (FlightRecorder* rec = obsRecorderOf(net_.sim())) {
+        rec->record(TraceRecordKind::FaultNodeRecover, net_.sim().now(),
+                    static_cast<std::uint32_t>(nodeIdx));
+    }
     for (auto& cb : crashObservers_) cb(nodeIdx, false);
     notifySlotFreed(nodeIdx);
 }

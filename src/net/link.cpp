@@ -4,6 +4,7 @@
 
 #include "src/net/node.hpp"
 #include "src/net/telemetry.hpp"
+#include "src/obs/hub.hpp"
 
 namespace ecnsim {
 
@@ -77,6 +78,10 @@ void Port::tryTransmit() {
     const Time serialization = rate_.transmissionTime(pkt->sizeBytes);
     const std::uint64_t epoch = flapEpoch_;
     sim_.schedule(serialization, [this, epoch, pkt = std::move(pkt)]() mutable {
+        // Profiler gate: one pointer test when observability is off.
+        ObsHub* hub = sim_.obs();
+        SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                                   ProfileKind::LinkTransmit);
         busy_ = false;
         if (flapEpoch_ != epoch) {
             // The link dropped while the packet was being serialized.
@@ -98,6 +103,10 @@ void Port::tryTransmit() {
             ++wireInFlight_;
             sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
                                               pkt = std::move(pkt)]() mutable {
+                ObsHub* deliveryHub = sim_.obs();
+                SimProfiler::Scope deliveryProfile(
+                    deliveryHub != nullptr ? deliveryHub->profiler() : nullptr,
+                    ProfileKind::WireDelivery);
                 --wireInFlight_;
                 if (flapEpoch_ != epoch) {
                     // Lost mid-flight: the link went down under the packet.

@@ -3,6 +3,8 @@
 #include <deque>
 #include <limits>
 
+#include "src/obs/hub.hpp"
+
 namespace ecnsim {
 
 HostNode& Network::addHost(std::string label) {
@@ -54,6 +56,10 @@ void Network::setLinkUp(std::size_t i, bool up) {
         ++telemetry_.faults().linkUpEvents;
     } else {
         ++telemetry_.faults().linkDownEvents;
+    }
+    if (FlightRecorder* rec = obsRecorderOf(sim_)) {
+        rec->record(up ? TraceRecordKind::FaultLinkUp : TraceRecordKind::FaultLinkDown,
+                    sim_.now(), static_cast<std::uint32_t>(i));
     }
     // Drain point: a flap just purged queues and doomed in-flight packets;
     // all of that must be accounted for the instant the transition is done.
@@ -213,6 +219,16 @@ std::vector<const Queue*> Network::switchQueues() const {
     std::vector<const Queue*> out;
     for (const SwitchNode* sw : switches_) {
         for (std::size_t i = 0; i < sw->numPorts(); ++i) out.push_back(&sw->port(i).queue());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, const Port*>> Network::labeledSwitchPorts() const {
+    std::vector<std::pair<std::string, const Port*>> out;
+    for (const SwitchNode* sw : switches_) {
+        for (std::size_t i = 0; i < sw->numPorts(); ++i) {
+            out.emplace_back("sw:" + sw->label() + ".p" + std::to_string(i), &sw->port(i));
+        }
     }
     return out;
 }

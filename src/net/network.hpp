@@ -59,6 +59,11 @@ public:
     /// All switch egress queues (for snapshots and per-queue inspection).
     std::vector<const Queue*> switchQueues() const;
 
+    /// Every switch egress port with a stable human-readable label
+    /// ("sw:<switch label>.p<port>") — the registration surface for the
+    /// observability layer's queue-depth series and flight-recorder tap.
+    std::vector<std::pair<std::string, const Port*>> labeledSwitchPorts() const;
+
     /// Attach one observer to every switch egress queue (nullptr detaches).
     void attachSwitchQueueObserver(QueueObserver* obs);
 

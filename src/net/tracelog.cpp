@@ -49,6 +49,75 @@ void PacketTraceLog::clear() {
     notStored_ = 0;
 }
 
+FlightRecorderTap::FlightRecorderTap(FlightRecorder& recorder, MetricsRegistry* metrics,
+                                     bool recordDequeues)
+    : recorder_(recorder), fallbackLabel_(recorder.intern("queue")),
+      recordDequeues_(recordDequeues) {
+    if (metrics != nullptr) {
+        enqueued_ = &metrics->counter("queue.enqueued");
+        marked_ = &metrics->counter("queue.marked");
+        droppedEarly_ = &metrics->counter("queue.droppedEarly");
+        droppedOverflow_ = &metrics->counter("queue.droppedOverflow");
+        dequeued_ = &metrics->counter("queue.dequeued");
+    }
+}
+
+void FlightRecorderTap::registerQueue(const Queue* q, std::string_view label) {
+    const std::uint32_t id = recorder_.intern(label);
+    for (auto& [queue, existing] : labels_) {
+        if (queue == q) {
+            existing = id;
+            memoQueue_ = nullptr;  // the memo may hold the stale label
+            return;
+        }
+    }
+    labels_.emplace_back(q, id);
+}
+
+namespace {
+
+// TraceRecord packs class + ECN into its two byte fields; the exporter's
+// local name tables mirror packetClassName / ecnCodepointName.
+std::uint8_t packEcn(const Packet& pkt) {
+    return static_cast<std::uint8_t>(static_cast<std::uint8_t>(pkt.ecn) |
+                                     (pkt.hasEce() ? 0x80 : 0));
+}
+
+}  // namespace
+
+void FlightRecorderTap::onEnqueue(const Queue& q, const Packet& pkt, EnqueueOutcome outcome,
+                                  Time now) {
+    TraceRecordKind kind = TraceRecordKind::QueueEnqueue;
+    MetricsRegistry::Metric* counter = enqueued_;
+    switch (outcome) {
+        case EnqueueOutcome::Enqueued: break;
+        case EnqueueOutcome::Marked:
+            kind = TraceRecordKind::QueueMark;
+            counter = marked_;
+            break;
+        case EnqueueOutcome::DroppedEarly:
+            kind = TraceRecordKind::QueueDropEarly;
+            counter = droppedEarly_;
+            break;
+        case EnqueueOutcome::DroppedOverflow:
+            kind = TraceRecordKind::QueueDropOverflow;
+            counter = droppedOverflow_;
+            break;
+    }
+    if (counter != nullptr) counter->inc();
+    recorder_.record(kind, now, labelOf(q), pkt.flowId,
+                     static_cast<std::uint32_t>(pkt.sizeBytes),
+                     static_cast<std::uint8_t>(pkt.klass()), packEcn(pkt));
+}
+
+void FlightRecorderTap::onDequeue(const Queue& q, const Packet& pkt, Time now) {
+    if (dequeued_ != nullptr) dequeued_->inc();
+    if (!recordDequeues_) return;
+    recorder_.record(TraceRecordKind::QueueDequeue, now, labelOf(q), pkt.flowId,
+                     static_cast<std::uint32_t>(pkt.sizeBytes),
+                     static_cast<std::uint8_t>(pkt.klass()), packEcn(pkt));
+}
+
 QueueDepthSampler::QueueDepthSampler(Simulator& sim, std::vector<const Queue*> queues,
                                      Time interval)
     : sim_(sim), queues_(std::move(queues)), interval_(interval) {

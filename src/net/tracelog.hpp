@@ -1,13 +1,19 @@
-// Tracing tools: a per-queue packet event log (the evidence behind Fig. 1)
-// and a periodic queue-depth sampler for time-series analysis.
+// Tracing tools: a per-queue packet event log (the evidence behind Fig. 1),
+// a periodic queue-depth sampler for time-series analysis, and the
+// FlightRecorderTap bridging queue decisions into the unified flight
+// recorder (src/obs) that exports Chrome-trace JSON.
 #pragma once
 
 #include <array>
 #include <functional>
 #include <iosfwd>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/net/queue.hpp"
+#include "src/obs/flight_recorder.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/sim/simulator.hpp"
 
 namespace ecnsim {
@@ -66,6 +72,11 @@ public:
         return totals_[static_cast<std::size_t>(k)];
     }
     std::uint64_t overflowed() const { return notStored_; }
+    /// Events counted but not stored because the log was full — reports
+    /// must surface this so a truncated trace is never mistaken for a
+    /// complete one. (Alias of overflowed(), matching the flight
+    /// recorder's vocabulary.)
+    std::uint64_t droppedEvents() const { return notStored_; }
 
     /// events.csv: time_us,queue,kind,class,ecn,ece,uid,flow,size
     void writeCsv(std::ostream& os) const;
@@ -81,6 +92,54 @@ private:
     std::vector<PacketTraceEvent> events_;
     std::array<std::uint64_t, kNumTraceKinds> totals_{};
     std::uint64_t notStored_ = 0;
+};
+
+/// QueueObserver forwarding every enqueue decision and dequeue into a
+/// FlightRecorder (as typed ring records for the Chrome-trace export) and,
+/// optionally, per-outcome counters of a MetricsRegistry. Queue labels are
+/// interned once at registration so the per-packet path is a map lookup
+/// plus a handful of stores.
+class FlightRecorderTap : public QueueObserver {
+public:
+    /// `recordDequeues` off by default: dequeues double the ring traffic
+    /// and the enqueue/mark/drop decisions are the story (dequeues still
+    /// feed the registry counter either way).
+    explicit FlightRecorderTap(FlightRecorder& recorder, MetricsRegistry* metrics = nullptr,
+                               bool recordDequeues = false);
+
+    /// Pre-intern `label` for `q`; events from unregistered queues fall
+    /// back to a shared "queue" track.
+    void registerQueue(const Queue* q, std::string_view label);
+
+    void onEnqueue(const Queue& q, const Packet& pkt, EnqueueOutcome outcome, Time now) override;
+    void onDequeue(const Queue& q, const Packet& pkt, Time now) override;
+
+private:
+    // Flat table + one-entry memo instead of a hash map: this resolves on
+    // every switch-queue event, and enqueue/dequeue bursts hit the same
+    // queue, so the memo short-circuits most lookups and the fallback scan
+    // is a dozen pointer compares over contiguous memory.
+    std::uint32_t labelOf(const Queue& q) const {
+        if (&q == memoQueue_) return memoLabel_;
+        memoQueue_ = &q;
+        for (const auto& [queue, label] : labels_) {
+            if (queue == &q) return memoLabel_ = label;
+        }
+        return memoLabel_ = fallbackLabel_;
+    }
+
+    FlightRecorder& recorder_;
+    std::vector<std::pair<const Queue*, std::uint32_t>> labels_;
+    mutable const Queue* memoQueue_ = nullptr;
+    mutable std::uint32_t memoLabel_ = 0;
+    std::uint32_t fallbackLabel_;
+    bool recordDequeues_;
+    // Registry counters resolved once (null when metrics are off).
+    MetricsRegistry::Metric* enqueued_ = nullptr;
+    MetricsRegistry::Metric* marked_ = nullptr;
+    MetricsRegistry::Metric* droppedEarly_ = nullptr;
+    MetricsRegistry::Metric* droppedOverflow_ = nullptr;
+    MetricsRegistry::Metric* dequeued_ = nullptr;
 };
 
 /// Samples the instantaneous depth of a set of queues at a fixed interval.

@@ -1,0 +1,258 @@
+#include "src/obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "src/obs/metrics.hpp"
+
+namespace ecnsim {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    // Reserve the whole ring up front: growth reallocations would memcpy
+    // megabytes of records mid-run, and untouched reserved pages are free.
+    ring_.reserve(capacity_);
+}
+
+std::uint32_t FlightRecorder::intern(std::string_view s) {
+    const auto it = nameIds_.find(std::string(s));
+    if (it != nameIds_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(s);
+    nameIds_.emplace(names_.back(), id);
+    return id;
+}
+
+std::vector<TraceRecord> FlightRecorder::retained() const {
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    if (recorded_ <= capacity_) {
+        out = ring_;
+    } else {
+        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
+        out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+    }
+    return out;
+}
+
+void FlightRecorder::clear() {
+    ring_.clear();
+    head_ = 0;
+    recorded_ = 0;
+}
+
+namespace {
+
+// Chrome trace_event process ids, one per record family. Thread ids within
+// a process come from the record (queue label id, flow id, span track id).
+constexpr int kPidQueues = 1;
+constexpr int kPidTcp = 2;
+constexpr int kPidMapred = 3;
+constexpr int kPidFaults = 4;
+constexpr int kPidMetrics = 5;
+
+// Mirrors packetClassName / tcpStateName / ecnCodepointName without a
+// dependency on src/net and src/tcp (obs sits below both); the tap encodes
+// the raw enum value into d/e. Indexed by the enum's underlying value.
+constexpr const char* kClassNames[] = {"DATA", "ACK",   "SYN",   "SYN-ACK",
+                                       "FIN",  "RST",   "PROBE", "OTHER"};
+constexpr const char* kEcnNames[] = {"Non-ECT", "ECT(1)", "ECT(0)", "CE"};
+constexpr const char* kTcpStateNames[] = {"Closed", "SynSent", "SynRcvd", "Established"};
+
+const char* lookup(const char* const* table, std::size_t n, std::uint8_t i) {
+    return i < n ? table[i] : "?";
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// One trace_event line. `ts` is in microseconds per the Chrome format.
+class EventWriter {
+public:
+    explicit EventWriter(std::ostream& os) : os_(os) {}
+
+    void event(const std::string& name, const char* ph, double tsUs, int pid, std::uint64_t tid,
+               const std::string& extra) {
+        os_ << (first_ ? "\n" : ",\n") << "    {\"name\": \"" << escape(name) << "\", \"ph\": \""
+            << ph << "\", \"ts\": ";
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.3f", tsUs);
+        os_ << buf << ", \"pid\": " << pid << ", \"tid\": " << tid;
+        if (!extra.empty()) os_ << ", " << extra;
+        os_ << '}';
+        first_ = false;
+    }
+
+    void metadata(const char* what, int pid, std::uint64_t tid, const std::string& label) {
+        os_ << (first_ ? "\n" : ",\n") << "    {\"name\": \"" << what
+            << "\", \"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << tid
+            << ", \"args\": {\"name\": \"" << escape(label) << "\"}}";
+        first_ = false;
+    }
+
+    bool any() const { return !first_; }
+
+private:
+    std::ostream& os_;
+    bool first_ = true;
+};
+
+}  // namespace
+
+void FlightRecorder::writeChromeTrace(std::ostream& os, const MetricsRegistry* series) const {
+    const std::vector<TraceRecord> records = retained();
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    EventWriter w(os);
+
+    // Process names.
+    w.metadata("process_name", kPidQueues, 0, "switch queues");
+    w.metadata("process_name", kPidTcp, 0, "tcp flows");
+    w.metadata("process_name", kPidMapred, 0, "mapred tasks");
+    w.metadata("process_name", kPidFaults, 0, "faults");
+    w.metadata("process_name", kPidMetrics, 0, "metrics");
+    w.metadata("thread_name", kPidFaults, 0, "fault injector");
+
+    // Thread names for every queue label / span track referenced.
+    std::vector<bool> queueTidNamed(names_.size(), false);
+    std::vector<bool> spanTidNamed(names_.size(), false);
+    std::int64_t maxNs = 0;
+    for (const TraceRecord& r : records) {
+        maxNs = std::max(maxNs, r.atNs);
+        switch (r.kind) {
+            case TraceRecordKind::QueueEnqueue:
+            case TraceRecordKind::QueueMark:
+            case TraceRecordKind::QueueDropEarly:
+            case TraceRecordKind::QueueDropOverflow:
+            case TraceRecordKind::QueueDequeue:
+                if (r.a < queueTidNamed.size() && !queueTidNamed[r.a]) {
+                    w.metadata("thread_name", kPidQueues, r.a, names_[r.a]);
+                    queueTidNamed[r.a] = true;
+                }
+                break;
+            case TraceRecordKind::SpanBegin:
+            case TraceRecordKind::SpanEnd:
+                if (r.a < spanTidNamed.size() && !spanTidNamed[r.a]) {
+                    w.metadata("thread_name", kPidMapred, r.a, names_[r.a]);
+                    spanTidNamed[r.a] = true;
+                }
+                break;
+            default: break;
+        }
+    }
+
+    // Span pairing: SpanEnd closes the innermost open span on its track;
+    // spans left open (or whose begin was overwritten by the ring) are
+    // closed at the window edge so the JSON always balances.
+    std::map<std::uint32_t, std::vector<std::pair<std::string, double>>> openSpans;
+
+    for (const TraceRecord& r : records) {
+        const double ts = static_cast<double>(r.atNs) * 1e-3;
+        switch (r.kind) {
+            case TraceRecordKind::QueueEnqueue:
+            case TraceRecordKind::QueueMark:
+            case TraceRecordKind::QueueDropEarly:
+            case TraceRecordKind::QueueDropOverflow:
+            case TraceRecordKind::QueueDequeue: {
+                std::string extra = "\"cat\": \"queue\", \"s\": \"t\", \"args\": {\"class\": \"";
+                extra += lookup(kClassNames, std::size(kClassNames), r.d);
+                extra += "\", \"ecn\": \"";
+                extra += lookup(kEcnNames, std::size(kEcnNames), r.e & 0x3);
+                extra += "\", \"ece\": ";
+                extra += (r.e & 0x80) ? "true" : "false";
+                extra += ", \"flow\": " + std::to_string(r.b);
+                extra += ", \"bytes\": " + std::to_string(r.c) + "}";
+                w.event(std::string(traceRecordKindName(r.kind)), "i", ts, kPidQueues, r.a,
+                        extra);
+                break;
+            }
+            case TraceRecordKind::TcpState: {
+                std::string name = lookup(kTcpStateNames, std::size(kTcpStateNames), r.d);
+                name += "->";
+                name += lookup(kTcpStateNames, std::size(kTcpStateNames), r.e);
+                w.event(name, "i", ts, kPidTcp, r.a,
+                        "\"cat\": \"tcp\", \"s\": \"t\", \"args\": {\"node\": " +
+                            std::to_string(r.b) + "}");
+                break;
+            }
+            case TraceRecordKind::TcpRetransmit:
+            case TraceRecordKind::TcpRto:
+            case TraceRecordKind::TcpCwndCut:
+                w.event(std::string(traceRecordKindName(r.kind)), "i", ts, kPidTcp, r.a,
+                        "\"cat\": \"tcp\", \"s\": \"t\", \"args\": {\"node\": " +
+                            std::to_string(r.b) + ", \"value\": " + std::to_string(r.c) + "}");
+                break;
+            case TraceRecordKind::TcpCwndSample:
+                w.event("cwnd flow" + std::to_string(r.a), "C", ts, kPidTcp, r.a,
+                        "\"args\": {\"cwnd\": " + std::to_string(r.b) +
+                            ", \"ssthresh\": " + std::to_string(r.c) + "}");
+                break;
+            case TraceRecordKind::FaultLinkDown:
+            case TraceRecordKind::FaultLinkUp:
+            case TraceRecordKind::FaultNodeCrash:
+            case TraceRecordKind::FaultNodeRecover:
+                w.event(std::string(traceRecordKindName(r.kind)) + " " + std::to_string(r.a),
+                        "i", ts, kPidFaults, 0, "\"cat\": \"fault\", \"s\": \"g\"");
+                break;
+            case TraceRecordKind::SpanBegin: {
+                const std::string name = r.b < names_.size() ? names_[r.b] : "span";
+                w.event(name, "B", ts, kPidMapred, r.a, "\"cat\": \"mapred\"");
+                openSpans[r.a].emplace_back(name, ts);
+                break;
+            }
+            case TraceRecordKind::SpanEnd: {
+                auto it = openSpans.find(r.a);
+                if (it == openSpans.end() || it->second.empty()) break;  // begin lost to wrap
+                w.event(it->second.back().first, "E", ts, kPidMapred, r.a, "\"cat\": \"mapred\"");
+                it->second.pop_back();
+                break;
+            }
+        }
+    }
+
+    // Close anything still open at the end of the retained window.
+    const double endTs = static_cast<double>(maxNs) * 1e-3;
+    for (auto& [tid, stack] : openSpans) {
+        while (!stack.empty()) {
+            w.event(stack.back().first, "E", endTs, kPidMapred, tid, "\"cat\": \"mapred\"");
+            stack.pop_back();
+        }
+    }
+
+    // Registry time series as counter tracks (queue depth, link util, ...).
+    if (series != nullptr) {
+        for (const MetricsRegistry::Series& s : series->series()) {
+            for (const MetricsRegistry::SeriesPoint& p : s.points) {
+                char val[32];
+                std::snprintf(val, sizeof val, "%.6g", p.value);
+                w.event(s.name, "C", static_cast<double>(p.atNs) * 1e-3, kPidMetrics, 0,
+                        std::string("\"args\": {\"value\": ") + val + "}");
+            }
+        }
+    }
+
+    os << "\n  ],\n  \"otherData\": {\"droppedEvents\": " << droppedEvents()
+       << ", \"recorded\": " << recorded_ << "}\n}\n";
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,142 @@
+// Flight recorder: a compact binary ring of typed simulation records
+// (queue decisions, TCP state transitions and loss events, fault events,
+// mapred task/phase spans) exported as a Chrome trace_event JSON that
+// chrome://tracing and Perfetto load directly.
+//
+// Records are 24-byte PODs; strings (queue labels, span names) are interned
+// once and referenced by id, so recording is a handful of stores on the hot
+// path. The ring keeps the most recent `capacity` records; overwrites are
+// counted and surfaced as `droppedEvents` in reports. This unifies and
+// supersedes PacketTraceLog's ad-hoc in-memory buffer as the export path.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+class MetricsRegistry;
+
+enum class TraceRecordKind : std::uint8_t {
+    // Queue decisions (a = queue label id, b = flow id, c = wire bytes,
+    // d = PacketClass, e = ECN codepoint | hasEce << 7).
+    QueueEnqueue,
+    QueueMark,
+    QueueDropEarly,
+    QueueDropOverflow,
+    QueueDequeue,
+    // TCP (a = flow id, b = node id).
+    TcpState,       ///< d = from TcpState, e = to TcpState
+    TcpRetransmit,  ///< c = low 32 bits of the retransmitted seq
+    TcpRto,         ///< c = backoff RTO in microseconds (saturated)
+    TcpCwndCut,     ///< c = post-cut cwnd in bytes
+    TcpCwndSample,  ///< periodic: b = cwnd bytes, c = ssthresh bytes (saturated)
+    // Faults (a = link or node index).
+    FaultLinkDown,
+    FaultLinkUp,
+    FaultNodeCrash,
+    FaultNodeRecover,
+    // Spans (a = track label id; SpanBegin: b = span name id, c = aux).
+    SpanBegin,
+    SpanEnd,
+};
+constexpr std::size_t kNumTraceRecordKinds = 16;
+
+constexpr std::string_view traceRecordKindName(TraceRecordKind k) {
+    switch (k) {
+        case TraceRecordKind::QueueEnqueue: return "enqueue";
+        case TraceRecordKind::QueueMark: return "mark";
+        case TraceRecordKind::QueueDropEarly: return "drop-early";
+        case TraceRecordKind::QueueDropOverflow: return "drop-overflow";
+        case TraceRecordKind::QueueDequeue: return "dequeue";
+        case TraceRecordKind::TcpState: return "tcp-state";
+        case TraceRecordKind::TcpRetransmit: return "retransmit";
+        case TraceRecordKind::TcpRto: return "rto";
+        case TraceRecordKind::TcpCwndCut: return "cwnd-cut";
+        case TraceRecordKind::TcpCwndSample: return "cwnd";
+        case TraceRecordKind::FaultLinkDown: return "link-down";
+        case TraceRecordKind::FaultLinkUp: return "link-up";
+        case TraceRecordKind::FaultNodeCrash: return "node-crash";
+        case TraceRecordKind::FaultNodeRecover: return "node-recover";
+        case TraceRecordKind::SpanBegin: return "span-begin";
+        case TraceRecordKind::SpanEnd: return "span-end";
+    }
+    return "?";
+}
+
+struct TraceRecord {
+    std::int64_t atNs = 0;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    std::uint32_t c = 0;
+    TraceRecordKind kind = TraceRecordKind::QueueEnqueue;
+    std::uint8_t d = 0;
+    std::uint8_t e = 0;
+};
+static_assert(sizeof(TraceRecord) <= 24, "trace records must stay compact");
+
+class FlightRecorder {
+public:
+    explicit FlightRecorder(std::size_t capacity = 1 << 20);
+
+    /// Append one record. O(1), no allocation (the ring is reserved up
+    /// front); the oldest record is overwritten (and counted) when full.
+    /// The wrap is a compare, not a modulo — this runs per queue event.
+    void record(TraceRecordKind kind, Time at, std::uint32_t a = 0, std::uint32_t b = 0,
+                std::uint32_t c = 0, std::uint8_t d = 0, std::uint8_t e = 0) {
+        TraceRecord* r;
+        if (ring_.size() < capacity_) {
+            r = &ring_.emplace_back();
+        } else {
+            r = &ring_[head_];
+            if (++head_ == capacity_) head_ = 0;
+        }
+        r->atNs = at.ns();
+        r->a = a;
+        r->b = b;
+        r->c = c;
+        r->kind = kind;
+        r->d = d;
+        r->e = e;
+        ++recorded_;
+    }
+
+    /// Intern a string, returning its stable id (idempotent per content).
+    std::uint32_t intern(std::string_view s);
+    const std::string& interned(std::uint32_t id) const { return names_.at(id); }
+    std::size_t internedCount() const { return names_.size(); }
+
+    /// Records ever offered; `droppedEvents` of them were overwritten.
+    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t droppedEvents() const {
+        return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
+    }
+    std::size_t size() const { return ring_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /// Retained records, oldest first (copies the window out of the ring).
+    std::vector<TraceRecord> retained() const;
+
+    void clear();
+
+    /// Write the retained window as Chrome trace_event JSON. Counter tracks
+    /// for the registry's sampled series are emitted alongside when
+    /// `series` is non-null (queue depth per port, link utilisation, ...).
+    void writeChromeTrace(std::ostream& os, const MetricsRegistry* series = nullptr) const;
+
+private:
+    std::size_t capacity_;
+    std::vector<TraceRecord> ring_;
+    std::size_t head_ = 0;  ///< oldest record once the ring has wrapped
+    std::uint64_t recorded_ = 0;
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, std::uint32_t> nameIds_;
+};
+
+}  // namespace ecnsim

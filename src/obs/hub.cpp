@@ -1,0 +1,68 @@
+#include "src/obs/hub.hpp"
+
+#include <fstream>
+
+#include "src/sim/logging.hpp"
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+
+ObsHub::ObsHub(const ObsConfig& cfg) : cfg_(cfg) {
+    if (cfg_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
+    if (cfg_.trace) recorder_ = std::make_unique<FlightRecorder>(cfg_.traceCapacity);
+    if (cfg_.profile) profiler_ = std::make_unique<SimProfiler>();
+}
+
+void ObsHub::startSampling(Simulator& sim) {
+    if (metrics_ == nullptr && sampleHooks_.empty() && profiler_ == nullptr) return;
+    if (sampling_) return;
+    sampling_ = true;
+    sim.schedule(cfg_.sampleInterval, [this, &sim] { tick(sim); });
+}
+
+void ObsHub::tick(Simulator& sim) {
+    if (!sampling_) return;
+    SimProfiler::Scope scope(profiler_.get(), ProfileKind::ObsSampling);
+    if (metrics_ != nullptr) metrics_->sample(sim.now());
+    for (const auto& hook : sampleHooks_) hook(sim.now());
+    if (profiler_ != nullptr) profiler_->noteSchedulerDepth(sim.pendingEvents());
+    // Only reschedule while the model still has work queued: a sampler that
+    // keeps the heap non-empty would stall run() forever.
+    if (sim.hasPendingEvents()) {
+        sim.schedule(cfg_.sampleInterval, [this, &sim] { tick(sim); });
+    }
+}
+
+bool ObsHub::writeTraceFile(const std::string& path) const {
+    if (recorder_ == nullptr) return false;
+    std::ofstream os(path);
+    if (!os) {
+        ECNSIM_LOGC(LogLevel::Error, "obs", "cannot open trace output file: " + path);
+        return false;
+    }
+    recorder_->writeChromeTrace(os, metrics_.get());
+    return static_cast<bool>(os);
+}
+
+bool ObsHub::writeMetricsFile(const std::string& path) const {
+    if (metrics_ == nullptr) return false;
+    std::ofstream os(path);
+    if (!os) {
+        ECNSIM_LOGC(LogLevel::Error, "obs", "cannot open metrics output file: " + path);
+        return false;
+    }
+    os << metrics_->toJson();
+    return static_cast<bool>(os);
+}
+
+FlightRecorder* obsRecorderOf(Simulator& sim) {
+    ObsHub* hub = sim.obs();
+    return hub != nullptr ? hub->recorder() : nullptr;
+}
+
+SimProfiler* obsProfilerOf(Simulator& sim) {
+    ObsHub* hub = sim.obs();
+    return hub != nullptr ? hub->profiler() : nullptr;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,75 @@
+// ObsHub: the one object the rest of the simulator talks to for
+// observability. It owns (at most) a MetricsRegistry, a FlightRecorder and
+// a SimProfiler according to ObsConfig, and drives the periodic sampling
+// tick as a self-scheduling simulation event.
+//
+// Instrumentation sites reach the hub through Simulator::obs(), which is
+// nullptr on unobserved runs — the entire subsystem costs one pointer test
+// when off. The sampling tick is a normal simulator event: it changes
+// eventsExecuted but consumes no RNG and touches no packets, so the
+// deterministic telemetryDigest stays byte-identical with obs on or off.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/flight_recorder.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/obs_config.hpp"
+#include "src/obs/profiler.hpp"
+
+namespace ecnsim {
+
+class Simulator;
+
+class ObsHub {
+public:
+    explicit ObsHub(const ObsConfig& cfg);
+
+    const ObsConfig& config() const { return cfg_; }
+
+    /// The active sinks, or nullptr when that facet is disabled.
+    MetricsRegistry* metrics() { return metrics_.get(); }
+    FlightRecorder* recorder() { return recorder_.get(); }
+    SimProfiler* profiler() { return profiler_.get(); }
+    const MetricsRegistry* metrics() const { return metrics_.get(); }
+    const FlightRecorder* recorder() const { return recorder_.get(); }
+    const SimProfiler* profiler() const { return profiler_.get(); }
+
+    /// Extra work to run on every sampling tick, after the registry series
+    /// (e.g. pushing per-flow cwnd samples into the flight recorder).
+    void addSampleHook(std::function<void(Time)> hook) {
+        sampleHooks_.push_back(std::move(hook));
+    }
+
+    /// Begin the periodic sampling tick (no-op unless metrics or a sample
+    /// hook needs it). Reschedules itself every cfg.sampleInterval for as
+    /// long as the simulator has other pending work.
+    void startSampling(Simulator& sim);
+    void stopSampling() { sampling_ = false; }
+
+    /// Write the Chrome trace / metrics JSON to `path`. Returns false (and
+    /// logs) if the file cannot be opened; a failed export never aborts a
+    /// finished run.
+    bool writeTraceFile(const std::string& path) const;
+    bool writeMetricsFile(const std::string& path) const;
+
+private:
+    void tick(Simulator& sim);
+
+    ObsConfig cfg_;
+    std::unique_ptr<MetricsRegistry> metrics_;
+    std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<SimProfiler> profiler_;
+    std::vector<std::function<void(Time)>> sampleHooks_;
+    bool sampling_ = false;
+};
+
+/// Convenience for instrumentation sites: the simulator's recorder (or
+/// nullptr). Defined out of line because sim/ cannot include obs/ headers.
+FlightRecorder* obsRecorderOf(Simulator& sim);
+SimProfiler* obsProfilerOf(Simulator& sim);
+
+}  // namespace ecnsim

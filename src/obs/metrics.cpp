@@ -1,0 +1,138 @@
+#include "src/obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace ecnsim {
+
+namespace {
+
+// Local JSON string escaping (core's jsonEscape lives above this library).
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Metric& MetricsRegistry::slot(std::deque<std::pair<std::string, Metric>>& store,
+                                               std::unordered_map<std::string, std::size_t>& ids,
+                                               const std::string& name) {
+    const auto it = ids.find(name);
+    if (it != ids.end()) return store[it->second].second;
+    ids.emplace(name, store.size());
+    store.emplace_back(name, Metric{});
+    return store.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double limit, std::size_t bins) {
+    const auto it = histogramIds_.find(name);
+    if (it != histogramIds_.end()) return histograms_[it->second].second;
+    histogramIds_.emplace(name, histograms_.size());
+    histograms_.emplace_back(name, Histogram(limit, bins == 0 ? 1 : bins));
+    return histograms_.back().second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& name) const {
+    const auto it = histogramIds_.find(name);
+    return it == histogramIds_.end() ? nullptr : &histograms_[it->second].second;
+}
+
+void MetricsRegistry::addSeries(std::string name, std::function<double()> sampler) {
+    Series s;
+    s.name = std::move(name);
+    s.sampler = std::move(sampler);
+    series_.push_back(std::move(s));
+}
+
+void MetricsRegistry::sample(Time now) {
+    for (Series& s : series_) {
+        s.points.push_back(SeriesPoint{now.ns(), s.sampler ? s.sampler() : 0.0});
+    }
+    ++samples_;
+}
+
+std::string MetricsRegistry::toJson() const {
+    std::ostringstream os;
+    os.precision(12);
+    auto emitMetrics = [&](const char* key, const std::deque<std::pair<std::string, Metric>>& m) {
+        os << "  \"" << key << "\": {";
+        bool first = true;
+        for (const auto& [name, metric] : m) {
+            os << (first ? "\n" : ",\n") << "    \"" << escape(name) << "\": " << metric.value();
+            first = false;
+        }
+        os << (first ? "" : "\n  ") << "},\n";
+    };
+    os << "{\n";
+    emitMetrics("counters", counters_);
+    emitMetrics("gauges", gauges_);
+    os << "  \"histograms\": {";
+    {
+        bool first = true;
+        for (const auto& [name, h] : histograms_) {
+            os << (first ? "\n" : ",\n") << "    \"" << escape(name) << "\": {\"count\": "
+               << h.count() << ", \"p50\": " << h.quantile(0.50) << ", \"p99\": "
+               << h.quantile(0.99) << ", \"max\": " << h.observedMax() << ", \"bins\": [";
+            for (std::size_t i = 0; i < h.bins().size(); ++i) {
+                os << (i ? "," : "") << h.bins()[i];
+            }
+            os << "]}";
+            first = false;
+        }
+        os << (first ? "" : "\n  ") << "},\n";
+    }
+    os << "  \"samples\": " << samples_ << ",\n";
+    os << "  \"series\": {";
+    {
+        bool first = true;
+        for (const Series& s : series_) {
+            os << (first ? "\n" : ",\n") << "    \"" << escape(s.name) << "\": [";
+            for (std::size_t i = 0; i < s.points.size(); ++i) {
+                os << (i ? "," : "") << '[' << static_cast<double>(s.points[i].atNs) * 1e-3
+                   << ',' << s.points[i].value << ']';
+            }
+            os << ']';
+            first = false;
+        }
+        os << (first ? "" : "\n  ") << "}\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+void MetricsRegistry::writeSeriesCsv(std::ostream& os) const {
+    os << "time_us";
+    for (const Series& s : series_) os << ',' << s.name;
+    os << '\n';
+    if (series_.empty()) return;
+    const std::size_t rows = series_.front().points.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        os << static_cast<double>(series_.front().points[i].atNs) * 1e-3;
+        for (const Series& s : series_) {
+            os << ',' << (i < s.points.size() ? s.points[i].value : 0.0);
+        }
+        os << '\n';
+    }
+}
+
+}  // namespace ecnsim

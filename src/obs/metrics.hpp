@@ -1,0 +1,89 @@
+// Metrics registry: named counters, gauges and histograms plus periodic
+// time-series sampling, with JSON and CSV export.
+//
+// Model code resolves metric handles once (map lookup at registration) and
+// then updates through the returned reference — an increment is a single
+// add on the hot path. The whole registry only exists when observability is
+// on; disabled runs never construct it (zero overhead when off).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/stats.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+class MetricsRegistry {
+public:
+    class Metric {
+    public:
+        void inc(std::uint64_t by = 1) { v_ += static_cast<double>(by); }
+        void add(double by) { v_ += by; }
+        void set(double v) { v_ = v; }
+        double value() const { return v_; }
+
+    private:
+        double v_ = 0.0;
+    };
+
+    struct SeriesPoint {
+        std::int64_t atNs = 0;
+        double value = 0.0;
+    };
+
+    struct Series {
+        std::string name;
+        std::function<double()> sampler;
+        std::vector<SeriesPoint> points;
+    };
+
+    /// Monotonic counter (registered on first use; deque storage keeps the
+    /// returned reference stable across later registrations).
+    Metric& counter(const std::string& name) { return slot(counters_, counterIds_, name); }
+    /// Last-write-wins gauge.
+    Metric& gauge(const std::string& name) { return slot(gauges_, gaugeIds_, name); }
+    /// Fixed-bin histogram over [0, limit) with an overflow bin. The first
+    /// registration fixes the shape; later lookups ignore limit/bins.
+    Histogram& histogram(const std::string& name, double limit = 1e6, std::size_t bins = 64);
+
+    /// Register a sampled time series; `sampler` is invoked on every
+    /// sampling tick (it may capture mutable state, e.g. for rate deltas).
+    void addSeries(std::string name, std::function<double()> sampler);
+
+    /// One sampling tick: append a point to every registered series.
+    void sample(Time now);
+    std::uint64_t samplesTaken() const { return samples_; }
+
+    // Ordered views (registration order; deterministic export).
+    const std::deque<std::pair<std::string, Metric>>& counters() const { return counters_; }
+    const std::deque<std::pair<std::string, Metric>>& gauges() const { return gauges_; }
+    const std::vector<Series>& series() const { return series_; }
+    const Histogram* findHistogram(const std::string& name) const;
+
+    /// {"counters":{...},"gauges":{...},"histograms":{...},"series":{...}}
+    std::string toJson() const;
+    /// time_us,<series name>,... — one row per sampling tick.
+    void writeSeriesCsv(std::ostream& os) const;
+
+private:
+    Metric& slot(std::deque<std::pair<std::string, Metric>>& store,
+                 std::unordered_map<std::string, std::size_t>& ids, const std::string& name);
+
+    std::deque<std::pair<std::string, Metric>> counters_;
+    std::unordered_map<std::string, std::size_t> counterIds_;
+    std::deque<std::pair<std::string, Metric>> gauges_;
+    std::unordered_map<std::string, std::size_t> gaugeIds_;
+    std::deque<std::pair<std::string, Histogram>> histograms_;
+    std::unordered_map<std::string, std::size_t> histogramIds_;
+    std::vector<Series> series_;
+    std::uint64_t samples_ = 0;
+};
+
+}  // namespace ecnsim

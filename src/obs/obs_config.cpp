@@ -1,0 +1,57 @@
+#include "src/obs/obs_config.hpp"
+
+#include <cstdlib>
+
+#include "src/sim/spec_error.hpp"
+
+namespace ecnsim {
+
+std::string ObsConfig::modeName() const {
+    if (metrics && trace && profile) return "full";
+    if (!metrics && !trace && !profile) return "off";
+    std::string name;
+    if (metrics) name = "metrics";
+    if (trace) name += name.empty() ? "trace" : "+trace";
+    if (profile) name += name.empty() ? "profile" : "+profile";
+    return name;
+}
+
+void ObsConfig::applyMode(const std::string& mode) {
+    metrics = trace = profile = false;
+    if (mode == "off") return;
+    if (mode == "metrics") {
+        metrics = true;
+    } else if (mode == "trace") {
+        trace = true;
+    } else if (mode == "profile") {
+        profile = true;
+    } else if (mode == "full") {
+        metrics = trace = profile = true;
+    } else {
+        throw SpecError("obs", mode, "one of off, metrics, trace, profile, full");
+    }
+}
+
+void ObsConfig::validate() const {
+    if (sampleInterval <= Time::zero()) {
+        throw SpecError("obs.sampleInterval", sampleInterval.toString(), "a positive duration");
+    }
+    if (traceCapacity < 1) {
+        throw SpecError("obs.traceCapacity", std::to_string(traceCapacity), "at least 1 record");
+    }
+}
+
+ObsConfig ObsConfig::fromEnvironment() {
+    ObsConfig cfg;
+    const char* env = std::getenv("ECNSIM_OBS");
+    if (env == nullptr) return cfg;
+    try {
+        cfg.applyMode(env);
+    } catch (const SpecError&) {
+        // Unset or unparsable means off (mirrors ECNSIM_INVARIANTS).
+        cfg.metrics = cfg.trace = cfg.profile = false;
+    }
+    return cfg;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,64 @@
+// Observability configuration: which sinks are on (metrics registry,
+// flight-recorder timeline, self-profiler) and where exports go.
+//
+// Like invariant checking, observability only *watches* a run: it is
+// deliberately excluded from ExperimentConfig::cacheKey() and must leave
+// the telemetry digest byte-identical (asserted by tests/integration/
+// test_obs_digest.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+struct ObsConfig {
+    /// Metrics registry: named counters/gauges/histograms plus periodic
+    /// time-series sampling (queue depth, link utilisation, TCP/mapred
+    /// aggregates).
+    bool metrics = false;
+    /// Flight recorder: compact binary ring of typed records exported as a
+    /// Chrome trace_event JSON (chrome://tracing / Perfetto loadable).
+    bool trace = false;
+    /// Simulator self-profiler: per-event-kind wall-clock buckets, phase
+    /// timers and the event-queue depth high-water mark.
+    bool profile = false;
+
+    /// Period of the sampling tick driving registry series and per-flow
+    /// cwnd trace counters.
+    Time sampleInterval = Time::milliseconds(1);
+    /// Flight-recorder ring capacity in records (oldest overwritten first;
+    /// overwrites are counted and surfaced as traceDroppedEvents).
+    std::size_t traceCapacity = 1 << 20;
+    /// Also record a ring entry per switch-queue dequeue. Off by default —
+    /// dequeues double the record volume (the dominant tracing cost) while
+    /// the interesting decisions are enqueue/mark/drop, and the sampled
+    /// queue-depth series already shows occupancy. Mirrors
+    /// PacketTraceLog's recordDequeues default.
+    bool traceDequeues = false;
+
+    /// Chrome-trace JSON output path ("" = keep the ring in memory only).
+    std::string traceOut;
+    /// Metrics JSON output path ("" = no export).
+    std::string metricsOut;
+
+    bool anyEnabled() const { return metrics || trace || profile; }
+
+    /// Canonical mode string: off | metrics | trace | profile | full.
+    std::string modeName() const;
+
+    /// Set the enable flags from a mode string (throws SpecError on junk);
+    /// export paths and tuning knobs are left untouched.
+    void applyMode(const std::string& mode);
+
+    /// Sanity-check the tuning knobs; throws SpecError naming the field.
+    void validate() const;
+
+    /// Defaults from ECNSIM_OBS (off | metrics | trace | profile | full;
+    /// unset or unparsable means off, mirroring ECNSIM_INVARIANTS).
+    static ObsConfig fromEnvironment();
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,21 @@
+#include "src/obs/profiler.hpp"
+
+namespace ecnsim {
+
+void SimProfiler::endPhase(std::uint64_t eventsExecuted) {
+    const auto elapsed = Clock::now() - phaseStart_;
+    phaseWallSec_ =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) *
+        1e-9;
+    eventsPerSec_ =
+        phaseWallSec_ > 0.0 ? static_cast<double>(eventsExecuted) / phaseWallSec_ : 0.0;
+}
+
+std::uint64_t SimProfiler::totalScopes() const {
+    std::uint64_t total = 0;
+    for (const KindStats& s : kinds_) total += s.count;
+    return total;
+}
+
+}  // namespace ecnsim

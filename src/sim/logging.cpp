@@ -1,11 +1,38 @@
 #include "src/sim/logging.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/spec_error.hpp"
+
 namespace ecnsim {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
 
-const char* name(LogLevel l) {
+LogLevel initialLevel() {
+    const char* env = std::getenv("ECNSIM_LOG");
+    if (env == nullptr) return LogLevel::Warn;
+    try {
+        return parseLogLevel(env);
+    } catch (const SpecError&) {
+        // Unparsable keeps the default (mirrors ECNSIM_INVARIANTS/ECNSIM_OBS).
+        return LogLevel::Warn;
+    }
+}
+
+LogLevel g_level = initialLevel();
+Log::Sink g_sink;  // empty = default stderr sink
+
+struct TimeSource {
+    Log::TimeFn fn = nullptr;
+    void* ctx = nullptr;
+};
+// Thread-local: the parallel runner drives one Simulator per thread.
+thread_local TimeSource t_time;
+
+}  // namespace
+
+const char* logLevelName(LogLevel l) {
     switch (l) {
         case LogLevel::Trace: return "TRACE";
         case LogLevel::Debug: return "DEBUG";
@@ -16,13 +43,49 @@ const char* name(LogLevel l) {
     }
     return "?";
 }
-}  // namespace
+
+LogLevel parseLogLevel(const std::string& text) {
+    if (text == "trace") return LogLevel::Trace;
+    if (text == "debug") return LogLevel::Debug;
+    if (text == "info") return LogLevel::Info;
+    if (text == "warn") return LogLevel::Warn;
+    if (text == "error") return LogLevel::Error;
+    if (text == "off") return LogLevel::Off;
+    throw SpecError("log", text, "one of trace, debug, info, warn, error, off");
+}
 
 LogLevel Log::level() { return g_level; }
 void Log::setLevel(LogLevel level) { g_level = level; }
 
-void Log::write(LogLevel level, const std::string& msg) {
-    std::fprintf(stderr, "[%s] %s\n", name(level), msg.c_str());
+void Log::setSink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::setThreadTimeSource(TimeFn fn, void* ctx) { t_time = TimeSource{fn, ctx}; }
+
+void Log::clearThreadTimeSource(void* ctx) {
+    if (t_time.ctx == ctx) t_time = TimeSource{};
+}
+
+void Log::write(LogLevel level, const char* component, const std::string& msg) {
+    char prefix[64];
+    if (t_time.fn != nullptr) {
+        const double sec = static_cast<double>(t_time.fn(t_time.ctx)) * 1e-9;
+        std::snprintf(prefix, sizeof prefix, "[%10.6fs] [%-5s]", sec, logLevelName(level));
+    } else {
+        std::snprintf(prefix, sizeof prefix, "[     -     ] [%-5s]", logLevelName(level));
+    }
+    std::string line(prefix);
+    if (component != nullptr && component[0] != '\0') {
+        line += " [";
+        line += component;
+        line += ']';
+    }
+    line += ' ';
+    line += msg;
+    if (g_sink) {
+        g_sink(level, line);
+    } else {
+        std::fprintf(stderr, "%s\n", line.c_str());
+    }
 }
 
 }  // namespace ecnsim

@@ -1,20 +1,52 @@
 // Minimal leveled logging. Disabled (Warn) by default so hot paths stay
-// quiet; tests and examples can raise the level.
+// quiet; tests and examples can raise the level, and ECNSIM_LOG=<level>
+// sets the initial level from the environment.
+//
+// Every message goes through one process-wide sink (stderr by default) so
+// tests can capture output, and is prefixed with the current simulation
+// time — Simulator registers itself as the calling thread's time source —
+// plus an optional component tag:
+//
+//   [  1.234567s] [WARN ] [mapred] speculative attempt launched
 #pragma once
 
-#include <cstdio>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace ecnsim {
 
 enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
 
+const char* logLevelName(LogLevel level);
+
+/// Parse "trace" | "debug" | "info" | "warn" | "error" | "off"
+/// (case-sensitive); throws SpecError on anything else.
+LogLevel parseLogLevel(const std::string& text);
+
 class Log {
 public:
     static LogLevel level();
     static void setLevel(LogLevel level);
     static bool enabled(LogLevel level) { return level >= Log::level(); }
-    static void write(LogLevel level, const std::string& msg);
+
+    /// Format (time prefix, level, component tag) and hand to the sink.
+    static void write(LogLevel level, const std::string& msg) { write(level, nullptr, msg); }
+    static void write(LogLevel level, const char* component, const std::string& msg);
+
+    /// Route all output through `sink` (tests capture lines here); an empty
+    /// function restores the default stderr sink.
+    using Sink = std::function<void(LogLevel, const std::string& line)>;
+    static void setSink(Sink sink);
+
+    /// Per-thread simulation-time source for the message prefix. `fn(ctx)`
+    /// returns the current sim time in nanoseconds. Simulator registers
+    /// itself on construction; clear(ctx) only unregisters if `ctx` is
+    /// still the active source (so a short-lived inner Simulator cannot
+    /// clobber an outer one's cleanup).
+    using TimeFn = std::int64_t (*)(void* ctx);
+    static void setThreadTimeSource(TimeFn fn, void* ctx);
+    static void clearThreadTimeSource(void* ctx);
 };
 
 }  // namespace ecnsim
@@ -22,4 +54,10 @@ public:
 #define ECNSIM_LOG(lvl, msg)                                            \
     do {                                                                \
         if (::ecnsim::Log::enabled(lvl)) ::ecnsim::Log::write(lvl, msg); \
+    } while (0)
+
+/// Component-tagged variant: ECNSIM_LOGC(LogLevel::Warn, "mapred", ...).
+#define ECNSIM_LOGC(lvl, comp, msg)                                            \
+    do {                                                                       \
+        if (::ecnsim::Log::enabled(lvl)) ::ecnsim::Log::write(lvl, comp, msg); \
     } while (0)

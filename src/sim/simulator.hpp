@@ -7,11 +7,14 @@
 #include <stdexcept>
 
 #include "src/sim/invariants.hpp"
+#include "src/sim/logging.hpp"
 #include "src/sim/random.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/sim/time.hpp"
 
 namespace ecnsim {
+
+class ObsHub;  // src/obs/hub.hpp — sim/ cannot include obs/ headers
 
 /// Discrete-event simulation kernel.
 ///
@@ -32,7 +35,12 @@ public:
             ownedInvariants_->setContext({seed, "", "", ""});
             invariants_ = ownedInvariants_.get();
         }
+        // Log messages on this thread are prefixed with this sim's clock.
+        Log::setThreadTimeSource(
+            [](void* ctx) { return static_cast<Simulator*>(ctx)->now_.ns(); }, this);
     }
+
+    ~Simulator() { Log::clearThreadTimeSource(this); }
 
     Simulator(const Simulator&) = delete;
     Simulator& operator=(const Simulator&) = delete;
@@ -47,6 +55,13 @@ public:
     InvariantChecker* invariants() const {
         return invariants_ != nullptr && invariants_->enabled() ? invariants_ : nullptr;
     }
+
+    /// Attach an externally owned observability hub (nullptr detaches; the
+    /// caller keeps ownership and outlives the sim). Like invariants, obs
+    /// only watches: instrumentation sites gate on obs() != nullptr, so an
+    /// unobserved run costs one pointer test per site.
+    void setObs(ObsHub* hub) { obs_ = hub; }
+    ObsHub* obs() const { return obs_; }
 
     /// Schedule `fn` to run `delay` after the current time.
     EventHandle schedule(Time delay, EventFn fn) {
@@ -105,6 +120,7 @@ public:
 
     bool hasPendingEvents() { return !scheduler_.empty(); }
     Time nextEventTime() { return scheduler_.nextTime(); }
+    std::size_t pendingEvents() const { return scheduler_.size(); }
     std::uint64_t eventsExecuted() const { return executed_; }
     std::uint64_t eventsScheduled() const { return scheduler_.inserted(); }
 
@@ -122,6 +138,7 @@ private:
     std::uint64_t executed_ = 0;
     std::unique_ptr<InvariantChecker> ownedInvariants_;
     InvariantChecker* invariants_ = nullptr;
+    ObsHub* obs_ = nullptr;
 };
 
 }  // namespace ecnsim

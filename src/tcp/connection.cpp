@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/hub.hpp"
 #include "src/tcp/stack.hpp"
 
 namespace ecnsim {
@@ -64,6 +65,11 @@ void TcpConnection::transitionTo(TcpState next) {
             inv->passed();
         }
     }
+    if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
+        rec->record(TraceRecordKind::TcpState, stack_.sim().now(), flowId_,
+                    static_cast<std::uint32_t>(stack_.host().id()), 0,
+                    static_cast<std::uint8_t>(state_), static_cast<std::uint8_t>(next));
+    }
     state_ = next;
 }
 
@@ -102,6 +108,9 @@ void TcpConnection::armSynTimer() {
 }
 
 void TcpConnection::onSynTimeout() {
+    ObsHub* hub = stack_.sim().obs();
+    SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                               ProfileKind::TcpTimer);
     if (state_ != TcpState::SynSent && state_ != TcpState::SynRcvd) return;
     if (synRetries_ >= cfg_.maxSynRetries) {
         // Keep retrying at the max backoff: Hadoop fetchers retry forever
@@ -180,6 +189,11 @@ void TcpConnection::sendSegment(std::uint64_t seq, std::int32_t len, bool isRetr
         ++stats_.retransmits;
         stats_.bytesRetransmitted += static_cast<std::uint64_t>(len);
         retransmittedSinceTimed_ = true;
+        if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
+            rec->record(TraceRecordKind::TcpRetransmit, stack_.sim().now(), flowId_,
+                        static_cast<std::uint32_t>(stack_.host().id()),
+                        static_cast<std::uint32_t>(seq));
+        }
     } else {
         ++stats_.segmentsSent;
         stats_.bytesSent += static_cast<std::uint64_t>(len);
@@ -452,6 +466,11 @@ void TcpConnection::applyEcnCut(std::uint64_t ackSeq) {
     const double frac = policy_->ecnBackoffFraction();
     ++stats_.ecnCwndCuts;
     cwnd_ = std::max(cwnd_ * (1.0 - frac), static_cast<double>(cfg_.mss));
+    if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
+        rec->record(TraceRecordKind::TcpCwndCut, now, flowId_,
+                    static_cast<std::uint32_t>(stack_.host().id()),
+                    static_cast<std::uint32_t>(cwnd_));
+    }
     ssthresh_ = cwnd_;
     caAccum_ = 0.0;
     ecnCutWindowEnd_ = sndNxt_;
@@ -462,6 +481,11 @@ void TcpConnection::retransmitFirstUnacked() {
     if (sndUna_ >= sendLimit()) return;
     if (finSent_ && sndUna_ >= finSeq_) {
         ++stats_.retransmits;
+        if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
+            rec->record(TraceRecordKind::TcpRetransmit, stack_.sim().now(), flowId_,
+                        static_cast<std::uint32_t>(stack_.host().id()),
+                        static_cast<std::uint32_t>(finSeq_));
+        }
         sendControl(Fin | Ack | (outgoingEce() ? Ece : 0));
         return;
     }
@@ -483,8 +507,17 @@ void TcpConnection::armRto() {
 void TcpConnection::cancelRto() { rtoTimer_.cancel(); }
 
 void TcpConnection::onRtoTimeout() {
+    ObsHub* hub = stack_.sim().obs();
+    SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                               ProfileKind::TcpTimer);
     if (sndUna_ >= sndNxt_) return;  // nothing outstanding
     ++stats_.rtoEvents;
+    if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
+        const std::int64_t rtoUs = rto_.toMicros();
+        rec->record(TraceRecordKind::TcpRto, stack_.sim().now(), flowId_,
+                    static_cast<std::uint32_t>(stack_.host().id()),
+                    static_cast<std::uint32_t>(std::min<std::int64_t>(rtoUs, UINT32_MAX)));
+    }
     // Loss-based collapse: RFC 5681 on timeout.
     ssthresh_ = std::max(static_cast<double>(flightSize()) / 2.0, 2.0 * cfg_.mss);
     cwnd_ = static_cast<double>(cfg_.mss);

@@ -1,0 +1,144 @@
+// Observability must only *watch* a run: the deterministic telemetry digest
+// has to stay byte-identical whether obs is off, metrics-only, tracing, or
+// full, and the obs knobs must never leak into the results-cache key.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+SweepScale tinyScale() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    return s;
+}
+
+ExperimentConfig markingConfig() {
+    // An ECN-marking series: the run produces marks (and, on the shallow
+    // buffer, drops), so the flight recorder has a real story to record.
+    auto cfg = makeSeriesConfig(PaperSeries::DctcpMarking, 200_us, BufferProfile::Shallow,
+                                tinyScale());
+    cfg.obs = ObsConfig{};  // independent of any ambient ECNSIM_OBS
+    return cfg;
+}
+
+TEST(ObsDigest, ObsModesAreExcludedFromCacheKey) {
+    auto cfg = markingConfig();
+    const std::string off = cfg.cacheKey();
+    for (const char* mode : {"metrics", "trace", "profile", "full"}) {
+        cfg.obs.applyMode(mode);
+        EXPECT_EQ(cfg.cacheKey(), off) << "mode " << mode << " leaked into the cache key";
+    }
+    cfg.obs.applyMode("full");
+    cfg.obs.sampleInterval = 5_ms;
+    cfg.obs.traceCapacity = 1024;
+    cfg.obs.traceDequeues = true;
+    cfg.obs.traceOut = "/tmp/somewhere.json";
+    EXPECT_EQ(cfg.cacheKey(), off);
+}
+
+TEST(ObsDigest, TelemetryDigestIsIdenticalAcrossObsModes) {
+    ::unsetenv("ECNSIM_OBS");
+    auto cfg = markingConfig();
+    const auto baseline = runExperiment(cfg);
+    ASSERT_NE(baseline.telemetryDigest, 0u);
+    EXPECT_EQ(baseline.traceRecords, 0u);
+    EXPECT_EQ(baseline.metricSamples, 0u);
+    EXPECT_TRUE(baseline.obsProfile.empty());
+
+    for (const char* mode : {"metrics", "trace", "full"}) {
+        cfg.obs.applyMode(mode);
+        const auto r = runExperiment(cfg);
+        EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << "mode " << mode;
+        // The model itself is untouched: same sim-time runtime, same marks.
+        EXPECT_DOUBLE_EQ(r.runtimeSec, baseline.runtimeSec) << "mode " << mode;
+        EXPECT_EQ(r.ceMarks, baseline.ceMarks) << "mode " << mode;
+        EXPECT_EQ(r.rtoEvents, baseline.rtoEvents) << "mode " << mode;
+    }
+}
+
+TEST(ObsDigest, SinksPopulateTheirResultFields) {
+    ::unsetenv("ECNSIM_OBS");
+    auto cfg = markingConfig();
+    cfg.obs.applyMode("full");
+    const auto r = runExperiment(cfg);
+    EXPECT_GT(r.traceRecords, 0u);
+    EXPECT_GT(r.metricSamples, 0u);
+    ASSERT_FALSE(r.obsProfile.empty());
+    EXPECT_GT(r.obsProfile.wallSec, 0.0);
+    EXPECT_GT(r.obsProfile.eventsPerSec, 0.0);
+    EXPECT_GT(r.obsProfile.schedulerDepthPeak, 0u);
+    // At least the link-transmit kind must have fired on a shuffle.
+    bool sawLinkTransmit = false;
+    for (const auto& k : r.obsProfile.kinds) {
+        if (k.name == "link-transmit" && k.count > 0) sawLinkTransmit = true;
+    }
+    EXPECT_TRUE(sawLinkTransmit);
+}
+
+TEST(ObsDigest, TraceExportWritesLoadableJson) {
+    ::unsetenv("ECNSIM_OBS");
+    const auto dir = std::filesystem::temp_directory_path() / "ecnsim-obs-digest-test";
+    std::filesystem::create_directories(dir);
+    const auto path = dir / "trace.json";
+    auto cfg = markingConfig();
+    cfg.obs.applyMode("trace");
+    cfg.obs.traceOut = path.string();
+    const auto r = runExperiment(cfg);
+    EXPECT_GT(r.traceRecords, 0u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Braces/brackets balance outside string literals.
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        const char c = json[i];
+        if (inString) {
+            if (c == '\\') ++i;
+            else if (c == '"') inString = false;
+            continue;
+        }
+        if (c == '"') inString = true;
+        else if (c == '{' || c == '[') ++depth;
+        else if (c == '}' || c == ']') --depth;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(inString);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsDigest, ObservedRunsBypassTheResultsCache) {
+    const auto dir = std::filesystem::temp_directory_path() / "ecnsim-obs-cache-test";
+    std::filesystem::remove_all(dir);
+    ::setenv("ECNSIM_CACHE_DIR", dir.c_str(), 1);
+    auto cfg = markingConfig();
+    runExperimentCached(cfg);  // unobserved: seeds the cache
+    cfg.obs.applyMode("metrics");
+    const auto observed = runExperimentCached(cfg);
+    // A cache hit would have returned the stored result, which has no
+    // metric samples; the observed run must re-execute.
+    EXPECT_GT(observed.metricSamples, 0u);
+    ::unsetenv("ECNSIM_CACHE_DIR");
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ecnsim

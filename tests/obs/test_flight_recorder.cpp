@@ -1,0 +1,195 @@
+#include "src/obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/metrics.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(FlightRecorder, InternIsIdempotent) {
+    FlightRecorder rec(16);
+    const auto a = rec.intern("tor.p0");
+    const auto b = rec.intern("tor.p1");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(rec.intern("tor.p0"), a);
+    EXPECT_EQ(rec.internedCount(), 2u);  // the repeat added nothing
+    EXPECT_EQ(rec.interned(a), "tor.p0");
+    EXPECT_EQ(rec.interned(b), "tor.p1");
+}
+
+TEST(FlightRecorder, RecordsBelowCapacityAreAllRetainedInOrder) {
+    FlightRecorder rec(8);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        rec.record(TraceRecordKind::QueueEnqueue, Time::microseconds(i), i);
+    }
+    EXPECT_EQ(rec.recorded(), 5u);
+    EXPECT_EQ(rec.droppedEvents(), 0u);
+    EXPECT_EQ(rec.size(), 5u);
+    const auto out = rec.retained();
+    ASSERT_EQ(out.size(), 5u);
+    for (std::uint32_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(out[i].a, i);
+        EXPECT_EQ(out[i].atNs, Time::microseconds(i).ns());
+    }
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsDrops) {
+    FlightRecorder rec(4);
+    for (std::uint32_t i = 0; i < 11; ++i) {
+        rec.record(TraceRecordKind::QueueEnqueue, Time::microseconds(i), i);
+    }
+    EXPECT_EQ(rec.recorded(), 11u);
+    EXPECT_EQ(rec.droppedEvents(), 7u);  // 11 offered, 4 kept
+    EXPECT_EQ(rec.size(), 4u);
+    // Retained window is the newest 4 records, oldest first: 7,8,9,10.
+    const auto out = rec.retained();
+    ASSERT_EQ(out.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].a, 7 + i);
+}
+
+TEST(FlightRecorder, WrapAroundExactlyAtCapacityBoundary) {
+    FlightRecorder rec(4);
+    // Exactly 2*capacity records: head must wrap back to slot 0.
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        rec.record(TraceRecordKind::QueueMark, Time::microseconds(i), i);
+    }
+    const auto out = rec.retained();
+    ASSERT_EQ(out.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].a, 4 + i);
+    EXPECT_EQ(rec.droppedEvents(), 4u);
+}
+
+TEST(FlightRecorder, ZeroCapacityIsClampedToOne) {
+    FlightRecorder rec(0);
+    EXPECT_EQ(rec.capacity(), 1u);
+    rec.record(TraceRecordKind::QueueEnqueue, 1_us, 1);
+    rec.record(TraceRecordKind::QueueEnqueue, 2_us, 2);
+    const auto out = rec.retained();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].a, 2u);
+}
+
+TEST(FlightRecorder, ClearResetsEverything) {
+    FlightRecorder rec(4);
+    for (int i = 0; i < 10; ++i) rec.record(TraceRecordKind::QueueEnqueue, 1_us);
+    rec.clear();
+    EXPECT_EQ(rec.recorded(), 0u);
+    EXPECT_EQ(rec.droppedEvents(), 0u);
+    EXPECT_TRUE(rec.retained().empty());
+    rec.record(TraceRecordKind::QueueMark, 3_us, 9);
+    const auto out = rec.retained();
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].a, 9u);
+}
+
+// Structural JSON check without a parser: braces/brackets balance outside
+// string literals.
+void expectBalancedJson(const std::string& s) {
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (inString) {
+            if (c == '\\') ++i;
+            else if (c == '"') inString = false;
+            continue;
+        }
+        if (c == '"') inString = true;
+        else if (c == '{' || c == '[') ++depth;
+        else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+        }
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(depth, 0);
+}
+
+std::size_t countOccurrences(const std::string& haystack, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(FlightRecorder, ChromeTraceIsWellFormed) {
+    FlightRecorder rec(64);
+    const auto port = rec.intern("tor.p0");
+    const auto track = rec.intern("node0.maps");
+    const auto span = rec.intern("map attempt \"quoted\"");
+    rec.record(TraceRecordKind::QueueEnqueue, 10_us, port, /*flow=*/1, 1500, 0, 2);
+    rec.record(TraceRecordKind::QueueMark, 20_us, port, 1, 1500, 0, 2 | 0x80);
+    rec.record(TraceRecordKind::QueueDropEarly, 30_us, port, 2, 1500, 0, 0);
+    rec.record(TraceRecordKind::TcpState, 40_us, /*flow=*/1, /*node=*/0, 0, 1, 3);
+    rec.record(TraceRecordKind::TcpCwndSample, 50_us, 1, 14600, 29200);
+    rec.record(TraceRecordKind::FaultLinkDown, 60_us, 3);
+    rec.record(TraceRecordKind::SpanBegin, 70_us, track, span);
+    rec.record(TraceRecordKind::SpanEnd, 90_us, track);
+
+    MetricsRegistry reg;
+    reg.addSeries("sw:tor.p0.depth", [] { return 5.0; });
+    reg.sample(80_us);
+
+    std::ostringstream os;
+    rec.writeChromeTrace(os, &reg);
+    const std::string json = os.str();
+
+    expectBalancedJson(json);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"droppedEvents\": 0"), std::string::npos);
+    // The Fig. 1 vocabulary: marks and early drops appear as instants.
+    EXPECT_NE(json.find("\"name\": \"mark\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"drop-early\""), std::string::npos);
+    // Queue label surfaced via thread_name metadata; quoted span escaped.
+    EXPECT_NE(json.find("tor.p0"), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    // The registry series rides along as a counter track.
+    EXPECT_NE(json.find("sw:tor.p0.depth"), std::string::npos);
+    // Spans balance: every B has an E.
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"B\""), countOccurrences(json, "\"ph\": \"E\""));
+}
+
+TEST(FlightRecorder, DanglingSpansAreClosedAtWindowEdge) {
+    FlightRecorder rec(64);
+    const auto track = rec.intern("node1.reduces");
+    const auto name = rec.intern("shuffle");
+    rec.record(TraceRecordKind::SpanBegin, 10_us, track, name);
+    rec.record(TraceRecordKind::SpanBegin, 20_us, track, name);  // nested, never ended
+    rec.record(TraceRecordKind::SpanEnd, 30_us, track);
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"B\""), 2u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"E\""), 2u);
+}
+
+TEST(FlightRecorder, OrphanSpanEndAfterWrapIsDropped) {
+    // A SpanEnd whose begin was overwritten by the ring must not emit an
+    // unbalanced E.
+    FlightRecorder rec(2);
+    const auto track = rec.intern("t");
+    const auto name = rec.intern("s");
+    rec.record(TraceRecordKind::SpanBegin, 1_us, track, name);
+    rec.record(TraceRecordKind::QueueEnqueue, 2_us, 0, 0, 100);
+    rec.record(TraceRecordKind::QueueEnqueue, 3_us, 0, 0, 100);  // begin evicted
+    rec.record(TraceRecordKind::SpanEnd, 4_us, track);
+    std::ostringstream os;
+    rec.writeChromeTrace(os);
+    const std::string json = os.str();
+    expectBalancedJson(json);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"B\""), 0u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\": \"E\""), 0u);
+    EXPECT_NE(json.find("\"droppedEvents\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnsim

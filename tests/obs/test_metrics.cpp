@@ -1,0 +1,138 @@
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(Metrics, CounterHandleIsStableAndIdempotent) {
+    MetricsRegistry reg;
+    auto& a = reg.counter("pkts");
+    a.inc();
+    a.inc(4);
+    // Re-registration returns the same slot; deque storage means earlier
+    // references stay valid as more metrics are registered.
+    for (int i = 0; i < 100; ++i) reg.counter("filler." + std::to_string(i));
+    auto& again = reg.counter("pkts");
+    EXPECT_EQ(&a, &again);
+    EXPECT_DOUBLE_EQ(a.value(), 5.0);
+    EXPECT_EQ(reg.counters().size(), 101u);
+}
+
+TEST(Metrics, GaugeIsLastWriteWins) {
+    MetricsRegistry reg;
+    auto& g = reg.gauge("depth");
+    g.set(3.0);
+    g.set(1.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 1.5);
+}
+
+TEST(Metrics, HistogramBucketing) {
+    MetricsRegistry reg;
+    // 4 bins over [0, 100): widths of 25; plus one overflow bin.
+    auto& h = reg.histogram("lat", 100.0, 4);
+    h.add(0.0);    // bin 0
+    h.add(24.9);   // bin 0
+    h.add(25.0);   // bin 1
+    h.add(77.0);   // bin 3
+    h.add(250.0);  // overflow
+    EXPECT_EQ(h.count(), 5u);
+    ASSERT_EQ(h.bins().size(), 5u);  // 4 + overflow
+    EXPECT_EQ(h.bins()[0], 2u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[2], 0u);
+    EXPECT_EQ(h.bins()[3], 1u);
+    EXPECT_EQ(h.bins()[4], 1u);
+    EXPECT_DOUBLE_EQ(h.observedMax(), 250.0);
+    // Quantiles are monotone and bounded by the observed max.
+    EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+    EXPECT_LE(h.quantile(0.99), h.observedMax());
+}
+
+TEST(Metrics, HistogramShapeFixedByFirstRegistration) {
+    MetricsRegistry reg;
+    auto& h = reg.histogram("x", 10.0, 2);
+    auto& same = reg.histogram("x", 9999.0, 64);  // later limit/bins ignored
+    EXPECT_EQ(&h, &same);
+    EXPECT_EQ(h.bins().size(), 3u);
+    EXPECT_EQ(reg.findHistogram("x"), &h);
+    EXPECT_EQ(reg.findHistogram("missing"), nullptr);
+}
+
+TEST(Metrics, SeriesSamplingAppendsOnePointPerTick) {
+    MetricsRegistry reg;
+    double v = 0.0;
+    reg.addSeries("ramp", [&] { return v += 1.0; });
+    reg.addSeries("flat", [] { return 7.0; });
+    reg.sample(1_ms);
+    reg.sample(2_ms);
+    reg.sample(3_ms);
+    EXPECT_EQ(reg.samplesTaken(), 3u);
+    ASSERT_EQ(reg.series().size(), 2u);
+    const auto& ramp = reg.series()[0];
+    ASSERT_EQ(ramp.points.size(), 3u);
+    EXPECT_EQ(ramp.points[0].atNs, (1_ms).ns());
+    EXPECT_DOUBLE_EQ(ramp.points[2].value, 3.0);
+    EXPECT_DOUBLE_EQ(reg.series()[1].points[1].value, 7.0);
+}
+
+// Structural JSON check without a parser: braces/brackets balance outside
+// string literals and the expected top-level keys are present.
+void expectBalancedJson(const std::string& s) {
+    int depth = 0;
+    bool inString = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        if (inString) {
+            if (c == '\\') ++i;  // skip the escaped char
+            else if (c == '"') inString = false;
+            continue;
+        }
+        if (c == '"') inString = true;
+        else if (c == '{' || c == '[') ++depth;
+        else if (c == '}' || c == ']') {
+            --depth;
+            ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+        }
+    }
+    EXPECT_FALSE(inString);
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Metrics, JsonExportIsWellFormed) {
+    MetricsRegistry reg;
+    reg.counter("a\"quoted\"").inc(3);
+    reg.gauge("g").set(2.5);
+    reg.histogram("h", 10.0, 2).add(5.0);
+    reg.addSeries("s", [] { return 1.0; });
+    reg.sample(1_ms);
+    const std::string json = reg.toJson();
+    expectBalancedJson(json);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"series\""), std::string::npos);
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+}
+
+TEST(Metrics, SeriesCsvHasHeaderAndOneRowPerTick) {
+    MetricsRegistry reg;
+    reg.addSeries("q0", [] { return 1.0; });
+    reg.addSeries("q1", [] { return 2.0; });
+    reg.sample(1_ms);
+    reg.sample(2_ms);
+    std::ostringstream os;
+    reg.writeSeriesCsv(os);
+    const std::string csv = os.str();
+    std::size_t lines = 0;
+    for (const char c : csv) lines += c == '\n';
+    EXPECT_EQ(lines, 3u);  // header + 2 rows
+    EXPECT_EQ(csv.rfind("time_us,q0,q1\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -2,12 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "src/sim/spec_error.hpp"
+
 namespace ecnsim {
 namespace {
 
 struct LogLevelGuard {
     LogLevel saved = Log::level();
     ~LogLevelGuard() { Log::setLevel(saved); }
+};
+
+/// Captures every emitted line; restores the stderr sink on destruction.
+struct SinkGuard {
+    std::vector<std::pair<LogLevel, std::string>> lines;
+    SinkGuard() {
+        Log::setSink([this](LogLevel lvl, const std::string& line) {
+            lines.emplace_back(lvl, line);
+        });
+    }
+    ~SinkGuard() { Log::setSink({}); }
 };
 
 TEST(Logging, DefaultLevelIsWarn) {
@@ -39,6 +55,71 @@ TEST(Logging, MacroCompilesAndGates) {
     };
     ECNSIM_LOG(LogLevel::Debug, expensive());
     EXPECT_EQ(evaluations, 0);  // argument not evaluated when gated
+}
+
+TEST(Logging, SinkCapturesFormattedLines) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Info);
+    SinkGuard sink;
+    ECNSIM_LOG(LogLevel::Warn, "queue overflow");
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_EQ(sink.lines[0].first, LogLevel::Warn);
+    EXPECT_NE(sink.lines[0].second.find("[WARN "), std::string::npos);
+    EXPECT_NE(sink.lines[0].second.find("queue overflow"), std::string::npos);
+}
+
+TEST(Logging, ComponentTagAppearsBracketed) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Info);
+    SinkGuard sink;
+    ECNSIM_LOGC(LogLevel::Warn, "mapred", "speculative attempt");
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_NE(sink.lines[0].second.find("[mapred] speculative attempt"), std::string::npos);
+}
+
+TEST(Logging, SimTimePrefixUsesThreadTimeSource) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Info);
+    SinkGuard sink;
+    // No source registered: the prefix shows a dash, not a bogus zero.
+    ECNSIM_LOG(LogLevel::Warn, "before");
+    // With a source, the prefix is the sim time in seconds.
+    std::int64_t fakeNowNs = 1'234'567'000;
+    Log::setThreadTimeSource([](void* ctx) { return *static_cast<std::int64_t*>(ctx); },
+                             &fakeNowNs);
+    ECNSIM_LOG(LogLevel::Warn, "during");
+    Log::clearThreadTimeSource(&fakeNowNs);
+    ECNSIM_LOG(LogLevel::Warn, "after");
+    ASSERT_EQ(sink.lines.size(), 3u);
+    EXPECT_NE(sink.lines[0].second.find("[     -     ]"), std::string::npos);
+    EXPECT_NE(sink.lines[1].second.find("1.234567s]"), std::string::npos);
+    EXPECT_NE(sink.lines[2].second.find("[     -     ]"), std::string::npos);
+}
+
+TEST(Logging, ClearTimeSourceIgnoresStaleContext) {
+    LogLevelGuard g;
+    Log::setLevel(LogLevel::Info);
+    SinkGuard sink;
+    std::int64_t outer = 2'000'000'000;
+    std::int64_t inner = 500'000'000;
+    const auto read = [](void* ctx) { return *static_cast<std::int64_t*>(ctx); };
+    Log::setThreadTimeSource(read, &outer);
+    Log::setThreadTimeSource(read, &inner);   // inner simulator takes over
+    Log::setThreadTimeSource(read, &outer);   // outer re-registers
+    Log::clearThreadTimeSource(&inner);       // stale cleanup must not clobber
+    ECNSIM_LOG(LogLevel::Warn, "still outer");
+    Log::clearThreadTimeSource(&outer);
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_NE(sink.lines[0].second.find("2.000000s]"), std::string::npos);
+}
+
+TEST(Logging, ParseLogLevelRoundTripsAndRejectsJunk) {
+    EXPECT_EQ(parseLogLevel("trace"), LogLevel::Trace);
+    EXPECT_EQ(parseLogLevel("warn"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+    EXPECT_THROW(parseLogLevel("WARN"), SpecError);  // case-sensitive
+    EXPECT_THROW(parseLogLevel("verbose"), SpecError);
+    EXPECT_THROW(parseLogLevel(""), SpecError);
 }
 
 }  // namespace

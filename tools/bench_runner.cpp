@@ -10,13 +10,20 @@
 // the process exit non-zero, which is what CI's bench-smoke job checks.
 //
 //   bench_runner [--quick] [--threads N] [--out-dir DIR] [--scenario NAME]
-//                [--invariants off|record|abort] [--list]
+//                [--invariants off|record|abort] [--obs MODE] [--list]
 //
 // --quick shrinks the workloads for CI smoke runs; results caching is
 // always disabled so wall-clock numbers measure the simulator, not the
 // cache. --invariants record is how the invariant-checking overhead is
 // measured against the plain (off) events/sec baseline; any violation
 // recorded during a bench run makes the process exit non-zero.
+//
+// Every scenario also runs an observability-overhead leg: the same batch
+// serially with every obs sink on (mode "full", no file export). The
+// telemetry digest must stay byte-identical — observability only watches
+// the run — and the wall-clock delta lands in BENCH_*.json as
+// obsOverheadPct (docs/observability.md tracks the <=10% guideline).
+// --obs MODE additionally turns sinks on for the baseline legs themselves.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -148,13 +155,30 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
     const auto parallel = runExperimentsParallel(sc.configs, threads, /*useCache=*/false);
     const double wallParallel = secondsSince(t2);
 
+    // Observability-overhead leg: the same batch, serially, with every obs
+    // sink on and no file export. Measures what full instrumentation costs
+    // and proves it does not perturb the simulation (digest check below).
+    std::vector<ExperimentConfig> obsConfigs = sc.configs;
+    for (auto& cfg : obsConfigs) {
+        cfg.obs = ObsConfig{};
+        cfg.obs.applyMode("full");
+    }
+    const auto t3 = std::chrono::steady_clock::now();
+    const auto obsFull = runExperimentsParallel(obsConfigs, 1, /*useCache=*/false);
+    const double wallObsFull = secondsSince(t3);
+    const double obsOverheadPct =
+        wallSerial > 0.0 ? 100.0 * (wallObsFull - wallSerial) / wallSerial : 0.0;
+
     BenchOutcome out;
+    bool digestMatchObs = true;
     std::uint64_t events = 0, packets = 0;
     for (std::size_t i = 0; i < serial.size(); ++i) {
         events += serial[i].eventsExecuted;
         packets += serial[i].packetsDelivered;
         out.anyTimeout = out.anyTimeout || serial[i].timedOut;
-        out.invariantViolations += serial[i].invariantViolations + parallel[i].invariantViolations;
+        out.invariantViolations += serial[i].invariantViolations +
+                                   parallel[i].invariantViolations +
+                                   obsFull[i].invariantViolations;
         if (serial[i].telemetryDigest != parallel[i].telemetryDigest) {
             out.digestMatch = false;
             std::fprintf(stderr,
@@ -162,6 +186,16 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
                          serial[i].name.c_str(),
                          static_cast<unsigned long long>(serial[i].telemetryDigest),
                          static_cast<unsigned long long>(parallel[i].telemetryDigest));
+        }
+        if (serial[i].telemetryDigest != obsFull[i].telemetryDigest) {
+            digestMatchObs = false;
+            out.digestMatch = false;
+            std::fprintf(stderr,
+                         "[bench] OBS DIGEST MISMATCH %s: off=%016llx full=%016llx "
+                         "(observability must not perturb the run)\n",
+                         serial[i].name.c_str(),
+                         static_cast<unsigned long long>(serial[i].telemetryDigest),
+                         static_cast<unsigned long long>(obsFull[i].telemetryDigest));
         }
     }
 
@@ -181,6 +215,9 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"packets\": " << packets << ",\n"
        << "  \"wallSecSerial\": " << wallSerial << ",\n"
        << "  \"wallSecParallel\": " << wallParallel << ",\n"
+       << "  \"wallSecObsFull\": " << wallObsFull << ",\n"
+       << "  \"obsOverheadPct\": " << obsOverheadPct << ",\n"
+       << "  \"digestMatchObs\": " << (digestMatchObs ? "true" : "false") << ",\n"
        << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
        << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n"
        << "  \"digest\": \"0x" << hex << "\",\n"
@@ -192,10 +229,10 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "}\n";
 
     std::fprintf(stderr,
-                 "[bench] %s: %.3fs serial / %.3fs x%d, %.0f events/s, %.0f pkts/s, "
-                 "digest 0x%s %s -> %s\n",
-                 sc.name.c_str(), wallSerial, wallParallel, threads,
-                 static_cast<double>(events) / wallSerial,
+                 "[bench] %s: %.3fs serial / %.3fs x%d / %.3fs obs-full (%+.1f%%), "
+                 "%.0f events/s, %.0f pkts/s, digest 0x%s %s -> %s\n",
+                 sc.name.c_str(), wallSerial, wallParallel, threads, wallObsFull,
+                 obsOverheadPct, static_cast<double>(events) / wallSerial,
                  static_cast<double>(packets) / wallSerial, hex,
                  out.digestMatch ? "(match)" : "(MISMATCH)", path.c_str());
     return out;
@@ -209,6 +246,7 @@ int main(int argc, char** argv) {
     int threads = 4;
     std::string outDir = ".";
     std::string only;
+    std::string obsMode;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--quick") quick = true;
@@ -223,10 +261,20 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "bench_runner: %s\n", e.what());
                 return 2;
             }
+        } else if (a == "--obs" && i + 1 < argc) {
+            try {
+                ObsConfig probe;
+                probe.applyMode(argv[++i]);  // validate now, apply below
+                obsMode = argv[i];
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "bench_runner: %s\n", e.what());
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: bench_runner [--quick] [--threads N] [--out-dir DIR] "
-                         "[--scenario NAME] [--invariants off|record|abort] [--list]\n");
+                         "[--scenario NAME] [--invariants off|record|abort] [--obs MODE] "
+                         "[--list]\n");
             return 2;
         }
     }
@@ -235,8 +283,13 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    const std::vector<Scenario> scenarios{shuffleRedEcn(quick), terasortLeafSpine(quick),
-                                          faultFlapRecovery(quick)};
+    std::vector<Scenario> scenarios{shuffleRedEcn(quick), terasortLeafSpine(quick),
+                                    faultFlapRecovery(quick)};
+    if (!obsMode.empty()) {
+        for (auto& sc : scenarios) {
+            for (auto& cfg : sc.configs) cfg.obs.applyMode(obsMode);
+        }
+    }
     if (list) {
         for (const auto& sc : scenarios)
             std::printf("%-22s %s\n", sc.name.c_str(), sc.description.c_str());

@@ -69,6 +69,10 @@ const std::vector<FlagSpec> kRunFlags = {
     {"task-timeout-ms", true, "task heartbeat deadline, milliseconds"},
     {"speculative", false, "enable speculative task execution"},
     {"invariants", true, "off | record | abort — runtime invariant checking"},
+    {"obs", true, "off | metrics | trace | profile | full — observability sinks"},
+    {"trace-out", true, "Chrome trace_event JSON output path (implies --obs trace)"},
+    {"metrics-out", true, "metrics JSON output path (implies --obs metrics)"},
+    {"sample-us", true, "observability sampling period, microseconds (default 1000)"},
     {"csv", false, "CSV output"},
     {"json", false, "JSON output"},
 };
@@ -180,6 +184,24 @@ BufferProfile parseBuffers(const std::string& s) {
     throw SpecError("--buffers", s, "shallow or deep");
 }
 
+/// Apply the observability flags on top of the ECNSIM_OBS-derived default.
+/// --trace-out / --metrics-out imply the corresponding sink so
+/// `ecnlab run --trace-out t.json` alone produces a trace.
+void applyObsFlags(const Args& a, ObsConfig& obs) {
+    if (a.has("obs")) obs.applyMode(a.get("obs", "off"));  // SpecError -> exit 3
+    if (a.has("trace-out")) {
+        obs.traceOut = a.get("trace-out", "");
+        obs.trace = true;
+    }
+    if (a.has("metrics-out")) {
+        obs.metricsOut = a.get("metrics-out", "");
+        obs.metrics = true;
+    }
+    if (a.has("sample-us")) {
+        obs.sampleInterval = Time::microseconds(a.getInt("sample-us", 1000, 1, 60'000'000));
+    }
+}
+
 /// Apply --invariants (or keep the ECNSIM_INVARIANTS-derived default) and
 /// make it the process-wide mode so every simulator in this run checks.
 InvariantMode applyInvariantsFlag(const Args& a) {
@@ -225,6 +247,24 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
         t.addRow({"INVARIANT VIOLATIONS", std::to_string(r.invariantViolations)});
     }
     if (r.jobFailed) t.addRow({"job FAILED", r.jobError});
+    if (r.traceRecords > 0) {
+        t.addRow({"trace records", std::to_string(r.traceRecords) +
+                                       (r.traceDroppedEvents > 0
+                                            ? " (" + std::to_string(r.traceDroppedEvents) +
+                                                  " DROPPED — raise capacity)"
+                                            : "")});
+    }
+    if (r.metricSamples > 0) t.addRow({"metric samples", std::to_string(r.metricSamples)});
+    if (!r.obsProfile.empty()) {
+        t.addRow({"sim wall / rate", TextTable::num(r.obsProfile.wallSec, 3) + " s / " +
+                                         TextTable::num(r.obsProfile.eventsPerSec / 1e6, 2) +
+                                         " Mev/s"});
+        t.addRow({"scheduler depth peak", std::to_string(r.obsProfile.schedulerDepthPeak)});
+        for (const auto& k : r.obsProfile.kinds) {
+            t.addRow({"  " + k.name,
+                      std::to_string(k.count) + " ev, " + TextTable::num(k.wallMs, 1) + " ms"});
+        }
+    }
     if (r.faultDrops || r.linkFlaps || r.nodeCrashes || r.taskRetries) {
         t.addRow({"fault drops", std::to_string(r.faultDrops)});
         t.addRow({"link flaps / crashes",
@@ -252,6 +292,7 @@ int cmdRun(const Args& a) {
 
     ExperimentConfig cfg = makeBaseConfig(scale);
     cfg.invariants = invMode;
+    applyObsFlags(a, cfg.obs);
     cfg.transport = parseTransport(a.get("transport", "dctcp"));
     cfg.switchQueue.kind = parseQueue(a.get("queue", "red"));
     cfg.switchQueue.protection = parseProtection(a.get("protection", "default"));
@@ -330,8 +371,11 @@ int cmdList() {
     std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
                 "| crash@T:node=I[:for=D]  (';'-separated)\n");
     std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
+    std::printf("obs        : off metrics trace profile full (also: ECNSIM_OBS)\n");
+    std::printf("log levels : trace debug info warn error off (ECNSIM_LOG)\n");
     std::printf("env        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
-                "ECNSIM_GBPS ECNSIM_CACHE_DIR ECNSIM_INVARIANTS ECNSIM_BUNDLE_DIR\n");
+                "ECNSIM_GBPS ECNSIM_CACHE_DIR ECNSIM_INVARIANTS ECNSIM_OBS ECNSIM_LOG "
+                "ECNSIM_BUNDLE_DIR\n");
     return kExitOk;
 }
 

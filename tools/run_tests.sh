@@ -4,7 +4,9 @@
 # (-DECNSIM_SANITIZE=address,undefined). Pass --plain or --sanitize to
 # run just one leg, or --paranoid for the invariant-checking leg (Debug +
 # sanitizers + ECNSIM_INVARIANTS=abort across ctest and a bench smoke; see
-# docs/robustness.md). Extra args after -- go to ctest (e.g. -R FaultPlan).
+# docs/robustness.md). The plain leg finishes with an observability smoke:
+# a full-obs ecnlab run whose Chrome-trace and metrics JSON must parse (see
+# docs/observability.md). Extra args after -- go to ctest (e.g. -R FaultPlan).
 #
 # Environment overrides (all optional):
 #   BUILD_DIR             plain build tree      (default: <repo>/build)
@@ -55,6 +57,25 @@ run_leg() {
         ( cd "$dir" && env "${env[@]}" ctest --output-on-failure -j "$ctest_jobs" \
             "${ctest_args[@]}" )
     local status=$?
+    if [[ $status -eq 0 && "$leg" == plain ]]; then
+        echo "==> [plain] obs smoke (full observability + trace/metrics export)"
+        ( cd "$dir" &&
+            ./tools/ecnlab run --nodes 6 --input-mb 2 --repeats 1 \
+                --queue marking --transport dctcp --obs full \
+                --trace-out obs_smoke_trace.json --metrics-out obs_smoke_metrics.json &&
+            if command -v python3 >/dev/null; then
+                python3 - <<'EOF'
+import json
+trace = json.load(open("obs_smoke_trace.json"))
+assert trace["traceEvents"], "empty traceEvents"
+json.load(open("obs_smoke_metrics.json"))
+print(f"obs smoke ok: {len(trace['traceEvents'])} trace events")
+EOF
+            else
+                echo "python3 not found; skipping JSON validation"
+            fi )
+        status=$?
+    fi
     if [[ $status -eq 0 && "$leg" == paranoid ]]; then
         echo "==> [paranoid] bench smoke (--invariants abort)"
         ( cd "$dir" && env "${env[@]}" ./tools/bench_runner --quick --threads 4 \
