@@ -17,12 +17,14 @@ using namespace ecnsim::time_literals;
 SchedulerKind kindArg(std::int64_t v) {
     if (v == 1) return SchedulerKind::Calendar;
     if (v == 2) return SchedulerKind::FlatHeap;
+    if (v == 3) return SchedulerKind::TimerWheel;
     return SchedulerKind::BinaryHeap;
 }
 
 const char* kindLabel(SchedulerKind k) {
     if (k == SchedulerKind::Calendar) return "calendar";
     if (k == SchedulerKind::FlatHeap) return "flat-heap";
+    if (k == SchedulerKind::TimerWheel) return "wheel";
     return "binary-heap";
 }
 
@@ -47,7 +49,9 @@ BENCHMARK(BM_EventLoopThroughput)
     ->Args({10'000, 1})
     ->Args({100'000, 1})
     ->Args({10'000, 2})
-    ->Args({100'000, 2});
+    ->Args({100'000, 2})
+    ->Args({10'000, 3})
+    ->Args({100'000, 3});
 
 // Steady-state pattern closer to a packet simulation: a rolling horizon of
 // pending events, one pop triggering one push.
@@ -70,17 +74,40 @@ void BM_EventLoopRollingHorizon(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 200'000);
     state.SetLabel(kindLabel(kind));
 }
-BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_EventScheduleCancel(benchmark::State& state) {
-    Simulator sim(1);
+    const auto kind = kindArg(state.range(0));
+    Simulator sim(1, kind);
     for (auto _ : state) {
         auto h = sim.schedule(1_s, [] {});
         h.cancel();
     }
     state.SetItemsProcessed(state.iterations());
+    state.SetLabel(kindLabel(kind));
 }
-BENCHMARK(BM_EventScheduleCancel);
+BENCHMARK(BM_EventScheduleCancel)->Arg(2)->Arg(3);
+
+// The hot TCP pattern the wheel is built for: an armed far-out timer
+// repeatedly re-armed in place (RTO push-out on every ACK). Drains the
+// queue each iteration so the flat-heap's tombstones get reaped and the
+// comparison stays memory-fair.
+void BM_EventReschedule(benchmark::State& state) {
+    const auto kind = kindArg(state.range(0));
+    constexpr int kRearms = 1'000;
+    for (auto _ : state) {
+        Simulator sim(1, kind);
+        EventHandle h = sim.schedule(1_s, [] {});
+        for (int i = 0; i < kRearms; ++i) {
+            h = sim.reschedule(std::move(h), 1_s, [] {});
+        }
+        h.cancel();
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * kRearms);
+    state.SetLabel(kindLabel(kind));
+}
+BENCHMARK(BM_EventReschedule)->Arg(2)->Arg(3);
 
 PacketPtr makeData() {
     auto p = makePacket();
@@ -166,7 +193,8 @@ void BM_TcpTransferFullStack(benchmark::State& state) {
         benchmark::DoNotOptimize(sink.totalReceived());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(events));
-    state.counters["events"] = static_cast<double>(events) / static_cast<double>(state.iterations());
+    state.counters["events"] =
+        static_cast<double>(events) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_TcpTransferFullStack)->Unit(benchmark::kMillisecond);
 

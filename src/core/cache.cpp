@@ -62,6 +62,9 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "ecnCwndCuts") in >> r.ecnCwndCuts;
         else if (field == "eventsExecuted") in >> r.eventsExecuted;
         else if (field == "packetsDelivered") in >> r.packetsDelivered;
+        else if (field == "cancelledEvents") in >> r.cancelledEvents;
+        else if (field == "cascades") in >> r.cascades;
+        else if (field == "heapMaxDepth") in >> r.heapMaxDepth;
         else if (field == "telemetryDigest") in >> r.telemetryDigest;
         else if (field == "invariantViolations") in >> r.invariantViolations;
         else if (field == "traceRecords") in >> r.traceRecords;
@@ -122,6 +125,9 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "ecnCwndCuts " << r.ecnCwndCuts << '\n'
             << "eventsExecuted " << r.eventsExecuted << '\n'
             << "packetsDelivered " << r.packetsDelivered << '\n'
+            << "cancelledEvents " << r.cancelledEvents << '\n'
+            << "cascades " << r.cascades << '\n'
+            << "heapMaxDepth " << r.heapMaxDepth << '\n'
             << "telemetryDigest " << r.telemetryDigest << '\n'
             << "invariantViolations " << r.invariantViolations << '\n'
             // Obs accounting is stored for completeness, but observed runs

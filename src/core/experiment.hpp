@@ -10,6 +10,7 @@
 #include "src/net/topology.hpp"
 #include "src/obs/obs_config.hpp"
 #include "src/sim/invariants.hpp"
+#include "src/sim/scheduler.hpp"
 #include "src/tcp/config.hpp"
 
 namespace ecnsim {
@@ -61,6 +62,12 @@ struct ExperimentConfig {
     /// to tame RTO-tail variance, as multi-run papers do.
     int repeats = 1;
     Time horizon = Time::seconds(600);  ///< safety stop for runs gone wrong
+
+    /// Event-queue backend (--scheduler). All kinds preserve the same
+    /// (time, seq) total order, so the telemetry digest is identical across
+    /// them — but scheduler diagnostics (heapMaxDepth, cancelledEvents)
+    /// legitimately differ, so this IS part of cacheKey().
+    SchedulerKind scheduler = SchedulerKind::TimerWheel;
 
     /// Runtime invariant checking for this run (off | record | abort).
     /// Defaults to the process-wide mode (ECNSIM_INVARIANTS / --invariants).
@@ -139,6 +146,11 @@ struct ExperimentResult {
 
     std::uint64_t eventsExecuted = 0;
     std::uint64_t packetsDelivered = 0;
+
+    // Scheduler diagnostics (tombstone pressure; see docs/benchmarking.md).
+    std::uint64_t cancelledEvents = 0;  ///< timer cancels + in-place re-arms
+    std::uint64_t cascades = 0;         ///< timer-wheel rollover relinks
+    std::uint64_t heapMaxDepth = 0;     ///< high-water mark of live pending events
     /// Invariant violations recorded across all repetitions (record mode;
     /// abort mode never returns a result). Zero when checking was off.
     std::uint64_t invariantViolations = 0;

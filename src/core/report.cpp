@@ -121,6 +121,9 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     integer("ecnCwndCuts", r.ecnCwndCuts);
     integer("eventsExecuted", r.eventsExecuted);
     integer("packetsDelivered", r.packetsDelivered);
+    integer("cancelledEvents", r.cancelledEvents);
+    integer("cascades", r.cascades);
+    integer("heapMaxDepth", r.heapMaxDepth);
     {
         // Hex string, not a bare integer: the digest is a full 64-bit hash and
         // values above 2^53 lose precision in double-based JSON consumers.

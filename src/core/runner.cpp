@@ -54,7 +54,7 @@ std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v8|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v9|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -69,7 +69,8 @@ std::string ExperimentConfig::cacheKey() const {
        << job.reduceSlowstart << ',' << job.maxTaskRetries << ',' << job.taskTimeout.ns() << ','
        << job.retryBackoffBase.ns() << ',' << job.retryBackoffMax.ns() << ','
        << job.speculativeExecution << ',' << job.speculativeSlowdown << '|' << "faults="
-       << faultSpec << '|' << seed << '|' << horizon.ns();
+       << faultSpec << '|' << seed << '|' << horizon.ns() << '|'
+       << "sched=" << schedulerKindName(scheduler);
     return os.str();
 }
 
@@ -125,6 +126,17 @@ std::unique_ptr<FlightRecorderTap> attachObservability(ObsHub& hub, Simulator& s
                        [&engine] { return static_cast<double>(engine.completedMaps()); });
         reg->addSeries("mapred.reducersDone",
                        [&engine] { return static_cast<double>(engine.completedReducers()); });
+        // Scheduler health: live depth plus cumulative cancel/re-arm and
+        // cascade counts — the tombstone-pressure picture over time.
+        reg->addSeries("sched.livePending",
+                       [&sim] { return static_cast<double>(sim.pendingLiveEvents()); });
+        reg->addSeries("sched.cancels", [&sim] {
+            const SchedulerCounters c = sim.schedulerCounters();
+            return static_cast<double>(c.cancelled + c.rearms);
+        });
+        reg->addSeries("sched.cascades", [&sim] {
+            return static_cast<double>(sim.schedulerCounters().cascades);
+        });
     }
 
     if (FlightRecorder* rec = hub.recorder()) {
@@ -164,7 +176,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
 
     ExperimentResult r;
     {
-        Simulator sim(cfg.seed);
+        Simulator sim(cfg.seed, cfg.scheduler);
         sim.setInvariants(&checker);
 
         // Observability hub (nullptr on unobserved runs): registered before
@@ -261,6 +273,13 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.packetsDelivered = tel.packetsDelivered();
         r.telemetryDigest = tel.digest();
 
+        const SchedulerCounters sched = sim.schedulerCounters();
+        // A wheel re-arm is what used to be cancel+push; fold both into one
+        // "timer churn" figure so it is comparable across scheduler kinds.
+        r.cancelledEvents = sched.cancelled + sched.rearms;
+        r.cascades = sched.cascades;
+        r.heapMaxDepth = sched.maxLivePending;
+
         const FaultCounters& faults = tel.faults();
         r.faultDrops = faults.totalDrops();
         r.linkFlaps = faults.linkDownEvents;
@@ -331,6 +350,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     };
     std::uint64_t ackD = 0, ackO = 0, dataD = 0, dataO = 0, synD = 0, synO = 0, marks = 0;
     std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0, pkts = 0;
+    std::uint64_t cancels = 0, cascades = 0;
     // Digests cannot be averaged: fold them in run order (deterministic —
     // repeats run in seed order) so the aggregate is itself a digest.
     std::uint64_t digest = NetworkTelemetry::kDigestSeed;
@@ -370,6 +390,10 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         cuts += r.ecnCwndCuts;
         events += r.eventsExecuted;
         pkts += r.packetsDelivered;
+        cancels += r.cancelledEvents;
+        cascades += r.cascades;
+        // Depth is a high-water mark: max across repeats, like the profiler's.
+        avg.heapMaxDepth = std::max(avg.heapMaxDepth, r.heapMaxDepth);
         // Violations are summed, never averaged: one violation anywhere in
         // the repetition set must stay visible in the aggregate.
         avg.invariantViolations += r.invariantViolations;
@@ -409,6 +433,8 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.ecnCwndCuts = meanU64(cuts);
     avg.eventsExecuted = meanU64(events);
     avg.packetsDelivered = meanU64(pkts);
+    avg.cancelledEvents = meanU64(cancels);
+    avg.cascades = meanU64(cascades);
     avg.telemetryDigest = digest;
     avg.faultDrops = meanU64(fDrops);
     avg.linkFlaps = meanU64(flaps);

@@ -76,49 +76,59 @@ void Port::tryTransmit() {
     bytesTx_ += static_cast<std::uint64_t>(pkt->sizeBytes);
     ++pktsTx_;
     const Time serialization = rate_.transmissionTime(pkt->sizeBytes);
-    const std::uint64_t epoch = flapEpoch_;
-    sim_.schedule(serialization, [this, epoch, pkt = std::move(pkt)]() mutable {
-        // Profiler gate: one pointer test when observability is off.
-        ObsHub* hub = sim_.obs();
-        SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
-                                   ProfileKind::LinkTransmit);
-        busy_ = false;
-        if (flapEpoch_ != epoch) {
-            // The link dropped while the packet was being serialized.
-            recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
-            tryTransmit();
-            return;
-        }
-        if (lossRate_ > 0.0 && sim_.rng().uniform01() < lossRate_) {
-            // Degraded link: frame corrupted on the wire, receiver CRC fails.
-            recordFault(*pkt, faultRandomLossDrops_, &FaultCounters::randomLossDrops);
-            tryTransmit();
-            return;
-        }
-        // Wire flight: after the propagation delay the peer sees the packet.
-        if (peer_ != nullptr) {
-            Node* peer = peer_;
-            const int inPort = peerInPort_;
-            pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
-            ++wireInFlight_;
-            sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
-                                              pkt = std::move(pkt)]() mutable {
-                ObsHub* deliveryHub = sim_.obs();
-                SimProfiler::Scope deliveryProfile(
-                    deliveryHub != nullptr ? deliveryHub->profiler() : nullptr,
-                    ProfileKind::WireDelivery);
-                --wireInFlight_;
-                if (flapEpoch_ != epoch) {
-                    // Lost mid-flight: the link went down under the packet.
-                    recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
-                    return;
-                }
-                ++pktsDeliveredToPeer_;
-                peer->handleReceive(std::move(pkt), inPort);
-            });
-        }
+    // The serializing packet lives in the port, not in the event: the
+    // callable captures only `this`, and reschedule() recycles the
+    // just-fired handle's node on back-to-back dequeues.
+    txPkt_ = std::move(pkt);
+    txEpoch_ = flapEpoch_;
+    txDone_ = sim_.reschedule(std::move(txDone_), serialization, [this] { onSerialized(); });
+}
+
+void Port::onSerialized() {
+    // Profiler gate: one pointer test when observability is off.
+    ObsHub* hub = sim_.obs();
+    SimProfiler::Scope profile(hub != nullptr ? hub->profiler() : nullptr,
+                               ProfileKind::LinkTransmit);
+    busy_ = false;
+    PacketPtr pkt = std::move(txPkt_);
+    const std::uint64_t epoch = txEpoch_;
+    if (flapEpoch_ != epoch) {
+        // The link dropped while the packet was being serialized.
+        recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
         tryTransmit();
-    });
+        return;
+    }
+    if (lossRate_ > 0.0 && sim_.rng().uniform01() < lossRate_) {
+        // Degraded link: frame corrupted on the wire, receiver CRC fails.
+        recordFault(*pkt, faultRandomLossDrops_, &FaultCounters::randomLossDrops);
+        tryTransmit();
+        return;
+    }
+    // Wire flight: after the propagation delay the peer sees the packet.
+    // Several packets can be on the wire at once, so this event keeps its
+    // per-packet capture.
+    if (peer_ != nullptr) {
+        Node* peer = peer_;
+        const int inPort = peerInPort_;
+        pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
+        ++wireInFlight_;
+        sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
+                                          pkt = std::move(pkt)]() mutable {
+            ObsHub* deliveryHub = sim_.obs();
+            SimProfiler::Scope deliveryProfile(
+                deliveryHub != nullptr ? deliveryHub->profiler() : nullptr,
+                ProfileKind::WireDelivery);
+            --wireInFlight_;
+            if (flapEpoch_ != epoch) {
+                // Lost mid-flight: the link went down under the packet.
+                recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
+                return;
+            }
+            ++pktsDeliveredToPeer_;
+            peer->handleReceive(std::move(pkt), inPort);
+        });
+    }
+    tryTransmit();
 }
 
 }  // namespace ecnsim

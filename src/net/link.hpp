@@ -100,6 +100,7 @@ public:
 
 private:
     void tryTransmit();
+    void onSerialized();
     void recordFault(const Packet& pkt, std::uint64_t& localCounter,
                      std::uint64_t FaultCounters::* bucket);
 
@@ -113,6 +114,13 @@ private:
     bool busy_ = false;
     bool up_ = true;
     double lossRate_ = 0.0;
+    /// The packet being serialized and its start epoch. Keeping them in
+    /// the port (instead of a per-packet lambda capture) lets back-to-back
+    /// dequeues recycle one serialization event whose callable captures
+    /// only `this` — cheap to relocate inside the scheduler.
+    PacketPtr txPkt_;
+    std::uint64_t txEpoch_ = 0;
+    EventHandle txDone_;
     /// Incremented on every down transition; packets record the epoch when
     /// they start serialization and are lost if it changed mid-flight.
     std::uint64_t flapEpoch_ = 0;

@@ -25,7 +25,9 @@ void ObsHub::tick(Simulator& sim) {
     SimProfiler::Scope scope(profiler_.get(), ProfileKind::ObsSampling);
     if (metrics_ != nullptr) metrics_->sample(sim.now());
     for (const auto& hook : sampleHooks_) hook(sim.now());
-    if (profiler_ != nullptr) profiler_->noteSchedulerDepth(sim.pendingEvents());
+    // Live count, not stored records: under lazy cancellation most stored
+    // records can be tombstones, which made the old depth stat meaningless.
+    if (profiler_ != nullptr) profiler_->noteSchedulerDepth(sim.pendingLiveEvents());
     // Only reschedule while the model still has work queued: a sampler that
     // keeps the heap non-empty would stall run() forever.
     if (sim.hasPendingEvents()) {

@@ -11,6 +11,8 @@
 
 namespace ecnsim {
 
+class TimerWheelEventQueue;
+
 namespace detail {
 /// Heap node of the legacy (shared_ptr-based) event queues. Ties are broken
 /// by insertion sequence number so that events scheduled earlier at the same
@@ -23,13 +25,25 @@ struct EventRecord {
     EventFn fn;
 };
 
+/// Cancellation interface a slot-arena-style queue exposes to EventHandle:
+/// cancel / liveness-test an event by (slot index, generation). Both the
+/// flat heap's arena (lazy tombstones) and the timer wheel's node store
+/// (eager unlink) implement it, so a handle is one weak_ptr + two ints
+/// regardless of which backend scheduled the event.
+class SlotOps {
+public:
+    virtual ~SlotOps() = default;
+    virtual void cancelSlot(std::uint32_t idx, std::uint32_t gen) = 0;
+    virtual bool slotPending(std::uint32_t idx, std::uint32_t gen) const = 0;
+};
+
 /// Recycled callable storage for the flat-heap fast path. The heap itself
 /// holds POD (time, seq, slot) records; the callables live here, and slots
 /// are reused freelist-style so a steady-state simulation performs no
 /// per-event allocation at all. Handles observe slots through a generation
 /// counter: once a slot is released (fired or skipped), the generation
 /// bumps and stale handles become inert.
-struct FlatSlotArena {
+struct FlatSlotArena final : SlotOps {
     struct Slot {
         EventFn fn;
         std::uint32_t gen = 0;
@@ -39,6 +53,9 @@ struct FlatSlotArena {
 
     std::vector<Slot> slots;
     std::vector<std::uint32_t> freeList;
+    std::uint64_t cancels = 0;       ///< cancel() calls that tombstoned a live record
+    std::uint64_t reaped = 0;        ///< tombstones later released without firing
+    std::size_t cancelledLive = 0;   ///< currently stored records that are tombstones
 
     std::uint32_t acquire(EventFn&& fn) {
         if (freeList.empty()) {
@@ -62,6 +79,10 @@ struct FlatSlotArena {
         assert(s.live && "FlatSlotArena: double release of event slot");
         EventFn fn = std::move(s.fn);
         s.fn = nullptr;
+        if (s.cancelled) {
+            --cancelledLive;
+            ++reaped;
+        }
         s.live = false;
         s.cancelled = false;
         ++s.gen;
@@ -70,8 +91,11 @@ struct FlatSlotArena {
     }
 
     void cancel(std::uint32_t idx, std::uint32_t gen) {
-        if (idx < slots.size() && slots[idx].gen == gen && slots[idx].live) {
+        if (idx < slots.size() && slots[idx].gen == gen && slots[idx].live &&
+            !slots[idx].cancelled) {
             slots[idx].cancelled = true;
+            ++cancels;
+            ++cancelledLive;
         }
     }
 
@@ -81,39 +105,49 @@ struct FlatSlotArena {
         return idx < slots.size() && slots[idx].gen == gen && slots[idx].live &&
                !slots[idx].cancelled;
     }
+
+    // SlotOps (the handle-facing view of the two methods above).
+    void cancelSlot(std::uint32_t idx, std::uint32_t gen) override { cancel(idx, gen); }
+    bool slotPending(std::uint32_t idx, std::uint32_t gen) const override {
+        return pending(idx, gen);
+    }
 };
 }  // namespace detail
 
-/// Handle to a scheduled event. Copyable; cancelling is idempotent and safe
-/// after the event has fired or the scheduler has been destroyed (the
-/// handle observes its record via weak_ptr — for the flat fast path, one
-/// shared arena per scheduler rather than one control block per event).
+/// Handle to a scheduled event. Copyable; cancelling is idempotent and a
+/// guaranteed no-op on a default-constructed handle, after the event has
+/// fired or been cancelled, and after the scheduler has been destroyed
+/// (the handle observes its record via weak_ptr — for the slot-arena
+/// backends, one shared store per scheduler rather than one control block
+/// per event).
 class EventHandle {
 public:
     EventHandle() = default;
     explicit EventHandle(std::weak_ptr<detail::EventRecord> rec) : rec_(std::move(rec)) {}
-    EventHandle(std::weak_ptr<detail::FlatSlotArena> arena, std::uint32_t slot, std::uint32_t gen)
-        : arena_(std::move(arena)), slot_(slot), gen_(gen) {}
+    EventHandle(std::weak_ptr<detail::SlotOps> ops, std::uint32_t slot, std::uint32_t gen)
+        : ops_(std::move(ops)), slot_(slot), gen_(gen) {}
 
     /// Prevent the event from firing. No-op if already fired or cancelled.
     void cancel() {
         if (auto r = rec_.lock()) {
             r->cancelled = true;
-        } else if (auto a = arena_.lock()) {
-            a->cancel(slot_, gen_);
+        } else if (auto o = ops_.lock()) {
+            o->cancelSlot(slot_, gen_);
         }
     }
 
     /// True if the event is still scheduled and will fire.
     bool pending() const {
         if (auto r = rec_.lock()) return !r->cancelled;
-        if (auto a = arena_.lock()) return a->pending(slot_, gen_);
+        if (auto o = ops_.lock()) return o->slotPending(slot_, gen_);
         return false;
     }
 
 private:
+    friend class TimerWheelEventQueue;  // rearm-in-place needs (ops, slot, gen)
+
     std::weak_ptr<detail::EventRecord> rec_;
-    std::weak_ptr<detail::FlatSlotArena> arena_;
+    std::weak_ptr<detail::SlotOps> ops_;
     std::uint32_t slot_ = 0;
     std::uint32_t gen_ = 0;
 };

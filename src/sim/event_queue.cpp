@@ -10,6 +10,7 @@ EventHandle FlatHeapEventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
     const std::uint32_t slot = arena_->acquire(std::move(fn));
     heap_.push_back(Rec{at.ns(), seq, slot});
     siftUp(heap_.size() - 1);
+    if (liveSize() > maxLive_) maxLive_ = liveSize();
     return EventHandle{arena_, slot, arena_->slots[slot].gen};
 }
 

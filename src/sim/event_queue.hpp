@@ -32,7 +32,22 @@ public:
     Time peekTime();
 
     /// Stored records, including lazily cancelled ones (legacy semantics).
+    /// This over-counts scheduler depth whenever cancels are in flight —
+    /// use liveSize() for "events that will actually fire".
     std::size_t size() const { return heap_.size(); }
+
+    /// Stored records that are not tombstones, i.e. will fire unless
+    /// cancelled later.
+    std::size_t liveSize() const { return heap_.size() - arena_->cancelledLive; }
+
+    /// High-water mark of liveSize() over the queue's lifetime.
+    std::size_t maxLiveSize() const { return maxLive_; }
+
+    /// Tombstoned records released without firing (lazy-cancel cost).
+    std::uint64_t tombstonesReaped() const { return arena_->reaped; }
+
+    /// cancel() calls that actually tombstoned a live record.
+    std::uint64_t cancelCount() const { return arena_->cancels; }
 
 private:
     /// 24-byte POD heap record: sift operations move these, never callables.
@@ -55,6 +70,7 @@ private:
 
     std::vector<Rec> heap_;
     std::shared_ptr<detail::FlatSlotArena> arena_;
+    std::size_t maxLive_ = 0;
 };
 
 /// Storage strategy behind Scheduler's legacy kinds. Implementations must

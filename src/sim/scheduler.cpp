@@ -1,11 +1,35 @@
 #include "src/sim/scheduler.hpp"
 
+#include <stdexcept>
+
 namespace ecnsim {
+
+std::string schedulerKindName(SchedulerKind kind) {
+    switch (kind) {
+        case SchedulerKind::TimerWheel: return "wheel";
+        case SchedulerKind::FlatHeap: return "flatheap";
+        case SchedulerKind::BinaryHeap: return "binaryheap";
+        case SchedulerKind::Calendar: return "calendar";
+    }
+    return "unknown";
+}
+
+SchedulerKind parseSchedulerKind(const std::string& name) {
+    if (name == "wheel" || name == "timerwheel") return SchedulerKind::TimerWheel;
+    if (name == "flatheap" || name == "flat") return SchedulerKind::FlatHeap;
+    if (name == "binaryheap" || name == "binary") return SchedulerKind::BinaryHeap;
+    if (name == "calendar") return SchedulerKind::Calendar;
+    throw std::invalid_argument("unknown scheduler kind '" + name +
+                                "' (expected wheel|flatheap|binaryheap|calendar)");
+}
 
 Scheduler::Scheduler(SchedulerKind kind) : kind_(kind) {
     switch (kind) {
+        case SchedulerKind::TimerWheel:
+            wheel_ = std::make_unique<TimerWheelEventQueue>();
+            break;
         case SchedulerKind::FlatHeap:
-            break;  // flat_ is always constructed; no legacy backend needed
+            break;  // flat_ is always constructed; no other backend needed
         case SchedulerKind::BinaryHeap:
             legacy_ = std::make_unique<BinaryHeapEventQueue>();
             break;
@@ -16,7 +40,11 @@ Scheduler::Scheduler(SchedulerKind kind) : kind_(kind) {
 }
 
 EventHandle Scheduler::insert(Time at, EventFn fn) {
-    const std::uint64_t seq = nextSeq_++;
+    return insertWithSeq(at, nextSeq_++, std::move(fn));
+}
+
+EventHandle Scheduler::insertWithSeq(Time at, std::uint64_t seq, EventFn fn) {
+    if (wheel_) return wheel_->push(at, seq, std::move(fn));
     if (legacy_ == nullptr) return flat_.push(at, seq, std::move(fn));
     auto rec = std::make_shared<detail::EventRecord>();
     rec->at = at;
@@ -27,7 +55,17 @@ EventHandle Scheduler::insert(Time at, EventFn fn) {
     return handle;
 }
 
+EventHandle Scheduler::reschedule(EventHandle h, Time at, EventFn fn) {
+    const std::uint64_t seq = nextSeq_++;
+    if (wheel_ && wheel_->rearm(h, at, seq, std::move(fn))) return h;
+    // Dead handle, or a backend without in-place re-arm: the classic pair.
+    // (rearm() leaves `fn` unconsumed when it returns false.)
+    h.cancel();
+    return insertWithSeq(at, seq, std::move(fn));
+}
+
 bool Scheduler::popInto(Time& at, EventFn& fn) {
+    if (wheel_) return wheel_->popInto(at, fn);
     if (legacy_ == nullptr) return flat_.popInto(at, fn);
     auto rec = legacy_->pop();
     if (!rec) return false;
@@ -37,11 +75,35 @@ bool Scheduler::popInto(Time& at, EventFn& fn) {
 }
 
 Time Scheduler::nextTime() {
+    if (wheel_) return wheel_->peekTime();
     return legacy_ == nullptr ? flat_.peekTime() : legacy_->peekTime();
 }
 
 std::size_t Scheduler::size() const {
+    if (wheel_) return wheel_->size();
     return legacy_ == nullptr ? flat_.size() : legacy_->size();
+}
+
+std::size_t Scheduler::liveSize() const {
+    if (wheel_) return wheel_->liveSize();
+    // Legacy kinds track no tombstone count; their size() over-reports.
+    return legacy_ == nullptr ? flat_.liveSize() : legacy_->size();
+}
+
+SchedulerCounters Scheduler::counters() const {
+    SchedulerCounters c;
+    if (wheel_) {
+        c.cancelled = wheel_->cancelCount();
+        c.rearms = wheel_->rearmCount();
+        c.cascades = wheel_->cascadeCount();
+        c.tombstonesReaped = wheel_->overflowReapedCount();
+        c.maxLivePending = wheel_->maxLiveSize();
+    } else if (legacy_ == nullptr) {
+        c.cancelled = flat_.cancelCount();
+        c.tombstonesReaped = flat_.tombstonesReaped();
+        c.maxLivePending = flat_.maxLiveSize();
+    }
+    return c;
 }
 
 }  // namespace ecnsim

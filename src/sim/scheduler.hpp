@@ -1,32 +1,62 @@
 // Event scheduler with deterministic tie-breaking over a pluggable
-// storage strategy (flat heap, legacy binary heap or calendar queue).
+// storage strategy (timer wheel, flat heap, legacy binary heap or
+// calendar queue).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "src/sim/event.hpp"
 #include "src/sim/event_queue.hpp"
 #include "src/sim/time.hpp"
+#include "src/sim/timer_wheel.hpp"
 
 namespace ecnsim {
 
-enum class SchedulerKind { FlatHeap, BinaryHeap, Calendar };
+enum class SchedulerKind { TimerWheel, FlatHeap, BinaryHeap, Calendar };
+
+/// "wheel" / "flatheap" / "binaryheap" / "calendar".
+std::string schedulerKindName(SchedulerKind kind);
+
+/// Parse a --scheduler flag value (the names above); throws SpecError-style
+/// std::invalid_argument listing the accepted names on anything else.
+SchedulerKind parseSchedulerKind(const std::string& name);
+
+/// Aggregate cancellation/cascade statistics of whichever backend is
+/// active, for SimProfiler / bench_runner. Backends that don't implement a
+/// counter report 0 for it.
+struct SchedulerCounters {
+    std::uint64_t cancelled = 0;        ///< cancel() calls that hit a pending event
+    std::uint64_t rearms = 0;           ///< in-place reschedules (wheel only)
+    std::uint64_t cascades = 0;         ///< wheel events re-filed on rollover
+    std::uint64_t tombstonesReaped = 0; ///< lazily cancelled records sifted out
+    std::uint64_t maxLivePending = 0;   ///< high-water mark of live pending events
+};
 
 /// Priority queue of events ordered by (time, insertion sequence).
 ///
-/// Cancellation is lazy: cancelled records stay stored and are skipped
-/// when reached, which keeps cancel() O(1). The FlatHeap kind (default)
-/// stores POD records in a contiguous heap with freelist-recycled callable
-/// slots — no per-event allocation; the legacy kinds allocate one shared
-/// record per event.
+/// The TimerWheel kind (default) is a hierarchical timing wheel with O(1)
+/// insert and *eager* O(1) cancellation — see timer_wheel.hpp. The
+/// FlatHeap kind keeps cancellation lazy: cancelled records stay stored
+/// and are skipped when reached. Both preserve the identical (time, seq)
+/// total order, so runs are byte-for-byte reproducible across kinds; the
+/// legacy kinds allocate one shared record per event.
 class Scheduler {
 public:
-    explicit Scheduler(SchedulerKind kind = SchedulerKind::FlatHeap);
+    explicit Scheduler(SchedulerKind kind = SchedulerKind::TimerWheel);
 
     /// Insert an event at absolute time `at`. `at` must not be in the past
     /// relative to the last popped event (checked by Simulator).
     EventHandle insert(Time at, EventFn fn);
+
+    /// Move the pending event behind `h` to a new time, consuming exactly
+    /// one sequence number — the same as cancel()+insert(), so event
+    /// ordering (and thus digests) match the two-call form regardless of
+    /// backend. The wheel re-links the existing node in place and returns
+    /// `h` unchanged; other kinds fall back to cancel+insert and return a
+    /// fresh handle. A dead `h` degrades to a plain insert.
+    EventHandle reschedule(EventHandle h, Time at, EventFn fn);
 
     /// Pop the next non-cancelled event into (at, fn); false when empty.
     bool popInto(Time& at, EventFn& fn);
@@ -35,14 +65,21 @@ public:
     Time nextTime();
 
     bool empty() { return nextTime() == Time::max(); }
+    /// Stored records — includes lazily cancelled ones under FlatHeap.
     std::size_t size() const;
+    /// Pending events that will actually fire (excludes tombstones).
+    std::size_t liveSize() const;
+    SchedulerCounters counters() const;
     std::uint64_t inserted() const { return nextSeq_; }
     SchedulerKind kind() const { return kind_; }
 
 private:
+    EventHandle insertWithSeq(Time at, std::uint64_t seq, EventFn fn);
+
     SchedulerKind kind_;
-    FlatHeapEventQueue flat_;            // used when kind_ == FlatHeap
-    std::unique_ptr<EventQueue> legacy_; // used otherwise
+    std::unique_ptr<TimerWheelEventQueue> wheel_;  // used when kind_ == TimerWheel
+    FlatHeapEventQueue flat_;                      // used when kind_ == FlatHeap
+    std::unique_ptr<EventQueue> legacy_;           // used otherwise
     std::uint64_t nextSeq_ = 0;
 };
 

@@ -24,7 +24,7 @@ class ObsHub;  // src/obs/hub.hpp — sim/ cannot include obs/ headers
 class Simulator {
 public:
     explicit Simulator(std::uint64_t seed = 1,
-                       SchedulerKind schedulerKind = SchedulerKind::FlatHeap)
+                       SchedulerKind schedulerKind = SchedulerKind::TimerWheel)
         : scheduler_(schedulerKind), rng_(seed) {
         // Honor the process-wide default (ECNSIM_INVARIANTS or the tools'
         // --invariants flag) without requiring every call site to plumb a
@@ -81,6 +81,19 @@ public:
         return scheduler_.insert(when, std::move(fn));
     }
 
+    /// Move a pending timer to `delay` from now — semantically identical to
+    /// `h.cancel()` followed by schedule() (one sequence number consumed,
+    /// so event ordering and digests match the two-call form exactly), but
+    /// the timer wheel re-links the existing node in place instead of
+    /// burying a tombstone. A dead/fired `h` degrades to a fresh schedule.
+    EventHandle reschedule(EventHandle h, Time delay, EventFn fn) {
+        if (delay.isNegative()) throw std::invalid_argument("negative event delay");
+        if (invariants_ != nullptr && invariants_->enabled()) {
+            invariants_->recordSchedule(now_ + delay, scheduler_.inserted());
+        }
+        return scheduler_.reschedule(std::move(h), now_ + delay, std::move(fn));
+    }
+
     /// Run until the event heap drains, `until` is reached, or stop() is
     /// called. Events exactly at `until` still fire.
     void runUntil(Time until) {
@@ -120,7 +133,13 @@ public:
 
     bool hasPendingEvents() { return !scheduler_.empty(); }
     Time nextEventTime() { return scheduler_.nextTime(); }
+    /// Stored records — under FlatHeap this includes lazily cancelled
+    /// tombstones; prefer pendingLiveEvents() for scheduler-depth stats.
     std::size_t pendingEvents() const { return scheduler_.size(); }
+    /// Pending events that will actually fire.
+    std::size_t pendingLiveEvents() const { return scheduler_.liveSize(); }
+    SchedulerCounters schedulerCounters() const { return scheduler_.counters(); }
+    SchedulerKind schedulerKind() const { return scheduler_.kind(); }
     std::uint64_t eventsExecuted() const { return executed_; }
     std::uint64_t eventsScheduled() const { return scheduler_.inserted(); }
 

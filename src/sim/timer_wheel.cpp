@@ -1,0 +1,458 @@
+#include "src/sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecnsim {
+
+namespace detail {
+
+namespace {
+
+constexpr int kBits = TimerWheelEventQueue::kBitsPerLevel;
+constexpr int kSlots = TimerWheelEventQueue::kSlotsPerLevel;
+constexpr int kLevels = TimerWheelEventQueue::kLevels;
+constexpr int kWordsPerLevel = kSlots / 64;
+
+constexpr std::uint32_t kNullIdx = 0xFFFFFFFFu;
+
+/// Index of the highest byte where two timestamps differ (0..7).
+int topByte(std::uint64_t diff) {
+    assert(diff != 0);
+#if defined(__GNUC__) || defined(__clang__)
+    const int bit = 63 - __builtin_clzll(diff);
+#else
+    int bit = 63;
+    while ((diff >> bit) == 0) --bit;
+#endif
+    return bit >> 3;
+}
+
+int lowestBit(std::uint64_t word) {
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(word);
+#else
+    int b = 0;
+    while (((word >> b) & 1) == 0) ++b;
+    return b;
+#endif
+}
+
+}  // namespace
+
+/// The wheel proper. EventHandles observe it through the SlotOps interface
+/// via weak_ptr, so handles stay safe after the scheduler is destroyed.
+///
+/// Node storage is one vector with uint32 prev/next links (stable across
+/// growth, unlike pointers). The first kLevels*kSlots+1 nodes are list
+/// sentinels: one per wheel slot plus one for the due list; real events
+/// are freelist-recycled from the rest, generation-counted like
+/// FlatSlotArena slots.
+class WheelCore final : public SlotOps, public std::enable_shared_from_this<WheelCore> {
+public:
+    enum State : std::uint8_t { kFree, kListed, kOverflow };
+
+    struct Node {
+        EventFn fn;
+        std::int64_t atNs = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t prev = kNullIdx;
+        std::uint32_t next = kNullIdx;
+        std::uint32_t home = kNullIdx;  ///< sentinel of the list holding this node
+        std::uint32_t gen = 0;
+        State state = kFree;
+    };
+
+    struct OverflowRec {
+        std::int64_t atNs;
+        std::uint64_t seq;
+        std::uint32_t idx;
+        std::uint32_t gen;
+    };
+
+    WheelCore() {
+        nodes_.resize(kFirstEventNode);
+        for (std::uint32_t i = 0; i < kFirstEventNode; ++i) {
+            nodes_[i].prev = i;
+            nodes_[i].next = i;
+        }
+    }
+
+    EventHandle push(Time at, std::uint64_t seq, EventFn fn) {
+        const std::uint32_t idx = acquireNode(at.ns(), seq, std::move(fn));
+        placeNode(idx);
+        ++live_;
+        if (live_ > maxLive_) maxLive_ = live_;
+        return EventHandle{std::weak_ptr<SlotOps>(weak_from_this()), idx, nodes_[idx].gen};
+    }
+
+    bool popInto(Time& at, EventFn& fn) {
+        settle();
+        const std::uint32_t head = nodes_[kDueSentinel].next;
+        if (head == kDueSentinel) return false;
+        at = Time::nanoseconds(nodes_[head].atNs);
+        unlink(head);
+        fn = releaseNode(head);
+        --live_;
+        return true;
+    }
+
+    Time peekTime() {
+        settle();
+        const std::uint32_t head = nodes_[kDueSentinel].next;
+        return head == kDueSentinel ? Time::max() : Time::nanoseconds(nodes_[head].atNs);
+    }
+
+    bool rearm(std::uint32_t idx, std::uint32_t gen, Time at, std::uint64_t seq, EventFn&& fn) {
+        if (!slotPending(idx, gen)) return false;
+        Node& n = nodes_[idx];
+        if (n.state == kListed) {
+            unlinkListed(idx);
+        }
+        // kOverflow: the old heap record goes stale (seq mismatch) and is
+        // skipped whenever it reaches the top — the node moves now.
+        n.atNs = at.ns();
+        n.seq = seq;
+        n.fn = std::move(fn);
+        n.home = kNullIdx;
+        placeNode(idx);
+        ++rearms_;
+        return true;
+    }
+
+    // SlotOps
+    void cancelSlot(std::uint32_t idx, std::uint32_t gen) override {
+        if (!slotPending(idx, gen)) return;
+        if (nodes_[idx].state == kListed) unlinkListed(idx);
+        releaseNode(idx);  // overflow heap record, if any, goes stale via gen
+        ++cancelled_;
+        --live_;
+    }
+
+    bool slotPending(std::uint32_t idx, std::uint32_t gen) const override {
+        return idx < nodes_.size() && nodes_[idx].gen == gen && nodes_[idx].state != kFree;
+    }
+
+    std::size_t size() const { return live_; }
+    std::size_t maxLive() const { return maxLive_; }
+    std::uint64_t cancelled() const { return cancelled_; }
+    std::uint64_t rearms() const { return rearms_; }
+    std::uint64_t cascades() const { return cascades_; }
+    std::uint64_t overflowReaped() const { return overflowReaped_; }
+
+private:
+    static constexpr std::uint32_t kDueSentinel = kLevels * kSlots;
+    static constexpr std::uint32_t kFirstEventNode = kDueSentinel + 1;
+
+    static std::uint32_t slotSentinel(int level, int slot) {
+        return static_cast<std::uint32_t>(level * kSlots + slot);
+    }
+
+    // ------------------------------------------------------------- lists
+
+    void linkBefore(std::uint32_t pos, std::uint32_t n) {
+        const std::uint32_t prev = nodes_[pos].prev;
+        nodes_[n].prev = prev;
+        nodes_[n].next = pos;
+        nodes_[prev].next = n;
+        nodes_[pos].prev = n;
+    }
+
+    void unlink(std::uint32_t n) {
+        nodes_[nodes_[n].prev].next = nodes_[n].next;
+        nodes_[nodes_[n].next].prev = nodes_[n].prev;
+    }
+
+    /// Unlink a kListed node, clearing the occupancy bit if its wheel slot
+    /// just emptied (the due list has no bitmap).
+    void unlinkListed(std::uint32_t idx) {
+        const std::uint32_t home = nodes_[idx].home;
+        unlink(idx);
+        if (home != kDueSentinel && nodes_[home].next == home) {
+            clearSlot(static_cast<int>(home) / kSlots, static_cast<int>(home) % kSlots);
+        }
+    }
+
+    // ------------------------------------------------------------- nodes
+
+    std::uint32_t acquireNode(std::int64_t atNs, std::uint64_t seq, EventFn&& fn) {
+        if (freeList_.empty()) {
+            nodes_.emplace_back();
+            freeList_.push_back(static_cast<std::uint32_t>(nodes_.size() - 1));
+        }
+        const std::uint32_t idx = freeList_.back();
+        freeList_.pop_back();
+        Node& n = nodes_[idx];
+        n.fn = std::move(fn);
+        n.atNs = atNs;
+        n.seq = seq;
+        n.home = kNullIdx;
+        return idx;
+    }
+
+    EventFn releaseNode(std::uint32_t idx) {
+        Node& n = nodes_[idx];
+        assert(n.state != kFree && "WheelCore: double release of event node");
+        EventFn fn = std::move(n.fn);
+        n.fn = nullptr;
+        n.state = kFree;
+        ++n.gen;
+        freeList_.push_back(idx);
+        return fn;
+    }
+
+    // ------------------------------------------------------------ bitmap
+
+    void markSlot(int level, int slot) {
+        bitmap_[level][slot >> 6] |= std::uint64_t(1) << (slot & 63);
+    }
+    void clearSlot(int level, int slot) {
+        bitmap_[level][slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+    }
+    /// Lowest occupied slot of a level, or -1. All occupied slots sit above
+    /// the cursor's byte at that level (lower ones would have gone to a
+    /// lower level or the due list), so no masking is needed.
+    int lowestOccupied(int level) const {
+        for (int w = 0; w < kWordsPerLevel; ++w) {
+            if (bitmap_[level][w] != 0) return w * 64 + lowestBit(bitmap_[level][w]);
+        }
+        return -1;
+    }
+
+    // --------------------------------------------------------- placement
+
+    void placeNode(std::uint32_t idx) {
+        Node& n = nodes_[idx];
+        if (n.atNs <= curNs_) {
+            // At or below the settled cursor (late insert after a runUntil
+            // horizon, or a cascade landing exactly on the cursor): merge
+            // into the due list, keeping it sorted by (time, seq).
+            dueInsertSorted(idx);
+            return;
+        }
+        const std::uint64_t diff =
+            static_cast<std::uint64_t>(n.atNs) ^ static_cast<std::uint64_t>(curNs_);
+        const int level = topByte(diff);
+        if (level >= kLevels) {
+            n.state = kOverflow;
+            overflowPush({n.atNs, n.seq, idx, n.gen});
+            return;
+        }
+        const int slot = static_cast<int>(
+            (static_cast<std::uint64_t>(n.atNs) >> (kBits * level)) & (kSlots - 1));
+        const std::uint32_t sent = slotSentinel(level, slot);
+        n.state = kListed;
+        n.home = sent;
+        linkBefore(sent, idx);  // append
+        markSlot(level, slot);
+    }
+
+    void dueInsertSorted(std::uint32_t idx) {
+        Node& n = nodes_[idx];
+        n.state = kListed;
+        n.home = kDueSentinel;
+        // Typical arrival is at or past the tail; scan backwards.
+        std::uint32_t pos = kDueSentinel;
+        std::uint32_t p = nodes_[pos].prev;
+        while (p != kDueSentinel) {
+            const Node& q = nodes_[p];
+            if (q.atNs < n.atNs || (q.atNs == n.atNs && q.seq < n.seq)) break;
+            pos = p;
+            p = nodes_[p].prev;
+        }
+        linkBefore(pos, idx);
+    }
+
+    // ----------------------------------------------------------- advance
+
+    /// Make the due list non-empty if any event is pending: expire level-0
+    /// slots, cascading higher levels / draining the overflow heap as the
+    /// cursor reaches them.
+    void settle() {
+        while (nodes_[kDueSentinel].next == kDueSentinel) {
+            if (live_ == 0) {
+                // Only stale overflow records can remain; drop them.
+                overflowReaped_ += overflow_.size();
+                overflow_.clear();
+                return;
+            }
+            int level = -1;
+            int slot = -1;
+            for (int l = 0; l < kLevels; ++l) {
+                slot = lowestOccupied(l);
+                if (slot >= 0) {
+                    level = l;
+                    break;
+                }
+            }
+            if (level == 0) {
+                expireLevel0(slot);
+            } else if (level > 0) {
+                cascade(level, slot);
+            } else {
+                advanceToOverflow();
+            }
+        }
+    }
+
+    void expireLevel0(int slot) {
+        assert(slot > static_cast<int>(curNs_ & 0xFF));
+        curNs_ = (curNs_ & ~std::int64_t(0xFF)) | slot;
+        const std::uint32_t sent = slotSentinel(0, slot);
+        scratch_.clear();
+        for (std::uint32_t p = nodes_[sent].next; p != sent; p = nodes_[p].next) {
+            scratch_.push_back(p);
+        }
+        nodes_[sent].next = sent;
+        nodes_[sent].prev = sent;
+        clearSlot(0, slot);
+        // A level-0 slot holds exactly one timestamp, but cascading can
+        // have appended its events out of insertion order — one seq sort
+        // here restores the global (time, seq) total order.
+        std::sort(scratch_.begin(), scratch_.end(), [this](std::uint32_t a, std::uint32_t b) {
+            return nodes_[a].seq < nodes_[b].seq;
+        });
+        for (const std::uint32_t idx : scratch_) {
+            assert(nodes_[idx].atNs == curNs_);
+            nodes_[idx].home = kDueSentinel;
+            linkBefore(kDueSentinel, idx);  // due was empty; appends stay sorted
+        }
+    }
+
+    void cascade(int level, int slot) {
+        // Advance the cursor to the base of this slot and re-file its list
+        // one or more levels down (or straight onto the due list for
+        // events landing exactly on the new cursor).
+        const std::int64_t base =
+            (curNs_ & ~((std::int64_t(1) << (kBits * (level + 1))) - 1)) |
+            (std::int64_t(slot) << (kBits * level));
+        assert(base > curNs_);
+        curNs_ = base;
+        const std::uint32_t sent = slotSentinel(level, slot);
+        std::uint32_t p = nodes_[sent].next;
+        nodes_[sent].next = sent;
+        nodes_[sent].prev = sent;
+        clearSlot(level, slot);
+        while (p != sent) {
+            const std::uint32_t next = nodes_[p].next;
+            nodes_[p].home = kNullIdx;
+            placeNode(p);
+            ++cascades_;
+            p = next;
+        }
+    }
+
+    void advanceToOverflow() {
+        // Wheel and due list empty but live_ > 0: everything pending sits
+        // in the overflow heap. Jump the cursor to the earliest live
+        // record, then pull in every record now inside the wheel horizon.
+        while (!overflow_.empty() && overflowStale(overflow_.front())) {
+            overflowPop();
+            ++overflowReaped_;
+        }
+        assert(!overflow_.empty() && "live events unaccounted for");
+        const OverflowRec top = overflow_.front();
+        overflowPop();
+        assert(top.atNs > curNs_);
+        curNs_ = top.atNs;
+        placeNode(top.idx);  // lands on the due list (atNs == curNs_)
+        while (!overflow_.empty()) {
+            const OverflowRec& r = overflow_.front();
+            if (overflowStale(r)) {
+                overflowPop();
+                ++overflowReaped_;
+                continue;
+            }
+            const std::uint64_t diff =
+                static_cast<std::uint64_t>(r.atNs) ^ static_cast<std::uint64_t>(curNs_);
+            if (topByte(diff) >= kLevels) break;
+            const std::uint32_t idx = r.idx;
+            overflowPop();
+            nodes_[idx].home = kNullIdx;
+            placeNode(idx);
+        }
+    }
+
+    // ---------------------------------------------------- overflow heap
+
+    static bool overflowEarlier(const OverflowRec& a, const OverflowRec& b) {
+        if (a.atNs != b.atNs) return a.atNs < b.atNs;
+        return a.seq < b.seq;
+    }
+
+    bool overflowStale(const OverflowRec& r) const {
+        const Node& n = nodes_[r.idx];
+        return n.gen != r.gen || n.state != kOverflow || n.seq != r.seq;
+    }
+
+    void overflowPush(OverflowRec rec) {
+        overflow_.push_back(rec);
+        std::size_t i = overflow_.size() - 1;
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (!overflowEarlier(overflow_[i], overflow_[parent])) break;
+            std::swap(overflow_[i], overflow_[parent]);
+            i = parent;
+        }
+    }
+
+    void overflowPop() {
+        overflow_.front() = overflow_.back();
+        overflow_.pop_back();
+        std::size_t i = 0;
+        const std::size_t n = overflow_.size();
+        while (true) {
+            std::size_t child = 2 * i + 1;
+            if (child >= n) break;
+            if (child + 1 < n && overflowEarlier(overflow_[child + 1], overflow_[child])) {
+                ++child;
+            }
+            if (!overflowEarlier(overflow_[child], overflow_[i])) break;
+            std::swap(overflow_[i], overflow_[child]);
+            i = child;
+        }
+    }
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> freeList_;
+    std::uint64_t bitmap_[kLevels][kWordsPerLevel] = {};
+    std::int64_t curNs_ = 0;  ///< frontier: due list holds all pending <= this
+    std::vector<OverflowRec> overflow_;
+    std::vector<std::uint32_t> scratch_;
+    std::size_t live_ = 0;
+    std::size_t maxLive_ = 0;
+    std::uint64_t cancelled_ = 0;
+    std::uint64_t rearms_ = 0;
+    std::uint64_t cascades_ = 0;
+    std::uint64_t overflowReaped_ = 0;
+};
+
+}  // namespace detail
+
+TimerWheelEventQueue::TimerWheelEventQueue() : core_(std::make_shared<detail::WheelCore>()) {}
+
+EventHandle TimerWheelEventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
+    return core_->push(at, seq, std::move(fn));
+}
+
+bool TimerWheelEventQueue::popInto(Time& at, EventFn& fn) { return core_->popInto(at, fn); }
+
+Time TimerWheelEventQueue::peekTime() { return core_->peekTime(); }
+
+bool TimerWheelEventQueue::rearm(const EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn) {
+    // Only handles minted by this wheel qualify; a legacy/foreign/dead
+    // handle degrades to "push a fresh event" at the caller.
+    if (h.ops_.lock().get() != core_.get()) return false;
+    return core_->rearm(h.slot_, h.gen_, at, seq, std::move(fn));
+}
+
+std::size_t TimerWheelEventQueue::size() const { return core_->size(); }
+std::size_t TimerWheelEventQueue::maxLiveSize() const { return core_->maxLive(); }
+std::uint64_t TimerWheelEventQueue::cancelCount() const { return core_->cancelled(); }
+std::uint64_t TimerWheelEventQueue::rearmCount() const { return core_->rearms(); }
+std::uint64_t TimerWheelEventQueue::cascadeCount() const { return core_->cascades(); }
+std::uint64_t TimerWheelEventQueue::overflowReapedCount() const {
+    return core_->overflowReaped();
+}
+
+}  // namespace ecnsim

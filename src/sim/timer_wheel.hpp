@@ -1,0 +1,86 @@
+// Hierarchical timing-wheel event queue (Varghese & Lauck 1987): the
+// scheduler's default fast path since the TimerWheel kind landed. O(1)
+// insert, O(1) *eager* cancellation (doubly-linked intrusive slot lists —
+// no tombstones left behind), O(1) in-place re-arm, amortized O(1) pop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/event.hpp"
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+namespace detail {
+class WheelCore;
+}
+
+/// Hierarchical timing wheel over sim nanoseconds.
+///
+/// Layout: kLevels levels of kSlotsPerLevel-slot wheels, 8 bits of the
+/// event timestamp per level, level 0 at 1 ns granularity. An event is
+/// filed at the level of the highest byte where its timestamp differs
+/// from the cursor (XOR addressing), in the slot named by that byte —
+/// so a level-0 slot holds only events sharing one exact timestamp.
+/// Advancing the cursor into a level>0 slot cascades its list down;
+/// expiring a level-0 slot moves it (sorted by seq — cascading can
+/// interleave arrival order) onto a "due" list that pop consumes.
+/// Events beyond the 2^40 ns (~18 simulated minutes) horizon wait in a
+/// small overflow heap until the cursor gets close enough.
+///
+/// Ordering: the due list is kept sorted by (time, seq), late inserts at
+/// or below the settled cursor do a sorted insert into it, and level-0
+/// expiry sorts by seq — so pops observe the exact (time, seq) total
+/// order of the flat heap, and telemetry digests are byte-identical.
+///
+/// Cancellation unlinks the node immediately and recycles it
+/// (generation-checked, so stale EventHandles are inert) — timer-heavy
+/// workloads (TCP RTO re-arm per ACK) leave no dead records for pops to
+/// sift over. The one exception is an event parked in the overflow heap:
+/// its node is freed eagerly but the 24-byte heap record is reaped
+/// lazily, which is O(1) too and rare by construction.
+class TimerWheelEventQueue {
+public:
+    static constexpr int kBitsPerLevel = 8;
+    static constexpr int kSlotsPerLevel = 1 << kBitsPerLevel;
+    static constexpr int kLevels = 5;
+    /// First timestamp distance that overflows the wheel: 2^40 ns.
+    static constexpr std::int64_t kHorizonNs = std::int64_t(1)
+                                               << (kBitsPerLevel * kLevels);
+
+    TimerWheelEventQueue();
+
+    EventHandle push(Time at, std::uint64_t seq, EventFn fn);
+
+    /// Pop the earliest event into (at, fn); false when empty.
+    bool popInto(Time& at, EventFn& fn);
+
+    /// Time of the earliest event, or Time::max().
+    Time peekTime();
+
+    /// Move the event behind `h` to (at, seq, fn) without freeing its node
+    /// or invalidating the handle. Returns false when the handle is dead,
+    /// foreign, or already fired — `fn` is then left unconsumed so the
+    /// caller can fall back to push().
+    bool rearm(const EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn);
+
+    /// Pending events. Cancels unlink eagerly, so unlike the flat heap
+    /// size() == liveSize() here (modulo a few lazily reaped overflow
+    /// records, which are excluded from both).
+    std::size_t size() const;
+    std::size_t liveSize() const { return size(); }
+
+    std::size_t maxLiveSize() const;
+    std::uint64_t cancelCount() const;
+    std::uint64_t rearmCount() const;
+    /// Events re-filed to a lower level on cursor rollover.
+    std::uint64_t cascadeCount() const;
+    std::uint64_t overflowReapedCount() const;
+
+private:
+    std::shared_ptr<detail::WheelCore> core_;
+};
+
+}  // namespace ecnsim

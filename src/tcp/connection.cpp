@@ -101,10 +101,12 @@ void TcpConnection::becomeEstablished() {
 }
 
 void TcpConnection::armSynTimer() {
-    synTimer_.cancel();
     Time delay = cfg_.synRto;
     for (int i = 0; i < synRetries_ && delay < Time::seconds(30); ++i) delay = delay * 2;
-    synTimer_ = stack_.sim().schedule(delay, [this] { onSynTimeout(); });
+    // reschedule() re-links a pending timer in place (and degrades to a
+    // plain schedule when none is pending — cancel-on-dead-handle is a
+    // guaranteed no-op across all scheduler kinds).
+    synTimer_ = stack_.sim().reschedule(std::move(synTimer_), delay, [this] { onSynTimeout(); });
 }
 
 void TcpConnection::onSynTimeout() {
@@ -497,11 +499,13 @@ void TcpConnection::retransmitFirstUnacked() {
 // ----------------------------------------------------------------- timers
 
 void TcpConnection::armRto() {
-    rtoTimer_.cancel();
     Time delay = rto_;
     for (int i = 0; i < rtoBackoffs_ && delay < cfg_.maxRto; ++i) delay = delay * 2;
     delay = std::min(delay, cfg_.maxRto);
-    rtoTimer_ = stack_.sim().schedule(delay, [this] { onRtoTimeout(); });
+    // Re-armed on every ACK that moves snd_una; with the timer wheel this
+    // re-links the pending node in place instead of burying a tombstone
+    // per ACK (the dominant dead-record source at shuffle scale).
+    rtoTimer_ = stack_.sim().reschedule(std::move(rtoTimer_), delay, [this] { onRtoTimeout(); });
 }
 
 void TcpConnection::cancelRto() { rtoTimer_.cancel(); }

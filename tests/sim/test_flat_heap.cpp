@@ -141,6 +141,8 @@ TEST(FlatHeap, CancelledRecordsAreSkippedAndCountedInSize) {
     q.push(Time::nanoseconds(20), 1, [&fired] { fired += 10; });
     h1.cancel();
     EXPECT_EQ(q.size(), 2u);  // lazy: the cancelled record is still stored
+    EXPECT_EQ(q.liveSize(), 1u) << "liveSize must exclude tombstones";
+    EXPECT_EQ(q.cancelCount(), 1u);
     EXPECT_EQ(q.peekTime().ns(), 20);
 
     Time at;
@@ -149,6 +151,8 @@ TEST(FlatHeap, CancelledRecordsAreSkippedAndCountedInSize) {
     fn();
     EXPECT_EQ(fired, 10) << "cancelled event must not fire";
     EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(q.tombstonesReaped(), 1u) << "drain must reap the tombstone";
+    EXPECT_EQ(q.liveSize(), 0u);
 }
 
 TEST(FlatHeap, HandleOutlivesQueue) {
@@ -191,6 +195,8 @@ TEST(FlatHeap, AgreesWithLegacyKindsOnFullSimulation) {
             << "FlatHeap vs BinaryHeap diverged for seed " << seed;
         EXPECT_EQ(flat, simulatorTrace(SchedulerKind::Calendar, seed))
             << "FlatHeap vs Calendar diverged for seed " << seed;
+        EXPECT_EQ(flat, simulatorTrace(SchedulerKind::TimerWheel, seed))
+            << "FlatHeap vs TimerWheel diverged for seed " << seed;
     }
 }
 

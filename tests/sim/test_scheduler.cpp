@@ -156,6 +156,108 @@ TEST(Scheduler, NextEventTime) {
     EXPECT_EQ(sim.nextEventTime(), Time::max());
 }
 
+constexpr SchedulerKind kAllKinds[] = {SchedulerKind::TimerWheel, SchedulerKind::FlatHeap,
+                                       SchedulerKind::BinaryHeap, SchedulerKind::Calendar};
+
+// Regression for the armSynTimer pattern: re-arming a timer whose handle
+// already fired (or was never armed) must be a guaranteed no-op cancel plus
+// a fresh insert, on every scheduler kind. Originally the dangling cancel
+// was only safe on some backends.
+TEST(Scheduler, CancelOnDeadHandleIsNoOpAcrossKinds) {
+    for (const SchedulerKind kind : kAllKinds) {
+        Simulator sim(1, kind);
+        int fired = 0;
+        EventHandle h = sim.schedule(1_us, [&] { ++fired; });
+        sim.run();
+        EXPECT_EQ(fired, 1);
+        // Fired handle: cancel must not disturb the next armed event, even
+        // if the backend recycled the record for it.
+        EventHandle next = sim.schedule(1_us, [&] { ++fired; });
+        h.cancel();
+        EXPECT_FALSE(h.pending());
+        EXPECT_TRUE(next.pending()) << schedulerKindName(kind);
+        sim.run();
+        EXPECT_EQ(fired, 2) << schedulerKindName(kind);
+
+        // Default-constructed handle (timer never armed): same guarantee.
+        EventHandle never;
+        never.cancel();
+        EXPECT_FALSE(never.pending());
+    }
+}
+
+TEST(Scheduler, RescheduleMovesTimerInPlace) {
+    for (const SchedulerKind kind : kAllKinds) {
+        Simulator sim(1, kind);
+        std::vector<int> order;
+        EventHandle timer = sim.schedule(10_us, [&] { order.push_back(99); });
+        sim.schedule(5_us, [&] { order.push_back(1); });
+        // Push the timer out past a competing event, then pull it back in:
+        // only the final payload may fire, exactly once, at the final time.
+        timer = sim.reschedule(std::move(timer), 20_us, [&] { order.push_back(98); });
+        timer = sim.reschedule(std::move(timer), 7_us, [&] { order.push_back(2); });
+        EXPECT_TRUE(timer.pending());
+        sim.run();
+        EXPECT_EQ(order, (std::vector<int>{1, 2})) << schedulerKindName(kind);
+        EXPECT_FALSE(timer.pending());
+    }
+}
+
+// reschedule() must consume exactly one sequence number, like cancel+schedule
+// does, so equal-time ordering (and hence the telemetry digest) is identical
+// whether a backend re-arms in place or falls back to a fresh insert.
+TEST(Scheduler, RescheduleOrderingMatchesCancelPlusSchedule) {
+    auto trace = [](SchedulerKind kind, bool useReschedule) {
+        Simulator sim(1, kind);
+        std::vector<int> order;
+        EventHandle h = sim.schedule(3_us, [&] { order.push_back(0); });
+        if (useReschedule) {
+            h = sim.reschedule(std::move(h), 5_us, [&] { order.push_back(1); });
+        } else {
+            h.cancel();
+            h = sim.schedule(5_us, [&] { order.push_back(1); });
+        }
+        sim.schedule(5_us, [&] { order.push_back(2); });  // equal-time tie
+        sim.run();
+        return order;
+    };
+    for (const SchedulerKind kind : kAllKinds) {
+        const auto viaReschedule = trace(kind, true);
+        EXPECT_EQ(viaReschedule, trace(kind, false)) << schedulerKindName(kind);
+        EXPECT_EQ(viaReschedule, (std::vector<int>{1, 2})) << schedulerKindName(kind);
+    }
+}
+
+TEST(Scheduler, RescheduleDeadHandleFallsBackToInsert) {
+    for (const SchedulerKind kind : kAllKinds) {
+        Simulator sim(1, kind);
+        int fired = 0;
+        // Default-constructed handle: the armSynTimer first-arm case.
+        EventHandle h = sim.reschedule(EventHandle{}, 1_us, [&] { ++fired; });
+        EXPECT_TRUE(h.pending()) << schedulerKindName(kind);
+        sim.run();
+        EXPECT_EQ(fired, 1) << schedulerKindName(kind);
+        // Fired handle: re-arm must insert fresh, not resurrect the record.
+        h = sim.reschedule(std::move(h), 1_us, [&] { ++fired; });
+        EXPECT_TRUE(h.pending());
+        sim.run();
+        EXPECT_EQ(fired, 2) << schedulerKindName(kind);
+    }
+}
+
+TEST(Scheduler, CountersExposeCancelsAndRearms) {
+    Simulator sim(1, SchedulerKind::TimerWheel);
+    EventHandle a = sim.schedule(5_us, [] {});
+    a.cancel();
+    EventHandle b = sim.schedule(10_us, [] {});
+    b = sim.reschedule(std::move(b), 20_us, [] {});
+    sim.run();
+    const SchedulerCounters c = sim.schedulerCounters();
+    EXPECT_EQ(c.cancelled, 1u);
+    EXPECT_EQ(c.rearms, 1u);
+    EXPECT_GE(c.maxLivePending, 1u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
     Simulator sim;
     Time last = Time::zero();

@@ -1,0 +1,394 @@
+// TimerWheelEventQueue: hierarchical timing-wheel scheduler backend.
+// Mirrors the flat-heap property test (random ops vs a multimap reference
+// model), then targets the wheel's own edges: level-rollover cascades,
+// same-tick seq restoration after cascading, the 2^40 ns overflow horizon,
+// eager cancellation (including mid-cascade and in the settled due list),
+// generation-guarded handles across node reuse, and in-place re-arm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "src/sim/timer_wheel.hpp"
+
+namespace ecnsim {
+namespace {
+
+using Key = std::pair<std::int64_t, std::uint64_t>;  // (time ns, seq)
+
+constexpr std::int64_t kHorizon = TimerWheelEventQueue::kHorizonNs;
+
+/// Same harness as the flat-heap model check, but with time deltas spread
+/// across all wheel levels (including past the overflow horizon) so every
+/// placement path — level 0..4, overflow heap, due-list late insert — gets
+/// exercised against the multimap reference.
+std::vector<Key> runModelCheck(std::uint64_t seed, int ops) {
+    std::mt19937_64 gen(seed);
+    TimerWheelEventQueue q;
+    std::multimap<Key, EventHandle> model;
+    std::vector<std::pair<Key, EventHandle>> cancellable;
+    std::vector<Key> popped;
+
+    // Deltas drawn per-level: byte-scale, slot-scale, each level boundary,
+    // and a slice beyond the horizon into the overflow heap.
+    const std::int64_t scales[] = {1, 250, 1 << 8, 1 << 16, 1 << 24, 1LL << 32, kHorizon};
+
+    std::uint64_t seq = 0;
+    std::int64_t clock = 0;
+    for (int op = 0; op < ops; ++op) {
+        const std::uint64_t dice = gen() % 10;
+        if (dice < 5) {  // insert
+            const std::int64_t scale = scales[gen() % std::size(scales)];
+            const std::int64_t at = clock + static_cast<std::int64_t>(gen() % 16) * scale;
+            const Key key{at, seq};
+            EventHandle h = q.push(Time::nanoseconds(at), seq,
+                                   [&popped, key] { popped.push_back(key); });
+            EXPECT_TRUE(h.pending());
+            model.emplace(key, h);
+            cancellable.emplace_back(key, h);
+            ++seq;
+        } else if (dice < 8) {  // pop
+            Time at;
+            EventFn fn;
+            if (model.empty()) {
+                EXPECT_FALSE(q.popInto(at, fn));
+                EXPECT_EQ(q.peekTime(), Time::max());
+                continue;
+            }
+            EXPECT_EQ(q.peekTime().ns(), model.begin()->first.first);
+            const bool got = q.popInto(at, fn);
+            EXPECT_TRUE(got);
+            if (!got) return popped;
+            fn();  // appends the callable's own key to `popped`
+            EXPECT_FALSE(popped.empty());
+            if (popped.empty()) return popped;
+            EXPECT_EQ(popped.back(), model.begin()->first);
+            EXPECT_EQ(at.ns(), model.begin()->first.first);
+            EXPECT_FALSE(model.begin()->second.pending()) << "fired event still pending";
+            clock = at.ns();
+            model.erase(model.begin());
+        } else {  // cancel a random live record (eager unlink)
+            if (cancellable.empty()) continue;
+            const std::size_t pick = gen() % cancellable.size();
+            auto [key, h] = cancellable[pick];
+            cancellable.erase(cancellable.begin() + static_cast<std::ptrdiff_t>(pick));
+            if (model.count(key) != 0) {
+                h.cancel();
+                EXPECT_FALSE(h.pending());
+                model.erase(key);
+            }
+        }
+        EXPECT_EQ(q.size(), model.size());
+    }
+
+    // Drain: everything left must come out in exact model order.
+    while (!model.empty()) {
+        Time at;
+        EventFn fn;
+        const bool got = q.popInto(at, fn);
+        EXPECT_TRUE(got) << model.size() << " records missing";
+        if (!got) return popped;
+        fn();
+        EXPECT_EQ(popped.back(), model.begin()->first);
+        model.erase(model.begin());
+    }
+    Time at;
+    EventFn fn;
+    EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(q.peekTime(), Time::max());
+    return popped;
+}
+
+TEST(TimerWheel, TenThousandRandomOpsMatchReferenceModel) {
+    const auto trace = runModelCheck(/*seed=*/0x773311, /*ops=*/10'000);
+    EXPECT_GT(trace.size(), 1000u);
+
+    bool sawTie = false;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        if (trace[i].first == trace[i - 1].first) {
+            EXPECT_LT(trace[i - 1].second, trace[i].second)
+                << "equal-time records popped out of insertion order at " << i;
+            sawTie = true;
+        }
+    }
+    EXPECT_TRUE(sawTie) << "timestamp clustering produced no ties; property untested";
+}
+
+TEST(TimerWheel, SameSeedGivesIdenticalTrace) {
+    EXPECT_EQ(runModelCheck(7, 10'000), runModelCheck(7, 10'000));
+}
+
+/// Drain the queue, checking exact (time, seq) pop order against `expect`
+/// sorted; fires each callable so the trace proves callable/record pairing.
+void expectDrainOrder(TimerWheelEventQueue& q, std::vector<Key> expect) {
+    std::sort(expect.begin(), expect.end());
+    Time at;
+    for (const Key& want : expect) {
+        EventFn fn;
+        ASSERT_TRUE(q.popInto(at, fn)) << "queue dry before (" << want.first << ", "
+                                       << want.second << ")";
+        EXPECT_EQ(at.ns(), want.first);
+        fn();
+    }
+    EventFn fn;
+    EXPECT_FALSE(q.popInto(at, fn));
+}
+
+TEST(TimerWheel, SameTickEventsFireInSeqOrderAfterCascade) {
+    TimerWheelEventQueue q;
+    std::vector<std::uint64_t> fired;
+    // All at one timestamp past the first level boundary: they cascade from
+    // level 1 into one level-0 slot, where arrival order is scrambled and
+    // must be restored by the seq sort at expiry.
+    for (std::uint64_t s : {4u, 1u, 3u, 0u, 2u}) {
+        q.push(Time::nanoseconds(300), s, [&fired, s] { fired.push_back(s); });
+    }
+    Time at;
+    for (int i = 0; i < 5; ++i) {
+        EventFn fn;
+        ASSERT_TRUE(q.popInto(at, fn));
+        EXPECT_EQ(at.ns(), 300);
+        fn();
+    }
+    EXPECT_EQ(fired, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimerWheel, LevelRolloverBoundaries) {
+    // Straddle the level-0/1 boundary (255|256|257) and the level-1/2
+    // boundary (65535|65536|65537): cascade must deliver them in time order.
+    TimerWheelEventQueue q;
+    std::vector<Key> keys;
+    std::uint64_t seq = 0;
+    std::vector<Key> popped;
+    for (std::int64_t t : {256, 255, 257, 65536, 65535, 65537, 0, 1}) {
+        const Key key{t, seq};
+        q.push(Time::nanoseconds(t), seq, [&popped, key] { popped.push_back(key); });
+        keys.push_back(key);
+        ++seq;
+    }
+    expectDrainOrder(q, keys);
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(popped, sorted);
+    EXPECT_GT(q.cascadeCount(), 0u);
+}
+
+TEST(TimerWheel, FarFutureEventsParkInOverflowAndReturn) {
+    TimerWheelEventQueue q;
+    std::vector<Key> keys;
+    std::vector<Key> popped;
+    std::uint64_t seq = 0;
+    for (std::int64_t t : {kHorizon * 3, std::int64_t(5), kHorizon + 7, kHorizon * 2,
+                           std::int64_t(10)}) {
+        const Key key{t, seq};
+        q.push(Time::nanoseconds(t), seq, [&popped, key] { popped.push_back(key); });
+        keys.push_back(key);
+        ++seq;
+    }
+    EXPECT_EQ(q.size(), 5u);
+    expectDrainOrder(q, keys);
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(popped, sorted);
+}
+
+TEST(TimerWheel, SmallDeltaAcrossHorizonBitGoesToOverflow) {
+    // Cursor just below 2^40, next event just above: the delta is 2 ns but
+    // the timestamps differ in byte 5, which the wheel cannot address — the
+    // event must take the overflow path and still come out in order.
+    TimerWheelEventQueue q;
+    std::vector<Key> popped;
+    const Key a{kHorizon - 1, 0}, b{kHorizon + 1, 1};
+    q.push(Time::nanoseconds(a.first), a.second, [&popped, a] { popped.push_back(a); });
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();  // cursor now at 2^40 - 1
+    q.push(Time::nanoseconds(b.first), b.second, [&popped, b] { popped.push_back(b); });
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), b.first);
+    fn();
+    EXPECT_EQ(popped, (std::vector<Key>{a, b}));
+}
+
+TEST(TimerWheel, CancelBeforeCascadeUnlinksEagerly) {
+    TimerWheelEventQueue q;
+    bool fired = false;
+    // Parked at level 1; cancelled before the cursor ever reaches it, so the
+    // cascade must never see the node and size drops immediately.
+    EventHandle h = q.push(Time::nanoseconds(500), 0, [&fired] { fired = true; });
+    q.push(Time::nanoseconds(600), 1, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    h.cancel();
+    EXPECT_EQ(q.size(), 1u) << "wheel cancellation must unlink, not tombstone";
+    EXPECT_FALSE(h.pending());
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), 600);
+    fn();
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(q.cancelCount(), 1u);
+}
+
+TEST(TimerWheel, CancelAfterFrontierSettledRemovesFromDueList) {
+    TimerWheelEventQueue q;
+    bool fired = false;
+    EventHandle h = q.push(Time::nanoseconds(10), 0, [&fired] { fired = true; });
+    q.push(Time::nanoseconds(10), 1, [] {});
+    // peekTime forces the wheel to settle timestamp 10 onto the due list;
+    // cancelling afterwards must unlink from that list, not just the slots.
+    EXPECT_EQ(q.peekTime().ns(), 10);
+    h.cancel();
+    EXPECT_EQ(q.size(), 1u);
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_FALSE(fired);
+    EXPECT_FALSE(q.popInto(at, fn));
+}
+
+TEST(TimerWheel, InsertBelowSettledFrontierKeepsOrder) {
+    TimerWheelEventQueue q;
+    std::vector<std::uint64_t> fired;
+    q.push(Time::nanoseconds(1000), 0, [&fired] { fired.push_back(0); });
+    EXPECT_EQ(q.peekTime().ns(), 1000);  // frontier settled at 1000
+    // A later-scheduled but earlier-firing event (and a same-tick one with a
+    // higher seq) must slot into the settled due list at the right place.
+    q.push(Time::nanoseconds(400), 1, [&fired] { fired.push_back(1); });
+    q.push(Time::nanoseconds(1000), 2, [&fired] { fired.push_back(2); });
+    Time at;
+    EventFn fn;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(q.popInto(at, fn));
+        fn();
+    }
+    EXPECT_EQ(fired, (std::vector<std::uint64_t>{1, 0, 2}));
+}
+
+TEST(TimerWheel, StaleHandleDoesNotTouchRecycledNode) {
+    TimerWheelEventQueue q;
+    int aFired = 0, bFired = 0;
+    EventHandle ha = q.push(Time::nanoseconds(10), 0, [&aFired] { ++aFired; });
+
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_EQ(aFired, 1);
+    EXPECT_FALSE(ha.pending());
+
+    // B reuses A's freed node; A's stale handle must observe the generation
+    // bump and neither report B as pending nor cancel it.
+    EventHandle hb = q.push(Time::nanoseconds(20), 1, [&bFired] { ++bFired; });
+    EXPECT_FALSE(ha.pending());
+    ha.cancel();
+    EXPECT_TRUE(hb.pending());
+    ASSERT_TRUE(q.popInto(at, fn));
+    fn();
+    EXPECT_EQ(bFired, 1);
+}
+
+TEST(TimerWheel, HandleOutlivesQueue) {
+    EventHandle h;
+    {
+        TimerWheelEventQueue q;
+        h = q.push(Time::nanoseconds(5), 0, [] {});
+        EXPECT_TRUE(h.pending());
+    }
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // must not crash
+}
+
+TEST(TimerWheel, RearmMovesEventAndKeepsHandleLive) {
+    TimerWheelEventQueue q;
+    std::vector<int> fired;
+    EventHandle h = q.push(Time::nanoseconds(100), 0, [&fired] { fired.push_back(0); });
+    q.push(Time::nanoseconds(50), 1, [&fired] { fired.push_back(1); });
+
+    // Push the timer out past the other event, in place.
+    ASSERT_TRUE(q.rearm(h, Time::nanoseconds(200), 2, [&fired] { fired.push_back(2); }));
+    EXPECT_TRUE(h.pending());
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.rearmCount(), 1u);
+
+    // ...and back in again, twice: the same node keeps moving.
+    ASSERT_TRUE(q.rearm(h, Time::nanoseconds(70), 3, [&fired] { fired.push_back(3); }));
+    ASSERT_TRUE(q.rearm(h, Time::nanoseconds(kHorizon + 5), 4, [&fired] { fired.push_back(4); }));
+
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), 50);
+    fn();
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), kHorizon + 5);
+    fn();
+    EXPECT_FALSE(h.pending());
+    EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(fired, (std::vector<int>{1, 4})) << "only the final re-arm payload fires";
+}
+
+TEST(TimerWheel, RearmFromOverflowKeepsStaleRecordInert) {
+    TimerWheelEventQueue q;
+    int fired = 0;
+    // Park in the overflow heap, then re-arm to near time: the overflow
+    // record left behind must be recognised as stale, not double-fire.
+    EventHandle h = q.push(Time::nanoseconds(kHorizon * 2), 0, [&fired] { fired += 1; });
+    ASSERT_TRUE(q.rearm(h, Time::nanoseconds(10), 1, [&fired] { fired += 10; }));
+    EXPECT_EQ(q.size(), 1u);
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), 10);
+    fn();
+    EXPECT_EQ(fired, 10);
+    EXPECT_FALSE(q.popInto(at, fn));
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(TimerWheel, RearmDeadHandleFailsWithoutConsumingCallable) {
+    TimerWheelEventQueue q;
+    EventHandle h = q.push(Time::nanoseconds(5), 0, [] {});
+    h.cancel();
+
+    bool fired = false;
+    EventFn fn([&fired] { fired = true; });
+    EXPECT_FALSE(q.rearm(h, Time::nanoseconds(10), 1, std::move(fn)));
+    // The contract: on false the callable is untouched so the caller can
+    // fall back to a fresh push (Scheduler::reschedule relies on this).
+    q.push(Time::nanoseconds(10), 1, std::move(fn));
+    Time at;
+    EventFn out;
+    ASSERT_TRUE(q.popInto(at, out));
+    out();
+    EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, RearmDefaultHandleFails) {
+    TimerWheelEventQueue q;
+    EventHandle h;
+    EXPECT_FALSE(q.rearm(h, Time::nanoseconds(10), 0, EventFn([] {})));
+}
+
+TEST(TimerWheel, CountersTrackLiveHighWaterMark) {
+    TimerWheelEventQueue q;
+    std::vector<EventHandle> hs;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        hs.push_back(q.push(Time::nanoseconds(100 + static_cast<std::int64_t>(i)), i, [] {}));
+    }
+    EXPECT_EQ(q.maxLiveSize(), 8u);
+    for (auto& h : hs) h.cancel();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.maxLiveSize(), 8u) << "high-water mark must survive cancels";
+    EXPECT_EQ(q.cancelCount(), 8u);
+}
+
+}  // namespace
+}  // namespace ecnsim

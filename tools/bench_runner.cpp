@@ -10,7 +10,8 @@
 // the process exit non-zero, which is what CI's bench-smoke job checks.
 //
 //   bench_runner [--quick] [--threads N] [--out-dir DIR] [--scenario NAME]
-//                [--invariants off|record|abort] [--obs MODE] [--list]
+//                [--invariants off|record|abort] [--obs MODE]
+//                [--scheduler wheel|flatheap|binaryheap|calendar] [--list]
 //
 // --quick shrinks the workloads for CI smoke runs; results caching is
 // always disabled so wall-clock numbers measure the simulator, not the
@@ -28,6 +29,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -140,6 +142,7 @@ double secondsSince(std::chrono::steady_clock::time_point t0) {
 struct BenchOutcome {
     bool digestMatch = true;
     bool anyTimeout = false;
+    bool writeFailed = false;
     std::uint64_t invariantViolations = 0;
 };
 
@@ -172,9 +175,13 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
     BenchOutcome out;
     bool digestMatchObs = true;
     std::uint64_t events = 0, packets = 0;
+    std::uint64_t cancelled = 0, cascades = 0, heapMaxDepth = 0;
     for (std::size_t i = 0; i < serial.size(); ++i) {
         events += serial[i].eventsExecuted;
         packets += serial[i].packetsDelivered;
+        cancelled += serial[i].cancelledEvents;
+        cascades += serial[i].cascades;
+        heapMaxDepth = std::max(heapMaxDepth, serial[i].heapMaxDepth);
         out.anyTimeout = out.anyTimeout || serial[i].timedOut;
         out.invariantViolations += serial[i].invariantViolations +
                                    parallel[i].invariantViolations +
@@ -202,6 +209,11 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
     const std::uint64_t digest = combinedDigest(serial);
     const std::string path = outDir + "/BENCH_" + sc.name + ".json";
     std::ofstream os(path, std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "bench_runner: cannot write %s\n", path.c_str());
+        out.writeFailed = true;
+        return out;
+    }
     char hex[32];
     std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(digest));
     os.precision(9);
@@ -220,6 +232,10 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"digestMatchObs\": " << (digestMatchObs ? "true" : "false") << ",\n"
        << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
        << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n"
+       << "  \"scheduler\": \"" << schedulerKindName(sc.configs.front().scheduler) << "\",\n"
+       << "  \"cancelledEvents\": " << cancelled << ",\n"
+       << "  \"cascades\": " << cascades << ",\n"
+       << "  \"heapMaxDepth\": " << heapMaxDepth << ",\n"
        << "  \"digest\": \"0x" << hex << "\",\n"
        << "  \"digestMatch\": " << (out.digestMatch ? "true" : "false") << ",\n"
        << "  \"anyTimeout\": " << (out.anyTimeout ? "true" : "false") << ",\n"
@@ -247,6 +263,7 @@ int main(int argc, char** argv) {
     std::string outDir = ".";
     std::string only;
     std::string obsMode;
+    std::string schedulerName;
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--quick") quick = true;
@@ -270,11 +287,19 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "bench_runner: %s\n", e.what());
                 return 2;
             }
+        } else if (a == "--scheduler" && i + 1 < argc) {
+            try {
+                parseSchedulerKind(argv[++i]);  // validate now, apply below
+                schedulerName = argv[i];
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "bench_runner: %s\n", e.what());
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: bench_runner [--quick] [--threads N] [--out-dir DIR] "
                          "[--scenario NAME] [--invariants off|record|abort] [--obs MODE] "
-                         "[--list]\n");
+                         "[--scheduler wheel|flatheap|binaryheap|calendar] [--list]\n");
             return 2;
         }
     }
@@ -290,10 +315,25 @@ int main(int argc, char** argv) {
             for (auto& cfg : sc.configs) cfg.obs.applyMode(obsMode);
         }
     }
+    if (!schedulerName.empty()) {
+        const SchedulerKind kind = parseSchedulerKind(schedulerName);
+        for (auto& sc : scenarios) {
+            for (auto& cfg : sc.configs) cfg.scheduler = kind;
+        }
+    }
     if (list) {
         for (const auto& sc : scenarios)
             std::printf("%-22s %s\n", sc.name.c_str(), sc.description.c_str());
         return 0;
+    }
+
+    // A missing out-dir would otherwise make every JSON write a silent no-op.
+    std::error_code dirEc;
+    std::filesystem::create_directories(outDir, dirEc);
+    if (dirEc) {
+        std::fprintf(stderr, "bench_runner: cannot create --out-dir %s: %s\n", outDir.c_str(),
+                     dirEc.message().c_str());
+        return 2;
     }
 
     bool ok = true;
@@ -304,7 +344,7 @@ int main(int argc, char** argv) {
         ++ran;
         const BenchOutcome out = runScenario(sc, threads, quick, outDir);
         violations += out.invariantViolations;
-        ok = ok && out.digestMatch && !out.anyTimeout;
+        ok = ok && out.digestMatch && !out.anyTimeout && !out.writeFailed;
     }
     if (ran == 0) {
         std::fprintf(stderr, "bench_runner: no scenario matches '%s'\n", only.c_str());
@@ -316,7 +356,8 @@ int main(int argc, char** argv) {
         return 1;
     }
     if (!ok) {
-        std::fprintf(stderr, "bench_runner: FAILED (digest mismatch or timeout)\n");
+        std::fprintf(stderr,
+                     "bench_runner: FAILED (digest mismatch, timeout, or unwritable report)\n");
         return 1;
     }
     return 0;

@@ -4,7 +4,8 @@
 //                [--buffers shallow|deep] [--nodes N] [--input-mb N]
 //                [--seed N] [--repeats N] [--ecnpp] [--leafspine]
 //                [--faults SPEC] [--max-retries N] [--task-timeout-ms N]
-//                [--speculative] [--invariants MODE] [--csv] [--json]
+//                [--speculative] [--invariants MODE] [--scheduler KIND]
+//                [--csv] [--json]
 //   ecnlab sweep [--buffers shallow|deep] [--invariants MODE] [--csv]
 //   ecnlab list                                        # enumerate knobs
 //   ecnlab help                                        # flags + exit codes
@@ -69,6 +70,7 @@ const std::vector<FlagSpec> kRunFlags = {
     {"task-timeout-ms", true, "task heartbeat deadline, milliseconds"},
     {"speculative", false, "enable speculative task execution"},
     {"invariants", true, "off | record | abort — runtime invariant checking"},
+    {"scheduler", true, "wheel | flatheap | binaryheap | calendar (default wheel)"},
     {"obs", true, "off | metrics | trace | profile | full — observability sinks"},
     {"trace-out", true, "Chrome trace_event JSON output path (implies --obs trace)"},
     {"metrics-out", true, "metrics JSON output path (implies --obs metrics)"},
@@ -176,6 +178,14 @@ ProtectionMode parseProtection(const std::string& s) {
     if (s == "ece") return ProtectionMode::ProtectEce;
     if (s == "acksyn") return ProtectionMode::ProtectAckSyn;
     throw SpecError("--protection", s, "one of default, ece, acksyn");
+}
+
+SchedulerKind parseScheduler(const std::string& s) {
+    try {
+        return parseSchedulerKind(s);
+    } catch (const std::invalid_argument&) {
+        throw SpecError("--scheduler", s, "one of wheel, flatheap, binaryheap, calendar");
+    }
 }
 
 BufferProfile parseBuffers(const std::string& s) {
@@ -301,6 +311,7 @@ int cmdRun(const Args& a) {
                                                                        : RedVariant::Classic;
     cfg.switchQueue.ecnEnabled = cfg.transport != TransportKind::PlainTcp;
     cfg.buffers = parseBuffers(a.get("buffers", "shallow"));
+    cfg.scheduler = parseScheduler(a.get("scheduler", "wheel"));
     cfg.ecnPlusPlus = a.has("ecnpp");
     if (a.has("leafspine")) {
         cfg.topology = TopologyKind::LeafSpine;
@@ -371,6 +382,7 @@ int cmdList() {
     std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
                 "| crash@T:node=I[:for=D]  (';'-separated)\n");
     std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
+    std::printf("schedulers : wheel flatheap binaryheap calendar\n");
     std::printf("obs        : off metrics trace profile full (also: ECNSIM_OBS)\n");
     std::printf("log levels : trace debug info warn error off (ECNSIM_LOG)\n");
     std::printf("env        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "

@@ -77,10 +77,16 @@ EOF
         status=$?
     fi
     if [[ $status -eq 0 && "$leg" == paranoid ]]; then
-        echo "==> [paranoid] bench smoke (--invariants abort)"
-        ( cd "$dir" && env "${env[@]}" ./tools/bench_runner --quick --threads 4 \
-            --invariants abort --out-dir . )
-        status=$?
+        # Run the bench smoke under both the timer-wheel (default) and the
+        # flat-heap scheduler: every event-queue backend must survive abort
+        # mode, not just the one currently wired as the default.
+        for sched in wheel flatheap; do
+            echo "==> [paranoid] bench smoke (--invariants abort --scheduler $sched)"
+            ( cd "$dir" && env "${env[@]}" ./tools/bench_runner --quick --threads 4 \
+                --invariants abort --scheduler "$sched" --out-dir . )
+            status=$?
+            [[ $status -ne 0 ]] && break
+        done
     fi
     return "$status"
 }
