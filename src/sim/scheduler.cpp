@@ -57,6 +57,8 @@ EventHandle Scheduler::insertWithSeq(Time at, std::uint64_t seq, EventFn fn) {
 
 EventHandle Scheduler::reschedule(EventHandle h, Time at, EventFn fn) {
     const std::uint64_t seq = nextSeq_++;
+    // rearm() refreshes `h` to the node's new generation, so stale copies
+    // of the old handle are dead on the wheel just as they are below.
     if (wheel_ && wheel_->rearm(h, at, seq, std::move(fn))) return h;
     // Dead handle, or a backend without in-place re-arm: the classic pair.
     // (rearm() leaves `fn` unconsumed when it returns false.)

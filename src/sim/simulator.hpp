@@ -82,9 +82,11 @@ public:
     }
 
     /// Move a pending timer to `delay` from now — semantically identical to
-    /// `h.cancel()` followed by schedule() (one sequence number consumed,
-    /// so event ordering and digests match the two-call form exactly), but
-    /// the timer wheel re-links the existing node in place instead of
+    /// `h.cancel()` followed by schedule() on every backend: one sequence
+    /// number is consumed (so event ordering and digests match the two-call
+    /// form exactly) and any outstanding *copies* of `h` go dead — only the
+    /// returned handle names the rescheduled event. The timer wheel
+    /// re-links the existing node in place (generation-bumped) instead of
     /// burying a tombstone. A dead/fired `h` degrades to a fresh schedule.
     EventHandle reschedule(EventHandle h, Time delay, EventFn fn) {
         if (delay.isNegative()) throw std::invalid_argument("negative event delay");

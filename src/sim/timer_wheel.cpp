@@ -103,20 +103,25 @@ public:
         return head == kDueSentinel ? Time::max() : Time::nanoseconds(nodes_[head].atNs);
     }
 
-    bool rearm(std::uint32_t idx, std::uint32_t gen, Time at, std::uint64_t seq, EventFn&& fn) {
+    bool rearm(std::uint32_t idx, std::uint32_t gen, Time at, std::uint64_t seq, EventFn&& fn,
+               std::uint32_t& genOut) {
         if (!slotPending(idx, gen)) return false;
         Node& n = nodes_[idx];
         if (n.state == kListed) {
             unlinkListed(idx);
         }
-        // kOverflow: the old heap record goes stale (seq mismatch) and is
-        // skipped whenever it reaches the top — the node moves now.
+        // Bump the generation so every outstanding copy of the old handle
+        // goes dead — exactly what cancel+schedule does on the other
+        // backends. It also retires any kOverflow heap record left behind
+        // (gen mismatch), which is then skipped whenever it reaches the top.
+        ++n.gen;
         n.atNs = at.ns();
         n.seq = seq;
         n.fn = std::move(fn);
         n.home = kNullIdx;
         placeNode(idx);
         ++rearms_;
+        genOut = n.gen;
         return true;
     }
 
@@ -363,9 +368,13 @@ private:
                 ++overflowReaped_;
                 continue;
             }
-            const std::uint64_t diff =
-                static_cast<std::uint64_t>(r.atNs) ^ static_cast<std::uint64_t>(curNs_);
-            if (topByte(diff) >= kLevels) break;
+            // A record sharing the jumped-to timestamp has diff == 0 (it is
+            // due by definition); topByte() demands a nonzero diff.
+            if (r.atNs != curNs_) {
+                const std::uint64_t diff =
+                    static_cast<std::uint64_t>(r.atNs) ^ static_cast<std::uint64_t>(curNs_);
+                if (topByte(diff) >= kLevels) break;
+            }
             const std::uint32_t idx = r.idx;
             overflowPop();
             nodes_[idx].home = kNullIdx;
@@ -439,11 +448,14 @@ bool TimerWheelEventQueue::popInto(Time& at, EventFn& fn) { return core_->popInt
 
 Time TimerWheelEventQueue::peekTime() { return core_->peekTime(); }
 
-bool TimerWheelEventQueue::rearm(const EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn) {
+bool TimerWheelEventQueue::rearm(EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn) {
     // Only handles minted by this wheel qualify; a legacy/foreign/dead
     // handle degrades to "push a fresh event" at the caller.
     if (h.ops_.lock().get() != core_.get()) return false;
-    return core_->rearm(h.slot_, h.gen_, at, seq, std::move(fn));
+    std::uint32_t gen = 0;
+    if (!core_->rearm(h.slot_, h.gen_, at, seq, std::move(fn), gen)) return false;
+    h.gen_ = gen;  // refresh: `h` now names the new generation, old copies die
+    return true;
 }
 
 std::size_t TimerWheelEventQueue::size() const { return core_->size(); }

@@ -60,11 +60,13 @@ public:
     /// Time of the earliest event, or Time::max().
     Time peekTime();
 
-    /// Move the event behind `h` to (at, seq, fn) without freeing its node
-    /// or invalidating the handle. Returns false when the handle is dead,
-    /// foreign, or already fired — `fn` is then left unconsumed so the
-    /// caller can fall back to push().
-    bool rearm(const EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn);
+    /// Move the event behind `h` to (at, seq, fn) without freeing its node.
+    /// The node's generation is bumped and `h` refreshed to match, so any
+    /// *copies* of the old handle go dead — the same invalidation that
+    /// cancel+schedule produces on every other backend. Returns false when
+    /// the handle is dead, foreign, or already fired — `fn` and `h` are
+    /// then left untouched so the caller can fall back to push().
+    bool rearm(EventHandle& h, Time at, std::uint64_t seq, EventFn&& fn);
 
     /// Pending events. Cancels unlink eagerly, so unlike the flat heap
     /// size() == liveSize() here (modulo a few lazily reaped overflow

@@ -228,6 +228,25 @@ TEST(Scheduler, RescheduleOrderingMatchesCancelPlusSchedule) {
     }
 }
 
+// reschedule() == cancel+schedule also for handle *copies*: a copy of the
+// old handle taken before the call must go dead on every backend, so a call
+// site that stashes handles behaves identically across scheduler kinds.
+TEST(Scheduler, RescheduleInvalidatesOldHandleCopiesAcrossKinds) {
+    for (const SchedulerKind kind : kAllKinds) {
+        Simulator sim(1, kind);
+        int fired = 0;
+        EventHandle h = sim.schedule(10_us, [&] { fired += 1; });
+        EventHandle copy = h;
+        h = sim.reschedule(std::move(h), 20_us, [&] { fired += 10; });
+        EXPECT_TRUE(h.pending()) << schedulerKindName(kind);
+        EXPECT_FALSE(copy.pending()) << schedulerKindName(kind);
+        copy.cancel();  // stale copy: must not cancel the rescheduled event
+        EXPECT_TRUE(h.pending()) << schedulerKindName(kind);
+        sim.run();
+        EXPECT_EQ(fired, 10) << schedulerKindName(kind);
+    }
+}
+
 TEST(Scheduler, RescheduleDeadHandleFallsBackToInsert) {
     for (const SchedulerKind kind : kAllKinds) {
         Simulator sim(1, kind);

@@ -196,6 +196,28 @@ TEST(TimerWheel, FarFutureEventsParkInOverflowAndReturn) {
     EXPECT_EQ(popped, sorted);
 }
 
+TEST(TimerWheel, OverflowDuplicateTimestampsDrainInSeqOrder) {
+    // Regression: with several live overflow records sharing one timestamp,
+    // the cursor jump in advanceToOverflow lands exactly on that timestamp
+    // and the remaining duplicates have diff == 0 against the cursor — which
+    // used to hit topByte()'s nonzero-diff precondition (clz(0) UB/abort).
+    TimerWheelEventQueue q;
+    std::vector<Key> keys;
+    std::vector<Key> popped;
+    std::uint64_t seq = 0;
+    for (std::int64_t t : {kHorizon + 5, kHorizon + 5, kHorizon + 5, kHorizon * 2,
+                           kHorizon * 2}) {
+        const Key key{t, seq};
+        q.push(Time::nanoseconds(t), seq, [&popped, key] { popped.push_back(key); });
+        keys.push_back(key);
+        ++seq;
+    }
+    expectDrainOrder(q, keys);
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(popped, sorted);
+}
+
 TEST(TimerWheel, SmallDeltaAcrossHorizonBitGoesToOverflow) {
     // Cursor just below 2^40, next event just above: the delta is 2 ns but
     // the timestamps differ in byte 5, which the wheel cannot address — the
@@ -333,6 +355,29 @@ TEST(TimerWheel, RearmMovesEventAndKeepsHandleLive) {
     EXPECT_FALSE(h.pending());
     EXPECT_FALSE(q.popInto(at, fn));
     EXPECT_EQ(fired, (std::vector<int>{1, 4})) << "only the final re-arm payload fires";
+}
+
+TEST(TimerWheel, RearmInvalidatesOldHandleCopies) {
+    // reschedule() is documented as cancel+schedule on every backend, and
+    // cancel+schedule kills outstanding handle copies. The wheel's in-place
+    // re-arm must match: only the refreshed handle names the moved event.
+    TimerWheelEventQueue q;
+    int fired = 0;
+    EventHandle h = q.push(Time::nanoseconds(100), 0, [&fired] { fired += 1; });
+    EventHandle copy = h;
+    ASSERT_TRUE(q.rearm(h, Time::nanoseconds(200), 1, [&fired] { fired += 10; }));
+    EXPECT_TRUE(h.pending());
+    EXPECT_FALSE(copy.pending()) << "pre-rearm handle copy must go dead";
+    copy.cancel();  // stale copy: must not touch the rescheduled event
+    EXPECT_TRUE(h.pending());
+    EXPECT_EQ(q.size(), 1u);
+    Time at;
+    EventFn fn;
+    ASSERT_TRUE(q.popInto(at, fn));
+    EXPECT_EQ(at.ns(), 200);
+    fn();
+    EXPECT_EQ(fired, 10);
+    EXPECT_FALSE(h.pending());
 }
 
 TEST(TimerWheel, RearmFromOverflowKeepsStaleRecordInert) {
