@@ -12,6 +12,7 @@
 #include "src/sim/invariants.hpp"
 #include "src/sim/scheduler.hpp"
 #include "src/tcp/config.hpp"
+#include "src/workloads/spec.hpp"
 
 namespace ecnsim {
 
@@ -49,7 +50,10 @@ struct ExperimentConfig {
     LeafSpineShape leafSpine{};  // used when topology == LeafSpine
     std::size_t hostQueuePackets = 1000;
 
-    // Workload.
+    // Workload. `workload.kind` selects the traffic pattern; MapReduce
+    // runs cfg.job, mixed tenancy runs cfg.job as its background tenant,
+    // incast/kv ignore it (see docs/workloads.md).
+    WorkloadConfig workload;
     ClusterSpec cluster;
     JobSpec job;
 
@@ -128,6 +132,19 @@ struct ExperimentResult {
     double fctMeanUs = 0.0;
     double fctP50Us = 0.0;
     double fctP99Us = 0.0;
+
+    // Request/response workload accounting (incast / kv / mixed drivers;
+    // all zero on pure MapReduce runs, and only emitted in reports when
+    // reqIssued > 0 so existing outputs stay byte-identical).
+    std::uint64_t reqIssued = 0;
+    std::uint64_t reqCompleted = 0;
+    std::uint64_t reqSloViolations = 0;
+    double reqSloUs = 0.0;  ///< the latency objective judged against, us
+    double reqP50Us = 0.0;
+    double reqP95Us = 0.0;
+    double reqP99Us = 0.0;
+    double reqP999Us = 0.0;
+    double reqKops = 0.0;  ///< completed requests per second, thousands
 
     // Switch-queue accounting (the Fig. 1 evidence).
     std::uint64_t ackDroppedEarly = 0;

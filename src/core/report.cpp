@@ -108,6 +108,19 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     num("fctMeanUs", r.fctMeanUs);
     num("fctP50Us", r.fctP50Us);
     num("fctP99Us", r.fctP99Us);
+    // Request/response workload block: only on incast/kv/mixed runs, so
+    // MapReduce reports stay byte-identical with what older consumers saw.
+    if (r.reqIssued > 0) {
+        integer("reqIssued", r.reqIssued);
+        integer("reqCompleted", r.reqCompleted);
+        integer("reqSloViolations", r.reqSloViolations);
+        num("reqSloUs", r.reqSloUs);
+        num("reqP50Us", r.reqP50Us);
+        num("reqP95Us", r.reqP95Us);
+        num("reqP99Us", r.reqP99Us);
+        num("reqP999Us", r.reqP999Us);
+        num("reqKops", r.reqKops);
+    }
     integer("ackDroppedEarly", r.ackDroppedEarly);
     integer("ackOffered", r.ackOffered);
     integer("dataDropped", r.dataDropped);

@@ -8,11 +8,13 @@
 #include "src/core/cache.hpp"
 #include "src/net/telemetry.hpp"
 #include "src/net/tracelog.hpp"
-#include "src/mapred/engine.hpp"
+#include "src/mapred/runtime.hpp"
 #include "src/net/topology.hpp"
 #include "src/obs/hub.hpp"
 #include "src/sim/logging.hpp"
 #include "src/sim/spec_error.hpp"
+#include "src/workloads/driver.hpp"
+#include "src/workloads/factory.hpp"
 
 namespace ecnsim {
 
@@ -48,13 +50,17 @@ void ExperimentConfig::validate() const {
     obs.validate();
     cluster.validate();
     job.validate();
+    const int hosts = topology == TopologyKind::Star
+                          ? numNodes
+                          : leafSpine.racks * leafSpine.hostsPerRack;
+    workload.validate(hosts);
 }
 
 std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v9|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v10|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -68,9 +74,9 @@ std::string ExperimentConfig::cacheKey() const {
        << job.parallelFetchesPerReducer << ',' << job.fetchRequestBytes << ','
        << job.reduceSlowstart << ',' << job.maxTaskRetries << ',' << job.taskTimeout.ns() << ','
        << job.retryBackoffBase.ns() << ',' << job.retryBackoffMax.ns() << ','
-       << job.speculativeExecution << ',' << job.speculativeSlowdown << '|' << "faults="
-       << faultSpec << '|' << seed << '|' << horizon.ns() << '|'
-       << "sched=" << schedulerKindName(scheduler);
+       << job.speculativeExecution << ',' << job.speculativeSlowdown << '|'
+       << "wl=" << workload.describe() << '|' << "faults=" << faultSpec << '|' << seed << '|'
+       << horizon.ns() << '|' << "sched=" << schedulerKindName(scheduler);
     return os.str();
 }
 
@@ -78,11 +84,12 @@ namespace {
 
 /// Wire the hub's sinks into a fully constructed simulation: a flight-
 /// recorder tap over every labeled switch port, registry time series
-/// (queue depth and link utilisation per port, TCP and mapred aggregates)
-/// and a sampling hook that drops per-flow cwnd samples into the trace.
-/// Returns the tap so the caller can keep it alive for the run.
+/// (queue depth and link utilisation per port, TCP and workload-progress
+/// aggregates) and a sampling hook that drops per-flow cwnd samples into
+/// the trace. Returns the tap so the caller can keep it alive for the run.
 std::unique_ptr<FlightRecorderTap> attachObservability(ObsHub& hub, Simulator& sim, Network& net,
-                                                       MapReduceEngine& engine) {
+                                                       ClusterRuntime& rt,
+                                                       WorkloadDriver& driver) {
     const auto ports = net.labeledSwitchPorts();
 
     std::unique_ptr<FlightRecorderTap> tap;
@@ -114,18 +121,17 @@ std::unique_ptr<FlightRecorderTap> attachObservability(ObsHub& hub, Simulator& s
         // series: sample() runs samplers in registration order, so the
         // first refreshes the cache the other two read.
         auto tcpCache = std::make_shared<TcpConnStats>();
-        reg->addSeries("tcp.retransmits", [&engine, tcpCache] {
-            *tcpCache = engine.aggregateTcpStats();
+        reg->addSeries("tcp.retransmits", [&rt, tcpCache] {
+            *tcpCache = rt.aggregateTcpStats();
             return static_cast<double>(tcpCache->retransmits);
         });
         reg->addSeries("tcp.rtoEvents",
                        [tcpCache] { return static_cast<double>(tcpCache->rtoEvents); });
         reg->addSeries("tcp.ecnCwndCuts",
                        [tcpCache] { return static_cast<double>(tcpCache->ecnCwndCuts); });
-        reg->addSeries("mapred.mapsDone",
-                       [&engine] { return static_cast<double>(engine.completedMaps()); });
-        reg->addSeries("mapred.reducersDone",
-                       [&engine] { return static_cast<double>(engine.completedReducers()); });
+        // Workload progress gauges, named by the driver ("mapred.mapsDone"
+        // on MapReduce runs, "workload.*" on request/response runs).
+        for (auto& [name, fn] : driver.obsSeries()) reg->addSeries(name, std::move(fn));
         // Scheduler health: live depth plus cumulative cancel/re-arm and
         // cascade counts — the tombstone-pressure picture over time.
         reg->addSeries("sched.livePending",
@@ -140,7 +146,6 @@ std::unique_ptr<FlightRecorderTap> attachObservability(ObsHub& hub, Simulator& s
     }
 
     if (FlightRecorder* rec = hub.recorder()) {
-        ClusterRuntime& rt = engine.runtime();
         // Every 8th tick only: finished fetches accumulate in the stacks,
         // so this scan grows linearly with run length — at the default
         // 1 ms interval, 125 Hz is still dense for a cwnd timeline.
@@ -213,17 +218,19 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         TcpConfig tcpConfig = TcpConfig::forTransport(cfg.transport);
         tcpConfig.ectOnControlPackets = cfg.ecnPlusPlus;
         tcpConfig.sackEnabled = cfg.sack;
-        MapReduceEngine engine(net, hosts, cluster, cfg.job, tcpConfig);
+        ClusterRuntime runtime(net, hosts, cluster, tcpConfig);
+        std::unique_ptr<WorkloadDriver> driver =
+            makeWorkloadDriver(cfg.workload, cfg.job, runtime);
         if (!cfg.faultSpec.empty()) {
-            installFaults(FaultPlan::parse(cfg.faultSpec), engine.runtime());
+            installFaults(FaultPlan::parse(cfg.faultSpec), runtime);
         }
         // The tap must outlive the run: the network dispatches into it on
         // every switch-queue decision.
         std::unique_ptr<FlightRecorderTap> tap;
-        if (obsHub) tap = attachObservability(*obsHub, sim, net, engine);
+        if (obsHub) tap = attachObservability(*obsHub, sim, net, runtime, *driver);
 
-        engine.setOnComplete([&sim] { sim.stop(); });
-        engine.start();
+        driver->setOnComplete([&sim] { sim.stop(); });
+        driver->start();
         if (obsHub) obsHub->startSampling(sim);
 
         SimProfiler* profiler = obsHub ? obsHub->profiler() : nullptr;
@@ -236,21 +243,30 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         net.verifyInvariants();
 
         r.name = cfg.name;
-        r.timedOut = !engine.terminal();
-        r.jobFailed = engine.aborted();
-        r.jobError = engine.metrics().abortReason;
-        const Time runtime = engine.terminal() ? engine.metrics().runtime() : cfg.horizon;
-        r.runtimeSec = runtime.toSeconds();
-        r.throughputPerNodeMbps = engine.metrics().throughputPerNodeMbps(cluster.numNodes);
+        r.timedOut = !driver->terminal();
+        r.jobFailed = driver->failed();
+        r.jobError = driver->failureReason();
+        const WorkloadReport rep = driver->report(cfg.horizon);
+        r.runtimeSec = rep.runtime.toSeconds();
+        r.throughputPerNodeMbps = rep.throughputPerNodeMbps;
 
         const auto& tel = net.telemetry();
         r.avgLatencyUs = tel.latencyAll().mean();
         r.p99LatencyUs = tel.latencyQuantileUs(0.99);
         r.avgDataLatencyUs = tel.latencyOf(PacketClass::Data).mean();
         r.avgAckLatencyUs = tel.latencyOf(PacketClass::PureAck).mean();
-        r.fctMeanUs = engine.metrics().fctMeanUs();
-        r.fctP50Us = engine.metrics().fctQuantileUs(0.50);
-        r.fctP99Us = engine.metrics().fctQuantileUs(0.99);
+        r.fctMeanUs = rep.fctMeanUs;
+        r.fctP50Us = rep.fctP50Us;
+        r.fctP99Us = rep.fctP99Us;
+        r.reqIssued = rep.reqIssued;
+        r.reqCompleted = rep.reqCompleted;
+        r.reqSloViolations = rep.reqSloViolations;
+        r.reqSloUs = rep.reqSloUs;
+        r.reqP50Us = rep.reqP50Us;
+        r.reqP95Us = rep.reqP95Us;
+        r.reqP99Us = rep.reqP99Us;
+        r.reqP999Us = rep.reqP999Us;
+        r.reqKops = rep.reqKops;
 
         const auto ack = net.switchDropSummary(PacketClass::PureAck);
         r.ackDroppedEarly = ack.droppedEarly;
@@ -264,7 +280,7 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.synOffered = syn.offered() + synAck.offered();
         r.ceMarks = net.switchMarksTotal();
 
-        const auto tcp = engine.aggregateTcpStats();
+        const auto tcp = runtime.aggregateTcpStats();
         r.retransmits = tcp.retransmits;
         r.rtoEvents = tcp.rtoEvents;
         r.synRetries = tcp.synRetries;
@@ -284,11 +300,11 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.faultDrops = faults.totalDrops();
         r.linkFlaps = faults.linkDownEvents;
         r.nodeCrashes = faults.nodeCrashes;
-        r.taskRetries = engine.metrics().taskRetries();
-        r.heartbeatTimeouts = engine.metrics().heartbeatTimeouts;
-        r.speculativeLaunches = engine.metrics().speculativeLaunches;
-        r.wastedBytes = engine.metrics().wastedBytes;
-        r.recoveredBytes = engine.metrics().recoveredBytes;
+        r.taskRetries = rep.taskRetries;
+        r.heartbeatTimeouts = rep.heartbeatTimeouts;
+        r.speculativeLaunches = rep.speculativeLaunches;
+        r.wastedBytes = rep.wastedBytes;
+        r.recoveredBytes = rep.recoveredBytes;
 
         if (obsHub) {
             obsHub->stopSampling();
@@ -355,6 +371,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     // repeats run in seed order) so the aggregate is itself a digest.
     std::uint64_t digest = NetworkTelemetry::kDigestSeed;
     std::uint64_t fDrops = 0, flaps = 0, crashes = 0, retries = 0, hbeats = 0, specs = 0;
+    std::uint64_t reqI = 0, reqC = 0, reqV = 0;
     double wasted = 0.0, recovered = 0.0;
     for (const auto& r : runs) {
         avg.timedOut = avg.timedOut || r.timedOut;
@@ -377,6 +394,16 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         avg.fctMeanUs += r.fctMeanUs / n;
         avg.fctP50Us += r.fctP50Us / n;
         avg.fctP99Us += r.fctP99Us / n;
+        reqI += r.reqIssued;
+        reqC += r.reqCompleted;
+        reqV += r.reqSloViolations;
+        // The SLO is a config knob, identical across repeats.
+        avg.reqSloUs = std::max(avg.reqSloUs, r.reqSloUs);
+        avg.reqP50Us += r.reqP50Us / n;
+        avg.reqP95Us += r.reqP95Us / n;
+        avg.reqP99Us += r.reqP99Us / n;
+        avg.reqP999Us += r.reqP999Us / n;
+        avg.reqKops += r.reqKops / n;
         ackD += r.ackDroppedEarly;
         ackO += r.ackOffered;
         dataD += r.dataDropped;
@@ -444,6 +471,9 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.speculativeLaunches = meanU64(specs);
     avg.wastedBytes = static_cast<std::int64_t>(wasted + 0.5);
     avg.recoveredBytes = static_cast<std::int64_t>(recovered + 0.5);
+    avg.reqIssued = meanU64(reqI);
+    avg.reqCompleted = meanU64(reqC);
+    avg.reqSloViolations = meanU64(reqV);
     return avg;
 }
 

@@ -66,6 +66,14 @@ public:
     /// with experiment interleaving across worker threads).
     std::uint64_t digest() const { return digest_; }
 
+    /// Fold an application-level workload outcome (request identity and
+    /// completion latency) into the digest, so the cross-scheduler and
+    /// obs-mode digest gates cover driver behaviour as well as the packet
+    /// stream (see src/workloads/request_log.hpp).
+    void recordWorkloadOp(std::uint64_t tag, std::uint64_t latencyNs) {
+        digest_ = foldDigest(foldDigest(digest_, tag), latencyNs);
+    }
+
     void reset();
 
     /// Fold one 64-bit word into a digest (FNV-1a step); exposed so result

@@ -51,8 +51,9 @@ enum class InvariantClass : std::uint8_t {
     QueueAccounting,     ///< a queue's redundant state disagrees with itself
     TcpStateMachine,     ///< illegal TCP connection state transition
     PoolBalance,         ///< PacketPool live slots leaked across a run
+    WorkloadAccounting,  ///< a workload driver's request ledger went wrong
 };
-constexpr std::size_t kNumInvariantClasses = 5;
+constexpr std::size_t kNumInvariantClasses = 6;
 
 constexpr std::string_view invariantClassName(InvariantClass c) {
     switch (c) {
@@ -61,6 +62,7 @@ constexpr std::string_view invariantClassName(InvariantClass c) {
         case InvariantClass::QueueAccounting: return "queue-accounting";
         case InvariantClass::TcpStateMachine: return "tcp-state-machine";
         case InvariantClass::PoolBalance: return "pool-balance";
+        case InvariantClass::WorkloadAccounting: return "workload-accounting";
     }
     return "?";
 }

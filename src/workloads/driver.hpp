@@ -1,0 +1,80 @@
+// The workload-driver seam between runExperiment and the traffic engines.
+//
+// A driver owns one workload's application logic on top of a shared
+// ClusterRuntime (per-node TCP stacks, disks, slots) and reports its
+// results through a workload-agnostic WorkloadReport, so the runner can
+// fill ExperimentResult without knowing which pattern ran. Adding a fourth
+// workload means: a spec in spec.hpp, an engine implementing this
+// interface, and a case in factory.cpp — docs/workloads.md walks through
+// it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+/// Everything a driver hands back to runExperiment. Request/response
+/// workloads fill the req* block; MapReduce-backed drivers fill the fct /
+/// fault-accounting block; mixed tenancy fills both.
+struct WorkloadReport {
+    Time runtime;  ///< measured window (start of load to terminal state)
+    double throughputPerNodeMbps = 0.0;
+
+    // Request/response accounting (zero for pure MapReduce).
+    std::uint64_t reqIssued = 0;
+    std::uint64_t reqCompleted = 0;
+    std::uint64_t reqSloViolations = 0;
+    double reqSloUs = 0.0;  ///< the objective the violations were judged against
+    double reqP50Us = 0.0;
+    double reqP95Us = 0.0;
+    double reqP99Us = 0.0;
+    double reqP999Us = 0.0;
+    double reqKops = 0.0;  ///< completed requests per second, in thousands
+
+    // Shuffle flow-completion times (MapReduce / mixed background).
+    double fctMeanUs = 0.0;
+    double fctP50Us = 0.0;
+    double fctP99Us = 0.0;
+
+    // Fault-tolerance accounting (MapReduce / mixed background).
+    std::uint64_t taskRetries = 0;
+    std::uint64_t heartbeatTimeouts = 0;
+    std::uint64_t speculativeLaunches = 0;
+    std::int64_t wastedBytes = 0;
+    std::int64_t recoveredBytes = 0;
+};
+
+class WorkloadDriver {
+public:
+    virtual ~WorkloadDriver() = default;
+
+    /// Launch the workload at the current simulation time.
+    virtual void start() = 0;
+
+    /// Invoked once when the workload reaches a terminal state (all work
+    /// done, or it gave up). The runner uses it to stop the simulator.
+    virtual void setOnComplete(std::function<void()> cb) = 0;
+
+    /// No more work will be scheduled (finished or failed).
+    virtual bool terminal() const = 0;
+    /// The workload gave up cleanly (e.g. a job exhausted its retries).
+    virtual bool failed() const { return false; }
+    virtual std::string failureReason() const { return {}; }
+
+    /// Results for the run; `horizon` caps the reported runtime when the
+    /// workload never reached a terminal state.
+    virtual WorkloadReport report(Time horizon) const = 0;
+
+    /// Named progress gauges for the metrics registry (sampled each obs
+    /// tick); e.g. {"mapred.mapsDone", ...} or {"workload.completed", ...}.
+    /// Callbacks must stay valid for the driver's lifetime.
+    virtual std::vector<std::pair<std::string, std::function<double()>>> obsSeries() = 0;
+};
+
+}  // namespace ecnsim

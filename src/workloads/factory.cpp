@@ -1,0 +1,22 @@
+#include "src/workloads/factory.hpp"
+
+#include "src/workloads/incast.hpp"
+#include "src/workloads/kv.hpp"
+#include "src/workloads/mapred_driver.hpp"
+#include "src/workloads/mixed.hpp"
+
+namespace ecnsim {
+
+std::unique_ptr<WorkloadDriver> makeWorkloadDriver(const WorkloadConfig& wl, const JobSpec& job,
+                                                   ClusterRuntime& rt) {
+    switch (wl.kind) {
+        case WorkloadKind::MapReduce: return std::make_unique<MapReduceDriver>(rt, job);
+        case WorkloadKind::Incast: return std::make_unique<IncastEngine>(rt, wl.incast);
+        case WorkloadKind::KeyValue: return std::make_unique<KvServiceEngine>(rt, wl.kv);
+        case WorkloadKind::MixedTenancy:
+            return std::make_unique<MixedTenancyEngine>(rt, wl.mixed, job);
+    }
+    return nullptr;  // unreachable: validate() rejected unknown kinds
+}
+
+}  // namespace ecnsim

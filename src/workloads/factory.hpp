@@ -1,0 +1,19 @@
+// Driver construction: WorkloadConfig -> concrete engine on a runtime.
+#pragma once
+
+#include <memory>
+
+#include "src/mapred/runtime.hpp"
+#include "src/mapred/spec.hpp"
+#include "src/workloads/driver.hpp"
+#include "src/workloads/spec.hpp"
+
+namespace ecnsim {
+
+/// Build the driver for `wl.kind` on the shared runtime. `job` is used by
+/// the MapReduce workload and as the mixed-tenancy background tenant.
+/// The caller validated `wl` (WorkloadConfig::validate) beforehand.
+std::unique_ptr<WorkloadDriver> makeWorkloadDriver(const WorkloadConfig& wl, const JobSpec& job,
+                                                   ClusterRuntime& rt);
+
+}  // namespace ecnsim

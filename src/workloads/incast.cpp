@@ -1,0 +1,120 @@
+#include "src/workloads/incast.hpp"
+
+#include <memory>
+
+namespace ecnsim {
+
+IncastEngine::IncastEngine(ClusterRuntime& rt, IncastSpec spec)
+    : rt_(rt), spec_(spec), log_(rt.network().telemetry(), spec.slo) {}
+
+void IncastEngine::installWorker(int nodeIdx) {
+    const std::int64_t need = spec_.requestBytes;
+    const std::int64_t reply = spec_.replyBytes;
+    rt_.node(nodeIdx).stack->listen(kServicePort, [need, reply](TcpConnection& c) {
+        TcpConnection* conn = &c;
+        auto got = std::make_shared<std::int64_t>(0);
+        TcpCallbacks cb;
+        cb.onReceive = [conn, got, need, reply](std::int64_t n) {
+            *got += n;
+            if (*got == need) {  // full request in: answer and half-close
+                conn->send(reply);
+                conn->close();
+            }
+        };
+        c.setCallbacks(std::move(cb));
+    });
+}
+
+void IncastEngine::start() {
+    startedAt_ = sim().now();
+    for (int w = 1; w <= spec_.fanIn; ++w) installWorker(w);
+    launchWave();
+}
+
+void IncastEngine::launchWave() {
+    waveStart_ = sim().now();
+    repliesIn_ = 0;
+    const std::uint64_t gen = ++generation_;
+    TcpStack& agg = *rt_.node(0).stack;
+    for (int w = 1; w <= spec_.fanIn; ++w) {
+        // State per reply stream; the close handshake can deliver the last
+        // bytes and the FIN in either order, so completion requires both.
+        auto got = std::make_shared<std::int64_t>(0);
+        auto finSeen = std::make_shared<bool>(false);
+        auto counted = std::make_shared<bool>(false);
+        const std::int64_t want = spec_.replyBytes;
+        auto maybeDone = [this, w, gen, got, finSeen, counted, want] {
+            if (*counted || *got < want || !*finSeen) return;
+            *counted = true;
+            if (gen != generation_) return;  // reply from a superseded wave
+            onReplyComplete(w);
+        };
+        TcpCallbacks cb;
+        cb.onReceive = [got, maybeDone](std::int64_t n) {
+            *got += n;
+            maybeDone();
+        };
+        cb.onPeerClosed = [finSeen, maybeDone] {
+            *finSeen = true;
+            maybeDone();
+        };
+        TcpConnection& conn =
+            agg.connect(rt_.node(w).host->id(), kServicePort, std::move(cb));
+        conn.send(spec_.requestBytes);
+        conn.close();  // nothing more to say: FIN rides behind the request
+    }
+}
+
+void IncastEngine::onReplyComplete(int worker) {
+    bytesMoved_ += spec_.requestBytes + spec_.replyBytes;
+    if (++repliesIn_ < spec_.fanIn) return;
+
+    // Wave complete: the request latency is fan-out to last reply.
+    const Time latency = sim().now() - waveStart_;
+    const auto tag = (static_cast<std::uint64_t>(wavesDone_) << 16) |
+                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(worker));
+    log_.record(tag, latency);
+
+    if (++wavesDone_ >= spec_.waves) {
+        endedAt_ = sim().now();
+        if (onComplete_) onComplete_();
+        return;
+    }
+    sim().schedule(spec_.waveGap, [this, gen = generation_] {
+        if (gen != generation_) return;
+        launchWave();
+    });
+}
+
+WorkloadReport IncastEngine::report(Time horizon) const {
+    WorkloadReport r;
+    r.runtime = (terminal() ? endedAt_ : horizon) - startedAt_;
+    const double secs = r.runtime.toSeconds();
+    const int nodes = rt_.numNodes();
+    if (secs > 0.0 && nodes > 0) {
+        r.throughputPerNodeMbps =
+            8.0 * static_cast<double>(bytesMoved_) / secs / 1e6 / nodes;
+    }
+    r.reqIssued = static_cast<std::uint64_t>(terminal() ? spec_.waves : wavesDone_ + 1);
+    r.reqCompleted = static_cast<std::uint64_t>(wavesDone_);
+    r.reqSloViolations = log_.sloViolations();
+    r.reqSloUs = static_cast<double>(log_.slo().ns()) / 1000.0;
+    const PercentileEstimator& p = log_.latencies();
+    r.reqP50Us = p.quantileUs(0.50);
+    r.reqP95Us = p.quantileUs(0.95);
+    r.reqP99Us = p.quantileUs(0.99);
+    r.reqP999Us = p.quantileUs(0.999);
+    if (secs > 0.0) r.reqKops = static_cast<double>(wavesDone_) / secs / 1e3;
+    return r;
+}
+
+std::vector<std::pair<std::string, std::function<double()>>> IncastEngine::obsSeries() {
+    return {
+        {"workload.wavesDone", [this] { return static_cast<double>(wavesDone_); }},
+        {"workload.repliesIn", [this] { return static_cast<double>(repliesIn_); }},
+        {"workload.sloViolations",
+         [this] { return static_cast<double>(log_.sloViolations()); }},
+    };
+}
+
+}  // namespace ecnsim

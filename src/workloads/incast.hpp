@@ -1,0 +1,57 @@
+// Partition-aggregate incast driver.
+//
+// Node 0 is the aggregator; nodes 1..fanIn are workers. Each wave the
+// aggregator opens a *fresh* connection to every worker (each wave pays
+// the SYN handshake — the paper's most fragile packet class), sends a
+// small request, and each worker answers with the full reply and closes.
+// The wave completes when the last reply is in; that fan-out-to-last-reply
+// latency is the SLO-judged request latency. The synchronized replies are
+// the classic incast burst that overruns a shallow switch buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/mapred/runtime.hpp"
+#include "src/workloads/driver.hpp"
+#include "src/workloads/request_log.hpp"
+#include "src/workloads/spec.hpp"
+
+namespace ecnsim {
+
+class IncastEngine : public WorkloadDriver {
+public:
+    static constexpr std::uint16_t kServicePort = 7000;
+
+    IncastEngine(ClusterRuntime& rt, IncastSpec spec);
+
+    void start() override;
+    void setOnComplete(std::function<void()> cb) override { onComplete_ = std::move(cb); }
+    bool terminal() const override { return wavesDone_ >= spec_.waves; }
+    WorkloadReport report(Time horizon) const override;
+    std::vector<std::pair<std::string, std::function<double()>>> obsSeries() override;
+
+    const RequestLog& requests() const { return log_; }
+    int wavesDone() const { return wavesDone_; }
+
+private:
+    void installWorker(int nodeIdx);
+    void launchWave();
+    void onReplyComplete(int worker);
+
+    Simulator& sim() { return rt_.network().sim(); }
+
+    ClusterRuntime& rt_;
+    IncastSpec spec_;
+    RequestLog log_;
+    Time startedAt_;
+    Time waveStart_;
+    Time endedAt_;
+    int wavesDone_ = 0;
+    int repliesIn_ = 0;
+    std::uint64_t generation_ = 0;  ///< stale-callback guard across waves
+    std::int64_t bytesMoved_ = 0;
+    std::function<void()> onComplete_;
+};
+
+}  // namespace ecnsim

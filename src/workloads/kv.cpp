@@ -1,0 +1,207 @@
+#include "src/workloads/kv.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace ecnsim {
+
+KvServiceEngine::KvServiceEngine(ClusterRuntime& rt, KvSpec spec)
+    : rt_(rt), spec_(spec), log_(rt.network().telemetry(), spec.slo) {
+    totalExpected_ = static_cast<std::uint64_t>(spec_.clients) *
+                     static_cast<std::uint64_t>(spec_.requestsPerClient);
+    clients_.resize(static_cast<std::size_t>(spec_.clients));
+}
+
+void KvServiceEngine::installLeader() {
+    rt_.node(0).stack->listen(kLeaderPort, [this](TcpConnection& c) {
+        const std::size_t idx = acceptedConns_.size();
+        acceptedConns_.push_back(&c);
+        TcpCallbacks cb;
+        auto pending = std::make_shared<std::int64_t>(0);
+        cb.onReceive = [this, idx, pending](std::int64_t n) {
+            *pending += n;
+            while (*pending >= spec_.requestBytes) {
+                *pending -= spec_.requestBytes;
+                onClientRequest(idx);
+            }
+        };
+        c.setCallbacks(std::move(cb));
+    });
+}
+
+void KvServiceEngine::installReplica(int nodeIdx) {
+    const std::int64_t value = spec_.valueBytes;
+    rt_.node(nodeIdx).stack->listen(kReplicaPort, [value](TcpConnection& c) {
+        TcpConnection* conn = &c;
+        auto pending = std::make_shared<std::int64_t>(0);
+        TcpCallbacks cb;
+        cb.onReceive = [conn, pending, value](std::int64_t n) {
+            *pending += n;
+            while (*pending >= value) {  // one small ack per stored value
+                *pending -= value;
+                conn->send(kReplicaAckBytes);
+            }
+        };
+        c.setCallbacks(std::move(cb));
+    });
+}
+
+void KvServiceEngine::connectReplicas() {
+    replicaAckBytes_.assign(static_cast<std::size_t>(spec_.replicas), 0);
+    for (int r = 1; r <= spec_.replicas; ++r) {
+        const std::size_t j = static_cast<std::size_t>(r - 1);
+        TcpCallbacks cb;
+        cb.onReceive = [this, j](std::int64_t n) {
+            replicaAckBytes_[j] += n;
+            onReplicaAckProgress();
+        };
+        replicaConns_.push_back(
+            &rt_.node(0).stack->connect(rt_.node(r).host->id(), kReplicaPort, std::move(cb)));
+    }
+}
+
+void KvServiceEngine::setupClient(int clientIdx, int nodeIdx) {
+    Client& cl = clients_[static_cast<std::size_t>(clientIdx)];
+    TcpCallbacks cb;
+    cb.onReceive = [this, clientIdx](std::int64_t n) {
+        Client& c = clients_[static_cast<std::size_t>(clientIdx)];
+        c.replyBytes += n;
+        while (c.replyBytes >= spec_.valueBytes) {
+            c.replyBytes -= spec_.valueBytes;
+            onClientReply(clientIdx);
+        }
+    };
+    cl.conn = &rt_.node(nodeIdx).stack->connect(rt_.node(0).host->id(), kLeaderPort,
+                                                std::move(cb));
+    const auto total = static_cast<std::uint64_t>(spec_.requestsPerClient);
+    auto issueFn = [this, clientIdx](std::uint64_t op) { issue(clientIdx, op); };
+    if (spec_.load == LoadMode::Closed) {
+        cl.closed = std::make_unique<ClosedLoopGen>(sim(), spec_.outstanding, total, issueFn);
+    } else {
+        cl.open = std::make_unique<OpenLoopGen>(sim(), spec_.opsPerSecPerClient, total, issueFn);
+    }
+}
+
+void KvServiceEngine::start() {
+    startedAt_ = sim().now();
+    installLeader();
+    for (int r = 1; r <= spec_.replicas; ++r) installReplica(r);
+    connectReplicas();
+
+    const int firstClientHost = spec_.replicas + 1;
+    const int clientHosts = rt_.numNodes() - firstClientHost;
+    for (int c = 0; c < spec_.clients; ++c) {
+        setupClient(c, firstClientHost + c % clientHosts);
+    }
+    // All connections are in flight; release the generators (deterministic
+    // order: client 0 first).
+    for (auto& cl : clients_) {
+        if (cl.closed) cl.closed->start();
+        if (cl.open) cl.open->start();
+    }
+}
+
+void KvServiceEngine::issue(int clientIdx, std::uint64_t) {
+    Client& cl = clients_[static_cast<std::size_t>(clientIdx)];
+    cl.issueTimes.push_back(sim().now());
+    ++issuedTotal_;
+    cl.conn->send(spec_.requestBytes);
+}
+
+void KvServiceEngine::onClientRequest(std::size_t acceptedIdx) {
+    pendingReply_.push_back(acceptedIdx);
+    if (spec_.replicas == 0) {
+        ++commits_;
+        commitHead();
+        return;
+    }
+    for (TcpConnection* rep : replicaConns_) rep->send(spec_.valueBytes);
+}
+
+void KvServiceEngine::onReplicaAckProgress() {
+    // A request is committed once *every* replica acked its copy.
+    std::uint64_t committed = ~std::uint64_t{0};
+    for (const std::int64_t acked : replicaAckBytes_) {
+        committed = std::min(committed, static_cast<std::uint64_t>(acked / kReplicaAckBytes));
+    }
+    while (commits_ < committed) {
+        if (pendingReply_.empty()) {
+            if (InvariantChecker* inv = sim().invariants()) {
+                inv->violation(InvariantClass::WorkloadAccounting, sim().now(),
+                               sim().eventsExecuted(),
+                               "kv leader: replica acks outran issued requests (committed=" +
+                                   std::to_string(committed) + ", commits=" +
+                                   std::to_string(commits_) + ")");
+            }
+            return;
+        }
+        ++commits_;
+        commitHead();
+    }
+}
+
+void KvServiceEngine::commitHead() {
+    const std::size_t idx = pendingReply_.front();
+    pendingReply_.pop_front();
+    acceptedConns_[idx]->send(spec_.valueBytes);
+}
+
+void KvServiceEngine::onClientReply(int clientIdx) {
+    Client& cl = clients_[static_cast<std::size_t>(clientIdx)];
+    const Time t0 = cl.issueTimes.front();
+    cl.issueTimes.pop_front();
+    const auto tag = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) |
+                     cl.completedOps;
+    log_.record(tag, sim().now() - t0);
+    ++cl.completedOps;
+    ++completedTotal_;
+    // Application bytes this request moved: request, replication fan-out
+    // with acks, and the reply.
+    bytesMoved_ += spec_.requestBytes + spec_.valueBytes +
+                   spec_.replicas * (spec_.valueBytes + kReplicaAckBytes);
+    if (cl.closed) cl.closed->completed();
+    if (completedTotal_ >= totalExpected_) {
+        endedAt_ = sim().now();
+        if (onComplete_) onComplete_();
+    }
+}
+
+WorkloadReport KvServiceEngine::report(Time horizon) const {
+    WorkloadReport r;
+    r.runtime = (terminal() ? endedAt_ : horizon) - startedAt_;
+    const double secs = r.runtime.toSeconds();
+    const int nodes = rt_.numNodes();
+    if (secs > 0.0 && nodes > 0) {
+        r.throughputPerNodeMbps =
+            8.0 * static_cast<double>(bytesMoved_) / secs / 1e6 / nodes;
+    }
+    r.reqIssued = issuedTotal_;
+    r.reqCompleted = completedTotal_;
+    r.reqSloViolations = log_.sloViolations();
+    r.reqSloUs = static_cast<double>(log_.slo().ns()) / 1000.0;
+    const PercentileEstimator& p = log_.latencies();
+    r.reqP50Us = p.quantileUs(0.50);
+    r.reqP95Us = p.quantileUs(0.95);
+    r.reqP99Us = p.quantileUs(0.99);
+    r.reqP999Us = p.quantileUs(0.999);
+    if (secs > 0.0) r.reqKops = static_cast<double>(completedTotal_) / secs / 1e3;
+    return r;
+}
+
+std::vector<std::pair<std::string, std::function<double()>>> KvServiceEngine::obsSeries() {
+    return {
+        {"workload.issued", [this] { return static_cast<double>(issuedTotal_); }},
+        {"workload.completed", [this] { return static_cast<double>(completedTotal_); }},
+        {"workload.inFlight",
+         [this] { return static_cast<double>(issuedTotal_ - completedTotal_); }},
+    };
+}
+
+int KvServiceEngine::peakInFlightOfClient(int c) const {
+    const Client& cl = clients_.at(static_cast<std::size_t>(c));
+    return cl.closed ? cl.closed->peakInFlight() : 0;
+}
+
+}  // namespace ecnsim

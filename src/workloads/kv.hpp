@@ -1,0 +1,90 @@
+// Replicated key-value service driver.
+//
+// Node 0 is the leader, nodes 1..replicas hold replicas, and the remaining
+// hosts run the client processes (round-robin). Clients keep persistent
+// connections to the leader; every request is replicated synchronously —
+// the leader streams the value to all replicas and replies to the client
+// only after every replica acknowledged — so the client-visible latency
+// includes the replication round trip through the shared switch queue.
+// Requests are equal-sized, so streams are matched FIFO by cumulative
+// byte counts (the same byte-counting convention as the TCP model).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mapred/runtime.hpp"
+#include "src/workloads/driver.hpp"
+#include "src/workloads/loadgen.hpp"
+#include "src/workloads/request_log.hpp"
+#include "src/workloads/spec.hpp"
+
+namespace ecnsim {
+
+class KvServiceEngine : public WorkloadDriver {
+public:
+    static constexpr std::uint16_t kLeaderPort = 7100;
+    static constexpr std::uint16_t kReplicaPort = 7150;
+    /// App-level replica acknowledgement, one per replicated value.
+    static constexpr std::int64_t kReplicaAckBytes = 32;
+
+    KvServiceEngine(ClusterRuntime& rt, KvSpec spec);
+
+    void start() override;
+    void setOnComplete(std::function<void()> cb) override { onComplete_ = std::move(cb); }
+    bool terminal() const override { return completedTotal_ >= totalExpected_; }
+    WorkloadReport report(Time horizon) const override;
+    std::vector<std::pair<std::string, std::function<double()>>> obsSeries() override;
+
+    const RequestLog& requests() const { return log_; }
+    std::uint64_t issuedTotal() const { return issuedTotal_; }
+    std::uint64_t completedTotal() const { return completedTotal_; }
+    int peakInFlightOfClient(int c) const;
+
+private:
+    struct Client {
+        TcpConnection* conn = nullptr;
+        std::deque<Time> issueTimes;   ///< FIFO: requests complete in order
+        std::int64_t replyBytes = 0;   ///< reply stream high-water remainder
+        std::uint64_t completedOps = 0;
+        std::unique_ptr<ClosedLoopGen> closed;
+        std::unique_ptr<OpenLoopGen> open;
+    };
+
+    void installLeader();
+    void installReplica(int nodeIdx);
+    void connectReplicas();
+    void setupClient(int clientIdx, int nodeIdx);
+    void onClientRequest(std::size_t acceptedIdx);
+    void onReplicaAckProgress();
+    void commitHead();
+    void onClientReply(int clientIdx);
+    void issue(int clientIdx, std::uint64_t op);
+
+    Simulator& sim() { return rt_.network().sim(); }
+
+    ClusterRuntime& rt_;
+    KvSpec spec_;
+    RequestLog log_;
+    Time startedAt_;
+    Time endedAt_;
+    std::uint64_t totalExpected_ = 0;
+    std::uint64_t issuedTotal_ = 0;
+    std::uint64_t completedTotal_ = 0;
+    std::int64_t bytesMoved_ = 0;
+
+    // Leader state.
+    std::vector<TcpConnection*> acceptedConns_;  ///< leader side of client conns
+    std::vector<TcpConnection*> replicaConns_;
+    std::vector<std::int64_t> replicaAckBytes_;
+    std::uint64_t commits_ = 0;          ///< requests fully replicated + replied
+    std::deque<std::size_t> pendingReply_;  ///< accepted-conn index per request
+
+    std::vector<Client> clients_;
+    std::function<void()> onComplete_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,79 @@
+#include "src/workloads/loadgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace ecnsim {
+
+OpenLoopGen::OpenLoopGen(Simulator& sim, double opsPerSec, std::uint64_t totalOps,
+                         std::function<void(std::uint64_t)> issue)
+    : sim_(sim), opsPerSec_(opsPerSec), totalOps_(totalOps), issue_(std::move(issue)) {}
+
+void OpenLoopGen::start() {
+    stopped_ = false;
+    arm();
+}
+
+void OpenLoopGen::stop() {
+    stopped_ = true;
+    next_.cancel();
+}
+
+void OpenLoopGen::arm() {
+    if (stopped_ || exhausted()) return;
+    const double gapSec = sim_.rng().exponential(1.0 / opsPerSec_);
+    const auto gapNs = static_cast<std::int64_t>(std::llround(gapSec * 1e9));
+    next_ = sim_.schedule(Time::nanoseconds(gapNs), [this] {
+        const std::uint64_t op = issued_++;
+        issue_(op);
+        arm();
+    });
+}
+
+ClosedLoopGen::ClosedLoopGen(Simulator& sim, int outstandingCap, std::uint64_t totalOps,
+                             std::function<void(std::uint64_t)> issue)
+    : sim_(sim), cap_(outstandingCap), totalOps_(totalOps), issue_(std::move(issue)) {}
+
+void ClosedLoopGen::start() {
+    while (inFlight_ < cap_ && issued_ < totalOps_) issueOne();
+}
+
+void ClosedLoopGen::completed() {
+    if (inFlight_ == 0) {
+        if (InvariantChecker* inv = sim_.invariants()) {
+            inv->violation(InvariantClass::WorkloadAccounting, sim_.now(), sim_.eventsExecuted(),
+                           "closed-loop completion with zero requests in flight (after " +
+                               std::to_string(completed_) + " of " + std::to_string(issued_) +
+                               " issued)");
+        }
+        return;
+    }
+    --inFlight_;
+    ++completed_;
+    while (inFlight_ < cap_ && issued_ < totalOps_) issueOne();
+}
+
+void ClosedLoopGen::issueOne() {
+    ++inFlight_;
+    peakInFlight_ = std::max(peakInFlight_, inFlight_);
+    checkWindow();
+    issue_(issued_++);
+}
+
+void ClosedLoopGen::testOnlyForceIssue() { issueOne(); }
+
+void ClosedLoopGen::checkWindow() {
+    if (inFlight_ <= cap_) {
+        if (InvariantChecker* inv = sim_.invariants()) inv->passed();
+        return;
+    }
+    if (InvariantChecker* inv = sim_.invariants()) {
+        inv->violation(InvariantClass::WorkloadAccounting, sim_.now(), sim_.eventsExecuted(),
+                       "closed-loop window exceeded: " + std::to_string(inFlight_) +
+                           " in flight with cap " + std::to_string(cap_));
+    }
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,83 @@
+// Load generators for request/response workloads.
+//
+// Open loop: Poisson arrivals at a target rate drawn from the simulator's
+// seeded RNG — arrivals keep coming whether or not earlier requests
+// finished (the production client population that does not back off).
+// Closed loop: a fixed outstanding-request window refilled on completion.
+// The closed-loop cap is not just a test assertion: the generator reports
+// any excursion above the window (or a completion with nothing in flight)
+// through sim.invariants() as a WorkloadAccounting violation, so paranoid
+// CI aborts on a miscounting driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/simulator.hpp"
+
+namespace ecnsim {
+
+/// Poisson request source. `issue(opIndex)` is called from the event loop
+/// at each arrival; totalOps == 0 means unbounded (use stop()).
+class OpenLoopGen {
+public:
+    OpenLoopGen(Simulator& sim, double opsPerSec, std::uint64_t totalOps,
+                std::function<void(std::uint64_t)> issue);
+
+    /// Arm the first arrival (exponential gap from now, like every later one).
+    void start();
+    /// No further arrivals; an already scheduled one is cancelled.
+    void stop();
+
+    std::uint64_t issued() const { return issued_; }
+    bool exhausted() const { return totalOps_ != 0 && issued_ >= totalOps_; }
+
+private:
+    void arm();
+
+    Simulator& sim_;
+    double opsPerSec_;
+    std::uint64_t totalOps_;
+    std::function<void(std::uint64_t)> issue_;
+    EventHandle next_;
+    std::uint64_t issued_ = 0;
+    bool stopped_ = false;
+};
+
+/// Fixed-window request source: keeps exactly min(cap, remaining) requests
+/// outstanding. completed() must be called once per finished request.
+class ClosedLoopGen {
+public:
+    ClosedLoopGen(Simulator& sim, int outstandingCap, std::uint64_t totalOps,
+                  std::function<void(std::uint64_t)> issue);
+
+    /// Prime the window: issues up to the cap synchronously.
+    void start();
+    /// One request finished; refills the window if work remains.
+    void completed();
+
+    int inFlight() const { return inFlight_; }
+    int peakInFlight() const { return peakInFlight_; }
+    std::uint64_t issued() const { return issued_; }
+    std::uint64_t completedOps() const { return completed_; }
+    bool done() const { return completed_ >= totalOps_; }
+
+    /// Test hook: issue one request past the window gate, proving the
+    /// WorkloadAccounting invariant actually trips. Never called by drivers.
+    void testOnlyForceIssue();
+
+private:
+    void issueOne();
+    void checkWindow();
+
+    Simulator& sim_;
+    int cap_;
+    std::uint64_t totalOps_;
+    std::function<void(std::uint64_t)> issue_;
+    int inFlight_ = 0;
+    int peakInFlight_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+}  // namespace ecnsim

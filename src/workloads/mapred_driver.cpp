@@ -1,0 +1,34 @@
+#include "src/workloads/mapred_driver.hpp"
+
+#include <utility>
+
+namespace ecnsim {
+
+MapReduceDriver::MapReduceDriver(ClusterRuntime& rt, JobSpec job)
+    : rt_(rt), engine_(rt, std::move(job)) {}
+
+WorkloadReport MapReduceDriver::report(Time horizon) const {
+    WorkloadReport r;
+    const auto& m = engine_.metrics();
+    r.runtime = engine_.terminal() ? m.runtime() : horizon;
+    r.throughputPerNodeMbps = m.throughputPerNodeMbps(rt_.numNodes());
+    r.fctMeanUs = m.fctMeanUs();
+    r.fctP50Us = m.fctQuantileUs(0.50);
+    r.fctP99Us = m.fctQuantileUs(0.99);
+    r.taskRetries = m.taskRetries();
+    r.heartbeatTimeouts = m.heartbeatTimeouts;
+    r.speculativeLaunches = m.speculativeLaunches;
+    r.wastedBytes = m.wastedBytes;
+    r.recoveredBytes = m.recoveredBytes;
+    return r;
+}
+
+std::vector<std::pair<std::string, std::function<double()>>> MapReduceDriver::obsSeries() {
+    return {
+        {"mapred.mapsDone", [this] { return static_cast<double>(engine_.completedMaps()); }},
+        {"mapred.reducersDone",
+         [this] { return static_cast<double>(engine_.completedReducers()); }},
+    };
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,33 @@
+// WorkloadDriver adapter over the original MapReduce engine, so the
+// runner's single driver seam covers the repo's founding workload too.
+#pragma once
+
+#include <functional>
+
+#include "src/mapred/engine.hpp"
+#include "src/workloads/driver.hpp"
+
+namespace ecnsim {
+
+class MapReduceDriver : public WorkloadDriver {
+public:
+    MapReduceDriver(ClusterRuntime& rt, JobSpec job);
+
+    void start() override { engine_.start(); }
+    void setOnComplete(std::function<void()> cb) override {
+        engine_.setOnComplete(std::move(cb));
+    }
+    bool terminal() const override { return engine_.terminal(); }
+    bool failed() const override { return engine_.aborted(); }
+    std::string failureReason() const override { return engine_.metrics().abortReason; }
+    WorkloadReport report(Time horizon) const override;
+    std::vector<std::pair<std::string, std::function<double()>>> obsSeries() override;
+
+    MapReduceEngine& engine() { return engine_; }
+
+private:
+    ClusterRuntime& rt_;
+    MapReduceEngine engine_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,152 @@
+#include "src/workloads/mixed.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace ecnsim {
+
+MixedTenancyEngine::MixedTenancyEngine(ClusterRuntime& rt, MixedSpec spec, JobSpec backgroundJob)
+    : rt_(rt),
+      spec_(spec),
+      background_(rt, std::move(backgroundJob)),
+      log_(rt.network().telemetry(), spec.slo) {}
+
+void MixedTenancyEngine::installRpcServer(int nodeIdx) {
+    const std::int64_t need = spec_.requestBytes;
+    const std::int64_t reply = spec_.replyBytes;
+    rt_.node(nodeIdx).stack->listen(kRpcPort, [need, reply](TcpConnection& c) {
+        TcpConnection* conn = &c;
+        auto got = std::make_shared<std::int64_t>(0);
+        TcpCallbacks cb;
+        cb.onReceive = [conn, got, need, reply](std::int64_t n) {
+            *got += n;
+            if (*got == need) {
+                conn->send(reply);
+                conn->close();
+            }
+        };
+        c.setCallbacks(std::move(cb));
+    });
+}
+
+void MixedTenancyEngine::start() {
+    startedAt_ = sim().now();
+    const int n = rt_.numNodes();
+    for (int i = 0; i < n; ++i) installRpcServer(i);
+
+    background_.setOnComplete([this] { onBackgroundTerminal(); });
+    background_.start();
+
+    for (int c = 0; c < spec_.rpcClients; ++c) {
+        auto gen = std::make_unique<OpenLoopGen>(
+            sim(), spec_.opsPerSecPerClient, /*totalOps=*/0,
+            [this, c](std::uint64_t op) { issueRpc(c, op); });
+        gen->start();
+        gens_.push_back(std::move(gen));
+    }
+}
+
+void MixedTenancyEngine::issueRpc(int clientIdx, std::uint64_t op) {
+    const int n = rt_.numNodes();
+    const int clientNode = clientIdx % n;
+    int serverNode = (clientNode + n / 2) % n;
+    if (serverNode == clientNode) serverNode = (clientNode + 1) % n;
+
+    ++rpcIssued_;
+    ++rpcOutstanding_;
+    const Time issuedAt = sim().now();
+
+    auto got = std::make_shared<std::int64_t>(0);
+    auto finSeen = std::make_shared<bool>(false);
+    auto counted = std::make_shared<bool>(false);
+    const std::int64_t want = spec_.replyBytes;
+    auto maybeDone = [this, clientIdx, op, issuedAt, got, finSeen, counted, want] {
+        if (*counted || *got < want || !*finSeen) return;
+        *counted = true;
+        onRpcComplete(clientIdx, op, issuedAt);
+    };
+    TcpCallbacks cb;
+    cb.onReceive = [got, maybeDone](std::int64_t bytes) {
+        *got += bytes;
+        maybeDone();
+    };
+    cb.onPeerClosed = [finSeen, maybeDone] {
+        *finSeen = true;
+        maybeDone();
+    };
+    TcpConnection& conn = rt_.node(clientNode)
+                              .stack->connect(rt_.node(serverNode).host->id(), kRpcPort,
+                                              std::move(cb));
+    conn.send(spec_.requestBytes);
+    conn.close();  // FIN rides behind the request; the reply still flows back
+}
+
+void MixedTenancyEngine::onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt) {
+    // The latency includes the connection handshake: an RPC whose SYN was
+    // slaughtered at the switch queue pays the full retry backoff here.
+    const auto tag =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) | op;
+    log_.record(tag, sim().now() - issuedAt);
+    ++rpcCompleted_;
+    --rpcOutstanding_;
+    rpcBytesMoved_ += spec_.requestBytes + spec_.replyBytes;
+    maybeFinish();
+}
+
+void MixedTenancyEngine::onBackgroundTerminal() {
+    backgroundDone_ = true;
+    for (auto& gen : gens_) gen->stop();  // drain what is in flight, issue no more
+    maybeFinish();
+}
+
+void MixedTenancyEngine::maybeFinish() {
+    if (!terminal()) return;
+    endedAt_ = sim().now();
+    if (onComplete_) onComplete_();
+}
+
+WorkloadReport MixedTenancyEngine::report(Time horizon) const {
+    WorkloadReport r;
+    r.runtime = (terminal() ? endedAt_ : horizon) - startedAt_;
+    const double secs = r.runtime.toSeconds();
+    const int nodes = rt_.numNodes();
+    const auto& bg = background_.metrics();
+    const std::int64_t bytes =
+        bg.shuffleBytesMoved + bg.replicationBytesMoved + rpcBytesMoved_;
+    if (secs > 0.0 && nodes > 0) {
+        r.throughputPerNodeMbps = 8.0 * static_cast<double>(bytes) / secs / 1e6 / nodes;
+    }
+    r.reqIssued = rpcIssued_;
+    r.reqCompleted = rpcCompleted_;
+    r.reqSloViolations = log_.sloViolations();
+    r.reqSloUs = static_cast<double>(log_.slo().ns()) / 1000.0;
+    const PercentileEstimator& p = log_.latencies();
+    r.reqP50Us = p.quantileUs(0.50);
+    r.reqP95Us = p.quantileUs(0.95);
+    r.reqP99Us = p.quantileUs(0.99);
+    r.reqP999Us = p.quantileUs(0.999);
+    if (secs > 0.0) r.reqKops = static_cast<double>(rpcCompleted_) / secs / 1e3;
+    r.fctMeanUs = bg.fctMeanUs();
+    r.fctP50Us = bg.fctQuantileUs(0.50);
+    r.fctP99Us = bg.fctQuantileUs(0.99);
+    r.taskRetries = bg.taskRetries();
+    r.heartbeatTimeouts = bg.heartbeatTimeouts;
+    r.speculativeLaunches = bg.speculativeLaunches;
+    r.wastedBytes = bg.wastedBytes;
+    r.recoveredBytes = bg.recoveredBytes;
+    return r;
+}
+
+std::vector<std::pair<std::string, std::function<double()>>> MixedTenancyEngine::obsSeries() {
+    return {
+        {"mapred.mapsDone",
+         [this] { return static_cast<double>(background_.completedMaps()); }},
+        {"mapred.reducersDone",
+         [this] { return static_cast<double>(background_.completedReducers()); }},
+        {"workload.rpcIssued", [this] { return static_cast<double>(rpcIssued_); }},
+        {"workload.rpcCompleted", [this] { return static_cast<double>(rpcCompleted_); }},
+        {"workload.rpcInFlight", [this] { return static_cast<double>(rpcOutstanding_); }},
+    };
+}
+
+}  // namespace ecnsim

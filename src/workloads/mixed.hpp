@@ -1,0 +1,68 @@
+// Mixed-tenancy driver: bulk MapReduce shuffle plus latency-sensitive RPC
+// on the same switch queue.
+//
+// The configured job (cfg.job) runs unchanged as the background tenant on
+// the shared ClusterRuntime; meanwhile open-loop clients fire small
+// request/response RPCs over *fresh* connections, so every RPC's SYN and
+// the server's SYN-ACK traverse the RED+ECN queue the shuffle keeps hot —
+// exactly the regime where the paper's non-ECT slaughter destroys tail
+// latency, and where its protection policies are supposed to restore it.
+// The run ends when the background job is terminal and the last in-flight
+// RPC has drained, so the RPC percentiles cover the full contention window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mapred/engine.hpp"
+#include "src/workloads/driver.hpp"
+#include "src/workloads/loadgen.hpp"
+#include "src/workloads/request_log.hpp"
+#include "src/workloads/spec.hpp"
+
+namespace ecnsim {
+
+class MixedTenancyEngine : public WorkloadDriver {
+public:
+    static constexpr std::uint16_t kRpcPort = 7200;
+
+    MixedTenancyEngine(ClusterRuntime& rt, MixedSpec spec, JobSpec backgroundJob);
+
+    void start() override;
+    void setOnComplete(std::function<void()> cb) override { onComplete_ = std::move(cb); }
+    bool terminal() const override { return backgroundDone_ && rpcOutstanding_ == 0; }
+    bool failed() const override { return background_.aborted(); }
+    std::string failureReason() const override { return background_.metrics().abortReason; }
+    WorkloadReport report(Time horizon) const override;
+    std::vector<std::pair<std::string, std::function<double()>>> obsSeries() override;
+
+    const RequestLog& rpcs() const { return log_; }
+    const MapReduceEngine& background() const { return background_; }
+
+private:
+    void installRpcServer(int nodeIdx);
+    void issueRpc(int clientIdx, std::uint64_t op);
+    void onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt);
+    void onBackgroundTerminal();
+    void maybeFinish();
+
+    Simulator& sim() { return rt_.network().sim(); }
+
+    ClusterRuntime& rt_;
+    MixedSpec spec_;
+    MapReduceEngine background_;
+    RequestLog log_;
+    std::vector<std::unique_ptr<OpenLoopGen>> gens_;
+    Time startedAt_;
+    Time endedAt_;
+    bool backgroundDone_ = false;
+    std::uint64_t rpcIssued_ = 0;
+    std::uint64_t rpcCompleted_ = 0;
+    std::uint64_t rpcOutstanding_ = 0;
+    std::int64_t rpcBytesMoved_ = 0;
+    std::function<void()> onComplete_;
+};
+
+}  // namespace ecnsim

@@ -1,0 +1,66 @@
+#include "src/workloads/percentile.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace ecnsim {
+
+unsigned PercentileEstimator::bucketIndex(std::uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<unsigned>(ns);  // exact region
+    // Octave o covers [2^o, 2^(o+1)): 32 buckets of width 2^(o-5) each.
+    unsigned o = static_cast<unsigned>(std::bit_width(ns)) - 1;
+    if (o > kMaxOctave) {  // clamp: maxNs() keeps the true maximum
+        o = kMaxOctave;
+        ns = (std::uint64_t{1} << (kMaxOctave + 1)) - 1;
+    }
+    const unsigned shift = o - kSubBucketBits + 1;
+    const unsigned sub = static_cast<unsigned>(ns >> shift) - kSubBuckets / 2;
+    return kSubBuckets + (o - kSubBucketBits) * (kSubBuckets / 2) + sub;
+}
+
+double PercentileEstimator::bucketMidpoint(unsigned index) {
+    if (index < kSubBuckets) return static_cast<double>(index);  // width-1 bucket
+    const unsigned rel = index - kSubBuckets;
+    const unsigned o = kSubBucketBits + rel / (kSubBuckets / 2);
+    const unsigned sub = rel % (kSubBuckets / 2);
+    const unsigned shift = o - kSubBucketBits + 1;
+    const std::uint64_t lo = (std::uint64_t{kSubBuckets / 2} + sub) << shift;
+    const std::uint64_t width = std::uint64_t{1} << shift;
+    return static_cast<double>(lo) + static_cast<double>(width) / 2.0;
+}
+
+void PercentileEstimator::recordNs(std::uint64_t ns) {
+    ++buckets_[bucketIndex(ns)];
+    ++count_;
+    minNs_ = std::min(minNs_, ns);
+    maxNs_ = std::max(maxNs_, ns);
+}
+
+double PercentileEstimator::quantileNs(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank, matching JobMetrics::fctQuantileUs on a sorted vector.
+    const auto rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1) + 0.5) + 1;
+    std::uint64_t cum = 0;
+    for (unsigned i = 0; i < kNumBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= rank) {
+            // The tracked extremes are exact; never report outside them.
+            const double mid = bucketMidpoint(i);
+            return std::clamp(mid, static_cast<double>(minNs_), static_cast<double>(maxNs_));
+        }
+    }
+    return static_cast<double>(maxNs_);  // unreachable when counts are consistent
+}
+
+void PercentileEstimator::merge(const PercentileEstimator& other) {
+    for (unsigned i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    if (other.count_ > 0) {
+        minNs_ = std::min(minNs_, other.minNs_);
+        maxNs_ = std::max(maxNs_, other.maxNs_);
+    }
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,64 @@
+// Streaming percentile estimator for request latencies.
+//
+// An HDR-histogram-style log-bucketed counter array over nanosecond
+// values: exact below 2^kSubBucketBits, and within a documented relative
+// error of 2^-kSubBucketBits (<= 1.6%, documented as "within 2%") above it.
+// Memory is a fixed ~11 KiB regardless of sample count, record is O(1),
+// and merge is a bin-wise add — *exactly* associative and commutative, so
+// sharded estimators can be combined in any order with identical results
+// (asserted by tests/workloads/test_percentile.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ecnsim {
+
+class PercentileEstimator {
+public:
+    /// Sub-buckets per octave: 2^6 = 64 buckets, halving width at each
+    /// octave boundary. The worst-case relative error of a reported
+    /// quantile is half a bucket width: 2^-(kSubBucketBits) = 1/64.
+    static constexpr unsigned kSubBucketBits = 6;
+    static constexpr unsigned kSubBuckets = 1u << kSubBucketBits;
+    /// Highest representable octave: values up to 2^48 ns (~3.3 days)
+    /// bucket normally; anything larger clamps into the top bucket.
+    static constexpr unsigned kMaxOctave = 47;
+    static constexpr unsigned kNumBuckets =
+        kSubBuckets + (kMaxOctave - kSubBucketBits + 1) * (kSubBuckets / 2);
+
+    void recordNs(std::uint64_t ns);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t minNs() const { return count_ ? minNs_ : 0; }
+    std::uint64_t maxNs() const { return maxNs_; }
+
+    /// Quantile estimate in nanoseconds, q in [0, 1]. Uses the same
+    /// nearest-rank convention as JobMetrics::fctQuantileUs:
+    /// rank = round(q * (count - 1)), so q=0 is the minimum and q=1 the
+    /// maximum. Returns 0 when empty.
+    double quantileNs(double q) const;
+    double quantileUs(double q) const { return quantileNs(q) / 1000.0; }
+
+    /// Bin-wise accumulate `other` into this estimator (associative).
+    void merge(const PercentileEstimator& other);
+
+    /// Byte-level equality over the full state: used by the associativity
+    /// property test to show (a+b)+c == a+(b+c) exactly, not approximately.
+    bool operator==(const PercentileEstimator& other) const {
+        return count_ == other.count_ && minNs_ == other.minNs_ && maxNs_ == other.maxNs_ &&
+               buckets_ == other.buckets_;
+    }
+
+    static unsigned bucketIndex(std::uint64_t ns);
+    /// Midpoint of the bucket's value range (its reporting value).
+    static double bucketMidpoint(unsigned index);
+
+private:
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t minNs_ = ~std::uint64_t{0};
+    std::uint64_t maxNs_ = 0;
+};
+
+}  // namespace ecnsim

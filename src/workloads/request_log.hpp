@@ -1,0 +1,42 @@
+// Per-request accounting shared by the request/response drivers: the
+// percentile estimator, the SLO violation count, and the digest fold.
+//
+// Every completed request folds (tag, latencyNs) into the run's telemetry
+// digest. Tags are deterministic request identities (wave/worker, client/
+// op), so the cross-scheduler and obs-mode digest gates cover not just the
+// packet stream but the workload's application-level outcome: a driver
+// that completes requests in a different order under a different event
+// queue changes the digest and fails CI.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/telemetry.hpp"
+#include "src/sim/time.hpp"
+#include "src/workloads/percentile.hpp"
+
+namespace ecnsim {
+
+class RequestLog {
+public:
+    RequestLog(NetworkTelemetry& telemetry, Time slo) : telemetry_(telemetry), slo_(slo) {}
+
+    void record(std::uint64_t tag, Time latency) {
+        const auto ns = static_cast<std::uint64_t>(latency.ns() < 0 ? 0 : latency.ns());
+        latencies_.recordNs(ns);
+        if (latency > slo_) ++sloViolations_;
+        telemetry_.recordWorkloadOp(tag, ns);
+    }
+
+    const PercentileEstimator& latencies() const { return latencies_; }
+    std::uint64_t sloViolations() const { return sloViolations_; }
+    Time slo() const { return slo_; }
+
+private:
+    NetworkTelemetry& telemetry_;
+    Time slo_;
+    PercentileEstimator latencies_;
+    std::uint64_t sloViolations_ = 0;
+};
+
+}  // namespace ecnsim

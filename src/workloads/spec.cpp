@@ -1,0 +1,120 @@
+#include "src/workloads/spec.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/sim/spec_error.hpp"
+
+namespace ecnsim {
+
+bool parseWorkloadKind(const std::string& s, WorkloadKind& out) {
+    if (s == "mapreduce" || s == "mapred") {
+        out = WorkloadKind::MapReduce;
+    } else if (s == "incast") {
+        out = WorkloadKind::Incast;
+    } else if (s == "kv") {
+        out = WorkloadKind::KeyValue;
+    } else if (s == "mixed") {
+        out = WorkloadKind::MixedTenancy;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+void requirePositive(const char* field, std::int64_t v) {
+    if (v < 1) throw SpecError(field, std::to_string(v), "a positive integer");
+}
+
+void requirePositiveRate(const char* field, double v) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+        throw SpecError(field, std::to_string(v), "a positive finite rate");
+    }
+}
+
+void requirePositiveTime(const char* field, Time t) {
+    if (t <= Time::zero()) throw SpecError(field, t.toString(), "a positive duration");
+}
+
+}  // namespace
+
+void WorkloadConfig::validate(int numHosts) const {
+    switch (kind) {
+        case WorkloadKind::MapReduce:
+            return;  // cfg.cluster / cfg.job carry their own validation
+        case WorkloadKind::Incast:
+            requirePositive("workload.incast.fanIn", incast.fanIn);
+            if (incast.fanIn > numHosts - 1) {
+                throw SpecError("workload.incast.fanIn", std::to_string(incast.fanIn),
+                                "at most numHosts - 1 workers (aggregator needs its own host)");
+            }
+            requirePositive("workload.incast.waves", incast.waves);
+            requirePositive("workload.incast.requestBytes", incast.requestBytes);
+            requirePositive("workload.incast.replyBytes", incast.replyBytes);
+            if (incast.waveGap.isNegative()) {
+                throw SpecError("workload.incast.waveGap", incast.waveGap.toString(),
+                                "a non-negative gap");
+            }
+            requirePositiveTime("workload.incast.slo", incast.slo);
+            return;
+        case WorkloadKind::KeyValue:
+            requirePositive("workload.kv.clients", kv.clients);
+            if (kv.replicas < 0) {
+                throw SpecError("workload.kv.replicas", std::to_string(kv.replicas),
+                                "zero or more replicas");
+            }
+            if (numHosts < kv.replicas + 2) {
+                throw SpecError("workload.kv.replicas", std::to_string(kv.replicas),
+                                "leader + replicas + at least one client host "
+                                "(numHosts >= replicas + 2)");
+            }
+            requirePositive("workload.kv.requestBytes", kv.requestBytes);
+            requirePositive("workload.kv.valueBytes", kv.valueBytes);
+            requirePositive("workload.kv.outstanding", kv.outstanding);
+            requirePositive("workload.kv.requestsPerClient", kv.requestsPerClient);
+            requirePositiveRate("workload.kv.opsPerSecPerClient", kv.opsPerSecPerClient);
+            requirePositiveTime("workload.kv.slo", kv.slo);
+            return;
+        case WorkloadKind::MixedTenancy:
+            requirePositive("workload.mixed.rpcClients", mixed.rpcClients);
+            if (numHosts < 2) {
+                throw SpecError("workload.mixed.rpcClients", std::to_string(numHosts),
+                                "at least 2 hosts (RPC needs a distinct server)");
+            }
+            requirePositive("workload.mixed.requestBytes", mixed.requestBytes);
+            requirePositive("workload.mixed.replyBytes", mixed.replyBytes);
+            requirePositiveRate("workload.mixed.opsPerSecPerClient", mixed.opsPerSecPerClient);
+            requirePositiveTime("workload.mixed.slo", mixed.slo);
+            return;
+    }
+}
+
+std::string WorkloadConfig::describe() const {
+    std::ostringstream os;
+    os << workloadKindName(kind);
+    switch (kind) {
+        case WorkloadKind::MapReduce:
+            break;  // the job spec already keys the MapReduce workload
+        case WorkloadKind::Incast:
+            os << ",f=" << incast.fanIn << ",w=" << incast.waves << ",rq=" << incast.requestBytes
+               << ",rp=" << incast.replyBytes << ",gap=" << incast.waveGap.ns()
+               << ",slo=" << incast.slo.ns();
+            break;
+        case WorkloadKind::KeyValue:
+            os << ",c=" << kv.clients << ",r=" << kv.replicas << ",rq=" << kv.requestBytes
+               << ",v=" << kv.valueBytes << ",load=" << loadModeName(kv.load)
+               << ",out=" << kv.outstanding << ",n=" << kv.requestsPerClient
+               << ",rate=" << kv.opsPerSecPerClient << ",slo=" << kv.slo.ns();
+            break;
+        case WorkloadKind::MixedTenancy:
+            os << ",c=" << mixed.rpcClients << ",rq=" << mixed.requestBytes
+               << ",rp=" << mixed.replyBytes << ",rate=" << mixed.opsPerSecPerClient
+               << ",slo=" << mixed.slo.ns();
+            break;
+    }
+    return os.str();
+}
+
+}  // namespace ecnsim

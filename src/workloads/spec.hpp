@@ -1,0 +1,113 @@
+// Workload family specs: which traffic pattern drives the cluster.
+//
+// The MapReduce shuffle was the repo's only workload until PR 6; the specs
+// here open the workload axis with the production-shaped patterns where the
+// paper's ACK/SYN-slaughter pathology actually bites — partition-aggregate
+// incast, a replicated key-value service, and latency-sensitive RPC mixed
+// with bulk shuffle on one queue. Specs are plain data validated up front
+// (SpecError naming the field, like every ExperimentConfig knob) and are
+// part of the results-cache key via describe().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/sim/time.hpp"
+
+namespace ecnsim {
+
+enum class WorkloadKind : std::uint8_t {
+    MapReduce,     ///< the original shuffle-driven job (cfg.job / cfg.cluster)
+    Incast,        ///< partition-aggregate: one aggregator, N workers per wave
+    KeyValue,      ///< leader + replicas KV service under client fan-in
+    MixedTenancy,  ///< background shuffle + latency-sensitive RPC, one queue
+};
+
+constexpr std::string_view workloadKindName(WorkloadKind k) {
+    switch (k) {
+        case WorkloadKind::MapReduce: return "mapreduce";
+        case WorkloadKind::Incast: return "incast";
+        case WorkloadKind::KeyValue: return "kv";
+        case WorkloadKind::MixedTenancy: return "mixed";
+    }
+    return "?";
+}
+
+/// Parse a workload name ("mapreduce" | "incast" | "kv" | "mixed").
+/// Returns false on junk instead of throwing: the CLI treats an unknown
+/// workload name as a usage error (exit 2, like an unknown command — it
+/// selects what to run, not how), not a bad value (exit 3).
+bool parseWorkloadKind(const std::string& s, WorkloadKind& out);
+
+/// How a load generator offers requests (KV service).
+enum class LoadMode : std::uint8_t {
+    Closed,  ///< fixed outstanding-request window per client
+    Open,    ///< Poisson arrivals at a target rate (seeded RNG)
+};
+
+constexpr std::string_view loadModeName(LoadMode m) {
+    return m == LoadMode::Closed ? "closed" : "open";
+}
+
+/// Partition-aggregate incast: node 0 is the aggregator; each wave it fans
+/// a small request out to `fanIn` workers which all answer at once with
+/// `replyBytes` — the classic fan-in burst that overwhelms a shallow
+/// switch buffer. Per-wave request latency (fan-out to last reply) is the
+/// SLO-judged metric.
+struct IncastSpec {
+    int fanIn = 8;       ///< workers per wave (needs fanIn + 1 hosts)
+    int waves = 20;      ///< request waves to run
+    std::int64_t requestBytes = 64;
+    std::int64_t replyBytes = 64 * 1024;
+    Time waveGap = Time::milliseconds(1);  ///< idle gap between waves
+    Time slo = Time::milliseconds(10);     ///< per-wave latency objective
+};
+
+/// Replicated key-value service: node 0 is the leader, nodes 1..replicas
+/// hold replicas, the remaining nodes run `clients` client processes.
+/// Every PUT is replicated synchronously (leader streams the value to all
+/// replicas and replies to the client only after every replica acked), so
+/// client-visible latency includes the replication round trip.
+struct KvSpec {
+    int clients = 8;
+    int replicas = 2;
+    std::int64_t requestBytes = 128;  ///< client -> leader
+    std::int64_t valueBytes = 4096;   ///< leader -> replicas and -> client
+    LoadMode load = LoadMode::Closed;
+    int outstanding = 4;        ///< closed loop: per-client in-flight cap
+    int requestsPerClient = 200;
+    double opsPerSecPerClient = 2000.0;  ///< open loop: Poisson rate
+    Time slo = Time::milliseconds(5);
+};
+
+/// Mixed tenancy: the configured MapReduce job (cfg.job) runs as bulk
+/// background traffic while `rpcClients` open-loop clients issue small
+/// request/response RPCs over fresh connections — so every RPC pays the
+/// SYN handshake through the same RED+ECN queue the shuffle is filling.
+struct MixedSpec {
+    int rpcClients = 4;
+    std::int64_t requestBytes = 256;
+    std::int64_t replyBytes = 4096;
+    double opsPerSecPerClient = 200.0;  ///< Poisson arrivals per client
+    Time slo = Time::milliseconds(20);  ///< per-RPC latency objective
+};
+
+/// The workload knob on ExperimentConfig. Only the spec for the selected
+/// kind is validated or keyed; the others stay at defaults.
+struct WorkloadConfig {
+    WorkloadKind kind = WorkloadKind::MapReduce;
+    IncastSpec incast;
+    KvSpec kv;
+    MixedSpec mixed;
+
+    /// Throws SpecError naming "workload.<kind>.<field>" on a bad knob.
+    /// `numHosts` is the topology's host count (fan-in and client counts
+    /// must fit on it).
+    void validate(int numHosts) const;
+
+    /// Compact stable token for ExperimentConfig::cacheKey().
+    std::string describe() const;
+};
+
+}  // namespace ecnsim

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,103 @@ TEST(ConfigValidate, RejectsBadFieldsWithStructuredErrors) {
         {"zero horizon", [](ExperimentConfig& c) { c.horizon = Time::zero(); }, "horizon"},
         {"malformed faults",
          [](ExperimentConfig& c) { c.faultSpec = "zap@1s:link=0"; }, "fault clause"},
+        // --- workload knobs (incast / kv / mixed drivers) -------------------
+        {"negative fan-in",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = -4;
+         },
+         "workload.incast.fanIn"},
+        {"fan-in exceeds hosts",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = c.numNodes;  // needs an aggregator too
+         },
+         "workload.incast.fanIn"},
+        {"zero waves",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = 3;  // legal for the 4-host fabric
+             c.workload.incast.waves = 0;
+         },
+         "workload.incast.waves"},
+        {"zero reply bytes",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = 3;  // legal for the 4-host fabric
+             c.workload.incast.replyBytes = 0;
+         },
+         "workload.incast.replyBytes"},
+        {"negative wave gap",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = 3;  // legal for the 4-host fabric
+             c.workload.incast.waveGap = Time::microseconds(-1);
+         },
+         "workload.incast.waveGap"},
+        {"incast SLO zero",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::Incast;
+             c.workload.incast.fanIn = 3;  // legal for the 4-host fabric
+             c.workload.incast.slo = Time::zero();
+         },
+         "workload.incast.slo"},
+        {"zero kv clients",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.clients = 0;
+         },
+         "workload.kv.clients"},
+        {"negative kv replicas",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.replicas = -1;
+         },
+         "workload.kv.replicas"},
+        {"kv replicas exceed hosts",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.replicas = c.numNodes;  // leader + client need hosts
+         },
+         "workload.kv.replicas"},
+        {"zero kv window",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.outstanding = 0;
+         },
+         "workload.kv.outstanding"},
+        {"kv rate not positive",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.load = LoadMode::Open;
+             c.workload.kv.opsPerSecPerClient = 0.0;
+         },
+         "workload.kv.opsPerSecPerClient"},
+        {"kv SLO negative",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::KeyValue;
+             c.workload.kv.slo = Time::microseconds(-5);
+         },
+         "workload.kv.slo"},
+        {"zero rpc clients",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::MixedTenancy;
+             c.workload.mixed.rpcClients = 0;
+         },
+         "workload.mixed.rpcClients"},
+        {"mixed rate infinite",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::MixedTenancy;
+             c.workload.mixed.opsPerSecPerClient =
+                 std::numeric_limits<double>::infinity();
+         },
+         "workload.mixed.opsPerSecPerClient"},
+        {"mixed SLO zero",
+         [](ExperimentConfig& c) {
+             c.workload.kind = WorkloadKind::MixedTenancy;
+             c.workload.mixed.slo = Time::zero();
+         },
+         "workload.mixed.slo"},
     };
     for (const auto& bad : cases) {
         ExperimentConfig cfg = tinyConfig();
@@ -67,6 +165,42 @@ TEST(ConfigValidate, RejectsBadFieldsWithStructuredErrors) {
                 << bad.name << " reported field " << e.field();
             EXPECT_FALSE(e.expected().empty()) << bad.name;
         }
+    }
+}
+
+TEST(ConfigValidate, WorkloadKindParsesKnownNamesOnly) {
+    WorkloadKind kind = WorkloadKind::MapReduce;
+    EXPECT_TRUE(parseWorkloadKind("mapreduce", kind));
+    EXPECT_TRUE(parseWorkloadKind("incast", kind));
+    EXPECT_EQ(kind, WorkloadKind::Incast);
+    EXPECT_TRUE(parseWorkloadKind("kv", kind));
+    EXPECT_TRUE(parseWorkloadKind("mixed", kind));
+    // Junk selects nothing: the CLI turns this into a usage error (exit 2),
+    // like an unknown command — see tools/ecnlab_cli.cpp and the CLI smoke
+    // in tools/run_tests.sh.
+    for (const char* junk : {"", "Incast", "kv ", "memcached", "mapreduce2"}) {
+        const WorkloadKind before = kind;
+        EXPECT_FALSE(parseWorkloadKind(junk, kind)) << "'" << junk << "'";
+        EXPECT_EQ(kind, before) << "rejected parse must not clobber the out-param";
+    }
+}
+
+TEST(ConfigValidate, LeafSpineHostCountGovernsWorkloadValidation) {
+    // On a leaf-spine fabric the driver sees racks*hostsPerRack hosts, not
+    // numNodes: a fan-in legal for the star must fail if the fabric is
+    // narrower, and the error still names the workload field.
+    ExperimentConfig cfg = tinyConfig();
+    cfg.topology = TopologyKind::LeafSpine;
+    cfg.leafSpine = LeafSpineShape{.racks = 2, .hostsPerRack = 2, .spines = 1};
+    cfg.workload.kind = WorkloadKind::Incast;
+    cfg.workload.incast.fanIn = 3;
+    EXPECT_NO_THROW(cfg.validate());  // 4 hosts: 3 workers + aggregator fits
+    cfg.leafSpine.hostsPerRack = 1;
+    try {
+        cfg.validate();
+        FAIL() << "fan-in 3 accepted on a 2-host fabric";
+    } catch (const SpecError& e) {
+        EXPECT_NE(std::string(e.field()).find("workload.incast.fanIn"), std::string::npos);
     }
 }
 

@@ -68,6 +68,41 @@ TEST(ObsDigest, TelemetryDigestIsIdenticalAcrossObsModes) {
     }
 }
 
+TEST(ObsDigest, WorkloadDriverDigestsAreIdenticalAcrossObsModes) {
+    // The request/response drivers register their own obs series
+    // (workload.*); registering and sampling them must stay pure
+    // observation — byte-identical digest and request accounting whether
+    // obs is off, metrics-only, tracing, or full.
+    ::unsetenv("ECNSIM_OBS");
+    for (const WorkloadKind wk :
+         {WorkloadKind::Incast, WorkloadKind::KeyValue, WorkloadKind::MixedTenancy}) {
+        auto cfg = markingConfig();
+        cfg.workload.kind = wk;
+        cfg.workload.incast.fanIn = 3;
+        cfg.workload.incast.waves = 4;
+        cfg.workload.incast.replyBytes = 32 * 1024;
+        cfg.workload.kv.clients = 2;
+        cfg.workload.kv.replicas = 1;
+        cfg.workload.kv.requestsPerClient = 8;
+        cfg.workload.kv.valueBytes = 2048;
+        cfg.workload.mixed.rpcClients = 2;
+        cfg.workload.mixed.opsPerSecPerClient = 500.0;
+        const auto baseline = runExperiment(cfg);
+        const std::string workload(workloadKindName(wk));
+        ASSERT_NE(baseline.telemetryDigest, 0u) << workload;
+        ASSERT_GT(baseline.reqCompleted, 0u) << workload;
+
+        for (const char* mode : {"metrics", "trace", "full"}) {
+            cfg.obs.applyMode(mode);
+            const auto r = runExperiment(cfg);
+            const std::string name = workload + "/" + mode;
+            EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << name;
+            EXPECT_EQ(r.reqCompleted, baseline.reqCompleted) << name;
+            EXPECT_DOUBLE_EQ(r.reqP99Us, baseline.reqP99Us) << name;
+        }
+    }
+}
+
 TEST(ObsDigest, SinksPopulateTheirResultFields) {
     ::unsetenv("ECNSIM_OBS");
     auto cfg = markingConfig();

@@ -53,6 +53,51 @@ TEST(SchedulerDigest, AllKindsProduceByteIdenticalTelemetry) {
     }
 }
 
+// The production-shaped workloads must clear the same bar as the shuffle:
+// every request/response driver (incast fan-in, replicated KV commit,
+// mixed tenancy) is event-order-sensitive in exactly the way a subtly
+// wrong backend would expose, and each folds its request latencies into
+// the digest, so driver-order divergence is caught too.
+ExperimentConfig tinyWorkload(WorkloadKind kind) {
+    auto cfg = tinyShuffle();
+    cfg.workload.kind = kind;
+    cfg.workload.incast.fanIn = 3;
+    cfg.workload.incast.waves = 4;
+    cfg.workload.incast.replyBytes = 32 * 1024;
+    cfg.workload.kv.clients = 2;
+    cfg.workload.kv.replicas = 1;
+    cfg.workload.kv.outstanding = 2;
+    cfg.workload.kv.requestsPerClient = 8;
+    cfg.workload.kv.valueBytes = 2048;
+    cfg.workload.mixed.rpcClients = 2;
+    cfg.workload.mixed.opsPerSecPerClient = 500.0;
+    return cfg;
+}
+
+TEST(SchedulerDigest, WorkloadDriversProduceByteIdenticalTelemetryAcrossKinds) {
+    for (const WorkloadKind wk :
+         {WorkloadKind::Incast, WorkloadKind::KeyValue, WorkloadKind::MixedTenancy}) {
+        auto cfg = tinyWorkload(wk);
+        cfg.scheduler = SchedulerKind::FlatHeap;
+        const auto baseline = runExperiment(cfg);
+        const std::string workload(workloadKindName(wk));
+        ASSERT_NE(baseline.telemetryDigest, 0u) << workload;
+        ASSERT_GT(baseline.reqCompleted, 0u) << workload;
+        EXPECT_EQ(baseline.invariantViolations, 0u) << workload;
+
+        for (const SchedulerKind kind : kAllKinds) {
+            cfg.scheduler = kind;
+            const auto r = runExperiment(cfg);
+            const std::string name = workload + "/" + std::string(schedulerKindName(kind));
+            EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << name;
+            EXPECT_EQ(r.eventsExecuted, baseline.eventsExecuted) << name;
+            EXPECT_EQ(r.reqCompleted, baseline.reqCompleted) << name;
+            EXPECT_DOUBLE_EQ(r.reqP99Us, baseline.reqP99Us) << name;
+            EXPECT_EQ(r.invariantViolations, 0u) << name;
+        }
+    }
+}
+
 TEST(SchedulerDigest, WheelAndFlatHeapAgreeOnTimerDiagnostics) {
     auto cfg = tinyShuffle();
     cfg.scheduler = SchedulerKind::TimerWheel;

@@ -1,0 +1,90 @@
+// KvServiceEngine end to end: closed- and open-loop clients complete their
+// request budgets, replication is part of the committed path, and runs are
+// deterministic per seed under invariant checking.
+#include <gtest/gtest.h>
+
+#include "src/core/runner.hpp"
+#include "src/core/series.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+ExperimentConfig tinyKv() {
+    SweepScale s;
+    s.numNodes = 4;
+    s.inputBytesPerNode = 1024 * 1024;
+    s.repeats = 1;
+    auto cfg = makeSeriesConfig(PaperSeries::DctcpMarking, 200_us, BufferProfile::Shallow, s);
+    cfg.name = "tiny-kv";
+    cfg.obs = ObsConfig{};
+    cfg.invariants = InvariantMode::Record;
+    cfg.workload.kind = WorkloadKind::KeyValue;
+    cfg.workload.kv.clients = 2;
+    cfg.workload.kv.replicas = 1;
+    cfg.workload.kv.outstanding = 2;
+    cfg.workload.kv.requestsPerClient = 10;
+    cfg.workload.kv.valueBytes = 2048;
+    return cfg;
+}
+
+TEST(KvDriver, ClosedLoopCompletesEveryRequest) {
+    const ExperimentResult r = runExperiment(tinyKv());
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_EQ(r.reqIssued, 20u);
+    EXPECT_EQ(r.reqCompleted, 20u);
+    EXPECT_GT(r.reqKops, 0.0);
+    EXPECT_GT(r.reqP50Us, 0.0);
+    EXPECT_LE(r.reqP50Us, r.reqP99Us);
+    EXPECT_NE(r.telemetryDigest, 0u);
+}
+
+TEST(KvDriver, OpenLoopCompletesEveryRequest) {
+    auto cfg = tinyKv();
+    cfg.workload.kv.load = LoadMode::Open;
+    cfg.workload.kv.opsPerSecPerClient = 2000.0;
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_EQ(r.reqCompleted, 20u);
+    EXPECT_GT(r.reqP50Us, 0.0);
+}
+
+TEST(KvDriver, UnreplicatedServiceWorks) {
+    auto cfg = tinyKv();
+    cfg.workload.kv.replicas = 0;
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_EQ(r.reqCompleted, 20u);
+    EXPECT_EQ(r.invariantViolations, 0u);
+}
+
+TEST(KvDriver, ReplicationSlowsCommitLatency) {
+    // Same load, one extra replica ack on the commit path: the committed
+    // median cannot get faster. (Deterministic per seed, so this is a
+    // stable structural comparison, not a flaky performance test.)
+    auto cfg = tinyKv();
+    cfg.workload.kv.replicas = 0;
+    const double p50Unreplicated = runExperiment(cfg).reqP50Us;
+    cfg.workload.kv.replicas = 2;
+    const double p50Replicated = runExperiment(cfg).reqP50Us;
+    EXPECT_GE(p50Replicated, p50Unreplicated);
+}
+
+TEST(KvDriver, DeterministicDigestAndDistinctCacheKeys) {
+    const auto cfg = tinyKv();
+    const ExperimentResult a = runExperiment(cfg);
+    const ExperimentResult b = runExperiment(cfg);
+    EXPECT_EQ(a.telemetryDigest, b.telemetryDigest);
+    EXPECT_DOUBLE_EQ(a.reqP99Us, b.reqP99Us);
+
+    auto open = cfg;
+    open.workload.kv.load = LoadMode::Open;
+    EXPECT_NE(open.cacheKey(), cfg.cacheKey())
+        << "load mode changes behaviour; runs must not alias in the cache";
+}
+
+}  // namespace
+}  // namespace ecnsim

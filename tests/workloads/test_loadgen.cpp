@@ -1,0 +1,134 @@
+// Load generators: the open loop's offered rate converges on its target
+// (seeded property), and the closed loop's outstanding window is a checked
+// invariant — excursions surface through sim.invariants() as
+// WorkloadAccounting violations, not just failed test expectations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/invariants.hpp"
+#include "src/sim/simulator.hpp"
+#include "src/workloads/loadgen.hpp"
+
+namespace ecnsim {
+namespace {
+
+using namespace time_literals;
+
+TEST(OpenLoopGen, OfferedRateConvergesToTarget) {
+    // Poisson with rate 1000/s over 20 s: expect 20000 +- ~4.5 sigma
+    // (sigma = sqrt(20000) ~= 141). A generator that paces off the wrong
+    // clock or drops arrivals lands far outside this band.
+    for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        Simulator sim(seed);
+        std::uint64_t fired = 0;
+        OpenLoopGen gen(sim, 1000.0, 0, [&](std::uint64_t) { ++fired; });
+        gen.start();
+        sim.runUntil(20_s);
+        EXPECT_NEAR(static_cast<double>(fired), 20000.0, 650.0) << "seed " << seed;
+        EXPECT_EQ(fired, gen.issued()) << "seed " << seed;
+    }
+}
+
+TEST(OpenLoopGen, ArrivalsAreDeterministicPerSeed) {
+    auto run = [](std::uint64_t seed) {
+        Simulator sim(seed);
+        std::vector<std::int64_t> arrivals;
+        OpenLoopGen gen(sim, 5000.0, 100, [&](std::uint64_t) {
+            arrivals.push_back(sim.now().ns());
+        });
+        gen.start();
+        sim.runUntil(10_s);
+        return arrivals;
+    };
+    EXPECT_EQ(run(3), run(3));
+    EXPECT_NE(run(3), run(4));
+}
+
+TEST(OpenLoopGen, TotalOpsBoundsAndStopCancels) {
+    Simulator sim(5);
+    std::uint64_t fired = 0;
+    OpenLoopGen gen(sim, 10000.0, 50, [&](std::uint64_t) { ++fired; });
+    gen.start();
+    sim.runUntil(10_s);
+    EXPECT_EQ(fired, 50u);
+    EXPECT_TRUE(gen.exhausted());
+
+    Simulator sim2(5);
+    std::uint64_t fired2 = 0;
+    OpenLoopGen gen2(sim2, 10000.0, 0, [&](std::uint64_t) { ++fired2; });
+    gen2.start();
+    sim2.runUntil(10_ms);
+    const std::uint64_t atStop = fired2;
+    gen2.stop();
+    sim2.runUntil(10_s);
+    EXPECT_EQ(fired2, atStop) << "an arrival fired after stop()";
+}
+
+TEST(ClosedLoopGen, WindowNeverExceedsCapUnderAsyncCompletions) {
+    Simulator sim(11);
+    InvariantChecker inv(InvariantMode::Record);
+    sim.setInvariants(&inv);
+    constexpr int kCap = 4;
+    constexpr std::uint64_t kTotal = 200;
+    ClosedLoopGen* genPtr = nullptr;
+    int observedPeak = 0;
+    ClosedLoopGen gen(sim, kCap, kTotal, [&](std::uint64_t op) {
+        observedPeak = std::max(observedPeak, genPtr->inFlight());
+        // Deterministic but uneven service times, finishing out of order.
+        const auto delay = Time::microseconds(100 + 37 * static_cast<std::int64_t>(op % 7));
+        sim.schedule(delay, [&] { genPtr->completed(); });
+    });
+    genPtr = &gen;
+    gen.start();
+    sim.runUntil(60_s);
+    EXPECT_TRUE(gen.done());
+    EXPECT_EQ(gen.issued(), kTotal);
+    EXPECT_EQ(gen.completedOps(), kTotal);
+    EXPECT_EQ(gen.peakInFlight(), kCap);
+    EXPECT_LE(observedPeak, kCap);
+    EXPECT_EQ(inv.countOf(InvariantClass::WorkloadAccounting), 0u);
+    EXPECT_GT(inv.checksPassedCount(), 0u) << "window checks never ran";
+}
+
+TEST(ClosedLoopGen, WindowExcursionIsAnInvariantViolation) {
+    Simulator sim(12);
+    InvariantChecker inv(InvariantMode::Record);
+    sim.setInvariants(&inv);
+    ClosedLoopGen gen(sim, 2, 100, [](std::uint64_t) {});
+    gen.start();  // fills the window: 2 in flight
+    EXPECT_EQ(inv.countOf(InvariantClass::WorkloadAccounting), 0u);
+    gen.testOnlyForceIssue();  // 3 in flight with cap 2
+    EXPECT_EQ(inv.countOf(InvariantClass::WorkloadAccounting), 1u);
+    EXPECT_EQ(gen.peakInFlight(), 3);
+}
+
+TEST(ClosedLoopGen, SpuriousCompletionIsAnInvariantViolation) {
+    Simulator sim(13);
+    InvariantChecker inv(InvariantMode::Record);
+    sim.setInvariants(&inv);
+    ClosedLoopGen gen(sim, 2, 0, [](std::uint64_t) {});
+    gen.start();  // totalOps == 0: nothing in flight
+    gen.completed();
+    EXPECT_EQ(inv.countOf(InvariantClass::WorkloadAccounting), 1u);
+    EXPECT_EQ(gen.completedOps(), 0u) << "spurious completion must not be counted";
+}
+
+TEST(ClosedLoopGen, DrainsTailSmallerThanWindow) {
+    Simulator sim(14);
+    ClosedLoopGen* genPtr = nullptr;
+    ClosedLoopGen gen(sim, 8, 3, [&](std::uint64_t) {
+        sim.schedule(1_ms, [&] { genPtr->completed(); });
+    });
+    genPtr = &gen;
+    gen.start();
+    EXPECT_EQ(gen.inFlight(), 3) << "window must not over-issue past totalOps";
+    sim.runUntil(1_s);
+    EXPECT_TRUE(gen.done());
+    EXPECT_EQ(gen.inFlight(), 0);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,9 +1,10 @@
 // bench_runner — simulator throughput regression harness.
 //
 // Runs a fixed set of full-stack scenarios (single-bottleneck RED+ECN
-// shuffle, leaf-spine Terasort, fault-flap recovery), each as a small batch
-// of seeded experiments, first with threads=1 and then with threads=N via
-// runExperimentsParallel. For every scenario it writes BENCH_<name>.json
+// shuffle, leaf-spine Terasort, fault-flap recovery, plus the three
+// production-shaped workloads: partition-aggregate incast, replicated KV,
+// mixed tenancy), each as a small batch of seeded experiments, first with
+// threads=1 and then with threads=N via runExperimentsParallel. For every scenario it writes BENCH_<name>.json
 // containing events/sec, packets/sec, peak RSS and the determinism digest
 // (NetworkTelemetry::digest folded over all runs). The digest must be
 // byte-identical between the serial and parallel passes; any mismatch makes
@@ -31,6 +32,8 @@
 #include <exception>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +54,10 @@ struct Scenario {
     std::string name;
     std::string description;
     std::vector<ExperimentConfig> configs;
+    /// Optional scenario-specific fields spliced into BENCH_<name>.json,
+    /// computed from the serial-leg results. Must return zero or more
+    /// complete `  "key": value,\n` lines.
+    std::function<std::string(const std::vector<ExperimentResult>&)> extraJson;
 };
 
 constexpr int kSeeds = 4;  ///< batch size: gives threads=N real fan-out
@@ -119,6 +126,140 @@ Scenario faultFlapRecovery(bool quick) {
     cfg.faultSpec = "crash@20ms:node=5:for=600ms;flap@60ms:link=2:for=80ms";
     return {"fault_flap_recovery", "shuffle with a node crash and an access-link flap",
             seeded(cfg)};
+}
+
+/// Request/response latency block shared by the workload scenarios:
+/// completion counters summed over the batch, percentiles and Kops averaged
+/// (matching ExperimentResult::average's convention for repeats).
+std::string requestStatsJson(const std::vector<ExperimentResult>& rs) {
+    std::uint64_t issued = 0, completed = 0, violations = 0;
+    double kops = 0, p50 = 0, p95 = 0, p99 = 0, p999 = 0;
+    for (const auto& r : rs) {
+        issued += r.reqIssued;
+        completed += r.reqCompleted;
+        violations += r.reqSloViolations;
+        kops += r.reqKops;
+        p50 += r.reqP50Us;
+        p95 += r.reqP95Us;
+        p99 += r.reqP99Us;
+        p999 += r.reqP999Us;
+    }
+    const double n = rs.empty() ? 1.0 : static_cast<double>(rs.size());
+    std::ostringstream os;
+    os.precision(9);
+    os << "  \"reqIssued\": " << issued << ",\n"
+       << "  \"reqCompleted\": " << completed << ",\n"
+       << "  \"reqSloViolations\": " << violations << ",\n"
+       << "  \"reqKops\": " << kops / n << ",\n"
+       << "  \"reqP50Us\": " << p50 / n << ",\n"
+       << "  \"reqP95Us\": " << p95 / n << ",\n"
+       << "  \"reqP99Us\": " << p99 / n << ",\n"
+       << "  \"reqP999Us\": " << p999 / n << ",\n";
+    return os.str();
+}
+
+/// Mixed tenancy runs two legs (protection Default vs ACK+SYN) and the
+/// report must quote the RPC p99 gap between them — the paper's headline
+/// "protect control packets" effect seen from the application.
+std::string mixedGapJson(const std::vector<ExperimentResult>& rs) {
+    double p99Def = 0, p99Prot = 0;
+    int nDef = 0, nProt = 0;
+    for (const auto& r : rs) {
+        if (r.name.find("/acksyn/") != std::string::npos) {
+            p99Prot += r.reqP99Us;
+            ++nProt;
+        } else {
+            p99Def += r.reqP99Us;
+            ++nDef;
+        }
+    }
+    if (nDef) p99Def /= nDef;
+    if (nProt) p99Prot /= nProt;
+    std::ostringstream os;
+    os.precision(9);
+    os << requestStatsJson(rs) << "  \"rpcP99DefaultUs\": " << p99Def << ",\n"
+       << "  \"rpcP99ProtAckSynUs\": " << p99Prot << ",\n"
+       << "  \"rpcP99GapUs\": " << (p99Def - p99Prot) << ",\n";
+    std::fprintf(stderr,
+                 "[bench] mixed: RPC p99 %.0f us (Default) vs %.0f us (ACK+SYN protected), "
+                 "gap %.0f us\n",
+                 p99Def, p99Prot, p99Def - p99Prot);
+    return os.str();
+}
+
+/// Partition-aggregate incast: every other host answers one aggregator per
+/// wave through the shared RED+ECN bottleneck — fresh connections per wave,
+/// so SYNs cross the hot queue exactly like the paper's Fig. 1 setup.
+Scenario incastPartitionAggregate(bool quick) {
+    ExperimentConfig cfg = makeBaseConfig(benchScale(quick));
+    cfg.name = "incast";
+    cfg.transport = TransportKind::EcnTcp;
+    cfg.switchQueue.kind = QueueKind::Red;
+    cfg.switchQueue.redVariant = RedVariant::Classic;
+    cfg.switchQueue.ecnEnabled = true;
+    cfg.switchQueue.targetDelay = Time::microseconds(500);
+    cfg.buffers = BufferProfile::Shallow;
+    cfg.workload.kind = WorkloadKind::Incast;
+    cfg.workload.incast.fanIn = cfg.numNodes - 1;
+    cfg.workload.incast.waves = quick ? 12 : 30;
+    cfg.workload.incast.replyBytes = 64 * 1024;
+    Scenario sc{"incast", "partition-aggregate incast through a shared RED+ECN bottleneck",
+                seeded(cfg), nullptr};
+    sc.extraJson = requestStatsJson;
+    return sc;
+}
+
+/// Replicated KV service under DCTCP-style marking: leader commit waits on
+/// every replica ack, clients run closed-loop over persistent connections.
+Scenario kvReplicated(bool quick) {
+    ExperimentConfig cfg = makeBaseConfig(benchScale(quick));
+    cfg.name = "kv";
+    cfg.transport = TransportKind::Dctcp;
+    cfg.switchQueue.kind = QueueKind::Red;
+    cfg.switchQueue.redVariant = RedVariant::DctcpMimic;
+    cfg.switchQueue.ecnEnabled = true;
+    cfg.switchQueue.targetDelay = Time::microseconds(100);
+    cfg.workload.kind = WorkloadKind::KeyValue;
+    cfg.workload.kv.clients = quick ? 6 : 8;
+    cfg.workload.kv.replicas = 2;
+    cfg.workload.kv.requestsPerClient = quick ? 40 : 100;
+    cfg.workload.kv.outstanding = 4;
+    Scenario sc{"kv", "replicated key-value service, closed-loop clients, DCTCP marking",
+                seeded(cfg), nullptr};
+    sc.extraJson = requestStatsJson;
+    return sc;
+}
+
+/// Mixed tenancy: the MapReduce shuffle as background tenant plus open-loop
+/// latency-sensitive RPCs on the same queue, once with protection Default
+/// and once with ACK+SYN early-drop protection. extraJson quotes the RPC
+/// p99 gap between the two legs.
+Scenario mixedTenancy(bool quick) {
+    ExperimentConfig base = makeBaseConfig(benchScale(quick));
+    // DCTCP-style marking keeps the data plane ECN-governed, which makes the
+    // non-ECT control packets (pure ACKs, SYNs) the only early-drop victims —
+    // the regime where ACK+SYN protection visibly rescues the RPC tail.
+    base.transport = TransportKind::Dctcp;
+    base.switchQueue.kind = QueueKind::Red;
+    base.switchQueue.redVariant = RedVariant::DctcpMimic;
+    base.switchQueue.ecnEnabled = true;
+    base.switchQueue.targetDelay = Time::microseconds(500);
+    base.buffers = BufferProfile::Shallow;
+    base.workload.kind = WorkloadKind::MixedTenancy;
+    base.workload.mixed.rpcClients = 4;
+    base.workload.mixed.opsPerSecPerClient = quick ? 300.0 : 400.0;
+    std::vector<ExperimentConfig> configs;
+    for (const bool prot : {false, true}) {
+        ExperimentConfig leg = base;
+        leg.switchQueue.protection =
+            prot ? ProtectionMode::ProtectAckSyn : ProtectionMode::Default;
+        leg.name = std::string("mixed/") + (prot ? "acksyn" : "default");
+        for (auto& cfg : seeded(leg)) configs.push_back(std::move(cfg));
+    }
+    Scenario sc{"mixed", "background shuffle + latency-sensitive RPCs, protection off vs on",
+                std::move(configs), nullptr};
+    sc.extraJson = mixedGapJson;
+    return sc;
 }
 
 std::uint64_t combinedDigest(const std::vector<ExperimentResult>& results) {
@@ -231,8 +372,9 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"obsOverheadPct\": " << obsOverheadPct << ",\n"
        << "  \"digestMatchObs\": " << (digestMatchObs ? "true" : "false") << ",\n"
        << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
-       << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n"
-       << "  \"scheduler\": \"" << schedulerKindName(sc.configs.front().scheduler) << "\",\n"
+       << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n";
+    if (sc.extraJson) os << sc.extraJson(serial);
+    os << "  \"scheduler\": \"" << schedulerKindName(sc.configs.front().scheduler) << "\",\n"
        << "  \"cancelledEvents\": " << cancelled << ",\n"
        << "  \"cascades\": " << cascades << ",\n"
        << "  \"heapMaxDepth\": " << heapMaxDepth << ",\n"
@@ -308,8 +450,9 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    std::vector<Scenario> scenarios{shuffleRedEcn(quick), terasortLeafSpine(quick),
-                                    faultFlapRecovery(quick)};
+    std::vector<Scenario> scenarios{shuffleRedEcn(quick),           terasortLeafSpine(quick),
+                                    faultFlapRecovery(quick),       incastPartitionAggregate(quick),
+                                    kvReplicated(quick),            mixedTenancy(quick)};
     if (!obsMode.empty()) {
         for (auto& sc : scenarios) {
             for (auto& cfg : sc.configs) cfg.obs.applyMode(obsMode);

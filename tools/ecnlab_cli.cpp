@@ -69,6 +69,19 @@ const std::vector<FlagSpec> kRunFlags = {
     {"max-retries", true, "task re-execution budget"},
     {"task-timeout-ms", true, "task heartbeat deadline, milliseconds"},
     {"speculative", false, "enable speculative task execution"},
+    {"workload", true, "mapreduce | incast | kv | mixed (default mapreduce)"},
+    {"fan-in", true, "incast: workers per request wave (default 8)"},
+    {"waves", true, "incast: request waves to run (default 20)"},
+    {"reply-kb", true, "incast: reply size per worker, KiB (default 64)"},
+    {"slo-us", true, "request latency SLO, microseconds (workload default if unset)"},
+    {"kv-clients", true, "kv: client processes (default 8)"},
+    {"kv-replicas", true, "kv: replicas behind the leader (default 2)"},
+    {"kv-outstanding", true, "kv closed loop: per-client in-flight cap (default 4)"},
+    {"kv-requests", true, "kv: requests per client (default 200)"},
+    {"value-bytes", true, "kv: value size, bytes (default 4096)"},
+    {"load", true, "kv load generator: closed | open (default closed)"},
+    {"rate-ops", true, "open-loop ops/sec per client (kv open loop / mixed RPC)"},
+    {"rpc-clients", true, "mixed: latency-sensitive RPC clients (default 4)"},
     {"invariants", true, "off | record | abort — runtime invariant checking"},
     {"scheduler", true, "wheel | flatheap | binaryheap | calendar (default wheel)"},
     {"obs", true, "off | metrics | trace | profile | full — observability sinks"},
@@ -194,6 +207,72 @@ BufferProfile parseBuffers(const std::string& s) {
     throw SpecError("--buffers", s, "shallow or deep");
 }
 
+LoadMode parseLoadMode(const std::string& s) {
+    if (s == "closed") return LoadMode::Closed;
+    if (s == "open") return LoadMode::Open;
+    throw SpecError("--load", s, "closed or open");
+}
+
+/// Wide integer bounds for workload knobs: out-of-range values flow into
+/// WorkloadConfig::validate, which throws the canonical SpecError naming
+/// the "workload.<kind>.<field>" that the corpus tests assert on.
+constexpr long kKnobLo = -1'000'000'000L;
+constexpr long kKnobHi = 1'000'000'000L;
+
+/// Select the workload and apply its knobs. An unknown *name* is a usage
+/// error (exit 2): like an unknown command, it picks what to run, not how.
+/// Bad knob values stay SpecErrors (exit 3) like every other flag.
+void applyWorkloadFlags(const Args& a, ExperimentConfig& cfg) {
+    const std::string name = a.get("workload", "mapreduce");
+    if (!parseWorkloadKind(name, cfg.workload.kind)) {
+        throw UsageError{"unknown workload '" + name +
+                         "' (mapreduce | incast | kv | mixed; see: ecnlab help)"};
+    }
+    WorkloadConfig& wl = cfg.workload;
+    switch (wl.kind) {
+        case WorkloadKind::MapReduce: break;
+        case WorkloadKind::Incast:
+            wl.incast.fanIn = static_cast<int>(a.getInt("fan-in", wl.incast.fanIn,
+                                                        kKnobLo, kKnobHi));
+            wl.incast.waves = static_cast<int>(a.getInt("waves", wl.incast.waves,
+                                                        kKnobLo, kKnobHi));
+            wl.incast.replyBytes =
+                a.getInt("reply-kb", wl.incast.replyBytes / 1024, kKnobLo, kKnobHi) * 1024;
+            if (a.has("slo-us")) {
+                wl.incast.slo = Time::microseconds(a.getInt("slo-us", 0, kKnobLo, kKnobHi));
+            }
+            break;
+        case WorkloadKind::KeyValue:
+            wl.kv.clients = static_cast<int>(a.getInt("kv-clients", wl.kv.clients,
+                                                      kKnobLo, kKnobHi));
+            wl.kv.replicas = static_cast<int>(a.getInt("kv-replicas", wl.kv.replicas,
+                                                       kKnobLo, kKnobHi));
+            wl.kv.outstanding = static_cast<int>(a.getInt("kv-outstanding", wl.kv.outstanding,
+                                                          kKnobLo, kKnobHi));
+            wl.kv.requestsPerClient = static_cast<int>(
+                a.getInt("kv-requests", wl.kv.requestsPerClient, kKnobLo, kKnobHi));
+            wl.kv.valueBytes = a.getInt("value-bytes", wl.kv.valueBytes, kKnobLo, kKnobHi);
+            wl.kv.load = parseLoadMode(a.get("load", "closed"));
+            wl.kv.opsPerSecPerClient = static_cast<double>(
+                a.getInt("rate-ops", static_cast<long>(wl.kv.opsPerSecPerClient),
+                         kKnobLo, kKnobHi));
+            if (a.has("slo-us")) {
+                wl.kv.slo = Time::microseconds(a.getInt("slo-us", 0, kKnobLo, kKnobHi));
+            }
+            break;
+        case WorkloadKind::MixedTenancy:
+            wl.mixed.rpcClients = static_cast<int>(
+                a.getInt("rpc-clients", wl.mixed.rpcClients, kKnobLo, kKnobHi));
+            wl.mixed.opsPerSecPerClient = static_cast<double>(
+                a.getInt("rate-ops", static_cast<long>(wl.mixed.opsPerSecPerClient),
+                         kKnobLo, kKnobHi));
+            if (a.has("slo-us")) {
+                wl.mixed.slo = Time::microseconds(a.getInt("slo-us", 0, kKnobLo, kKnobHi));
+            }
+            break;
+    }
+}
+
 /// Apply the observability flags on top of the ECNSIM_OBS-derived default.
 /// --trace-out / --metrics-out imply the corresponding sink so
 /// `ecnlab run --trace-out t.json` alone produces a trace.
@@ -249,6 +328,18 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
     t.addRow({"p99 packet latency", TextTable::num(r.p99LatencyUs, 1) + " us"});
     t.addRow({"fetch FCT p50/p99", TextTable::num(r.fctP50Us / 1000, 2) + " / " +
                                        TextTable::num(r.fctP99Us / 1000, 2) + " ms"});
+    if (r.reqIssued > 0) {
+        t.addRow({"requests done/issued",
+                  std::to_string(r.reqCompleted) + " / " + std::to_string(r.reqIssued)});
+        t.addRow({"req p50/p99/p99.9",
+                  TextTable::num(r.reqP50Us / 1000, 2) + " / " +
+                      TextTable::num(r.reqP99Us / 1000, 2) + " / " +
+                      TextTable::num(r.reqP999Us / 1000, 2) + " ms"});
+        t.addRow({"req SLO violations",
+                  std::to_string(r.reqSloViolations) + " (slo " +
+                      TextTable::num(r.reqSloUs / 1000, 1) + " ms)"});
+        t.addRow({"req rate", TextTable::num(r.reqKops, 3) + " Kops"});
+    }
     t.addRow({"ACK early-drop share", TextTable::num(100.0 * r.ackDropShare(), 2) + " %"});
     t.addRow({"SYN retries", std::to_string(r.synRetries)});
     t.addRow({"RTO events", std::to_string(r.rtoEvents)});
@@ -329,8 +420,12 @@ int cmdRun(const Args& a) {
             Time::milliseconds(a.getInt("task-timeout-ms", 60000, 1, 86'400'000));
     }
     cfg.job.speculativeExecution = a.has("speculative");
+    applyWorkloadFlags(a, cfg);
     cfg.name = std::string(transportKindName(cfg.transport)) + "/" + cfg.switchQueue.describe() +
                "/" + std::string(bufferProfileName(cfg.buffers));
+    if (cfg.workload.kind != WorkloadKind::MapReduce) {
+        cfg.name = std::string(workloadKindName(cfg.workload.kind)) + "/" + cfg.name;
+    }
     if (!cfg.faultSpec.empty()) cfg.name += "/faults";
     const ExperimentResult r = runExperimentCached(cfg);
     printResult(r, a.has("csv"), a.has("json"));
@@ -381,6 +476,7 @@ int cmdList() {
     for (const auto t : paperTargetDelays()) std::printf(" %s", t.toString().c_str());
     std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
                 "| crash@T:node=I[:for=D]  (';'-separated)\n");
+    std::printf("workloads  : mapreduce incast kv mixed (see docs/workloads.md)\n");
     std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
     std::printf("schedulers : wheel flatheap binaryheap calendar\n");
     std::printf("obs        : off metrics trace profile full (also: ECNSIM_OBS)\n");

@@ -58,6 +58,23 @@ run_leg() {
             "${ctest_args[@]}" )
     local status=$?
     if [[ $status -eq 0 && "$leg" == plain ]]; then
+        echo "==> [plain] workload CLI smoke (exit codes + request/response drivers)"
+        ( cd "$dir" &&
+            # Unknown workload name is a usage error, same as an unknown
+            # command: exit 2, not a SpecError (3) or a crash.
+            rc=0; ./tools/ecnlab run --workload memcached --nodes 4 \
+                >/dev/null 2>&1 || rc=$?
+            [[ $rc -eq 2 ]] ||
+                { echo "unknown workload: expected exit 2, got $rc" >&2; exit 1; }
+            ./tools/ecnlab run --workload incast --nodes 6 --fan-in 5 --waves 8 \
+                --invariants record >/dev/null &&
+            ./tools/ecnlab run --workload kv --nodes 6 --kv-requests 30 \
+                --invariants record >/dev/null &&
+            ./tools/ecnlab run --workload mixed --nodes 6 --input-mb 1 --rate-ops 300 \
+                --invariants record >/dev/null )
+        status=$?
+    fi
+    if [[ $status -eq 0 && "$leg" == plain ]]; then
         echo "==> [plain] obs smoke (full observability + trace/metrics export)"
         ( cd "$dir" &&
             ./tools/ecnlab run --nodes 6 --input-mb 2 --repeats 1 \
