@@ -5,6 +5,10 @@
 #include <fstream>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace ecnsim {
 
 ResultsCache ResultsCache::fromEnvironment() {
@@ -83,7 +87,17 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
     if (!enabled()) return;
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
-    std::ofstream outFile(pathFor(key), std::ios::trunc);
+    // Write-then-rename so a store is atomic: concurrent sweep workers (and
+    // workers killed mid-store) can never leave a torn entry behind for
+    // lookup() to half-read — the resume guarantee depends on this. The pid
+    // keeps simultaneous writers of the same key on distinct temp files.
+    const std::string path = pathFor(key);
+#if defined(__unix__) || defined(__APPLE__)
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+#else
+    const std::string tmp = path + ".tmp";
+#endif
+    std::ofstream outFile(tmp, std::ios::trunc);
     if (!outFile) return;
     outFile << key << '\n';
     outFile.precision(17);
@@ -136,6 +150,13 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "traceRecords " << r.traceRecords << '\n'
             << "traceDroppedEvents " << r.traceDroppedEvents << '\n'
             << "metricSamples " << r.metricSamples << '\n';
+    outFile.close();
+    if (!outFile) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) std::filesystem::remove(tmp, ec);
 }
 
 }  // namespace ecnsim

@@ -24,6 +24,8 @@ public:
     bool enabled() const { return !dir_.empty(); }
 
     bool lookup(const std::string& key, ExperimentResult& out) const;
+    /// Atomic (write-to-temp, rename): concurrent writers — the sweep
+    /// driver's worker processes — never expose a torn entry to lookup().
     void store(const std::string& key, const ExperimentResult& r) const;
 
 private:

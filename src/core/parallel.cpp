@@ -1,9 +1,7 @@
 #include "src/core/parallel.hpp"
 
-#include <atomic>
-#include <thread>
-
 #include "src/core/runner.hpp"
+#include "src/sweep/pool.hpp"
 
 namespace ecnsim {
 
@@ -11,26 +9,11 @@ std::vector<ExperimentResult> runExperimentsParallel(const std::vector<Experimen
                                                      int threads, bool useCache) {
     std::vector<ExperimentResult> results(configs.size());
     if (configs.empty()) return results;
-
-    unsigned workerCount = threads > 0 ? static_cast<unsigned>(threads)
-                                       : std::max(1u, std::thread::hardware_concurrency());
-    workerCount = std::min<unsigned>(workerCount, static_cast<unsigned>(configs.size()));
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (std::size_t i = next.fetch_add(1); i < configs.size(); i = next.fetch_add(1)) {
-            results[i] = useCache ? runExperimentCached(configs[i]) : runExperiment(configs[i]);
-        }
-    };
-
-    if (workerCount <= 1) {
-        worker();
-        return results;
-    }
-    std::vector<std::thread> pool;
-    pool.reserve(workerCount);
-    for (unsigned w = 0; w < workerCount; ++w) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    // The bounded pool is shared with the sweep driver (src/sweep/pool.hpp);
+    // bench_runner's scenario batches ride this same code path.
+    runBoundedTasks(configs.size(), threads, [&](std::size_t i) {
+        results[i] = useCache ? runExperimentCached(configs[i]) : runExperiment(configs[i]);
+    });
     return results;
 }
 

@@ -477,6 +477,25 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     return avg;
 }
 
+namespace {
+
+/// The i-th repetition of a repeated config: seed advanced, repeats
+/// collapsed to 1, obs exports suffixed so repetitions never fight over
+/// one file. This is the unit the results cache is keyed on.
+ExperimentConfig repetitionConfig(const ExperimentConfig& cfg, int i, int repeats) {
+    ExperimentConfig one = cfg;
+    one.seed = cfg.seed + static_cast<std::uint64_t>(i);
+    one.repeats = 1;
+    if (repeats > 1) {
+        // One export per repetition, not one file fought over by all.
+        if (!one.obs.traceOut.empty()) one.obs.traceOut += "." + std::to_string(i);
+        if (!one.obs.metricsOut.empty()) one.obs.metricsOut += "." + std::to_string(i);
+    }
+    return one;
+}
+
+}  // namespace
+
 ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
     ResultsCache cache = ResultsCache::fromEnvironment();
     // Observed runs bypass the on-disk cache entirely: their point is the
@@ -487,14 +506,7 @@ ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
     std::vector<ExperimentResult> runs;
     runs.reserve(static_cast<std::size_t>(repeats));
     for (int i = 0; i < repeats; ++i) {
-        ExperimentConfig one = cfg;
-        one.seed = cfg.seed + static_cast<std::uint64_t>(i);
-        one.repeats = 1;
-        if (repeats > 1) {
-            // One export per repetition, not one file fought over by all.
-            if (!one.obs.traceOut.empty()) one.obs.traceOut += "." + std::to_string(i);
-            if (!one.obs.metricsOut.empty()) one.obs.metricsOut += "." + std::to_string(i);
-        }
+        const ExperimentConfig one = repetitionConfig(cfg, i, repeats);
         ExperimentResult r;
         if (observed || !cache.lookup(one.cacheKey(), r)) {
             r = runExperiment(one);
@@ -504,6 +516,22 @@ ExperimentResult runExperimentCached(const ExperimentConfig& cfg) {
         runs.push_back(std::move(r));
     }
     return runs.size() == 1 ? runs.front() : ExperimentResult::average(runs);
+}
+
+bool lookupExperimentCached(const ExperimentConfig& cfg, ExperimentResult& out) {
+    const ResultsCache cache = ResultsCache::fromEnvironment();
+    if (!cache.enabled() || cfg.obs.anyEnabled()) return false;
+    const int repeats = std::max(1, cfg.repeats);
+    std::vector<ExperimentResult> runs;
+    runs.reserve(static_cast<std::size_t>(repeats));
+    for (int i = 0; i < repeats; ++i) {
+        ExperimentResult r;
+        if (!cache.lookup(repetitionConfig(cfg, i, repeats).cacheKey(), r)) return false;
+        r.name = cfg.name;
+        runs.push_back(std::move(r));
+    }
+    out = runs.size() == 1 ? runs.front() : ExperimentResult::average(runs);
+    return true;
 }
 
 }  // namespace ecnsim

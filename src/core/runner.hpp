@@ -14,4 +14,12 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg);
 /// (empty string disables caching).
 ExperimentResult runExperimentCached(const ExperimentConfig& cfg);
 
+/// Cache-only probe: fills `out` (averaging repeats, exactly like
+/// runExperimentCached) and returns true iff every repetition of `cfg` is
+/// already in the results cache — no simulation runs. False when the cache
+/// is disabled, the config is observed (obs runs bypass the cache), or any
+/// repeat is missing. The sweep driver's resume accounting is built on
+/// this: probe first, schedule only the misses.
+bool lookupExperimentCached(const ExperimentConfig& cfg, ExperimentResult& out);
+
 }  // namespace ecnsim

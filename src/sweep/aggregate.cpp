@@ -1,0 +1,118 @@
+#include "src/sweep/aggregate.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/core/report.hpp"
+
+namespace ecnsim {
+
+namespace {
+
+const char* cellStatus(const SweepCellOutcome& o) {
+    if (o.failed) return "failed";
+    if (o.result.name.empty()) return "skipped";  // interrupted before it ran
+    if (o.result.timedOut) return "timeout";
+    if (o.result.jobFailed) return "jobfailed";
+    return "ok";
+}
+
+std::string hex64(std::uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// Deterministic double rendering (max_digits10: the cache round-trips
+/// doubles at this precision, so live and cache-replayed sweeps print the
+/// same bytes).
+std::string num(double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string sweepCsv(const SweepReport& rep) {
+    std::ostringstream os;
+    os << "cell";
+    if (!rep.cells.empty()) {
+        for (const auto& [axis, value] : rep.cells.front().coords) os << ',' << axis;
+    }
+    os << ",status,runtime_s,tput_node_mbps,avg_lat_us,p99_lat_us,avg_data_lat_us,"
+          "avg_ack_lat_us,fct_mean_us,fct_p50_us,fct_p99_us,ack_offered,ack_dropped_early,"
+          "data_offered,data_dropped,syn_offered,syn_dropped,ce_marks,retransmits,rto_events,"
+          "syn_retries,ecn_cwnd_cuts,req_issued,req_completed,req_slo_violations,req_p50_us,"
+          "req_p95_us,req_p99_us,req_p999_us,req_kops,events_executed,packets_delivered,"
+          "telemetry_digest\n";
+    for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+        const SweepCell& cell = rep.cells[i];
+        const SweepCellOutcome& o = rep.outcomes[i];
+        const ExperimentResult& r = o.result;
+        os << cell.index;
+        for (const auto& [axis, value] : cell.coords) os << ',' << value;
+        os << ',' << cellStatus(o) << ',' << num(r.runtimeSec) << ','
+           << num(r.throughputPerNodeMbps) << ',' << num(r.avgLatencyUs) << ','
+           << num(r.p99LatencyUs) << ',' << num(r.avgDataLatencyUs) << ','
+           << num(r.avgAckLatencyUs) << ',' << num(r.fctMeanUs) << ',' << num(r.fctP50Us) << ','
+           << num(r.fctP99Us) << ',' << r.ackOffered << ',' << r.ackDroppedEarly << ','
+           << r.dataOffered << ',' << r.dataDropped << ',' << r.synOffered << ','
+           << r.synDropped << ',' << r.ceMarks << ',' << r.retransmits << ',' << r.rtoEvents
+           << ',' << r.synRetries << ',' << r.ecnCwndCuts << ',' << r.reqIssued << ','
+           << r.reqCompleted << ',' << r.reqSloViolations << ',' << num(r.reqP50Us) << ','
+           << num(r.reqP95Us) << ',' << num(r.reqP99Us) << ',' << num(r.reqP999Us) << ','
+           << num(r.reqKops) << ',' << r.eventsExecuted << ',' << r.packetsDelivered << ','
+           << hex64(r.telemetryDigest) << '\n';
+    }
+    return os.str();
+}
+
+std::string sweepJson(const SweepReport& rep) {
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"grid\": \"" << jsonEscape(rep.gridName) << "\",\n"
+       << "  \"cells\": " << rep.cells.size() << ",\n"
+       << "  \"digest\": \"" << hex64(rep.digest) << "\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+        const SweepCell& cell = rep.cells[i];
+        const SweepCellOutcome& o = rep.outcomes[i];
+        os << "    {\n"
+           << "      \"cell\": " << cell.index << ",\n"
+           << "      \"status\": \"" << cellStatus(o) << "\",\n";
+        if (o.failed) os << "      \"error\": \"" << jsonEscape(o.error) << "\",\n";
+        os << "      \"coords\": {";
+        for (std::size_t c = 0; c < cell.coords.size(); ++c) {
+            os << (c ? ", " : "") << '"' << cell.coords[c].first << "\": \""
+               << jsonEscape(cell.coords[c].second) << '"';
+        }
+        os << "},\n"
+           << "      \"result\":\n"
+           << resultToJson(o.result, 6) << '\n'
+           << "    }" << (i + 1 < rep.cells.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string sweepSummaryJson(const SweepReport& rep) {
+    std::ostringstream os;
+    os.precision(9);
+    os << "{\n"
+       << "  \"grid\": \"" << jsonEscape(rep.gridName) << "\",\n"
+       << "  \"cells\": " << rep.cells.size() << ",\n"
+       << "  \"cacheHits\": " << rep.cacheHits << ",\n"
+       << "  \"executed\": " << rep.executed << ",\n"
+       << "  \"failures\": " << rep.failures << ",\n"
+       << "  \"interrupted\": " << (rep.interrupted ? "true" : "false") << ",\n"
+       << "  \"pool\": \"" << (rep.usedProcessPool ? "process" : "thread") << "\",\n"
+       << "  \"wallSec\": " << rep.wallSec << ",\n"
+       << "  \"invariantViolations\": " << rep.invariantViolations << ",\n"
+       << "  \"digest\": \"" << hex64(rep.digest) << "\"\n"
+       << "}\n";
+    return os.str();
+}
+
+}  // namespace ecnsim

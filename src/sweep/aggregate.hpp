@@ -1,0 +1,31 @@
+// Fold a finished sweep into paper-figure-ready artifacts: one CSV row per
+// cell keyed by its grid coordinates, a full JSON document, and a small
+// machine-readable summary (what CI's sweep-smoke job asserts on).
+//
+// Both the CSV and the main JSON are deterministic functions of the cell
+// results — no wall-clock, no hit/miss accounting — so a live sweep and
+// its all-cache-hits rerun produce byte-identical files. The summary JSON
+// carries the run-varying fields instead.
+#pragma once
+
+#include <string>
+
+#include "src/sweep/sweep.hpp"
+
+namespace ecnsim {
+
+/// Aggregate CSV: header + one row per cell in expansion order. Columns:
+/// the cell index, every grid coordinate axis, a status column
+/// (ok | timeout | jobfailed | failed | skipped) and the result metrics
+/// including the per-cell request-stat columns (see docs/sweeps.md).
+std::string sweepCsv(const SweepReport& rep);
+
+/// Full JSON document: grid name, cell count and a results array of
+/// { cell, coords, result } objects in expansion order.
+std::string sweepJson(const SweepReport& rep);
+
+/// Run summary: cells, cacheHits, executed, failures, interrupted, pool
+/// kind, wall seconds and the folded telemetry digest.
+std::string sweepSummaryJson(const SweepReport& rep);
+
+}  // namespace ecnsim

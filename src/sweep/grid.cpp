@@ -1,0 +1,385 @@
+#include "src/sweep/grid.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "src/core/series.hpp"
+#include "src/sim/fault_plan.hpp"
+#include "src/sim/spec_error.hpp"
+
+namespace ecnsim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    if (b == std::string::npos) return "";
+    const auto e = s.find_last_not_of(" \t\r");
+    return s.substr(b, e - b + 1);
+}
+
+/// Split a comma-separated value list; an empty item ("a,,b") is malformed.
+std::vector<std::string> splitValues(const std::string& field, const std::string& rest) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= rest.size()) {
+        const auto comma = rest.find(',', start);
+        const std::string item = trim(comma == std::string::npos
+                                          ? rest.substr(start)
+                                          : rest.substr(start, comma - start));
+        if (item.empty()) {
+            throw SpecError(field, rest, "a non-empty comma-separated value list");
+        }
+        out.push_back(item);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+/// Full-string integer parse with range check (no silent truncation).
+long parseInt(const std::string& field, const std::string& s, long lo, long hi) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s.c_str(), &end, 10);
+    if (s.empty() || end == nullptr || *end != '\0' || errno == ERANGE || v < lo || v > hi) {
+        throw SpecError(field, s,
+                        "an integer in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+    }
+    return v;
+}
+
+WorkloadKind parseWorkloadValue(const std::string& field, const std::string& s) {
+    WorkloadKind k;
+    if (!parseWorkloadKind(s, k)) {
+        throw SpecError(field, s, "one of mapreduce, incast, kv, mixed");
+    }
+    return k;
+}
+
+TransportKind parseTransportValue(const std::string& field, const std::string& s) {
+    if (s == "tcp") return TransportKind::PlainTcp;
+    if (s == "ecn") return TransportKind::EcnTcp;
+    if (s == "dctcp") return TransportKind::Dctcp;
+    throw SpecError(field, s, "one of tcp, ecn, dctcp");
+}
+
+QueueKind parseQueueValue(const std::string& field, const std::string& s) {
+    if (s == "droptail") return QueueKind::DropTail;
+    if (s == "red") return QueueKind::Red;
+    if (s == "marking") return QueueKind::SimpleMarking;
+    if (s == "codel") return QueueKind::CoDel;
+    if (s == "pie") return QueueKind::Pie;
+    if (s == "wred") return QueueKind::Wred;
+    if (s == "ctrlprio") return QueueKind::ControlPriority;
+    throw SpecError(field, s, "one of droptail, red, marking, codel, pie, wred, ctrlprio");
+}
+
+ProtectionMode parseProtectionValue(const std::string& field, const std::string& s) {
+    if (s == "default") return ProtectionMode::Default;
+    if (s == "ece") return ProtectionMode::ProtectEce;
+    if (s == "acksyn") return ProtectionMode::ProtectAckSyn;
+    throw SpecError(field, s, "one of default, ece, acksyn");
+}
+
+BufferProfile parseBuffersValue(const std::string& field, const std::string& s) {
+    if (s == "shallow") return BufferProfile::Shallow;
+    if (s == "deep") return BufferProfile::Deep;
+    throw SpecError(field, s, "shallow or deep");
+}
+
+SchedulerKind parseSchedulerValue(const std::string& field, const std::string& s) {
+    try {
+        return parseSchedulerKind(s);
+    } catch (const std::invalid_argument&) {
+        throw SpecError(field, s, "one of wheel, flatheap, binaryheap, calendar");
+    }
+}
+
+TopologyKind parseTopologyValue(const std::string& field, const std::string& s) {
+    if (s == "star") return TopologyKind::Star;
+    if (s == "leafspine") return TopologyKind::LeafSpine;
+    throw SpecError(field, s, "star or leafspine");
+}
+
+// Canonical coordinate tokens (independent of aliases in the grid file),
+// so the aggregate CSV's coordinate columns are stable.
+std::string transportToken(TransportKind t) {
+    switch (t) {
+        case TransportKind::PlainTcp: return "tcp";
+        case TransportKind::EcnTcp: return "ecn";
+        case TransportKind::Dctcp: return "dctcp";
+    }
+    return "?";
+}
+
+std::string queueToken(QueueKind k) {
+    switch (k) {
+        case QueueKind::DropTail: return "droptail";
+        case QueueKind::Red: return "red";
+        case QueueKind::SimpleMarking: return "marking";
+        case QueueKind::CoDel: return "codel";
+        case QueueKind::Pie: return "pie";
+        case QueueKind::Wred: return "wred";
+        case QueueKind::ControlPriority: return "ctrlprio";
+    }
+    return "?";
+}
+
+std::string protectionToken(ProtectionMode m) {
+    switch (m) {
+        case ProtectionMode::Default: return "default";
+        case ProtectionMode::ProtectEce: return "ece";
+        case ProtectionMode::ProtectAckSyn: return "acksyn";
+    }
+    return "?";
+}
+
+std::string topologyToken(TopologyKind t) {
+    return t == TopologyKind::Star ? "star" : "leafspine";
+}
+
+/// Reject duplicate values on one axis: they would expand to duplicate
+/// grid coordinates (identical cells fighting over one cache entry).
+template <typename T>
+void requireDistinct(const std::string& field, const std::vector<std::string>& raw,
+                     const std::vector<T>& parsed) {
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        for (std::size_t j = i + 1; j < parsed.size(); ++j) {
+            if (parsed[i] == parsed[j]) {
+                throw SpecError(field, raw[j],
+                                "distinct values (duplicate grid coordinates expand to "
+                                "identical cells)");
+            }
+        }
+    }
+}
+
+template <typename T, typename Parse>
+std::vector<T> parseAxis(const std::string& field, const std::string& rest, Parse parse) {
+    if (trim(rest).empty()) {
+        throw SpecError(field, rest, "at least one value (an empty axis expands to zero cells)");
+    }
+    const std::vector<std::string> raw = splitValues(field, rest);
+    std::vector<T> out;
+    out.reserve(raw.size());
+    for (const auto& item : raw) out.push_back(parse(field, item));
+    requireDistinct(field, raw, out);
+    return out;
+}
+
+}  // namespace
+
+std::string SweepCell::coordKey() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+        os << (i ? "|" : "") << coords[i].first << '=' << coords[i].second;
+    }
+    return os.str();
+}
+
+GridSpec GridSpec::parse(const std::string& text) {
+    GridSpec g;
+    std::set<std::string> seen;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty()) continue;
+
+        const auto eq = line.find('=');
+        if (eq == std::string::npos) {
+            throw SpecError("grid", line, "a 'key = value[, value...]' line");
+        }
+        const std::string key = trim(line.substr(0, eq));
+        const std::string rest = trim(line.substr(eq + 1));
+        if (key.empty()) throw SpecError("grid", line, "a key before '='");
+        const std::string field = "grid." + key;
+        if (!seen.insert(key).second) {
+            throw SpecError(field, rest, "a single definition (key repeated)");
+        }
+
+        if (key == "name") {
+            if (rest.empty()) throw SpecError(field, rest, "a non-empty sweep name");
+            for (const char c : rest) {
+                if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_' &&
+                    c != '.') {
+                    throw SpecError(field, rest,
+                                    "letters, digits, '-', '_' or '.' (used in file names)");
+                }
+            }
+            g.name = rest;
+        } else if (key == "workload") {
+            g.workloads = parseAxis<WorkloadKind>(field, rest, parseWorkloadValue);
+        } else if (key == "transport") {
+            g.transports = parseAxis<TransportKind>(field, rest, parseTransportValue);
+        } else if (key == "queue") {
+            g.queues = parseAxis<QueueKind>(field, rest, parseQueueValue);
+        } else if (key == "protection") {
+            g.protections = parseAxis<ProtectionMode>(field, rest, parseProtectionValue);
+        } else if (key == "buffers") {
+            g.buffers = parseAxis<BufferProfile>(field, rest, parseBuffersValue);
+        } else if (key == "target_us") {
+            g.targetUs = parseAxis<long>(field, rest, [](const std::string& f,
+                                                         const std::string& s) {
+                return parseInt(f, s, 1, 10'000'000);
+            });
+        } else if (key == "scheduler") {
+            g.schedulers = parseAxis<SchedulerKind>(field, rest, parseSchedulerValue);
+        } else if (key == "topology") {
+            g.topologies = parseAxis<TopologyKind>(field, rest, parseTopologyValue);
+        } else if (key == "faults") {
+            g.faults = parseAxis<std::string>(field, rest, [](const std::string& f,
+                                                              const std::string& s) {
+                if (s == "none") return std::string{};
+                try {
+                    FaultPlan::parse(s);  // grammar check now, not at run time
+                } catch (const SpecError& e) {
+                    throw SpecError(f, s, std::string("'none' or a fault plan (") + e.what() + ")");
+                }
+                return s;
+            });
+        } else if (key == "seed") {
+            g.seeds = parseAxis<std::uint64_t>(field, rest, [](const std::string& f,
+                                                               const std::string& s) {
+                return static_cast<std::uint64_t>(
+                    parseInt(f, s, 0, std::numeric_limits<long>::max()));
+            });
+        } else if (key == "nodes") {
+            g.nodes = static_cast<int>(parseInt(field, rest, 2, 100000));
+        } else if (key == "input_mb") {
+            g.inputMb = parseInt(field, rest, 1, 1 << 20);
+        } else if (key == "link_gbps") {
+            g.linkGbps = static_cast<int>(parseInt(field, rest, 1, 1000));
+        } else if (key == "repeats") {
+            g.repeats = static_cast<int>(parseInt(field, rest, 1, 10000));
+        } else {
+            throw SpecError(field, rest,
+                            "one of name, workload, transport, queue, protection, buffers, "
+                            "target_us, scheduler, topology, faults, seed, nodes, input_mb, "
+                            "link_gbps, repeats");
+        }
+    }
+    return g;
+}
+
+GridSpec GridSpec::parseFile(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw SpecError("grid.file", path, "a readable grid spec file");
+    std::ostringstream body;
+    body << in.rdbuf();
+    return parse(body.str());
+}
+
+std::size_t GridSpec::cellCount() const {
+    return workloads.size() * transports.size() * queues.size() * protections.size() *
+           buffers.size() * targetUs.size() * schedulers.size() * topologies.size() *
+           faults.size() * seeds.size();
+}
+
+std::vector<SweepCell> GridSpec::expand() const {
+    constexpr std::size_t kMaxCells = 1'000'000;
+    const std::size_t total = cellCount();
+    if (total > kMaxCells) {
+        throw SpecError("grid", std::to_string(total) + " cells",
+                        "at most " + std::to_string(kMaxCells) + " cells per sweep");
+    }
+
+    std::vector<SweepCell> cells;
+    cells.reserve(total);
+    for (const WorkloadKind wl : workloads) {
+        for (const TransportKind tr : transports) {
+            for (const QueueKind q : queues) {
+                for (const ProtectionMode pr : protections) {
+                    for (const BufferProfile bf : buffers) {
+                        for (const long target : targetUs) {
+                            for (const SchedulerKind sched : schedulers) {
+                                for (const TopologyKind topo : topologies) {
+                                    for (const std::string& fault : faults) {
+                                        for (const std::uint64_t seed : seeds) {
+                                            SweepCell cell;
+                                            cell.index = cells.size();
+                                            cell.coords = {
+                                                {"workload",
+                                                 std::string(workloadKindName(wl))},
+                                                {"transport", transportToken(tr)},
+                                                {"queue", queueToken(q)},
+                                                {"protection", protectionToken(pr)},
+                                                {"buffers",
+                                                 std::string(bufferProfileName(bf))},
+                                                {"target_us", std::to_string(target)},
+                                                {"scheduler", schedulerKindName(sched)},
+                                                {"topology", topologyToken(topo)},
+                                                {"faults",
+                                                 fault.empty() ? "none" : fault},
+                                                {"seed", std::to_string(seed)},
+                                            };
+
+                                            SweepScale scale;
+                                            scale.numNodes = nodes;
+                                            scale.inputBytesPerNode =
+                                                inputMb * 1024 * 1024;
+                                            scale.linkRate =
+                                                Bandwidth::gigabitsPerSecond(linkGbps);
+                                            scale.seed = seed;
+                                            scale.repeats = repeats;
+
+                                            ExperimentConfig cfg = makeBaseConfig(scale);
+                                            cfg.transport = tr;
+                                            cfg.switchQueue.kind = q;
+                                            cfg.switchQueue.protection = pr;
+                                            cfg.switchQueue.targetDelay =
+                                                Time::microseconds(target);
+                                            cfg.switchQueue.redVariant =
+                                                tr == TransportKind::Dctcp
+                                                    ? RedVariant::DctcpMimic
+                                                    : RedVariant::Classic;
+                                            cfg.switchQueue.ecnEnabled =
+                                                tr != TransportKind::PlainTcp;
+                                            cfg.buffers = bf;
+                                            cfg.scheduler = sched;
+                                            cfg.topology = topo;
+                                            if (topo == TopologyKind::LeafSpine) {
+                                                cfg.leafSpine = LeafSpineShape{
+                                                    .racks = 2,
+                                                    .hostsPerRack = nodes / 2,
+                                                    .spines = 2};
+                                            }
+                                            cfg.faultSpec = fault;
+                                            cfg.workload.kind = wl;
+                                            const int hosts =
+                                                topo == TopologyKind::Star
+                                                    ? nodes
+                                                    : 2 * (nodes / 2);
+                                            if (wl == WorkloadKind::Incast) {
+                                                // The natural incast shape: every
+                                                // other host answers one aggregator.
+                                                cfg.workload.incast.fanIn = hosts - 1;
+                                            }
+                                            cfg.name =
+                                                name + "[" +
+                                                std::to_string(cell.index) + "]";
+                                            cfg.validate();
+                                            cell.config = std::move(cfg);
+                                            cells.push_back(std::move(cell));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,75 @@
+// Declarative parameter-grid specs for the experiment farm.
+//
+// A grid file names the axes of a sweep (AQM x protection x buffer depth x
+// workload x scheduler x seed, plus the topology/fault/scale knobs) and
+// expands to the Cartesian product of their values — one ExperimentConfig
+// per cell, every combination validated up front. Parsing reports through
+// the same SpecError machinery as the fault-plan and CLI grammars, so a
+// malformed axis names the field, the offending value and what would have
+// been accepted. See docs/sweeps.md for the grammar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/experiment.hpp"
+
+namespace ecnsim {
+
+/// One expanded grid point: its coordinates on every axis (canonical axis
+/// order, value as the grid wrote it) and the ready-to-run config.
+struct SweepCell {
+    std::size_t index = 0;
+    std::vector<std::pair<std::string, std::string>> coords;
+    ExperimentConfig config;
+
+    /// Stable "axis=value|axis=value" identity, used in reports and logs.
+    std::string coordKey() const;
+};
+
+/// Parsed grid spec: list-valued axes (each contributes a Cartesian factor)
+/// plus single-valued scale knobs shared by every cell.
+struct GridSpec {
+    std::string name = "sweep";
+
+    // Axes, in canonical expansion order (seed varies fastest).
+    std::vector<WorkloadKind> workloads{WorkloadKind::MapReduce};
+    std::vector<TransportKind> transports{TransportKind::EcnTcp};
+    std::vector<QueueKind> queues{QueueKind::Red};
+    std::vector<ProtectionMode> protections{ProtectionMode::Default};
+    std::vector<BufferProfile> buffers{BufferProfile::Shallow};
+    std::vector<long> targetUs{500};
+    std::vector<SchedulerKind> schedulers{SchedulerKind::TimerWheel};
+    std::vector<TopologyKind> topologies{TopologyKind::Star};
+    std::vector<std::string> faults{""};  ///< "" = fault-free ("none" in files)
+    std::vector<std::uint64_t> seeds{1};
+
+    // Scale knobs (single-valued).
+    int nodes = 8;
+    std::int64_t inputMb = 2;
+    int linkGbps = 1;
+    int repeats = 1;
+
+    /// Parse a grid document (the contents of a .grid file). Throws
+    /// SpecError naming "grid.<axis>" on any malformed line, unknown key,
+    /// duplicate definition, empty axis or duplicate coordinate value.
+    static GridSpec parse(const std::string& text);
+
+    /// Read and parse a .grid file; SpecError("grid.file", ...) if unreadable.
+    static GridSpec parseFile(const std::string& path);
+
+    /// Number of cells the Cartesian product expands to.
+    std::size_t cellCount() const;
+
+    /// Expand to one validated cell per coordinate combination, in a
+    /// deterministic order (axes in declaration order above, seed fastest).
+    /// Each cell's ExperimentConfig::validate() runs here, so an invalid
+    /// combination (e.g. incast fan-in that does not fit the topology)
+    /// surfaces as a SpecError before anything is scheduled.
+    std::vector<SweepCell> expand() const;
+};
+
+}  // namespace ecnsim

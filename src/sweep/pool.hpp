@@ -1,0 +1,54 @@
+// Bounded worker pool shared by the sweep driver's thread mode and
+// runExperimentsParallel (which bench_runner's scenario batches ride on):
+// one atomic work index, N threads, results written into pre-sized slots
+// by the tasks themselves.
+//
+// Header-only on purpose: src/core/parallel.cpp reuses it without the core
+// library having to link against the sweep subsystem.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ecnsim {
+
+/// Resolve a worker-count knob: <= 0 selects hardware_concurrency (min 1),
+/// and the count is clamped to the number of tasks so idle threads are
+/// never spawned.
+inline unsigned boundedWorkerCount(int workers, std::size_t taskCount) {
+    unsigned n = workers > 0 ? static_cast<unsigned>(workers)
+                             : std::max(1u, std::thread::hardware_concurrency());
+    return std::min<unsigned>(n, static_cast<unsigned>(taskCount));
+}
+
+/// Run task(0) .. task(taskCount-1) with at most `workers` threads in
+/// flight (see boundedWorkerCount). Tasks must not throw — an escaping
+/// exception terminates the process, exactly like a bare std::thread.
+/// With one worker this degenerates to a plain serial loop on the calling
+/// thread (no thread is spawned), which keeps single-core runs and unit
+/// tests deterministic to debug.
+inline void runBoundedTasks(std::size_t taskCount, int workers,
+                            const std::function<void(std::size_t)>& task) {
+    if (taskCount == 0) return;
+    const unsigned workerCount = boundedWorkerCount(workers, taskCount);
+
+    std::atomic<std::size_t> next{0};
+    auto drain = [&] {
+        for (std::size_t i = next.fetch_add(1); i < taskCount; i = next.fetch_add(1)) task(i);
+    };
+
+    if (workerCount <= 1) {
+        drain();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(workerCount);
+    for (unsigned w = 0; w < workerCount; ++w) pool.emplace_back(drain);
+    for (auto& t : pool) t.join();
+}
+
+}  // namespace ecnsim

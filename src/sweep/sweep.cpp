@@ -1,0 +1,246 @@
+#include "src/sweep/sweep.hpp"
+
+#include <chrono>
+#include <csignal>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <cerrno>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define ECNSIM_HAVE_FORK 1
+#endif
+
+#include "src/core/cache.hpp"
+#include "src/core/runner.hpp"
+#include "src/net/telemetry.hpp"
+#include "src/sweep/pool.hpp"
+
+namespace ecnsim {
+
+namespace {
+
+volatile std::sig_atomic_t gInterrupted = 0;
+
+void onSignal(int) { gInterrupted = 1; }
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+void say(const SweepOptions& opt, const std::string& line) {
+    if (opt.progress) opt.progress(line);
+}
+
+/// Fold the sweep-level summary fields out of the per-cell outcomes.
+void summarize(SweepReport& rep) {
+    rep.cacheHits = rep.executed = rep.failures = 0;
+    rep.invariantViolations = 0;
+    rep.digest = NetworkTelemetry::kDigestSeed;
+    for (std::size_t i = 0; i < rep.outcomes.size(); ++i) {
+        const SweepCellOutcome& o = rep.outcomes[i];
+        if (o.failed) {
+            ++rep.failures;
+            continue;
+        }
+        if (o.cacheHit) {
+            ++rep.cacheHits;
+        } else if (o.result.eventsExecuted > 0 || !o.result.name.empty()) {
+            ++rep.executed;
+        } else {
+            continue;  // never ran (interrupted before this cell)
+        }
+        rep.invariantViolations += o.result.invariantViolations;
+        rep.digest = NetworkTelemetry::foldDigest(rep.digest, o.result.telemetryDigest);
+    }
+}
+
+#if ECNSIM_HAVE_FORK
+/// Run one cell in a forked child. The result travels back through the
+/// shared results cache (runExperimentCached stores every repeat), so the
+/// child's only protocol with the parent is its exit status.
+pid_t spawnWorker(const ExperimentConfig& cfg) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child: default signal disposition so a sweep-level SIGTERM kills the
+    // simulation mid-run (resume picks the cell up again later).
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    try {
+        runExperimentCached(cfg);
+        ::_exit(0);
+    } catch (...) {
+        ::_exit(1);
+    }
+}
+
+void runMissesWithProcesses(const std::vector<SweepCell>& cells,
+                            const std::vector<std::size_t>& misses, SweepReport& rep,
+                            const SweepOptions& opt) {
+    const unsigned workers = boundedWorkerCount(opt.workers, misses.size());
+    std::map<pid_t, std::size_t> live;  // pid -> cell index
+    std::size_t nextMiss = 0;
+
+    const auto killLive = [&] {
+        for (const auto& [pid, idx] : live) ::kill(pid, SIGTERM);
+    };
+
+    while (nextMiss < misses.size() || !live.empty()) {
+        if (gInterrupted != 0 && !rep.interrupted) {
+            rep.interrupted = true;
+            say(opt, "[sweep] interrupted: terminating " + std::to_string(live.size()) +
+                         " in-flight worker(s)");
+            killLive();
+        }
+        while (gInterrupted == 0 && nextMiss < misses.size() && live.size() < workers) {
+            const std::size_t idx = misses[nextMiss++];
+            const pid_t pid = spawnWorker(cells[idx].config);
+            if (pid < 0) {
+                rep.outcomes[idx].failed = true;
+                rep.outcomes[idx].error = "fork failed";
+                continue;
+            }
+            live.emplace(pid, idx);
+        }
+        if (live.empty()) {
+            if (gInterrupted != 0 || nextMiss >= misses.size()) break;
+            continue;
+        }
+
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR) continue;  // signal arrived; loop re-checks
+            break;
+        }
+        const auto it = live.find(pid);
+        if (it == live.end()) continue;
+        const std::size_t idx = it->second;
+        live.erase(it);
+
+        SweepCellOutcome& out = rep.outcomes[idx];
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            // The child stored its repeats; read the folded result back.
+            if (lookupExperimentCached(cells[idx].config, out.result)) {
+                say(opt, "[sweep] ran " + cells[idx].config.name + "  (" +
+                             cells[idx].coordKey() + ")");
+            } else {
+                out.failed = true;
+                out.error = "worker exited cleanly but stored no cache entry";
+            }
+        } else if (gInterrupted != 0) {
+            // Killed by the interrupt above: not a failure, just unfinished.
+        } else if (WIFEXITED(status)) {
+            out.failed = true;
+            out.error = "worker exited with status " + std::to_string(WEXITSTATUS(status));
+        } else if (WIFSIGNALED(status)) {
+            out.failed = true;
+            out.error = "worker killed by signal " + std::to_string(WTERMSIG(status));
+        }
+    }
+}
+#endif  // ECNSIM_HAVE_FORK
+
+void runMissesWithThreads(const std::vector<SweepCell>& cells,
+                          const std::vector<std::size_t>& misses, SweepReport& rep,
+                          const SweepOptions& opt) {
+    std::mutex progressMu;
+    runBoundedTasks(misses.size(), opt.workers, [&](std::size_t m) {
+        const std::size_t idx = misses[m];
+        // Interrupt: stop picking up new cells; runSweep marks the report
+        // interrupted after the pool drains.
+        if (gInterrupted != 0) return;
+        SweepCellOutcome& out = rep.outcomes[idx];
+        try {
+            out.result = runExperimentCached(cells[idx].config);
+            std::lock_guard<std::mutex> lock(progressMu);
+            say(opt, "[sweep] ran " + cells[idx].config.name + "  (" + cells[idx].coordKey() +
+                         ")");
+        } catch (const std::exception& e) {
+            out.failed = true;
+            out.error = e.what();
+        } catch (...) {
+            out.failed = true;
+            out.error = "unknown worker exception";
+        }
+    });
+}
+
+}  // namespace
+
+void installSweepSignalHandlers() {
+#if ECNSIM_HAVE_FORK
+    struct sigaction sa {};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: waitpid must EINTR so the loop reacts
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+#else
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+#endif
+}
+
+bool sweepInterrupted() { return gInterrupted != 0; }
+
+SweepReport runSweep(const GridSpec& grid, const SweepOptions& opt) {
+    const auto t0 = std::chrono::steady_clock::now();
+
+    SweepReport rep;
+    rep.gridName = grid.name;
+    rep.cells = grid.expand();
+    rep.outcomes.resize(rep.cells.size());
+
+    // Phase 1: satisfy what the cache already holds — resume is exactly
+    // this probe finding the cells a previous (possibly killed) sweep
+    // finished.
+    std::vector<std::size_t> misses;
+    for (std::size_t i = 0; i < rep.cells.size(); ++i) {
+        if (lookupExperimentCached(rep.cells[i].config, rep.outcomes[i].result)) {
+            rep.outcomes[i].cacheHit = true;
+        } else {
+            misses.push_back(i);
+        }
+    }
+    say(opt, "[sweep] " + rep.gridName + ": " + std::to_string(rep.cells.size()) + " cells, " +
+                 std::to_string(rep.cells.size() - misses.size()) + " cache hit(s), " +
+                 std::to_string(misses.size()) + " to run");
+
+    // Phase 2: run the misses under a bounded pool. Worker processes when
+    // the cache can carry results back, threads otherwise.
+    const bool cacheOn = ResultsCache::fromEnvironment().enabled();
+#if ECNSIM_HAVE_FORK
+    rep.usedProcessPool = opt.processPool && cacheOn;
+#else
+    rep.usedProcessPool = false;
+#endif
+    if (!misses.empty()) {
+#if ECNSIM_HAVE_FORK
+        if (rep.usedProcessPool) {
+            runMissesWithProcesses(rep.cells, misses, rep, opt);
+        } else {
+            runMissesWithThreads(rep.cells, misses, rep, opt);
+        }
+#else
+        runMissesWithThreads(rep.cells, misses, rep, opt);
+#endif
+    }
+    if (gInterrupted != 0) rep.interrupted = true;
+
+    // Phase 3: fold.
+    summarize(rep);
+    rep.wallSec = secondsSince(t0);
+    std::ostringstream done;
+    done << "[sweep] " << rep.gridName << ": done in " << rep.wallSec << "s — "
+         << rep.cacheHits << " hit(s), " << rep.executed << " executed, " << rep.failures
+         << " failure(s)" << (rep.interrupted ? " [INTERRUPTED]" : "");
+    say(opt, done.str());
+    return rep;
+}
+
+}  // namespace ecnsim

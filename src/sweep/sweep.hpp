@@ -1,0 +1,71 @@
+// Experiment-farm sweep driver: expand a GridSpec, satisfy cells from the
+// content-addressed results cache, schedule the remainder across a bounded
+// pool of worker processes, and fold everything into one report.
+//
+// Resume semantics: a worker child runs runExperimentCached, which stores
+// each repeat into the shared cache (atomic rename — a killed child never
+// leaves a torn entry). The parent reads results back out of the cache, so
+// re-running an interrupted sweep re-executes only the cells whose results
+// never landed; everything else is a free cache hit. See docs/sweeps.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sweep/grid.hpp"
+
+namespace ecnsim {
+
+struct SweepOptions {
+    /// Worker-pool width; <= 0 selects hardware_concurrency.
+    int workers = 0;
+    /// Fork worker processes (POSIX, requires an enabled results cache to
+    /// carry results back). Falls back to an in-process thread pool when
+    /// the cache is disabled or fork is unavailable.
+    bool processPool = true;
+    /// Progress sink (one line per phase/cell); null = silent.
+    std::function<void(const std::string&)> progress;
+};
+
+/// Outcome of one cell, in expansion order.
+struct SweepCellOutcome {
+    ExperimentResult result;
+    bool cacheHit = false;  ///< satisfied from the cache before any run
+    bool failed = false;    ///< worker crashed or threw; `result` is empty
+    std::string error;
+};
+
+struct SweepReport {
+    std::string gridName;
+    std::vector<SweepCell> cells;
+    std::vector<SweepCellOutcome> outcomes;  ///< parallel to `cells`
+
+    std::size_t cacheHits = 0;  ///< cells satisfied without simulating
+    std::size_t executed = 0;   ///< cells actually simulated by this sweep
+    std::size_t failures = 0;
+    bool interrupted = false;  ///< stopped early by SIGTERM/SIGINT
+    bool usedProcessPool = false;
+    double wallSec = 0.0;
+    std::uint64_t invariantViolations = 0;
+    /// Telemetry digests of all completed cells folded in cell order — one
+    /// number that must be identical between a live sweep and its rerun.
+    std::uint64_t digest = 0;
+};
+
+/// Expand and run the grid. Cells already in the results cache are counted
+/// as `cacheHits` and never scheduled. Throws SpecError on a bad grid;
+/// per-cell runtime failures are recorded in the report instead of thrown.
+SweepReport runSweep(const GridSpec& grid, const SweepOptions& opt);
+
+/// Install SIGTERM/SIGINT handlers that make the scheduling loop stop
+/// launching work, terminate in-flight workers and return a report with
+/// `interrupted` set. Call once, before runSweep (the CLI does).
+void installSweepSignalHandlers();
+
+/// True once a handled signal arrived (also settable by tests).
+bool sweepInterrupted();
+
+}  // namespace ecnsim

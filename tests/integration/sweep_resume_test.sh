@@ -1,0 +1,104 @@
+#!/bin/sh
+# Kill-and-resume integration test for the sweep driver.
+#
+# Launches sweep_runner on a grid whose cells take long enough (~300ms each)
+# that a SIGTERM lands mid-sweep, then asserts:
+#   1. the interrupted run exits non-zero and writes an interrupted summary,
+#   2. the resume run executes ONLY the cells the first run never finished
+#      (executed1 + executed2 == cells — no cell is recomputed),
+#   3. a third run is 100% cache hits and its aggregate CSV is byte-identical
+#      to the resume run's.
+#
+# Usage: sweep_resume_test.sh /path/to/sweep_runner
+set -eu
+
+RUNNER=${1:?usage: sweep_resume_test.sh /path/to/sweep_runner}
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecnsim-resume.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+CACHE="$WORK/cache"
+GRID="$WORK/resume.grid"
+
+# 6 cells at 12 nodes x 16 MiB: each cell simulates for a few hundred ms,
+# so with 2 workers the sweep runs long enough to be killed mid-flight.
+cat > "$GRID" <<'EOF'
+name       = resume
+transport  = ecn, dctcp
+protection = default, ece, acksyn
+nodes      = 12
+input_mb   = 16
+EOF
+
+summary_field() { # file key -> integer value
+    sed -n "s/.*\"$2\": \([0-9][0-9]*\).*/\1/p" "$1"
+}
+
+fail() {
+    echo "sweep_resume_test: FAIL: $*" >&2
+    exit 1
+}
+
+# --- run 1: start, wait for some (not all) cells to land, SIGTERM ---------
+"$RUNNER" run --grid "$GRID" --workers 2 --cache-dir "$CACHE" \
+    --out-dir "$WORK/out1" --quiet &
+PID=$!
+
+# Poll the cache until at least one finished cell has landed. Entries are
+# written atomically (tmp + rename), so a counted file is a complete result.
+TRIES=0
+while :; do
+    DONE=$(ls "$CACHE" 2>/dev/null | grep -cv '\.tmp\.' || true)
+    [ "$DONE" -ge 1 ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        # Machine too fast for the kill to land: the sweep already finished.
+        # That is not a resume test, so fail loudly rather than vacuously pass.
+        fail "sweep finished before SIGTERM could be delivered"
+    fi
+    TRIES=$((TRIES + 1))
+    [ "$TRIES" -gt 600 ] && fail "no cache entries after 60s"
+    sleep 0.1
+done
+
+kill -TERM "$PID"
+RC=0
+wait "$PID" || RC=$?
+[ "$RC" -ne 0 ] || fail "interrupted run exited 0"
+
+SUM1="$WORK/out1/sweep_resume_summary.json"
+[ -f "$SUM1" ] || fail "interrupted run wrote no summary"
+grep -q '"interrupted": true' "$SUM1" || fail "summary does not say interrupted"
+[ ! -f "$WORK/out1/sweep_resume.csv" ] || fail "interrupted run wrote an aggregate CSV"
+
+CELLS=$(summary_field "$SUM1" cells)
+EXEC1=$(summary_field "$SUM1" executed)
+HITS1=$(summary_field "$SUM1" cacheHits)
+echo "sweep_resume_test: interrupted after executed=$EXEC1 of cells=$CELLS"
+[ "$EXEC1" -lt "$CELLS" ] || fail "nothing left to resume (executed=$EXEC1)"
+
+# --- run 2: resume — must complete and recompute nothing ------------------
+"$RUNNER" run --grid "$GRID" --workers 2 --cache-dir "$CACHE" \
+    --out-dir "$WORK/out2" --quiet || fail "resume run failed"
+
+SUM2="$WORK/out2/sweep_resume_summary.json"
+EXEC2=$(summary_field "$SUM2" executed)
+HITS2=$(summary_field "$SUM2" cacheHits)
+grep -q '"interrupted": false' "$SUM2" || fail "resume run reports interrupted"
+[ $((HITS1 + EXEC1 + EXEC2)) -eq "$CELLS" ] ||
+    fail "cells recomputed: hits1=$HITS1 exec1=$EXEC1 exec2=$EXEC2 cells=$CELLS"
+[ "$HITS2" -eq $((HITS1 + EXEC1)) ] ||
+    fail "resume did not start from the interrupted run's cache (hits2=$HITS2)"
+[ -f "$WORK/out2/sweep_resume.csv" ] || fail "resume run wrote no CSV"
+
+# --- run 3: warm rerun — all hits, byte-identical aggregate ---------------
+"$RUNNER" run --grid "$GRID" --workers 2 --cache-dir "$CACHE" \
+    --out-dir "$WORK/out3" --quiet || fail "warm rerun failed"
+
+SUM3="$WORK/out3/sweep_resume_summary.json"
+[ "$(summary_field "$SUM3" cacheHits)" -eq "$CELLS" ] || fail "warm rerun was not all hits"
+[ "$(summary_field "$SUM3" executed)" -eq 0 ] || fail "warm rerun executed cells"
+cmp -s "$WORK/out2/sweep_resume.csv" "$WORK/out3/sweep_resume.csv" ||
+    fail "aggregate CSV differs between resume run and warm rerun"
+cmp -s "$WORK/out2/sweep_resume.json" "$WORK/out3/sweep_resume.json" ||
+    fail "aggregate JSON differs between resume run and warm rerun"
+
+echo "sweep_resume_test: PASS (interrupted at $EXEC1/$CELLS, resumed $EXEC2, 0 recomputed)"

@@ -1,0 +1,117 @@
+// Aggregate-report tests: CSV shape and determinism (the byte-identity
+// CI's sweep-smoke job depends on), status column, and the summary JSON.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sweep/aggregate.hpp"
+
+namespace ecnsim {
+namespace {
+
+SweepReport tinyReport() {
+    SweepReport rep;
+    rep.gridName = "unit";
+    rep.cells = GridSpec::parse("name = unit\nseed = 1, 2\nnodes = 4\ninput_mb = 1\n").expand();
+    rep.outcomes.resize(rep.cells.size());
+    for (std::size_t i = 0; i < rep.outcomes.size(); ++i) {
+        auto& r = rep.outcomes[i].result;
+        r.name = rep.cells[i].config.name;
+        r.runtimeSec = 0.5 + static_cast<double>(i);
+        r.throughputPerNodeMbps = 100.125;
+        r.avgLatencyUs = 123.0625;
+        r.ackOffered = 1000 + i;
+        r.ackDroppedEarly = 7;
+        r.reqIssued = 50;
+        r.reqP99Us = 456.75;
+        r.eventsExecuted = 9999;
+        r.telemetryDigest = 0xabcdef0123456789ull + i;
+    }
+    rep.executed = rep.cells.size();
+    rep.digest = 0x1234;
+    rep.wallSec = 1.5;
+    return rep;
+}
+
+std::vector<std::string> splitLines(const std::string& s) {
+    std::vector<std::string> lines;
+    std::size_t start = 0;
+    while (start < s.size()) {
+        const auto nl = s.find('\n', start);
+        lines.push_back(s.substr(start, nl - start));
+        if (nl == std::string::npos) break;
+        start = nl + 1;
+    }
+    return lines;
+}
+
+TEST(Aggregate, CsvHasHeaderAndOneRowPerCell) {
+    const auto rep = tinyReport();
+    const auto lines = splitLines(sweepCsv(rep));
+    ASSERT_EQ(lines.size(), 1 + rep.cells.size());
+    // Coordinate columns come straight from the grid axes, then the
+    // request-stat columns the workloads layer feeds per cell.
+    for (const char* col : {"cell,workload,transport,queue,protection,buffers,target_us",
+                            "ack_dropped_early", "req_p99_us", "req_kops", "telemetry_digest"}) {
+        EXPECT_NE(lines[0].find(col), std::string::npos) << lines[0];
+    }
+    EXPECT_EQ(lines[1].substr(0, 2), "0,");
+    EXPECT_NE(lines[1].find(",ok,"), std::string::npos);
+    EXPECT_NE(lines[1].find("0xabcdef0123456789"), std::string::npos);
+}
+
+TEST(Aggregate, CsvColumnsMatchHeaderWidth) {
+    const auto lines = splitLines(sweepCsv(tinyReport()));
+    const auto count = [](const std::string& s) {
+        std::size_t n = 1;
+        for (const char c : s) n += c == ',';
+        return n;
+    };
+    const std::size_t width = count(lines[0]);
+    for (std::size_t i = 1; i < lines.size(); ++i) EXPECT_EQ(count(lines[i]), width) << lines[i];
+}
+
+TEST(Aggregate, CsvIsDeterministic) {
+    const auto rep = tinyReport();
+    EXPECT_EQ(sweepCsv(rep), sweepCsv(rep));
+    EXPECT_EQ(sweepJson(rep), sweepJson(rep));
+
+    // Hit/miss accounting must NOT leak into the aggregate artifacts: a
+    // live sweep and its all-cache-hits rerun print identical bytes.
+    SweepReport replay = rep;
+    replay.cacheHits = replay.cells.size();
+    replay.executed = 0;
+    replay.wallSec = 0.001;
+    for (auto& o : replay.outcomes) o.cacheHit = true;
+    EXPECT_EQ(sweepCsv(rep), sweepCsv(replay));
+    EXPECT_EQ(sweepJson(rep), sweepJson(replay));
+}
+
+TEST(Aggregate, FailedAndSkippedCellsAreMarked) {
+    auto rep = tinyReport();
+    rep.outcomes[0].failed = true;
+    rep.outcomes[0].error = "worker exited with status 1";
+    rep.outcomes[1].result = ExperimentResult{};  // never ran (interrupted)
+    const std::string csv = sweepCsv(rep);
+    EXPECT_NE(csv.find(",failed,"), std::string::npos);
+    EXPECT_NE(csv.find(",skipped,"), std::string::npos);
+    const std::string json = sweepJson(rep);
+    EXPECT_NE(json.find("worker exited with status 1"), std::string::npos);
+}
+
+TEST(Aggregate, SummaryCarriesRunVaryingFields) {
+    auto rep = tinyReport();
+    rep.cacheHits = 1;
+    rep.executed = 1;
+    rep.usedProcessPool = true;
+    const std::string s = sweepSummaryJson(rep);
+    EXPECT_NE(s.find("\"cacheHits\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"executed\": 1"), std::string::npos);
+    EXPECT_NE(s.find("\"pool\": \"process\""), std::string::npos);
+    EXPECT_NE(s.find("\"interrupted\": false"), std::string::npos);
+    EXPECT_NE(s.find("\"digest\": \"0x0000000000001234\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,182 @@
+// Grid-spec grammar tests: a malformed-grid corpus in the style of
+// tests/sim/test_spec_corpus.cpp (every entry must raise a structured
+// SpecError naming the axis, the offending value and what was expected),
+// plus positive parse/expand assertions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/spec_error.hpp"
+#include "src/sweep/grid.hpp"
+
+namespace ecnsim {
+namespace {
+
+struct Case {
+    const char* spec;
+    const char* expectSubstring;  ///< must appear somewhere in what()
+};
+
+// Ways to get a grid wrong, grouped by failure family.
+const std::vector<Case> kMalformedGrids = {
+    // --- line structure ---------------------------------------------------
+    {"workload mapreduce", "'key = value"},
+    {"= ecn", "a key before '='"},
+    {"wat = 7", "one of name, workload"},
+    {"transport = ecn\ntransport = dctcp", "key repeated"},
+    // --- empty axes (would expand to zero cells) --------------------------
+    {"transport =", "at least one value"},
+    {"queue = ", "at least one value"},
+    {"seed =   # only a comment", "at least one value"},
+    {"protection = ece,,acksyn", "non-empty comma-separated"},
+    {"buffers = shallow,", "non-empty comma-separated"},
+    // --- duplicate coordinates --------------------------------------------
+    {"transport = ecn, ecn", "distinct values"},
+    {"queue = red, droptail, red", "distinct values"},
+    {"target_us = 500, 500", "distinct values"},
+    {"seed = 1, 2, 1", "distinct values"},
+    {"faults = none, none", "distinct values"},
+    // --- enum axes --------------------------------------------------------
+    {"workload = mapreduce, teragen", "one of mapreduce, incast, kv, mixed"},
+    {"transport = quic", "one of tcp, ecn, dctcp"},
+    {"queue = fq_codel", "one of droptail, red, marking"},
+    {"protection = all", "one of default, ece, acksyn"},
+    {"buffers = medium", "shallow or deep"},
+    {"scheduler = splay", "one of wheel, flatheap, binaryheap, calendar"},
+    {"topology = fattree", "star or leafspine"},
+    // --- integer axes and knobs -------------------------------------------
+    {"target_us = 0", "an integer in [1, 10000000]"},
+    {"target_us = -5", "an integer in [1, 10000000]"},
+    {"target_us = 10000001", "an integer in [1, 10000000]"},
+    {"target_us = 1e3", "an integer in [1, 10000000]"},
+    {"target_us = abc", "an integer in [1, 10000000]"},
+    {"seed = -1", "an integer in [0,"},
+    {"seed = 7x", "an integer in [0,"},
+    {"seed = 99999999999999999999", "an integer in [0,"},
+    {"nodes = 1", "an integer in [2, 100000]"},
+    {"nodes = 4, 8", "an integer in [2, 100000]"},  // knob, not an axis
+    {"input_mb = 0", "an integer in [1,"},
+    {"link_gbps = 0", "an integer in [1, 1000]"},
+    {"repeats = 0", "an integer in [1, 10000]"},
+    // --- faults axis ------------------------------------------------------
+    {"faults = flap", "'none' or a fault plan"},
+    {"faults = down@2s", "'none' or a fault plan"},
+    // --- sweep name -------------------------------------------------------
+    {"name =", "a non-empty sweep name"},
+    {"name = has space", "letters, digits"},
+    {"name = a/b", "letters, digits"},
+};
+
+TEST(GridSpecCorpus, EveryMalformedGridRaisesStructuredError) {
+    for (const auto& c : kMalformedGrids) {
+        try {
+            GridSpec::parse(c.spec).expand();
+            ADD_FAILURE() << "accepted malformed grid: " << c.spec;
+        } catch (const SpecError& e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find(c.expectSubstring), std::string::npos)
+                << "grid: " << c.spec << "\n  error: " << what
+                << "\n  expected substring: " << c.expectSubstring;
+        } catch (const std::exception& e) {
+            ADD_FAILURE() << "wrong exception type for: " << c.spec << " (" << e.what() << ")";
+        }
+    }
+}
+
+TEST(GridSpec, DefaultsAreOneCell) {
+    const GridSpec g = GridSpec::parse("");
+    EXPECT_EQ(g.cellCount(), 1u);
+    const auto cells = g.expand();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].config.transport, TransportKind::EcnTcp);
+    EXPECT_EQ(cells[0].config.switchQueue.kind, QueueKind::Red);
+}
+
+TEST(GridSpec, CommentsAndBlanksIgnored) {
+    const GridSpec g = GridSpec::parse(
+        "# a comment\n"
+        "\n"
+        "transport = ecn, dctcp   # trailing comment\n");
+    EXPECT_EQ(g.transports.size(), 2u);
+    EXPECT_EQ(g.cellCount(), 2u);
+}
+
+TEST(GridSpec, ExpansionOrderIsSeedFastest) {
+    const GridSpec g = GridSpec::parse(
+        "transport = ecn, dctcp\n"
+        "seed = 1, 2\n");
+    const auto cells = g.expand();
+    ASSERT_EQ(cells.size(), 4u);
+    // seed varies fastest, transport slower.
+    EXPECT_EQ(cells[0].coordKey().find("transport=ecn"), cells[1].coordKey().find("transport=ecn"));
+    EXPECT_NE(cells[0].coordKey().find("seed=1"), std::string::npos);
+    EXPECT_NE(cells[1].coordKey().find("seed=2"), std::string::npos);
+    EXPECT_NE(cells[2].coordKey().find("transport=dctcp"), std::string::npos);
+    for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+}
+
+TEST(GridSpec, CoordKeyListsEveryAxis) {
+    const auto cells = GridSpec::parse("").expand();
+    const std::string key = cells[0].coordKey();
+    for (const char* axis : {"workload=", "transport=", "queue=", "protection=", "buffers=",
+                             "target_us=", "scheduler=", "topology=", "faults=", "seed="}) {
+        EXPECT_NE(key.find(axis), std::string::npos) << key;
+    }
+}
+
+TEST(GridSpec, CellConfigsFollowCoordinates) {
+    const GridSpec g = GridSpec::parse(
+        "transport = tcp, dctcp\n"
+        "protection = acksyn\n"
+        "buffers = deep\n"
+        "target_us = 250\n"
+        "nodes = 4\n"
+        "input_mb = 1\n");
+    const auto cells = g.expand();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_FALSE(cells[0].config.switchQueue.ecnEnabled);  // plain tcp
+    EXPECT_TRUE(cells[1].config.switchQueue.ecnEnabled);
+    EXPECT_EQ(cells[1].config.switchQueue.redVariant, RedVariant::DctcpMimic);
+    for (const auto& c : cells) {
+        EXPECT_EQ(c.config.switchQueue.protection, ProtectionMode::ProtectAckSyn);
+        EXPECT_EQ(c.config.buffers, BufferProfile::Deep);
+        EXPECT_EQ(c.config.switchQueue.targetDelay, Time::microseconds(250));
+        EXPECT_EQ(c.config.numNodes, 4);
+    }
+}
+
+TEST(GridSpec, IncastFanInFitsTopology) {
+    const GridSpec g = GridSpec::parse(
+        "workload = incast\n"
+        "nodes = 4\n"
+        "input_mb = 1\n");
+    const auto cells = g.expand();  // would throw if fan-in did not fit
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].config.workload.incast.fanIn, 3);
+}
+
+TEST(GridSpec, LeafSpineGetsShape) {
+    const GridSpec g = GridSpec::parse(
+        "topology = leafspine\n"
+        "nodes = 6\n"
+        "input_mb = 1\n");
+    const auto cells = g.expand();
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0].config.topology, TopologyKind::LeafSpine);
+    EXPECT_EQ(cells[0].config.leafSpine.hostsPerRack, 3);
+}
+
+TEST(GridSpec, CellNamesAreUniquePerIndex) {
+    const auto cells = GridSpec::parse("name = t\nseed = 1, 2, 3\n").expand();
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].config.name, "t[0]");
+    EXPECT_EQ(cells[2].config.name, "t[2]");
+}
+
+TEST(GridSpec, ParseFileMissingIsStructuredError) {
+    EXPECT_THROW(GridSpec::parseFile("/nonexistent/no.grid"), SpecError);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,52 @@
+// Bounded-pool tests: every index runs exactly once, worker clamping, and
+// the single-worker serial degenerate case.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/sweep/pool.hpp"
+
+namespace ecnsim {
+namespace {
+
+TEST(Pool, BoundedWorkerCountClampsToTasks) {
+    EXPECT_EQ(boundedWorkerCount(8, 3), 3u);
+    EXPECT_EQ(boundedWorkerCount(2, 100), 2u);
+    EXPECT_EQ(boundedWorkerCount(1, 1), 1u);
+    // <= 0 selects hardware concurrency (at least 1), still task-clamped.
+    EXPECT_GE(boundedWorkerCount(0, 64), 1u);
+    EXPECT_LE(boundedWorkerCount(-3, 2), 2u);
+    EXPECT_GE(boundedWorkerCount(-3, 2), 1u);
+}
+
+TEST(Pool, EveryTaskRunsExactlyOnce) {
+    constexpr std::size_t kTasks = 257;
+    std::vector<std::atomic<int>> hits(kTasks);
+    runBoundedTasks(kTasks, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Pool, SingleWorkerRunsOnCallingThread) {
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(3);
+    runBoundedTasks(ran.size(), 1, [&](std::size_t i) { ran[i] = std::this_thread::get_id(); });
+    for (const auto& id : ran) EXPECT_EQ(id, caller);
+}
+
+TEST(Pool, ZeroTasksIsNoop) {
+    bool called = false;
+    runBoundedTasks(0, 8, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(Pool, MoreWorkersThanTasksStillCoversAll) {
+    std::vector<std::atomic<int>> hits(2);
+    runBoundedTasks(2, 64, [&](std::size_t i) { hits[i].fetch_add(1); });
+    EXPECT_EQ(hits[0].load(), 1);
+    EXPECT_EQ(hits[1].load(), 1);
+}
+
+}  // namespace
+}  // namespace ecnsim

@@ -1,0 +1,132 @@
+// End-to-end sweep driver tests against a private cache directory: a cold
+// run executes every cell, a warm rerun is 100% cache hits with identical
+// aggregate bytes (the contract CI's sweep-smoke job gates), the process
+// and thread pools agree, and lookupExperimentCached probes without running.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/core/runner.hpp"
+#include "src/sweep/aggregate.hpp"
+#include "src/sweep/sweep.hpp"
+
+namespace ecnsim {
+namespace {
+
+// Two tiny cells (~15ms each): big enough to exercise the pool, small
+// enough that the whole file stays well under a second.
+constexpr const char* kTinyGrid =
+    "name = unitsweep\n"
+    "transport = ecn, dctcp\n"
+    "nodes = 4\n"
+    "input_mb = 1\n";
+
+struct SweepCacheDir : ::testing::Test {
+    void SetUp() override {
+        dir = std::filesystem::temp_directory_path() /
+              ("ecnsim-sweep-" + std::to_string(::getpid()) + "-" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name());
+        std::filesystem::remove_all(dir);
+        ::setenv("ECNSIM_CACHE_DIR", dir.c_str(), 1);
+    }
+    void TearDown() override {
+        ::setenv("ECNSIM_CACHE_DIR", "", 1);  // back to the disabled default tests run under
+        std::filesystem::remove_all(dir);
+    }
+    std::filesystem::path dir;
+};
+
+TEST_F(SweepCacheDir, ColdRunThenWarmRerunIsAllHitsAndByteIdentical) {
+    const GridSpec grid = GridSpec::parse(kTinyGrid);
+    SweepOptions opt;
+    opt.workers = 2;
+
+    const SweepReport cold = runSweep(grid, opt);
+    ASSERT_EQ(cold.cells.size(), 2u);
+    EXPECT_EQ(cold.executed, 2u);
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.failures, 0u);
+    EXPECT_FALSE(cold.interrupted);
+    EXPECT_NE(cold.digest, 0u);
+
+    const SweepReport warm = runSweep(grid, opt);
+    EXPECT_EQ(warm.cacheHits, 2u);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.digest, cold.digest);
+    EXPECT_EQ(sweepCsv(warm), sweepCsv(cold));
+    EXPECT_EQ(sweepJson(warm), sweepJson(cold));
+}
+
+TEST_F(SweepCacheDir, ProcessAndThreadPoolsAgree) {
+    const GridSpec grid = GridSpec::parse(kTinyGrid);
+    SweepOptions proc;
+    proc.workers = 2;
+    const SweepReport viaProcesses = runSweep(grid, proc);
+
+    std::filesystem::remove_all(dir);  // force the thread pool to recompute
+    SweepOptions thr;
+    thr.workers = 2;
+    thr.processPool = false;
+    const SweepReport viaThreads = runSweep(grid, thr);
+
+    EXPECT_TRUE(viaProcesses.usedProcessPool);
+    EXPECT_FALSE(viaThreads.usedProcessPool);
+    EXPECT_EQ(viaThreads.executed, 2u);
+    EXPECT_EQ(viaThreads.digest, viaProcesses.digest);
+    EXPECT_EQ(sweepCsv(viaThreads), sweepCsv(viaProcesses));
+}
+
+TEST_F(SweepCacheDir, PartialCacheExecutesOnlyMissingCells) {
+    const GridSpec grid = GridSpec::parse(kTinyGrid);
+    const auto cells = grid.expand();
+    ASSERT_EQ(cells.size(), 2u);
+    runExperimentCached(cells[0].config);  // pre-seed one cell, as if interrupted after it
+
+    SweepOptions opt;
+    opt.workers = 2;
+    const SweepReport rep = runSweep(grid, opt);
+    EXPECT_EQ(rep.cacheHits, 1u);
+    EXPECT_EQ(rep.executed, 1u);
+    ASSERT_EQ(rep.outcomes.size(), 2u);
+    EXPECT_TRUE(rep.outcomes[0].cacheHit);
+    EXPECT_FALSE(rep.outcomes[1].cacheHit);
+}
+
+TEST_F(SweepCacheDir, LookupProbesWithoutRunning) {
+    const auto cells = GridSpec::parse(kTinyGrid).expand();
+    ExperimentResult probe;
+    EXPECT_FALSE(lookupExperimentCached(cells[0].config, probe));  // cold cache
+
+    const ExperimentResult ran = runExperimentCached(cells[0].config);
+    ASSERT_TRUE(lookupExperimentCached(cells[0].config, probe));
+    EXPECT_EQ(probe.telemetryDigest, ran.telemetryDigest);
+    EXPECT_DOUBLE_EQ(probe.runtimeSec, ran.runtimeSec);
+    EXPECT_EQ(probe.eventsExecuted, ran.eventsExecuted);
+
+    EXPECT_FALSE(lookupExperimentCached(cells[1].config, probe));  // other cell still a miss
+}
+
+TEST_F(SweepCacheDir, LookupDisabledCacheIsAlwaysMiss) {
+    const auto cells = GridSpec::parse(kTinyGrid).expand();
+    ::setenv("ECNSIM_CACHE_DIR", "", 1);
+    ExperimentResult probe;
+    EXPECT_FALSE(lookupExperimentCached(cells[0].config, probe));
+}
+
+TEST_F(SweepCacheDir, ThreadPoolUsedWhenCacheDisabled) {
+    // Without a cache there is no way to carry results out of a forked
+    // worker, so runSweep must fall back to threads even when asked not to.
+    ::setenv("ECNSIM_CACHE_DIR", "", 1);
+    SweepOptions opt;
+    opt.workers = 2;
+    opt.processPool = true;
+    const SweepReport rep = runSweep(GridSpec::parse(kTinyGrid), opt);
+    EXPECT_FALSE(rep.usedProcessPool);
+    EXPECT_EQ(rep.executed, 2u);
+    EXPECT_EQ(rep.failures, 0u);
+}
+
+}  // namespace
+}  // namespace ecnsim

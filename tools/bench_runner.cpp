@@ -4,7 +4,8 @@
 // shuffle, leaf-spine Terasort, fault-flap recovery, plus the three
 // production-shaped workloads: partition-aggregate incast, replicated KV,
 // mixed tenancy), each as a small batch of seeded experiments, first with
-// threads=1 and then with threads=N via runExperimentsParallel. For every scenario it writes BENCH_<name>.json
+// threads=1 and then with threads=N via runExperimentsParallel. For every
+// scenario it writes BENCH_<name>.json
 // containing events/sec, packets/sec, peak RSS and the determinism digest
 // (NetworkTelemetry::digest folded over all runs). The digest must be
 // byte-identical between the serial and parallel passes; any mismatch makes
@@ -368,6 +369,15 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"packets\": " << packets << ",\n"
        << "  \"wallSecSerial\": " << wallSerial << ",\n"
        << "  \"wallSecParallel\": " << wallParallel << ",\n"
+       << "  \"parallelSpeedup\": ";
+    // A single-config scenario runs on one thread either way; a serial/parallel
+    // ratio would just be timer noise, so report null instead of a number.
+    if (sc.configs.size() > 1 && wallParallel > 0.0) {
+        os << wallSerial / wallParallel;
+    } else {
+        os << "null";
+    }
+    os << ",\n"
        << "  \"wallSecObsFull\": " << wallObsFull << ",\n"
        << "  \"obsOverheadPct\": " << obsOverheadPct << ",\n"
        << "  \"digestMatchObs\": " << (digestMatchObs ? "true" : "false") << ",\n"

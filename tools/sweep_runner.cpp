@@ -1,0 +1,213 @@
+// sweep_runner — experiment-farm front end: expand a declarative grid,
+// schedule its cells across a bounded pool of worker processes, resume
+// interrupted sweeps from the content-addressed results cache, and fold
+// everything into one aggregate report.
+//
+//   sweep_runner run    --grid FILE [--workers N] [--out-dir DIR]
+//                       [--cache-dir DIR] [--threads-only]
+//                       [--invariants off|record|abort] [--quiet]
+//   sweep_runner expand --grid FILE            # list cells without running
+//   sweep_runner help
+//
+// `run` writes three artifacts to --out-dir:
+//   sweep_<name>.csv           one row per cell, keyed by grid coordinates
+//   sweep_<name>.json          full results (coords + every metric)
+//   sweep_<name>_summary.json  cells / cacheHits / executed / failures
+// The CSV and JSON are deterministic: a rerun of the same grid against a
+// warm cache reproduces them byte-for-byte (CI's sweep-smoke job gates
+// this). On SIGTERM/SIGINT the runner stops launching cells, terminates
+// in-flight workers, writes the summary with "interrupted": true and exits
+// 1; rerunning the same command resumes from the cache, re-executing only
+// the unfinished cells. See docs/sweeps.md.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "src/sim/invariants.hpp"
+#include "src/sim/spec_error.hpp"
+#include "src/sweep/aggregate.hpp"
+#include "src/sweep/sweep.hpp"
+
+#include <filesystem>
+
+using namespace ecnsim;
+
+namespace {
+
+// Exit-code contract, matching ecnlab's.
+constexpr int kExitOk = 0;
+constexpr int kExitRuntimeError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitBadValue = 3;
+constexpr int kExitInvariantViolation = 4;
+
+struct Options {
+    std::string command;
+    std::string gridPath;
+    std::string outDir = ".";
+    int workers = 0;
+    bool threadsOnly = false;
+    bool quiet = false;
+};
+
+int usage() {
+    std::fprintf(
+        stderr,
+        "usage: sweep_runner run    --grid FILE [--workers N] [--out-dir DIR]\n"
+        "                           [--cache-dir DIR] [--threads-only]\n"
+        "                           [--invariants off|record|abort] [--quiet]\n"
+        "       sweep_runner expand --grid FILE\n"
+        "       sweep_runner help\n"
+        "\n"
+        "exit codes: 0 ok | 1 runtime failure or interrupted | 2 usage |\n"
+        "            3 invalid grid/value | 4 invariant violations recorded\n");
+    return kExitUsage;
+}
+
+Options parseArgs(int argc, char** argv) {
+    Options o;
+    o.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        const auto value = [&](const char* flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "sweep_runner: flag %s needs a value\n", flag);
+                std::exit(kExitUsage);
+            }
+            return argv[++i];
+        };
+        if (a == "--grid") {
+            o.gridPath = value("--grid");
+        } else if (a == "--out-dir") {
+            o.outDir = value("--out-dir");
+        } else if (a == "--workers") {
+            const std::string v = value("--workers");
+            char* end = nullptr;
+            const long n = std::strtol(v.c_str(), &end, 10);
+            if (v.empty() || end == nullptr || *end != '\0' || n < 1 || n > 4096) {
+                throw SpecError("--workers", v, "an integer in [1, 4096]");
+            }
+            o.workers = static_cast<int>(n);
+        } else if (a == "--cache-dir") {
+            // Exported so forked workers (runExperimentCached in the child)
+            // see the same cache the parent probes and resumes from.
+            ::setenv("ECNSIM_CACHE_DIR", value("--cache-dir").c_str(), 1);
+        } else if (a == "--threads-only") {
+            o.threadsOnly = true;
+        } else if (a == "--quiet") {
+            o.quiet = true;
+        } else if (a == "--invariants") {
+            setGlobalInvariantMode(parseInvariantMode(value("--invariants")));
+        } else {
+            std::fprintf(stderr, "sweep_runner: unknown flag %s\n", a.c_str());
+            std::exit(kExitUsage);
+        }
+    }
+    if (o.gridPath.empty()) {
+        std::fprintf(stderr, "sweep_runner: --grid FILE is required\n");
+        std::exit(kExitUsage);
+    }
+    return o;
+}
+
+bool writeFile(const std::string& path, const std::string& body) {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os) return false;
+    os << body;
+    os.close();
+    return static_cast<bool>(os);
+}
+
+int cmdExpand(const Options& o) {
+    const GridSpec grid = GridSpec::parseFile(o.gridPath);
+    const auto cells = grid.expand();
+    for (const auto& cell : cells) {
+        std::printf("%zu  %s\n", cell.index, cell.coordKey().c_str());
+    }
+    std::fprintf(stderr, "[sweep] %s: %zu cells\n", grid.name.c_str(), cells.size());
+    return kExitOk;
+}
+
+int cmdRun(const Options& o) {
+    const GridSpec grid = GridSpec::parseFile(o.gridPath);
+
+    std::error_code ec;
+    std::filesystem::create_directories(o.outDir, ec);
+    if (ec) {
+        std::fprintf(stderr, "sweep_runner: cannot create --out-dir %s: %s\n", o.outDir.c_str(),
+                     ec.message().c_str());
+        return kExitUsage;
+    }
+
+    installSweepSignalHandlers();
+    SweepOptions opt;
+    opt.workers = o.workers;
+    opt.processPool = !o.threadsOnly;
+    if (!o.quiet) {
+        opt.progress = [](const std::string& line) { std::fprintf(stderr, "%s\n", line.c_str()); };
+    }
+
+    const SweepReport rep = runSweep(grid, opt);
+
+    // The summary is always written — it is how an interrupted sweep and
+    // its resume are accounted for. The aggregate CSV/JSON only exist for
+    // complete sweeps (a partial aggregate would look like a full one).
+    const std::string base = o.outDir + "/sweep_" + rep.gridName;
+    if (!writeFile(base + "_summary.json", sweepSummaryJson(rep))) {
+        std::fprintf(stderr, "sweep_runner: cannot write %s_summary.json\n", base.c_str());
+        return kExitRuntimeError;
+    }
+    if (rep.interrupted) {
+        std::fprintf(stderr,
+                     "sweep_runner: interrupted after %zu/%zu cells — rerun the same command "
+                     "to resume from the cache\n",
+                     rep.cacheHits + rep.executed, rep.cells.size());
+        return kExitRuntimeError;
+    }
+    if (!writeFile(base + ".csv", sweepCsv(rep)) || !writeFile(base + ".json", sweepJson(rep))) {
+        std::fprintf(stderr, "sweep_runner: cannot write aggregate report under %s\n",
+                     o.outDir.c_str());
+        return kExitRuntimeError;
+    }
+    std::fprintf(stderr, "[sweep] wrote %s.csv, %s.json, %s_summary.json\n", base.c_str(),
+                 base.c_str(), base.c_str());
+
+    if (rep.failures > 0) {
+        std::fprintf(stderr, "sweep_runner: %zu cell(s) FAILED (see %s.json)\n", rep.failures,
+                     base.c_str());
+        return kExitRuntimeError;
+    }
+    if (rep.invariantViolations > 0) {
+        std::fprintf(stderr, "sweep_runner: %llu invariant violation(s) recorded\n",
+                     static_cast<unsigned long long>(rep.invariantViolations));
+        return kExitInvariantViolation;
+    }
+    return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+            usage();
+            return kExitOk;
+        }
+        if (cmd == "run") return cmdRun(parseArgs(argc, argv));
+        if (cmd == "expand") return cmdExpand(parseArgs(argc, argv));
+        std::fprintf(stderr, "sweep_runner: unknown command '%s'\n", cmd.c_str());
+        return usage();
+    } catch (const SpecError& e) {
+        std::fprintf(stderr, "invalid value: %s\n", e.what());
+        return kExitBadValue;
+    } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "invalid value: %s\n", e.what());
+        return kExitBadValue;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitRuntimeError;
+    }
+}
