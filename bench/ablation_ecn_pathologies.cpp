@@ -1,0 +1,85 @@
+// Ablation A11 — ECN middlebox pathologies ("the untold truth" failure
+// modes: what happens when the network *mishandles* the ECN bits the paper's
+// remedies depend on).
+//
+// The mixed-tenancy Default-vs-ACK+SYN comparison re-run with a broken
+// middlebox at the core switch: bleach (CE rewritten back to ECT(0)),
+// remark (ECT cleared to Not-ECT) and strip (handshake ECE/CWR cleared so
+// ECN negotiation fails). For each pathology we quote the RPC p99 under
+// both protection modes, how much of the clean-path protection gap
+// survives, and the fallback counters proving graceful degradation
+// (RFC 3168 non-ECN fallback, DCTCP marking-starvation guard).
+#include <cstring>
+
+#include "bench/figure_common.hpp"
+
+using namespace ecnsim;
+using namespace ecnsim::bench;
+
+int main() {
+    const SweepScale scale = SweepScale::fromEnvironment();
+
+    const char* const pathologies[] = {"clean", "bleach", "remark", "strip"};
+
+    ExperimentConfig base = makeBaseConfig(scale);
+    base.transport = TransportKind::Dctcp;
+    base.switchQueue.kind = QueueKind::Red;
+    base.switchQueue.redVariant = RedVariant::DctcpMimic;
+    base.switchQueue.ecnEnabled = true;
+    base.switchQueue.targetDelay = Time::microseconds(500);
+    base.buffers = BufferProfile::Shallow;
+    base.workload.kind = WorkloadKind::MixedTenancy;
+    base.workload.mixed.rpcClients = 4;
+    base.workload.mixed.opsPerSecPerClient = 300.0;
+
+    std::printf("A11 — protection gap under ECN middlebox pathologies "
+                "(DCTCP mixed tenancy, shallow, target 500us)\n\n");
+    TextTable table({"pathology", "p99_default_ms", "p99_acksyn_ms", "gap_ms", "gap_survival%",
+                     "mangles", "ecnFallback", "starveFallback"});
+    double cleanGap = 0.0;
+    for (const char* patho : pathologies) {
+        double p99[2] = {0.0, 0.0};
+        std::uint64_t mangles = 0, ecnFallbacks = 0, starveFallbacks = 0;
+        for (const bool prot : {false, true}) {
+            ExperimentConfig cfg = base;
+            cfg.switchQueue.protection =
+                prot ? ProtectionMode::ProtectAckSyn : ProtectionMode::Default;
+            if (std::strcmp(patho, "clean") != 0) {
+                // Every access link, both directions: remark needs to hit
+                // host egress (upstream of the switch AQM), bleach needs
+                // switch egress (right after the mark was set).
+                std::string spec;
+                for (int l = 0; l < cfg.numNodes; ++l) {
+                    if (l) spec += ";";
+                    spec += std::string(patho) + "@0s:link=" + std::to_string(l) + ":p=1";
+                }
+                cfg.faultSpec = spec;
+            }
+            cfg.name = std::string("A11/") + patho + "/" + (prot ? "acksyn" : "default");
+            const auto r = runExperimentCached(cfg);
+            p99[prot ? 1 : 0] = r.reqP99Us;
+            mangles += r.ecnBleached + r.ecnRemarked + r.ecnStripped;
+            ecnFallbacks += r.ecnFallbacks;
+            starveFallbacks += r.dctcpStarvationFallbacks;
+        }
+        const double gap = p99[0] - p99[1];
+        if (std::strcmp(patho, "clean") == 0) cleanGap = gap;
+        const double survival = cleanGap > 0.0 ? 100.0 * gap / cleanGap : 0.0;
+        table.addRow({patho, TextTable::num(p99[0] / 1000, 2), TextTable::num(p99[1] / 1000, 2),
+                      TextTable::num(gap / 1000, 2), TextTable::num(survival, 1),
+                      std::to_string(mangles), std::to_string(ecnFallbacks),
+                      std::to_string(starveFallbacks)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nReading: bleaching erases CE after the AQM set it, so DCTCP under-reacts and\n"
+        "both legs inflate — but the ACK+SYN protection gap itself survives (the\n"
+        "starvation guard, starveFallback, keeps the bleached flows from stalling).\n"
+        "Remarking and stripping kill the marking channel outright — remark starves it\n"
+        "(guard degrades flows to loss-based control), strip stops negotiation\n"
+        "(ecnFallback counts every non-ECN connection) — and with no marks to protect,\n"
+        "the Default and ACK+SYN legs converge: the protection win is gone. That is\n"
+        "the paper's untold truth, and the robustness claim is what remains: every\n"
+        "leg completes, with bounded inflation — a performance story, never a hang.\n");
+    return 0;
+}

@@ -44,6 +44,11 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "speculativeLaunches") in >> r.speculativeLaunches;
         else if (field == "wastedBytes") in >> r.wastedBytes;
         else if (field == "recoveredBytes") in >> r.recoveredBytes;
+        else if (field == "ecnBleached") in >> r.ecnBleached;
+        else if (field == "ecnRemarked") in >> r.ecnRemarked;
+        else if (field == "ecnStripped") in >> r.ecnStripped;
+        else if (field == "ecnFallbacks") in >> r.ecnFallbacks;
+        else if (field == "dctcpStarvationFallbacks") in >> r.dctcpStarvationFallbacks;
         else if (field == "runtimeSec") in >> r.runtimeSec;
         else if (field == "throughputPerNodeMbps") in >> r.throughputPerNodeMbps;
         else if (field == "avgLatencyUs") in >> r.avgLatencyUs;
@@ -117,6 +122,11 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "speculativeLaunches " << r.speculativeLaunches << '\n'
             << "wastedBytes " << r.wastedBytes << '\n'
             << "recoveredBytes " << r.recoveredBytes << '\n'
+            << "ecnBleached " << r.ecnBleached << '\n'
+            << "ecnRemarked " << r.ecnRemarked << '\n'
+            << "ecnStripped " << r.ecnStripped << '\n'
+            << "ecnFallbacks " << r.ecnFallbacks << '\n'
+            << "dctcpStarvationFallbacks " << r.dctcpStarvationFallbacks << '\n'
             << "runtimeSec " << r.runtimeSec << '\n'
             << "throughputPerNodeMbps " << r.throughputPerNodeMbps << '\n'
             << "avgLatencyUs " << r.avgLatencyUs << '\n'

@@ -186,6 +186,19 @@ struct ExperimentResult {
     std::int64_t wastedBytes = 0;
     std::int64_t recoveredBytes = 0;
 
+    // ECN-pathology accounting (zero unless a bleach/remark/strip fault was
+    // active). Mangled packets are delivered, so these overlap — they do
+    // not add into — faultDrops.
+    std::uint64_t ecnBleached = 0;
+    std::uint64_t ecnRemarked = 0;
+    std::uint64_t ecnStripped = 0;
+    /// Connections that wanted ECN but fell back to non-ECN operation
+    /// (negotiation stripped or declined).
+    std::uint64_t ecnFallbacks = 0;
+    /// DCTCP senders whose marking-starvation guard degraded them to
+    /// loss-based congestion control.
+    std::uint64_t dctcpStarvationFallbacks = 0;
+
     // Observability accounting (zero on unobserved runs).
     std::uint64_t traceRecords = 0;  ///< flight-recorder records offered
     /// Ring overwrites: records lost to the retained window. Non-zero means

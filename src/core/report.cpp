@@ -157,6 +157,15 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     os << pad << "  \"wastedBytes\": " << r.wastedBytes;
     sep();
     os << pad << "  \"recoveredBytes\": " << r.recoveredBytes;
+    // ECN-pathology accounting: only emitted when a bleach/remark/strip fault
+    // (or a failed negotiation) actually fired, so pathology-free reports stay
+    // byte-identical with what older consumers saw.
+    if (r.ecnBleached > 0) integer("ecnBleached", r.ecnBleached);
+    if (r.ecnRemarked > 0) integer("ecnRemarked", r.ecnRemarked);
+    if (r.ecnStripped > 0) integer("ecnStripped", r.ecnStripped);
+    if (r.ecnFallbacks > 0) integer("ecnFallbacks", r.ecnFallbacks);
+    if (r.dctcpStarvationFallbacks > 0)
+        integer("dctcpStarvationFallbacks", r.dctcpStarvationFallbacks);
     // Observability accounting appears only on observed runs so unobserved
     // reports stay byte-identical with what older consumers expect.
     if (r.traceRecords > 0 || r.traceDroppedEvents > 0) {

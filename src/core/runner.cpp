@@ -60,7 +60,7 @@ std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v10|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v11|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -305,6 +305,11 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.speculativeLaunches = rep.speculativeLaunches;
         r.wastedBytes = rep.wastedBytes;
         r.recoveredBytes = rep.recoveredBytes;
+        r.ecnBleached = faults.ecnBleached;
+        r.ecnRemarked = faults.ecnRemarked;
+        r.ecnStripped = faults.ecnStripped;
+        r.ecnFallbacks = tcp.ecnFallbacks;
+        r.dctcpStarvationFallbacks = tcp.dctcpStarvationFallbacks;
 
         if (obsHub) {
             obsHub->stopSampling();
@@ -371,6 +376,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     // repeats run in seed order) so the aggregate is itself a digest.
     std::uint64_t digest = NetworkTelemetry::kDigestSeed;
     std::uint64_t fDrops = 0, flaps = 0, crashes = 0, retries = 0, hbeats = 0, specs = 0;
+    std::uint64_t bleached = 0, remarked = 0, stripped = 0, ecnFb = 0, starveFb = 0;
     std::uint64_t reqI = 0, reqC = 0, reqV = 0;
     double wasted = 0.0, recovered = 0.0;
     for (const auto& r : runs) {
@@ -383,6 +389,11 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         retries += r.taskRetries;
         hbeats += r.heartbeatTimeouts;
         specs += r.speculativeLaunches;
+        bleached += r.ecnBleached;
+        remarked += r.ecnRemarked;
+        stripped += r.ecnStripped;
+        ecnFb += r.ecnFallbacks;
+        starveFb += r.dctcpStarvationFallbacks;
         wasted += static_cast<double>(r.wastedBytes) / n;
         recovered += static_cast<double>(r.recoveredBytes) / n;
         avg.runtimeSec += r.runtimeSec / n;
@@ -471,6 +482,11 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.speculativeLaunches = meanU64(specs);
     avg.wastedBytes = static_cast<std::int64_t>(wasted + 0.5);
     avg.recoveredBytes = static_cast<std::int64_t>(recovered + 0.5);
+    avg.ecnBleached = meanU64(bleached);
+    avg.ecnRemarked = meanU64(remarked);
+    avg.ecnStripped = meanU64(stripped);
+    avg.ecnFallbacks = meanU64(ecnFb);
+    avg.dctcpStarvationFallbacks = meanU64(starveFb);
     avg.reqIssued = meanU64(reqI);
     avg.reqCompleted = meanU64(reqC);
     avg.reqSloViolations = meanU64(reqV);

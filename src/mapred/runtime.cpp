@@ -63,8 +63,9 @@ int ClusterRuntime::liveNodes() const {
 void installFaults(const FaultPlan& plan, ClusterRuntime& rt) {
     Network& net = rt.network();
     // Fail at bind time, not as an out_of_range mid-run: every target must
-    // exist in this topology.
-    plan.validate(net.numLinks(), static_cast<std::size_t>(rt.numNodes()));
+    // exist in this topology. ECN pathology node targets are *network*
+    // nodes (hosts + switches), so they validate against net.numNodes().
+    plan.validate(net.numLinks(), static_cast<std::size_t>(rt.numNodes()), net.numNodes());
     plan.install(net.sim(), [&net, &rt](const FaultEvent& e) {
         switch (e.kind) {
             case FaultKind::LinkDown:
@@ -81,6 +82,16 @@ void installFaults(const FaultPlan& plan, ClusterRuntime& rt) {
                 break;
             case FaultKind::NodeRecover:
                 rt.recoverNode(e.target);
+                break;
+            case FaultKind::EcnBleach:
+            case FaultKind::EcnRemark:
+            case FaultKind::EcnStrip:
+                if (e.nodeScoped) {
+                    net.setNodeEcnPathology(static_cast<NodeId>(e.target), e.kind, e.lossRate);
+                } else {
+                    net.setLinkEcnPathology(static_cast<std::size_t>(e.target), e.kind,
+                                            e.lossRate);
+                }
                 break;
         }
     });
@@ -103,6 +114,8 @@ TcpConnStats ClusterRuntime::aggregateTcpStats() const {
         agg.acksSent += s.acksSent;
         agg.acksSentWithEce += s.acksSentWithEce;
         agg.acksReceivedWithEce += s.acksReceivedWithEce;
+        agg.ecnFallbacks += s.ecnFallbacks;
+        agg.dctcpStarvationFallbacks += s.dctcpStarvationFallbacks;
     }
     return agg;
 }

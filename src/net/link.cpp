@@ -84,6 +84,43 @@ void Port::tryTransmit() {
     txDone_ = sim_.reschedule(std::move(txDone_), serialization, [this] { onSerialized(); });
 }
 
+void Port::applyEcnPathologies(Packet& pkt) {
+    // Per-pathology coin flip; p>=1 short-circuits so a deterministic
+    // always-on pathology consumes no RNG stream.
+    const auto applies = [this](double rate) {
+        return rate >= 1.0 || sim_.rng().uniform01() < rate;
+    };
+    // Fixed evaluation order (bleach, remark, strip) keeps the RNG draw
+    // sequence — and with it the telemetry digest — identical across
+    // scheduler backends. A packet is counted only when its bits actually
+    // change, exactly once per pathology, and is still delivered: mangles
+    // never enter the drop side of the conservation ledger.
+    if (ecnBleachRate_ > 0.0 && pkt.ecn == EcnCodepoint::Ce && applies(ecnBleachRate_)) {
+        pkt.ecn = EcnCodepoint::Ect0;
+        ++ecnBleached_;
+        if (telemetry_ != nullptr) {
+            telemetry_->recordEcnMangle(pkt, &FaultCounters::ecnBleached, 1);
+        }
+    }
+    if (ecnRemarkRate_ > 0.0 &&
+        (pkt.ecn == EcnCodepoint::Ect0 || pkt.ecn == EcnCodepoint::Ect1) &&
+        applies(ecnRemarkRate_)) {
+        pkt.ecn = EcnCodepoint::NotEct;
+        ++ecnRemarked_;
+        if (telemetry_ != nullptr) {
+            telemetry_->recordEcnMangle(pkt, &FaultCounters::ecnRemarked, 2);
+        }
+    }
+    if (ecnStripRate_ > 0.0 && pkt.isTcp && (pkt.tcpFlags & tcp_flags::Syn) &&
+        (pkt.tcpFlags & (tcp_flags::Ece | tcp_flags::Cwr)) && applies(ecnStripRate_)) {
+        pkt.tcpFlags &= static_cast<std::uint8_t>(~(tcp_flags::Ece | tcp_flags::Cwr));
+        ++ecnStripped_;
+        if (telemetry_ != nullptr) {
+            telemetry_->recordEcnMangle(pkt, &FaultCounters::ecnStripped, 3);
+        }
+    }
+}
+
 void Port::onSerialized() {
     // Profiler gate: one pointer test when observability is off.
     ObsHub* hub = sim_.obs();
@@ -104,6 +141,7 @@ void Port::onSerialized() {
         tryTransmit();
         return;
     }
+    applyEcnPathologies(*pkt);
     // Wire flight: after the propagation delay the peer sees the packet.
     // Several packets can be on the wire at once, so this event keeps its
     // per-packet capture.

@@ -59,6 +59,17 @@ public:
     void setLossRate(double p) { lossRate_ = p; }
     double lossRate() const { return lossRate_; }
 
+    /// Broken-middlebox ECN pathologies (applied per eligible packet with
+    /// the given probability as it completes serialization; 0 disables).
+    /// Mangled packets are still delivered — the conservation ledger sees
+    /// them as normal deliveries; only the codepoint/flags change.
+    void setEcnBleachRate(double p) { ecnBleachRate_ = p; }
+    void setEcnRemarkRate(double p) { ecnRemarkRate_ = p; }
+    void setEcnStripRate(double p) { ecnStripRate_ = p; }
+    double ecnBleachRate() const { return ecnBleachRate_; }
+    double ecnRemarkRate() const { return ecnRemarkRate_; }
+    double ecnStripRate() const { return ecnStripRate_; }
+
     Queue& queue() { return *queue_; }
     const Queue& queue() const { return *queue_; }
     Bandwidth rate() const { return rate_; }
@@ -98,9 +109,18 @@ public:
                faultRandomLossDrops_;
     }
 
+    // Port-local ECN mangle accounting. A packet is counted only when its
+    // bits actually changed, exactly once, and is still delivered (mangles
+    // never enter faultDropsTotal()).
+    std::uint64_t ecnBleached() const { return ecnBleached_; }
+    std::uint64_t ecnRemarked() const { return ecnRemarked_; }
+    std::uint64_t ecnStripped() const { return ecnStripped_; }
+    std::uint64_t ecnManglesTotal() const { return ecnBleached_ + ecnRemarked_ + ecnStripped_; }
+
 private:
     void tryTransmit();
     void onSerialized();
+    void applyEcnPathologies(Packet& pkt);
     void recordFault(const Packet& pkt, std::uint64_t& localCounter,
                      std::uint64_t FaultCounters::* bucket);
 
@@ -114,6 +134,9 @@ private:
     bool busy_ = false;
     bool up_ = true;
     double lossRate_ = 0.0;
+    double ecnBleachRate_ = 0.0;
+    double ecnRemarkRate_ = 0.0;
+    double ecnStripRate_ = 0.0;
     /// The packet being serialized and its start epoch. Keeping them in
     /// the port (instead of a per-packet lambda capture) lets back-to-back
     /// dequeues recycle one serialization event whose callable captures
@@ -133,6 +156,9 @@ private:
     std::uint64_t faultQueuePurgeDrops_ = 0;
     std::uint64_t faultInFlightDrops_ = 0;
     std::uint64_t faultRandomLossDrops_ = 0;
+    std::uint64_t ecnBleached_ = 0;
+    std::uint64_t ecnRemarked_ = 0;
+    std::uint64_t ecnStripped_ = 0;
 };
 
 }  // namespace ecnsim

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <limits>
+#include <stdexcept>
 
 #include "src/obs/hub.hpp"
 
@@ -77,11 +78,45 @@ void Network::setLinkLossRate(std::size_t i, double p) {
     pb->setLossRate(p);
 }
 
+namespace {
+void setPortEcnPathology(Port& port, FaultKind kind, double probability) {
+    switch (kind) {
+        case FaultKind::EcnBleach: port.setEcnBleachRate(probability); break;
+        case FaultKind::EcnRemark: port.setEcnRemarkRate(probability); break;
+        case FaultKind::EcnStrip: port.setEcnStripRate(probability); break;
+        default: throw std::invalid_argument("not an ECN pathology fault kind");
+    }
+}
+}  // namespace
+
+void Network::setLinkEcnPathology(std::size_t i, FaultKind kind, double probability) {
+    const auto [pa, pb] = linkPorts(i);
+    setPortEcnPathology(*pa, kind, probability);
+    setPortEcnPathology(*pb, kind, probability);
+}
+
+void Network::setNodeEcnPathology(NodeId id, FaultKind kind, double probability) {
+    Node& n = node(id);
+    for (std::size_t p = 0; p < n.numPorts(); ++p) {
+        setPortEcnPathology(n.port(p), kind, probability);
+    }
+}
+
 std::uint64_t Network::portFaultDropsTotal() const {
     std::uint64_t total = 0;
     for (const auto& node : nodes_) {
         for (std::size_t p = 0; p < node->numPorts(); ++p) {
             total += node->port(p).faultDropsTotal();
+        }
+    }
+    return total;
+}
+
+std::uint64_t Network::portEcnManglesTotal() const {
+    std::uint64_t total = 0;
+    for (const auto& node : nodes_) {
+        for (std::size_t p = 0; p < node->numPorts(); ++p) {
+            total += node->port(p).ecnManglesTotal();
         }
     }
     return total;
@@ -134,6 +169,18 @@ std::uint64_t Network::verifyInvariants() {
                        "fault-counter reconciliation: telemetry port buckets " +
                            std::to_string(portBuckets) + " != per-port ground truth " +
                            std::to_string(portFaultDropsTotal()));
+    } else {
+        inv->passed();
+    }
+
+    // ECN mangles are delivered, not dropped: they must reconcile against
+    // the per-port ground truth too, but never appear in the drop ledger —
+    // a bleached packet is still conserved as a normal delivery below.
+    if (f.totalEcnMangles() != portEcnManglesTotal()) {
+        inv->violation(InvariantClass::PacketConservation, now, evt,
+                       "ecn-mangle reconciliation: telemetry mangle buckets " +
+                           std::to_string(f.totalEcnMangles()) + " != per-port ground truth " +
+                           std::to_string(portEcnManglesTotal()));
     } else {
         inv->passed();
     }

@@ -7,6 +7,7 @@
 #include "src/net/node.hpp"
 #include "src/net/queue.hpp"
 #include "src/net/telemetry.hpp"
+#include "src/sim/fault_plan.hpp"
 #include "src/sim/simulator.hpp"
 #include "src/sim/units.hpp"
 
@@ -83,9 +84,21 @@ public:
     /// Per-packet random loss on both directions (0 restores the link).
     void setLinkLossRate(std::size_t i, double p);
 
+    /// Broken-middlebox ECN pathology on both directions of link i (kind is
+    /// one of the FaultKind ECN pathologies; probability 0 clears it).
+    void setLinkEcnPathology(std::size_t i, FaultKind kind, double probability);
+    /// Same pathology on every egress port of network node `id` — models a
+    /// broken switch/host NIC rather than a single cable segment.
+    void setNodeEcnPathology(NodeId id, FaultKind kind, double probability);
+
     /// Sum of the per-port fault-drop counters over every port in the
     /// network — the ground truth telemetry's FaultCounters must match.
     std::uint64_t portFaultDropsTotal() const;
+
+    /// Sum of the per-port ECN mangle counters (bleach + remark + strip) —
+    /// ground truth for the telemetry mangle buckets, reconciled by
+    /// verifyInvariants just like the drop buckets.
+    std::uint64_t portEcnManglesTotal() const;
 
     // -------------------------------------------------------- invariants
     /// Run the packet-conservation ledger and the structural sweeps,

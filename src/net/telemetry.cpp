@@ -36,6 +36,15 @@ void NetworkTelemetry::recordFaultDrop(const Packet& p, std::uint64_t FaultCount
     digest_ = foldDigest(digest_, 0xFA017D50ull ^ static_cast<std::uint64_t>(p.sizeBytes));
 }
 
+void NetworkTelemetry::recordEcnMangle(const Packet& p, std::uint64_t FaultCounters::* bucket,
+                                       std::uint64_t tag) {
+    ++(faults_.*bucket);
+    // Marker ^ kind ^ size: distinct from the fault-drop fold, and enough
+    // to pin the exact mangle stream without touching the drop ledger.
+    digest_ = foldDigest(digest_, 0x0EC2A27Eull ^ (tag << 32) ^
+                                      static_cast<std::uint64_t>(p.sizeBytes));
+}
+
 double NetworkTelemetry::latencyQuantileUs(double q) const { return latencyHist_->quantile(q); }
 
 void NetworkTelemetry::reset() {

@@ -27,9 +27,17 @@ struct FaultCounters {
     std::uint64_t nodeCrashes = 0;
     std::uint64_t nodeRecoveries = 0;
 
+    // Broken-middlebox ECN pathologies. These packets are mangled, NOT
+    // dropped — they continue to the peer and are counted as deliveries —
+    // so the mangle buckets stay out of totalDrops() and bytesLost.
+    std::uint64_t ecnBleached = 0;  ///< CE rewritten back to ECT(0)
+    std::uint64_t ecnRemarked = 0;  ///< ECT remarked to Not-ECT
+    std::uint64_t ecnStripped = 0;  ///< ECE/CWR cleared on SYN / SYN-ACK
+
     std::uint64_t totalDrops() const {
         return rejectedSends + queuePurgeDrops + inFlightDrops + randomLossDrops + noRouteDrops;
     }
+    std::uint64_t totalEcnMangles() const { return ecnBleached + ecnRemarked + ecnStripped; }
 };
 
 class NetworkTelemetry {
@@ -42,6 +50,14 @@ public:
     /// A packet consumed by an injected fault. The bucket is chosen by the
     /// caller (Port / SwitchNode); `bytesLost` accumulates automatically.
     void recordFaultDrop(const Packet& p, std::uint64_t FaultCounters::* bucket);
+
+    /// A packet mangled in place by an ECN pathology (still delivered, so
+    /// no bytesLost). `tag` disambiguates the pathology kind in the digest
+    /// fold; the mangle stream is deterministic, so folding it locks the
+    /// digest across schedulers and obs modes even for strip (whose flag
+    /// edit is otherwise invisible to the delivery fold).
+    void recordEcnMangle(const Packet& p, std::uint64_t FaultCounters::* bucket,
+                         std::uint64_t tag);
     FaultCounters& faults() { return faults_; }
     const FaultCounters& faults() const { return faults_; }
 

@@ -64,6 +64,35 @@ double parseProbability(const std::string& clause, const std::string& val) {
 
 }  // namespace
 
+const std::vector<FaultGrammarRow>& faultGrammar() {
+    // Single source of truth for the clause grammar: ecnlab's --faults help
+    // is rendered from this table and docs/fault_injection.md mirrors it,
+    // with a test asserting every faultKindName() appears in the effects.
+    static const std::vector<FaultGrammarRow> kRows = {
+        {"flap", "flap@<time>:link=<i>:for=<dur>", "link-down, then link-up after <dur>"},
+        {"down", "down@<time>:link=<i>", "permanent link-down"},
+        {"loss", "loss@<time>:link=<i>:p=<prob>[:for=<dur>]",
+         "link-degrade: random per-packet drop"},
+        {"crash", "crash@<time>:node=<i>[:for=<dur>]",
+         "node-crash (node-recover after <dur>)"},
+        {"bleach", "bleach@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]",
+         "ecn-bleach: middlebox rewrites CE back to ECT(0)"},
+        {"remark", "remark@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]",
+         "ecn-remark: middlebox remarks ECT to Not-ECT (drop-eligible)"},
+        {"strip", "strip@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]",
+         "ecn-strip: clears ECE/CWR on SYN and SYN-ACK (negotiation fails)"},
+    };
+    return kRows;
+}
+
+std::string faultGrammarHelp() {
+    std::ostringstream os;
+    for (const FaultGrammarRow& row : faultGrammar()) {
+        os << "  " << row.syntax << "\n      " << row.effect << '\n';
+    }
+    return os.str();
+}
+
 Time FaultPlan::parseDuration(const std::string& s) {
     const auto bad = [&s](const std::string& expected) -> SpecError {
         return SpecError("duration", s, expected);
@@ -149,8 +178,55 @@ void FaultPlan::addNodeCrash(Time at, int node, Time downFor) {
     }
 }
 
+void FaultPlan::addEcnPathology(Time at, FaultKind kind, int target, bool nodeScoped,
+                                double probability, Time duration) {
+    if (!isEcnPathology(kind)) {
+        throw SpecError("ecn pathology kind", std::string(faultKindName(kind)),
+                        "one of ecn-bleach, ecn-remark, ecn-strip");
+    }
+    if (probability < 0.0 || probability > 1.0) {
+        throw SpecError("ecn pathology probability", std::to_string(probability),
+                        "a probability in [0, 1]");
+    }
+    if (duration < Time::zero()) {
+        throw SpecError("ecn pathology duration", duration.toString(), "a positive duration");
+    }
+    if (endOverflows(at, duration)) {
+        throw SpecError("ecn pathology end time", (at.toString() + " + " + duration.toString()),
+                        "a time that fits the ns clock");
+    }
+    add(FaultEvent{at, kind, target, probability, nodeScoped});
+    if (duration > Time::zero() && probability > 0.0) {
+        add(FaultEvent{at + duration, kind, target, 0.0, nodeScoped});
+    }
+}
+
+namespace {
+
+/// Active window of one ECN pathology clause, for overlap rejection: two
+/// clauses of the same kind on the same target whose windows intersect
+/// would fight over one port knob, so parse() refuses them up front.
+struct EcnWindow {
+    FaultKind kind;
+    bool nodeScoped;
+    int target;
+    Time start;
+    bool bounded;
+    Time end;  // meaningful only when bounded
+};
+
+bool windowsOverlap(const EcnWindow& a, const EcnWindow& b) {
+    if (a.kind != b.kind || a.nodeScoped != b.nodeScoped || a.target != b.target) return false;
+    const bool aBeforeB = a.bounded && a.end <= b.start;
+    const bool bBeforeA = b.bounded && b.end <= a.start;
+    return !aBeforeB && !bBeforeA;
+}
+
+}  // namespace
+
 FaultPlan FaultPlan::parse(const std::string& spec) {
     FaultPlan plan;
+    std::vector<EcnWindow> windows;
     for (const std::string& clause : split(stripSpace(spec), ';')) {
         const auto at = clause.find('@');
         if (at == std::string::npos) fail(clause, "expected <verb>@<time>");
@@ -164,6 +240,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         int link = -1, node = -1;
         double p = -1.0;
         Time forDur = Time::zero();
+        bool hasFor = false;
         for (std::size_t i = 1; i < fields.size(); ++i) {
             const auto eq = fields[i].find('=');
             if (eq == std::string::npos) fail(clause, "expected key=value: " + fields[i]);
@@ -172,7 +249,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
             if (key == "link") link = parseIndex(clause, key, val);
             else if (key == "node") node = parseIndex(clause, key, val);
             else if (key == "p") p = parseProbability(clause, val);
-            else if (key == "for") forDur = parseDuration(val);
+            else if (key == "for") { forDur = parseDuration(val); hasFor = true; }
             else fail(clause, "one of link=, node=, p=, for= (unknown key: " + key + ")");
         }
 
@@ -190,23 +267,61 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
         } else if (verb == "crash") {
             if (node < 0) fail(clause, "crash needs node=<i>");
             plan.addNodeCrash(when, node, forDur);
+        } else if (verb == "bleach" || verb == "remark" || verb == "strip") {
+            const FaultKind kind = verb == "bleach"  ? FaultKind::EcnBleach
+                                   : verb == "remark" ? FaultKind::EcnRemark
+                                                      : FaultKind::EcnStrip;
+            if (link >= 0 && node >= 0) {
+                fail(clause, "exactly one of link=<i> or node=<i> (got both)");
+            }
+            if (link < 0 && node < 0) fail(clause, verb + " needs link=<i> or node=<i>");
+            if (hasFor && forDur <= Time::zero()) fail(clause, "a positive for= window");
+            const bool nodeScoped = node >= 0;
+            const int target = nodeScoped ? node : link;
+            const double prob = p < 0.0 ? 1.0 : p;  // default: mangle every packet
+            // addEcnPathology validates ranges and end-time overflow first;
+            // a throw discards the partial plan, so overlap can be checked
+            // after (when + forDur is known not to overflow).
+            plan.addEcnPathology(when, kind, target, nodeScoped, prob, forDur);
+            if (prob > 0.0) {
+                const bool bounded = forDur > Time::zero();
+                const EcnWindow w{kind, nodeScoped, target, when, bounded,
+                                  bounded ? when + forDur : when};
+                for (const EcnWindow& prev : windows) {
+                    if (windowsOverlap(prev, w)) {
+                        fail(clause, "a window that does not overlap an earlier " + verb +
+                                         " window on the same target");
+                    }
+                }
+                windows.push_back(w);
+            }
         } else {
-            fail(clause, "unknown verb (flap|down|loss|crash)");
+            fail(clause, "unknown verb (flap|down|loss|crash|bleach|remark|strip)");
         }
     }
     return plan;
 }
 
-void FaultPlan::validate(std::size_t numLinks, std::size_t numNodes) const {
+void FaultPlan::validate(std::size_t numLinks, std::size_t numNodes,
+                         std::size_t numNetworkNodes) const {
     for (const FaultEvent& e : events_) {
-        const bool isNode = e.kind == FaultKind::NodeCrash || e.kind == FaultKind::NodeRecover;
-        const std::size_t limit = isNode ? numNodes : numLinks;
+        const bool isClusterNode =
+            e.kind == FaultKind::NodeCrash || e.kind == FaultKind::NodeRecover;
+        const bool isNetworkNode = isEcnPathology(e.kind) && e.nodeScoped;
+        std::size_t limit = numLinks;
+        const char* what = "a link index";
+        if (isClusterNode) {
+            limit = numNodes;
+            what = "a node index";
+        } else if (isNetworkNode) {
+            limit = numNetworkNodes;  // unknown (-1) means unchecked
+            what = "a network node index";
+        }
         if (static_cast<std::size_t>(e.target) >= limit) {
             throw SpecError(std::string("fault event '") + std::string(faultKindName(e.kind)) +
                                 "' target",
                             std::to_string(e.target),
-                            std::string(isNode ? "a node index" : "a link index") + " in [0, " +
-                                std::to_string(limit) + ")");
+                            std::string(what) + " in [0, " + std::to_string(limit) + ")");
         }
     }
 }
@@ -216,8 +331,9 @@ std::string FaultPlan::describe() const {
     for (std::size_t i = 0; i < events_.size(); ++i) {
         const FaultEvent& e = events_[i];
         if (i) os << "; ";
-        os << faultKindName(e.kind) << '@' << e.at.toString() << " #" << e.target;
-        if (e.kind == FaultKind::LinkDegrade) os << " p=" << e.lossRate;
+        os << faultKindName(e.kind) << '@' << e.at.toString()
+           << (e.nodeScoped ? " node#" : " #") << e.target;
+        if (e.kind == FaultKind::LinkDegrade || isEcnPathology(e.kind)) os << " p=" << e.lossRate;
     }
     return os.str();
 }

@@ -28,6 +28,9 @@ enum class FaultKind : std::uint8_t {
     LinkDegrade,  ///< per-packet random loss at `lossRate` (0 clears it)
     NodeCrash,    ///< task host crashes: running tasks die, slots vanish
     NodeRecover,  ///< crashed host rejoins with full slots
+    EcnBleach,    ///< broken middlebox rewrites CE back to ECT(0) on egress
+    EcnRemark,    ///< broken middlebox remarks ECT to Not-ECT (drop-eligible)
+    EcnStrip,     ///< middlebox clears ECE/CWR on SYN and SYN-ACK
 };
 
 constexpr std::string_view faultKindName(FaultKind k) {
@@ -37,18 +40,49 @@ constexpr std::string_view faultKindName(FaultKind k) {
         case FaultKind::LinkDegrade: return "link-degrade";
         case FaultKind::NodeCrash: return "node-crash";
         case FaultKind::NodeRecover: return "node-recover";
+        case FaultKind::EcnBleach: return "ecn-bleach";
+        case FaultKind::EcnRemark: return "ecn-remark";
+        case FaultKind::EcnStrip: return "ecn-strip";
     }
     return "?";
 }
 
+/// True for the ECN middlebox pathologies (bleach/remark/strip), which
+/// mangle packets in place instead of dropping them.
+constexpr bool isEcnPathology(FaultKind k) {
+    return k == FaultKind::EcnBleach || k == FaultKind::EcnRemark || k == FaultKind::EcnStrip;
+}
+
 /// One scheduled fault. `target` is a link index (creation order — for a
-/// star fabric link i is host i's access link) or a node index.
+/// star fabric link i is host i's access link) or a node index. For the
+/// ECN pathologies a node target (`nodeScoped`) names a *network* node (in
+/// a star fabric node 0 is the switch, hosts are 1..n) and the pathology
+/// applies to every egress port of that node; the crash/recover kinds keep
+/// their cluster-host index space.
 struct FaultEvent {
     Time at;
     FaultKind kind = FaultKind::LinkDown;
     int target = 0;
-    double lossRate = 0.0;  ///< only meaningful for LinkDegrade
+    double lossRate = 0.0;    ///< loss (LinkDegrade) or apply probability (ECN kinds)
+    bool nodeScoped = false;  ///< ECN kinds only: target is a network node, not a link
 };
+
+/// One row of the fault-spec grammar: a verb, its clause syntax, and a
+/// human-readable effect naming the FaultKinds the clause expands into.
+/// `ecnlab`'s --faults help and docs/fault_injection.md are checked
+/// against this table so new kinds cannot silently drift out of the docs.
+struct FaultGrammarRow {
+    std::string_view verb;
+    std::string_view syntax;
+    std::string_view effect;
+};
+
+/// Canonical grammar table, one row per verb. Every faultKindName() string
+/// appears in at least one row's effect text (enforced by a test).
+const std::vector<FaultGrammarRow>& faultGrammar();
+
+/// One line per verb, "syntax  -- effect", for CLI help output.
+std::string faultGrammarHelp();
 
 /// A deterministic, time-sorted schedule of faults.
 ///
@@ -57,13 +91,25 @@ struct FaultEvent {
 ///   down@<time>:link=<i>                  permanent link failure
 ///   loss@<time>:link=<i>:p=<prob>[:for=<dur>]   random per-packet drop
 ///   crash@<time>:node=<i>[:for=<dur>]     task-host crash (recover after)
+///   bleach@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]   CE -> ECT(0)
+///   remark@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]   ECT -> Not-ECT
+///   strip@<time>:{link|node}=<i>[:p=<prob>][:for=<dur>]    clear ECE/CWR on SYN(+ACK)
 /// Durations take a unit suffix: ns, us, ms, s (e.g. "500ms", "2s").
+/// ECN pathology clauses default to p=1; `for=` bounds the window (a
+/// clearing event at p=0 is scheduled at its end). parse() rejects
+/// overlapping windows for the same (kind, target).
 class FaultPlan {
 public:
     void addLinkFlap(Time at, int link, Time downFor);
     void addLinkDown(Time at, int link);
     void addLinkLoss(Time at, int link, double lossRate, Time duration = Time::zero());
     void addNodeCrash(Time at, int node, Time downFor = Time::zero());
+    /// Schedule an ECN pathology on a link (nodeScoped=false) or every
+    /// egress port of a network node (nodeScoped=true). `probability` is
+    /// the per-packet apply chance (0 clears an active pathology); a
+    /// positive `duration` schedules the clearing event automatically.
+    void addEcnPathology(Time at, FaultKind kind, int target, bool nodeScoped,
+                         double probability, Time duration = Time::zero());
     void add(FaultEvent e);
 
     /// Parse the spec grammar above; throws SpecError (an
@@ -76,9 +122,14 @@ public:
     static Time parseDuration(const std::string& s);
 
     /// Bind-time range check: every link target must be < numLinks and
-    /// every node target < numNodes. Throws SpecError naming the offending
-    /// event otherwise. Called by installFaults before scheduling anything.
-    void validate(std::size_t numLinks, std::size_t numNodes) const;
+    /// every node target < numNodes. Node-scoped ECN pathologies name
+    /// *network* nodes (hosts plus switches), checked against
+    /// numNetworkNodes when the caller provides it (installFaults does);
+    /// the default leaves that dimension unchecked for callers that only
+    /// know the cluster shape. Throws SpecError naming the offending event.
+    /// Called by installFaults before scheduling anything.
+    void validate(std::size_t numLinks, std::size_t numNodes,
+                  std::size_t numNetworkNodes = static_cast<std::size_t>(-1)) const;
 
     std::string describe() const;
 

@@ -246,6 +246,13 @@ GridSpec GridSpec::parse(const std::string& text) {
                 }
                 return s;
             });
+        } else if (key == "pathologies") {
+            g.pathologies = parseAxis<std::string>(field, rest, [](const std::string& f,
+                                                                   const std::string& s) {
+                if (s == "none") return std::string{};
+                if (s == "bleach" || s == "remark" || s == "strip") return s;
+                throw SpecError(f, s, "one of none, bleach, remark, strip");
+            });
         } else if (key == "seed") {
             g.seeds = parseAxis<std::uint64_t>(field, rest, [](const std::string& f,
                                                                const std::string& s) {
@@ -263,8 +270,8 @@ GridSpec GridSpec::parse(const std::string& text) {
         } else {
             throw SpecError(field, rest,
                             "one of name, workload, transport, queue, protection, buffers, "
-                            "target_us, scheduler, topology, faults, seed, nodes, input_mb, "
-                            "link_gbps, repeats");
+                            "target_us, scheduler, topology, faults, pathologies, seed, nodes, "
+                            "input_mb, link_gbps, repeats");
         }
     }
     return g;
@@ -281,7 +288,7 @@ GridSpec GridSpec::parseFile(const std::string& path) {
 std::size_t GridSpec::cellCount() const {
     return workloads.size() * transports.size() * queues.size() * protections.size() *
            buffers.size() * targetUs.size() * schedulers.size() * topologies.size() *
-           faults.size() * seeds.size();
+           faults.size() * pathologies.size() * seeds.size();
 }
 
 std::vector<SweepCell> GridSpec::expand() const {
@@ -294,6 +301,34 @@ std::vector<SweepCell> GridSpec::expand() const {
 
     std::vector<SweepCell> cells;
     cells.reserve(total);
+
+    // The faults x pathologies product, flattened up front: a pathology is
+    // just one more fault clause, so the pair collapses into a single
+    // fault-spec axis (fault outer, pathology inner — the coord order the
+    // aggregate sorts by).
+    struct FaultAxis {
+        std::string spec;
+        std::string faultCoord;
+        std::string pathoCoord;
+    };
+    std::vector<FaultAxis> faultAxis;
+    faultAxis.reserve(faults.size() * pathologies.size());
+    for (const std::string& fault : faults) {
+        for (const std::string& pathology : pathologies) {
+            FaultAxis fa;
+            fa.faultCoord = fault.empty() ? "none" : fault;
+            fa.pathoCoord = pathology.empty() ? "none" : pathology;
+            fa.spec = fault;
+            if (!pathology.empty()) {
+                // Canonical clause: the whole run, at the fabric core
+                // (star: node 0 = the switch), deterministic p=1.
+                const std::string clause = pathology + "@0s:node=0:p=1";
+                fa.spec = fa.spec.empty() ? clause : fa.spec + ";" + clause;
+            }
+            faultAxis.push_back(std::move(fa));
+        }
+    }
+
     for (const WorkloadKind wl : workloads) {
         for (const TransportKind tr : transports) {
             for (const QueueKind q : queues) {
@@ -302,7 +337,7 @@ std::vector<SweepCell> GridSpec::expand() const {
                         for (const long target : targetUs) {
                             for (const SchedulerKind sched : schedulers) {
                                 for (const TopologyKind topo : topologies) {
-                                    for (const std::string& fault : faults) {
+                                    for (const FaultAxis& fa : faultAxis) {
                                         for (const std::uint64_t seed : seeds) {
                                             SweepCell cell;
                                             cell.index = cells.size();
@@ -317,8 +352,8 @@ std::vector<SweepCell> GridSpec::expand() const {
                                                 {"target_us", std::to_string(target)},
                                                 {"scheduler", schedulerKindName(sched)},
                                                 {"topology", topologyToken(topo)},
-                                                {"faults",
-                                                 fault.empty() ? "none" : fault},
+                                                {"faults", fa.faultCoord},
+                                                {"pathology", fa.pathoCoord},
                                                 {"seed", std::to_string(seed)},
                                             };
 
@@ -352,7 +387,7 @@ std::vector<SweepCell> GridSpec::expand() const {
                                                     .hostsPerRack = nodes / 2,
                                                     .spines = 2};
                                             }
-                                            cfg.faultSpec = fault;
+                                            cfg.faultSpec = fa.spec;
                                             cfg.workload.kind = wl;
                                             const int hosts =
                                                 topo == TopologyKind::Star

@@ -45,6 +45,10 @@ struct GridSpec {
     std::vector<SchedulerKind> schedulers{SchedulerKind::TimerWheel};
     std::vector<TopologyKind> topologies{TopologyKind::Star};
     std::vector<std::string> faults{""};  ///< "" = fault-free ("none" in files)
+    /// ECN middlebox pathology applied at the fabric core for the whole run
+    /// ("" = clean path; "bleach" / "remark" / "strip" expand to a canonical
+    /// node-scoped FaultPlan clause appended to `faults`).
+    std::vector<std::string> pathologies{""};
     std::vector<std::uint64_t> seeds{1};
 
     // Scale knobs (single-valued).

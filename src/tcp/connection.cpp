@@ -96,8 +96,25 @@ void TcpConnection::becomeEstablished() {
     transitionTo(TcpState::Established);
     stats_.establishedAt = stack_.sim().now();
     synTimer_.cancel();
+    // RFC 3168 fallback: we wanted ECN but the handshake came back without
+    // it (the peer declined, or a middlebox stripped ECE/CWR). The
+    // connection proceeds as plain TCP — counted so runs can report how
+    // often the marking channel was lost rather than silently degrading.
+    if (cfg_.ecnEnabled && !ecnNegotiated_) ++stats_.ecnFallbacks;
     if (cb_.onConnected) cb_.onConnected();
     trySend();
+}
+
+void TcpConnection::noteLossForStarvationGuard() {
+    // DCTCP expects CE marks long before queues overflow; repeated loss
+    // with zero ECE feedback means the path is eating marks (a bleaching
+    // or remarking middlebox). Degrade once, stickily: stop sending ECT
+    // data (sendSegment) so AQMs drop early for us and loss-based cwnd
+    // reduction — which already fired to get us here — carries the flow.
+    if (!cfg_.dctcp || !ecnNegotiated_ || markingStarved_) return;
+    if (++lossesSinceEce_ < kMarkingStarvationLosses) return;
+    markingStarved_ = true;
+    ++stats_.dctcpStarvationFallbacks;
 }
 
 void TcpConnection::armSynTimer() {
@@ -184,8 +201,9 @@ void TcpConnection::sendSegment(std::uint64_t seq, std::int32_t len, bool isRetr
     pkt->ackSeq = rcvNxt_;
     pkt->payloadBytes = len;
     pkt->sizeBytes = len + cfg_.headerBytes;
-    // Data segments are ECT-capable iff ECN was negotiated (RFC 3168).
-    pkt->ecn = ecnNegotiated_ ? EcnCodepoint::Ect0 : EcnCodepoint::NotEct;
+    // Data segments are ECT-capable iff ECN was negotiated (RFC 3168) and
+    // the marking-starvation guard hasn't written the channel off.
+    pkt->ecn = (ecnNegotiated_ && !markingStarved_) ? EcnCodepoint::Ect0 : EcnCodepoint::NotEct;
 
     if (isRetransmit) {
         ++stats_.retransmits;
@@ -289,7 +307,10 @@ void TcpConnection::onPacket(PacketPtr pkt) {
 
 void TcpConnection::processAck(const Packet& p) {
     const bool ece = ecnNegotiated_ && p.hasEce();
-    if (ece) ++stats_.acksReceivedWithEce;
+    if (ece) {
+        ++stats_.acksReceivedWithEce;
+        lossesSinceEce_ = 0;  // marking channel is alive; re-arm the guard
+    }
     if (cfg_.sackEnabled) absorbSackBlocks(p);
 
     std::uint64_t ack = std::min(p.ackSeq, sndNxt_);
@@ -407,6 +428,7 @@ void TcpConnection::enterFastRecovery() {
     ssthresh_ = std::max(static_cast<double>(flightSize()) / 2.0, 2.0 * cfg_.mss);
     cwnd_ = ssthresh_ + 3.0 * cfg_.mss;
     ++stats_.fastRetransmits;
+    noteLossForStarvationGuard();
     holeRtxPoint_ = sndUna_;
     if (!cfg_.sackEnabled || !retransmitNextHole()) retransmitFirstUnacked();
     armRto();
@@ -516,6 +538,7 @@ void TcpConnection::onRtoTimeout() {
                                ProfileKind::TcpTimer);
     if (sndUna_ >= sndNxt_) return;  // nothing outstanding
     ++stats_.rtoEvents;
+    noteLossForStarvationGuard();
     if (FlightRecorder* rec = obsRecorderOf(stack_.sim())) {
         const std::int64_t rtoUs = rto_.toMicros();
         rec->record(TraceRecordKind::TcpRto, stack_.sim().now(), flowId_,

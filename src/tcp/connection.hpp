@@ -62,6 +62,14 @@ struct TcpConnStats {
     std::uint32_t acksSent = 0;
     std::uint32_t acksSentWithEce = 0;
     std::uint32_t acksReceivedWithEce = 0;
+    /// ECN was configured but negotiation failed (e.g. a middlebox stripped
+    /// ECE/CWR from the handshake): the connection fell back to RFC 3168
+    /// non-ECN operation instead of stalling.
+    std::uint32_t ecnFallbacks = 0;
+    /// DCTCP marking-starvation guard fired: persistent loss with zero CE
+    /// feedback, so the sender stopped trusting the marking channel and
+    /// degraded to loss-based cwnd reduction (Not-ECT data).
+    std::uint32_t dctcpStarvationFallbacks = 0;
     Time connectStarted;
     Time establishedAt;
 };
@@ -94,6 +102,8 @@ public:
     // Introspection.
     TcpState state() const { return state_; }
     bool ecnNegotiated() const { return ecnNegotiated_; }
+    /// DCTCP marking-starvation guard tripped (see TcpConnStats).
+    bool markingStarved() const { return markingStarved_; }
     double cwndBytes() const { return cwnd_; }
     double ssthreshBytes() const { return ssthresh_; }
     Time smoothedRtt() const { return srtt_; }
@@ -169,9 +179,19 @@ private:
     std::uint16_t remotePort_;
     std::uint32_t flowId_;
 
+    /// Loss events (fast recovery + RTO) since the last ECE feedback. A
+    /// DCTCP sender whose path stops delivering CE (a bleaching/remarking
+    /// middlebox) keeps losing without ever seeing a mark; after this many
+    /// consecutive losses the starvation guard stops sending ECT data and
+    /// relies on loss-based cwnd reduction alone.
+    static constexpr int kMarkingStarvationLosses = 4;
+    void noteLossForStarvationGuard();
+
     TcpState state_ = TcpState::Closed;
     bool ecnNegotiated_ = false;
     bool peerOfferedEcn_ = false;
+    bool markingStarved_ = false;
+    int lossesSinceEce_ = 0;
 
     // Send state (byte sequence space; FIN consumes one unit).
     std::uint64_t appBytes_ = 0;   ///< total bytes the app has queued

@@ -75,6 +75,8 @@ TcpConnStats TcpStack::aggregateStats() const {
         agg.acksSent += s.acksSent;
         agg.acksSentWithEce += s.acksSentWithEce;
         agg.acksReceivedWithEce += s.acksReceivedWithEce;
+        agg.ecnFallbacks += s.ecnFallbacks;
+        agg.dctcpStarvationFallbacks += s.dctcpStarvationFallbacks;
     }
     return agg;
 }

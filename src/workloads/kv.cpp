@@ -84,8 +84,23 @@ void KvServiceEngine::setupClient(int clientIdx, int nodeIdx) {
     }
 }
 
+void KvServiceEngine::onNodeCrash(int nodeIdx, bool crashed) {
+    // Fail-stop: the crashed machine goes dark, taking its access link(s)
+    // with it. setLinkUp purges the queues and dooms in-flight packets (all
+    // ledger-accounted); TCP retransmission carries the service through the
+    // outage once the link returns.
+    Network& net = rt_.network();
+    const NodeId id = rt_.node(nodeIdx).host->id();
+    for (std::size_t i = 0; i < net.numLinks(); ++i) {
+        const auto& ends = net.link(i);
+        if (ends.a == id || ends.b == id) net.setLinkUp(i, !crashed);
+    }
+}
+
 void KvServiceEngine::start() {
     startedAt_ = sim().now();
+    rt_.addCrashObserver(
+        [this](int nodeIdx, bool crashed) { onNodeCrash(nodeIdx, crashed); });
     installLeader();
     for (int r = 1; r <= spec_.replicas; ++r) installReplica(r);
     connectReplicas();

@@ -8,6 +8,13 @@
 // includes the replication round trip through the shared switch queue.
 // Requests are equal-sized, so streams are matched FIFO by cumulative
 // byte counts (the same byte-counting convention as the TCP model).
+//
+// Node crashes are fail-stop here: the engine observes ClusterRuntime crash
+// events and severs the crashed host's access link(s) until recovery, so
+// in-flight requests are lost on the wire and the failover story is TCP
+// retransmission riding out the outage. (MapReduce instead keeps the NIC up
+// and re-executes tasks — a worker-process failure; KV has no task layer,
+// so the machine going dark is the honest model.)
 #pragma once
 
 #include <cstdint>
@@ -56,6 +63,7 @@ private:
 
     void installLeader();
     void installReplica(int nodeIdx);
+    void onNodeCrash(int nodeIdx, bool crashed);
     void connectReplicas();
     void setupClient(int clientIdx, int nodeIdx);
     void onClientRequest(std::size_t acceptedIdx);

@@ -103,6 +103,24 @@ TEST(ObsDigest, WorkloadDriverDigestsAreIdenticalAcrossObsModes) {
     }
 }
 
+TEST(ObsDigest, EcnPathologyRunsAreIdenticalAcrossObsModes) {
+    // Mangling happens at port-serialization time, inside the path the
+    // flight recorder taps — observing a pathological run must not change
+    // the mangle draws or the counters they feed.
+    ::unsetenv("ECNSIM_OBS");
+    auto cfg = markingConfig();
+    cfg.faultSpec = "bleach@0s:node=0:p=0.5";
+    const auto baseline = runExperiment(cfg);
+    ASSERT_GT(baseline.ecnBleached, 0u);
+
+    for (const char* mode : {"metrics", "trace", "full"}) {
+        cfg.obs.applyMode(mode);
+        const auto r = runExperiment(cfg);
+        EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << "mode " << mode;
+        EXPECT_EQ(r.ecnBleached, baseline.ecnBleached) << "mode " << mode;
+    }
+}
+
 TEST(ObsDigest, SinksPopulateTheirResultFields) {
     ::unsetenv("ECNSIM_OBS");
     auto cfg = markingConfig();

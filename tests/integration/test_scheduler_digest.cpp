@@ -98,6 +98,33 @@ TEST(SchedulerDigest, WorkloadDriversProduceByteIdenticalTelemetryAcrossKinds) {
     }
 }
 
+// ECN pathologies draw their per-packet apply decisions from the seeded
+// RNG at serialization time, so a probabilistic bleach + a strip window
+// must still be byte-identical across every backend — the mangle counters
+// fold into the digest and would expose any ordering divergence.
+TEST(SchedulerDigest, EcnPathologiesStayByteIdenticalAcrossKinds) {
+    auto cfg = tinyShuffle();
+    cfg.faultSpec = "bleach@0s:node=0:p=0.5;strip@0s:node=0:for=5ms";
+    cfg.scheduler = SchedulerKind::FlatHeap;
+    const auto baseline = runExperiment(cfg);
+    ASSERT_NE(baseline.telemetryDigest, 0u);
+    ASSERT_GT(baseline.ecnBleached + baseline.ecnStripped, 0u)
+        << "pathology did not bite; the determinism check would be vacuous";
+    EXPECT_EQ(baseline.invariantViolations, 0u);
+
+    for (const SchedulerKind kind : kAllKinds) {
+        cfg.scheduler = kind;
+        const auto r = runExperiment(cfg);
+        const std::string name = schedulerKindName(kind);
+        EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << name;
+        EXPECT_EQ(r.eventsExecuted, baseline.eventsExecuted) << name;
+        EXPECT_EQ(r.ecnBleached, baseline.ecnBleached) << name;
+        EXPECT_EQ(r.ecnStripped, baseline.ecnStripped) << name;
+        EXPECT_EQ(r.ecnFallbacks, baseline.ecnFallbacks) << name;
+        EXPECT_EQ(r.invariantViolations, 0u) << name;
+    }
+}
+
 TEST(SchedulerDigest, WheelAndFlatHeapAgreeOnTimerDiagnostics) {
     auto cfg = tinyShuffle();
     cfg.scheduler = SchedulerKind::TimerWheel;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -104,6 +106,116 @@ TEST(FaultPlan, DescribeMentionsEveryEvent) {
     EXPECT_NE(d.find("node-crash"), std::string::npos);
     EXPECT_NE(d.find("link-down"), std::string::npos);
 }
+
+TEST(FaultPlan, ParseEcnPathologyLinkScoped) {
+    const FaultPlan p = FaultPlan::parse("bleach@1s:link=3:p=0.25");
+    ASSERT_EQ(p.size(), 1u);
+    const FaultEvent& e = p.events()[0];
+    EXPECT_EQ(e.kind, FaultKind::EcnBleach);
+    EXPECT_EQ(e.at, Time::seconds(1));
+    EXPECT_EQ(e.target, 3);
+    EXPECT_FALSE(e.nodeScoped);
+    EXPECT_DOUBLE_EQ(e.lossRate, 0.25);
+}
+
+TEST(FaultPlan, ParseEcnPathologyNodeScopedDefaultsToCertainty) {
+    const FaultPlan p = FaultPlan::parse("strip@0s:node=0");
+    ASSERT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.events()[0].kind, FaultKind::EcnStrip);
+    EXPECT_TRUE(p.events()[0].nodeScoped);
+    EXPECT_DOUBLE_EQ(p.events()[0].lossRate, 1.0);  // p defaults to 1
+}
+
+TEST(FaultPlan, EcnPathologyWindowExpandsToClearingEvent) {
+    const FaultPlan p = FaultPlan::parse("remark@1s:node=2:p=0.5:for=500ms");
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.events()[0].kind, FaultKind::EcnRemark);
+    EXPECT_DOUBLE_EQ(p.events()[0].lossRate, 0.5);
+    EXPECT_EQ(p.events()[1].kind, FaultKind::EcnRemark);
+    EXPECT_EQ(p.events()[1].at, Time::seconds(1) + Time::milliseconds(500));
+    EXPECT_DOUBLE_EQ(p.events()[1].lossRate, 0.0);  // p=0 clears the pathology
+    EXPECT_TRUE(p.events()[1].nodeScoped);
+}
+
+TEST(FaultPlan, EcnPathologyOverlapRules) {
+    // Same kind + same target + overlapping windows: rejected at parse time.
+    EXPECT_THROW(FaultPlan::parse("bleach@1s:node=0:for=2s;bleach@2s:node=0"),
+                 std::invalid_argument);
+    // An earlier unbounded window shadows everything after it.
+    EXPECT_THROW(FaultPlan::parse("bleach@1s:node=0;bleach@5s:node=0:for=1s"),
+                 std::invalid_argument);
+    // Back-to-back windows (end == start) do not overlap.
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:node=0:for=1s;bleach@2s:node=0").size(), 3u);
+    // Different kind or different target: independent windows.
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:node=0;remark@1s:node=0").size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:node=0;bleach@1s:node=1").size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:link=0;bleach@1s:node=0").size(), 2u);
+}
+
+TEST(FaultPlan, DescribeShowsScopeAndProbability) {
+    const std::string d = FaultPlan::parse("bleach@1s:node=2:p=0.5;remark@2s:link=1").describe();
+    EXPECT_NE(d.find("ecn-bleach"), std::string::npos);
+    EXPECT_NE(d.find("node#2"), std::string::npos);
+    EXPECT_NE(d.find("p=0.5"), std::string::npos);
+    EXPECT_NE(d.find("ecn-remark"), std::string::npos);
+}
+
+TEST(FaultPlan, ValidateChecksNetworkNodeRangeForPathologies) {
+    const FaultPlan p = FaultPlan::parse("bleach@1s:node=6");
+    p.validate(8, 4);  // network-node dimension unchecked by default
+    EXPECT_NO_THROW(p.validate(8, 4, 7));
+    EXPECT_THROW(p.validate(8, 4, 5), std::invalid_argument);
+}
+
+TEST(FaultGrammar, HelpNamesEveryKindAndEveryVerbParses) {
+    // The grammar table is the single source of truth for the CLI help and
+    // docs/fault_injection.md: every FaultKind name must appear in it, and
+    // every verb it documents must actually parse.
+    const std::string help = faultGrammarHelp();
+    for (const FaultKind k :
+         {FaultKind::LinkDown, FaultKind::LinkUp, FaultKind::LinkDegrade, FaultKind::NodeCrash,
+          FaultKind::NodeRecover, FaultKind::EcnBleach, FaultKind::EcnRemark,
+          FaultKind::EcnStrip}) {
+        EXPECT_NE(help.find(faultKindName(k)), std::string::npos)
+            << "help is missing kind " << faultKindName(k);
+    }
+    const std::vector<std::pair<std::string, std::string>> examples = {
+        {"flap", "flap@2s:link=3:for=500ms"},
+        {"down", "down@10s:link=1"},
+        {"loss", "loss@1s:link=0:p=0.05"},
+        {"crash", "crash@4s:node=2:for=6s"},
+        {"bleach", "bleach@1s:link=0:p=0.5"},
+        {"remark", "remark@1s:node=0:for=2s"},
+        {"strip", "strip@0s:node=0"},
+    };
+    ASSERT_EQ(examples.size(), faultGrammar().size());
+    for (const auto& [verb, example] : examples) {
+        bool found = false;
+        for (const FaultGrammarRow& row : faultGrammar()) found = found || row.verb == verb;
+        EXPECT_TRUE(found) << "grammar table has no row for verb " << verb;
+        EXPECT_FALSE(FaultPlan::parse(example).empty()) << example;
+    }
+}
+
+#ifdef ECNSIM_DOCS_DIR
+TEST(FaultGrammar, DocsGrammarTableCoversEveryVerbAndKind) {
+    // docs/fault_injection.md mirrors faultGrammar(); this drift check
+    // fails the build the moment a new verb or kind misses the docs.
+    std::ifstream in(ECNSIM_DOCS_DIR "/fault_injection.md");
+    ASSERT_TRUE(in.good()) << "docs/fault_injection.md not found in the source tree";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string docs = ss.str();
+    for (const FaultGrammarRow& row : faultGrammar()) {
+        EXPECT_NE(docs.find("`" + std::string(row.verb) + "@"), std::string::npos)
+            << "docs grammar table is missing verb " << row.verb;
+    }
+    for (const FaultKind k : {FaultKind::EcnBleach, FaultKind::EcnRemark, FaultKind::EcnStrip}) {
+        EXPECT_NE(docs.find(faultKindName(k)), std::string::npos)
+            << "docs never mention kind " << faultKindName(k);
+    }
+}
+#endif
 
 }  // namespace
 }  // namespace ecnsim

@@ -85,6 +85,22 @@ const std::vector<Case> kMalformedSpecs = {
     // --- bad clause inside an otherwise-valid plan ------------------------
     {"flap@2s:link=3:for=1ms;zap@3s:link=0", "unknown verb"},
     {"down@1s:link=0;flap@2s:link=1", "flap needs for="},
+    // --- ECN pathologies --------------------------------------------------
+    {"bleach@1s:link=0:p=2", "probability in [0, 1]"},
+    {"bleach@1s:link=0:p=-0.5", "probability in [0, 1]"},
+    {"remark@1s:node=0:p=nan", "probability in [0, 1]"},
+    {"strip@1s:node=0:p=", "probability in [0, 1]"},
+    {"remark@1s:link=0:for=-5ms", "a positive for= window"},
+    {"remark@1s:link=0:for=0ms", "a positive for= window"},
+    {"strip@9000000000s:node=0:for=9000000000s", "fits the ns clock"},
+    {"bleach@1s", "needs link=<i> or node=<i>"},
+    {"remark@2s:p=0.5", "needs link=<i> or node=<i>"},
+    {"bleach@1s:link=0:node=1", "got both"},
+    {"strip@1s:node=x", "an integer in [0,"},
+    {"bleach@1s:link=-3", "an integer in [0,"},
+    {"strip@1s:node=0:wat=1", "unknown key"},
+    {"bleach@1s:node=0;bleach@2s:node=0", "does not overlap"},
+    {"remark@1s:link=2:for=2s;remark@2s:link=2:for=2s", "does not overlap"},
 };
 
 class MalformedSpecCorpus : public ::testing::TestWithParam<Case> {};
@@ -118,6 +134,10 @@ TEST(MalformedSpecCorpus, ValidSpecsStillParse) {
     EXPECT_EQ(FaultPlan::parse("crash@1s:node=2:for=10s").events().size(), 2u);
     EXPECT_EQ(FaultPlan::parse("").events().size(), 0u);
     EXPECT_EQ(FaultPlan::parse(" flap@2s : link=3 : for=500ms ").events().size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:link=0:p=0.5").events().size(), 1u);
+    EXPECT_EQ(FaultPlan::parse("remark@1s:node=0:for=2s").events().size(), 2u);
+    EXPECT_EQ(FaultPlan::parse("strip@0s:node=0").events().size(), 1u);
+    EXPECT_EQ(FaultPlan::parse("bleach@1s:node=0:p=0").events().size(), 1u);  // explicit clear
 }
 
 // Range validation against a concrete topology (bind-time, not mid-run).
@@ -133,6 +153,18 @@ TEST(SpecValidate, TargetsOutsideTheTopologyAreRejected) {
     }
     const FaultPlan crash = FaultPlan::parse("crash@1s:node=9");
     EXPECT_THROW(crash.validate(/*numLinks=*/100, /*numNodes=*/9), SpecError);
+
+    // Node-scoped ECN pathologies validate against the *network* node count
+    // (hosts + switches), which only installFaults knows.
+    const FaultPlan patho = FaultPlan::parse("bleach@1s:node=6");
+    EXPECT_NO_THROW(patho.validate(/*numLinks=*/8, /*numNodes=*/4));  // unchecked by default
+    try {
+        patho.validate(/*numLinks=*/8, /*numNodes=*/4, /*numNetworkNodes=*/5);
+        FAIL() << "out-of-range network node accepted";
+    } catch (const SpecError& e) {
+        EXPECT_EQ(e.value(), "6");
+        EXPECT_NE(std::string(e.what()).find("network node index"), std::string::npos);
+    }
 }
 
 }  // namespace

@@ -73,6 +73,27 @@ TEST(KvDriver, ReplicationSlowsCommitLatency) {
     EXPECT_GE(p50Replicated, p50Unreplicated);
 }
 
+TEST(KvDriver, LeaderCrashFailoverRecoversViaRetries) {
+    // Crash the leader (node 0) mid-run with a recovery window. The KV
+    // engine severs the leader's access link for the crash window, so
+    // outstanding requests are lost on the wire; TCP retransmission replays
+    // them after recovery and every request still completes — no hang,
+    // clean conservation ledger.
+    auto cfg = tinyKv();
+    cfg.faultSpec = "crash@200us:node=0:for=2ms";
+    const ExperimentResult r = runExperiment(cfg);
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_FALSE(r.jobFailed);
+    EXPECT_EQ(r.reqIssued, 20u);
+    EXPECT_EQ(r.reqCompleted, 20u);
+    EXPECT_EQ(r.invariantViolations, 0u);
+    EXPECT_EQ(r.nodeCrashes, 1u);
+    EXPECT_GT(r.retransmits + r.rtoEvents, 0u) << "failover must go through retries";
+    // The outage is visible end to end: the run cannot finish before the
+    // 2.2ms mark where the leader's link comes back.
+    EXPECT_GT(r.runtimeSec, 0.0022);
+}
+
 TEST(KvDriver, DeterministicDigestAndDistinctCacheKeys) {
     const auto cfg = tinyKv();
     const ExperimentResult a = runExperiment(cfg);

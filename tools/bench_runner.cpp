@@ -1,9 +1,10 @@
 // bench_runner — simulator throughput regression harness.
 //
 // Runs a fixed set of full-stack scenarios (single-bottleneck RED+ECN
-// shuffle, leaf-spine Terasort, fault-flap recovery, plus the three
+// shuffle, leaf-spine Terasort, fault-flap recovery, the three
 // production-shaped workloads: partition-aggregate incast, replicated KV,
-// mixed tenancy), each as a small batch of seeded experiments, first with
+// mixed tenancy, plus the ECN-pathology resilience matrix), each as a
+// small batch of seeded experiments, first with
 // threads=1 and then with threads=N via runExperimentsParallel. For every
 // scenario it writes BENCH_<name>.json
 // containing events/sec, packets/sec, peak RSS and the determinism digest
@@ -263,6 +264,132 @@ Scenario mixedTenancy(bool quick) {
     return sc;
 }
 
+const char* const kPathologyTokens[] = {"clean", "bleach", "remark", "strip"};
+
+/// Per-pathology protection-gap report for the `pathologies` scenario. Legs
+/// are named "pathologies/<pathology>/<default|acksyn>/seedN"; for each
+/// pathology we quote the Default and ACK+SYN RPC p99, the gap between them,
+/// and how much of the clean-path gap survives. `pathologyResilient` is the
+/// CI resilience gate: every degraded leg still completed its requests
+/// (fallback worked, no hang) with p99 inflation bounded vs the clean path.
+std::string pathologyGapJson(const std::vector<ExperimentResult>& rs) {
+    struct Legs {
+        double p99Def = 0, p99Prot = 0;
+        int nDef = 0, nProt = 0;
+        bool completed = true;
+    };
+    Legs byPatho[4];
+    for (const auto& r : rs) {
+        int idx = -1;
+        for (int i = 0; i < 4; ++i) {
+            if (r.name.find(std::string("/") + kPathologyTokens[i] + "/") != std::string::npos) {
+                idx = i;
+                break;
+            }
+        }
+        if (idx < 0) continue;
+        Legs& l = byPatho[idx];
+        if (r.name.find("/acksyn/") != std::string::npos) {
+            l.p99Prot += r.reqP99Us;
+            ++l.nProt;
+        } else {
+            l.p99Def += r.reqP99Us;
+            ++l.nDef;
+        }
+        l.completed = l.completed && !r.timedOut && !r.jobFailed && r.reqCompleted > 0;
+    }
+    std::ostringstream os;
+    os.precision(9);
+    double cleanGap = 0, cleanP99Prot = 0;
+    bool allCompleted = true;
+    double maxInflation = 1.0;
+    for (int i = 0; i < 4; ++i) {
+        Legs& l = byPatho[i];
+        if (l.nDef) l.p99Def /= l.nDef;
+        if (l.nProt) l.p99Prot /= l.nProt;
+        const double gap = l.p99Def - l.p99Prot;
+        if (i == 0) {
+            cleanGap = gap;
+            cleanP99Prot = l.p99Prot;
+        }
+        const double survivalPct = cleanGap > 0.0 ? 100.0 * gap / cleanGap : 0.0;
+        const double inflation = cleanP99Prot > 0.0 ? l.p99Prot / cleanP99Prot : 1.0;
+        if (i > 0 && inflation > maxInflation) maxInflation = inflation;
+        allCompleted = allCompleted && l.completed;
+        const std::string k = kPathologyTokens[i];
+        os << "  \"" << k << "_rpcP99DefaultUs\": " << l.p99Def << ",\n"
+           << "  \"" << k << "_rpcP99ProtAckSynUs\": " << l.p99Prot << ",\n"
+           << "  \"" << k << "_rpcP99GapUs\": " << gap << ",\n"
+           << "  \"" << k << "_gapSurvivalPct\": " << survivalPct << ",\n"
+           << "  \"" << k << "_completed\": " << (l.completed ? "true" : "false") << ",\n";
+        std::fprintf(stderr,
+                     "[bench] pathologies/%s: RPC p99 %.0f us (Default) vs %.0f us (ACK+SYN), "
+                     "gap %.0f us (%.0f%% of clean)%s\n",
+                     kPathologyTokens[i], l.p99Def, l.p99Prot, gap, survivalPct,
+                     l.completed ? "" : " INCOMPLETE");
+    }
+    // "Bounded" draws the line between a degraded-but-working fallback and a
+    // stall: an order-of-magnitude-plus tail blowup means fallback failed.
+    const bool resilient = allCompleted && maxInflation < 100.0;
+    os << "  \"maxP99InflationX\": " << maxInflation << ",\n"
+       << "  \"pathologyResilient\": " << (resilient ? "true" : "false") << ",\n";
+    return os.str();
+}
+
+/// The robustness scenario: the mixed-tenancy Default-vs-ACK+SYN comparison
+/// re-run under each ECN middlebox pathology applied at the core switch
+/// (bleach: CE rewritten to ECT(0), remark: ECT to Not-ECT, strip: handshake
+/// ECE/CWR cleared so negotiation fails). One invocation produces the
+/// protection-gap-survival table and the CI resilience verdict.
+Scenario ecnPathologies(bool quick) {
+    ExperimentConfig base = makeBaseConfig(benchScale(quick));
+    base.transport = TransportKind::Dctcp;
+    base.switchQueue.kind = QueueKind::Red;
+    base.switchQueue.redVariant = RedVariant::DctcpMimic;
+    base.switchQueue.ecnEnabled = true;
+    base.switchQueue.targetDelay = Time::microseconds(500);
+    base.buffers = BufferProfile::Shallow;
+    base.workload.kind = WorkloadKind::MixedTenancy;
+    base.workload.mixed.rpcClients = 4;
+    base.workload.mixed.opsPerSecPerClient = quick ? 300.0 : 400.0;
+    std::vector<ExperimentConfig> configs;
+    // 4 pathologies x 2 protection legs x 2 seeds: two seeds (not kSeeds)
+    // keep the batch within bench-smoke budget at 16 configs.
+    for (const char* patho : kPathologyTokens) {
+        for (const bool prot : {false, true}) {
+            ExperimentConfig leg = base;
+            leg.switchQueue.protection =
+                prot ? ProtectionMode::ProtectAckSyn : ProtectionMode::Default;
+            if (std::strcmp(patho, "clean") != 0) {
+                // The whole run, on every access link (both directions),
+                // deterministic p=1. Link scope matters: remark must hit
+                // host egress (upstream of the switch AQM) to turn marks
+                // into drops, and bleach must hit switch egress (right
+                // after the AQM marked) to erase CE — covering all links
+                // exercises every pathology where it actually bites.
+                std::string spec;
+                for (int l = 0; l < base.numNodes; ++l) {
+                    if (l) spec += ";";
+                    spec += std::string(patho) + "@0s:link=" + std::to_string(l) + ":p=1";
+                }
+                leg.faultSpec = spec;
+            }
+            for (int s = 0; s < 2; ++s) {
+                ExperimentConfig cfg = leg;
+                cfg.seed = static_cast<std::uint64_t>(s + 1);
+                cfg.name = std::string("pathologies/") + patho + "/" +
+                           (prot ? "acksyn" : "default") + "/seed" + std::to_string(s + 1);
+                configs.push_back(std::move(cfg));
+            }
+        }
+    }
+    Scenario sc{"pathologies",
+                "mixed-tenancy protection gap re-measured under ECN bleach/remark/strip",
+                std::move(configs), nullptr};
+    sc.extraJson = pathologyGapJson;
+    return sc;
+}
+
 std::uint64_t combinedDigest(const std::vector<ExperimentResult>& results) {
     std::uint64_t d = NetworkTelemetry::kDigestSeed;
     for (const auto& r : results) d = NetworkTelemetry::foldDigest(d, r.telemetryDigest);
@@ -318,12 +445,19 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
     bool digestMatchObs = true;
     std::uint64_t events = 0, packets = 0;
     std::uint64_t cancelled = 0, cascades = 0, heapMaxDepth = 0;
+    std::uint64_t ecnBleached = 0, ecnRemarked = 0, ecnStripped = 0;
+    std::uint64_t ecnFallbacks = 0, starvationFallbacks = 0;
     for (std::size_t i = 0; i < serial.size(); ++i) {
         events += serial[i].eventsExecuted;
         packets += serial[i].packetsDelivered;
         cancelled += serial[i].cancelledEvents;
         cascades += serial[i].cascades;
         heapMaxDepth = std::max(heapMaxDepth, serial[i].heapMaxDepth);
+        ecnBleached += serial[i].ecnBleached;
+        ecnRemarked += serial[i].ecnRemarked;
+        ecnStripped += serial[i].ecnStripped;
+        ecnFallbacks += serial[i].ecnFallbacks;
+        starvationFallbacks += serial[i].dctcpStarvationFallbacks;
         out.anyTimeout = out.anyTimeout || serial[i].timedOut;
         out.invariantViolations += serial[i].invariantViolations +
                                    parallel[i].invariantViolations +
@@ -384,7 +518,12 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
        << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n";
     if (sc.extraJson) os << sc.extraJson(serial);
-    os << "  \"scheduler\": \"" << schedulerKindName(sc.configs.front().scheduler) << "\",\n"
+    os << "  \"ecnBleached\": " << ecnBleached << ",\n"
+       << "  \"ecnRemarked\": " << ecnRemarked << ",\n"
+       << "  \"ecnStripped\": " << ecnStripped << ",\n"
+       << "  \"ecnFallbacks\": " << ecnFallbacks << ",\n"
+       << "  \"dctcpStarvationFallbacks\": " << starvationFallbacks << ",\n"
+       << "  \"scheduler\": \"" << schedulerKindName(sc.configs.front().scheduler) << "\",\n"
        << "  \"cancelledEvents\": " << cancelled << ",\n"
        << "  \"cascades\": " << cascades << ",\n"
        << "  \"heapMaxDepth\": " << heapMaxDepth << ",\n"
@@ -462,7 +601,8 @@ int main(int argc, char** argv) {
 
     std::vector<Scenario> scenarios{shuffleRedEcn(quick),           terasortLeafSpine(quick),
                                     faultFlapRecovery(quick),       incastPartitionAggregate(quick),
-                                    kvReplicated(quick),            mixedTenancy(quick)};
+                                    kvReplicated(quick),            mixedTenancy(quick),
+                                    ecnPathologies(quick)};
     if (!obsMode.empty()) {
         for (auto& sc : scenarios) {
             for (auto& cfg : sc.configs) cfg.obs.applyMode(obsMode);

@@ -65,7 +65,9 @@ const std::vector<FlagSpec> kRunFlags = {
     {"repeats", true, "averaged repetitions (seed, seed+1, ...)"},
     {"ecnpp", false, "ECN++: control packets sent ECT"},
     {"leafspine", false, "2-rack leaf-spine fabric instead of a star"},
-    {"faults", true, "fault plan, e.g. 'flap@2s:link=3:for=500ms;crash@1s:node=2:for=10s'"},
+    {"faults", true,
+     "fault plan, e.g. 'flap@2s:link=3:for=500ms;bleach@1s:node=0:p=0.5' "
+     "(full grammar: ecnlab list)"},
     {"max-retries", true, "task re-execution budget"},
     {"task-timeout-ms", true, "task heartbeat deadline, milliseconds"},
     {"speculative", false, "enable speculative task execution"},
@@ -377,6 +379,15 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
                       TextTable::num(static_cast<double>(r.recoveredBytes) / (1024.0 * 1024.0),
                                      1)});
     }
+    if (r.ecnBleached || r.ecnRemarked || r.ecnStripped) {
+        t.addRow({"ECN bleach/remark/strip",
+                  std::to_string(r.ecnBleached) + " / " + std::to_string(r.ecnRemarked) + " / " +
+                      std::to_string(r.ecnStripped)});
+    }
+    if (r.ecnFallbacks) t.addRow({"ECN fallbacks (non-ECN)", std::to_string(r.ecnFallbacks)});
+    if (r.dctcpStarvationFallbacks) {
+        t.addRow({"DCTCP starvation fallbacks", std::to_string(r.dctcpStarvationFallbacks)});
+    }
     t.print(std::cout);
 }
 
@@ -474,8 +485,10 @@ int cmdList() {
     for (const auto s : kAllSeries) std::printf(" %s", paperSeriesName(s).c_str());
     std::printf("\ntargets    :");
     for (const auto t : paperTargetDelays()) std::printf(" %s", t.toString().c_str());
-    std::printf("\nfaults     : flap@T:link=I:for=D | down@T:link=I | loss@T:link=I:p=P[:for=D] "
-                "| crash@T:node=I[:for=D]  (';'-separated)\n");
+    // Rendered from the same table fault_plan.cpp dispatches on, so this
+    // listing can never drift from what parse() actually accepts (asserted
+    // by tests/sim/test_fault_plan.cpp).
+    std::printf("\nfaults     : ';'-separated clauses —\n%s", faultGrammarHelp().c_str());
     std::printf("workloads  : mapreduce incast kv mixed (see docs/workloads.md)\n");
     std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
     std::printf("schedulers : wheel flatheap binaryheap calendar\n");
