@@ -79,6 +79,26 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "traceRecords") in >> r.traceRecords;
         else if (field == "traceDroppedEvents") in >> r.traceDroppedEvents;
         else if (field == "metricSamples") in >> r.metricSamples;
+        else if (field == "attrRequests") in >> r.attribution.requests;
+        else if (field == "attrConservationFailures") in >> r.attrConservationFailures;
+        else if (field.rfind("attr.", 0) == 0) {
+            // attr.<component>.{p50Us,p99Us,totalUs}; unknown components
+            // (from a future taxonomy) fall through to the skip branch.
+            const std::size_t dot = field.rfind('.');
+            LatencyComponent c{};
+            if (dot != std::string::npos &&
+                latencyComponentFromName(field.substr(5, dot - 5), c)) {
+                auto& s = r.attribution.components[static_cast<std::size_t>(c)];
+                const std::string stat = field.substr(dot + 1);
+                if (stat == "p50Us") in >> s.p50Us;
+                else if (stat == "p99Us") in >> s.p99Us;
+                else if (stat == "totalUs") in >> s.totalUs;
+                else { std::string skip; in >> skip; }
+            } else {
+                std::string skip;
+                in >> skip;
+            }
+        }
         else {
             std::string skip;
             in >> skip;
@@ -160,6 +180,21 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "traceRecords " << r.traceRecords << '\n'
             << "traceDroppedEvents " << r.traceDroppedEvents << '\n'
             << "metricSamples " << r.metricSamples << '\n';
+    // Attribution rides along like the obs counters above (observed runs
+    // bypass the cache, so this is normally all-zero and skipped). Older
+    // binaries reading a newer entry skip unknown tokens by design.
+    if (!r.attribution.empty() || r.attrConservationFailures > 0) {
+        outFile << "attrRequests " << r.attribution.requests << '\n'
+                << "attrConservationFailures " << r.attrConservationFailures << '\n';
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            const auto& s = r.attribution.components[c];
+            const std::string prefix =
+                "attr." + std::string(latencyComponentName(static_cast<LatencyComponent>(c)));
+            outFile << prefix << ".p50Us " << s.p50Us << '\n'
+                    << prefix << ".p99Us " << s.p99Us << '\n'
+                    << prefix << ".totalUs " << s.totalUs << '\n';
+        }
+    }
     outFile.close();
     if (!outFile) {
         std::filesystem::remove(tmp, ec);

@@ -8,6 +8,7 @@
 #include "src/aqm/factory.hpp"
 #include "src/mapred/spec.hpp"
 #include "src/net/topology.hpp"
+#include "src/obs/attribution.hpp"
 #include "src/obs/obs_config.hpp"
 #include "src/sim/invariants.hpp"
 #include "src/sim/scheduler.hpp"
@@ -198,6 +199,15 @@ struct ExperimentResult {
     /// DCTCP senders whose marking-starvation guard degraded them to
     /// loss-based congestion control.
     std::uint64_t dctcpStarvationFallbacks = 0;
+
+    // Request latency attribution (empty unless obs.attribution or a
+    // forensics-k was on). Per-component p50/p99/total over the completed
+    // requests of the request/response workloads; each request's breakdown
+    // summed exactly to its measured latency when recorded
+    // (InvariantClass::AttributionConservation enforces the identity, and
+    // attrConservationFailures counts the recorded breaches).
+    AttributionSummary attribution;
+    std::uint64_t attrConservationFailures = 0;
 
     // Observability accounting (zero on unobserved runs).
     std::uint64_t traceRecords = 0;  ///< flight-recorder records offered

@@ -173,6 +173,26 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
         integer("traceDroppedEvents", r.traceDroppedEvents);
     }
     if (r.metricSamples > 0) integer("metricSamples", r.metricSamples);
+    // Latency attribution: only on runs that decomposed at least one request
+    // (obs attribution / forensics on), keeping older reports byte-identical.
+    if (!r.attribution.empty() || r.attrConservationFailures > 0) {
+        sep();
+        os << pad << "  \"attribution\": {\n";
+        os << pad << "    \"requests\": " << r.attribution.requests << ",\n";
+        os << pad << "    \"conservationFailures\": " << r.attrConservationFailures << ",\n";
+        os << pad << "    \"dominantP99\": \""
+           << latencyComponentName(r.attribution.dominantP99()) << "\",\n";
+        os << pad << "    \"components\": {";
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            const auto& s = r.attribution.components[c];
+            os << (c ? "," : "") << "\n"
+               << pad << "      \""
+               << latencyComponentName(static_cast<LatencyComponent>(c))
+               << "\": {\"p50Us\": " << s.p50Us << ", \"p99Us\": " << s.p99Us
+               << ", \"totalUs\": " << s.totalUs << '}';
+        }
+        os << '\n' << pad << "    }\n" << pad << "  }";
+    }
     if (!r.obsProfile.empty()) {
         sep();
         os << pad << "  \"profile\": {\n";

@@ -190,6 +190,11 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         if (cfg.obs.anyEnabled()) {
             obsHub = std::make_unique<ObsHub>(cfg.obs);
             sim.setObs(obsHub.get());
+            // The sums-to-total identity is judged per completed request;
+            // a breach is an attribution bug, reported like any invariant.
+            if (SpanTracker* st = obsHub->spanTracker()) {
+                st->setInvariantChecker(&checker);
+            }
         }
 
         Network net(sim);
@@ -327,6 +332,10 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
             if (const MetricsRegistry* reg = obsHub->metrics()) {
                 r.metricSamples = reg->samplesTaken();
             }
+            if (const SpanTracker* st = obsHub->spanTracker()) {
+                r.attribution = st->summary();
+                r.attrConservationFailures = st->conservationFailures();
+            }
             if (profiler != nullptr) {
                 r.obsProfile.wallSec = profiler->phaseWallSec();
                 r.obsProfile.eventsPerSec = profiler->eventsPerSec();
@@ -377,7 +386,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     std::uint64_t digest = NetworkTelemetry::kDigestSeed;
     std::uint64_t fDrops = 0, flaps = 0, crashes = 0, retries = 0, hbeats = 0, specs = 0;
     std::uint64_t bleached = 0, remarked = 0, stripped = 0, ecnFb = 0, starveFb = 0;
-    std::uint64_t reqI = 0, reqC = 0, reqV = 0;
+    std::uint64_t reqI = 0, reqC = 0, reqV = 0, attrReq = 0;
     double wasted = 0.0, recovered = 0.0;
     for (const auto& r : runs) {
         avg.timedOut = avg.timedOut || r.timedOut;
@@ -441,6 +450,16 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         avg.traceRecords += r.traceRecords;
         avg.traceDroppedEvents += r.traceDroppedEvents;
         avg.metricSamples += r.metricSamples;
+        // Attribution: request counts and per-component stats are means
+        // (comparable to the latency percentiles above); conservation
+        // failures are summed like invariant violations.
+        attrReq += r.attribution.requests;
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            avg.attribution.components[c].p50Us += r.attribution.components[c].p50Us / n;
+            avg.attribution.components[c].p99Us += r.attribution.components[c].p99Us / n;
+            avg.attribution.components[c].totalUs += r.attribution.components[c].totalUs / n;
+        }
+        avg.attrConservationFailures += r.attrConservationFailures;
         avg.obsProfile.wallSec += r.obsProfile.wallSec;
         avg.obsProfile.eventsPerSec += r.obsProfile.eventsPerSec / n;
         avg.obsProfile.schedulerDepthPeak =
@@ -490,6 +509,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.reqIssued = meanU64(reqI);
     avg.reqCompleted = meanU64(reqC);
     avg.reqSloViolations = meanU64(reqV);
+    avg.attribution.requests = meanU64(attrReq);
     return avg;
 }
 

@@ -27,7 +27,19 @@ EnqueueOutcome Port::send(PacketPtr pkt) {
         recordFault(*pkt, faultRejectedSends_, &FaultCounters::rejectedSends);
         return EnqueueOutcome::DroppedOverflow;
     }
+    const std::uint32_t flowId = pkt->flowId;
+    const std::uint64_t uid = pkt->uid;
     const auto outcome = queue_->enqueue(std::move(pkt), sim_.now());
+    if (SpanTracker* st = obsSpanTrackerOf(sim_)) {
+        // Attribution sees the fate either way: an accepted packet starts
+        // (or continues) its queueing interval; a dropped one leaves the
+        // channel so the sender's RTO wait gets charged, not the queue.
+        if (!isDrop(outcome)) {
+            st->onPacketQueued(flowId, uid, sim_.now().ns());
+        } else {
+            st->onPacketGone(flowId, uid, sim_.now().ns());
+        }
+    }
     if (!isDrop(outcome)) tryTransmit();
     return outcome;
 }
@@ -39,6 +51,9 @@ void Port::setUp(bool up) {
         ++flapEpoch_;
         // Purge the queue: anything buffered behind a dead carrier is lost.
         while (PacketPtr pkt = queue_->dequeue(sim_.now())) {
+            if (SpanTracker* st = obsSpanTrackerOf(sim_)) {
+                st->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
+            }
             recordFault(*pkt, faultQueuePurgeDrops_, &FaultCounters::queuePurgeDrops);
         }
     } else {
@@ -71,6 +86,9 @@ void Port::tryTransmit() {
         leakNext_ = false;
         tryTransmit();
         return;
+    }
+    if (SpanTracker* st = obsSpanTrackerOf(sim_)) {
+        st->onPacketTxStart(pkt->flowId, pkt->uid, sim_.now().ns());
     }
     busy_ = true;
     bytesTx_ += static_cast<std::uint64_t>(pkt->sizeBytes);
@@ -128,15 +146,18 @@ void Port::onSerialized() {
                                ProfileKind::LinkTransmit);
     busy_ = false;
     PacketPtr pkt = std::move(txPkt_);
+    SpanTracker* st = hub != nullptr ? hub->spanTracker() : nullptr;
     const std::uint64_t epoch = txEpoch_;
     if (flapEpoch_ != epoch) {
         // The link dropped while the packet was being serialized.
+        if (st != nullptr) st->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
         recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
         tryTransmit();
         return;
     }
     if (lossRate_ > 0.0 && sim_.rng().uniform01() < lossRate_) {
         // Degraded link: frame corrupted on the wire, receiver CRC fails.
+        if (st != nullptr) st->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
         recordFault(*pkt, faultRandomLossDrops_, &FaultCounters::randomLossDrops);
         tryTransmit();
         return;
@@ -150,6 +171,7 @@ void Port::onSerialized() {
         const int inPort = peerInPort_;
         pkt->hops = static_cast<std::uint8_t>(pkt->hops + 1);
         ++wireInFlight_;
+        if (st != nullptr) st->onPacketOnWire(pkt->flowId, pkt->uid, sim_.now().ns());
         sim_.schedule(propagationDelay_, [this, epoch, peer, inPort,
                                           pkt = std::move(pkt)]() mutable {
             ObsHub* deliveryHub = sim_.obs();
@@ -159,12 +181,24 @@ void Port::onSerialized() {
             --wireInFlight_;
             if (flapEpoch_ != epoch) {
                 // Lost mid-flight: the link went down under the packet.
+                if (SpanTracker* dst = obsSpanTrackerOf(sim_)) {
+                    dst->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
+                }
                 recordFault(*pkt, faultInFlightDrops_, &FaultCounters::inFlightDrops);
                 return;
             }
             ++pktsDeliveredToPeer_;
+            // The attribution interval for this hop closes here; if the
+            // next hop re-enqueues at this same instant the gap is
+            // zero-width, so the sum-to-total identity is untouched.
+            if (SpanTracker* dst = obsSpanTrackerOf(sim_)) {
+                dst->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
+            }
             peer->handleReceive(std::move(pkt), inPort);
         });
+    } else if (st != nullptr) {
+        // Unattached port: the packet is discarded by design.
+        st->onPacketGone(pkt->flowId, pkt->uid, sim_.now().ns());
     }
     tryTransmit();
 }

@@ -63,15 +63,8 @@ FlightRecorderTap::FlightRecorderTap(FlightRecorder& recorder, MetricsRegistry* 
 }
 
 void FlightRecorderTap::registerQueue(const Queue* q, std::string_view label) {
-    const std::uint32_t id = recorder_.intern(label);
-    for (auto& [queue, existing] : labels_) {
-        if (queue == q) {
-            existing = id;
-            memoQueue_ = nullptr;  // the memo may hold the stale label
-            return;
-        }
-    }
-    labels_.emplace_back(q, id);
+    labels_[q] = recorder_.intern(label);
+    memoQueue_ = nullptr;  // the memo may hold a stale label for this queue
 }
 
 namespace {

@@ -115,21 +115,20 @@ public:
     void onDequeue(const Queue& q, const Packet& pkt, Time now) override;
 
 private:
-    // Flat table + one-entry memo instead of a hash map: this resolves on
+    // One-entry memo in front of a pointer-keyed hash map: this resolves on
     // every switch-queue event, and enqueue/dequeue bursts hit the same
-    // queue, so the memo short-circuits most lookups and the fallback scan
-    // is a dozen pointer compares over contiguous memory.
+    // queue, so the memo short-circuits most lookups; a memo miss is one
+    // O(1) probe instead of a scan that grows with the port count (a
+    // leaf-spine fabric registers dozens of ports).
     std::uint32_t labelOf(const Queue& q) const {
         if (&q == memoQueue_) return memoLabel_;
         memoQueue_ = &q;
-        for (const auto& [queue, label] : labels_) {
-            if (queue == &q) return memoLabel_ = label;
-        }
-        return memoLabel_ = fallbackLabel_;
+        const auto it = labels_.find(&q);
+        return memoLabel_ = (it == labels_.end() ? fallbackLabel_ : it->second);
     }
 
     FlightRecorder& recorder_;
-    std::vector<std::pair<const Queue*, std::uint32_t>> labels_;
+    std::unordered_map<const Queue*, std::uint32_t> labels_;
     mutable const Queue* memoQueue_ = nullptr;
     mutable std::uint32_t memoLabel_ = 0;
     std::uint32_t fallbackLabel_;

@@ -1,0 +1,37 @@
+#include "src/obs/attribution.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace ecnsim {
+
+bool latencyComponentFromName(std::string_view name, LatencyComponent& out) {
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        const auto c = static_cast<LatencyComponent>(i);
+        if (latencyComponentName(c) == name) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string formatAttributionLine(const AttributionSummary& s) {
+    if (s.empty()) return "attribution: no completed requests";
+    std::string out = "attribution p99 (us):";
+    char buf[96];
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        const auto& c = s.components[i];
+        if (c.totalUs <= 0.0 && c.p99Us <= 0.0) continue;
+        std::snprintf(buf, sizeof(buf), " %s=%.1f",
+                      std::string(latencyComponentName(static_cast<LatencyComponent>(i))).c_str(),
+                      c.p99Us);
+        out += buf;
+    }
+    const auto dom = s.dominantP99();
+    out += "  dominant=";
+    out += latencyComponentName(dom);
+    return out;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,102 @@
+// Latency-attribution vocabulary: the component taxonomy every completed
+// request's end-to-end latency decomposes into, plus the aggregate summary
+// the runner copies into ExperimentResult.
+//
+// The taxonomy is the paper's causal story made mechanical. The headline
+// claim is that ACK/SYN drops at a shallow-buffered switch inflate RPC
+// p99 via retransmission timers, not via queueing delay — so the
+// decomposition separates "time spent standing in a switch queue" from
+// "time spent waiting for an RTO to fire with nothing on the wire" from
+// "time spent retrying a dropped SYN". A run that reports a +64 ms p99
+// gap can then say *which* of these the gap lives in.
+//
+// The decomposition is exact by construction: SpanTracker models each
+// channel as a piecewise-constant function over the components below and
+// accumulates integer nanoseconds per component, so the per-request sum
+// equals the measured latency to the nanosecond (enforced as
+// InvariantClass::AttributionConservation). `Other` is the catch-all that
+// keeps the identity exact — application think time, delayed-ACK holds on
+// an idle channel, anything the model cannot pin on the network.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ecnsim {
+
+/// Where a request's wall-clock time is being spent at one instant.
+/// Exactly one component is active per channel at any simulated time.
+enum class LatencyComponent : std::uint8_t {
+    Queueing,       ///< oldest in-flight packet is sitting in a port queue
+    Serialization,  ///< oldest in-flight packet is being clocked onto the link
+    Propagation,    ///< oldest in-flight packet is on the wire
+    RtoWait,        ///< nothing in flight; data outstanding, waiting on a
+                    ///< retransmission timer (or the peer's delayed ACK)
+    SynRetryWait,   ///< nothing in flight; a handshake is incomplete, waiting
+                    ///< on a SYN/SYN-ACK retry timer
+    CwndStall,      ///< unsent data is pending but the congestion window is
+                    ///< full: the window, not the wire, is the constraint
+    Other,          ///< none of the above (app think time, idle channel);
+                    ///< the catch-all that makes the sum exact
+};
+
+constexpr std::size_t kNumLatencyComponents = 7;
+
+constexpr std::string_view latencyComponentName(LatencyComponent c) {
+    switch (c) {
+        case LatencyComponent::Queueing: return "queueing";
+        case LatencyComponent::Serialization: return "serialization";
+        case LatencyComponent::Propagation: return "propagation";
+        case LatencyComponent::RtoWait: return "rtoWait";
+        case LatencyComponent::SynRetryWait: return "synRetryWait";
+        case LatencyComponent::CwndStall: return "cwndStall";
+        case LatencyComponent::Other: return "other";
+    }
+    return "?";
+}
+
+/// Per-component nanoseconds for one request; sums to the request's
+/// measured end-to-end latency exactly.
+using ComponentBreakdownNs = std::array<std::int64_t, kNumLatencyComponents>;
+
+/// Aggregated per-component view of a run, computed by SpanTracker and
+/// copied verbatim into ExperimentResult (and from there into the JSON
+/// report and the results cache).
+struct AttributionComponentStats {
+    double p50Us = 0.0;   ///< median per-request time in this component
+    double p99Us = 0.0;   ///< p99 per-request time in this component
+    double totalUs = 0.0; ///< sum over all completed requests
+};
+
+struct AttributionSummary {
+    std::uint64_t requests = 0;  ///< completed requests that were decomposed
+    std::array<AttributionComponentStats, kNumLatencyComponents> components{};
+
+    bool empty() const { return requests == 0; }
+
+    /// The component with the largest p99 contribution — the one-word
+    /// answer to "where does the tail live?". Returns Other when empty.
+    LatencyComponent dominantP99() const {
+        std::size_t best = static_cast<std::size_t>(LatencyComponent::Other);
+        double bestVal = -1.0;
+        for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+            if (components[i].p99Us > bestVal) {
+                bestVal = components[i].p99Us;
+                best = i;
+            }
+        }
+        return static_cast<LatencyComponent>(best);
+    }
+};
+
+/// Inverse of latencyComponentName; returns false (out untouched) on junk.
+bool latencyComponentFromName(std::string_view name, LatencyComponent& out);
+
+/// One-line human rendering used by ecnlab and bench_runner:
+/// "attribution p99 (us): queueing=12.3 rtoWait=64000.0 ... dominant=rtoWait".
+std::string formatAttributionLine(const AttributionSummary& s);
+
+}  // namespace ecnsim

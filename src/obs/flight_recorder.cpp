@@ -6,14 +6,18 @@
 #include <ostream>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/span_tracker.hpp"
 
 namespace ecnsim {
 
-FlightRecorder::FlightRecorder(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
-    // Reserve the whole ring up front: growth reallocations would memcpy
-    // megabytes of records mid-run, and untouched reserved pages are free.
-    ring_.reserve(capacity_);
-}
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      // Materialise the whole ring up front so record() never branches on
+      // growth — every append is a plain slot write. Default-initialised
+      // (TraceRecord is trivial): the allocation maps pages without
+      // touching them, so a short run's construction cost is one mmap, not
+      // a zero-fill of the full capacity.
+      ring_(new TraceRecord[capacity_]) {}
 
 std::uint32_t FlightRecorder::intern(std::string_view s) {
     const auto it = nameIds_.find(std::string(s));
@@ -26,20 +30,20 @@ std::uint32_t FlightRecorder::intern(std::string_view s) {
 
 std::vector<TraceRecord> FlightRecorder::retained() const {
     std::vector<TraceRecord> out;
-    out.reserve(ring_.size());
+    out.reserve(size());
+    const TraceRecord* ring = ring_.get();
     if (recorded_ <= capacity_) {
-        out = ring_;
+        out.insert(out.end(), ring, ring + size());
     } else {
-        out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
-        out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+        out.insert(out.end(), ring + head_, ring + capacity_);
+        out.insert(out.end(), ring, ring + head_);
     }
     return out;
 }
 
 void FlightRecorder::clear() {
-    ring_.clear();
     head_ = 0;
-    recorded_ = 0;
+    recorded_ = 0;  // stale slots are unreachable: size() is recorded-based
 }
 
 namespace {
@@ -51,6 +55,7 @@ constexpr int kPidTcp = 2;
 constexpr int kPidMapred = 3;
 constexpr int kPidFaults = 4;
 constexpr int kPidMetrics = 5;
+constexpr int kPidForensics = 6;
 
 // Mirrors packetClassName / tcpStateName / ecnCodepointName without a
 // dependency on src/net and src/tcp (obs sits below both); the tap encodes
@@ -120,7 +125,8 @@ private:
 
 }  // namespace
 
-void FlightRecorder::writeChromeTrace(std::ostream& os, const MetricsRegistry* series) const {
+void FlightRecorder::writeChromeTrace(std::ostream& os, const MetricsRegistry* series,
+                                      const SpanTracker* forensics) const {
     const std::vector<TraceRecord> records = retained();
     os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
     EventWriter w(os);
@@ -236,6 +242,49 @@ void FlightRecorder::writeChromeTrace(std::ostream& os, const MetricsRegistry* s
         while (!stack.empty()) {
             w.event(stack.back().first, "E", endTs, kPidMapred, tid, "\"cat\": \"mapred\"");
             stack.pop_back();
+        }
+    }
+
+    // Slowest-k forensics: one track per retained request, its component
+    // timeline rendered as back-to-back complete ("X") slices so the
+    // request reads left-to-right in chrome://tracing / Perfetto.
+    if (forensics != nullptr && forensics->forensicsK() > 0) {
+        w.metadata("process_name", kPidForensics, 0, "slowest requests");
+        const auto slow = forensics->slowest();
+        for (std::size_t i = 0; i < slow.size(); ++i) {
+            const SpanTracker::RetainedRequest& r = slow[i];
+            const std::uint64_t tid = i + 1;
+            const double latencyUs = static_cast<double>(r.endNs - r.startNs) * 1e-3;
+            char head[96];
+            std::snprintf(head, sizeof head, "slow#%zu %.1fus ", i + 1, latencyUs);
+            w.metadata("thread_name", kPidForensics, tid,
+                       head + r.label + " tag=" + std::to_string(r.tag));
+            // Per-component breakdown as one instant at the request start.
+            std::string args = "\"cat\": \"attribution\", \"s\": \"t\", \"args\": {";
+            for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+                if (c != 0) args += ", ";
+                args += '"';
+                args += latencyComponentName(static_cast<LatencyComponent>(c));
+                char val[32];
+                std::snprintf(val, sizeof val, "Us\": %.3f",
+                              static_cast<double>(r.breakdown[c]) * 1e-3);
+                args += val;
+            }
+            args += '}';
+            w.event("breakdown", "i", static_cast<double>(r.startNs) * 1e-3, kPidForensics,
+                    tid, args);
+            for (std::size_t t = 0; t < r.timeline.size(); ++t) {
+                const std::int64_t segStart = r.timeline[t].atNs;
+                const std::int64_t segEnd =
+                    t + 1 < r.timeline.size() ? r.timeline[t + 1].atNs : r.endNs;
+                if (segEnd <= segStart) continue;  // zero-width: invisible anyway
+                char dur[48];
+                std::snprintf(dur, sizeof dur, "\"dur\": %.3f",
+                              static_cast<double>(segEnd - segStart) * 1e-3);
+                w.event(std::string(latencyComponentName(r.timeline[t].component)), "X",
+                        static_cast<double>(segStart) * 1e-3, kPidForensics, tid,
+                        std::string("\"cat\": \"attribution\", ") + dur);
+            }
         }
     }
 

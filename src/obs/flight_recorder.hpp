@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 namespace ecnsim {
 
 class MetricsRegistry;
+class SpanTracker;
 
 enum class TraceRecordKind : std::uint8_t {
     // Queue decisions (a = queue label id, b = flow id, c = wire bytes,
@@ -70,14 +72,18 @@ constexpr std::string_view traceRecordKindName(TraceRecordKind k) {
     return "?";
 }
 
+// Trivially default-constructible on purpose: the recorder allocates its
+// ring default-initialised (no zero-fill), so construction maps pages
+// without touching them and short runs only fault in what they record.
+// record() writes every field, and reads never go past the recorded window.
 struct TraceRecord {
-    std::int64_t atNs = 0;
-    std::uint32_t a = 0;
-    std::uint32_t b = 0;
-    std::uint32_t c = 0;
-    TraceRecordKind kind = TraceRecordKind::QueueEnqueue;
-    std::uint8_t d = 0;
-    std::uint8_t e = 0;
+    std::int64_t atNs;
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint32_t c;
+    TraceRecordKind kind;
+    std::uint8_t d;
+    std::uint8_t e;
 };
 static_assert(sizeof(TraceRecord) <= 24, "trace records must stay compact");
 
@@ -85,25 +91,21 @@ class FlightRecorder {
 public:
     explicit FlightRecorder(std::size_t capacity = 1 << 20);
 
-    /// Append one record. O(1), no allocation (the ring is reserved up
-    /// front); the oldest record is overwritten (and counted) when full.
-    /// The wrap is a compare, not a modulo — this runs per queue event.
+    /// Append one record. O(1), no allocation and no growth branch: the
+    /// ring is materialised at full capacity up front, so every record is
+    /// an unconditional slot write at head_. The wrap is a compare, not a
+    /// modulo — this runs per queue event.
     void record(TraceRecordKind kind, Time at, std::uint32_t a = 0, std::uint32_t b = 0,
                 std::uint32_t c = 0, std::uint8_t d = 0, std::uint8_t e = 0) {
-        TraceRecord* r;
-        if (ring_.size() < capacity_) {
-            r = &ring_.emplace_back();
-        } else {
-            r = &ring_[head_];
-            if (++head_ == capacity_) head_ = 0;
-        }
-        r->atNs = at.ns();
-        r->a = a;
-        r->b = b;
-        r->c = c;
-        r->kind = kind;
-        r->d = d;
-        r->e = e;
+        TraceRecord& r = ring_[head_];
+        if (++head_ == capacity_) head_ = 0;
+        r.atNs = at.ns();
+        r.a = a;
+        r.b = b;
+        r.c = c;
+        r.kind = kind;
+        r.d = d;
+        r.e = e;
         ++recorded_;
     }
 
@@ -117,7 +119,9 @@ public:
     std::uint64_t droppedEvents() const {
         return recorded_ > capacity_ ? recorded_ - capacity_ : 0;
     }
-    std::size_t size() const { return ring_.size(); }
+    std::size_t size() const {
+        return recorded_ < capacity_ ? static_cast<std::size_t>(recorded_) : capacity_;
+    }
     std::size_t capacity() const { return capacity_; }
 
     /// Retained records, oldest first (copies the window out of the ring).
@@ -127,13 +131,17 @@ public:
 
     /// Write the retained window as Chrome trace_event JSON. Counter tracks
     /// for the registry's sampled series are emitted alongside when
-    /// `series` is non-null (queue depth per port, link utilisation, ...).
-    void writeChromeTrace(std::ostream& os, const MetricsRegistry* series = nullptr) const;
+    /// `series` is non-null (queue depth per port, link utilisation, ...);
+    /// the slowest-k forensics timelines ride along as per-request tracks
+    /// when `forensics` is non-null. Neither touches the ring, so forensics
+    /// export can never evict records or inflate droppedEvents.
+    void writeChromeTrace(std::ostream& os, const MetricsRegistry* series = nullptr,
+                          const SpanTracker* forensics = nullptr) const;
 
 private:
     std::size_t capacity_;
-    std::vector<TraceRecord> ring_;
-    std::size_t head_ = 0;  ///< oldest record once the ring has wrapped
+    std::unique_ptr<TraceRecord[]> ring_;  ///< always capacity_ slots
+    std::size_t head_ = 0;           ///< next slot to write (oldest once wrapped)
     std::uint64_t recorded_ = 0;
     std::vector<std::string> names_;
     std::unordered_map<std::string, std::uint32_t> nameIds_;

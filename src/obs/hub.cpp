@@ -11,6 +11,9 @@ ObsHub::ObsHub(const ObsConfig& cfg) : cfg_(cfg) {
     if (cfg_.metrics) metrics_ = std::make_unique<MetricsRegistry>();
     if (cfg_.trace) recorder_ = std::make_unique<FlightRecorder>(cfg_.traceCapacity);
     if (cfg_.profile) profiler_ = std::make_unique<SimProfiler>();
+    if (cfg_.attribution || cfg_.forensicsK > 0) {
+        spanTracker_ = std::make_unique<SpanTracker>(cfg_.forensicsK);
+    }
 }
 
 void ObsHub::startSampling(Simulator& sim) {
@@ -42,7 +45,7 @@ bool ObsHub::writeTraceFile(const std::string& path) const {
         ECNSIM_LOGC(LogLevel::Error, "obs", "cannot open trace output file: " + path);
         return false;
     }
-    recorder_->writeChromeTrace(os, metrics_.get());
+    recorder_->writeChromeTrace(os, metrics_.get(), spanTracker_.get());
     return static_cast<bool>(os);
 }
 
@@ -65,6 +68,11 @@ FlightRecorder* obsRecorderOf(Simulator& sim) {
 SimProfiler* obsProfilerOf(Simulator& sim) {
     ObsHub* hub = sim.obs();
     return hub != nullptr ? hub->profiler() : nullptr;
+}
+
+SpanTracker* obsSpanTrackerOf(Simulator& sim) {
+    ObsHub* hub = sim.obs();
+    return hub != nullptr ? hub->spanTracker() : nullptr;
 }
 
 }  // namespace ecnsim

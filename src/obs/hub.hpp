@@ -19,6 +19,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/obs_config.hpp"
 #include "src/obs/profiler.hpp"
+#include "src/obs/span_tracker.hpp"
 
 namespace ecnsim {
 
@@ -34,9 +35,11 @@ public:
     MetricsRegistry* metrics() { return metrics_.get(); }
     FlightRecorder* recorder() { return recorder_.get(); }
     SimProfiler* profiler() { return profiler_.get(); }
+    SpanTracker* spanTracker() { return spanTracker_.get(); }
     const MetricsRegistry* metrics() const { return metrics_.get(); }
     const FlightRecorder* recorder() const { return recorder_.get(); }
     const SimProfiler* profiler() const { return profiler_.get(); }
+    const SpanTracker* spanTracker() const { return spanTracker_.get(); }
 
     /// Extra work to run on every sampling tick, after the registry series
     /// (e.g. pushing per-flow cwnd samples into the flight recorder).
@@ -63,6 +66,7 @@ private:
     std::unique_ptr<MetricsRegistry> metrics_;
     std::unique_ptr<FlightRecorder> recorder_;
     std::unique_ptr<SimProfiler> profiler_;
+    std::unique_ptr<SpanTracker> spanTracker_;
     std::vector<std::function<void(Time)>> sampleHooks_;
     bool sampling_ = false;
 };
@@ -71,5 +75,6 @@ private:
 /// nullptr). Defined out of line because sim/ cannot include obs/ headers.
 FlightRecorder* obsRecorderOf(Simulator& sim);
 SimProfiler* obsProfilerOf(Simulator& sim);
+SpanTracker* obsSpanTrackerOf(Simulator& sim);
 
 }  // namespace ecnsim

@@ -7,17 +7,18 @@
 namespace ecnsim {
 
 std::string ObsConfig::modeName() const {
-    if (metrics && trace && profile) return "full";
-    if (!metrics && !trace && !profile) return "off";
+    if (metrics && trace && profile && attribution) return "full";
+    if (!metrics && !trace && !profile && !attribution) return "off";
     std::string name;
     if (metrics) name = "metrics";
     if (trace) name += name.empty() ? "trace" : "+trace";
     if (profile) name += name.empty() ? "profile" : "+profile";
+    if (attribution) name += name.empty() ? "attribution" : "+attribution";
     return name;
 }
 
 void ObsConfig::applyMode(const std::string& mode) {
-    metrics = trace = profile = false;
+    metrics = trace = profile = attribution = false;
     if (mode == "off") return;
     if (mode == "metrics") {
         metrics = true;
@@ -25,10 +26,12 @@ void ObsConfig::applyMode(const std::string& mode) {
         trace = true;
     } else if (mode == "profile") {
         profile = true;
+    } else if (mode == "attribution") {
+        attribution = true;
     } else if (mode == "full") {
-        metrics = trace = profile = true;
+        metrics = trace = profile = attribution = true;
     } else {
-        throw SpecError("obs", mode, "one of off, metrics, trace, profile, full");
+        throw SpecError("obs", mode, "one of off, metrics, trace, profile, attribution, full");
     }
 }
 

@@ -25,6 +25,14 @@ struct ObsConfig {
     /// Simulator self-profiler: per-event-kind wall-clock buckets, phase
     /// timers and the event-queue depth high-water mark.
     bool profile = false;
+    /// Request-scoped latency attribution: SpanTracker decomposes every
+    /// completed request's latency into LatencyComponent buckets (exact
+    /// sum, invariant-checked) and aggregates per-component percentiles.
+    bool attribution = false;
+
+    /// Retain full causal timelines for the k slowest requests and export
+    /// them as per-request Perfetto tracks. >0 implies attribution.
+    std::size_t forensicsK = 0;
 
     /// Period of the sampling tick driving registry series and per-flow
     /// cwnd trace counters.
@@ -44,9 +52,10 @@ struct ObsConfig {
     /// Metrics JSON output path ("" = no export).
     std::string metricsOut;
 
-    bool anyEnabled() const { return metrics || trace || profile; }
+    bool anyEnabled() const { return metrics || trace || profile || attribution || forensicsK > 0; }
 
-    /// Canonical mode string: off | metrics | trace | profile | full.
+    /// Canonical mode string:
+    /// off | metrics | trace | profile | attribution | full.
     std::string modeName() const;
 
     /// Set the enable flags from a mode string (throws SpecError on junk);
@@ -56,8 +65,9 @@ struct ObsConfig {
     /// Sanity-check the tuning knobs; throws SpecError naming the field.
     void validate() const;
 
-    /// Defaults from ECNSIM_OBS (off | metrics | trace | profile | full;
-    /// unset or unparsable means off, mirroring ECNSIM_INVARIANTS).
+    /// Defaults from ECNSIM_OBS (off | metrics | trace | profile |
+    /// attribution | full; unset or unparsable means off, mirroring
+    /// ECNSIM_INVARIANTS).
     static ObsConfig fromEnvironment();
 };
 

@@ -1,0 +1,252 @@
+#include "src/obs/span_tracker.hpp"
+
+#include <algorithm>
+
+namespace ecnsim {
+
+namespace {
+constexpr std::size_t idx(LatencyComponent c) { return static_cast<std::size_t>(c); }
+}  // namespace
+
+SpanTracker::Channel* SpanTracker::channelForFlow(std::uint32_t flowId) {
+    if (flows_.empty()) return nullptr;  // the shuffle-only fast path
+    const auto it = flows_.find(flowId);
+    if (it == flows_.end()) return nullptr;
+    return &channels_[it->second];
+}
+
+SpanTracker::Channel* SpanTracker::channelById(std::uint32_t channelId) {
+    if (channelId >= channels_.size() || !channels_[channelId].open) return nullptr;
+    return &channels_[channelId];
+}
+
+LatencyComponent SpanTracker::resolve(const Channel& ch) {
+    if (!ch.packets.empty()) {
+        if (ch.cwndBlockedCount > 0) return LatencyComponent::CwndStall;
+        switch (ch.packets.begin()->second) {
+            case PacketPhase::Queued: return LatencyComponent::Queueing;
+            case PacketPhase::Serializing: return LatencyComponent::Serialization;
+            case PacketPhase::OnWire: return LatencyComponent::Propagation;
+        }
+    }
+    if (ch.handshakingCount > 0) return LatencyComponent::SynRetryWait;
+    if (ch.cwndBlockedCount > 0) return LatencyComponent::CwndStall;
+    if (ch.outstandingCount > 0) return LatencyComponent::RtoWait;
+    return LatencyComponent::Other;
+}
+
+void SpanTracker::advance(Channel& ch, std::int64_t nowNs) {
+    // Time never runs backwards inside one simulation; clamp defensively
+    // anyway so a misbehaving caller cannot corrupt the conservation sum.
+    if (nowNs > ch.lastNs) {
+        ch.cum[idx(ch.current)] += nowNs - ch.lastNs;
+        ch.lastNs = nowNs;
+    }
+}
+
+void SpanTracker::refresh(Channel& ch, std::int64_t nowNs) {
+    const LatencyComponent next = resolve(ch);
+    if (next == ch.current) return;
+    ch.current = next;
+    if (forensicsK_ > 0 && !ch.openRequests.empty()) ch.log.push_back({nowNs, next});
+}
+
+std::uint32_t SpanTracker::openChannel(std::string label, std::int64_t nowNs) {
+    std::uint32_t id;
+    if (!freeChannels_.empty()) {
+        id = freeChannels_.back();
+        freeChannels_.pop_back();
+        channels_[id] = Channel{};
+    } else {
+        id = static_cast<std::uint32_t>(channels_.size());
+        channels_.emplace_back();
+    }
+    Channel& ch = channels_[id];
+    ch.open = true;
+    ch.label = std::move(label);
+    ch.lastNs = nowNs;
+    ch.current = LatencyComponent::Other;
+    return id;
+}
+
+void SpanTracker::bindFlow(std::uint32_t flowId, std::uint32_t channelId, std::int64_t nowNs) {
+    Channel* ch = channelById(channelId);
+    if (ch == nullptr) return;
+    const auto it = flows_.find(flowId);
+    if (it != flows_.end()) {
+        if (it->second == channelId) return;
+        Channel& old = channels_[it->second];
+        auto& bound = old.boundFlows;
+        bound.erase(std::remove(bound.begin(), bound.end(), flowId), bound.end());
+        it->second = channelId;
+    } else {
+        flows_.emplace(flowId, channelId);
+    }
+    ch->boundFlows.push_back(flowId);
+    advance(*ch, nowNs);
+    refresh(*ch, nowNs);
+}
+
+void SpanTracker::closeChannel(std::uint32_t channelId, std::int64_t nowNs) {
+    Channel* ch = channelById(channelId);
+    if (ch == nullptr) return;
+    advance(*ch, nowNs);
+    for (const std::uint32_t f : ch->boundFlows) flows_.erase(f);
+    ch->open = false;
+    // Release the bulky per-channel state eagerly; the slot is recycled.
+    ch->packets.clear();
+    ch->endpoints.clear();
+    ch->openRequests.clear();
+    ch->boundFlows.clear();
+    ch->log.clear();
+    ch->log.shrink_to_fit();
+    freeChannels_.push_back(channelId);
+}
+
+void SpanTracker::beginRequest(std::uint32_t channelId, std::uint64_t tag, std::int64_t nowNs) {
+    Channel* ch = channelById(channelId);
+    if (ch == nullptr) return;
+    advance(*ch, nowNs);
+    OpenRequest req;
+    req.tag = tag;
+    req.startNs = nowNs;
+    req.snapshot = ch->cum;
+    req.logStart = ch->log.size();
+    req.startComponent = ch->current;
+    ch->openRequests.push_back(std::move(req));
+}
+
+bool SpanTracker::endRequest(std::uint32_t channelId, std::int64_t nowNs,
+                             ComponentBreakdownNs* out) {
+    Channel* ch = channelById(channelId);
+    if (ch == nullptr || ch->openRequests.empty()) return false;
+    advance(*ch, nowNs);
+    const OpenRequest req = std::move(ch->openRequests.front());
+    ch->openRequests.pop_front();
+
+    ComponentBreakdownNs breakdown{};
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        breakdown[i] = ch->cum[i] - req.snapshot[i];
+        sum += breakdown[i];
+    }
+    const std::int64_t elapsed = nowNs - req.startNs;
+    if (sum != elapsed) {
+        ++conservationFailures_;
+        if (checker_ != nullptr && checker_->enabled()) {
+            checker_->violation(
+                InvariantClass::AttributionConservation, Time::nanoseconds(nowNs), 0,
+                "channel '" + ch->label + "' request tag=" + std::to_string(req.tag) +
+                    ": component sum " + std::to_string(sum) + "ns != elapsed " +
+                    std::to_string(elapsed) + "ns");
+        }
+    } else if (checker_ != nullptr && checker_->enabled()) {
+        checker_->passed();
+    }
+
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        const std::uint64_t ns = breakdown[i] > 0 ? static_cast<std::uint64_t>(breakdown[i]) : 0;
+        perComponent_[i].recordNs(ns);
+        totalNs_[i] += breakdown[i];
+    }
+    ++requestsCompleted_;
+    maybeRetain(*ch, req, nowNs, breakdown);
+    if (ch->openRequests.empty()) ch->log.clear();  // forensics log GC
+    if (out != nullptr) *out = breakdown;
+    return true;
+}
+
+void SpanTracker::maybeRetain(const Channel& ch, const OpenRequest& req, std::int64_t endNs,
+                              const ComponentBreakdownNs& breakdown) {
+    if (forensicsK_ == 0) return;
+    const std::int64_t latency = endNs - req.startNs;
+    std::size_t victim = retained_.size();
+    if (retained_.size() >= forensicsK_) {
+        // k is small (single digits in practice): a linear scan for the
+        // current fastest retained request is cheaper than a heap.
+        std::int64_t fastest = latency;
+        for (std::size_t i = 0; i < retained_.size(); ++i) {
+            const std::int64_t l = retained_[i].endNs - retained_[i].startNs;
+            if (l < fastest) {
+                fastest = l;
+                victim = i;
+            }
+        }
+        if (victim == retained_.size()) return;  // not among the slowest k
+    }
+    RetainedRequest r;
+    r.label = ch.label;
+    r.tag = req.tag;
+    r.startNs = req.startNs;
+    r.endNs = endNs;
+    r.breakdown = breakdown;
+    r.timeline.reserve(1 + (ch.log.size() - req.logStart));
+    r.timeline.push_back({req.startNs, req.startComponent});
+    for (std::size_t i = req.logStart; i < ch.log.size(); ++i) {
+        const Transition& t = ch.log[i];
+        if (t.atNs >= endNs) break;
+        if (t.component == r.timeline.back().component) continue;
+        r.timeline.push_back(t);
+    }
+    if (victim == retained_.size()) {
+        retained_.push_back(std::move(r));
+    } else {
+        retained_[victim] = std::move(r);
+    }
+}
+
+void SpanTracker::setPacketPhase(std::uint32_t flowId, std::uint64_t uid, PacketPhase phase,
+                                 std::int64_t nowNs) {
+    Channel* ch = channelForFlow(flowId);
+    if (ch == nullptr) return;
+    advance(*ch, nowNs);
+    ch->packets[uid] = phase;  // upsert: tolerate a uid first seen mid-flight
+    refresh(*ch, nowNs);
+}
+
+void SpanTracker::packetGoneSlow(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs) {
+    Channel* ch = channelForFlow(flowId);
+    if (ch == nullptr) return;
+    advance(*ch, nowNs);
+    ch->packets.erase(uid);
+    refresh(*ch, nowNs);
+}
+
+void SpanTracker::tcpEndpointSlow(std::uint32_t flowId, bool passive, bool handshaking,
+                                  bool outstanding, bool cwndBlocked, std::int64_t nowNs) {
+    Channel* ch = channelForFlow(flowId);
+    if (ch == nullptr) return;
+    advance(*ch, nowNs);
+    Endpoint& ep = ch->endpoints[(std::uint64_t{flowId} << 1) | (passive ? 1 : 0)];
+    ch->handshakingCount += int(handshaking) - int(ep.handshaking);
+    ch->outstandingCount += int(outstanding) - int(ep.outstanding);
+    ch->cwndBlockedCount += int(cwndBlocked) - int(ep.cwndBlocked);
+    ep.handshaking = handshaking;
+    ep.outstanding = outstanding;
+    ep.cwndBlocked = cwndBlocked;
+    refresh(*ch, nowNs);
+}
+
+AttributionSummary SpanTracker::summary() const {
+    AttributionSummary s;
+    s.requests = requestsCompleted_;
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        s.components[i].p50Us = perComponent_[i].quantileUs(0.50);
+        s.components[i].p99Us = perComponent_[i].quantileUs(0.99);
+        s.components[i].totalUs = static_cast<double>(totalNs_[i]) / 1000.0;
+    }
+    return s;
+}
+
+std::vector<SpanTracker::RetainedRequest> SpanTracker::slowest() const {
+    std::vector<RetainedRequest> out = retained_;
+    std::sort(out.begin(), out.end(), [](const RetainedRequest& a, const RetainedRequest& b) {
+        const std::int64_t la = a.endNs - a.startNs;
+        const std::int64_t lb = b.endNs - b.startNs;
+        if (la != lb) return la > lb;
+        return a.startNs < b.startNs;  // deterministic tie-break
+    });
+    return out;
+}
+
+}  // namespace ecnsim

@@ -1,0 +1,205 @@
+// Request-scoped latency attribution: decompose each completed request's
+// end-to-end latency, exactly, into the LatencyComponent taxonomy.
+//
+// Model: a *channel* is the unit of attribution — one request/response
+// conversation (a kv client connection, one mixed-tenancy RPC, one incast
+// wave) that may span several TCP flows. At any simulated instant exactly
+// one component is "charged" for the channel's wall-clock time; the
+// tracker keeps a cumulative integer-nanosecond accumulator per component
+// and advances it lazily: every observation closes the interval since the
+// previous observation against the *current* component, applies the state
+// change, then re-resolves which component is current. A request snapshots
+// the accumulators at begin and diffs them at end, so
+//
+//     sum over components == measured end-to-end latency,   exactly,
+//
+// by integer arithmetic alone — no sampling, no estimation. The identity
+// is enforced per request as InvariantClass::AttributionConservation.
+//
+// Component resolution (priority order, evaluated from channel state):
+//   1. a tracked packet exists and an endpoint is cwnd-blocked  -> CwndStall
+//      (the window, not the wire, is the binding constraint)
+//   2. a tracked packet exists -> the *oldest* packet's location
+//      (min uid; uids are allocation-ordered): Queueing / Serialization /
+//      Propagation
+//   3. no packets, a handshake incomplete -> SynRetryWait
+//   4. no packets, an endpoint cwnd-blocked -> CwndStall
+//   5. no packets, bytes outstanding -> RtoWait (retransmission timer or
+//      the peer's delayed-ACK hold)
+//   6. otherwise -> Other (application think time; keeps the sum exact)
+//
+// The tracker is an observer: it never touches the simulator's clock,
+// scheduler or RNG, so enabling it cannot perturb telemetryDigest (CI
+// asserts byte-identity across obs modes). Hot-path hooks early-out on
+// flows the workload never registered — a shuffle-only run pays one
+// branch per event.
+//
+// Forensics: with forensicsK > 0 the tracker additionally keeps the full
+// component timeline for the k slowest completed requests; the flight
+// recorder exports them as per-request Perfetto tracks (see
+// FlightRecorder::writeChromeTrace).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/attribution.hpp"
+#include "src/sim/invariants.hpp"
+#include "src/sim/percentile.hpp"
+
+namespace ecnsim {
+
+class SpanTracker {
+public:
+    /// One component-change edge in a channel's timeline.
+    struct Transition {
+        std::int64_t atNs = 0;
+        LatencyComponent component = LatencyComponent::Other;
+    };
+
+    /// Full causal timeline of one of the k slowest requests.
+    struct RetainedRequest {
+        std::string label;    ///< owning channel's label ("kv.client2", ...)
+        std::uint64_t tag = 0;
+        std::int64_t startNs = 0;
+        std::int64_t endNs = 0;
+        ComponentBreakdownNs breakdown{};
+        /// Piecewise-constant timeline; first entry is at startNs, each
+        /// entry's component holds until the next entry (or endNs).
+        std::vector<Transition> timeline;
+    };
+
+    explicit SpanTracker(std::size_t forensicsK = 0) : forensicsK_(forensicsK) {}
+
+    /// Wire up invariant reporting (optional; owned by the caller).
+    void setInvariantChecker(InvariantChecker* checker) { checker_ = checker; }
+
+    // ------------------------------------------------- channel lifecycle
+    /// Open a channel; `label` names it in forensics output.
+    std::uint32_t openChannel(std::string label, std::int64_t nowNs);
+    /// Route a TCP flow's events to `channelId`. A flow maps to at most
+    /// one channel; rebinding moves it.
+    void bindFlow(std::uint32_t flowId, std::uint32_t channelId, std::int64_t nowNs);
+    /// Close a channel and unbind its flows. Open requests are discarded.
+    void closeChannel(std::uint32_t channelId, std::int64_t nowNs);
+
+    // ------------------------------------------------------- requests
+    /// Requests on a channel complete FIFO (they ride an in-order byte
+    /// stream), so endRequest closes the oldest open request.
+    void beginRequest(std::uint32_t channelId, std::uint64_t tag, std::int64_t nowNs);
+    /// Returns false when no request was open. On success `out` (when
+    /// non-null) receives the per-component breakdown.
+    bool endRequest(std::uint32_t channelId, std::int64_t nowNs,
+                    ComponentBreakdownNs* out = nullptr);
+
+    // ------------------------------------- packet hooks (Port hot path)
+    // All are no-ops for flows no channel registered. Unknown uids on a
+    // registered flow are upserted (a SYN can hit the port before the
+    // workload had a chance to bind the freshly allocated flow id).
+    // The inline wrappers keep the no-channels case (a shuffle-only run
+    // with the tracker enabled) to one load-and-branch per event instead
+    // of a cross-TU call plus a hash probe — these fire several times per
+    // packet, so that difference is the bulk of the attribution obs tax.
+    void onPacketQueued(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs) {
+        if (!flows_.empty()) setPacketPhase(flowId, uid, PacketPhase::Queued, nowNs);
+    }
+    void onPacketTxStart(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs) {
+        if (!flows_.empty()) setPacketPhase(flowId, uid, PacketPhase::Serializing, nowNs);
+    }
+    void onPacketOnWire(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs) {
+        if (!flows_.empty()) setPacketPhase(flowId, uid, PacketPhase::OnWire, nowNs);
+    }
+    /// Delivered to the far host, or dropped anywhere (AQM, fault, purge).
+    void onPacketGone(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs) {
+        if (!flows_.empty()) packetGoneSlow(flowId, uid, nowNs);
+    }
+
+    // -------------------------------------------- TCP endpoint hook
+    /// Published by TcpConnection after any state change that could move
+    /// the channel between wait components. `passive` distinguishes the
+    /// two endpoints of one flow id.
+    void onTcpEndpoint(std::uint32_t flowId, bool passive, bool handshaking,
+                       bool outstanding, bool cwndBlocked, std::int64_t nowNs) {
+        if (!flows_.empty()) {
+            tcpEndpointSlow(flowId, passive, handshaking, outstanding, cwndBlocked, nowNs);
+        }
+    }
+
+    // ------------------------------------------------------- results
+    AttributionSummary summary() const;
+    /// Slowest-k retained requests, worst first.
+    std::vector<RetainedRequest> slowest() const;
+
+    std::uint64_t requestsCompleted() const { return requestsCompleted_; }
+    std::uint64_t conservationFailures() const { return conservationFailures_; }
+    std::size_t forensicsK() const { return forensicsK_; }
+    bool anyChannelOpen() const { return !flows_.empty(); }
+
+private:
+    enum class PacketPhase : std::uint8_t { Queued, Serializing, OnWire };
+
+    struct Endpoint {
+        bool handshaking = false;
+        bool outstanding = false;
+        bool cwndBlocked = false;
+    };
+
+    struct OpenRequest {
+        std::uint64_t tag = 0;
+        std::int64_t startNs = 0;
+        ComponentBreakdownNs snapshot{};
+        std::size_t logStart = 0;
+        LatencyComponent startComponent = LatencyComponent::Other;
+    };
+
+    struct Channel {
+        bool open = false;
+        std::string label;
+        std::int64_t lastNs = 0;
+        LatencyComponent current = LatencyComponent::Other;
+        ComponentBreakdownNs cum{};
+        /// uid -> phase; std::map so begin() is the oldest (min-uid) packet.
+        std::map<std::uint64_t, PacketPhase> packets;
+        /// key = flowId*2 + passive.
+        std::unordered_map<std::uint64_t, Endpoint> endpoints;
+        int handshakingCount = 0;
+        int outstandingCount = 0;
+        int cwndBlockedCount = 0;
+        std::deque<OpenRequest> openRequests;
+        std::vector<std::uint32_t> boundFlows;
+        std::vector<Transition> log;  ///< transitions; kept only for forensics
+    };
+
+    Channel* channelForFlow(std::uint32_t flowId);
+    Channel* channelById(std::uint32_t channelId);
+    static LatencyComponent resolve(const Channel& ch);
+    /// Close the open interval against the current component.
+    static void advance(Channel& ch, std::int64_t nowNs);
+    /// Re-resolve after a state change; logs a transition for forensics.
+    void refresh(Channel& ch, std::int64_t nowNs);
+    void setPacketPhase(std::uint32_t flowId, std::uint64_t uid, PacketPhase phase,
+                        std::int64_t nowNs);
+    void packetGoneSlow(std::uint32_t flowId, std::uint64_t uid, std::int64_t nowNs);
+    void tcpEndpointSlow(std::uint32_t flowId, bool passive, bool handshaking, bool outstanding,
+                         bool cwndBlocked, std::int64_t nowNs);
+    void maybeRetain(const Channel& ch, const OpenRequest& req, std::int64_t endNs,
+                     const ComponentBreakdownNs& breakdown);
+
+    std::size_t forensicsK_ = 0;
+    InvariantChecker* checker_ = nullptr;
+    std::vector<Channel> channels_;
+    std::vector<std::uint32_t> freeChannels_;
+    std::unordered_map<std::uint32_t, std::uint32_t> flows_;
+
+    std::array<PercentileEstimator, kNumLatencyComponents> perComponent_{};
+    std::array<std::int64_t, kNumLatencyComponents> totalNs_{};
+    std::uint64_t requestsCompleted_ = 0;
+    std::uint64_t conservationFailures_ = 0;
+    std::vector<RetainedRequest> retained_;
+};
+
+}  // namespace ecnsim

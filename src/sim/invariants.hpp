@@ -52,8 +52,10 @@ enum class InvariantClass : std::uint8_t {
     TcpStateMachine,     ///< illegal TCP connection state transition
     PoolBalance,         ///< PacketPool live slots leaked across a run
     WorkloadAccounting,  ///< a workload driver's request ledger went wrong
+    AttributionConservation,  ///< a request's latency decomposition failed to
+                              ///< sum to its measured end-to-end latency
 };
-constexpr std::size_t kNumInvariantClasses = 6;
+constexpr std::size_t kNumInvariantClasses = 7;
 
 constexpr std::string_view invariantClassName(InvariantClass c) {
     switch (c) {
@@ -63,6 +65,7 @@ constexpr std::string_view invariantClassName(InvariantClass c) {
         case InvariantClass::TcpStateMachine: return "tcp-state-machine";
         case InvariantClass::PoolBalance: return "pool-balance";
         case InvariantClass::WorkloadAccounting: return "workload-accounting";
+        case InvariantClass::AttributionConservation: return "attribution-conservation";
     }
     return "?";
 }

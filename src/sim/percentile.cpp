@@ -1,4 +1,4 @@
-#include "src/workloads/percentile.hpp"
+#include "src/sim/percentile.hpp"
 
 #include <algorithm>
 #include <bit>

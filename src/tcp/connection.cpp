@@ -79,9 +79,11 @@ void TcpConnection::startConnect() {
     // RFC 3168 §6.1.1: the client advertises ECN with ECE+CWR in the SYN.
     sendControl(Syn | (cfg_.ecnEnabled ? (Ece | Cwr) : 0));
     armSynTimer();
+    publishAttributionState();
 }
 
 void TcpConnection::acceptFromSyn(const Packet& syn) {
+    passive_ = true;
     peerOfferedEcn_ = syn.hasEce() && syn.hasCwr();
     ecnNegotiated_ = cfg_.ecnEnabled && peerOfferedEcn_;
     transitionTo(TcpState::SynRcvd);
@@ -89,6 +91,7 @@ void TcpConnection::acceptFromSyn(const Packet& syn) {
     // The SYN-ACK confirms ECN with ECE only.
     sendControl(Syn | Ack | (ecnNegotiated_ ? Ece : 0));
     armSynTimer();
+    publishAttributionState();
 }
 
 void TcpConnection::becomeEstablished() {
@@ -157,6 +160,7 @@ void TcpConnection::close() {
     closeRequested_ = true;
     if (state_ == TcpState::Established) {
         maybeSendFin();
+        publishAttributionState();
     }
 }
 
@@ -176,6 +180,19 @@ void TcpConnection::trySend() {
         maxSent_ = std::max(maxSent_, sndNxt_);
     }
     maybeSendFin();
+    publishAttributionState();
+}
+
+void TcpConnection::publishAttributionState() {
+    SpanTracker* st = obsSpanTrackerOf(stack_.sim());
+    if (st == nullptr || !st->anyChannelOpen()) return;
+    const bool handshaking = state_ == TcpState::SynSent || state_ == TcpState::SynRcvd;
+    const bool outstanding = sndNxt_ > sndUna_;
+    const double window = std::min(cwnd_, static_cast<double>(cfg_.receiveWindowBytes));
+    const bool cwndBlocked = state_ == TcpState::Established && sndNxt_ < appBytes_ &&
+                             static_cast<double>(flightSize()) >= window;
+    st->onTcpEndpoint(flowId_, passive_, handshaking, outstanding, cwndBlocked,
+                      stack_.sim().now().ns());
 }
 
 void TcpConnection::maybeSendFin() {
@@ -419,7 +436,7 @@ void TcpConnection::onDupAck() {
         trySend();
         return;
     }
-    if (++dupAcks_ == 3) enterFastRecovery();
+    if (++dupAcks_ == 3) enterFastRecovery();  // sendSegment re-tracks packets
 }
 
 void TcpConnection::enterFastRecovery() {
@@ -432,6 +449,7 @@ void TcpConnection::enterFastRecovery() {
     holeRtxPoint_ = sndUna_;
     if (!cfg_.sackEnabled || !retransmitNextHole()) retransmitFirstUnacked();
     armRto();
+    publishAttributionState();
 }
 
 // ------------------------------------------------------------------ SACK
@@ -563,7 +581,7 @@ void TcpConnection::onRtoTimeout() {
     if (finSent_ && !finAcked_) finSent_ = false;  // FIN will be re-emitted
     ++rtoBackoffs_;
     armRto();
-    trySend();
+    trySend();  // also republishes attribution state
 }
 
 // ------------------------------------------------------------ reassembly

@@ -99,6 +99,14 @@ public:
     /// Demuxed inbound segment from the stack.
     void onPacket(PacketPtr pkt);
 
+    /// Push this endpoint's wait-state (handshaking / bytes outstanding /
+    /// cwnd-blocked) to the attribution SpanTracker, if one is active.
+    /// Called internally after every transition that can move a channel
+    /// between wait components; workload engines call it once right after
+    /// binding a freshly connected flow so the tracker starts from the
+    /// true state instead of defaulting to idle.
+    void publishAttributionState();
+
     // Introspection.
     TcpState state() const { return state_; }
     bool ecnNegotiated() const { return ecnNegotiated_; }
@@ -188,6 +196,9 @@ private:
     void noteLossForStarvationGuard();
 
     TcpState state_ = TcpState::Closed;
+    bool passive_ = false;  ///< true for the acceptFromSyn endpoint; the two
+                            ///< endpoints of a flow share one flow id and the
+                            ///< attribution layer tells them apart by role
     bool ecnNegotiated_ = false;
     bool peerOfferedEcn_ = false;
     bool markingStarved_ = false;

@@ -1,6 +1,9 @@
 #include "src/workloads/incast.hpp"
 
 #include <memory>
+#include <string>
+
+#include "src/obs/hub.hpp"
 
 namespace ecnsim {
 
@@ -36,6 +39,16 @@ void IncastEngine::launchWave() {
     repliesIn_ = 0;
     const std::uint64_t gen = ++generation_;
     TcpStack& agg = *rt_.node(0).stack;
+    SpanTracker* st = obsSpanTrackerOf(sim());
+    if (st != nullptr) {
+        // One attribution channel per wave; every connection of the wave
+        // binds to it below, and the single request spans fan-out to last
+        // reply — the same interval log_ records.
+        st->closeChannel(waveChannel_, sim().now().ns());  // defensive: stale wave
+        waveChannel_ = st->openChannel("incast.wave" + std::to_string(wavesDone_),
+                                       sim().now().ns());
+        st->beginRequest(waveChannel_, gen, sim().now().ns());
+    }
     for (int w = 1; w <= spec_.fanIn; ++w) {
         // State per reply stream; the close handshake can deliver the last
         // bytes and the FIN in either order, so completion requires both.
@@ -60,6 +73,10 @@ void IncastEngine::launchWave() {
         };
         TcpConnection& conn =
             agg.connect(rt_.node(w).host->id(), kServicePort, std::move(cb));
+        if (st != nullptr) {
+            st->bindFlow(conn.flowId(), waveChannel_, sim().now().ns());
+            conn.publishAttributionState();
+        }
         conn.send(spec_.requestBytes);
         conn.close();  // nothing more to say: FIN rides behind the request
     }
@@ -74,6 +91,11 @@ void IncastEngine::onReplyComplete(int worker) {
     const auto tag = (static_cast<std::uint64_t>(wavesDone_) << 16) |
                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(worker));
     log_.record(tag, latency);
+    if (SpanTracker* st = obsSpanTrackerOf(sim())) {
+        st->endRequest(waveChannel_, sim().now().ns());
+        st->closeChannel(waveChannel_, sim().now().ns());
+        waveChannel_ = ~std::uint32_t{0};
+    }
 
     if (++wavesDone_ >= spec_.waves) {
         endedAt_ = sim().now();

@@ -50,6 +50,10 @@ private:
     int wavesDone_ = 0;
     int repliesIn_ = 0;
     std::uint64_t generation_ = 0;  ///< stale-callback guard across waves
+    /// Attribution channel for the in-flight wave: all fanIn flows bind to
+    /// it, so the decomposition is over the union of the wave's connections
+    /// (the wave is "waiting in a queue" if *any* of its packets is).
+    std::uint32_t waveChannel_ = ~std::uint32_t{0};
     std::int64_t bytesMoved_ = 0;
     std::function<void()> onComplete_;
 };

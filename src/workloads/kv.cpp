@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/hub.hpp"
+
 namespace ecnsim {
 
 KvServiceEngine::KvServiceEngine(ClusterRuntime& rt, KvSpec spec)
@@ -75,6 +77,15 @@ void KvServiceEngine::setupClient(int clientIdx, int nodeIdx) {
     };
     cl.conn = &rt_.node(nodeIdx).stack->connect(rt_.node(0).host->id(), kLeaderPort,
                                                 std::move(cb));
+    if (SpanTracker* st = obsSpanTrackerOf(sim())) {
+        // One attribution channel per client connection; requests pipeline
+        // over it and snapshot/diff the shared component accumulators. The
+        // flow id only exists after connect(), so the SYN went out unbound —
+        // re-publish the endpoint state now that the tracker can see it.
+        cl.channel = st->openChannel("kv.client" + std::to_string(clientIdx), sim().now().ns());
+        st->bindFlow(cl.conn->flowId(), cl.channel, sim().now().ns());
+        cl.conn->publishAttributionState();
+    }
     const auto total = static_cast<std::uint64_t>(spec_.requestsPerClient);
     auto issueFn = [this, clientIdx](std::uint64_t op) { issue(clientIdx, op); };
     if (spec_.load == LoadMode::Closed) {
@@ -118,10 +129,15 @@ void KvServiceEngine::start() {
     }
 }
 
-void KvServiceEngine::issue(int clientIdx, std::uint64_t) {
+void KvServiceEngine::issue(int clientIdx, std::uint64_t op) {
     Client& cl = clients_[static_cast<std::size_t>(clientIdx)];
     cl.issueTimes.push_back(sim().now());
     ++issuedTotal_;
+    if (SpanTracker* st = obsSpanTrackerOf(sim())) {
+        const auto tag =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) | op;
+        st->beginRequest(cl.channel, tag, sim().now().ns());
+    }
     cl.conn->send(spec_.requestBytes);
 }
 
@@ -170,6 +186,11 @@ void KvServiceEngine::onClientReply(int clientIdx) {
     const auto tag = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) |
                      cl.completedOps;
     log_.record(tag, sim().now() - t0);
+    if (SpanTracker* st = obsSpanTrackerOf(sim())) {
+        // FIFO matches the issueTimes convention above: the decomposition
+        // closed here belongs to the same request the latency was logged for.
+        st->endRequest(cl.channel, sim().now().ns());
+    }
     ++cl.completedOps;
     ++completedTotal_;
     // Application bytes this request moved: request, replication fan-out

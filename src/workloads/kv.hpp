@@ -57,9 +57,13 @@ private:
         std::deque<Time> issueTimes;   ///< FIFO: requests complete in order
         std::int64_t replyBytes = 0;   ///< reply stream high-water remainder
         std::uint64_t completedOps = 0;
+        /// Attribution channel for this client's connection (one channel per
+        /// client: pipelined requests snapshot/diff the shared accumulators).
+        std::uint32_t channel = kNoChannel;
         std::unique_ptr<ClosedLoopGen> closed;
         std::unique_ptr<OpenLoopGen> open;
     };
+    static constexpr std::uint32_t kNoChannel = ~std::uint32_t{0};
 
     void installLeader();
     void installReplica(int nodeIdx);

@@ -1,7 +1,10 @@
 #include "src/workloads/mixed.hpp"
 
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "src/obs/hub.hpp"
 
 namespace ecnsim {
 
@@ -56,14 +59,25 @@ void MixedTenancyEngine::issueRpc(int clientIdx, std::uint64_t op) {
     ++rpcOutstanding_;
     const Time issuedAt = sim().now();
 
+    // Each RPC rides a fresh connection, so it gets a fresh attribution
+    // channel: the decomposition then covers the handshake (SYN-retry wait
+    // included) through the last reply byte, matching log_'s latency span.
+    SpanTracker* st = obsSpanTrackerOf(sim());
+    std::uint32_t channel = ~std::uint32_t{0};
+    if (st != nullptr) {
+        channel = st->openChannel("mixed.rpc.c" + std::to_string(clientIdx),
+                                  sim().now().ns());
+    }
+
     auto got = std::make_shared<std::int64_t>(0);
     auto finSeen = std::make_shared<bool>(false);
     auto counted = std::make_shared<bool>(false);
     const std::int64_t want = spec_.replyBytes;
-    auto maybeDone = [this, clientIdx, op, issuedAt, got, finSeen, counted, want] {
+    auto maybeDone = [this, clientIdx, op, issuedAt, channel, got, finSeen, counted,
+                      want] {
         if (*counted || *got < want || !*finSeen) return;
         *counted = true;
-        onRpcComplete(clientIdx, op, issuedAt);
+        onRpcComplete(clientIdx, op, issuedAt, channel);
     };
     TcpCallbacks cb;
     cb.onReceive = [got, maybeDone](std::int64_t bytes) {
@@ -77,16 +91,31 @@ void MixedTenancyEngine::issueRpc(int clientIdx, std::uint64_t op) {
     TcpConnection& conn = rt_.node(clientNode)
                               .stack->connect(rt_.node(serverNode).host->id(), kRpcPort,
                                               std::move(cb));
+    if (st != nullptr) {
+        // connect() already fired the SYN while the flow was unbound; the
+        // re-publish below lets the tracker pick up the handshake wait from
+        // this instant (same timestamp, so no attribution time is lost).
+        const auto tag =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) | op;
+        st->bindFlow(conn.flowId(), channel, sim().now().ns());
+        conn.publishAttributionState();
+        st->beginRequest(channel, tag, sim().now().ns());
+    }
     conn.send(spec_.requestBytes);
     conn.close();  // FIN rides behind the request; the reply still flows back
 }
 
-void MixedTenancyEngine::onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt) {
+void MixedTenancyEngine::onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt,
+                                       std::uint32_t channel) {
     // The latency includes the connection handshake: an RPC whose SYN was
     // slaughtered at the switch queue pays the full retry backoff here.
     const auto tag =
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(clientIdx)) << 32) | op;
     log_.record(tag, sim().now() - issuedAt);
+    if (SpanTracker* st = obsSpanTrackerOf(sim())) {
+        st->endRequest(channel, sim().now().ns());
+        st->closeChannel(channel, sim().now().ns());
+    }
     ++rpcCompleted_;
     --rpcOutstanding_;
     rpcBytesMoved_ += spec_.requestBytes + spec_.replyBytes;

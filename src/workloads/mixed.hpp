@@ -44,7 +44,8 @@ public:
 private:
     void installRpcServer(int nodeIdx);
     void issueRpc(int clientIdx, std::uint64_t op);
-    void onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt);
+    void onRpcComplete(int clientIdx, std::uint64_t op, Time issuedAt,
+                       std::uint32_t channel);
     void onBackgroundTerminal();
     void maybeFinish();
 

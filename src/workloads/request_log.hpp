@@ -13,7 +13,7 @@
 
 #include "src/net/telemetry.hpp"
 #include "src/sim/time.hpp"
-#include "src/workloads/percentile.hpp"
+#include "src/sim/percentile.hpp"
 
 namespace ecnsim {
 

@@ -1,0 +1,80 @@
+#!/bin/sh
+# Perfetto/Chrome-trace validity check for the observability export path,
+# promoted from CI's obs-smoke inline script so the ctest suite (including
+# the paranoid leg) runs it on every configuration.
+#
+# Runs ecnlab with full obs + slowest-k forensics on the kv workload and
+# asserts the exported trace is JSON that chrome://tracing and Perfetto
+# will load: non-empty traceEvents, balanced B/E spans, instant + counter
+# events present, no silent ring truncation, and the forensics process with
+# per-request tracks, breakdown instants, and attribution-category slices.
+#
+# Usage: perfetto_trace_test.sh /path/to/ecnlab
+set -eu
+
+ECNLAB=${1:?usage: perfetto_trace_test.sh /path/to/ecnlab}
+
+if ! command -v python3 >/dev/null 2>&1; then
+    echo "perfetto_trace_test: SKIP (python3 not available)" >&2
+    exit 77
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/ecnsim-perfetto.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+
+# repeats=1 keeps the export at the requested path (repeats>1 suffixes it);
+# the kv workload exercises request attribution so forensics has content.
+"$ECNLAB" run --nodes 6 --input-mb 2 --repeats 1 \
+    --queue marking --transport dctcp --workload kv \
+    --obs full --forensics-k 4 --obs-strict \
+    --trace-out "$WORK/trace.json" \
+    --metrics-out "$WORK/metrics.json" > "$WORK/stdout.txt"
+
+python3 - "$WORK" <<'EOF'
+import json, sys
+work = sys.argv[1]
+trace = json.load(open(f"{work}/trace.json"))
+events = trace["traceEvents"]
+assert events, "traceEvents is empty"
+phases = {e.get("ph") for e in events}
+assert "i" in phases, "no instant events (queue decisions missing)"
+assert "C" in phases, "no counter events (series/cwnd missing)"
+begins = sum(e.get("ph") == "B" for e in events)
+ends = sum(e.get("ph") == "E" for e in events)
+assert begins == ends, f"unbalanced spans: {begins} B vs {ends} E"
+assert trace["otherData"]["droppedEvents"] == 0, "ring wrapped in smoke run"
+
+# Forensics: the slowest-k process, one named thread per retained request,
+# a breakdown instant whose per-component args sum to the request latency,
+# and complete ("X") timeline slices in the attribution category.
+forensics = [e for e in events if e.get("ph") == "M"
+             and e.get("args", {}).get("name") == "slowest requests"]
+assert forensics, "no 'slowest requests' process metadata"
+pid = forensics[0]["pid"]
+threads = [e for e in events if e.get("ph") == "M" and e.get("pid") == pid
+           and e.get("name") == "thread_name"]
+assert threads, "no forensics request tracks"
+slices = [e for e in events if e.get("ph") == "X" and e.get("pid") == pid]
+assert slices, "no forensics timeline slices"
+assert all(e.get("cat") == "attribution" for e in slices), \
+    "forensics slices not in the attribution category"
+breakdowns = [e for e in events if e.get("name") == "breakdown" and e.get("pid") == pid]
+assert breakdowns, "no breakdown instants"
+for b in breakdowns:
+    total = sum(v for v in b["args"].values() if isinstance(v, (int, float)))
+    label = next(t["args"]["name"] for t in threads if t["tid"] == b["tid"])
+    quoted = float(label.split()[1].rstrip("us"))
+    # The label's latency is rounded to 0.1 us; the args carry full precision.
+    assert abs(total - quoted) < 0.1, \
+        f"breakdown args sum {total} != quoted latency {quoted} ({label})"
+
+metrics = json.load(open(f"{work}/metrics.json"))
+assert metrics["series"], "no sampled series"
+print(f"ok: {len(events)} events, {len(slices)} forensics slices, "
+      f"{len(breakdowns)} breakdowns, {len(metrics['series'])} series")
+EOF
+
+grep -q "attributed requests" "$WORK/stdout.txt" ||
+    { echo "perfetto_trace_test: FAIL: no attribution block in ecnlab output" >&2; exit 1; }
+
+echo "perfetto_trace_test: PASS"

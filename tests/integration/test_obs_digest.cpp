@@ -36,7 +36,7 @@ ExperimentConfig markingConfig() {
 TEST(ObsDigest, ObsModesAreExcludedFromCacheKey) {
     auto cfg = markingConfig();
     const std::string off = cfg.cacheKey();
-    for (const char* mode : {"metrics", "trace", "profile", "full"}) {
+    for (const char* mode : {"metrics", "trace", "profile", "attribution", "full"}) {
         cfg.obs.applyMode(mode);
         EXPECT_EQ(cfg.cacheKey(), off) << "mode " << mode << " leaked into the cache key";
     }
@@ -45,6 +45,7 @@ TEST(ObsDigest, ObsModesAreExcludedFromCacheKey) {
     cfg.obs.traceCapacity = 1024;
     cfg.obs.traceDequeues = true;
     cfg.obs.traceOut = "/tmp/somewhere.json";
+    cfg.obs.forensicsK = 8;
     EXPECT_EQ(cfg.cacheKey(), off);
 }
 
@@ -57,7 +58,7 @@ TEST(ObsDigest, TelemetryDigestIsIdenticalAcrossObsModes) {
     EXPECT_EQ(baseline.metricSamples, 0u);
     EXPECT_TRUE(baseline.obsProfile.empty());
 
-    for (const char* mode : {"metrics", "trace", "full"}) {
+    for (const char* mode : {"metrics", "trace", "attribution", "full"}) {
         cfg.obs.applyMode(mode);
         const auto r = runExperiment(cfg);
         EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << "mode " << mode;
@@ -92,7 +93,7 @@ TEST(ObsDigest, WorkloadDriverDigestsAreIdenticalAcrossObsModes) {
         ASSERT_NE(baseline.telemetryDigest, 0u) << workload;
         ASSERT_GT(baseline.reqCompleted, 0u) << workload;
 
-        for (const char* mode : {"metrics", "trace", "full"}) {
+        for (const char* mode : {"metrics", "trace", "attribution", "full"}) {
             cfg.obs.applyMode(mode);
             const auto r = runExperiment(cfg);
             const std::string name = workload + "/" + mode;
@@ -100,6 +101,15 @@ TEST(ObsDigest, WorkloadDriverDigestsAreIdenticalAcrossObsModes) {
             EXPECT_EQ(r.reqCompleted, baseline.reqCompleted) << name;
             EXPECT_DOUBLE_EQ(r.reqP99Us, baseline.reqP99Us) << name;
         }
+
+        // Slowest-k forensics retention must be just as invisible.
+        cfg.obs = ObsConfig{};
+        cfg.obs.forensicsK = 4;
+        cfg.obs.attribution = true;
+        const auto forensic = runExperiment(cfg);
+        EXPECT_EQ(forensic.telemetryDigest, baseline.telemetryDigest) << workload << "/forensics";
+        EXPECT_EQ(forensic.reqCompleted, baseline.reqCompleted) << workload << "/forensics";
+        cfg.obs = ObsConfig{};
     }
 }
 
@@ -113,7 +123,7 @@ TEST(ObsDigest, EcnPathologyRunsAreIdenticalAcrossObsModes) {
     const auto baseline = runExperiment(cfg);
     ASSERT_GT(baseline.ecnBleached, 0u);
 
-    for (const char* mode : {"metrics", "trace", "full"}) {
+    for (const char* mode : {"metrics", "trace", "attribution", "full"}) {
         cfg.obs.applyMode(mode);
         const auto r = runExperiment(cfg);
         EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << "mode " << mode;
@@ -175,6 +185,70 @@ TEST(ObsDigest, TraceExportWritesLoadableJson) {
     }
     EXPECT_EQ(depth, 0);
     EXPECT_FALSE(inString);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsDigest, AttributionSumsExactlyForEveryRequestUnderAbortInvariants) {
+    // The conservation identity — per-component nanoseconds summing to the
+    // measured latency, exactly — is enforced per request as an invariant;
+    // Abort mode turns the first violation into a test failure. Every
+    // request/response driver must come back green with zero failures.
+    ::unsetenv("ECNSIM_OBS");
+    for (const WorkloadKind wk :
+         {WorkloadKind::Incast, WorkloadKind::KeyValue, WorkloadKind::MixedTenancy}) {
+        auto cfg = markingConfig();
+        cfg.workload.kind = wk;
+        cfg.workload.incast.fanIn = 3;
+        cfg.workload.incast.waves = 4;
+        cfg.workload.incast.replyBytes = 32 * 1024;
+        cfg.workload.kv.clients = 2;
+        cfg.workload.kv.replicas = 1;
+        cfg.workload.kv.requestsPerClient = 8;
+        cfg.workload.kv.valueBytes = 2048;
+        cfg.workload.mixed.rpcClients = 2;
+        cfg.workload.mixed.opsPerSecPerClient = 500.0;
+        cfg.obs.attribution = true;
+        cfg.invariants = InvariantMode::Abort;
+        const auto r = runExperiment(cfg);
+        const std::string workload(workloadKindName(wk));
+        EXPECT_EQ(r.invariantViolations, 0u) << workload;
+        EXPECT_EQ(r.attrConservationFailures, 0u) << workload;
+        ASSERT_GT(r.attribution.requests, 0u) << workload;
+        EXPECT_EQ(r.attribution.requests, r.reqCompleted)
+            << workload << ": every completed request must be attributed";
+        EXPECT_FALSE(r.attribution.empty()) << workload;
+    }
+}
+
+TEST(ObsDigest, ForensicsTimelinesRideAlongInTheChromeTrace) {
+    ::unsetenv("ECNSIM_OBS");
+    const auto dir = std::filesystem::temp_directory_path() / "ecnsim-obs-forensics-test";
+    std::filesystem::create_directories(dir);
+    const auto path = dir / "forensics.json";
+    auto cfg = markingConfig();
+    cfg.workload.kind = WorkloadKind::KeyValue;
+    cfg.workload.kv.clients = 2;
+    cfg.workload.kv.replicas = 1;
+    cfg.workload.kv.requestsPerClient = 8;
+    cfg.workload.kv.valueBytes = 2048;
+    cfg.obs.applyMode("trace");
+    cfg.obs.attribution = true;
+    cfg.obs.forensicsK = 3;
+    cfg.obs.traceOut = path.string();
+    const auto r = runExperiment(cfg);
+    ASSERT_GT(r.attribution.requests, 0u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "trace file not written: " << path;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string json = ss.str();
+    // The slowest-k process with per-request tracks, their breakdown
+    // instants, and "X" timeline slices in the attribution category.
+    EXPECT_NE(json.find("\"slowest requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"slow#1 "), std::string::npos);
+    EXPECT_NE(json.find("\"breakdown\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"attribution\""), std::string::npos);
     std::filesystem::remove_all(dir);
 }
 

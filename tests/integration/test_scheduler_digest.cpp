@@ -125,6 +125,71 @@ TEST(SchedulerDigest, EcnPathologiesStayByteIdenticalAcrossKinds) {
     }
 }
 
+// Attribution and forensics are observers like every other obs sink: with
+// the tracker on (and retaining slowest-k timelines) every backend must
+// still produce the identical digest — and, because the simulation is
+// deterministic, the identical per-component breakdown.
+TEST(SchedulerDigest, AttributionAndForensicsStayByteIdenticalAcrossKinds) {
+    for (const WorkloadKind wk :
+         {WorkloadKind::Incast, WorkloadKind::KeyValue, WorkloadKind::MixedTenancy}) {
+        auto cfg = tinyWorkload(wk);
+        cfg.obs.attribution = true;
+        cfg.obs.forensicsK = 4;
+        cfg.scheduler = SchedulerKind::FlatHeap;
+        const auto baseline = runExperiment(cfg);
+        const std::string workload(workloadKindName(wk));
+        ASSERT_NE(baseline.telemetryDigest, 0u) << workload;
+        ASSERT_GT(baseline.attribution.requests, 0u) << workload;
+        EXPECT_EQ(baseline.attrConservationFailures, 0u) << workload;
+
+        for (const SchedulerKind kind : kAllKinds) {
+            cfg.scheduler = kind;
+            const auto r = runExperiment(cfg);
+            const std::string name = workload + "/" + std::string(schedulerKindName(kind));
+            EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << name;
+            EXPECT_EQ(r.attribution.requests, baseline.attribution.requests) << name;
+            EXPECT_EQ(r.attrConservationFailures, 0u) << name;
+            for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+                EXPECT_DOUBLE_EQ(r.attribution.components[c].p99Us,
+                                 baseline.attribution.components[c].p99Us)
+                    << name << " component "
+                    << latencyComponentName(static_cast<LatencyComponent>(c));
+                EXPECT_DOUBLE_EQ(r.attribution.components[c].totalUs,
+                                 baseline.attribution.components[c].totalUs)
+                    << name << " component "
+                    << latencyComponentName(static_cast<LatencyComponent>(c));
+            }
+        }
+    }
+}
+
+// Same bar under an active middlebox pathology plan: the mangle draws and
+// the attribution state machine must not perturb each other on any backend.
+TEST(SchedulerDigest, AttributionUnderPathologiesStaysByteIdenticalAcrossKinds) {
+    auto cfg = tinyWorkload(WorkloadKind::MixedTenancy);
+    cfg.faultSpec = "bleach@0s:node=0:p=0.5;strip@0s:node=0:for=5ms";
+    cfg.obs.attribution = true;
+    cfg.obs.forensicsK = 4;
+    cfg.scheduler = SchedulerKind::FlatHeap;
+    const auto baseline = runExperiment(cfg);
+    ASSERT_NE(baseline.telemetryDigest, 0u);
+    ASSERT_GT(baseline.ecnBleached + baseline.ecnStripped, 0u)
+        << "pathology did not bite; the determinism check would be vacuous";
+    ASSERT_GT(baseline.attribution.requests, 0u);
+    EXPECT_EQ(baseline.attrConservationFailures, 0u);
+
+    for (const SchedulerKind kind : kAllKinds) {
+        cfg.scheduler = kind;
+        const auto r = runExperiment(cfg);
+        const std::string name = schedulerKindName(kind);
+        EXPECT_EQ(r.telemetryDigest, baseline.telemetryDigest) << name;
+        EXPECT_EQ(r.ecnBleached, baseline.ecnBleached) << name;
+        EXPECT_EQ(r.ecnStripped, baseline.ecnStripped) << name;
+        EXPECT_EQ(r.attribution.requests, baseline.attribution.requests) << name;
+        EXPECT_EQ(r.attrConservationFailures, 0u) << name;
+    }
+}
+
 TEST(SchedulerDigest, WheelAndFlatHeapAgreeOnTimerDiagnostics) {
     auto cfg = tinyShuffle();
     cfg.scheduler = SchedulerKind::TimerWheel;

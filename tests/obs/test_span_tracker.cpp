@@ -1,0 +1,241 @@
+// SpanTracker unit tests: the exact-sum conservation identity, the
+// component-resolution priority order, FIFO request semantics, channel
+// recycling, and slowest-k forensics retention. Times are raw nanosecond
+// ticks — the tracker is an observer and never touches a Simulator.
+#include "src/obs/span_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/obs/attribution.hpp"
+
+namespace ecnsim {
+namespace {
+
+constexpr std::size_t idx(LatencyComponent c) { return static_cast<std::size_t>(c); }
+
+std::int64_t sumOf(const ComponentBreakdownNs& b) {
+    return std::accumulate(b.begin(), b.end(), std::int64_t{0});
+}
+
+TEST(SpanTracker, BreakdownSumsExactlyToElapsed) {
+    SpanTracker st;
+    const auto ch = st.openChannel("kv.client0", 1000);
+    st.bindFlow(7, ch, 1000);
+    st.beginRequest(ch, /*tag=*/1, 1000);
+
+    // Walk one packet through all three wire phases with uneven dwell
+    // times, then let the sender sit outstanding (RTO wait) before the
+    // reply lands.
+    st.onPacketQueued(7, /*uid=*/100, 1000);
+    st.onPacketTxStart(7, 100, 1300);
+    st.onPacketOnWire(7, 100, 1310);
+    st.onPacketGone(7, 100, 1460);
+    st.onTcpEndpoint(7, /*passive=*/false, /*handshaking=*/false, /*outstanding=*/true,
+                     /*cwndBlocked=*/false, 1460);
+    ComponentBreakdownNs b{};
+    ASSERT_TRUE(st.endRequest(ch, 2000, &b));
+
+    EXPECT_EQ(sumOf(b), 1000);  // == elapsed, exactly, by construction
+    EXPECT_EQ(b[idx(LatencyComponent::Queueing)], 300);
+    EXPECT_EQ(b[idx(LatencyComponent::Serialization)], 10);
+    EXPECT_EQ(b[idx(LatencyComponent::Propagation)], 150);
+    EXPECT_EQ(b[idx(LatencyComponent::RtoWait)], 540);
+    EXPECT_EQ(st.conservationFailures(), 0u);
+    EXPECT_EQ(st.requestsCompleted(), 1u);
+}
+
+TEST(SpanTracker, HandshakeTimeIsSynRetryWait) {
+    SpanTracker st;
+    const auto ch = st.openChannel("mixed.rpc", 0);
+    st.bindFlow(3, ch, 0);
+    // SYN lost: the endpoint reports handshaking with no packet in flight.
+    st.onTcpEndpoint(3, false, /*handshaking=*/true, false, false, 0);
+    st.beginRequest(ch, 0, 0);
+    st.onTcpEndpoint(3, false, /*handshaking=*/false, false, false, 900);
+    ComponentBreakdownNs b{};
+    ASSERT_TRUE(st.endRequest(ch, 1000, &b));
+    EXPECT_EQ(b[idx(LatencyComponent::SynRetryWait)], 900);
+    EXPECT_EQ(b[idx(LatencyComponent::Other)], 100);
+    EXPECT_EQ(sumOf(b), 1000);
+}
+
+TEST(SpanTracker, CwndBlockedOutranksPacketPhaseAndRtoWait) {
+    SpanTracker st;
+    const auto ch = st.openChannel("c", 0);
+    st.bindFlow(1, ch, 0);
+    st.beginRequest(ch, 0, 0);
+    // A queued packet normally charges Queueing, but a cwnd-blocked
+    // endpoint means the window, not the queue, is the binding constraint.
+    st.onPacketQueued(1, 10, 0);
+    st.onTcpEndpoint(1, false, false, true, /*cwndBlocked=*/true, 100);
+    st.onTcpEndpoint(1, false, false, true, /*cwndBlocked=*/false, 400);
+    st.onPacketGone(1, 10, 500);
+    ComponentBreakdownNs b{};
+    ASSERT_TRUE(st.endRequest(ch, 500, &b));
+    EXPECT_EQ(b[idx(LatencyComponent::Queueing)], 200);  // 0-100 and 400-500
+    EXPECT_EQ(b[idx(LatencyComponent::CwndStall)], 300);
+    EXPECT_EQ(sumOf(b), 500);
+}
+
+TEST(SpanTracker, OldestPacketDecidesThePhase) {
+    SpanTracker st;
+    const auto ch = st.openChannel("c", 0);
+    st.bindFlow(1, ch, 0);
+    st.beginRequest(ch, 0, 0);
+    st.onPacketQueued(1, /*uid=*/5, 0);
+    st.onPacketOnWire(1, 5, 100);
+    // A younger packet enters the queue; the oldest (uid 5, on wire) still
+    // decides the component.
+    st.onPacketQueued(1, /*uid=*/9, 100);
+    st.onPacketGone(1, 5, 300);  // now uid 9 (queued) is oldest
+    st.onPacketGone(1, 9, 450);
+    ComponentBreakdownNs b{};
+    ASSERT_TRUE(st.endRequest(ch, 450, &b));
+    EXPECT_EQ(b[idx(LatencyComponent::Queueing)], 250);  // 0-100 + 300-450
+    EXPECT_EQ(b[idx(LatencyComponent::Propagation)], 200);
+    EXPECT_EQ(sumOf(b), 450);
+}
+
+TEST(SpanTracker, RequestsCompleteFifoPerChannel) {
+    SpanTracker st;
+    const auto ch = st.openChannel("kv", 0);
+    st.bindFlow(2, ch, 0);
+    st.beginRequest(ch, /*tag=*/11, 0);
+    st.beginRequest(ch, /*tag=*/22, 100);
+    ComponentBreakdownNs first{}, second{};
+    ASSERT_TRUE(st.endRequest(ch, 500, &first));
+    ASSERT_TRUE(st.endRequest(ch, 700, &second));
+    EXPECT_EQ(sumOf(first), 500);   // tag 11: 0 -> 500
+    EXPECT_EQ(sumOf(second), 600);  // tag 22: 100 -> 700
+    EXPECT_FALSE(st.endRequest(ch, 800));  // nothing left open
+    EXPECT_EQ(st.requestsCompleted(), 2u);
+}
+
+TEST(SpanTracker, UnboundFlowsAreIgnored) {
+    SpanTracker st;
+    EXPECT_FALSE(st.anyChannelOpen());
+    // Hooks for flows no channel registered are no-ops, including before
+    // any channel exists (the shuffle-only fast path).
+    st.onPacketQueued(99, 1, 10);
+    st.onTcpEndpoint(99, false, true, false, false, 10);
+    const auto ch = st.openChannel("c", 0);
+    st.bindFlow(1, ch, 0);
+    EXPECT_TRUE(st.anyChannelOpen());
+    st.beginRequest(ch, 0, 0);
+    st.onPacketQueued(99, 2, 50);  // still not bound to anything
+    ComponentBreakdownNs b{};
+    ASSERT_TRUE(st.endRequest(ch, 200, &b));
+    EXPECT_EQ(b[idx(LatencyComponent::Other)], 200);
+    EXPECT_EQ(st.requestsCompleted(), 1u);
+}
+
+TEST(SpanTracker, CloseChannelUnbindsFlowsAndRecyclesTheSlot) {
+    SpanTracker st;
+    const auto a = st.openChannel("a", 0);
+    st.bindFlow(1, a, 0);
+    st.closeChannel(a, 100);
+    EXPECT_FALSE(st.anyChannelOpen());
+    EXPECT_FALSE(st.endRequest(a, 200));  // closed channels reject requests
+
+    const auto b = st.openChannel("b", 300);
+    EXPECT_EQ(b, a);  // the slot was recycled
+    st.bindFlow(1, b, 300);
+    st.beginRequest(b, 0, 300);
+    ComponentBreakdownNs out{};
+    ASSERT_TRUE(st.endRequest(b, 400, &out));
+    EXPECT_EQ(sumOf(out), 100);  // no leakage from the channel's first life
+}
+
+TEST(SpanTracker, RebindMovesAFlowBetweenChannels) {
+    SpanTracker st;
+    const auto a = st.openChannel("a", 0);
+    const auto b = st.openChannel("b", 0);
+    st.bindFlow(1, a, 0);
+    st.bindFlow(1, b, 0);  // rebinding moves, a flow maps to one channel
+    st.beginRequest(b, 0, 0);
+    st.onPacketQueued(1, 1, 0);
+    st.onPacketGone(1, 1, 150);
+    ComponentBreakdownNs out{};
+    ASSERT_TRUE(st.endRequest(b, 150, &out));
+    EXPECT_EQ(out[idx(LatencyComponent::Queueing)], 150);
+    // Channel a never saw the packet.
+    st.beginRequest(a, 0, 200);
+    ASSERT_TRUE(st.endRequest(a, 300, &out));
+    EXPECT_EQ(out[idx(LatencyComponent::Other)], 100);
+}
+
+TEST(SpanTracker, SummaryAggregatesPerComponentPercentiles) {
+    SpanTracker st;
+    const auto ch = st.openChannel("c", 0);
+    st.bindFlow(1, ch, 0);
+    std::int64_t now = 0;
+    for (int i = 0; i < 10; ++i) {
+        st.beginRequest(ch, static_cast<std::uint64_t>(i), now);
+        st.onPacketQueued(1, static_cast<std::uint64_t>(i), now);
+        st.onPacketGone(1, static_cast<std::uint64_t>(i), now + 2000);
+        st.endRequest(ch, now + 2000);
+        now += 10000;
+    }
+    const AttributionSummary s = st.summary();
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.requests, 10u);
+    EXPECT_NEAR(s.components[idx(LatencyComponent::Queueing)].totalUs, 20.0, 1e-9);
+    EXPECT_GT(s.components[idx(LatencyComponent::Queueing)].p50Us, 0.0);
+    EXPECT_EQ(s.dominantP99(), LatencyComponent::Queueing);
+    EXPECT_NE(formatAttributionLine(s).find("dominant=queueing"), std::string::npos);
+}
+
+TEST(SpanTracker, ForensicsRetainsTheSlowestKWithTimelines) {
+    SpanTracker st(/*forensicsK=*/2);
+    const auto ch = st.openChannel("c", 0);
+    st.bindFlow(1, ch, 0);
+    // Three requests with latencies 1000, 3000, 2000: k=2 keeps the 3000
+    // and 2000 ones, worst first.
+    std::int64_t now = 0;
+    for (const std::int64_t lat : {1000, 3000, 2000}) {
+        st.beginRequest(ch, static_cast<std::uint64_t>(lat), now);
+        st.onPacketQueued(1, static_cast<std::uint64_t>(now), now);
+        st.onPacketGone(1, static_cast<std::uint64_t>(now), now + lat / 2);
+        st.endRequest(ch, now + lat);
+        now += 10000;
+    }
+    const auto slow = st.slowest();
+    ASSERT_EQ(slow.size(), 2u);
+    EXPECT_EQ(slow[0].endNs - slow[0].startNs, 3000);
+    EXPECT_EQ(slow[1].endNs - slow[1].startNs, 2000);
+    EXPECT_EQ(slow[0].tag, 3000u);
+    EXPECT_EQ(slow[0].label, "c");
+    EXPECT_EQ(sumOf(slow[0].breakdown), 3000);
+    // Timeline: starts at the request start, then queueing, then the
+    // post-delivery wait — piecewise constant and in order.
+    ASSERT_GE(slow[0].timeline.size(), 2u);
+    EXPECT_EQ(slow[0].timeline.front().atNs, slow[0].startNs);
+    for (std::size_t i = 1; i < slow[0].timeline.size(); ++i) {
+        EXPECT_GE(slow[0].timeline[i].atNs, slow[0].timeline[i - 1].atNs);
+        EXPECT_NE(slow[0].timeline[i].component, slow[0].timeline[i - 1].component);
+    }
+}
+
+TEST(SpanTracker, ForensicsDisabledRetainsNothing) {
+    SpanTracker st;  // forensicsK == 0
+    const auto ch = st.openChannel("c", 0);
+    st.beginRequest(ch, 0, 0);
+    st.endRequest(ch, 1000);
+    EXPECT_TRUE(st.slowest().empty());
+}
+
+TEST(Attribution, ComponentNamesRoundTrip) {
+    for (std::size_t i = 0; i < kNumLatencyComponents; ++i) {
+        const auto c = static_cast<LatencyComponent>(i);
+        LatencyComponent back{};
+        ASSERT_TRUE(latencyComponentFromName(latencyComponentName(c), back));
+        EXPECT_EQ(back, c);
+    }
+    LatencyComponent out{};
+    EXPECT_FALSE(latencyComponentFromName("notAComponent", out));
+}
+
+}  // namespace
+}  // namespace ecnsim

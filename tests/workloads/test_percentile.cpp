@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "src/sim/random.hpp"
-#include "src/workloads/percentile.hpp"
+#include "src/sim/percentile.hpp"
 
 namespace ecnsim {
 namespace {

@@ -28,6 +28,7 @@
 // the run — and the wall-clock delta lands in BENCH_*.json as
 // obsOverheadPct (docs/observability.md tracks the <=10% guideline).
 // --obs MODE additionally turns sinks on for the baseline legs themselves.
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -60,6 +61,11 @@ struct Scenario {
     /// computed from the serial-leg results. Must return zero or more
     /// complete `  "key": value,\n` lines.
     std::function<std::string(const std::vector<ExperimentResult>&)> extraJson;
+    /// Like extraJson but fed the obs-full leg's results — the only leg
+    /// whose ExperimentResults carry a latency-attribution summary ("full"
+    /// includes the attribution sink), so per-component columns come free
+    /// with the overhead measurement.
+    std::function<std::string(const std::vector<ExperimentResult>&)> attrJson;
 };
 
 constexpr int kSeeds = 4;  ///< batch size: gives threads=N real fan-out
@@ -189,6 +195,93 @@ std::string mixedGapJson(const std::vector<ExperimentResult>& rs) {
     return os.str();
 }
 
+/// Mean per-component attribution p99 over the results that carry a
+/// summary (the obs-full leg runs with the attribution sink on).
+std::array<double, kNumLatencyComponents> attrP99Mean(
+    const std::vector<ExperimentResult>& rs) {
+    std::array<double, kNumLatencyComponents> p99{};
+    int n = 0;
+    for (const auto& r : rs) {
+        if (r.attribution.empty()) continue;
+        ++n;
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            p99[c] += r.attribution.components[c].p99Us;
+        }
+    }
+    if (n > 0) {
+        for (auto& v : p99) v /= n;
+    }
+    return p99;
+}
+
+std::string attrObject(const std::array<double, kNumLatencyComponents>& p99) {
+    std::ostringstream os;
+    os.precision(9);
+    os << '{';
+    for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+        if (c > 0) os << ", ";
+        os << '"' << latencyComponentName(static_cast<LatencyComponent>(c)) << "\": " << p99[c];
+    }
+    os << '}';
+    return os.str();
+}
+
+/// Attribution columns for the single-leg workload scenarios: averaged
+/// per-component p99 and which component dominates the tail.
+std::string attributionJson(const std::vector<ExperimentResult>& rs) {
+    const auto p99 = attrP99Mean(rs);
+    std::size_t dom = 0;
+    for (std::size_t c = 1; c < kNumLatencyComponents; ++c) {
+        if (p99[c] > p99[dom]) dom = c;
+    }
+    std::ostringstream os;
+    os.precision(9);
+    os << "  \"attrP99Us\": " << attrObject(p99) << ",\n"
+       << "  \"attrDominantP99\": \""
+       << latencyComponentName(static_cast<LatencyComponent>(dom)) << "\",\n";
+    return os.str();
+}
+
+/// Mixed tenancy's attribution columns answer the follow-up question to the
+/// RPC p99 gap: *which* latency component does ACK+SYN protection remove
+/// from the tail? Per-component p99 for each protection leg plus the
+/// component with the largest default-minus-protected drop.
+std::string mixedAttrJson(const std::vector<ExperimentResult>& rs) {
+    std::array<double, kNumLatencyComponents> def{}, prot{};
+    int nDef = 0, nProt = 0;
+    for (const auto& r : rs) {
+        if (r.attribution.empty()) continue;
+        const bool isProt = r.name.find("/acksyn/") != std::string::npos;
+        auto& acc = isProt ? prot : def;
+        (isProt ? nProt : nDef) += 1;
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            acc[c] += r.attribution.components[c].p99Us;
+        }
+    }
+    if (nDef > 0) {
+        for (auto& v : def) v /= nDef;
+    }
+    if (nProt > 0) {
+        for (auto& v : prot) v /= nProt;
+    }
+    std::size_t gap = 0;
+    for (std::size_t c = 1; c < kNumLatencyComponents; ++c) {
+        if (def[c] - prot[c] > def[gap] - prot[gap]) gap = c;
+    }
+    const std::string_view gapName = latencyComponentName(static_cast<LatencyComponent>(gap));
+    std::ostringstream os;
+    os.precision(9);
+    os << "  \"attrP99DefaultUs\": " << attrObject(def) << ",\n"
+       << "  \"attrP99ProtAckSynUs\": " << attrObject(prot) << ",\n"
+       << "  \"attrGapComponent\": \"" << gapName << "\",\n"
+       << "  \"attrGapP99Us\": " << (def[gap] - prot[gap]) << ",\n";
+    std::fprintf(stderr,
+                 "[bench] mixed attribution: protection removes %.*s from the tail "
+                 "(p99 %.0f us -> %.0f us)\n",
+                 static_cast<int>(gapName.size()), gapName.data(), def[gap], prot[gap]);
+    return os.str();
+}
+
 /// Partition-aggregate incast: every other host answers one aggregator per
 /// wave through the shared RED+ECN bottleneck — fresh connections per wave,
 /// so SYNs cross the hot queue exactly like the paper's Fig. 1 setup.
@@ -208,6 +301,7 @@ Scenario incastPartitionAggregate(bool quick) {
     Scenario sc{"incast", "partition-aggregate incast through a shared RED+ECN bottleneck",
                 seeded(cfg), nullptr};
     sc.extraJson = requestStatsJson;
+    sc.attrJson = attributionJson;
     return sc;
 }
 
@@ -229,6 +323,7 @@ Scenario kvReplicated(bool quick) {
     Scenario sc{"kv", "replicated key-value service, closed-loop clients, DCTCP marking",
                 seeded(cfg), nullptr};
     sc.extraJson = requestStatsJson;
+    sc.attrJson = attributionJson;
     return sc;
 }
 
@@ -261,6 +356,7 @@ Scenario mixedTenancy(bool quick) {
     Scenario sc{"mixed", "background shuffle + latency-sensitive RPCs, protection off vs on",
                 std::move(configs), nullptr};
     sc.extraJson = mixedGapJson;
+    sc.attrJson = mixedAttrJson;
     return sc;
 }
 
@@ -518,6 +614,7 @@ BenchOutcome runScenario(const Scenario& sc, int threads, bool quick, const std:
        << "  \"eventsPerSec\": " << static_cast<double>(events) / wallSerial << ",\n"
        << "  \"packetsPerSec\": " << static_cast<double>(packets) / wallSerial << ",\n";
     if (sc.extraJson) os << sc.extraJson(serial);
+    if (sc.attrJson) os << sc.attrJson(obsFull);
     os << "  \"ecnBleached\": " << ecnBleached << ",\n"
        << "  \"ecnRemarked\": " << ecnRemarked << ",\n"
        << "  \"ecnStripped\": " << ecnStripped << ",\n"

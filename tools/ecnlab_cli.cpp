@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -40,6 +41,9 @@ constexpr int kExitRuntimeError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitBadValue = 3;
 constexpr int kExitInvariantViolation = 4;
+/// --obs-strict: the flight recorder wrapped, so the exported trace is a
+/// suffix of the run rather than the whole story.
+constexpr int kExitObsIncomplete = 5;
 
 /// A usage mistake: unknown command/flag, missing value. Exits 2.
 struct UsageError {
@@ -86,10 +90,15 @@ const std::vector<FlagSpec> kRunFlags = {
     {"rpc-clients", true, "mixed: latency-sensitive RPC clients (default 4)"},
     {"invariants", true, "off | record | abort — runtime invariant checking"},
     {"scheduler", true, "wheel | flatheap | binaryheap | calendar (default wheel)"},
-    {"obs", true, "off | metrics | trace | profile | full — observability sinks"},
+    {"obs", true,
+     "off | metrics | trace | profile | attribution | full — observability sinks"},
     {"trace-out", true, "Chrome trace_event JSON output path (implies --obs trace)"},
     {"metrics-out", true, "metrics JSON output path (implies --obs metrics)"},
     {"sample-us", true, "observability sampling period, microseconds (default 1000)"},
+    {"forensics-k", true,
+     "retain causal timelines for the k slowest requests (implies --obs attribution; "
+     "exported as Perfetto tracks via --trace-out)"},
+    {"obs-strict", false, "exit 5 if the flight recorder dropped trace records"},
     {"csv", false, "CSV output"},
     {"json", false, "JSON output"},
 };
@@ -275,6 +284,19 @@ void applyWorkloadFlags(const Args& a, ExperimentConfig& cfg) {
     }
 }
 
+/// Fail fast on an unwritable export path: a typo'd directory must surface
+/// at parse time (exit 3, the malformed-value contract), not after a
+/// minutes-long run has already burned its results. Append mode probes
+/// writability without clobbering an existing file; the run itself
+/// truncates-and-writes later.
+void probeWritable(const char* flag, const std::string& path) {
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        throw SpecError(std::string("--") + flag, path,
+                        "a writable file path (check the directory exists)");
+    }
+}
+
 /// Apply the observability flags on top of the ECNSIM_OBS-derived default.
 /// --trace-out / --metrics-out imply the corresponding sink so
 /// `ecnlab run --trace-out t.json` alone produces a trace.
@@ -282,14 +304,23 @@ void applyObsFlags(const Args& a, ObsConfig& obs) {
     if (a.has("obs")) obs.applyMode(a.get("obs", "off"));  // SpecError -> exit 3
     if (a.has("trace-out")) {
         obs.traceOut = a.get("trace-out", "");
+        probeWritable("trace-out", obs.traceOut);
         obs.trace = true;
     }
     if (a.has("metrics-out")) {
         obs.metricsOut = a.get("metrics-out", "");
+        probeWritable("metrics-out", obs.metricsOut);
         obs.metrics = true;
     }
     if (a.has("sample-us")) {
         obs.sampleInterval = Time::microseconds(a.getInt("sample-us", 1000, 1, 60'000'000));
+    }
+    if (a.has("forensics-k")) {
+        obs.forensicsK =
+            static_cast<std::size_t>(a.getInt("forensics-k", 0, 0, 1'000'000));
+        // Forensics needs the span tracker; the aggregate breakdown rides
+        // along for free, so the flag implies the attribution sink.
+        if (obs.forensicsK > 0) obs.attribution = true;
     }
 }
 
@@ -358,6 +389,23 @@ void printResult(const ExperimentResult& r, bool csv, bool json) {
                                             : "")});
     }
     if (r.metricSamples > 0) t.addRow({"metric samples", std::to_string(r.metricSamples)});
+    if (!r.attribution.empty()) {
+        t.addRow({"attributed requests", std::to_string(r.attribution.requests)});
+        for (std::size_t c = 0; c < kNumLatencyComponents; ++c) {
+            const auto& s = r.attribution.components[c];
+            if (s.totalUs <= 0.0 && s.p99Us <= 0.0) continue;
+            t.addRow({"  " + std::string(latencyComponentName(
+                                 static_cast<LatencyComponent>(c))) +
+                          " p50/p99",
+                      TextTable::num(s.p50Us, 1) + " / " + TextTable::num(s.p99Us, 1) +
+                          " us"});
+        }
+        t.addRow({"tail dominated by",
+                  std::string(latencyComponentName(r.attribution.dominantP99()))});
+    }
+    if (r.attrConservationFailures > 0) {
+        t.addRow({"ATTRIBUTION SUM != LATENCY", std::to_string(r.attrConservationFailures)});
+    }
     if (!r.obsProfile.empty()) {
         t.addRow({"sim wall / rate", TextTable::num(r.obsProfile.wallSec, 3) + " s / " +
                                          TextTable::num(r.obsProfile.eventsPerSec / 1e6, 2) +
@@ -445,6 +493,13 @@ int cmdRun(const Args& a) {
                      static_cast<unsigned long long>(r.invariantViolations));
         return kExitInvariantViolation;
     }
+    if (a.has("obs-strict") && r.traceDroppedEvents > 0) {
+        std::fprintf(stderr,
+                     "ecnlab: --obs-strict: %llu trace record(s) dropped — the exported "
+                     "trace is a suffix of the run (raise obs.traceCapacity)\n",
+                     static_cast<unsigned long long>(r.traceDroppedEvents));
+        return kExitObsIncomplete;
+    }
     return kExitOk;
 }
 
@@ -492,7 +547,7 @@ int cmdList() {
     std::printf("workloads  : mapreduce incast kv mixed (see docs/workloads.md)\n");
     std::printf("invariants : off record abort (also: ECNSIM_INVARIANTS)\n");
     std::printf("schedulers : wheel flatheap binaryheap calendar\n");
-    std::printf("obs        : off metrics trace profile full (also: ECNSIM_OBS)\n");
+    std::printf("obs        : off metrics trace profile attribution full (also: ECNSIM_OBS)\n");
     std::printf("log levels : trace debug info warn error off (ECNSIM_LOG)\n");
     std::printf("env        : ECNSIM_NODES ECNSIM_INPUT_MB ECNSIM_REPEATS ECNSIM_SEED "
                 "ECNSIM_GBPS ECNSIM_CACHE_DIR ECNSIM_INVARIANTS ECNSIM_OBS ECNSIM_LOG "
@@ -518,8 +573,9 @@ int cmdHelp() {
         "  0  success\n"
         "  1  runtime error (simulation failed)\n"
         "  2  usage error (unknown command or flag, missing value)\n"
-        "  3  invalid value (number out of range, malformed spec)\n"
-        "  4  invariant violations recorded (with --invariants record)\n");
+        "  3  invalid value (number out of range, malformed spec, unwritable export path)\n"
+        "  4  invariant violations recorded (with --invariants record)\n"
+        "  5  trace incomplete under --obs-strict (flight recorder dropped records)\n");
     return kExitOk;
 }
 

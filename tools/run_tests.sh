@@ -78,7 +78,7 @@ run_leg() {
         echo "==> [plain] obs smoke (full observability + trace/metrics export)"
         ( cd "$dir" &&
             ./tools/ecnlab run --nodes 6 --input-mb 2 --repeats 1 \
-                --queue marking --transport dctcp --obs full \
+                --queue marking --transport dctcp --obs full --obs-strict \
                 --trace-out obs_smoke_trace.json --metrics-out obs_smoke_metrics.json &&
             if command -v python3 >/dev/null; then
                 python3 - <<'EOF'
