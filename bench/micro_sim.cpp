@@ -76,6 +76,41 @@ void BM_EventLoopRollingHorizon(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopRollingHorizon)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// Dispatch-layer A/B: the same rolling-horizon load with `perTick` events
+// sharing each timestamp, run through the batched drainDue dispatch
+// (range(2) == 1) or the legacy one-event-at-a-time loop (range(2) == 0).
+// The ratio between the two legs is the batching win in isolation, free of
+// the full-stack noise bench_runner's scenarios carry.
+void BM_BatchDrainDispatch(benchmark::State& state) {
+    const auto kind = kindArg(state.range(0));
+    const int perTick = static_cast<int>(state.range(1));
+    const bool batched = state.range(2) != 0;
+    const bool saved = batchDispatchEnabled();
+    setBatchDispatchEnabled(batched);
+    constexpr int kEvents = 100'000;
+    for (auto _ : state) {
+        Simulator sim(1, kind);
+        int fired = 0;
+        for (int i = 0; i < kEvents; ++i) {
+            // i/perTick collapses runs of `perTick` consecutive events onto
+            // one tick, so every drain hands the sink a same-size batch.
+            sim.schedule(Time::nanoseconds(i / perTick), [&fired] { ++fired; });
+        }
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    setBatchDispatchEnabled(saved);
+    state.SetItemsProcessed(state.iterations() * kEvents);
+    state.SetLabel(std::string(kindLabel(kind)) + (batched ? "/batched" : "/single"));
+}
+BENCHMARK(BM_BatchDrainDispatch)
+    ->Args({3, 1, 0})
+    ->Args({3, 1, 1})
+    ->Args({3, 8, 0})
+    ->Args({3, 8, 1})
+    ->Args({2, 8, 0})
+    ->Args({2, 8, 1});
+
 void BM_EventScheduleCancel(benchmark::State& state) {
     const auto kind = kindArg(state.range(0));
     Simulator sim(1, kind);
@@ -148,6 +183,31 @@ void BM_RedDecision(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RedDecision);
+
+// RED below-min-th steady state — the uncongested common case — with the
+// single-compare fast path on (range(0) == 1) vs forced through the exact
+// slow path (range(0) == 0). Both produce identical outcomes; the ratio is
+// what the early-out buys per enqueue.
+void BM_RedFastPath(benchmark::State& state) {
+    const bool fast = state.range(0) != 0;
+    Rng rng(1);
+    RedConfig cfg;
+    cfg.capacityPackets = 1024;
+    cfg.minTh = 20;
+    cfg.maxTh = 60;
+    RedQueue q(cfg, rng);
+    if (!fast) q.testOnlyDisableFastPath();
+    Time now;
+    for (int i = 0; i < 8; ++i) q.enqueue(makeData(), now);  // idle off, below minTh
+    for (auto _ : state) {
+        q.enqueue(makeData(), now);
+        benchmark::DoNotOptimize(q.dequeue(now));
+        now += 1_us;
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(fast ? "fast-path" : "slow-path");
+}
+BENCHMARK(BM_RedFastPath)->Arg(0)->Arg(1);
 
 void BM_SimpleMarkingDecision(benchmark::State& state) {
     SimpleMarkingQueue q({.capacityPackets = 1024, .markThresholdPackets = 20});

@@ -37,6 +37,7 @@ public:
     std::vector<const Packet*> contents() const override;
     const QueueStats& stats() const override { return stats_; }
     std::string name() const override { return "CtrlPrio+" + data_->name(); }
+    std::uint64_t fastPathHits() const override { return data_->fastPathHits(); }
 
     std::size_t controlBacklog() const { return control_.size(); }
     const Queue& dataQueue() const { return *data_; }

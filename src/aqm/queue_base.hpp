@@ -1,30 +1,52 @@
 // Shared FIFO storage and accounting for all queue disciplines.
 #pragma once
 
-#include <deque>
-
 #include "src/net/queue.hpp"
 
 namespace ecnsim {
 
+/// AQM-visible metadata of one queued packet, mirrored into a parallel
+/// struct-of-arrays ring alongside the packet handles. RED/CoDel/PIE and
+/// the protection policies only ever consult these four fields while a
+/// packet is queued; keeping them contiguous means the drop/mark decision
+/// path and the occupancy accounting never touch the (pool-scattered)
+/// Packet cachelines. Captured at accept() time — after CE marking and the
+/// enqueuedAt stamp — and immutable until the packet leaves the queue
+/// (disciplines only mutate packets they have already popped), which
+/// checkConsistent() cross-checks under paranoid runs.
+struct PacketMeta {
+    std::int64_t enqueuedAtNs;
+    std::int32_t sizeBytes;
+    EcnCodepoint ecn;
+    PacketClass klass;
+};
+
 /// Common machinery: bounded FIFO, per-class stats, occupancy tracking.
 /// Subclasses implement enqueue() using the protected helpers and may hook
 /// dequeue for AQMs that act at the head (CoDel).
+///
+/// Storage is a power-of-two ring of packet handles plus the PacketMeta
+/// mirror, grown by doubling from a small initial size — queues start
+/// cheap (large topologies build hundreds of thousands of them) and only
+/// the ones that actually fill pay for their depth.
 class QueueBase : public Queue {
 public:
     QueueBase(std::size_t capacityPackets, std::int64_t capacityBytes = 0)
-        : capacityPackets_(capacityPackets), capacityBytes_(capacityBytes) {}
+        : ring_(kInitialRing),
+          meta_(kInitialRing),
+          capacityPackets_(capacityPackets),
+          capacityBytes_(capacityBytes) {}
 
     PacketPtr dequeue(Time now) override { return popHead(now); }
 
-    std::size_t lengthPackets() const override { return fifo_.size(); }
+    std::size_t lengthPackets() const override { return count_; }
     std::int64_t lengthBytes() const override { return bytes_; }
     std::size_t capacityPackets() const override { return capacityPackets_; }
 
     std::vector<const Packet*> contents() const override {
         std::vector<const Packet*> out;
-        out.reserve(fifo_.size());
-        for (const auto& p : fifo_) out.push_back(p.get());
+        out.reserve(count_);
+        for (std::size_t i = 0; i < count_; ++i) out.push_back(at(i).get());
         return out;
     }
 
@@ -32,22 +54,32 @@ public:
 
     bool checkConsistent(std::string& why) const override {
         std::int64_t sum = 0;
-        for (const auto& p : fifo_) sum += p->sizeBytes;
+        for (std::size_t i = 0; i < count_; ++i) {
+            const Packet& p = *at(i);
+            const PacketMeta& m = metaAt(i);
+            if (m.sizeBytes != p.sizeBytes || m.ecn != p.ecn ||
+                m.klass != p.klass() || m.enqueuedAtNs != p.enqueuedAt.ns()) {
+                why = name() + ": SoA metadata mirror out of sync at depth " +
+                      std::to_string(i) + " for " + p.describe();
+                return false;
+            }
+            sum += m.sizeBytes;
+        }
         if (sum != bytes_) {
             why = name() + ": byte counter " + std::to_string(bytes_) +
                   " != sum of queued packet sizes " + std::to_string(sum);
             return false;
         }
-        if (fifo_.size() > capacityPackets_) {
-            why = name() + ": occupancy " + std::to_string(fifo_.size()) +
+        if (count_ > capacityPackets_) {
+            why = name() + ": occupancy " + std::to_string(count_) +
                   " exceeds capacity " + std::to_string(capacityPackets_);
             return false;
         }
         const auto t = stats_.total();
-        if (t.enqueued != dequeuedTotal_ + fifo_.size()) {
+        if (t.enqueued != dequeuedTotal_ + count_) {
             why = name() + ": enqueued " + std::to_string(t.enqueued) +
                   " != dequeued " + std::to_string(dequeuedTotal_) + " + occupancy " +
-                  std::to_string(fifo_.size());
+                  std::to_string(count_);
             return false;
         }
         return true;
@@ -56,7 +88,7 @@ public:
 protected:
     /// True when admitting `pkt` would exceed the physical buffer.
     bool wouldOverflow(const Packet& pkt) const {
-        if (fifo_.size() >= capacityPackets_) return true;
+        if (count_ >= capacityPackets_) return true;
         return capacityBytes_ > 0 && bytes_ + pkt.sizeBytes > capacityBytes_;
     }
 
@@ -68,7 +100,13 @@ protected:
         stats_.record(pkt->klass(), pkt->sizeBytes, outcome);
         if (observer() != nullptr) observer()->onEnqueue(*this, *pkt, outcome, now);
         bytes_ += pkt->sizeBytes;
-        fifo_.push_back(std::move(pkt));
+        if (count_ == ring_.size()) grow();
+        const std::size_t i = (head_ + count_) & (ring_.size() - 1);
+        // Snapshot the meta mirror after the CE mark and enqueuedAt stamp so
+        // it reflects what the queue holds, not what the sender handed in.
+        meta_[i] = PacketMeta{now.ns(), pkt->sizeBytes, pkt->ecn, pkt->klass()};
+        ring_[i] = std::move(pkt);
+        ++count_;
         touchOccupancy(now);
     }
 
@@ -80,11 +118,12 @@ protected:
     }
 
     PacketPtr popHead(Time now) {
-        if (fifo_.empty()) return nullptr;
-        PacketPtr p = std::move(fifo_.front());
-        fifo_.pop_front();
+        if (count_ == 0) return nullptr;
+        PacketPtr p = std::move(ring_[head_]);
+        bytes_ -= meta_[head_].sizeBytes;
+        head_ = (head_ + 1) & (ring_.size() - 1);
+        --count_;
         ++dequeuedTotal_;
-        bytes_ -= p->sizeBytes;
         if (observer() != nullptr) observer()->onDequeue(*this, *p, now);
         touchOccupancy(now);
         return p;
@@ -93,23 +132,52 @@ protected:
     /// Drop the head packet in place (CoDel-style) and account it as an
     /// early drop.
     void dropHead(Time now) {
-        if (fifo_.empty()) return;
+        if (count_ == 0) return;
         PacketPtr p = popHead(now);
         stats_.record(p->klass(), p->sizeBytes, EnqueueOutcome::DroppedEarly);
     }
 
-    const std::deque<PacketPtr>& fifo() const { return fifo_; }
+    /// AQM-visible metadata of the head packet; call only when non-empty.
+    const PacketMeta& headMeta() const { return meta_[head_]; }
+
+    /// Metadata of the i-th queued packet (0 = head, i < lengthPackets()).
+    const PacketMeta& metaAt(std::size_t i) const {
+        return meta_[(head_ + i) & (ring_.size() - 1)];
+    }
 
     /// For disciplines that drop after popHead (CoDel-style head drops).
     QueueStats& mutableStats() { return stats_; }
 
 private:
+    static constexpr std::size_t kInitialRing = 8;
+
+    const PacketPtr& at(std::size_t i) const {
+        return ring_[(head_ + i) & (ring_.size() - 1)];
+    }
+
+    void grow() {
+        const std::size_t oldCap = ring_.size();
+        std::vector<PacketPtr> nr(oldCap * 2);
+        std::vector<PacketMeta> nm(oldCap * 2);
+        for (std::size_t i = 0; i < count_; ++i) {
+            const std::size_t j = (head_ + i) & (oldCap - 1);
+            nr[i] = std::move(ring_[j]);
+            nm[i] = meta_[j];
+        }
+        ring_ = std::move(nr);
+        meta_ = std::move(nm);
+        head_ = 0;
+    }
+
     void touchOccupancy(Time now) {
-        stats_.occupancyPackets.update(now, static_cast<double>(fifo_.size()));
+        stats_.occupancyPackets.update(now, static_cast<double>(count_));
         stats_.occupancyBytes.update(now, static_cast<double>(bytes_));
     }
 
-    std::deque<PacketPtr> fifo_;
+    std::vector<PacketPtr> ring_;   ///< power-of-two ring of queued handles
+    std::vector<PacketMeta> meta_;  ///< parallel SoA mirror (same indices)
+    std::size_t head_ = 0;          ///< ring index of the queue head
+    std::size_t count_ = 0;         ///< queued packets
     std::int64_t bytes_ = 0;
     std::uint64_t dequeuedTotal_ = 0;
     std::size_t capacityPackets_;

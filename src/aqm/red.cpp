@@ -9,6 +9,8 @@ RedQueue::RedQueue(const RedConfig& cfg, Rng& rng) : QueueBase(cfg.capacityPacke
     if (cfg.minTh > cfg.maxTh) throw std::invalid_argument("RED: minTh > maxTh");
     if (cfg.wq <= 0.0 || cfg.wq > 1.0) throw std::invalid_argument("RED: wq out of (0,1]");
     if (cfg.maxP <= 0.0 || cfg.maxP > 1.0) throw std::invalid_argument("RED: maxP out of (0,1]");
+    fastMinTh_ = cfg.minTh;
+    fastPathEnabled_ = redFastPathEnabledByDefault();
 }
 
 void RedQueue::updateAverage(const Packet&, Time now) {
@@ -55,6 +57,27 @@ bool RedQueue::earlyActionNeeded(const Packet& pkt) {
 }
 
 EnqueueOutcome RedQueue::enqueue(PacketPtr pkt, Time now) {
+    // Branch-light fast path: with the queue busy (no idle decay pending)
+    // and the updated average below min-th, RED's whole decision ladder
+    // collapses to "admit unless overflowing" — no RNG draw, no protection
+    // lookup, no out-of-line call. The candidate average is the exact
+    // expression the slow path computes, committed only when the early-out
+    // and overflow checks both pass, so a fall-through replays the slow
+    // path from unchanged state and the two paths stay bit-identical
+    // (pinned by the fast-vs-slow property test).
+    if (fastPathEnabled_ && !idle_) {
+        const double q = cfg_.byteMode ? static_cast<double>(lengthBytes())
+                                       : static_cast<double>(lengthPackets());
+        const double next = avg_ + cfg_.wq * (q - avg_);
+        if (next < fastMinTh_ && !wouldOverflow(*pkt)) {
+            avg_ = next;
+            count_ = -1;  // same reset the slow path's below-min-th arm does
+            ++fastPathHits_;
+            accept(std::move(pkt), now, /*marked=*/false);
+            return EnqueueOutcome::Enqueued;
+        }
+    }
+
     updateAverage(*pkt, now);
 
     if (wouldOverflow(*pkt)) {

@@ -13,6 +13,18 @@
 
 namespace ecnsim {
 
+namespace detail {
+inline bool g_redFastPath = true;
+}
+
+/// Process-wide default for newly constructed RedQueues' below-min-th fast
+/// path (see RedQueue::enqueue). bench_runner's before/after leg flips this
+/// off together with setBatchDispatchEnabled(false) to reconstruct the
+/// pre-optimization dispatch cost; both paths produce bit-identical
+/// behaviour, so only wall-clock changes. Flip only between runs.
+inline bool redFastPathEnabledByDefault() { return detail::g_redFastPath; }
+inline void setRedFastPathEnabledByDefault(bool on) { detail::g_redFastPath = on; }
+
 struct RedConfig {
     std::size_t capacityPackets = 100;
     /// Optional physical byte limit on top of the packet limit (0 = off);
@@ -67,6 +79,14 @@ public:
     double averageQueue() const { return avg_; }
     const RedConfig& config() const { return cfg_; }
 
+    /// Enqueues that took the below-min-th single-compare early-out.
+    std::uint64_t fastPathHits() const override { return fastPathHits_; }
+
+    /// Force every enqueue through the exact slow path — exists so the
+    /// fast-vs-slow property test can drive two queues through identical
+    /// traffic and pin their outcomes (and RNG consumption) bit-for-bit.
+    void testOnlyDisableFastPath() { fastPathEnabled_ = false; }
+
 private:
     /// Classic RED decision on the already-updated average: returns true if
     /// the packet should suffer an "early action" (mark or drop).
@@ -77,6 +97,11 @@ private:
     RedConfig cfg_;
     Rng& rng_;
     double avg_ = 0.0;
+    /// Precomputed min-th copy kept on the hot cacheline next to avg_: the
+    /// fast path's single compare never touches cfg_.
+    double fastMinTh_ = 0.0;
+    std::uint64_t fastPathHits_ = 0;
+    bool fastPathEnabled_ = true;  // set from redFastPathEnabledByDefault()
     /// Packets since the last early action while between thresholds
     /// (spreads actions uniformly; -1 mirrors NS-2's initial state).
     long count_ = -1;

@@ -74,6 +74,9 @@ bool ResultsCache::lookup(const std::string& key, ExperimentResult& out) const {
         else if (field == "cancelledEvents") in >> r.cancelledEvents;
         else if (field == "cascades") in >> r.cascades;
         else if (field == "heapMaxDepth") in >> r.heapMaxDepth;
+        else if (field == "batchDrains") in >> r.batchDrains;
+        else if (field == "maxBatchSize") in >> r.maxBatchSize;
+        else if (field == "redFastPathHits") in >> r.redFastPathHits;
         else if (field == "telemetryDigest") in >> r.telemetryDigest;
         else if (field == "invariantViolations") in >> r.invariantViolations;
         else if (field == "traceRecords") in >> r.traceRecords;
@@ -172,6 +175,9 @@ void ResultsCache::store(const std::string& key, const ExperimentResult& r) cons
             << "cancelledEvents " << r.cancelledEvents << '\n'
             << "cascades " << r.cascades << '\n'
             << "heapMaxDepth " << r.heapMaxDepth << '\n'
+            << "batchDrains " << r.batchDrains << '\n'
+            << "maxBatchSize " << r.maxBatchSize << '\n'
+            << "redFastPathHits " << r.redFastPathHits << '\n'
             << "telemetryDigest " << r.telemetryDigest << '\n'
             << "invariantViolations " << r.invariantViolations << '\n'
             // Obs accounting is stored for completeness, but observed runs

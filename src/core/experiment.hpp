@@ -169,6 +169,13 @@ struct ExperimentResult {
     std::uint64_t cancelledEvents = 0;  ///< timer cancels + in-place re-arms
     std::uint64_t cascades = 0;         ///< timer-wheel rollover relinks
     std::uint64_t heapMaxDepth = 0;     ///< high-water mark of live pending events
+
+    // Dispatch-batching diagnostics (see Simulator::runUntil): batches of
+    // same-timestamp events drained per settle, the largest such batch,
+    // and enqueues served by RED's below-min-th fast path.
+    std::uint64_t batchDrains = 0;
+    std::uint64_t maxBatchSize = 0;
+    std::uint64_t redFastPathHits = 0;
     /// Invariant violations recorded across all repetitions (record mode;
     /// abort mode never returns a result). Zero when checking was off.
     std::uint64_t invariantViolations = 0;

@@ -137,6 +137,9 @@ std::string resultToJson(const ExperimentResult& r, int indent) {
     integer("cancelledEvents", r.cancelledEvents);
     integer("cascades", r.cascades);
     integer("heapMaxDepth", r.heapMaxDepth);
+    integer("batchDrains", r.batchDrains);
+    integer("maxBatchSize", r.maxBatchSize);
+    integer("redFastPathHits", r.redFastPathHits);
     {
         // Hex string, not a bare integer: the digest is a full 64-bit hash and
         // values above 2^53 lose precision in double-based JSON consumers.

@@ -60,7 +60,7 @@ std::string ExperimentConfig::cacheKey() const {
     // Bump the version token whenever simulator behaviour changes; it
     // invalidates every stale on-disk cache entry.
     std::ostringstream os;
-    os << "v11|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
+    os << "v12|" << static_cast<int>(transport) << '|' << (ecnPlusPlus ? "pp|" : "")
        << (sack ? "sack|" : "") << switchQueue.describe() << '|'
        << static_cast<int>(switchQueue.redVariant) << '|' << switchQueue.targetDelay.ns() << '|'
        << bufferProfileName(buffers) << '|' << static_cast<int>(topology) << '|' << numNodes << '|'
@@ -300,6 +300,9 @@ ExperimentResult runExperiment(const ExperimentConfig& cfg) {
         r.cancelledEvents = sched.cancelled + sched.rearms;
         r.cascades = sched.cascades;
         r.heapMaxDepth = sched.maxLivePending;
+        r.batchDrains = sim.batchDrains();
+        r.maxBatchSize = sim.maxBatchSize();
+        r.redFastPathHits = net.switchFastPathHitsTotal();
 
         const FaultCounters& faults = tel.faults();
         r.faultDrops = faults.totalDrops();
@@ -380,7 +383,7 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     };
     std::uint64_t ackD = 0, ackO = 0, dataD = 0, dataO = 0, synD = 0, synO = 0, marks = 0;
     std::uint64_t retx = 0, rtos = 0, synR = 0, cuts = 0, events = 0, pkts = 0;
-    std::uint64_t cancels = 0, cascades = 0;
+    std::uint64_t cancels = 0, cascades = 0, drains = 0, fastHits = 0;
     // Digests cannot be averaged: fold them in run order (deterministic —
     // repeats run in seed order) so the aggregate is itself a digest.
     std::uint64_t digest = NetworkTelemetry::kDigestSeed;
@@ -439,8 +442,11 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
         pkts += r.packetsDelivered;
         cancels += r.cancelledEvents;
         cascades += r.cascades;
+        drains += r.batchDrains;
+        fastHits += r.redFastPathHits;
         // Depth is a high-water mark: max across repeats, like the profiler's.
         avg.heapMaxDepth = std::max(avg.heapMaxDepth, r.heapMaxDepth);
+        avg.maxBatchSize = std::max(avg.maxBatchSize, r.maxBatchSize);
         // Violations are summed, never averaged: one violation anywhere in
         // the repetition set must stay visible in the aggregate.
         avg.invariantViolations += r.invariantViolations;
@@ -492,6 +498,8 @@ ExperimentResult ExperimentResult::average(const std::vector<ExperimentResult>& 
     avg.packetsDelivered = meanU64(pkts);
     avg.cancelledEvents = meanU64(cancels);
     avg.cascades = meanU64(cascades);
+    avg.batchDrains = meanU64(drains);
+    avg.redFastPathHits = meanU64(fastHits);
     avg.telemetryDigest = digest;
     avg.faultDrops = meanU64(fDrops);
     avg.linkFlaps = meanU64(flaps);

@@ -256,6 +256,12 @@ std::uint64_t Network::switchMarksTotal() const {
     return marks;
 }
 
+std::uint64_t Network::switchFastPathHitsTotal() const {
+    std::uint64_t hits = 0;
+    for (const Queue* q : switchQueues()) hits += q->fastPathHits();
+    return hits;
+}
+
 void Network::attachSwitchQueueObserver(QueueObserver* obs) {
     for (SwitchNode* sw : switches_) {
         for (std::size_t i = 0; i < sw->numPorts(); ++i) sw->port(i).queue().setObserver(obs);

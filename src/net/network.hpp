@@ -56,6 +56,9 @@ public:
     QueueStats::PerClass switchDropSummary(PacketClass c) const;
     /// Aggregate over switch egress queues of total marks.
     std::uint64_t switchMarksTotal() const;
+    /// Aggregate over switch egress queues of AQM fast-path enqueues
+    /// (RED's below-min-th early-out; 0 for other disciplines).
+    std::uint64_t switchFastPathHitsTotal() const;
 
     /// All switch egress queues (for snapshots and per-queue inspection).
     std::vector<const Queue*> switchQueues() const;

@@ -125,6 +125,11 @@ public:
     /// Human-readable discipline name ("DropTail", "RED", ...).
     virtual std::string name() const = 0;
 
+    /// Enqueues served by a discipline's branch-light fast path (RED's
+    /// below-min-th early-out). Zero for disciplines without one; wrappers
+    /// forward to the wrapped data queue.
+    virtual std::uint64_t fastPathHits() const { return 0; }
+
     /// Structural self-check: redundant state (byte counter vs. actual
     /// contents, stats vs. occupancy) must agree. Returns false and fills
     /// `why` on disagreement. Default: nothing to check.

@@ -13,6 +13,13 @@ namespace ecnsim {
 
 class TimerWheelEventQueue;
 
+/// Per-event sink for batch drains (drainDue): invoked once per drained
+/// event with the callable to fire. Return false to stop the drain
+/// (Simulator::stop() mid-batch) — remaining same-tick events stay stored.
+/// A bare function pointer + context, not std::function: the sink is the
+/// one indirect call the dispatch loop pays per event.
+using DrainSink = bool (*)(void* ctx, EventFn& fn);
+
 namespace detail {
 /// Heap node of the legacy (shared_ptr-based) event queues. Ties are broken
 /// by insertion sequence number so that events scheduled earlier at the same

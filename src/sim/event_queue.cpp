@@ -62,6 +62,25 @@ bool FlatHeapEventQueue::popInto(Time& at, EventFn& fn) {
     return true;
 }
 
+std::size_t FlatHeapEventQueue::drainDue(Time at, DrainSink sink, void* ctx, Time& nextOut) {
+    const std::int64_t atNs = at.ns();
+    std::size_t n = 0;
+    for (;;) {
+        settleTop();
+        if (heap_.empty() || heap_.front().atNs != atNs) break;
+        EventFn fn = arena_->release(heap_.front().slot);
+        popTop();
+        ++n;
+        if (!sink(ctx, fn)) break;
+    }
+    // On a sink-stop the top may be an undrained same-tick event; the
+    // dispatch loop discards nextOut in that case (it exits on stop), so
+    // settling once more here is only needed for the early-break path.
+    settleTop();
+    nextOut = heap_.empty() ? Time::max() : Time::nanoseconds(heap_.front().atNs);
+    return n;
+}
+
 Time FlatHeapEventQueue::peekTime() {
     settleTop();
     return heap_.empty() ? Time::max() : Time::nanoseconds(heap_.front().atNs);

@@ -28,6 +28,15 @@ public:
     /// Pop the earliest non-cancelled event into (at, fn); false when empty.
     bool popInto(Time& at, EventFn& fn);
 
+    /// Batch-drain fast path: fire every live event due exactly at `at`
+    /// through `sink` in one call (same (time, seq) order as a popInto
+    /// loop; tombstones are sifted off the top before each pop, so
+    /// mid-batch cancels stay lazy). Stops early when the sink returns
+    /// false. Returns the number drained and writes the next pending
+    /// timestamp (or Time::max()) to `nextOut` — free here, since the
+    /// drain loop's exit check already settled the heap top.
+    std::size_t drainDue(Time at, DrainSink sink, void* ctx, Time& nextOut);
+
     /// Time of the earliest non-cancelled record, or Time::max().
     Time peekTime();
 

@@ -6,7 +6,7 @@
 // Memory is a fixed ~11 KiB regardless of sample count, record is O(1),
 // and merge is a bin-wise add — *exactly* associative and commutative, so
 // sharded estimators can be combined in any order with identical results
-// (asserted by tests/workloads/test_percentile.cpp).
+// (asserted by tests/sim/test_percentile.cpp).
 #pragma once
 
 #include <array>

@@ -61,6 +61,30 @@ public:
     /// Pop the next non-cancelled event into (at, fn); false when empty.
     bool popInto(Time& at, EventFn& fn);
 
+    /// Batch-drain fast path (see Simulator::runUntil): fire every event
+    /// due exactly at `at` through `sink` in one call. Requires a
+    /// preceding nextTime() (or drainDue) to have settled the backend; the
+    /// sink observes the same (time, seq) order a popInto() loop would,
+    /// including events the sink's own callbacks schedule at `at`. Stops
+    /// early when the sink returns false. Returns the number drained and
+    /// writes the next pending timestamp (or Time::max()) to `nextOut`, so
+    /// the dispatch loop pays one scheduler call per batch, not two.
+    std::size_t drainDue(Time at, DrainSink sink, void* ctx, Time& nextOut) {
+        if (wheel_) return wheel_->drainDue(at, sink, ctx, nextOut);
+        if (legacy_ == nullptr) return flat_.drainDue(at, sink, ctx, nextOut);
+        // Legacy kinds have no batch path: emulate via peek + pop, which
+        // preserves order trivially (both consult the same head).
+        std::size_t n = 0;
+        while (legacy_->peekTime() == at) {
+            auto rec = legacy_->pop();
+            if (!rec) break;
+            ++n;
+            if (!sink(ctx, rec->fn)) break;
+        }
+        nextOut = legacy_->peekTime();
+        return n;
+    }
+
     /// Time of the next pending (non-cancelled) event, or Time::max().
     Time nextTime();
 

@@ -16,6 +16,18 @@ namespace ecnsim {
 
 class ObsHub;  // src/obs/hub.hpp — sim/ cannot include obs/ headers
 
+namespace detail {
+inline bool g_batchDispatch = true;
+}
+
+/// Process-wide dispatch-mode switch for before/after measurement (see
+/// tools/bench_runner's batch-dispatch leg): when false, runUntil() falls
+/// back to the pre-batching one-event-at-a-time loop. Both modes execute
+/// the identical (time, seq) event order — only wall-clock differs, which
+/// the bench's digest check asserts. Flip only between runs, not mid-run.
+inline bool batchDispatchEnabled() { return detail::g_batchDispatch; }
+inline void setBatchDispatchEnabled(bool on) { detail::g_batchDispatch = on; }
+
 /// Discrete-event simulation kernel.
 ///
 /// One Simulator owns the clock, the event heap and the run's RNG. All
@@ -98,32 +110,52 @@ public:
 
     /// Run until the event heap drains, `until` is reached, or stop() is
     /// called. Events exactly at `until` still fire.
+    ///
+    /// Dispatch is batched by timestamp: one nextTime() settle per distinct
+    /// tick, then one drainDue() call fires every event sharing it — events
+    /// the batch's own callbacks schedule at the same tick join the batch
+    /// in seq order, so the (time, seq) total order (and telemetry digests)
+    /// are identical to the one-event-at-a-time loop. stop() mid-batch
+    /// leaves the undrained remainder stored, exactly as before.
     void runUntil(Time until) {
+        if (!batchDispatchEnabled()) {
+            runUntilSingle(until);
+            return;
+        }
         stopped_ = false;
-        Time at;
-        EventFn fn;
+        // Pick the per-event sink once: the checked variant keeps the
+        // verbatim per-event semantics the invariant hooks need (clock
+        // advanced event by event, `at < now_` compared against the
+        // un-advanced clock); the fast variant hoists the invariant test
+        // AND the clock write out of the per-event path — every event in a
+        // batch shares one timestamp, so one write per batch suffices.
+        const bool checked = invariants_ != nullptr && invariants_->enabled();
+        const DrainSink sink =
+            checked ? &Simulator::drainSinkChecked : &Simulator::drainSinkFast;
+        // One settle up front; every drainDue hands back the next pending
+        // timestamp, so the steady-state loop makes exactly one scheduler
+        // call per batch.
+        Time next = scheduler_.nextTime();
         while (!stopped_) {
-            // Peek before popping: an event beyond the horizon stays stored
-            // (sequence number untouched) so a later runUntil can resume.
-            const Time next = scheduler_.nextTime();
+            // Check the horizon before popping: an event beyond it stays
+            // stored (sequence number untouched) so a later runUntil resumes.
             if (next > until) {
                 if (until != Time::max() && until > now_) now_ = until;
                 break;
             }
-            if (!scheduler_.popInto(at, fn)) break;  // unreachable after peek
-            if (invariants_ != nullptr && invariants_->enabled()) {
-                if (at < now_) {
-                    invariants_->violation(
-                        InvariantClass::EventOrdering, at, executed_,
-                        "event clock ran backwards: popped t=" + at.toString() +
-                            " while now=" + now_.toString());
-                }
-                invariants_->recordExecute(at, executed_);
+            // A nextTime() of Time::max() can mean "empty" rather than a
+            // real event; the clock advance is rolled back below if the
+            // drain finds nothing (the one case where it does).
+            const Time prevNow = now_;
+            batchAt_ = next;
+            if (!checked) now_ = next;
+            const std::size_t batch = scheduler_.drainDue(next, sink, this, next);
+            if (batch == 0) {  // empty queue (until == Time::max() case)
+                now_ = prevNow;
+                break;
             }
-            now_ = at;
-            ++executed_;
-            fn();
-            fn = nullptr;  // free captures (e.g. packet handles) promptly
+            ++batchDrains_;
+            if (batch > maxBatchSize_) maxBatchSize_ = batch;
         }
     }
 
@@ -144,6 +176,11 @@ public:
     SchedulerKind schedulerKind() const { return scheduler_.kind(); }
     std::uint64_t eventsExecuted() const { return executed_; }
     std::uint64_t eventsScheduled() const { return scheduler_.inserted(); }
+    /// Timestamp batches dispatched by runUntil (one settle each); the
+    /// events-per-settle ratio is eventsExecuted() / batchDrains().
+    std::uint64_t batchDrains() const { return batchDrains_; }
+    /// Largest number of same-tick events drained as one batch.
+    std::uint64_t maxBatchSize() const { return maxBatchSize_; }
 
     /// Test-only corruption hook: warp the clock forward without touching
     /// the heap, so already-scheduled events pop "in the past". Exists to
@@ -152,11 +189,75 @@ public:
     void testOnlyWarpClock(Time to) { now_ = to; }
 
 private:
+    /// Hot per-event sink (invariants off): the clock was already advanced
+    /// for the whole batch in runUntil, so each event only counts, fires
+    /// and frees. Returns false (stop the drain) once stop() was called.
+    static bool drainSinkFast(void* self, EventFn& fn) {
+        auto* sim = static_cast<Simulator*>(self);
+        ++sim->executed_;
+        fn();
+        fn = nullptr;  // free captures (e.g. packet handles) promptly
+        return !sim->stopped_;
+    }
+
+    /// Checked per-event sink: verbatim single-event-loop semantics — the
+    /// `at < now_` comparison runs against the not-yet-advanced clock and
+    /// the clock moves event by event, which the EventOrdering forensics
+    /// (and the warp-clock test) rely on.
+    static bool drainSinkChecked(void* self, EventFn& fn) {
+        auto* sim = static_cast<Simulator*>(self);
+        const Time at = sim->batchAt_;
+        if (at < sim->now_) {
+            sim->invariants_->violation(
+                InvariantClass::EventOrdering, at, sim->executed_,
+                "event clock ran backwards: popped t=" + at.toString() +
+                    " while now=" + sim->now_.toString());
+        }
+        sim->invariants_->recordExecute(at, sim->executed_);
+        sim->now_ = at;
+        ++sim->executed_;
+        fn();
+        fn = nullptr;
+        return !sim->stopped_;
+    }
+
+    /// The pre-batching dispatch loop, kept verbatim as the "before" leg of
+    /// bench_runner's batch-dispatch comparison (setBatchDispatchEnabled).
+    void runUntilSingle(Time until) {
+        stopped_ = false;
+        Time at;
+        EventFn fn;
+        while (!stopped_) {
+            const Time next = scheduler_.nextTime();
+            if (next > until) {
+                if (until != Time::max() && until > now_) now_ = until;
+                break;
+            }
+            if (!scheduler_.popInto(at, fn)) break;  // unreachable after peek
+            if (invariants_ != nullptr && invariants_->enabled()) {
+                if (at < now_) {
+                    invariants_->violation(
+                        InvariantClass::EventOrdering, at, executed_,
+                        "event clock ran backwards: popped t=" + at.toString() +
+                            " while now=" + now_.toString());
+                }
+                invariants_->recordExecute(at, executed_);
+            }
+            now_ = at;
+            ++executed_;
+            fn();
+            fn = nullptr;
+        }
+    }
+
     Scheduler scheduler_;
     Time now_;
+    Time batchAt_;  ///< timestamp of the batch currently draining
     Rng rng_;
     bool stopped_ = false;
     std::uint64_t executed_ = 0;
+    std::uint64_t batchDrains_ = 0;
+    std::uint64_t maxBatchSize_ = 0;
     std::unique_ptr<InvariantChecker> ownedInvariants_;
     InvariantChecker* invariants_ = nullptr;
     ObsHub* obs_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 namespace ecnsim {
 
@@ -95,6 +96,35 @@ public:
         fn = releaseNode(head);
         --live_;
         return true;
+    }
+
+    std::size_t drainDue(std::int64_t atNs, DrainSink sink, void* ctx, std::int64_t& nextNs) {
+        // No settle on entry: the caller's previous drain (or nextTime())
+        // already drained every pending event at `atNs` onto the due list
+        // (the frontier invariant — the due list holds all pending events
+        // <= curNs_, and same-tick inserts from the batch's own callbacks
+        // merge into it sorted, so re-reading the head each iteration picks
+        // them up in seq order).
+        std::size_t n = 0;
+        for (;;) {
+            const std::uint32_t head = nodes_[kDueSentinel].next;
+            if (head == kDueSentinel || nodes_[head].atNs != atNs) break;
+            unlink(head);
+            EventFn fn = releaseNode(head);
+            --live_;
+            ++n;
+            // The sink may push (growing nodes_), cancel or rearm — every
+            // node access above re-derives from nodes_, so reallocation
+            // during the callback is safe.
+            if (!sink(ctx, fn)) break;
+        }
+        // Settle and report the next pending timestamp in the same call, so
+        // the dispatch loop never pays a separate peek per batch.
+        settle();
+        const std::uint32_t head = nodes_[kDueSentinel].next;
+        nextNs = head == kDueSentinel ? std::numeric_limits<std::int64_t>::max()
+                                      : nodes_[head].atNs;
+        return n;
     }
 
     Time peekTime() {
@@ -445,6 +475,13 @@ EventHandle TimerWheelEventQueue::push(Time at, std::uint64_t seq, EventFn fn) {
 }
 
 bool TimerWheelEventQueue::popInto(Time& at, EventFn& fn) { return core_->popInto(at, fn); }
+
+std::size_t TimerWheelEventQueue::drainDue(Time at, DrainSink sink, void* ctx, Time& nextOut) {
+    std::int64_t nextNs;
+    const std::size_t n = core_->drainDue(at.ns(), sink, ctx, nextNs);
+    nextOut = Time::nanoseconds(nextNs);  // int64 max == Time::max()
+    return n;
+}
 
 Time TimerWheelEventQueue::peekTime() { return core_->peekTime(); }
 

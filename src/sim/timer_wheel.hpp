@@ -57,6 +57,18 @@ public:
     /// Pop the earliest event into (at, fn); false when empty.
     bool popInto(Time& at, EventFn& fn);
 
+    /// Batch-drain fast path: fire every event due exactly at `at` through
+    /// `sink` in one call, skipping the settle and per-event call chain a
+    /// popInto() loop pays. Requires a preceding peekTime()/popInto() (or
+    /// drainDue) to have settled the wheel — after that, every pending
+    /// event at `at` sits on the sorted due list, and same-tick inserts
+    /// from the batch's own callbacks merge into it, so the sink observes
+    /// the exact (time, seq) total order. Stops early when the sink returns
+    /// false (remaining events stay stored). Returns the number drained and
+    /// writes the next pending timestamp (or Time::max()) to `nextOut`, so
+    /// the dispatch loop needs no separate peekTime() between batches.
+    std::size_t drainDue(Time at, DrainSink sink, void* ctx, Time& nextOut);
+
     /// Time of the earliest event, or Time::max().
     Time peekTime();
 

@@ -278,5 +278,67 @@ TEST(Red, NameIsStable) {
     EXPECT_EQ(q.name(), "RED");
 }
 
+// Property: the below-min-th single-compare fast path is *bit-for-bit*
+// equivalent to the exact slow path — same outcome per packet, same EWMA
+// average (exact double equality, not tolerance), same occupancy, and the
+// same RNG consumption (the fast path must never draw below min-th, because
+// the slow path doesn't either). Randomized sweeps over thresholds, wq,
+// byte mode, gentle mode, idle decay and traffic shape.
+TEST(RedProperty, FastPathMatchesSlowPathBitForBit) {
+    Rng traffic(20260809);
+    std::uint64_t totalFastHits = 0;
+    for (int sweep = 0; sweep < 40; ++sweep) {
+        RedConfig cfg;
+        cfg.capacityPackets = static_cast<std::size_t>(traffic.uniformInt(30, 200));
+        cfg.minTh = traffic.uniform(2.0, 40.0);
+        cfg.maxTh = cfg.minTh + traffic.uniform(0.0, 60.0);
+        cfg.wq = traffic.uniform(0.01, 1.0);
+        cfg.maxP = traffic.uniform(0.05, 1.0);
+        cfg.gentle = traffic.uniformInt(0, 1) == 1;
+        cfg.byteMode = traffic.uniformInt(0, 1) == 1;
+        if (cfg.byteMode) {
+            cfg.minTh *= 1500.0;
+            cfg.maxTh *= 1500.0;
+        }
+        if (traffic.uniformInt(0, 1) == 1) cfg.idlePacketTime = Time::microseconds(12);
+
+        const auto seed = static_cast<std::uint64_t>(traffic.uniformInt(1, 1'000'000));
+        Rng rngFast(seed), rngSlow(seed);
+        RedQueue fast(cfg, rngFast), slow(cfg, rngSlow);
+        slow.testOnlyDisableFastPath();
+
+        Time now;
+        for (int step = 0; step < 400; ++step) {
+            // Bursty arrivals with occasional long gaps (idle-decay path).
+            const bool longGap = traffic.uniformInt(0, 19) == 0;
+            now += longGap ? Time::milliseconds(traffic.uniformInt(1, 5))
+                           : Time::microseconds(traffic.uniformInt(1, 30));
+            const bool bigPkt = traffic.uniformInt(0, 3) != 0;
+            const auto mk = [bigPkt] { return bigPkt ? ectData() : pureAck(); };
+            const auto oF = fast.enqueue(mk(), now);
+            const auto oS = slow.enqueue(mk(), now);
+            ASSERT_EQ(static_cast<int>(oF), static_cast<int>(oS))
+                << "sweep " << sweep << " step " << step;
+            ASSERT_EQ(fast.averageQueue(), slow.averageQueue())
+                << "sweep " << sweep << " step " << step;
+            ASSERT_EQ(fast.lengthPackets(), slow.lengthPackets());
+            ASSERT_EQ(fast.lengthBytes(), slow.lengthBytes());
+            const int drains = static_cast<int>(traffic.uniformInt(0, 2));
+            for (int d = 0; d < drains; ++d) {
+                auto pF = fast.dequeue(now);
+                auto pS = slow.dequeue(now);
+                ASSERT_EQ(pF == nullptr, pS == nullptr);
+                if (pF) ASSERT_EQ(pF->sizeBytes, pS->sizeBytes);
+            }
+        }
+        // Same engine state after the run == identical draw counts. The next
+        // value from each stream must agree bit-for-bit.
+        EXPECT_EQ(rngFast.uniform01(), rngSlow.uniform01()) << "sweep " << sweep;
+        EXPECT_EQ(slow.fastPathHits(), 0u);
+        totalFastHits += fast.fastPathHits();
+    }
+    EXPECT_GT(totalFastHits, 0u) << "sweeps never exercised the fast path; vacuous";
+}
+
 }  // namespace
 }  // namespace ecnsim

@@ -6,9 +6,13 @@
 // why the kind is part of the cache key.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/core/runner.hpp"
 #include "src/core/series.hpp"
 #include "src/sim/scheduler.hpp"
+#include "src/sim/simulator.hpp"
 
 namespace ecnsim {
 namespace {
@@ -188,6 +192,67 @@ TEST(SchedulerDigest, AttributionUnderPathologiesStaysByteIdenticalAcrossKinds) 
         EXPECT_EQ(r.attribution.requests, baseline.attribution.requests) << name;
         EXPECT_EQ(r.attrConservationFailures, 0u) << name;
     }
+}
+
+// Thousands of events sharing one tick is the batch-drain worst case: a
+// single drainDue() must hand them all over in seq order, including events
+// a callback schedules onto the tick that is *currently draining* (they
+// join the in-flight batch behind every earlier seq). Every backend — and
+// the single-event fallback loop — must fire the identical order.
+TEST(SchedulerDigest, DuplicateTimestampStressPinsBatchDrainOrder) {
+    constexpr int kPerTick = 2'500;
+    constexpr int kTicks = 3;
+
+    struct Run {
+        std::vector<int> order;
+        std::uint64_t drains = 0;
+        std::uint64_t maxBatch = 0;
+        std::uint64_t executed = 0;
+    };
+    const auto runOnce = [](SchedulerKind kind) {
+        Simulator sim(1, kind);
+        Run out;
+        out.order.reserve(static_cast<std::size_t>(kTicks) * kPerTick * 2);
+        for (int t = 0; t < kTicks; ++t) {
+            for (int i = 0; i < kPerTick; ++i) {
+                const int id = t * kPerTick + i;
+                sim.scheduleAt(Time::microseconds(t), [&sim, &out, id] {
+                    out.order.push_back(id);
+                    if (id % 97 == 0) {
+                        sim.schedule(Time::zero(), [&out, id] {
+                            out.order.push_back(1'000'000 + id);
+                        });
+                    }
+                });
+            }
+        }
+        sim.run();
+        out.drains = sim.batchDrains();
+        out.maxBatch = sim.maxBatchSize();
+        out.executed = sim.eventsExecuted();
+        return out;
+    };
+
+    const Run baseline = runOnce(SchedulerKind::FlatHeap);
+    ASSERT_EQ(baseline.order.size(), baseline.executed);
+    for (const SchedulerKind kind : kAllKinds) {
+        const Run r = runOnce(kind);
+        const std::string name = schedulerKindName(kind);
+        EXPECT_EQ(r.order, baseline.order) << name;
+        // One drain per distinct tick, and the widest batch covers at least
+        // the pre-scheduled population of a tick (plus same-tick joiners).
+        EXPECT_EQ(r.drains, static_cast<std::uint64_t>(kTicks)) << name;
+        EXPECT_GE(r.maxBatch, static_cast<std::uint64_t>(kPerTick)) << name;
+    }
+
+    // The pre-batching loop must execute the same order — it is the "before"
+    // leg of the bench comparison — and never touches the batch counters.
+    setBatchDispatchEnabled(false);
+    const Run single = runOnce(SchedulerKind::TimerWheel);
+    setBatchDispatchEnabled(true);
+    EXPECT_EQ(single.order, baseline.order) << "single-dispatch fallback";
+    EXPECT_EQ(single.drains, 0u);
+    EXPECT_EQ(single.maxBatch, 0u);
 }
 
 TEST(SchedulerDigest, WheelAndFlatHeapAgreeOnTimerDiagnostics) {

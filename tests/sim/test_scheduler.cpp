@@ -277,6 +277,31 @@ TEST(Scheduler, CountersExposeCancelsAndRearms) {
     EXPECT_GE(c.maxLivePending, 1u);
 }
 
+TEST(Scheduler, BatchDrainCountersCountTicksNotEvents) {
+    Simulator sim;
+    // 12 events folded onto 3 distinct ticks, 4 per tick.
+    for (int i = 0; i < 12; ++i) {
+        sim.schedule(Time::nanoseconds(i / 4), [] {});
+    }
+    sim.run();
+    EXPECT_EQ(sim.eventsExecuted(), 12u);
+    EXPECT_EQ(sim.batchDrains(), 3u);
+    EXPECT_EQ(sim.maxBatchSize(), 4u);
+}
+
+TEST(Scheduler, SingleDispatchFallbackLeavesBatchCountersZero) {
+    setBatchDispatchEnabled(false);
+    Simulator sim;
+    for (int i = 0; i < 12; ++i) {
+        sim.schedule(Time::nanoseconds(i / 4), [] {});
+    }
+    sim.run();
+    setBatchDispatchEnabled(true);
+    EXPECT_EQ(sim.eventsExecuted(), 12u);
+    EXPECT_EQ(sim.batchDrains(), 0u);
+    EXPECT_EQ(sim.maxBatchSize(), 0u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
     Simulator sim;
     Time last = Time::zero();
